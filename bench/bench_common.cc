@@ -1,0 +1,77 @@
+#include "bench/bench_common.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/common/random.h"
+
+namespace rntraj {
+namespace bench {
+
+BenchSettings Settings() {
+  BenchSettings s;
+  s.scale = ScaleFromEnv();
+  switch (s.scale) {
+    case BenchScale::kTiny:
+      s.dim = 16;
+      s.train.epochs = 4;
+      break;
+    case BenchScale::kSmall:
+      s.dim = 24;
+      s.train.epochs = 8;
+      break;
+    case BenchScale::kFull:
+      s.dim = 64;
+      s.train.epochs = 30;  // the paper's schedule
+      break;
+  }
+  s.train.batch_size = 8;
+  s.train.lr = 3e-3f;
+  return s;
+}
+
+MethodResult RunModel(RecoveryModel& model, Dataset& ds,
+                      const BenchSettings& settings) {
+  MethodResult r;
+  r.name = model.name();
+  r.parameters = model.ParameterCount();
+  TrainStats stats = TrainModel(model, ds.train(), settings.train);
+  r.train_seconds = stats.seconds;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  r.predictions = RecoverAll(model, ds.test());
+  const double infer_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.infer_ms_per_traj = 1000.0 * infer_s / std::max(1uz, ds.test().size());
+  r.metrics = EvaluateRecovery(ds.netdist(), r.predictions, TruthsOf(ds.test()));
+  return r;
+}
+
+MethodResult RunMethod(const std::string& key, Dataset& ds,
+                       const BenchSettings& settings) {
+  SeedGlobalRng(12345);  // identical init stream per method
+  ModelContext ctx = ModelContext::FromDataset(ds);
+  auto model = MakeModel(key, ctx, settings.dim);
+  return RunModel(*model, ds, settings);
+}
+
+TablePrinter MetricsTable() {
+  return TablePrinter(
+      {"Method", "Recall", "Precision", "F1", "Accuracy", "MAE", "RMSE"});
+}
+
+void PrintDatasetBanner(const Dataset& ds, const BenchSettings& settings) {
+  std::printf(
+      "dataset=%s scale=%s | segments=%d grid=%dx%d | train/val/test=%zu/%zu/%zu"
+      " | eps_rho=%.0fs keep=1/%d (input interval %.0fs) | dim=%d epochs=%d\n",
+      ds.config().name.c_str(), ToString(settings.scale).c_str(),
+      ds.roadnet().num_segments(), ds.grid().rows(), ds.grid().cols(),
+      ds.train().size(), ds.val().size(), ds.test().size(),
+      ds.config().sim.eps_rho, ds.config().keep_every, ds.input_interval(),
+      settings.dim, settings.train.epochs);
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace rntraj

@@ -1,0 +1,59 @@
+#ifndef RNTRAJ_BENCH_BENCH_COMMON_H_
+#define RNTRAJ_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/zoo.h"
+#include "src/core/trainer.h"
+#include "src/eval/metrics.h"
+#include "src/eval/report.h"
+#include "src/sim/presets.h"
+
+/// \file bench_common.h
+/// Shared machinery for the table/figure harnesses: scale-dependent training
+/// schedules, the train-once-evaluate-once driver, and the Table III column
+/// layout.
+
+namespace rntraj {
+namespace bench {
+
+/// Per-scale knobs shared by every harness.
+struct BenchSettings {
+  BenchScale scale = BenchScale::kSmall;
+  int dim = 32;           ///< Hidden size for all learned methods.
+  TrainConfig train;      ///< Epochs/lr/batch per scale.
+};
+
+/// Resolves settings from RNTR_SCALE (tiny | small | full).
+BenchSettings Settings();
+
+/// One method's evaluation outcome.
+struct MethodResult {
+  std::string name;
+  RecoveryMetrics metrics;
+  double train_seconds = 0.0;
+  double infer_ms_per_traj = 0.0;
+  int64_t parameters = 0;
+  std::vector<MatchedTrajectory> predictions;
+};
+
+/// Trains (if learned) and evaluates an existing model on a dataset.
+MethodResult RunModel(RecoveryModel& model, Dataset& ds,
+                      const BenchSettings& settings);
+
+/// Factory + RunModel in one step, keyed like the zoo.
+MethodResult RunMethod(const std::string& key, Dataset& ds,
+                       const BenchSettings& settings);
+
+/// The Table III / IV column layout.
+TablePrinter MetricsTable();
+
+/// Prints the standard dataset banner (name, segments, splits, interval).
+void PrintDatasetBanner(const Dataset& ds, const BenchSettings& settings);
+
+}  // namespace bench
+}  // namespace rntraj
+
+#endif  // RNTRAJ_BENCH_BENCH_COMMON_H_

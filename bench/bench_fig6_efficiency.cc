@@ -1,0 +1,60 @@
+// Regenerates paper Fig. 6: the efficiency study on Chengdu x8 — accuracy vs
+// per-trajectory inference latency vs parameter count, for every baseline and
+// for RNTrajRec with N in {1, 2} with and without GRL. Shapes to check:
+// RNTrajRec variants sit top-right (most accurate, moderately slower);
+// Linear+HMM is fastest and least accurate; inference cost grows with N and
+// with GRL enabled.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/rntrajrec.h"
+
+namespace rntraj {
+namespace {
+
+void PrintRow(const TablePrinter& table, const bench::MethodResult& r) {
+  table.PrintRow({r.name, TablePrinter::Num(r.metrics.accuracy, 3),
+                  TablePrinter::Num(r.infer_ms_per_traj, 2),
+                  std::to_string(r.parameters),
+                  TablePrinter::Num(r.train_seconds, 1)});
+}
+
+void Run() {
+  auto settings = bench::Settings();
+  // Sweep harness: bound total suite time with a shorter schedule.
+  settings.train.epochs = std::max(3, settings.train.epochs * 2 / 3);
+  DatasetConfig cfg = ChengduConfig(settings.scale, 8);
+  auto ds = BuildDataset(cfg);
+  TablePrinter table({"Method", "ACC", "ms/traj", "#params", "train s"}, 26, 12);
+  table.PrintTitle("Fig. 6: efficiency study on " + cfg.name + " (x8)");
+  bench::PrintDatasetBanner(*ds, settings);
+  table.PrintHeader();
+
+  for (const auto& key : TableThreeMethodKeys()) {
+    if (key == "rntrajrec") continue;  // variants below
+    PrintRow(table, bench::RunMethod(key, *ds, settings));
+  }
+
+  ModelContext ctx = ModelContext::FromDataset(*ds);
+  for (bool use_grl : {false, true}) {
+    for (int blocks : {1, 2}) {
+      SeedGlobalRng(12345);
+      RnTrajRecConfig mcfg = DefaultRnTrajRecConfig(settings.dim);
+      mcfg.gpsformer.blocks = blocks;
+      mcfg.gpsformer.use_grl = use_grl;
+      mcfg.name_suffix = (use_grl ? " (N=" : "* (N=") + std::to_string(blocks) +
+                         ")";  // * marks w/o GRL, as in the paper
+      RnTrajRec model(mcfg, ctx);
+      PrintRow(table, bench::RunModel(model, *ds, settings));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rntraj
+
+int main() {
+  rntraj::Run();
+  return 0;
+}

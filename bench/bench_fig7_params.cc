@@ -1,0 +1,110 @@
+// Regenerates paper Fig. 7: RNTrajRec hyper-parameter studies on Chengdu x8.
+//   (a) road-network representation: GridGNN vs GCN / GIN / GAT
+//   (b) number of GPSFormer blocks N
+//   (c) receptive field delta (meters)
+//   (d) sub-graph weight scale gamma (meters)
+// Shapes to check: GridGNN best in (a); accuracy peaks then flattens/dips
+// with N in (b); a mid-range delta sweet spot in (c); low sensitivity in (d).
+// Pass a/b/c/d as argv[1] to run a single part.
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_common.h"
+#include "src/core/rntrajrec.h"
+
+namespace rntraj {
+namespace {
+
+void Evaluate(const std::string& label, const RnTrajRecConfig& cfg, Dataset& ds,
+              const bench::BenchSettings& settings, const TablePrinter& table) {
+  SeedGlobalRng(12345);
+  ModelContext ctx = ModelContext::FromDataset(ds);
+  RnTrajRecConfig c = cfg;
+  c.name_suffix = " " + label;
+  RnTrajRec model(c, ctx);
+  bench::MethodResult r = bench::RunModel(model, ds, settings);
+  table.PrintRow({label, TablePrinter::Num(r.metrics.accuracy, 3),
+                  TablePrinter::Num(r.metrics.f1, 3),
+                  TablePrinter::Num(r.metrics.mae, 1)});
+}
+
+bool WantPart(int argc, char** argv, const char* part) {
+  if (argc < 2) return true;
+  return std::strcmp(argv[1], part) == 0;
+}
+
+void Run(int argc, char** argv) {
+  auto settings = bench::Settings();
+  // Sweep harness: bound total suite time with a shorter schedule.
+  settings.train.epochs = std::max(3, settings.train.epochs * 2 / 3);
+  const bool full = settings.scale == BenchScale::kFull;
+  DatasetConfig dcfg = ChengduConfig(settings.scale, 8);
+  auto ds = BuildDataset(dcfg);
+  TablePrinter table({"Setting", "ACC", "F1", "MAE"}, 22, 10);
+  bench::PrintDatasetBanner(*ds, settings);
+
+  if (WantPart(argc, argv, "a")) {
+    table.PrintTitle("Fig. 7(a): road-network representation");
+    table.PrintHeader();
+    const std::pair<const char*, RoadEncoderKind> kinds[] = {
+        {"GCN", RoadEncoderKind::kGcn},
+        {"GIN", RoadEncoderKind::kGin},
+        {"GAT", RoadEncoderKind::kGat},
+        {"GridGNN", RoadEncoderKind::kGridGnn},
+    };
+    for (const auto& [label, kind] : kinds) {
+      RnTrajRecConfig cfg = DefaultRnTrajRecConfig(settings.dim);
+      cfg.gridgnn.kind = kind;
+      Evaluate(label, cfg, *ds, settings, table);
+    }
+  }
+
+  if (WantPart(argc, argv, "b")) {
+    table.PrintTitle("Fig. 7(b): number of GPSFormer blocks N");
+    table.PrintHeader();
+    const std::vector<int> ns = full ? std::vector<int>{1, 2, 3, 4, 5}
+                                     : std::vector<int>{1, 2, 3};
+    for (int n : ns) {
+      RnTrajRecConfig cfg = DefaultRnTrajRecConfig(settings.dim);
+      cfg.gpsformer.blocks = n;
+      Evaluate("N=" + std::to_string(n), cfg, *ds, settings, table);
+    }
+  }
+
+  if (WantPart(argc, argv, "c")) {
+    table.PrintTitle("Fig. 7(c): receptive field delta (m)");
+    table.PrintHeader();
+    const std::vector<double> deltas =
+        full ? std::vector<double>{100, 200, 300, 400, 600, 800}
+             : std::vector<double>{100, 300, 600};
+    for (double d : deltas) {
+      RnTrajRecConfig cfg = DefaultRnTrajRecConfig(settings.dim);
+      cfg.delta = d;
+      Evaluate("delta=" + std::to_string(static_cast<int>(d)), cfg, *ds,
+               settings, table);
+    }
+  }
+
+  if (WantPart(argc, argv, "d")) {
+    table.PrintTitle("Fig. 7(d): weight scale gamma (m)");
+    table.PrintHeader();
+    const std::vector<double> gammas = full
+                                           ? std::vector<double>{10, 20, 30, 40, 50}
+                                           : std::vector<double>{10, 30, 50};
+    for (double g : gammas) {
+      RnTrajRecConfig cfg = DefaultRnTrajRecConfig(settings.dim);
+      cfg.gamma = g;
+      Evaluate("gamma=" + std::to_string(static_cast<int>(g)), cfg, *ds,
+               settings, table);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rntraj
+
+int main(int argc, char** argv) {
+  rntraj::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Kernel microbenchmarks (google-benchmark): the hot paths underneath
+// training and inference — matmul, softmax, GAT layers, Dijkstra rows,
+// R-tree queries, sub-graph extraction, HMM matching and one full RNTrajRec
+// inference.
+
+#include <benchmark/benchmark.h>
+
+#include "src/baselines/zoo.h"
+#include "src/common/random.h"
+#include "src/core/trainer.h"
+#include "src/mapmatch/hmm.h"
+#include "src/nn/attention.h"
+#include "src/nn/graph.h"
+#include "src/sim/presets.h"
+#include "src/tensor/ops.h"
+
+namespace rntraj {
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SeedGlobalRng(1);
+  Tensor a = Tensor::Randn({n, n}, 1.0f);
+  Tensor b = Tensor::Randn({n, n}, 1.0f);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Matmul(a, b).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  SeedGlobalRng(2);
+  Tensor a = Tensor::Randn({64, static_cast<int>(state.range(0))}, 1.0f);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftmaxRows(a).data().data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(64)->Arg(512);
+
+void BM_GatLayer(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SeedGlobalRng(3);
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  DenseGraph g = BuildDenseGraph(n, edges);
+  GatLayer gat(32, 4);
+  Tensor h = Tensor::Randn({n, 32}, 1.0f);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gat.Forward(h, g).data().data());
+  }
+}
+BENCHMARK(BM_GatLayer)->Arg(16)->Arg(128);
+
+void BM_SelfAttention(benchmark::State& state) {
+  SeedGlobalRng(4);
+  MultiHeadSelfAttention mha(32, 4);
+  Tensor x = Tensor::Randn({static_cast<int>(state.range(0)), 32}, 1.0f);
+  NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mha.Forward(x).data().data());
+  }
+}
+BENCHMARK(BM_SelfAttention)->Arg(8)->Arg(48);
+
+struct World {
+  std::unique_ptr<Dataset> ds;
+  World() {
+    DatasetConfig cfg = ChengduConfig(BenchScale::kTiny);
+    cfg.num_train = 4;
+    cfg.num_val = 1;
+    cfg.num_test = 8;
+    ds = BuildDataset(cfg);
+  }
+};
+
+World& TheWorld() {
+  static World w;
+  return w;
+}
+
+void BM_DijkstraRow(benchmark::State& state) {
+  auto& w = TheWorld();
+  int src = 0;
+  for (auto _ : state) {
+    NetworkDistance nd(&w.ds->roadnet());  // fresh cache each iteration
+    benchmark::DoNotOptimize(nd.StartToStart(src, 1));
+    src = (src + 1) % w.ds->roadnet().num_segments();
+  }
+}
+BENCHMARK(BM_DijkstraRow);
+
+void BM_RTreeRadiusQuery(benchmark::State& state) {
+  auto& w = TheWorld();
+  Rng rng(5);
+  const BBox& b = w.ds->roadnet().bounds();
+  for (auto _ : state) {
+    Vec2 p{rng.Uniform(b.min_x, b.max_x), rng.Uniform(b.min_y, b.max_y)};
+    benchmark::DoNotOptimize(
+        SegmentsWithinRadius(w.ds->roadnet(), w.ds->rtree(), p, 300.0));
+  }
+}
+BENCHMARK(BM_RTreeRadiusQuery);
+
+void BM_SubGraphExtraction(benchmark::State& state) {
+  auto& w = TheWorld();
+  Rng rng(6);
+  const BBox& b = w.ds->roadnet().bounds();
+  for (auto _ : state) {
+    Vec2 p{rng.Uniform(b.min_x, b.max_x), rng.Uniform(b.min_y, b.max_y)};
+    benchmark::DoNotOptimize(ExtractPointSubGraph(
+        w.ds->roadnet(), w.ds->rtree(), p, 300.0, 30.0));
+  }
+}
+BENCHMARK(BM_SubGraphExtraction);
+
+void BM_HmmMatchTrajectory(benchmark::State& state) {
+  auto& w = TheWorld();
+  NetworkDistance nd(&w.ds->roadnet());
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& s = w.ds->test()[i % w.ds->test().size()];
+    benchmark::DoNotOptimize(
+        HmmMapMatch(w.ds->roadnet(), w.ds->rtree(), nd, s.raw_noisy));
+    ++i;
+  }
+}
+BENCHMARK(BM_HmmMatchTrajectory);
+
+void BM_RnTrajRecInference(benchmark::State& state) {
+  auto& w = TheWorld();
+  SeedGlobalRng(7);
+  ModelContext ctx = ModelContext::FromDataset(*w.ds);
+  auto model = MakeModel("rntrajrec", ctx, 16);
+  model->SetTrainingMode(false);
+  model->BeginInference();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& s = w.ds->test()[i % w.ds->test().size()];
+    benchmark::DoNotOptimize(model->Recover(s));
+    ++i;
+  }
+}
+BENCHMARK(BM_RnTrajRecInference);
+
+}  // namespace
+}  // namespace rntraj
+
+BENCHMARK_MAIN();

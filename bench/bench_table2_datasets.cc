@@ -1,0 +1,50 @@
+// Regenerates paper Table II: statistics of the (synthetic analogue)
+// datasets. Columns mirror the paper: trajectory counts, road segments,
+// training-area size, average travel time, raw sample interval and the
+// processed eps_rho.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace rntraj {
+namespace {
+
+void Row(const TablePrinter& table, const DatasetConfig& cfg) {
+  auto ds = BuildDataset(cfg);
+  const BBox& b = ds->roadnet().bounds();
+  double total_duration = 0.0;
+  for (const auto& s : ds->train()) total_duration += s.truth.duration();
+  const int total =
+      static_cast<int>(ds->train().size() + ds->val().size() + ds->test().size());
+  table.PrintRow({cfg.name, std::to_string(total),
+                  std::to_string(ds->roadnet().num_segments()),
+                  TablePrinter::Num(b.width() / 1000.0, 2) + "x" +
+                      TablePrinter::Num(b.height() / 1000.0, 2),
+                  TablePrinter::Num(total_duration / ds->train().size(), 1),
+                  TablePrinter::Num(ds->input_interval(), 0),
+                  TablePrinter::Num(cfg.sim.eps_rho, 0)});
+}
+
+void Run() {
+  const auto settings = bench::Settings();
+  std::printf("Table II analogue: dataset statistics (scale=%s)\n",
+              ToString(settings.scale).c_str());
+  TablePrinter table({"Dataset", "#Traj", "#Segments", "Area km2",
+                      "AvgTravel s", "RawInt s", "EpsRho s"},
+                     16, 12);
+  table.PrintHeader();
+  Row(table, ShanghaiLConfig(settings.scale));
+  Row(table, ChengduConfig(settings.scale));
+  Row(table, PortoConfig(settings.scale));
+  Row(table, ShanghaiConfig(settings.scale));
+  Row(table, ChengduFewConfig(settings.scale));
+}
+
+}  // namespace
+}  // namespace rntraj
+
+int main() {
+  rntraj::Run();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Regenerates paper Table III: the main comparison of all nine methods on
+// Chengdu (x8 and x16), Porto (x8) and Shanghai-L (x16). Absolute numbers
+// reflect the CPU-scale synthetic datasets; the shape to compare against the
+// paper is the method ordering within each block.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace rntraj {
+namespace {
+
+void RunBlock(const DatasetConfig& cfg, const bench::BenchSettings& settings) {
+  auto ds = BuildDataset(cfg);
+  auto table = bench::MetricsTable();
+  table.PrintTitle("Table III: " + cfg.name + " (eps_tau = eps_rho * " +
+                   std::to_string(cfg.keep_every) + ")");
+  bench::PrintDatasetBanner(*ds, settings);
+  table.PrintHeader();
+  for (const auto& key : TableThreeMethodKeys()) {
+    bench::MethodResult r = bench::RunMethod(key, *ds, settings);
+    PrintMetricsRow(table, r.name, r.metrics);
+  }
+}
+
+void Run() {
+  const auto settings = bench::Settings();
+  RunBlock(ChengduConfig(settings.scale, 8), settings);
+  RunBlock(ChengduConfig(settings.scale, 16), settings);
+  RunBlock(PortoConfig(settings.scale, 8), settings);
+  RunBlock(ShanghaiLConfig(settings.scale, 16), settings);
+}
+
+}  // namespace
+}  // namespace rntraj
+
+int main() {
+  rntraj::Run();
+  return 0;
+}

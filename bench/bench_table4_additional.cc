@@ -1,0 +1,34 @@
+// Regenerates paper Table IV: the additional Shanghai (x8) and Chengdu-Few
+// (20% training data) datasets, all nine methods.
+
+#include "bench/bench_common.h"
+
+namespace rntraj {
+namespace {
+
+void RunBlock(const DatasetConfig& cfg, const bench::BenchSettings& settings) {
+  auto ds = BuildDataset(cfg);
+  auto table = bench::MetricsTable();
+  table.PrintTitle("Table IV: " + cfg.name + " (eps_tau = eps_rho * " +
+                   std::to_string(cfg.keep_every) + ")");
+  bench::PrintDatasetBanner(*ds, settings);
+  table.PrintHeader();
+  for (const auto& key : TableThreeMethodKeys()) {
+    bench::MethodResult r = bench::RunMethod(key, *ds, settings);
+    PrintMetricsRow(table, r.name, r.metrics);
+  }
+}
+
+void Run() {
+  const auto settings = bench::Settings();
+  RunBlock(ShanghaiConfig(settings.scale, 8), settings);
+  RunBlock(ChengduFewConfig(settings.scale), settings);
+}
+
+}  // namespace
+}  // namespace rntraj
+
+int main() {
+  rntraj::Run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Regenerates paper Table V: RNTrajRec ablations (w/o GRL, w/o GF, w/o GAT,
+// w/o GN, w/o GCL) on Chengdu x8, plus Porto x8 at full scale. The shape to
+// check: every variant is worse than the full model.
+
+#include <functional>
+
+#include "bench/bench_common.h"
+#include "src/core/rntrajrec.h"
+
+namespace rntraj {
+namespace {
+
+struct Variant {
+  std::string label;
+  std::function<void(RnTrajRecConfig*)> tweak;
+};
+
+std::vector<Variant> Variants() {
+  return {
+      {"w/o GRL",
+       [](RnTrajRecConfig* c) { c->gpsformer.use_grl = false; }},
+      {"w/o GF",
+       [](RnTrajRecConfig* c) { c->gpsformer.grl.use_gated_fusion = false; }},
+      {"w/o GAT",
+       [](RnTrajRecConfig* c) { c->gpsformer.grl.use_gat = false; }},
+      {"w/o GN",
+       [](RnTrajRecConfig* c) { c->gpsformer.grl.use_graph_norm = false; }},
+      {"w/o GCL", [](RnTrajRecConfig* c) { c->use_gcl = false; }},
+      {"RNTrajRec", [](RnTrajRecConfig*) {}},
+  };
+}
+
+void RunBlock(const DatasetConfig& dcfg, const bench::BenchSettings& settings) {
+  auto ds = BuildDataset(dcfg);
+  auto table = bench::MetricsTable();
+  table.PrintTitle("Table V: ablations on " + dcfg.name + " (x" +
+                   std::to_string(dcfg.keep_every) + ")");
+  bench::PrintDatasetBanner(*ds, settings);
+  table.PrintHeader();
+  ModelContext ctx = ModelContext::FromDataset(*ds);
+  for (const auto& variant : Variants()) {
+    SeedGlobalRng(12345);
+    RnTrajRecConfig cfg = DefaultRnTrajRecConfig(settings.dim);
+    variant.tweak(&cfg);
+    cfg.name_suffix = " " + variant.label;
+    RnTrajRec model(cfg, ctx);
+    bench::MethodResult r = bench::RunModel(model, *ds, settings);
+    PrintMetricsRow(table, variant.label, r.metrics);
+  }
+}
+
+void Run() {
+  auto settings = bench::Settings();
+  // Sweep harness: bound total suite time with a shorter schedule.
+  settings.train.epochs = std::max(3, settings.train.epochs * 2 / 3);
+  RunBlock(ChengduConfig(settings.scale, 8), settings);
+  if (settings.scale == BenchScale::kFull) {
+    RunBlock(PortoConfig(settings.scale, 8), settings);
+  }
+}
+
+}  // namespace
+}  // namespace rntraj
+
+int main() {
+  rntraj::Run();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Recovery pipeline comparison: the paper's motivating scenario. Runs the
+// classical two-stage pipeline (Linear+HMM) and the end-to-end RNTrajRec on
+// the same Porto-like dataset and reports all six Table III metrics.
+
+#include <cstdio>
+
+#include "src/baselines/zoo.h"
+#include "src/core/trainer.h"
+#include "src/eval/metrics.h"
+#include "src/eval/report.h"
+#include "src/sim/presets.h"
+
+using namespace rntraj;
+
+int main() {
+  DatasetConfig config = PortoConfig(BenchScale::kTiny, /*keep_every=*/8);
+  auto dataset = BuildDataset(config);
+  ModelContext ctx = ModelContext::FromDataset(*dataset);
+  std::printf("porto-like city: %d segments; recovering %d points from %d "
+              "observations per trajectory\n",
+              dataset->roadnet().num_segments(), config.sim.len_rho,
+              dataset->test()[0].input.size());
+
+  TablePrinter table(
+      {"Method", "Recall", "Precision", "F1", "Accuracy", "MAE", "RMSE"});
+  table.PrintHeader();
+  for (const char* key : {"linear_hmm", "rntrajrec"}) {
+    SeedGlobalRng(3);
+    auto model = MakeModel(key, ctx, /*dim=*/16);
+    TrainConfig tc;
+    tc.epochs = 6;
+    TrainModel(*model, dataset->train(), tc);
+    auto preds = RecoverAll(*model, dataset->test());
+    RecoveryMetrics m =
+        EvaluateRecovery(dataset->netdist(), preds, TruthsOf(dataset->test()));
+    PrintMetricsRow(table, model->name(), m);
+  }
+  std::printf("\n(Tiny scale; run the bench_table3_main binary with "
+              "RNTR_SCALE=small|full for the paper-shaped comparison.)\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Road-embedding explorer: exercises GridGNN on its own. Builds the road
+// representation X_road, then shows that nearest neighbours in embedding
+// space are topologically/spatially coherent (connected or nearby segments).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/gridgnn.h"
+#include "src/sim/city.h"
+
+using namespace rntraj;
+
+namespace {
+
+double CosineSim(const Tensor& x, int a, int b) {
+  const int d = x.dim(1);
+  double dot = 0, na = 0, nb = 0;
+  for (int j = 0; j < d; ++j) {
+    const double va = x.at(a, j);
+    const double vb = x.at(b, j);
+    dot += va * vb;
+    na += va * va;
+    nb += vb * vb;
+  }
+  return dot / std::sqrt(na * nb + 1e-12);
+}
+
+}  // namespace
+
+int main() {
+  SeedGlobalRng(11);
+  CityConfig city;
+  city.rows = 7;
+  city.cols = 7;
+  city.elevated_corridor = true;
+  city.seed = 21;
+  RoadNetwork rn = GenerateCity(city);
+  GridMapping grid(rn.bounds(), 50.0);
+
+  GridGnnConfig cfg;
+  cfg.dim = 32;
+  cfg.gnn_layers = 2;
+  cfg.heads = 4;
+  GridGnn gnn(cfg, &rn, &grid);
+  NoGradGuard guard;
+  Tensor xroad = gnn.Forward();
+  std::printf("X_road: %d segments x %d dims (untrained weights; geometric "
+              "init + GAT smoothing)\n\n",
+              xroad.dim(0), xroad.dim(1));
+
+  // For a few query segments, list the top-3 nearest neighbours in embedding
+  // space and report their planar distance.
+  for (int query : {0, rn.num_segments() / 2, rn.num_segments() - 1}) {
+    std::vector<std::pair<double, int>> sims;
+    for (int v = 0; v < rn.num_segments(); ++v) {
+      if (v != query) sims.push_back({CosineSim(xroad, query, v), v});
+    }
+    std::sort(sims.rbegin(), sims.rend());
+    const Vec2 qm = rn.PointAt(query, 0.5);
+    std::printf("segment %3d (level %d): nearest in embedding space:\n", query,
+                static_cast<int>(rn.segment(query).level));
+    for (int k = 0; k < 3; ++k) {
+      const int v = sims[k].second;
+      std::printf("   #%d: segment %3d  cos=%.3f  planar distance %.0f m\n",
+                  k + 1, v, sims[k].first, Distance(qm, rn.PointAt(v, 0.5)));
+    }
+  }
+  std::printf("\nEmbedding neighbours should be spatially close: the grid GRU "
+              "ties segments sharing cells, the GAT ties connected ones.\n");
+  return 0;
+}

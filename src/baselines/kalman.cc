@@ -1,0 +1,106 @@
+#include "src/baselines/kalman.h"
+
+#include "src/common/check.h"
+
+namespace rntraj {
+
+namespace {
+
+/// Symmetric 2x2 matrix (covariance of [position, velocity]).
+struct Sym2 {
+  double a = 0, b = 0, c = 0;  // [[a, b], [b, c]]
+};
+
+/// One axis of the constant-velocity smoother.
+std::vector<double> Smooth1d(const std::vector<double>& z, double dt,
+                             double q_std, double r_std) {
+  const int n = static_cast<int>(z.size());
+  // State transition F = [[1, dt], [0, 1]]; process noise (white acceleration)
+  // Q = q^2 * [[dt^4/4, dt^3/2], [dt^3/2, dt^2]]; observation H = [1, 0].
+  const double q2 = q_std * q_std;
+  const Sym2 q{q2 * dt * dt * dt * dt / 4.0, q2 * dt * dt * dt / 2.0,
+               q2 * dt * dt};
+  const double r = r_std * r_std;
+
+  std::vector<double> xp(n), vp(n);        // predicted mean
+  std::vector<Sym2> pp(n);                 // predicted covariance
+  std::vector<double> xf(n), vf(n);        // filtered mean
+  std::vector<Sym2> pf(n);                 // filtered covariance
+
+  // Init with the first observation and a diffuse prior.
+  double x = z[0], v = 0.0;
+  Sym2 p{r, 0.0, 100.0};
+  for (int t = 0; t < n; ++t) {
+    if (t > 0) {
+      // Predict.
+      x = x + dt * v;
+      const Sym2 prev = p;
+      p.a = prev.a + 2 * dt * prev.b + dt * dt * prev.c + q.a;
+      p.b = prev.b + dt * prev.c + q.b;
+      p.c = prev.c + q.c;
+    }
+    xp[t] = x;
+    vp[t] = v;
+    pp[t] = p;
+    // Update with observation z[t].
+    const double s = p.a + r;
+    const double kx = p.a / s;
+    const double kv = p.b / s;
+    const double innov = z[t] - x;
+    x += kx * innov;
+    v += kv * innov;
+    const Sym2 prev = p;
+    p.a = (1 - kx) * prev.a;
+    p.b = (1 - kx) * prev.b;
+    p.c = prev.c - kv * prev.b;
+    xf[t] = x;
+    vf[t] = v;
+    pf[t] = p;
+  }
+
+  // RTS backward smoothing.
+  std::vector<double> xs(n);
+  xs[n - 1] = xf[n - 1];
+  double sx = xf[n - 1], sv = vf[n - 1];
+  for (int t = n - 2; t >= 0; --t) {
+    // Smoother gain G = P_f F^T P_p^{-1}(t+1); 2x2 inverse.
+    const Sym2& pfc = pf[t];
+    const Sym2& ppn = pp[t + 1];
+    const double det = ppn.a * ppn.c - ppn.b * ppn.b;
+    RNTRAJ_CHECK_MSG(det > 1e-12, "singular predicted covariance");
+    const double ia = ppn.c / det, ib = -ppn.b / det, ic = ppn.a / det;
+    // P_f F^T = [[pfc.a + dt*pfc.b, pfc.b], [pfc.b + dt*pfc.c, pfc.c]].
+    const double m00 = pfc.a + dt * pfc.b, m01 = pfc.b;
+    const double m10 = pfc.b + dt * pfc.c, m11 = pfc.c;
+    const double g00 = m00 * ia + m01 * ib;
+    const double g01 = m00 * ib + m01 * ic;
+    const double g10 = m10 * ia + m11 * ib;
+    const double g11 = m10 * ib + m11 * ic;
+    const double dx = sx - (xf[t] + dt * vf[t]);
+    const double dv = sv - vf[t];
+    sx = xf[t] + g00 * dx + g01 * dv;
+    sv = vf[t] + g10 * dx + g11 * dv;
+    xs[t] = sx;
+  }
+  return xs;
+}
+
+}  // namespace
+
+std::vector<Vec2> KalmanSmooth(const std::vector<Vec2>& observations, double dt,
+                               const KalmanConfig& cfg) {
+  RNTRAJ_CHECK(dt > 0.0);
+  if (observations.size() <= 1) return observations;
+  std::vector<double> xs(observations.size()), ys(observations.size());
+  for (size_t i = 0; i < observations.size(); ++i) {
+    xs[i] = observations[i].x;
+    ys[i] = observations[i].y;
+  }
+  const auto sx = Smooth1d(xs, dt, cfg.process_noise, cfg.observation_noise);
+  const auto sy = Smooth1d(ys, dt, cfg.process_noise, cfg.observation_noise);
+  std::vector<Vec2> out(observations.size());
+  for (size_t i = 0; i < observations.size(); ++i) out[i] = {sx[i], sy[i]};
+  return out;
+}
+
+}  // namespace rntraj

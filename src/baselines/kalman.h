@@ -1,0 +1,29 @@
+#ifndef RNTRAJ_BASELINES_KALMAN_H_
+#define RNTRAJ_BASELINES_KALMAN_H_
+
+#include <vector>
+
+#include "src/geo/geo.h"
+
+/// \file kalman.h
+/// Constant-velocity Kalman filtering + RTS smoothing of 2-D position
+/// sequences (Kalman [59]); the calibration stage of DHTR [19]. The x and y
+/// axes evolve independently, so the filter runs as two decoupled 1-D
+/// position/velocity filters.
+
+namespace rntraj {
+
+/// Kalman noise parameters.
+struct KalmanConfig {
+  double process_noise = 2.0;     ///< Acceleration noise std (m/s^2).
+  double observation_noise = 25.0;  ///< Measurement noise std (m).
+};
+
+/// Smooths equally spaced (interval `dt`) noisy positions; returns one
+/// smoothed position per input (forward filter + RTS backward pass).
+std::vector<Vec2> KalmanSmooth(const std::vector<Vec2>& observations, double dt,
+                               const KalmanConfig& config = {});
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_BASELINES_KALMAN_H_

@@ -1,0 +1,155 @@
+#include "src/baselines/seq_encoders.h"
+
+#include <algorithm>
+
+namespace rntraj {
+
+// ----- MTrajRec --------------------------------------------------------------
+
+MTrajRecModel::MTrajRecModel(const BaselineConfig& config,
+                             const ModelContext& ctx)
+    : EncoderDecoderModel("MTrajRec", config, ctx),
+      grid_emb_(ctx.grid->num_cells(), cfg_.dim),
+      in_proj_(cfg_.dim + 1, cfg_.dim),
+      gru_(cfg_.dim, cfg_.dim) {
+  RegisterChild("grid_emb", &grid_emb_);
+  grid_emb_.mutable_table().data() =
+      GeometricGridTable(*ctx.grid, cfg_.dim).data();
+  RegisterChild("in_proj", &in_proj_);
+  RegisterChild("gru", &gru_);
+}
+
+EncoderDecoderModel::Encoded MTrajRecModel::Encode(
+    const TrajectorySample& sample) {
+  Tensor g = grid_emb_.Forward(InputGridCells(ctx_, sample));
+  Tensor x = in_proj_.Forward(ConcatCols({g, InputTimeColumn(sample)}));
+  Tensor outputs = gru_.Forward(x).outputs;
+  return {outputs, MakeTrajH(outputs, sample)};
+}
+
+// ----- Transformer -----------------------------------------------------------
+
+TransformerModel::TransformerModel(const BaselineConfig& config,
+                                   const ModelContext& ctx, int num_layers)
+    : EncoderDecoderModel("Transformer+Decoder", config, ctx),
+      grid_emb_(ctx.grid->num_cells(), cfg_.dim),
+      in_proj_(cfg_.dim + 1, cfg_.dim) {
+  RegisterChild("grid_emb", &grid_emb_);
+  grid_emb_.mutable_table().data() =
+      GeometricGridTable(*ctx.grid, cfg_.dim).data();
+  RegisterChild("in_proj", &in_proj_);
+  for (int i = 0; i < num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(
+        cfg_.dim, cfg_.heads, 2 * cfg_.dim));
+    RegisterChild("layer" + std::to_string(i), layers_.back().get());
+  }
+}
+
+EncoderDecoderModel::Encoded TransformerModel::Encode(
+    const TrajectorySample& sample) {
+  Tensor g = grid_emb_.Forward(InputGridCells(ctx_, sample));
+  Tensor x = in_proj_.Forward(ConcatCols({g, InputTimeColumn(sample)}));
+  x = Add(x, SinusoidalPositionEncoding(x.dim(0), cfg_.dim));
+  for (auto& layer : layers_) x = layer->Forward(x);
+  return {x, MakeTrajH(x, sample)};
+}
+
+// ----- t2vec ------------------------------------------------------------------
+
+T2VecModel::T2VecModel(const BaselineConfig& config, const ModelContext& ctx)
+    : EncoderDecoderModel("t2vec+Decoder", config, ctx),
+      grid_emb_(ctx.grid->num_cells(), cfg_.dim),
+      in_proj_(cfg_.dim + 1, cfg_.dim),
+      bilstm_(cfg_.dim, cfg_.dim),
+      out_proj_(2 * cfg_.dim, cfg_.dim) {
+  RegisterChild("grid_emb", &grid_emb_);
+  grid_emb_.mutable_table().data() =
+      GeometricGridTable(*ctx.grid, cfg_.dim).data();
+  RegisterChild("in_proj", &in_proj_);
+  RegisterChild("bilstm", &bilstm_);
+  RegisterChild("out_proj", &out_proj_);
+}
+
+EncoderDecoderModel::Encoded T2VecModel::Encode(const TrajectorySample& sample) {
+  Tensor g = grid_emb_.Forward(InputGridCells(ctx_, sample));
+  Tensor x = in_proj_.Forward(ConcatCols({g, InputTimeColumn(sample)}));
+  Tensor outputs = out_proj_.Forward(bilstm_.Forward(x));
+  return {outputs, MakeTrajH(outputs, sample)};
+}
+
+// ----- T3S --------------------------------------------------------------------
+
+T3sModel::T3sModel(const BaselineConfig& config, const ModelContext& ctx)
+    : EncoderDecoderModel("T3S+Decoder", config, ctx),
+      grid_emb_(ctx.grid->num_cells(), cfg_.dim),
+      in_proj_(cfg_.dim, cfg_.dim),
+      attn_(cfg_.dim, cfg_.heads, 2 * cfg_.dim),
+      coord_lstm_(2, cfg_.dim) {
+  RegisterChild("grid_emb", &grid_emb_);
+  grid_emb_.mutable_table().data() =
+      GeometricGridTable(*ctx.grid, cfg_.dim).data();
+  RegisterChild("in_proj", &in_proj_);
+  RegisterChild("attn", &attn_);
+  RegisterChild("coord_lstm", &coord_lstm_);
+}
+
+EncoderDecoderModel::Encoded T3sModel::Encode(const TrajectorySample& sample) {
+  // Structural branch: self-attention over grid embeddings (no position
+  // encoding, following T3S).
+  Tensor g = in_proj_.Forward(grid_emb_.Forward(InputGridCells(ctx_, sample)));
+  Tensor structural = attn_.Forward(g);
+  // Spatial branch: LSTM over normalised coordinates.
+  Tensor coords = InputNormalizedPositions(ctx_, sample);
+  Tensor spatial = coord_lstm_.Forward(coords).outputs;
+  Tensor outputs = Add(structural, spatial);
+  return {outputs, MakeTrajH(outputs, sample)};
+}
+
+// ----- NeuTraj ----------------------------------------------------------------
+
+NeuTrajModel::NeuTrajModel(const BaselineConfig& config, const ModelContext& ctx)
+    : EncoderDecoderModel("NeuTraj+Decoder", config, ctx),
+      grid_emb_(ctx.grid->num_cells(), cfg_.dim),
+      score_(cfg_.dim, 1),
+      in_proj_(2 * cfg_.dim + 1, cfg_.dim),
+      gru_(cfg_.dim, cfg_.dim) {
+  RegisterChild("grid_emb", &grid_emb_);
+  grid_emb_.mutable_table().data() =
+      GeometricGridTable(*ctx.grid, cfg_.dim).data();
+  RegisterChild("score", &score_);
+  RegisterChild("in_proj", &in_proj_);
+  RegisterChild("gru", &gru_);
+}
+
+Tensor NeuTrajModel::NeighbourhoodFeature(const GridMapping::Cell& cell) const {
+  std::vector<int> neigh;
+  neigh.reserve(9);
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      GridMapping::Cell c{
+          std::clamp(cell.gx + dx, 0, ctx_.grid->cols() - 1),
+          std::clamp(cell.gy + dy, 0, ctx_.grid->rows() - 1)};
+      neigh.push_back(ctx_.grid->CellIndex(c));
+    }
+  }
+  Tensor embs = grid_emb_.Forward(neigh);               // (9, d)
+  Tensor scores = Reshape(score_.Forward(embs), {1, 9});
+  return Matmul(SoftmaxRows(scores), embs);             // (1, d)
+}
+
+EncoderDecoderModel::Encoded NeuTrajModel::Encode(const TrajectorySample& sample) {
+  const int l = sample.input.size();
+  Tensor own = grid_emb_.Forward(InputGridCells(ctx_, sample));  // (l, d)
+  std::vector<Tensor> spatial_rows;
+  spatial_rows.reserve(l);
+  for (const auto& p : sample.input.points) {
+    spatial_rows.push_back(NeighbourhoodFeature(ctx_.grid->CellOf(p.pos)));
+  }
+  Tensor spatial = ConcatRows(spatial_rows);  // (l, d)
+  Tensor x = in_proj_.Forward(
+      ConcatCols({own, spatial, InputTimeColumn(sample)}));
+  Tensor outputs = gru_.Forward(x).outputs;
+  return {outputs, MakeTrajH(outputs, sample)};
+}
+
+}  // namespace rntraj

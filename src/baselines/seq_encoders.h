@@ -1,0 +1,102 @@
+#ifndef RNTRAJ_BASELINES_SEQ_ENCODERS_H_
+#define RNTRAJ_BASELINES_SEQ_ENCODERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/baselines/encdec_base.h"
+#include "src/nn/rnn.h"
+#include "src/nn/transformer.h"
+
+/// \file seq_encoders.h
+/// The grid/coordinate sequence encoders of the paper's baseline zoo
+/// (§VI-A4): MTrajRec (GRU), Transformer, t2vec (BiLSTM), T3S (self-attention
+/// + coordinate LSTM) and NeuTraj (GRU with grid-neighbourhood spatial
+/// attention). Each pairs with the shared decoder.
+
+namespace rntraj {
+
+/// MTrajRec [11]: grid-cell embedding + time feature -> GRU.
+class MTrajRecModel : public EncoderDecoderModel {
+ public:
+  MTrajRecModel(const BaselineConfig& config, const ModelContext& ctx);
+
+ protected:
+  Encoded Encode(const TrajectorySample& sample) override;
+
+ private:
+  Embedding grid_emb_;
+  Linear in_proj_;
+  Gru gru_;
+};
+
+/// Transformer [22] + Decoder: grid/time features through a transformer
+/// encoder stack with position embeddings.
+class TransformerModel : public EncoderDecoderModel {
+ public:
+  TransformerModel(const BaselineConfig& config, const ModelContext& ctx,
+                   int num_layers = 2);
+
+ protected:
+  Encoded Encode(const TrajectorySample& sample) override;
+
+ private:
+  Embedding grid_emb_;
+  Linear in_proj_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+};
+
+/// t2vec [6] + Decoder: BiLSTM over grid embeddings.
+class T2VecModel : public EncoderDecoderModel {
+ public:
+  T2VecModel(const BaselineConfig& config, const ModelContext& ctx);
+
+ protected:
+  Encoded Encode(const TrajectorySample& sample) override;
+
+ private:
+  Embedding grid_emb_;
+  Linear in_proj_;
+  BiLstm bilstm_;
+  Linear out_proj_;  ///< (2d) -> d.
+};
+
+/// T3S [8] + Decoder: self-attention over grid structure plus an LSTM over
+/// raw coordinates, summed.
+class T3sModel : public EncoderDecoderModel {
+ public:
+  T3sModel(const BaselineConfig& config, const ModelContext& ctx);
+
+ protected:
+  Encoded Encode(const TrajectorySample& sample) override;
+
+ private:
+  Embedding grid_emb_;
+  Linear in_proj_;
+  TransformerEncoderLayer attn_;
+  Lstm coord_lstm_;  ///< Over normalised (x, y).
+};
+
+/// NeuTraj [7] + Decoder: GRU whose input augments each grid embedding with
+/// attention over the 3x3 neighbouring cells (the spatial-memory mechanism,
+/// simplified to a differentiable neighbourhood attention).
+class NeuTrajModel : public EncoderDecoderModel {
+ public:
+  NeuTrajModel(const BaselineConfig& config, const ModelContext& ctx);
+
+ protected:
+  Encoded Encode(const TrajectorySample& sample) override;
+
+ private:
+  /// (1, d) spatial attention over the neighbourhood of one cell.
+  Tensor NeighbourhoodFeature(const GridMapping::Cell& cell) const;
+
+  Embedding grid_emb_;
+  Linear score_;     ///< d -> 1 neighbour scoring.
+  Linear in_proj_;   ///< (2d + 1) -> d.
+  Gru gru_;
+};
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_BASELINES_SEQ_ENCODERS_H_

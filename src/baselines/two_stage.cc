@@ -1,0 +1,119 @@
+#include "src/baselines/two_stage.h"
+
+#include <algorithm>
+
+#include "src/traj/resample.h"
+
+namespace rntraj {
+
+// ----- Linear + HMM -----------------------------------------------------------
+
+MatchedTrajectory LinearHmmModel::Recover(const TrajectorySample& sample) {
+  std::vector<double> times;
+  times.reserve(sample.truth.size());
+  for (const auto& p : sample.truth.points) times.push_back(p.t);
+  RawTrajectory dense = LinearInterpolate(sample.input, times);
+  return HmmMapMatch(*ctx_.rn, *ctx_.rtree, *ctx_.netdist, dense, hmm_);
+}
+
+// ----- DHTR + HMM ---------------------------------------------------------------
+
+DhtrModel::DhtrModel(int dim, const ModelContext& ctx)
+    : dim_(dim),
+      ctx_(ctx),
+      grid_emb_(ctx.grid->num_cells(), dim),
+      in_proj_(dim + 1, dim),
+      encoder_(dim, dim),
+      attn_(dim),
+      dec_cell_(dim + 2, dim),
+      coord_head_(dim, 2) {
+  RegisterChild("grid_emb", &grid_emb_);
+  grid_emb_.mutable_table().data() =
+      GeometricGridTable(*ctx.grid, dim).data();
+  RegisterChild("in_proj", &in_proj_);
+  RegisterChild("encoder", &encoder_);
+  RegisterChild("attn", &attn_);
+  RegisterChild("dec_cell", &dec_cell_);
+  RegisterChild("coord_head", &coord_head_);
+}
+
+Tensor DhtrModel::EncodeInput(const TrajectorySample& sample) const {
+  Tensor g = grid_emb_.Forward(InputGridCells(ctx_, sample));
+  Tensor x = in_proj_.Forward(ConcatCols({g, InputTimeColumn(sample)}));
+  return encoder_.Forward(x).outputs;
+}
+
+Vec2 DhtrModel::Unnormalise(float nx, float ny) const {
+  const BBox& b = ctx_.rn->bounds();
+  return {b.min_x + nx * b.width(), b.min_y + ny * b.height()};
+}
+
+Tensor DhtrModel::PredictCoords(const Tensor& enc,
+                                const TrajectorySample& sample,
+                                bool teacher_forcing) const {
+  const BBox& b = ctx_.rn->bounds();
+  const int len = sample.truth.size();
+  const auto keys = attn_.Precompute(enc);
+  Tensor h = Reshape(ColMean(enc), {1, dim_});
+  Tensor prev = Tensor::Full({1, 2}, 0.5f);
+  std::vector<Tensor> rows;
+  rows.reserve(len);
+  for (int j = 0; j < len; ++j) {
+    Tensor a = attn_.Forward(h, keys).context;
+    h = dec_cell_.Forward(ConcatCols({prev, a}), h);
+    Tensor xy = Sigmoid(coord_head_.Forward(h));  // (1, 2) in [0,1]
+    rows.push_back(xy);
+    if (teacher_forcing) {
+      const Vec2 t = ctx_.rn->PointAt(sample.truth.points[j].seg_id,
+                                      sample.truth.points[j].ratio);
+      prev = Tensor::FromVector(
+          {1, 2},
+          {static_cast<float>((t.x - b.min_x) / std::max(1.0, b.width())),
+           static_cast<float>((t.y - b.min_y) / std::max(1.0, b.height()))});
+    } else {
+      prev = xy;
+    }
+  }
+  return ConcatRows(rows);  // (len, 2)
+}
+
+Tensor DhtrModel::TrainLoss(const TrajectorySample& sample) {
+  const BBox& b = ctx_.rn->bounds();
+  Tensor enc = EncodeInput(sample);
+  Tensor pred = PredictCoords(enc, sample, /*teacher_forcing=*/true);
+  const int len = sample.truth.size();
+  std::vector<float> target(static_cast<size_t>(len) * 2);
+  for (int j = 0; j < len; ++j) {
+    const Vec2 t = ctx_.rn->PointAt(sample.truth.points[j].seg_id,
+                                    sample.truth.points[j].ratio);
+    target[2 * j] = static_cast<float>((t.x - b.min_x) / std::max(1.0, b.width()));
+    target[2 * j + 1] =
+        static_cast<float>((t.y - b.min_y) / std::max(1.0, b.height()));
+  }
+  // Scaled MSE: normalised coordinates make losses tiny, so scale up for a
+  // usable gradient signal.
+  return MulScalar(
+      MeanAll(Square(Sub(pred, Tensor::FromVector({len, 2}, target)))), 100.0f);
+}
+
+MatchedTrajectory DhtrModel::Recover(const TrajectorySample& sample) {
+  NoGradGuard guard;
+  Tensor enc = EncodeInput(sample);
+  Tensor pred = PredictCoords(enc, sample, /*teacher_forcing=*/false);
+  // Stage 2a: Kalman RTS calibration of the coordinate sequence.
+  std::vector<Vec2> coords;
+  coords.reserve(pred.dim(0));
+  for (int j = 0; j < pred.dim(0); ++j) {
+    coords.push_back(Unnormalise(pred.at(j, 0), pred.at(j, 1)));
+  }
+  coords = KalmanSmooth(coords, ctx_.eps_rho, kalman_);
+  // Stage 2b: HMM map matching.
+  RawTrajectory dense;
+  dense.points.reserve(coords.size());
+  for (size_t j = 0; j < coords.size(); ++j) {
+    dense.points.push_back({coords[j], sample.truth.points[j].t});
+  }
+  return HmmMapMatch(*ctx_.rn, *ctx_.rtree, *ctx_.netdist, dense, hmm_);
+}
+
+}  // namespace rntraj

@@ -1,0 +1,47 @@
+#include "src/baselines/zoo.h"
+
+#include "src/baselines/gts.h"
+#include "src/baselines/seq_encoders.h"
+#include "src/baselines/two_stage.h"
+#include "src/common/check.h"
+#include "src/core/rntrajrec.h"
+
+namespace rntraj {
+
+std::vector<std::string> TableThreeMethodKeys() {
+  return {"linear_hmm", "dhtr_hmm",  "t2vec", "transformer", "mtrajrec",
+          "t3s",        "gts",       "neutraj", "rntrajrec"};
+}
+
+std::unique_ptr<RecoveryModel> MakeModel(const std::string& key,
+                                         const ModelContext& ctx, int dim) {
+  if (key == "linear_hmm") return std::make_unique<LinearHmmModel>(ctx);
+  if (key == "dhtr_hmm") return std::make_unique<DhtrModel>(dim, ctx);
+
+  BaselineConfig bcfg;
+  bcfg.dim = dim;
+  bcfg.heads = std::max(1, dim / 8);
+  if (key == "t2vec") return std::make_unique<T2VecModel>(bcfg, ctx);
+  if (key == "transformer") return std::make_unique<TransformerModel>(bcfg, ctx);
+  if (key == "mtrajrec") return std::make_unique<MTrajRecModel>(bcfg, ctx);
+  if (key == "t3s") return std::make_unique<T3sModel>(bcfg, ctx);
+  if (key == "gts") return std::make_unique<GtsModel>(bcfg, ctx);
+  if (key == "neutraj") return std::make_unique<NeuTrajModel>(bcfg, ctx);
+
+  if (key == "rntrajrec") {
+    return std::make_unique<RnTrajRec>(DefaultRnTrajRecConfig(dim), ctx);
+  }
+  RNTRAJ_CHECK_MSG(false, "unknown method key: " << key);
+}
+
+RnTrajRecConfig DefaultRnTrajRecConfig(int dim) {
+  RnTrajRecConfig cfg;
+  cfg.dim = dim;
+  cfg.gridgnn.heads = std::max(1, dim / 8);
+  cfg.gpsformer.heads = std::max(1, dim / 8);
+  cfg.gpsformer.grl.heads = std::max(1, dim / 8);
+  cfg.Sync();
+  return cfg;
+}
+
+}  // namespace rntraj

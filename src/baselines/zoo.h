@@ -1,0 +1,33 @@
+#ifndef RNTRAJ_BASELINES_ZOO_H_
+#define RNTRAJ_BASELINES_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/model_api.h"
+#include "src/core/rntrajrec.h"
+
+/// \file zoo.h
+/// Factory for every method of the paper's Table III, keyed by short names,
+/// in the paper's row order. Used by the benchmark harnesses to sweep methods
+/// uniformly.
+
+namespace rntraj {
+
+/// Short keys in Table III row order (Linear+HMM ... RNTrajRec).
+std::vector<std::string> TableThreeMethodKeys();
+
+/// Creates a method by key: one of "linear_hmm", "dhtr_hmm", "t2vec",
+/// "transformer", "mtrajrec", "t3s", "gts", "neutraj", "rntrajrec".
+/// `dim` is the hidden size shared by all learned methods.
+std::unique_ptr<RecoveryModel> MakeModel(const std::string& key,
+                                         const ModelContext& ctx, int dim);
+
+/// The default RNTrajRec configuration used by `MakeModel("rntrajrec")`;
+/// exposed so ablation/sweep harnesses can start from the same baseline.
+RnTrajRecConfig DefaultRnTrajRecConfig(int dim);
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_BASELINES_ZOO_H_

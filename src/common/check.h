@@ -1,0 +1,47 @@
+#ifndef RNTRAJ_COMMON_CHECK_H_
+#define RNTRAJ_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+/// \file check.h
+/// Fatal-assertion macros. The library does not use C++ exceptions (Google
+/// style); contract violations are programmer errors and abort with a
+/// diagnostic. Recoverable conditions are reported through return values.
+
+namespace rntraj {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "[RNTRAJ CHECK FAILED] %s:%d: (%s) %s\n", file, line, expr,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace rntraj
+
+/// Aborts with a diagnostic when `cond` is false.
+#define RNTRAJ_CHECK(cond)                                                    \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::rntraj::internal::CheckFailed(__FILE__, __LINE__, #cond, "");         \
+    }                                                                         \
+  } while (0)
+
+/// Aborts with a diagnostic and a streamed message when `cond` is false.
+/// Usage: RNTRAJ_CHECK_MSG(a == b, "got " << a << " want " << b);
+#define RNTRAJ_CHECK_MSG(cond, msg_stream)                                    \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::ostringstream rntraj_check_oss_;                                   \
+      rntraj_check_oss_ << msg_stream;                                        \
+      ::rntraj::internal::CheckFailed(__FILE__, __LINE__, #cond,              \
+                                      rntraj_check_oss_.str());               \
+    }                                                                         \
+  } while (0)
+
+#endif  // RNTRAJ_COMMON_CHECK_H_

@@ -1,0 +1,12 @@
+#include "src/common/random.h"
+
+namespace rntraj {
+
+Rng& GlobalRng() {
+  static Rng rng(42);
+  return rng;
+}
+
+void SeedGlobalRng(uint64_t seed) { GlobalRng().Seed(seed); }
+
+}  // namespace rntraj

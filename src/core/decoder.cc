@@ -1,0 +1,192 @@
+#include "src/core/decoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/features.h"
+#include "src/traj/resample.h"
+
+namespace rntraj {
+
+namespace {
+
+/// Additive logit for segments outside the constraint set. Finite (rather
+/// than -inf) so that a ground-truth segment that falls outside the mask
+/// (possible with heavy GPS noise) yields a large-but-bounded loss instead of
+/// a numerical blow-up. Must sit well below the smallest allowed weight
+/// log(omega) = -(mask_radius/beta)^2 ~= -44.
+constexpr float kForbiddenLogit = -60.0f;
+
+}  // namespace
+
+Decoder::Decoder(const DecoderConfig& config, const ModelContext* ctx)
+    : cfg_(config),
+      ctx_(ctx),
+      seg_emb_(ctx->rn->num_segments(), config.dim),
+      attn_(config.dim),
+      gru_(2 * config.dim + 4, config.dim),
+      id_head_(config.dim, ctx->rn->num_segments()),
+      rate_head_(2 * config.dim, 1) {
+  RegisterChild("seg_emb", &seg_emb_);
+  RegisterChild("attn", &attn_);
+  RegisterChild("gru", &gru_);
+  RegisterChild("id_head", &id_head_);
+  RegisterChild("rate_head", &rate_head_);
+
+  // Geometry-informed init: segment embeddings (and the matching id-head
+  // columns) start from a spatial coordinate system instead of noise; see
+  // GeometricSegmentTable.
+  Tensor geo = GeometricSegmentTable(*ctx->rn, config.dim);
+  seg_emb_.mutable_table().data() = geo.data();
+  id_head_.weight().data() = Transpose(geo).data();
+}
+
+Tensor Decoder::LogConstraintMask(const TrajectorySample& sample,
+                                  int step) const {
+  const int num_segs = ctx_->rn->num_segments();
+  const auto& idx = sample.input_indices;
+  const auto it = std::lower_bound(idx.begin(), idx.end(), step);
+  const bool observed = it != idx.end() && *it == step;
+  if (!observed) return Tensor::Zeros({1, num_segs});
+
+  const int input_pos = static_cast<int>(std::distance(idx.begin(), it));
+  const Vec2& obs = sample.input.points[input_pos].pos;
+  std::vector<float> mask(num_segs, kForbiddenLogit);
+  for (const auto& ns :
+       SegmentsWithinRadius(*ctx_->rn, *ctx_->rtree, obs, cfg_.mask_radius)) {
+    const double z = ns.projection.distance / cfg_.beta;
+    mask[ns.seg_id] = static_cast<float>(-z * z);  // log exp(-(d/beta)^2)
+  }
+  return Tensor::FromVector({1, num_segs}, mask);
+}
+
+const Decoder::SampleCache& Decoder::CacheFor(
+    const TrajectorySample& sample) const {
+  auto it = cache_.find(sample.uid);
+  if (it != cache_.end()) return it->second;
+  SampleCache c;
+  const int len = sample.truth.size();
+  // Dead-reckoned positions per step (from the raw input only).
+  std::vector<double> times;
+  times.reserve(len);
+  for (const auto& p : sample.truth.points) times.push_back(p.t);
+  RawTrajectory interp = LinearInterpolate(sample.input, times);
+
+  // Constraint masks at observed steps; soft spatial prior elsewhere.
+  std::vector<bool> is_observed(len, false);
+  for (int k : sample.input_indices) is_observed[k] = true;
+  c.masks.reserve(len);
+  for (int j = 0; j < len; ++j) {
+    if (is_observed[j]) {
+      c.masks.push_back(LogConstraintMask(sample, j));
+      continue;
+    }
+    std::vector<float> prior(ctx_->rn->num_segments(), cfg_.spatial_prior_floor);
+    for (const auto& ns :
+         SegmentsWithinRadius(*ctx_->rn, *ctx_->rtree, interp.points[j].pos,
+                              cfg_.spatial_prior_radius)) {
+      const double z = ns.projection.distance / cfg_.spatial_prior_sigma;
+      prior[ns.seg_id] =
+          std::max(cfg_.spatial_prior_floor, static_cast<float>(-z * z));
+    }
+    c.masks.push_back(
+        Tensor::FromVector({1, ctx_->rn->num_segments()}, prior));
+  }
+
+  const BBox& b = ctx_->rn->bounds();
+  std::vector<float> feat(static_cast<size_t>(len) * 3);
+  for (int j = 0; j < len; ++j) {
+    feat[3 * j] = static_cast<float>(j) / std::max(1, len - 1);
+    feat[3 * j + 1] = static_cast<float>(
+        (interp.points[j].pos.x - b.min_x) / std::max(1.0, b.width()));
+    feat[3 * j + 2] = static_cast<float>(
+        (interp.points[j].pos.y - b.min_y) / std::max(1.0, b.height()));
+  }
+  c.step_features = Tensor::FromVector({len, 3}, feat);
+  return cache_.emplace(sample.uid, std::move(c)).first->second;
+}
+
+Tensor Decoder::Step(const AdditiveAttention::CachedKeys& keys,
+                     const Tensor& h_prev, const Tensor& x_prev,
+                     const Tensor& r_prev, const Tensor& step_row) const {
+  Tensor a = attn_.Forward(h_prev, keys).context;        // (1, d)
+  Tensor input = ConcatCols({x_prev, r_prev, step_row, a});
+  return gru_.Forward(input, h_prev);
+}
+
+Tensor Decoder::TrainLoss(const Tensor& enc_outputs, const Tensor& traj_h,
+                          const TrajectorySample& sample) const {
+  const int len = sample.truth.size();
+  const SampleCache& cache = CacheFor(sample);
+  const auto& masks = cache.masks;
+  const auto keys = attn_.Precompute(enc_outputs);
+  Tensor h = traj_h;
+  Tensor x_prev = Tensor::Zeros({1, cfg_.dim});
+  Tensor r_prev = Tensor::Zeros({1, 1});
+  std::vector<Tensor> id_terms;
+  std::vector<Tensor> rate_terms;
+  id_terms.reserve(len);
+  rate_terms.reserve(len);
+  for (int j = 0; j < len; ++j) {
+    h = Step(keys, h, x_prev, r_prev, SliceRows(cache.step_features, j, 1));
+    Tensor logits = Add(id_head_.Forward(h), masks[j]);
+    Tensor lsm = LogSoftmaxRows(logits);
+    const int target = sample.truth.points[j].seg_id;
+    id_terms.push_back(Neg(GatherElems(lsm, {target})));
+
+    // Scheduled sampling: feed either the truth or the model's own argmax
+    // forward, so the decoder learns to recover from its mistakes.
+    const bool force = sampling_rng_.Bernoulli(cfg_.teacher_forcing);
+    int fed = target;
+    if (!force) {
+      fed = 0;
+      for (int v = 1; v < logits.cols(); ++v) {
+        if (logits.at(0, v) > logits.at(0, fed)) fed = v;
+      }
+    }
+    Tensor x_j = seg_emb_.Forward({fed});  // (1, d)
+    Tensor r_pred = Sigmoid(rate_head_.Forward(ConcatCols({x_j, h})));
+    const float r_true = static_cast<float>(sample.truth.points[j].ratio);
+    rate_terms.push_back(
+        Reshape(Square(Sub(r_pred, Tensor::Scalar(r_true))), {1}));
+    x_prev = x_j;
+    r_prev = Tensor::Full({1, 1},
+                          force ? r_true : std::clamp(r_pred.item(), 0.0f, 1.0f));
+  }
+  Tensor id_loss = MeanAll(ConcatVec(id_terms));
+  Tensor rate_loss = MeanAll(ConcatVec(rate_terms));
+  return Add(id_loss, MulScalar(rate_loss, cfg_.lambda_rate));
+}
+
+MatchedTrajectory Decoder::Decode(const Tensor& enc_outputs,
+                                  const Tensor& traj_h,
+                                  const TrajectorySample& sample) const {
+  const int len = sample.truth.size();
+  const double t0 = sample.truth.points.front().t;
+  const double eps = ctx_->eps_rho;
+  const SampleCache& cache = CacheFor(sample);
+  const auto& masks = cache.masks;
+  const auto keys = attn_.Precompute(enc_outputs);
+  MatchedTrajectory out;
+  out.points.reserve(len);
+  Tensor h = traj_h;
+  Tensor x_prev = Tensor::Zeros({1, cfg_.dim});
+  Tensor r_prev = Tensor::Zeros({1, 1});
+  for (int j = 0; j < len; ++j) {
+    h = Step(keys, h, x_prev, r_prev, SliceRows(cache.step_features, j, 1));
+    Tensor logits = Add(id_head_.Forward(h), masks[j]);
+    int best = 0;
+    for (int v = 1; v < logits.cols(); ++v) {
+      if (logits.at(0, v) > logits.at(0, best)) best = v;
+    }
+    Tensor x_j = seg_emb_.Forward({best});
+    Tensor r_pred = Sigmoid(rate_head_.Forward(ConcatCols({x_j, h})));
+    const double ratio = std::clamp<double>(r_pred.item(), 0.0, 0.999);
+    out.points.push_back({best, ratio, t0 + j * eps});
+    x_prev = x_j;
+    r_prev = Tensor::Full({1, 1}, static_cast<float>(ratio));
+  }
+  return out;
+}
+
+}  // namespace rntraj

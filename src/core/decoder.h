@@ -1,0 +1,107 @@
+#ifndef RNTRAJ_CORE_DECODER_H_
+#define RNTRAJ_CORE_DECODER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/model_api.h"
+#include "src/nn/attention.h"
+#include "src/nn/linear.h"
+#include "src/nn/rnn.h"
+#include "src/tensor/ops.h"
+
+/// \file decoder.h
+/// The multi-task attention-GRU decoder of MTrajRec [11], reused by the
+/// paper as the decoder of every end-to-end method (paper §IV-G and §V):
+/// per target timestep it attends over encoder outputs, steps a GRU on
+/// [x_{j-1} || r_{j-1} || a_j], predicts the road segment through a
+/// constraint-masked softmax (Eq. (16)) and the moving ratio through a
+/// sigmoid regression head (Eq. (17)).
+
+namespace rntraj {
+
+/// Decoder hyper-parameters.
+struct DecoderConfig {
+  int dim = 32;                ///< Hidden size d.
+  float beta = 15.0f;          ///< Constraint-mask scale (paper: 15 m).
+  double mask_radius = 100.0;  ///< Max GPS error for observed steps (paper: 100 m).
+  float lambda_rate = 10.0f;   ///< Loss weight lambda_1 (paper: 10).
+  /// Scheduled-sampling: probability of feeding the ground truth (vs the
+  /// model's own argmax) forward during training. MTrajRec trains with
+  /// partial teacher forcing to control exposure bias; critical for
+  /// free-running decode quality.
+  double teacher_forcing = 0.5;
+  /// Soft spatial prior at unobserved steps: segments near the dead-reckoned
+  /// (linearly interpolated) position receive an additive logit
+  /// -(d/sigma)^2, floored at `spatial_prior_floor` so the learned logits
+  /// can always override it. At paper scale (d=512, 100k+ trajectories) the
+  /// decoder learns this spatial plausibility itself; at CPU scale we supply
+  /// it as a prior to every method equally (DESIGN.md substitutions).
+  float spatial_prior_sigma = 55.0f;
+  double spatial_prior_radius = 350.0;
+  float spatial_prior_floor = -16.0f;
+};
+
+/// Shared decoder; one instance per model.
+class Decoder : public Module {
+ public:
+  Decoder(const DecoderConfig& config, const ModelContext* ctx);
+
+  /// Teacher-forced training loss L_id + lambda_1 L_rate for one sample.
+  /// `enc_outputs`: (l_tau, d) encoder states; `traj_h`: (1, d) initial GRU
+  /// state (trajectory-level representation).
+  Tensor TrainLoss(const Tensor& enc_outputs, const Tensor& traj_h,
+                   const TrajectorySample& sample) const;
+
+  /// Greedy decoding of the full target trajectory.
+  MatchedTrajectory Decode(const Tensor& enc_outputs, const Tensor& traj_h,
+                           const TrajectorySample& sample) const;
+
+  /// The road-segment embedding table (shared with the id head input x_j).
+  const Embedding& seg_embedding() const { return seg_emb_; }
+
+  /// Scheduled-sampling probability (see DecoderConfig::teacher_forcing).
+  void set_teacher_forcing(double prob) { cfg_.teacher_forcing = prob; }
+
+ private:
+  /// Constant per-sample decoding context, cached across epochs.
+  struct SampleCache {
+    /// Constraint log-masks plus the soft spatial prior, one (1, |V|) tensor
+    /// per target step.
+    std::vector<Tensor> masks;
+    /// (len, 3) per-step input features derivable from the raw input alone:
+    /// normalised target time plus the linearly interpolated observed
+    /// position. At paper scale the decoder learns this dead-reckoning
+    /// internally (d=512); at CPU scale we provide it as an input channel to
+    /// every method equally (see DESIGN.md substitutions).
+    Tensor step_features;
+  };
+
+  /// Additive log-mask over segments for target step j (paper's constraint
+  /// mask layer): observed steps allow only segments within mask_radius of
+  /// the observation, weighted exp(-(d/beta)^2); unobserved steps are
+  /// unconstrained. Returns a (1, |V|) constant tensor.
+  Tensor LogConstraintMask(const TrajectorySample& sample, int step) const;
+
+  const SampleCache& CacheFor(const TrajectorySample& sample) const;
+
+  /// One GRU step; returns the new hidden state (1, d). `step_row` is the
+  /// (1, 3) per-step feature row from SampleCache.
+  Tensor Step(const AdditiveAttention::CachedKeys& keys, const Tensor& h_prev,
+              const Tensor& x_prev, const Tensor& r_prev,
+              const Tensor& step_row) const;
+
+  DecoderConfig cfg_;
+  const ModelContext* ctx_;
+  Embedding seg_emb_;
+  AdditiveAttention attn_;
+  GruCell gru_;
+  Linear id_head_;
+  Linear rate_head_;
+  mutable std::unordered_map<int64_t, SampleCache> cache_;
+  mutable Rng sampling_rng_{977};  ///< Scheduled-sampling coin flips.
+};
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_CORE_DECODER_H_

@@ -1,0 +1,100 @@
+#include "src/core/features.h"
+
+#include <cmath>
+
+namespace rntraj {
+
+std::vector<int> InputGridCells(const ModelContext& ctx,
+                                const TrajectorySample& sample) {
+  std::vector<int> cells;
+  cells.reserve(sample.input.size());
+  for (const auto& p : sample.input.points) {
+    cells.push_back(ctx.grid->CellIndexOf(p.pos));
+  }
+  return cells;
+}
+
+Tensor InputTimeColumn(const TrajectorySample& sample) {
+  const int l = sample.input.size();
+  const double t0 = sample.truth.points.front().t;
+  const double span = std::max(1.0, sample.truth.duration());
+  std::vector<float> v(l);
+  for (int i = 0; i < l; ++i) {
+    v[i] = static_cast<float>((sample.input.points[i].t - t0) / span);
+  }
+  return Tensor::FromVector({l, 1}, v);
+}
+
+Tensor InputGridCoords(const ModelContext& ctx, const TrajectorySample& sample) {
+  const int l = sample.input.size();
+  std::vector<float> v(static_cast<size_t>(l) * 2);
+  for (int i = 0; i < l; ++i) {
+    const auto cell = ctx.grid->CellOf(sample.input.points[i].pos);
+    v[2 * i] = static_cast<float>(cell.gx) / ctx.grid->cols();
+    v[2 * i + 1] = static_cast<float>(cell.gy) / ctx.grid->rows();
+  }
+  return Tensor::FromVector({l, 2}, v);
+}
+
+Tensor InputNormalizedPositions(const ModelContext& ctx,
+                                const TrajectorySample& sample) {
+  const BBox& b = ctx.rn->bounds();
+  const int l = sample.input.size();
+  std::vector<float> v(static_cast<size_t>(l) * 2);
+  for (int i = 0; i < l; ++i) {
+    const Vec2& p = sample.input.points[i].pos;
+    v[2 * i] = static_cast<float>((p.x - b.min_x) / std::max(1.0, b.width()));
+    v[2 * i + 1] = static_cast<float>((p.y - b.min_y) / std::max(1.0, b.height()));
+  }
+  return Tensor::FromVector({l, 2}, v);
+}
+
+Tensor GeometricSegmentTable(const RoadNetwork& rn, int dim, float noise) {
+  const int n = rn.num_segments();
+  Tensor table = Tensor::Randn({n, dim}, noise);
+  const BBox& b = rn.bounds();
+  for (int i = 0; i < n; ++i) {
+    const RoadSegment& seg = rn.segment(i);
+    const Vec2 mid = seg.geometry.PointAt(0.5);
+    const Vec2 dir = seg.end() - seg.start();
+    const double len = std::max(1.0, Norm(dir));
+    float* row = table.data().data() + static_cast<size_t>(i) * dim;
+    auto set = [&](int c, double v) {
+      if (c < dim) row[c] += static_cast<float>(v);
+    };
+    set(0, 2.0 * (mid.x - b.min_x) / std::max(1.0, b.width()) - 1.0);
+    set(1, 2.0 * (mid.y - b.min_y) / std::max(1.0, b.height()) - 1.0);
+    set(2, dir.x / len);
+    set(3, dir.y / len);
+    set(4, static_cast<double>(static_cast<int>(seg.level)) / kNumRoadLevels);
+    set(5, std::min(1.0, seg.length() / 300.0));
+  }
+  return table;
+}
+
+Tensor GeometricGridTable(const GridMapping& grid, int dim, float noise) {
+  Tensor table = Tensor::Randn({grid.num_cells(), dim}, noise);
+  for (int gy = 0; gy < grid.rows(); ++gy) {
+    for (int gx = 0; gx < grid.cols(); ++gx) {
+      const int idx = grid.CellIndex({gx, gy});
+      float* row = table.data().data() + static_cast<size_t>(idx) * dim;
+      row[0] += static_cast<float>(2.0 * (gx + 0.5) / grid.cols() - 1.0);
+      if (dim > 1) {
+        row[1] += static_cast<float>(2.0 * (gy + 0.5) / grid.rows() - 1.0);
+      }
+    }
+  }
+  return table;
+}
+
+Tensor EnvContext(const TrajectorySample& sample) {
+  std::vector<float> v(kEnvFeatureDim, 0.0f);
+  const double t0 = sample.truth.points.front().t;
+  const int hour = static_cast<int>(std::fmod(t0 / 3600.0, 24.0));
+  v[hour] = 1.0f;
+  const int day = static_cast<int>(t0 / 86400.0) % 7;
+  v[24] = day >= 5 ? 1.0f : 0.0f;  // weekend as the holiday flag
+  return Tensor::FromVector({1, kEnvFeatureDim}, v);
+}
+
+}  // namespace rntraj

@@ -1,0 +1,57 @@
+#ifndef RNTRAJ_CORE_FEATURES_H_
+#define RNTRAJ_CORE_FEATURES_H_
+
+#include <vector>
+
+#include "src/core/model_api.h"
+#include "src/tensor/tensor.h"
+
+/// \file features.h
+/// Shared input featurisation for the encoders: grid-cell ids, normalised
+/// time/position channels, and the environmental context vector f_e (paper
+/// §IV-F: 24-dim hour-of-day one-hot + holiday flag, f_t = 25).
+
+namespace rntraj {
+
+/// Environmental-context feature size (paper f_t).
+inline constexpr int kEnvFeatureDim = 25;
+
+/// Grid-cell index per input point.
+std::vector<int> InputGridCells(const ModelContext& ctx,
+                                const TrajectorySample& sample);
+
+/// (l, 1) column of input timestamps normalised to [0, 1] over the target
+/// window.
+Tensor InputTimeColumn(const TrajectorySample& sample);
+
+/// (l, 2) normalised grid coordinates (gx/cols, gy/rows) per input point
+/// (paper's \hat g_tau channel).
+Tensor InputGridCoords(const ModelContext& ctx, const TrajectorySample& sample);
+
+/// (l, 2) raw planar coordinates normalised to the network bounds; used by
+/// the coordinate-LSTM baselines (T3S).
+Tensor InputNormalizedPositions(const ModelContext& ctx,
+                                const TrajectorySample& sample);
+
+/// (1, 25) environmental context: hour-of-day one-hot + weekend flag from the
+/// trajectory departure time.
+Tensor EnvContext(const TrajectorySample& sample);
+
+/// (|V|, dim) geometry-informed initialisation for road-segment embedding
+/// tables: the first channels encode normalised midpoint, heading, level and
+/// length; the rest are small Gaussian noise. At paper scale (d=512, 150k
+/// trajectories) models learn this spatial coordinate system from data; at
+/// CPU scale we initialise with it so the decoder starts from a usable
+/// geometric prior. Applied to every learned method equally (see DESIGN.md).
+Tensor GeometricSegmentTable(const RoadNetwork& rn, int dim,
+                             float noise = 0.05f);
+
+/// (num_cells, dim) geometry-informed initialisation for grid-cell embedding
+/// tables (first two channels: normalised cell centre), same rationale as
+/// GeometricSegmentTable.
+Tensor GeometricGridTable(const GridMapping& grid, int dim,
+                          float noise = 0.05f);
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_CORE_FEATURES_H_

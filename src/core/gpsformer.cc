@@ -1,0 +1,41 @@
+#include "src/core/gpsformer.h"
+
+namespace rntraj {
+
+GpsFormer::GpsFormer(const GpsFormerConfig& config) : cfg_(config) {
+  cfg_.grl.dim = cfg_.dim;
+  for (int n = 0; n < cfg_.blocks; ++n) {
+    encoder_.push_back(std::make_unique<TransformerEncoderLayer>(
+        cfg_.dim, cfg_.heads, cfg_.ffn_dim));
+    RegisterChild("enc" + std::to_string(n), encoder_.back().get());
+    if (cfg_.use_grl) {
+      grl_.push_back(std::make_unique<GraphRefinementLayer>(cfg_.grl));
+      RegisterChild("grl" + std::to_string(n), grl_.back().get());
+    }
+  }
+}
+
+GpsFormer::Output GpsFormer::Forward(
+    const Tensor& h0, const std::vector<Tensor>& z0,
+    const std::vector<const DenseGraph*>& graphs) {
+  const int l = h0.dim(0);
+  // Eq. (12): add sinusoidal position embeddings.
+  Tensor h = Add(h0, SinusoidalPositionEncoding(l, cfg_.dim));
+  std::vector<Tensor> z = z0;
+  for (int n = 0; n < cfg_.blocks; ++n) {
+    Tensor tr = encoder_[n]->Forward(h);
+    if (!cfg_.use_grl) {
+      h = tr;  // Table V "w/o GRL": temporal modelling only
+      continue;
+    }
+    z = grl_[n]->Forward(tr, z, graphs);
+    // Eq. (13): H^l = GraphReadout(Z^l) by per-sub-graph mean pooling.
+    std::vector<Tensor> rows;
+    rows.reserve(z.size());
+    for (const auto& zi : z) rows.push_back(ColMean(zi));
+    h = ConcatRows(rows);
+  }
+  return {h, z};
+}
+
+}  // namespace rntraj

@@ -1,0 +1,53 @@
+#ifndef RNTRAJ_CORE_GPSFORMER_H_
+#define RNTRAJ_CORE_GPSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/grl.h"
+#include "src/nn/transformer.h"
+
+/// \file gpsformer.h
+/// GPSFormer (paper §IV-F): N stacked GPSFormerBlocks, each a transformer
+/// encoder layer (temporal) followed by a Graph Refinement Layer (spatial)
+/// and a graph mean-pooling readout (Eq. (13)). Position embeddings are added
+/// once before the first block (Eq. (12)).
+
+namespace rntraj {
+
+/// GPSFormer hyper-parameters.
+struct GpsFormerConfig {
+  int dim = 32;
+  int blocks = 2;   ///< N (paper: 2).
+  int heads = 4;    ///< Attention heads (paper: 8 at d=512).
+  int ffn_dim = 64; ///< Transformer feed-forward width.
+  GrlConfig grl;
+  bool use_grl = true;  ///< Table V "w/o GRL": plain transformer stack.
+};
+
+/// The spatial-temporal trajectory encoder.
+class GpsFormer : public Module {
+ public:
+  explicit GpsFormer(const GpsFormerConfig& config);
+
+  struct Output {
+    Tensor h;                ///< (l, d) per-point representation H^N.
+    std::vector<Tensor> z;   ///< Final sub-graph node features Z^N.
+  };
+
+  /// `h0`: (l, d) initial point features; `z0[i]`: (n_i, d) initial sub-graph
+  /// node features; `graphs[i]`: dense masks per timestep.
+  Output Forward(const Tensor& h0, const std::vector<Tensor>& z0,
+                 const std::vector<const DenseGraph*>& graphs);
+
+  const GpsFormerConfig& config() const { return cfg_; }
+
+ private:
+  GpsFormerConfig cfg_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> encoder_;
+  std::vector<std::unique_ptr<GraphRefinementLayer>> grl_;
+};
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_CORE_GPSFORMER_H_

@@ -1,0 +1,98 @@
+#include "src/core/grl.h"
+
+#include "src/nn/init.h"
+
+namespace rntraj {
+
+GraphRefinementLayer::GraphRefinementLayer(const GrlConfig& config)
+    : cfg_(config),
+      fuse_lin_(2 * config.dim, config.dim),
+      fwd_ffn_(config.dim, 2 * config.dim),
+      gn1_(config.dim),
+      gn2_(config.dim),
+      ln1_(config.dim),
+      ln2_(config.dim) {
+  wz1_ = RegisterParameter("wz1", XavierUniform(cfg_.dim, cfg_.dim));
+  wz2_ = RegisterParameter("wz2", XavierUniform(cfg_.dim, cfg_.dim));
+  bz_ = RegisterParameter("bz", Tensor::Zeros({cfg_.dim}));
+  RegisterChild("fuse_lin", &fuse_lin_);
+  RegisterChild("fwd_ffn", &fwd_ffn_);
+  for (int p = 0; p < cfg_.gat_layers; ++p) {
+    gat_.push_back(std::make_unique<GatLayer>(cfg_.dim, cfg_.heads));
+    RegisterChild("gat" + std::to_string(p), gat_.back().get());
+  }
+  if (cfg_.use_graph_norm) {
+    RegisterChild("gn1", &gn1_);
+    RegisterChild("gn2", &gn2_);
+  } else {
+    RegisterChild("ln1", &ln1_);
+    RegisterChild("ln2", &ln2_);
+  }
+}
+
+Tensor GraphRefinementLayer::Fuse(const Tensor& tr_row, const Tensor& z_i) const {
+  const int n = z_i.dim(0);
+  Tensor trx = ExpandRows(tr_row, n);  // (n_i, d)
+  if (!cfg_.use_gated_fusion) {
+    // Table V "w/o GF": concatenation + feed-forward.
+    return Relu(fuse_lin_.Forward(ConcatCols({trx, z_i})));
+  }
+  // Eq. (7): z = sigma(tr W1 + Z W2 + b); out = z*tr + (1-z)*Z.
+  Tensor gate = Sigmoid(Add(Add(Matmul(trx, wz1_), Matmul(z_i, wz2_)), bz_));
+  return Add(Mul(gate, trx), Mul(AddScalar(Neg(gate), 1.0f), z_i));
+}
+
+std::vector<Tensor> GraphRefinementLayer::Normalise(
+    int which, const std::vector<Tensor>& parts) {
+  std::vector<int> sizes;
+  sizes.reserve(parts.size());
+  for (const auto& p : parts) sizes.push_back(p.dim(0));
+  Tensor all = ConcatRows(parts);
+  Tensor normed;
+  if (cfg_.use_graph_norm) {
+    normed = (which == 0 ? gn1_ : gn2_).Forward(all, sizes);
+  } else {
+    normed = (which == 0 ? ln1_ : ln2_).Forward(all);
+  }
+  std::vector<Tensor> out;
+  out.reserve(parts.size());
+  int off = 0;
+  for (int s : sizes) {
+    out.push_back(SliceRows(normed, off, s));
+    off += s;
+  }
+  return out;
+}
+
+std::vector<Tensor> GraphRefinementLayer::Forward(
+    const Tensor& tr, const std::vector<Tensor>& z,
+    const std::vector<const DenseGraph*>& graphs) {
+  RNTRAJ_CHECK(static_cast<size_t>(tr.dim(0)) == z.size());
+  RNTRAJ_CHECK(z.size() == graphs.size());
+  const int l = tr.dim(0);
+
+  // Sub-layer 1: GraphNorm(x + GatedFusion(x)).
+  std::vector<Tensor> fused;
+  fused.reserve(l);
+  for (int i = 0; i < l; ++i) {
+    Tensor tr_row = SliceRows(tr, i, 1);
+    fused.push_back(Add(z[i], Fuse(tr_row, z[i])));
+  }
+  std::vector<Tensor> a = Normalise(0, fused);
+
+  // Sub-layer 2: GraphNorm(x + GraphForward(x)).
+  std::vector<Tensor> forwarded;
+  forwarded.reserve(l);
+  for (int i = 0; i < l; ++i) {
+    Tensor g = a[i];
+    if (cfg_.use_gat) {
+      for (auto& layer : gat_) g = layer->Forward(g, *graphs[i]);
+    } else {
+      g = fwd_ffn_.Forward(g);  // Table V "w/o GAT"
+    }
+    forwarded.push_back(Add(a[i], g));
+  }
+  return Normalise(1, forwarded);
+}
+
+}  // namespace rntraj

@@ -1,0 +1,75 @@
+#ifndef RNTRAJ_CORE_GRL_H_
+#define RNTRAJ_CORE_GRL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/graph.h"
+#include "src/nn/linear.h"
+#include "src/nn/norm.h"
+#include "src/nn/transformer.h"
+#include "src/tensor/ops.h"
+
+/// \file grl.h
+/// Graph Refinement Layer (paper §IV-D, Fig. 3): the spatial half of a
+/// GPSFormer block. Per sub-layer residual structure
+/// GraphNorm(x + SubLayer(x)), where the first sub-layer is GatedFusion
+/// (Eq. (7)) mixing the transformer output into each sub-graph's node
+/// features and the second is GraphForward (a stack of P GAT layers).
+///
+/// Ablation switches reproduce Table V variants: `use_gated_fusion=false`
+/// replaces gated fusion by concat+FFN (w/o GF), `use_graph_norm=false`
+/// swaps GraphNorm for LayerNorm (w/o GN), `use_gat=false` swaps
+/// GraphForward for a feed-forward network (w/o GAT).
+
+namespace rntraj {
+
+/// GRL hyper-parameters and ablation switches.
+struct GrlConfig {
+  int dim = 32;
+  int gat_layers = 1;  ///< P (paper: 1).
+  int heads = 4;
+  bool use_gated_fusion = true;
+  bool use_graph_norm = true;
+  bool use_gat = true;
+};
+
+/// One graph refinement layer. Operates on all timesteps of one trajectory
+/// jointly so GraphNorm sees the full set of sub-graphs (paper Eq. (9)).
+class GraphRefinementLayer : public Module {
+ public:
+  explicit GraphRefinementLayer(const GrlConfig& config);
+
+  /// `tr`: (l, d) transformer-encoder output; `z[i]`: (n_i, d) node features
+  /// of timestep i's sub-graph; `graphs[i]`: matching dense masks.
+  /// Returns the refined node features (same shapes as `z`).
+  std::vector<Tensor> Forward(const Tensor& tr, const std::vector<Tensor>& z,
+                              const std::vector<const DenseGraph*>& graphs);
+
+ private:
+  /// GatedFusion (Eq. (7)) or the w/o-GF concat+FFN replacement.
+  Tensor Fuse(const Tensor& tr_row, const Tensor& z_i) const;
+
+  /// Concat -> normalise -> split, with GraphNorm or LayerNorm.
+  std::vector<Tensor> Normalise(int which, const std::vector<Tensor>& parts);
+
+  GrlConfig cfg_;
+  // Gated fusion parameters (Eq. (7)).
+  Tensor wz1_;
+  Tensor wz2_;
+  Tensor bz_;
+  // w/o GF replacement.
+  Linear fuse_lin_;
+  // Graph forward: P GAT layers, or the w/o-GAT feed-forward.
+  std::vector<std::unique_ptr<GatLayer>> gat_;
+  FeedForward fwd_ffn_;
+  // Normalisation (two sub-layers).
+  GraphNorm gn1_;
+  GraphNorm gn2_;
+  LayerNorm ln1_;
+  LayerNorm ln2_;
+};
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_CORE_GRL_H_

@@ -1,0 +1,85 @@
+#ifndef RNTRAJ_CORE_MODEL_API_H_
+#define RNTRAJ_CORE_MODEL_API_H_
+
+#include <string>
+#include <vector>
+
+#include "src/roadnet/grid.h"
+#include "src/roadnet/road_network.h"
+#include "src/roadnet/rtree.h"
+#include "src/sim/dataset.h"
+#include "src/tensor/tensor.h"
+#include "src/traj/trajectory.h"
+
+/// \file model_api.h
+/// The unified interface every trajectory-recovery method implements
+/// (RNTrajRec, the seven learned baselines, and the non-learned two-stage
+/// pipelines), so the benchmark harness can sweep methods uniformly.
+
+namespace rntraj {
+
+/// Shared, read-only dataset resources handed to models at construction.
+struct ModelContext {
+  const RoadNetwork* rn = nullptr;
+  const GridMapping* grid = nullptr;
+  const RTree* rtree = nullptr;
+  NetworkDistance* netdist = nullptr;
+  double eps_rho = 12.0;
+
+  static ModelContext FromDataset(const Dataset& ds) {
+    return {&ds.roadnet(), &ds.grid(), &ds.rtree(), &ds.netdist(),
+            ds.config().sim.eps_rho};
+  }
+};
+
+/// A trajectory-recovery method.
+///
+/// Training contract: the harness calls `BeginBatch()` once per optimiser
+/// step, then sums `TrainLoss` over the batch samples (models with
+/// batch-level shared computation, e.g. RNTrajRec's road representation,
+/// refresh it in BeginBatch). Inference contract: `BeginInference()` once,
+/// then `Recover` per sample; models may only read `input`, `input_indices`,
+/// and the target length/timestamps from the sample.
+class RecoveryModel {
+ public:
+  virtual ~RecoveryModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Learnable parameters (empty for non-learned methods).
+  virtual std::vector<Tensor> Parameters() = 0;
+
+  int64_t ParameterCount() {
+    int64_t n = 0;
+    for (const auto& p : Parameters()) n += p.size();
+    return n;
+  }
+
+  /// True for methods trained by gradient descent.
+  virtual bool IsLearned() const { return true; }
+
+  /// Hook before each optimiser step (refresh batch-shared state).
+  virtual void BeginBatch() {}
+
+  /// Scalar training loss for one sample.
+  virtual Tensor TrainLoss(const TrajectorySample& sample) = 0;
+
+  /// Hook before a sequence of Recover calls (precompute shared state; the
+  /// paper's Fig. 6 likewise excludes road-representation time from
+  /// inference).
+  virtual void BeginInference() {}
+
+  /// Recovers the map-matched eps_rho-interval trajectory.
+  virtual MatchedTrajectory Recover(const TrajectorySample& sample) = 0;
+
+  /// Train/eval mode toggle (dropout, GraphNorm statistics).
+  virtual void SetTrainingMode(bool training) { (void)training; }
+
+  /// Scheduled-sampling knob: probability of feeding ground truth forward
+  /// during decoder training. The trainer decays this across epochs.
+  virtual void SetTeacherForcing(double prob) { (void)prob; }
+};
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_CORE_MODEL_API_H_

@@ -1,0 +1,129 @@
+#include "src/core/rntrajrec.h"
+
+#include <cmath>
+
+#include "src/nn/init.h"
+
+namespace rntraj {
+
+RnTrajRec::RnTrajRec(RnTrajRecConfig config, const ModelContext& ctx)
+    : cfg_([&config] {
+        config.Sync();
+        return config;
+      }()),
+      ctx_(ctx),
+      gridgnn_(cfg_.gridgnn, ctx.rn, ctx.grid),
+      input_proj_(cfg_.dim + 3, cfg_.dim),
+      gpsformer_(cfg_.gpsformer),
+      traj_proj_(cfg_.dim + kEnvFeatureDim, cfg_.dim),
+      decoder_(cfg_.decoder, &ctx_) {
+  RegisterChild("gridgnn", &gridgnn_);
+  RegisterChild("input_proj", &input_proj_);
+  RegisterChild("gpsformer", &gpsformer_);
+  RegisterChild("traj_proj", &traj_proj_);
+  RegisterChild("decoder", &decoder_);
+  gcl_w_ = RegisterParameter("gcl_w", XavierUniform(cfg_.dim, 1));
+}
+
+const std::vector<RnTrajRec::CachedPoint>& RnTrajRec::CachedPoints(
+    const TrajectorySample& sample) {
+  auto it = cache_.find(sample.uid);
+  if (it != cache_.end()) return it->second;
+
+  std::vector<CachedPoint> pts;
+  pts.reserve(sample.input.size());
+  for (const auto& rp : sample.input.points) {
+    CachedPoint cp;
+    cp.sg = ExtractPointSubGraph(*ctx_.rn, *ctx_.rtree, rp.pos, cfg_.delta,
+                                 cfg_.gamma, cfg_.max_subgraph_nodes);
+    cp.dense = BuildDenseGraph(cp.sg.size(), cp.sg.local_edges);
+    const int n = cp.sg.size();
+    std::vector<float> pool(n);
+    std::vector<float> logw(n);
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) total += cp.sg.weights[i];
+    for (int i = 0; i < n; ++i) {
+      pool[i] = static_cast<float>(cp.sg.weights[i] / total);
+      logw[i] = static_cast<float>(std::log(std::max(cp.sg.weights[i], 1e-20)));
+    }
+    cp.pool_weights = Tensor::FromVector({1, n}, pool);
+    cp.log_weights = Tensor::FromVector({1, n}, logw);
+    pts.push_back(std::move(cp));
+  }
+  return cache_.emplace(sample.uid, std::move(pts)).first->second;
+}
+
+void RnTrajRec::BeginBatch() { xroad_ = gridgnn_.Forward(); }
+
+void RnTrajRec::BeginInference() {
+  NoGradGuard guard;
+  xroad_ = gridgnn_.Forward();
+}
+
+RnTrajRec::Encoded RnTrajRec::Encode(const TrajectorySample& sample) {
+  RNTRAJ_CHECK_MSG(xroad_.defined(), "call BeginBatch()/BeginInference() first");
+  const auto& pts = CachedPoints(sample);
+  const int l = sample.input.size();
+
+  // Sub-Graph Generation (paper §IV-C): initial node features Z^0 and the
+  // weighted-mean point features g_p (Eq. (6)).
+  std::vector<Tensor> z0;
+  std::vector<const DenseGraph*> graphs;
+  std::vector<Tensor> gp_rows;
+  z0.reserve(l);
+  graphs.reserve(l);
+  gp_rows.reserve(l);
+  for (const auto& cp : pts) {
+    Tensor zi = GatherRows(xroad_, cp.sg.seg_ids);  // (n_i, d)
+    gp_rows.push_back(Matmul(cp.pool_weights, zi)); // (1, d)
+    z0.push_back(std::move(zi));
+    graphs.push_back(&cp.dense);
+  }
+  Tensor gp = ConcatRows(gp_rows);  // (l, d)
+  Tensor h0 = input_proj_.Forward(ConcatCols(
+      {gp, InputTimeColumn(sample), InputGridCoords(ctx_, sample)}));
+
+  GpsFormer::Output out = gpsformer_.Forward(h0, z0, graphs);
+
+  // Trajectory-level representation: mean pooling + environmental context.
+  Tensor pooled = Reshape(ColMean(out.h), {1, cfg_.dim});
+  Tensor traj_h = traj_proj_.Forward(ConcatCols({pooled, EnvContext(sample)}));
+  return {out.h, traj_h, std::move(out.z), &pts};
+}
+
+Tensor RnTrajRec::GraphClassificationLoss(const Encoded& e,
+                                          const TrajectorySample& sample) const {
+  // Eq. (18): constraint-masked softmax over each final sub-graph's nodes,
+  // supervised by the true segment at the input timestamps.
+  std::vector<Tensor> terms;
+  for (size_t i = 0; i < e.z.size(); ++i) {
+    const CachedPoint& cp = (*e.points)[i];
+    const int truth_seg =
+        sample.truth.points[sample.input_indices[i]].seg_id;
+    const int local = cp.sg.LocalIndexOf(truth_seg);
+    if (local < 0) continue;  // true segment outside the receptive field
+    Tensor logits = Reshape(Matmul(e.z[i], gcl_w_), {1, cp.sg.size()});
+    Tensor lsm = LogSoftmaxRows(Add(logits, cp.log_weights));
+    terms.push_back(Neg(GatherElems(lsm, {local})));
+  }
+  if (terms.empty()) return Tensor::Zeros({1});
+  return MeanAll(ConcatVec(terms));
+}
+
+Tensor RnTrajRec::TrainLoss(const TrajectorySample& sample) {
+  Encoded e = Encode(sample);
+  Tensor loss = decoder_.TrainLoss(e.enc, e.traj_h, sample);
+  if (cfg_.use_gcl && cfg_.gpsformer.use_grl) {
+    loss = Add(loss, MulScalar(GraphClassificationLoss(e, sample),
+                               cfg_.lambda_gcl));
+  }
+  return loss;
+}
+
+MatchedTrajectory RnTrajRec::Recover(const TrajectorySample& sample) {
+  NoGradGuard guard;
+  Encoded e = Encode(sample);
+  return decoder_.Decode(e.enc, e.traj_h, sample);
+}
+
+}  // namespace rntraj

@@ -1,0 +1,102 @@
+#ifndef RNTRAJ_CORE_RNTRAJREC_H_
+#define RNTRAJ_CORE_RNTRAJREC_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/decoder.h"
+#include "src/core/features.h"
+#include "src/core/gpsformer.h"
+#include "src/core/gridgnn.h"
+#include "src/core/model_api.h"
+#include "src/roadnet/subgraph.h"
+
+/// \file rntrajrec.h
+/// RNTrajRec (paper §IV-§V), the primary contribution: GridGNN road
+/// representation + Sub-Graph Generation + GPSFormer encoder + the
+/// multi-task constraint-mask decoder, trained with
+/// L = L_id + lambda_1 L_rate + lambda_2 L_enc (Eq. (19)).
+
+namespace rntraj {
+
+/// Full model hyper-parameters (paper defaults annotated).
+struct RnTrajRecConfig {
+  int dim = 32;             ///< Hidden size d (paper: 512/256).
+  double delta = 300.0;     ///< Receptive field delta in meters (paper: 400).
+  double gamma = 30.0;      ///< Sub-graph weight scale gamma (paper: 30).
+  int max_subgraph_nodes = 32;  ///< CPU cap on sub-graph size.
+  float lambda_gcl = 0.1f;  ///< lambda_2 (paper: 0.1).
+  bool use_gcl = true;      ///< Table V "w/o GCL" switch.
+  GridGnnConfig gridgnn;    ///< M=2 GAT layers (paper).
+  GpsFormerConfig gpsformer;  ///< N=2 blocks, P=1 GRL GAT layer (paper).
+  DecoderConfig decoder;
+  std::string name_suffix;  ///< Display suffix for ablation variants.
+
+  /// Propagates `dim` into the sub-configs.
+  void Sync() {
+    gridgnn.dim = dim;
+    gpsformer.dim = dim;
+    gpsformer.ffn_dim = 2 * dim;
+    gpsformer.grl.dim = dim;
+    decoder.dim = dim;
+  }
+};
+
+/// The road-network-enhanced trajectory recovery model.
+class RnTrajRec : public Module, public RecoveryModel {
+ public:
+  RnTrajRec(RnTrajRecConfig config, const ModelContext& ctx);
+
+  std::string name() const override {
+    return "RNTrajRec" + cfg_.name_suffix;
+  }
+  std::vector<Tensor> Parameters() override { return Module::Parameters(); }
+  using Module::ParameterCount;  // disambiguate the two identical helpers
+  void BeginBatch() override;
+  void BeginInference() override;
+  Tensor TrainLoss(const TrajectorySample& sample) override;
+  MatchedTrajectory Recover(const TrajectorySample& sample) override;
+  void SetTrainingMode(bool training) override { SetTraining(training); }
+  void SetTeacherForcing(double prob) override {
+    decoder_.set_teacher_forcing(prob);
+  }
+
+  const RnTrajRecConfig& config() const { return cfg_; }
+
+ private:
+  /// Immutable per-input-point spatial context, cached per sample.
+  struct CachedPoint {
+    PointSubGraph sg;
+    DenseGraph dense;
+    Tensor pool_weights;  ///< (1, n) omega / sum(omega), for Eq. (6).
+    Tensor log_weights;   ///< (1, n) log omega, the Eq. (18) GCL mask.
+  };
+
+  struct Encoded {
+    Tensor enc;                  ///< (l, d) encoder outputs H^N.
+    Tensor traj_h;               ///< (1, d) trajectory-level state.
+    std::vector<Tensor> z;       ///< Final sub-graph features Z^N.
+    const std::vector<CachedPoint>* points;
+  };
+
+  const std::vector<CachedPoint>& CachedPoints(const TrajectorySample& sample);
+  Encoded Encode(const TrajectorySample& sample);
+  Tensor GraphClassificationLoss(const Encoded& e,
+                                 const TrajectorySample& sample) const;
+
+  RnTrajRecConfig cfg_;
+  ModelContext ctx_;
+  GridGnn gridgnn_;
+  Linear input_proj_;   ///< (d+3) -> d (Sub-Graph Generation output).
+  GpsFormer gpsformer_;
+  Linear traj_proj_;    ///< (d + f_t) -> d trajectory-level projection.
+  Decoder decoder_;
+  Tensor gcl_w_;        ///< (d, 1), the Eq. (18) readout weight.
+  Tensor xroad_;        ///< Batch-shared road representation.
+  std::unordered_map<int64_t, std::vector<CachedPoint>> cache_;
+};
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_CORE_RNTRAJREC_H_

@@ -1,0 +1,86 @@
+#include "src/core/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+
+#include "src/common/random.h"
+#include "src/nn/optim.h"
+#include "src/tensor/ops.h"
+
+namespace rntraj {
+
+TrainStats TrainModel(RecoveryModel& model,
+                      const std::vector<TrajectorySample>& data,
+                      const TrainConfig& cfg) {
+  TrainStats stats;
+  if (!model.IsLearned() || data.empty()) return stats;
+
+  const auto start = std::chrono::steady_clock::now();
+  model.SetTrainingMode(true);
+  std::vector<Tensor> params = model.Parameters();
+  Adam opt(params, cfg.lr);
+  Rng rng(cfg.seed);
+
+  std::vector<int> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    // Scheduled sampling: decay teacher forcing from 1.0 towards 0.3 so the
+    // decoder first learns the task, then learns to recover from itself.
+    const double frac = cfg.epochs > 1
+                            ? static_cast<double>(epoch) / (cfg.epochs - 1)
+                            : 1.0;
+    model.SetTeacherForcing(1.0 - 0.7 * frac);
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (size_t i = 0; i < order.size(); i += cfg.batch_size) {
+      const size_t end = std::min(order.size(), i + cfg.batch_size);
+      opt.ZeroGrad();
+      model.BeginBatch();
+      Tensor total;
+      for (size_t j = i; j < end; ++j) {
+        Tensor loss = model.TrainLoss(data[order[j]]);
+        total = total.defined() ? Add(total, loss) : loss;
+      }
+      total = MulScalar(total, 1.0f / static_cast<float>(end - i));
+      epoch_loss += total.item();
+      ++batches;
+      total.Backward();
+      ClipGradNorm(params, cfg.clip_norm);
+      opt.Step();
+    }
+    stats.epoch_losses.push_back(epoch_loss / std::max(1, batches));
+    if (cfg.verbose) {
+      std::fprintf(stderr, "[train] epoch %d/%d loss %.4f\n", epoch + 1,
+                   cfg.epochs, stats.epoch_losses.back());
+    }
+  }
+  model.SetTrainingMode(false);
+  stats.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  return stats;
+}
+
+std::vector<MatchedTrajectory> RecoverAll(
+    RecoveryModel& model, const std::vector<TrajectorySample>& data) {
+  model.SetTrainingMode(false);
+  model.BeginInference();
+  std::vector<MatchedTrajectory> out;
+  out.reserve(data.size());
+  for (const auto& s : data) out.push_back(model.Recover(s));
+  return out;
+}
+
+std::vector<MatchedTrajectory> TruthsOf(
+    const std::vector<TrajectorySample>& data) {
+  std::vector<MatchedTrajectory> out;
+  out.reserve(data.size());
+  for (const auto& s : data) out.push_back(s.truth);
+  return out;
+}
+
+}  // namespace rntraj

@@ -1,0 +1,47 @@
+#ifndef RNTRAJ_CORE_TRAINER_H_
+#define RNTRAJ_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "src/core/model_api.h"
+
+/// \file trainer.h
+/// Generic training/inference harness shared by every learned method: Adam,
+/// mini-batch gradient accumulation, gradient clipping (the paper trains all
+/// models with Adam, lr 1e-3, batch 64; batch/epoch counts here scale with
+/// RNTR_SCALE).
+
+namespace rntraj {
+
+/// Optimisation schedule.
+struct TrainConfig {
+  int epochs = 5;
+  int batch_size = 8;      ///< Gradient-accumulation group size.
+  float lr = 1e-3f;        ///< Paper: 1e-3.
+  double clip_norm = 5.0;  ///< Global-norm clipping for RNN stability.
+  uint64_t seed = 123;
+  bool verbose = false;    ///< Print per-epoch losses to stderr.
+};
+
+/// Per-run training telemetry.
+struct TrainStats {
+  std::vector<double> epoch_losses;
+  double seconds = 0.0;
+};
+
+/// Trains a model in place; a no-op (zero stats) for non-learned methods.
+TrainStats TrainModel(RecoveryModel& model,
+                      const std::vector<TrajectorySample>& data,
+                      const TrainConfig& config);
+
+/// Runs inference over a split (handles mode switches and BeginInference).
+std::vector<MatchedTrajectory> RecoverAll(
+    RecoveryModel& model, const std::vector<TrajectorySample>& data);
+
+/// Ground-truth trajectories of a split (alignment helper for metrics).
+std::vector<MatchedTrajectory> TruthsOf(
+    const std::vector<TrajectorySample>& data);
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_CORE_TRAINER_H_

@@ -1,0 +1,57 @@
+#include "src/eval/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace rntraj {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, int first_width,
+                           int col_width)
+    : headers_(std::move(headers)),
+      first_width_(first_width),
+      col_width_(col_width) {}
+
+std::string TablePrinter::Num(double v, int precision) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(precision);
+  oss << v;
+  return oss.str();
+}
+
+void TablePrinter::PrintTitle(const std::string& title) const {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+void TablePrinter::PrintRule() const {
+  const int total = first_width_ +
+                    col_width_ * static_cast<int>(headers_.size() - 1);
+  std::printf("%s\n", std::string(static_cast<size_t>(total), '-').c_str());
+}
+
+void TablePrinter::PrintHeader() const {
+  std::printf("%-*s", first_width_, headers_[0].c_str());
+  for (size_t i = 1; i < headers_.size(); ++i) {
+    std::printf("%*s", col_width_, headers_[i].c_str());
+  }
+  std::printf("\n");
+  PrintRule();
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  std::printf("%-*s", first_width_, cells[0].c_str());
+  for (size_t i = 1; i < cells.size(); ++i) {
+    std::printf("%*s", col_width_, cells[i].c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+void PrintMetricsRow(const TablePrinter& table, const std::string& method,
+                     const RecoveryMetrics& m) {
+  table.PrintRow({method, TablePrinter::Num(m.recall), TablePrinter::Num(m.precision),
+                  TablePrinter::Num(m.f1), TablePrinter::Num(m.accuracy),
+                  TablePrinter::Num(m.mae, 2), TablePrinter::Num(m.rmse, 2)});
+}
+
+}  // namespace rntraj

@@ -1,0 +1,44 @@
+#ifndef RNTRAJ_EVAL_REPORT_H_
+#define RNTRAJ_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/eval/metrics.h"
+
+/// \file report.h
+/// Fixed-width table printing for the benchmark harnesses; rows mirror the
+/// layout of the paper's tables (method, Recall, Precision, F1, Accuracy,
+/// MAE, RMSE).
+
+namespace rntraj {
+
+/// Streams a fixed-width ASCII table to stdout.
+class TablePrinter {
+ public:
+  /// `headers` define the columns; the first column is left-aligned and
+  /// sized to `first_width`.
+  explicit TablePrinter(std::vector<std::string> headers, int first_width = 26,
+                        int col_width = 11);
+
+  void PrintTitle(const std::string& title) const;
+  void PrintHeader() const;
+  void PrintRow(const std::vector<std::string>& cells) const;
+  void PrintRule() const;
+
+  /// Fixed-precision formatting helper.
+  static std::string Num(double v, int precision = 4);
+
+ private:
+  std::vector<std::string> headers_;
+  int first_width_;
+  int col_width_;
+};
+
+/// Prints one metrics row under the paper's Table III column layout.
+void PrintMetricsRow(const TablePrinter& table, const std::string& method,
+                     const RecoveryMetrics& m);
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_EVAL_REPORT_H_

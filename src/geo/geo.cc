@@ -1,0 +1,69 @@
+#include "src/geo/geo.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rntraj {
+
+double HaversineDistance(const LatLng& a, const LatLng& b) {
+  constexpr double kDegToRad = M_PI / 180.0;
+  const double lat1 = a.lat * kDegToRad;
+  const double lat2 = b.lat * kDegToRad;
+  const double dlat = (b.lat - a.lat) * kDegToRad;
+  const double dlng = (b.lng - a.lng) * kDegToRad;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlng / 2) *
+                       std::sin(dlng / 2);
+  return 2.0 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+PointProjection ProjectOntoSegment(const Vec2& p, const Vec2& a, const Vec2& b) {
+  const Vec2 ab = b - a;
+  const double len2 = Dot(ab, ab);
+  double t = 0.0;
+  if (len2 > 0.0) {
+    t = std::clamp(Dot(p - a, ab) / len2, 0.0, 1.0);
+  }
+  const Vec2 closest = a + ab * t;
+  return {Distance(p, closest), t, closest};
+}
+
+Polyline::Polyline(std::vector<Vec2> points) : points_(std::move(points)) {
+  RNTRAJ_CHECK_MSG(points_.size() >= 2, "polyline needs >= 2 points");
+  cum_.resize(points_.size(), 0.0);
+  bounds_ = BBox::FromPoint(points_[0]);
+  for (size_t i = 1; i < points_.size(); ++i) {
+    cum_[i] = cum_[i - 1] + Distance(points_[i - 1], points_[i]);
+    bounds_.ExpandToInclude(points_[i]);
+  }
+  length_ = cum_.back();
+  RNTRAJ_CHECK_MSG(length_ > 0.0, "degenerate zero-length polyline");
+}
+
+Vec2 Polyline::PointAt(double ratio) const {
+  const double target = std::clamp(ratio, 0.0, 1.0) * length_;
+  // Find the piece containing the target arc length.
+  auto it = std::lower_bound(cum_.begin(), cum_.end(), target);
+  size_t i = static_cast<size_t>(std::distance(cum_.begin(), it));
+  if (i == 0) return points_[0];
+  if (i >= points_.size()) return points_.back();
+  const double seg_len = cum_[i] - cum_[i - 1];
+  const double t = seg_len > 0.0 ? (target - cum_[i - 1]) / seg_len : 0.0;
+  return points_[i - 1] + (points_[i] - points_[i - 1]) * t;
+}
+
+PointProjection Polyline::Project(const Vec2& p) const {
+  PointProjection best;
+  best.distance = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < points_.size(); ++i) {
+    PointProjection proj = ProjectOntoSegment(p, points_[i], points_[i + 1]);
+    if (proj.distance < best.distance) {
+      const double piece_len = cum_[i + 1] - cum_[i];
+      best = proj;
+      best.ratio = (cum_[i] + proj.ratio * piece_len) / length_;
+    }
+  }
+  return best;
+}
+
+}  // namespace rntraj

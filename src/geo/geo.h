@@ -1,0 +1,140 @@
+#ifndef RNTRAJ_GEO_GEO_H_
+#define RNTRAJ_GEO_GEO_H_
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/check.h"
+
+/// \file geo.h
+/// Planar and spherical geometry primitives.
+///
+/// The pipeline works in a local planar frame in meters (`Vec2`): synthetic
+/// cities span a few kilometres, where an equirectangular projection of
+/// WGS-84 coordinates is accurate to centimetres. `LatLng` + `Projection`
+/// provide the boundary conversion used when exporting/importing GPS-like
+/// coordinates (see DESIGN.md substitutions).
+
+namespace rntraj {
+
+/// Planar point/vector in meters.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+};
+
+inline double Dot(const Vec2& a, const Vec2& b) { return a.x * b.x + a.y * b.y; }
+inline double Norm(const Vec2& a) { return std::sqrt(Dot(a, a)); }
+inline double Distance(const Vec2& a, const Vec2& b) { return Norm(a - b); }
+
+/// WGS-84 coordinate.
+struct LatLng {
+  double lat = 0.0;
+  double lng = 0.0;
+};
+
+/// Mean Earth radius (meters).
+inline constexpr double kEarthRadiusM = 6371008.8;
+
+/// Great-circle distance between two WGS-84 points (haversine formula).
+double HaversineDistance(const LatLng& a, const LatLng& b);
+
+/// Equirectangular projection anchored at a reference point: accurate for
+/// city-scale extents, exact inverse of `Unproject`.
+class Projection {
+ public:
+  explicit Projection(const LatLng& anchor) : anchor_(anchor) {
+    cos_lat_ = std::cos(anchor.lat * kDegToRad);
+  }
+
+  Vec2 Project(const LatLng& p) const {
+    return {(p.lng - anchor_.lng) * kDegToRad * kEarthRadiusM * cos_lat_,
+            (p.lat - anchor_.lat) * kDegToRad * kEarthRadiusM};
+  }
+
+  LatLng Unproject(const Vec2& p) const {
+    return {anchor_.lat + p.y / kEarthRadiusM / kDegToRad,
+            anchor_.lng + p.x / (kEarthRadiusM * cos_lat_) / kDegToRad};
+  }
+
+ private:
+  static constexpr double kDegToRad = M_PI / 180.0;
+  LatLng anchor_;
+  double cos_lat_;
+};
+
+/// Axis-aligned bounding box.
+struct BBox {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  bool Contains(const Vec2& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool Intersects(const BBox& o) const {
+    return !(o.min_x > max_x || o.max_x < min_x || o.min_y > max_y ||
+             o.max_y < min_y);
+  }
+
+  void ExpandToInclude(const Vec2& p) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+
+  /// Grown by `r` on every side.
+  BBox Buffered(double r) const {
+    return {min_x - r, min_y - r, max_x + r, max_y + r};
+  }
+
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+
+  static BBox FromPoint(const Vec2& p) { return {p.x, p.y, p.x, p.y}; }
+};
+
+/// Result of projecting a point onto a segment or polyline.
+struct PointProjection {
+  double distance = 0.0;  ///< Planar distance point -> closest point.
+  double ratio = 0.0;     ///< Position of the closest point in [0,1].
+  Vec2 closest;           ///< The closest point itself.
+};
+
+/// Projects `p` onto segment a-b.
+PointProjection ProjectOntoSegment(const Vec2& p, const Vec2& a, const Vec2& b);
+
+/// A directed piecewise-linear curve in the meters plane.
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<Vec2> points);
+
+  const std::vector<Vec2>& points() const { return points_; }
+  double length() const { return length_; }
+  BBox bounds() const { return bounds_; }
+
+  /// The point at `ratio` in [0,1] along the arc length.
+  Vec2 PointAt(double ratio) const;
+
+  /// Projects `p` onto the polyline (closest point over all pieces); the
+  /// returned ratio is measured along the arc length.
+  PointProjection Project(const Vec2& p) const;
+
+ private:
+  std::vector<Vec2> points_;
+  std::vector<double> cum_;  ///< Cumulative arc length per vertex.
+  double length_ = 0.0;
+  BBox bounds_;
+};
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_GEO_GEO_H_

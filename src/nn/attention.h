@@ -1,0 +1,119 @@
+#ifndef RNTRAJ_NN_ATTENTION_H_
+#define RNTRAJ_NN_ATTENTION_H_
+
+#include <cmath>
+#include <vector>
+
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+#include "src/tensor/ops.h"
+
+/// \file attention.h
+/// Scaled dot-product multi-head self-attention (paper Eq. (10)) and the
+/// additive (Bahdanau) attention used by the decoder (paper Eq. (14)).
+
+namespace rntraj {
+
+/// Multi-head self-attention over a sequence of rows.
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int model_dim, int num_heads)
+      : d_(model_dim),
+        heads_(num_heads),
+        dh_(model_dim / num_heads),
+        wq_(model_dim, model_dim, /*bias=*/false),
+        wk_(model_dim, model_dim, /*bias=*/false),
+        wv_(model_dim, model_dim, /*bias=*/false),
+        wo_(model_dim, model_dim, /*bias=*/false) {
+    RNTRAJ_CHECK_MSG(model_dim % num_heads == 0,
+                     "model_dim " << model_dim << " % heads " << num_heads);
+    RegisterChild("wq", &wq_);
+    RegisterChild("wk", &wk_);
+    RegisterChild("wv", &wv_);
+    RegisterChild("wo", &wo_);
+  }
+
+  /// x: (l, d). `additive_mask` (optional, (l, l), no grad) is added to the
+  /// attention logits (use -1e9 entries to forbid positions).
+  Tensor Forward(const Tensor& x, const Tensor& additive_mask = Tensor()) const {
+    const int l = x.dim(0);
+    Tensor q = wq_.Forward(x);
+    Tensor k = wk_.Forward(x);
+    Tensor v = wv_.Forward(x);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh_));
+    std::vector<Tensor> heads;
+    heads.reserve(heads_);
+    for (int h = 0; h < heads_; ++h) {
+      Tensor qh = SliceCols(q, h * dh_, dh_);
+      Tensor kh = SliceCols(k, h * dh_, dh_);
+      Tensor vh = SliceCols(v, h * dh_, dh_);
+      Tensor scores = MulScalar(Matmul(qh, Transpose(kh)), scale);  // (l, l)
+      if (additive_mask.defined()) scores = Add(scores, additive_mask);
+      Tensor attn = SoftmaxRows(scores);
+      heads.push_back(Matmul(attn, vh));  // (l, dh)
+    }
+    (void)l;
+    return wo_.Forward(ConcatCols(heads));
+  }
+
+ private:
+  int d_;
+  int heads_;
+  int dh_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+};
+
+/// Additive attention: score_i = v^T tanh(W_g q + W_h k_i) (paper Eq. (14)).
+class AdditiveAttention : public Module {
+ public:
+  explicit AdditiveAttention(int dim) : dim_(dim) {
+    wg_ = RegisterParameter("wg", XavierUniform(dim, dim));
+    wh_ = RegisterParameter("wh", XavierUniform(dim, dim));
+    v_ = RegisterParameter("v", XavierUniform(dim, 1));
+  }
+
+  struct Output {
+    Tensor weights;  ///< (1, l) attention distribution.
+    Tensor context; ///< (1, d) weighted sum of keys.
+  };
+
+  /// Key-side projection shared by every query against the same keys;
+  /// precompute once per decoded trajectory (the decoder queries the same
+  /// encoder outputs at every step).
+  struct CachedKeys {
+    Tensor keys;  ///< (l, d).
+    Tensor kw;    ///< (l, d) = keys W_h.
+  };
+
+  CachedKeys Precompute(const Tensor& keys) const {
+    return {keys, Matmul(keys, wh_)};
+  }
+
+  /// query: (1, d) against precomputed keys.
+  Output Forward(const Tensor& query, const CachedKeys& cached) const {
+    const int l = cached.keys.dim(0);
+    Tensor qw = Matmul(query, wg_);                       // (1, d)
+    Tensor t = Tanh(Add(cached.kw, ExpandRows(qw, l)));
+    Tensor scores = Reshape(Matmul(t, v_), {1, l});       // (1, l)
+    Tensor alpha = SoftmaxRows(scores);
+    return {alpha, Matmul(alpha, cached.keys)};
+  }
+
+  /// query: (1, d); keys: (l, d).
+  Output Forward(const Tensor& query, const Tensor& keys) const {
+    return Forward(query, Precompute(keys));
+  }
+
+ private:
+  int dim_;
+  Tensor wg_;
+  Tensor wh_;
+  Tensor v_;
+};
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_NN_ATTENTION_H_

@@ -1,0 +1,162 @@
+#ifndef RNTRAJ_NN_GRAPH_H_
+#define RNTRAJ_NN_GRAPH_H_
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+#include "src/tensor/ops.h"
+
+/// \file graph.h
+/// Graph neural layers over dense adjacency masks. Both the road-network
+/// graph (hundreds of nodes) and per-GPS-point sub-graphs (tens of nodes) are
+/// small enough that dense masked attention is the fastest CPU formulation;
+/// the -1e9 mask reproduces sparse neighbourhood softmax exactly (masked
+/// entries underflow to zero probability).
+
+namespace rntraj {
+
+/// Precomputed dense connectivity for one directed graph.
+struct DenseGraph {
+  int n = 0;
+  /// (n,n) 0/1 adjacency including self-loops.
+  Tensor adj_self;
+  /// (n,n) 0/1 adjacency without self-loops.
+  Tensor adj_noself;
+  /// (n,n) additive softmax mask: 0 where adj_self is 1, -1e9 elsewhere.
+  Tensor neg_mask;
+  /// (n,n) symmetric GCN propagation matrix D^-1/2 (A+I) D^-1/2.
+  Tensor gcn_norm;
+};
+
+/// Builds the dense masks for a node count and directed edge list. Edges are
+/// interpreted as (src, dst): dst aggregates from src, i.e. row `dst` attends
+/// over column `src`; callers pass predecessor-style edges for directed road
+/// graphs.
+inline DenseGraph BuildDenseGraph(int n,
+                                  const std::vector<std::pair<int, int>>& edges) {
+  DenseGraph g;
+  g.n = n;
+  g.adj_self = Tensor::Zeros({n, n});
+  g.adj_noself = Tensor::Zeros({n, n});
+  g.neg_mask = Tensor::Full({n, n}, -1e9f);
+  auto set_edge = [&](int row, int col) {
+    g.adj_self.data()[static_cast<size_t>(row) * n + col] = 1.0f;
+    g.neg_mask.data()[static_cast<size_t>(row) * n + col] = 0.0f;
+  };
+  for (int i = 0; i < n; ++i) set_edge(i, i);
+  for (const auto& [src, dst] : edges) {
+    RNTRAJ_CHECK(src >= 0 && src < n && dst >= 0 && dst < n);
+    set_edge(dst, src);
+    g.adj_noself.data()[static_cast<size_t>(dst) * n + src] = 1.0f;
+  }
+  // GCN normalisation over the symmetrised self-loop adjacency.
+  std::vector<float> deg(n, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      deg[i] += g.adj_self.data()[static_cast<size_t>(i) * n + j];
+    }
+  }
+  g.gcn_norm = Tensor::Zeros({n, n});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const float a = g.adj_self.data()[static_cast<size_t>(i) * n + j];
+      if (a != 0.0f) {
+        g.gcn_norm.data()[static_cast<size_t>(i) * n + j] =
+            a / std::sqrt(deg[i] * deg[j]);
+      }
+    }
+  }
+  return g;
+}
+
+/// Multi-head graph attention layer (paper Eq. (3)-(4)).
+class GatLayer : public Module {
+ public:
+  GatLayer(int dim, int num_heads)
+      : d_(dim), heads_(num_heads), dh_(dim / num_heads) {
+    RNTRAJ_CHECK_MSG(dim % num_heads == 0, "GAT: dim % heads != 0");
+    for (int h = 0; h < heads_; ++h) {
+      const std::string suffix = "_h" + std::to_string(h);
+      w_.push_back(RegisterParameter("w" + suffix, XavierUniform(d_, dh_)));
+      w_att_.push_back(RegisterParameter("w_att" + suffix, XavierUniform(d_, dh_)));
+      a_src_.push_back(RegisterParameter("a_src" + suffix, XavierUniform(dh_, 1)));
+      a_dst_.push_back(RegisterParameter("a_dst" + suffix, XavierUniform(dh_, 1)));
+    }
+  }
+
+  /// h: (n, d); g: dense masks for the same n.
+  Tensor Forward(const Tensor& h, const DenseGraph& g) const {
+    RNTRAJ_CHECK(h.dim(0) == g.n);
+    const int n = g.n;
+    std::vector<Tensor> heads;
+    heads.reserve(heads_);
+    for (int k = 0; k < heads_; ++k) {
+      Tensor hw = Matmul(h, w_[k]);          // (n, dh) aggregation features
+      Tensor ha = Matmul(h, w_att_[k]);      // (n, dh) attention features
+      Tensor u = Matmul(ha, a_src_[k]);      // (n, 1): centre term
+      Tensor v = Reshape(Matmul(ha, a_dst_[k]), {n});  // (n): neighbour term
+      // scores_ij = u_i + v_j on edges, -inf elsewhere.
+      Tensor scores = Add(Add(Tensor::Zeros({n, n}), u), v);
+      scores = LeakyRelu(scores, 0.2f);
+      scores = Add(scores, g.neg_mask);
+      Tensor attn = SoftmaxRows(scores);
+      heads.push_back(LeakyRelu(Matmul(attn, hw), 0.2f));
+    }
+    return heads_ == 1 ? heads[0] : ConcatCols(heads);
+  }
+
+ private:
+  int d_;
+  int heads_;
+  int dh_;
+  std::vector<Tensor> w_;
+  std::vector<Tensor> w_att_;
+  std::vector<Tensor> a_src_;
+  std::vector<Tensor> a_dst_;
+};
+
+/// Graph convolution layer (Kipf & Welling) over the dense normalised
+/// adjacency; used by the Fig. 7(a) road-representation ablation and the GTS
+/// baseline.
+class GcnLayer : public Module {
+ public:
+  GcnLayer(int in_dim, int out_dim) : lin_(in_dim, out_dim) {
+    RegisterChild("lin", &lin_);
+  }
+
+  Tensor Forward(const Tensor& h, const DenseGraph& g) const {
+    return Relu(lin_.Forward(Matmul(g.gcn_norm, h)));
+  }
+
+ private:
+  Linear lin_;
+};
+
+/// Graph isomorphism layer (Xu et al.): MLP((1+eps) h + sum of neighbours).
+class GinLayer : public Module {
+ public:
+  GinLayer(int dim, int hidden_dim)
+      : lin1_(dim, hidden_dim), lin2_(hidden_dim, dim) {
+    eps_ = RegisterParameter("eps", Tensor::Zeros({1}));
+    RegisterChild("lin1", &lin1_);
+    RegisterChild("lin2", &lin2_);
+  }
+
+  Tensor Forward(const Tensor& h, const DenseGraph& g) const {
+    Tensor agg = Matmul(g.adj_noself, h);
+    Tensor self = Mul(h, AddScalar(eps_, 1.0f));
+    return lin2_.Forward(Relu(lin1_.Forward(Add(agg, self))));
+  }
+
+ private:
+  Tensor eps_;
+  Linear lin1_;
+  Linear lin2_;
+};
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_NN_GRAPH_H_

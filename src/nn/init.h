@@ -1,0 +1,32 @@
+#ifndef RNTRAJ_NN_INIT_H_
+#define RNTRAJ_NN_INIT_H_
+
+#include <cmath>
+
+#include "src/tensor/tensor.h"
+
+/// \file init.h
+/// Parameter initialisation helpers.
+
+namespace rntraj {
+
+/// Xavier/Glorot uniform init for a (fan_in, fan_out) weight matrix.
+inline Tensor XavierUniform(int fan_in, int fan_out) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Uniform({fan_in, fan_out}, -limit, limit);
+}
+
+/// Uniform init commonly used for recurrent weights: U(-1/sqrt(d), 1/sqrt(d)).
+inline Tensor RnnUniform(const std::vector<int>& shape, int hidden) {
+  const float limit = 1.0f / std::sqrt(static_cast<float>(hidden));
+  return Tensor::Uniform(shape, -limit, limit);
+}
+
+/// Small-Gaussian init for embedding tables.
+inline Tensor EmbeddingInit(int num, int dim) {
+  return Tensor::Randn({num, dim}, 0.1f);
+}
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_NN_INIT_H_

@@ -1,0 +1,102 @@
+#ifndef RNTRAJ_NN_MODULE_H_
+#define RNTRAJ_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+/// \file module.h
+/// Base class for neural-network modules: parameter registration, recursive
+/// parameter collection, train/eval mode.
+
+namespace rntraj {
+
+/// Base class for all learnable components.
+///
+/// Concrete modules own their sub-modules as data members and register them
+/// (non-owning pointers) in their constructor so that `Parameters()` and
+/// `SetTraining()` recurse.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  // Modules own parameters and register raw pointers to members; copying
+  // would silently detach the registry, so forbid it.
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and its registered children.
+  std::vector<Tensor> Parameters() const {
+    std::vector<Tensor> out;
+    CollectParameters(&out);
+    return out;
+  }
+
+  /// Named (dotted-path) parameters, mainly for debugging and tests.
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const {
+    std::vector<std::pair<std::string, Tensor>> out;
+    CollectNamed("", &out);
+    return out;
+  }
+
+  /// Total scalar parameter count.
+  int64_t ParameterCount() const {
+    int64_t n = 0;
+    for (const auto& p : Parameters()) n += p.size();
+    return n;
+  }
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad() {
+    for (auto& p : Parameters()) p.ZeroGrad();
+  }
+
+  /// Switches train/eval mode recursively (affects dropout and GraphNorm).
+  void SetTraining(bool training) {
+    training_ = training;
+    for (auto& [name, child] : children_) child->SetTraining(training);
+  }
+
+  bool training() const { return training_; }
+
+ protected:
+  /// Registers a leaf parameter (sets requires_grad).
+  Tensor RegisterParameter(const std::string& name, Tensor t) {
+    t.set_requires_grad(true);
+    params_.emplace_back(name, t);
+    return t;
+  }
+
+  /// Registers a child module (non-owning; the child must be a member of the
+  /// registering module and therefore outlive it).
+  void RegisterChild(const std::string& name, Module* child) {
+    children_.emplace_back(name, child);
+  }
+
+ private:
+  void CollectParameters(std::vector<Tensor>* out) const {
+    for (const auto& [name, p] : params_) out->push_back(p);
+    for (const auto& [name, c] : children_) c->CollectParameters(out);
+  }
+
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, Tensor>>* out) const {
+    for (const auto& [name, p] : params_) {
+      out->emplace_back(prefix.empty() ? name : prefix + "." + name, p);
+    }
+    for (const auto& [name, c] : children_) {
+      c->CollectNamed(prefix.empty() ? name : prefix + "." + name, out);
+    }
+  }
+
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_NN_MODULE_H_

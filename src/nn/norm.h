@@ -1,0 +1,103 @@
+#ifndef RNTRAJ_NN_NORM_H_
+#define RNTRAJ_NN_NORM_H_
+
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/tensor/ops.h"
+
+/// \file norm.h
+/// LayerNorm (transformer encoder) and GraphNorm (paper Eq. (8)-(9)), the
+/// batch-style normalisation for graph features with temporal dependency.
+
+namespace rntraj {
+
+/// Per-row layer normalisation with learned scale/shift.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int dim, float eps = 1e-5f) : dim_(dim), eps_(eps) {
+    gamma_ = RegisterParameter("gamma", Tensor::Full({dim}, 1.0f));
+    beta_ = RegisterParameter("beta", Tensor::Zeros({dim}));
+  }
+
+  /// x: (n, d) -> (n, d), each row standardised.
+  Tensor Forward(const Tensor& x) const {
+    Tensor mu = RowMean(x);                                  // (n,1)
+    Tensor xc = Sub(x, mu);                                  // col broadcast
+    Tensor var = RowMean(Square(xc));                        // (n,1)
+    Tensor y = Div(xc, Sqrt(AddScalar(var, eps_)));          // col broadcast
+    return Add(Mul(y, gamma_), beta_);                       // row broadcast
+  }
+
+ private:
+  int dim_;
+  float eps_;
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+/// GraphNorm over the node features of a batch of sub-graphs (paper Eq. (9)).
+///
+/// The mean is computed per-dimension over the *graph-pooled* features M
+/// (Eq. (8)) while the variance is computed over all node features — exactly
+/// as written in the paper. Statistics cover all sub-graphs of the mini-batch
+/// (here: all timesteps of one trajectory, the b=1 degenerate case documented
+/// in DESIGN.md). Running estimates are kept for inference.
+class GraphNorm : public Module {
+ public:
+  explicit GraphNorm(int dim, float eps = 1e-5f, float momentum = 0.1f)
+      : dim_(dim), eps_(eps), momentum_(momentum) {
+    gamma_ = RegisterParameter("gamma", Tensor::Full({dim}, 1.0f));
+    beta_ = RegisterParameter("beta", Tensor::Zeros({dim}));
+    running_mean_ = Tensor::Zeros({dim});
+    running_var_ = Tensor::Full({dim}, 1.0f);
+  }
+
+  /// nodes: (sum of sub-graph sizes, d); sizes: node count per sub-graph.
+  Tensor Forward(const Tensor& nodes, const std::vector<int>& sizes) {
+    Tensor mu;
+    Tensor var;
+    if (training()) {
+      // Eq. (8): per-graph mean pooling, stacked to M (num_graphs, d).
+      std::vector<Tensor> means;
+      means.reserve(sizes.size());
+      int off = 0;
+      for (int s : sizes) {
+        means.push_back(ColMean(SliceRows(nodes, off, s)));
+        off += s;
+      }
+      RNTRAJ_CHECK_MSG(off == nodes.dim(0), "GraphNorm: sizes do not cover nodes");
+      Tensor m = ConcatRows(means);
+      mu = ColMean(m);                                       // (d)
+      var = ColMean(Square(Sub(nodes, mu)));                 // (d)
+      UpdateRunning(mu, var);
+    } else {
+      mu = running_mean_;
+      var = running_var_;
+    }
+    Tensor norm = Div(Sub(nodes, mu), Sqrt(AddScalar(var, eps_)));
+    return Add(Mul(norm, gamma_), beta_);
+  }
+
+ private:
+  void UpdateRunning(const Tensor& mu, const Tensor& var) {
+    for (int j = 0; j < dim_; ++j) {
+      running_mean_.data()[j] =
+          (1.0f - momentum_) * running_mean_.data()[j] + momentum_ * mu.at(j);
+      running_var_.data()[j] =
+          (1.0f - momentum_) * running_var_.data()[j] + momentum_ * var.at(j);
+    }
+  }
+
+  int dim_;
+  float eps_;
+  float momentum_;
+  Tensor gamma_;
+  Tensor beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+};
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_NN_NORM_H_

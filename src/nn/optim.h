@@ -1,0 +1,114 @@
+#ifndef RNTRAJ_NN_OPTIM_H_
+#define RNTRAJ_NN_OPTIM_H_
+
+#include <cmath>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+/// \file optim.h
+/// First-order optimisers (SGD, Adam — the paper trains with Adam) and global
+/// gradient-norm clipping.
+
+namespace rntraj {
+
+/// Interface for parameter update rules.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored on parameters.
+  virtual void Step() = 0;
+
+  /// Clears all parameter gradients.
+  void ZeroGrad() {
+    for (auto& p : params_) p.ZeroGrad();
+  }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Plain stochastic gradient descent.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr)
+      : Optimizer(std::move(params)), lr_(lr) {}
+
+  void Step() override {
+    for (auto& p : params_) {
+      auto& g = p.grad();
+      auto& d = p.data();
+      for (size_t i = 0; i < d.size(); ++i) d[i] -= lr_ * g[i];
+    }
+  }
+
+ private:
+  float lr_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f)
+      : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
+        eps_(eps) {
+    m_.resize(params_.size());
+    v_.resize(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i) {
+      m_[i].assign(params_[i].data().size(), 0.0f);
+      v_[i].assign(params_[i].data().size(), 0.0f);
+    }
+  }
+
+  void Step() override {
+    ++t_;
+    const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+    for (size_t i = 0; i < params_.size(); ++i) {
+      auto& g = params_[i].grad();
+      auto& d = params_[i].data();
+      auto& m = m_[i];
+      auto& v = v_[i];
+      for (size_t j = 0; j < d.size(); ++j) {
+        m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+        v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+        const float mh = m[j] / bc1;
+        const float vh = v[j] / bc2;
+        d[j] -= lr_ * mh / (std::sqrt(vh) + eps_);
+      }
+    }
+  }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// Rescales gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm (useful for divergence diagnostics).
+inline double ClipGradNorm(std::vector<Tensor>& params, double max_norm) {
+  double sq = 0.0;
+  for (auto& p : params) {
+    for (float g : p.grad()) sq += static_cast<double>(g) * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const float scale = static_cast<float>(max_norm / norm);
+    for (auto& p : params) {
+      for (auto& g : p.grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_NN_OPTIM_H_

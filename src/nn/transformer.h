@@ -1,0 +1,84 @@
+#ifndef RNTRAJ_NN_TRANSFORMER_H_
+#define RNTRAJ_NN_TRANSFORMER_H_
+
+#include <cmath>
+
+#include "src/nn/attention.h"
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+#include "src/nn/norm.h"
+#include "src/tensor/ops.h"
+
+/// \file transformer.h
+/// Standard transformer encoder layer (paper §IV-E): post-norm residual
+/// multi-head attention + position-wise feed-forward, plus sinusoidal
+/// position encodings (paper Eq. (12)).
+
+namespace rntraj {
+
+/// Position-wise feed-forward: ReLU MLP (paper Eq. (11)).
+class FeedForward : public Module {
+ public:
+  FeedForward(int model_dim, int inner_dim)
+      : lin1_(model_dim, inner_dim), lin2_(inner_dim, model_dim) {
+    RegisterChild("lin1", &lin1_);
+    RegisterChild("lin2", &lin2_);
+  }
+
+  Tensor Forward(const Tensor& x) const {
+    return lin2_.Forward(Relu(lin1_.Forward(x)));
+  }
+
+ private:
+  Linear lin1_;
+  Linear lin2_;
+};
+
+/// One transformer encoder layer with post-layer-norm residual connections:
+/// y = LN(x + MHA(x)); out = LN(y + FFN(y)).
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(int model_dim, int num_heads, int ffn_dim)
+      : attn_(model_dim, num_heads),
+        ffn_(model_dim, ffn_dim),
+        ln1_(model_dim),
+        ln2_(model_dim) {
+    RegisterChild("attn", &attn_);
+    RegisterChild("ffn", &ffn_);
+    RegisterChild("ln1", &ln1_);
+    RegisterChild("ln2", &ln2_);
+  }
+
+  Tensor Forward(const Tensor& x) const {
+    Tensor y = ln1_.Forward(Add(x, attn_.Forward(x)));
+    return ln2_.Forward(Add(y, ffn_.Forward(y)));
+  }
+
+ private:
+  MultiHeadSelfAttention attn_;
+  FeedForward ffn_;
+  LayerNorm ln1_;
+  LayerNorm ln2_;
+};
+
+/// Constant sinusoidal position-encoding matrix (l, d); not learned.
+inline Tensor SinusoidalPositionEncoding(int length, int dim) {
+  Tensor pe = Tensor::Zeros({length, dim});
+  for (int pos = 0; pos < length; ++pos) {
+    for (int i = 0; i < dim; i += 2) {
+      const double angle =
+          pos / std::pow(10000.0, static_cast<double>(i) / dim);
+      pe.data()[static_cast<size_t>(pos) * dim + i] =
+          static_cast<float>(std::sin(angle));
+      if (i + 1 < dim) {
+        pe.data()[static_cast<size_t>(pos) * dim + i + 1] =
+            static_cast<float>(std::cos(angle));
+      }
+    }
+  }
+  return pe;
+}
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_NN_TRANSFORMER_H_

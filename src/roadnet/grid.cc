@@ -1,0 +1,43 @@
+#include "src/roadnet/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rntraj {
+
+GridMapping::GridMapping(const BBox& bounds, double cell_size)
+    : bounds_(bounds.Buffered(cell_size * 0.5)), cell_size_(cell_size) {
+  RNTRAJ_CHECK_MSG(cell_size > 0.0, "cell_size must be positive");
+  cols_ = std::max(1, static_cast<int>(std::ceil(bounds_.width() / cell_size_)));
+  rows_ = std::max(1, static_cast<int>(std::ceil(bounds_.height() / cell_size_)));
+}
+
+GridMapping::Cell GridMapping::CellOf(const Vec2& p) const {
+  int gx = static_cast<int>(std::floor((p.x - bounds_.min_x) / cell_size_));
+  int gy = static_cast<int>(std::floor((p.y - bounds_.min_y) / cell_size_));
+  gx = std::clamp(gx, 0, cols_ - 1);
+  gy = std::clamp(gy, 0, rows_ - 1);
+  return {gx, gy};
+}
+
+Vec2 GridMapping::CellCenter(const Cell& c) const {
+  return {bounds_.min_x + (c.gx + 0.5) * cell_size_,
+          bounds_.min_y + (c.gy + 0.5) * cell_size_};
+}
+
+std::vector<int> GridMapping::GridSequence(const Polyline& line) const {
+  // Sample the arc densely (half-cell steps) and deduplicate consecutive
+  // cells; robust for arbitrary polylines and exact enough at 50 m cells.
+  const int steps =
+      std::max(1, static_cast<int>(std::ceil(line.length() / (cell_size_ * 0.5))));
+  std::vector<int> seq;
+  seq.reserve(steps + 1);
+  for (int i = 0; i <= steps; ++i) {
+    const double ratio = static_cast<double>(i) / steps;
+    const int cell = CellIndexOf(line.PointAt(ratio));
+    if (seq.empty() || seq.back() != cell) seq.push_back(cell);
+  }
+  return seq;
+}
+
+}  // namespace rntraj

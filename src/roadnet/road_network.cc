@@ -1,0 +1,76 @@
+#include "src/roadnet/road_network.h"
+
+#include <queue>
+
+namespace rntraj {
+
+int RoadNetwork::AddSegment(std::vector<Vec2> polyline, RoadLevel level) {
+  RoadSegment seg;
+  seg.id = static_cast<int>(segments_.size());
+  seg.geometry = Polyline(std::move(polyline));
+  seg.level = level;
+  segments_.push_back(std::move(seg));
+  out_.emplace_back();
+  in_.emplace_back();
+  built_ = false;
+  return segments_.back().id;
+}
+
+void RoadNetwork::AddEdge(int from, int to) {
+  RNTRAJ_CHECK(from >= 0 && from < num_segments());
+  RNTRAJ_CHECK(to >= 0 && to < num_segments());
+  if (from == to) return;  // self transitions are implicit
+  out_[from].push_back(to);
+  in_[to].push_back(from);
+  edges_.emplace_back(from, to);
+  built_ = false;
+}
+
+void RoadNetwork::Build() {
+  RNTRAJ_CHECK_MSG(!segments_.empty(), "empty road network");
+  bounds_ = segments_[0].geometry.bounds();
+  for (const auto& s : segments_) {
+    const BBox b = s.geometry.bounds();
+    bounds_.ExpandToInclude({b.min_x, b.min_y});
+    bounds_.ExpandToInclude({b.max_x, b.max_y});
+  }
+  built_ = true;
+}
+
+std::vector<float> RoadNetwork::StaticFeatures(int seg_id) const {
+  RNTRAJ_CHECK_MSG(built_, "call Build() first");
+  const RoadSegment& s = segment(seg_id);
+  std::vector<float> f(kStaticFeatureDim, 0.0f);
+  f[static_cast<int>(s.level)] = 1.0f;
+  f[kNumRoadLevels + 0] = static_cast<float>(s.length() / 1000.0);
+  f[kNumRoadLevels + 1] = static_cast<float>(InEdges(seg_id).size());
+  f[kNumRoadLevels + 2] = static_cast<float>(OutEdges(seg_id).size());
+  return f;
+}
+
+bool RoadNetwork::IsStronglyConnected() const {
+  if (segments_.empty()) return true;
+  // BFS forward and backward from node 0.
+  auto reaches_all = [&](const std::vector<std::vector<int>>& adj) {
+    std::vector<bool> seen(segments_.size(), false);
+    std::queue<int> q;
+    q.push(0);
+    seen[0] = true;
+    int count = 1;
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (int v : adj[u]) {
+        if (!seen[v]) {
+          seen[v] = true;
+          ++count;
+          q.push(v);
+        }
+      }
+    }
+    return count == static_cast<int>(segments_.size());
+  };
+  return reaches_all(out_) && reaches_all(in_);
+}
+
+}  // namespace rntraj

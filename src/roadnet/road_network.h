@@ -1,0 +1,100 @@
+#ifndef RNTRAJ_ROADNET_ROAD_NETWORK_H_
+#define RNTRAJ_ROADNET_ROAD_NETWORK_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/geo/geo.h"
+
+/// \file road_network.h
+/// The directed road network of paper Definition 1: nodes are road segments,
+/// edges capture segment-to-segment connectivity. Matches the paper's
+/// edge-as-node ("dual") formulation, where every GPS point maps to a
+/// (segment id, moving ratio) pair.
+
+namespace rntraj {
+
+/// Road functional classes. The paper one-hot encodes 8 levels as part of the
+/// static segment features f_road.
+enum class RoadLevel : int {
+  kResidential = 0,
+  kTertiary = 1,
+  kSecondary = 2,
+  kPrimary = 3,
+  kTrunk = 4,
+  kMotorwayRamp = 5,
+  kMotorway = 6,
+  kElevated = 7,
+};
+
+inline constexpr int kNumRoadLevels = 8;
+/// Size of the per-segment static feature vector: 8 level one-hot + length +
+/// in-degree + out-degree (paper §VI-A3: f_r = 11).
+inline constexpr int kStaticFeatureDim = kNumRoadLevels + 3;
+
+/// One directed road segment.
+struct RoadSegment {
+  int id = -1;
+  Polyline geometry;
+  RoadLevel level = RoadLevel::kResidential;
+
+  bool elevated() const { return level == RoadLevel::kElevated; }
+  double length() const { return geometry.length(); }
+  Vec2 start() const { return geometry.points().front(); }
+  Vec2 end() const { return geometry.points().back(); }
+};
+
+/// Directed graph over road segments (paper Definition 1).
+class RoadNetwork {
+ public:
+  /// Adds a segment; returns its id.
+  int AddSegment(std::vector<Vec2> polyline, RoadLevel level);
+
+  /// Declares that `to` can be entered directly after traversing `from`.
+  void AddEdge(int from, int to);
+
+  /// Finalises degree counts and bounds; must be called after construction
+  /// and before feature queries. Idempotent.
+  void Build();
+
+  int num_segments() const { return static_cast<int>(segments_.size()); }
+  const RoadSegment& segment(int id) const { return segments_.at(id); }
+
+  const std::vector<int>& OutEdges(int id) const { return out_.at(id); }
+  const std::vector<int>& InEdges(int id) const { return in_.at(id); }
+
+  /// All directed edges (from, to).
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  /// Bounding box over all segment geometry.
+  const BBox& bounds() const { return bounds_; }
+
+  /// Planar location of (segment, moving ratio).
+  Vec2 PointAt(int seg_id, double ratio) const {
+    return segment(seg_id).geometry.PointAt(ratio);
+  }
+
+  /// Projects a planar point onto a segment.
+  PointProjection Project(const Vec2& p, int seg_id) const {
+    return segment(seg_id).geometry.Project(p);
+  }
+
+  /// Static features (paper f_road, 11 dims): level one-hot (8), length
+  /// normalised by 1km, in-degree, out-degree.
+  std::vector<float> StaticFeatures(int seg_id) const;
+
+  /// True if every segment can reach every other (used by simulator tests).
+  bool IsStronglyConnected() const;
+
+ private:
+  std::vector<RoadSegment> segments_;
+  std::vector<std::vector<int>> out_;
+  std::vector<std::vector<int>> in_;
+  std::vector<std::pair<int, int>> edges_;
+  BBox bounds_;
+  bool built_ = false;
+};
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_ROADNET_ROAD_NETWORK_H_

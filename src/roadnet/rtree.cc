@@ -1,0 +1,123 @@
+#include "src/roadnet/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rntraj {
+
+namespace {
+
+BBox Merge(const BBox& a, const BBox& b) {
+  return {std::min(a.min_x, b.min_x), std::min(a.min_y, b.min_y),
+          std::max(a.max_x, b.max_x), std::max(a.max_y, b.max_y)};
+}
+
+double CenterX(const BBox& b) { return 0.5 * (b.min_x + b.max_x); }
+double CenterY(const BBox& b) { return 0.5 * (b.min_y + b.max_y); }
+
+}  // namespace
+
+RTree::RTree(const std::vector<BBox>& boxes, int node_capacity)
+    : item_boxes_(boxes),
+      num_items_(static_cast<int>(boxes.size())),
+      capacity_(node_capacity) {
+  RNTRAJ_CHECK(node_capacity >= 2);
+  if (boxes.empty()) return;
+  std::vector<int> ids(boxes.size());
+  for (size_t i = 0; i < boxes.size(); ++i) ids[i] = static_cast<int>(i);
+  std::vector<int> level = PackLevel(std::move(ids), /*leaf_level=*/true);
+  while (level.size() > 1) {
+    level = PackLevel(std::move(level), /*leaf_level=*/false);
+  }
+  root_ = level[0];
+}
+
+std::vector<int> RTree::PackLevel(std::vector<int> entry_ids, bool leaf_level) {
+  // Sort-Tile-Recursive packing: sort by centre x, cut into vertical slices,
+  // sort each slice by centre y, emit runs of `capacity_` entries.
+  auto box_of = [&](int id) -> const BBox& {
+    return leaf_level ? item_boxes_[id] : nodes_[id].box;
+  };
+  const int n = static_cast<int>(entry_ids.size());
+  const int num_nodes =
+      (n + capacity_ - 1) / capacity_;
+  const int num_slices =
+      std::max(1, static_cast<int>(std::ceil(std::sqrt(num_nodes))));
+  const int slice_size = (n + num_slices - 1) / num_slices;
+
+  std::sort(entry_ids.begin(), entry_ids.end(), [&](int a, int b) {
+    return CenterX(box_of(a)) < CenterX(box_of(b));
+  });
+
+  std::vector<int> created;
+  created.reserve(num_nodes);
+  for (int s = 0; s < n; s += slice_size) {
+    const int e = std::min(n, s + slice_size);
+    std::sort(entry_ids.begin() + s, entry_ids.begin() + e, [&](int a, int b) {
+      return CenterY(box_of(a)) < CenterY(box_of(b));
+    });
+    for (int i = s; i < e; i += capacity_) {
+      Node node;
+      node.leaf = leaf_level;
+      const int j_end = std::min(e, i + capacity_);
+      node.box = box_of(entry_ids[i]);
+      for (int j = i; j < j_end; ++j) {
+        node.entries.push_back(entry_ids[j]);
+        node.box = Merge(node.box, box_of(entry_ids[j]));
+      }
+      created.push_back(static_cast<int>(nodes_.size()));
+      nodes_.push_back(std::move(node));
+    }
+  }
+  return created;
+}
+
+std::vector<int> RTree::Query(const BBox& query) const {
+  std::vector<int> out;
+  if (root_ < 0) return out;
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!node.box.Intersects(query)) continue;
+    if (node.leaf) {
+      for (int id : node.entries) {
+        if (item_boxes_[id].Intersects(query)) out.push_back(id);
+      }
+    } else {
+      for (int child : node.entries) stack.push_back(child);
+    }
+  }
+  return out;
+}
+
+RTree BuildSegmentRTree(const RoadNetwork& rn) {
+  std::vector<BBox> boxes;
+  boxes.reserve(rn.num_segments());
+  for (int i = 0; i < rn.num_segments(); ++i) {
+    boxes.push_back(rn.segment(i).geometry.bounds());
+  }
+  return RTree(boxes);
+}
+
+std::vector<NearbySegment> SegmentsWithinRadius(const RoadNetwork& rn,
+                                                const RTree& rtree, const Vec2& p,
+                                                double radius) {
+  std::vector<NearbySegment> out;
+  double r = radius;
+  // Expand until we find something (guarantees a non-empty sub-graph for
+  // noisy points outside the nominal receptive field).
+  for (int attempt = 0; attempt < 24 && out.empty(); ++attempt, r *= 2.0) {
+    const BBox query = BBox::FromPoint(p).Buffered(r);
+    for (int id : rtree.Query(query)) {
+      PointProjection proj = rn.Project(p, id);
+      if (proj.distance <= r) out.push_back({id, proj});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const NearbySegment& a, const NearbySegment& b) {
+    return a.projection.distance < b.projection.distance;
+  });
+  return out;
+}
+
+}  // namespace rntraj

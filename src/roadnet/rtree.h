@@ -1,0 +1,66 @@
+#ifndef RNTRAJ_ROADNET_RTREE_H_
+#define RNTRAJ_ROADNET_RTREE_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/geo/geo.h"
+#include "src/roadnet/road_network.h"
+
+/// \file rtree.h
+/// Static STR-packed R-tree over rectangles (Guttman [51] / Leutenegger STR
+/// packing). Used by Sub-Graph Generation (paper §IV-C) and HMM candidate
+/// search to find road segments near a GPS point.
+
+namespace rntraj {
+
+/// Bulk-loaded R-tree; immutable after construction.
+class RTree {
+ public:
+  /// Builds over `boxes`; result ids refer to positions in this vector.
+  explicit RTree(const std::vector<BBox>& boxes, int node_capacity = 8);
+
+  /// Ids of all boxes intersecting the query box.
+  std::vector<int> Query(const BBox& query) const;
+
+  int size() const { return num_items_; }
+
+ private:
+  struct Node {
+    BBox box;
+    bool leaf = false;
+    /// Children node indices (internal) or item ids (leaf).
+    std::vector<int> entries;
+  };
+
+  /// Builds one level over entry indices; returns created node indices.
+  std::vector<int> PackLevel(std::vector<int> entry_ids, bool leaf_level);
+
+  std::vector<Node> nodes_;
+  std::vector<BBox> item_boxes_;
+  int root_ = -1;
+  int num_items_ = 0;
+  int capacity_ = 8;
+};
+
+/// A road segment near a query point together with its exact projection.
+struct NearbySegment {
+  int seg_id = -1;
+  PointProjection projection;
+};
+
+/// All segments whose exact geometric distance to `p` is at most `radius`,
+/// sorted by ascending distance. When nothing is inside the radius the search
+/// expands (doubling) until at least one segment is found, so the result is
+/// never empty on a non-empty network — the behaviour Sub-Graph Generation
+/// needs for far-off noisy points.
+std::vector<NearbySegment> SegmentsWithinRadius(const RoadNetwork& rn,
+                                                const RTree& rtree, const Vec2& p,
+                                                double radius);
+
+/// Builds an R-tree over all segment geometries of a road network.
+RTree BuildSegmentRTree(const RoadNetwork& rn);
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_ROADNET_RTREE_H_

@@ -1,0 +1,103 @@
+#include "src/roadnet/shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace rntraj {
+
+const std::vector<double>& NetworkDistance::Row(int src) const {
+  auto it = rows_.find(src);
+  if (it != rows_.end()) return it->second;
+
+  const int n = rn_->num_segments();
+  std::vector<double> dist(n, kUnreachable);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  dist[src] = 0.0;
+  pq.push({0.0, src});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    const double leave_cost = rn_->segment(u).length();
+    for (int v : rn_->OutEdges(u)) {
+      const double nd = d + leave_cost;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        pq.push({nd, v});
+      }
+    }
+  }
+  return rows_.emplace(src, std::move(dist)).first->second;
+}
+
+double NetworkDistance::CycleThrough(int seg) const {
+  const double len = rn_->segment(seg).length();
+  double best = kUnreachable;
+  // Cheapest cycle = len(seg) + min over successors v of dist(v -> seg).
+  for (int v : rn_->OutEdges(seg)) {
+    const double back = Row(v)[seg];
+    if (back < kUnreachable) best = std::min(best, len + back);
+  }
+  return best;
+}
+
+double NetworkDistance::PointToPoint(int seg_a, double ratio_a, int seg_b,
+                                     double ratio_b) const {
+  const double len_a = rn_->segment(seg_a).length();
+  const double len_b = rn_->segment(seg_b).length();
+  if (seg_a == seg_b) {
+    if (ratio_b >= ratio_a) return (ratio_b - ratio_a) * len_a;
+    const double cycle = CycleThrough(seg_a);
+    if (cycle == kUnreachable) return kUnreachable;
+    return cycle - ratio_a * len_a + ratio_b * len_a;
+  }
+  const double ss = StartToStart(seg_a, seg_b);
+  if (ss == kUnreachable) return kUnreachable;
+  return ss - ratio_a * len_a + ratio_b * len_b;
+}
+
+std::vector<int> ShortestSegmentPath(const RoadNetwork& rn, int from, int to) {
+  const int n = rn.num_segments();
+  std::vector<double> dist(n, NetworkDistance::kUnreachable);
+  std::vector<int> parent(n, -1);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  dist[from] = 0.0;
+  pq.push({0.0, from});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (u == to) break;
+    if (d > dist[u]) continue;
+    const double leave_cost = rn.segment(u).length();
+    for (int v : rn.OutEdges(u)) {
+      const double nd = d + leave_cost;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        parent[v] = u;
+        pq.push({nd, v});
+      }
+    }
+  }
+  if (from != to && dist[to] == NetworkDistance::kUnreachable) return {};
+  std::vector<int> path;
+  for (int cur = to; cur != -1; cur = parent[cur]) {
+    path.push_back(cur);
+    if (cur == from) break;
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.front() != from) return {};
+  return path;
+}
+
+double NetworkDistance::Symmetric(int seg_a, double ratio_a, int seg_b,
+                                  double ratio_b) const {
+  const double ab = PointToPoint(seg_a, ratio_a, seg_b, ratio_b);
+  const double ba = PointToPoint(seg_b, ratio_b, seg_a, ratio_a);
+  const double best = std::min(ab, ba);
+  if (best < kUnreachable) return best;
+  return Distance(rn_->PointAt(seg_a, ratio_a), rn_->PointAt(seg_b, ratio_b));
+}
+
+}  // namespace rntraj

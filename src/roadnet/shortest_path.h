@@ -1,0 +1,64 @@
+#ifndef RNTRAJ_ROADNET_SHORTEST_PATH_H_
+#define RNTRAJ_ROADNET_SHORTEST_PATH_H_
+
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "src/roadnet/road_network.h"
+
+/// \file shortest_path.h
+/// Travel distances along the directed road network, used by the HMM
+/// transition model and the network-distance MAE/RMSE metrics (paper §VI-A2
+/// adopts road-network distance for the location error).
+///
+/// Distance model: the cost of the path e_i -> k_1 -> ... -> k_m -> e_j is the
+/// full length of every segment left behind (e_i and the k_t). With
+/// `StartToStart(i, j)` = min over paths of sum(len(u_t), t < last), the
+/// travel distance from point (e_i, r_a) to point (e_j, r_b) is
+///   StartToStart(i, j) - r_a len_i + r_b len_j        (i != j)
+///   (r_b - r_a) len_i                                  (i == j, r_b >= r_a)
+///   CycleThrough(i) - r_a len_i + r_b len_i            (i == j, r_b < r_a).
+
+namespace rntraj {
+
+/// Lazy all-pairs network distances with per-source Dijkstra row caching.
+class NetworkDistance {
+ public:
+  explicit NetworkDistance(const RoadNetwork* rn) : rn_(rn) {}
+
+  static constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+  /// Shortest travel distance from the start of segment `from` to the start
+  /// of segment `to` (0 when from == to).
+  double StartToStart(int from, int to) const { return Row(from)[to]; }
+
+  /// Shortest strictly-positive cycle leaving and re-entering segment `seg`.
+  double CycleThrough(int seg) const;
+
+  /// Directed travel distance between two on-network points.
+  double PointToPoint(int seg_a, double ratio_a, int seg_b, double ratio_b) const;
+
+  /// Symmetrised distance used by MAE/RMSE; falls back to the planar distance
+  /// when the network offers no route in either direction.
+  double Symmetric(int seg_a, double ratio_a, int seg_b, double ratio_b) const;
+
+  /// Number of Dijkstra source rows computed so far (for tests/benchmarks).
+  int cached_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  const std::vector<double>& Row(int src) const;
+
+  const RoadNetwork* rn_;
+  mutable std::unordered_map<int, std::vector<double>> rows_;
+};
+
+/// Shortest (by travelled length) segment sequence from `from` to `to`,
+/// inclusive of both endpoints; empty when unreachable. Used by the route
+/// sampler (vehicles drive purposeful shortest-ish routes) and by route
+/// analysis tooling.
+std::vector<int> ShortestSegmentPath(const RoadNetwork& rn, int from, int to);
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_ROADNET_SHORTEST_PATH_H_

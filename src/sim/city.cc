@@ -1,0 +1,166 @@
+#include "src/sim/city.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace rntraj {
+
+namespace {
+
+/// Book-keeping while wiring segments to lattice nodes.
+struct Builder {
+  RoadNetwork rn;
+  /// node key -> segments starting / ending there.
+  std::unordered_map<int, std::vector<int>> start_at;
+  std::unordered_map<int, std::vector<int>> end_at;
+  /// segment id -> (start node, end node), for U-turn detection.
+  std::vector<std::pair<int, int>> endpoints;
+
+  int AddSeg(std::vector<Vec2> polyline, RoadLevel level, int from_node,
+             int to_node) {
+    const int id = rn.AddSegment(std::move(polyline), level);
+    start_at[from_node].push_back(id);
+    end_at[to_node].push_back(id);
+    endpoints.push_back({from_node, to_node});
+    return id;
+  }
+};
+
+bool IsReverseTwin(const Builder& b, int in_seg, int out_seg) {
+  return b.endpoints[out_seg].first == b.endpoints[in_seg].second &&
+         b.endpoints[out_seg].second == b.endpoints[in_seg].first;
+}
+
+/// Wires all (incoming, outgoing) pairs that meet where `from_node`'s
+/// outgoing set is `to_node`'s (used both for plain nodes, where from == to,
+/// and for ramp-merged node pairs). `trunk_only` restricts the surface side
+/// of ramp connections to trunk segments: vehicles enter/leave the elevated
+/// roadway from the road beneath it, not from side streets.
+void Connect(Builder* b, int from_node, int to_node, bool trunk_only = false) {
+  auto in_it = b->end_at.find(from_node);
+  auto out_it = b->start_at.find(to_node);
+  if (in_it == b->end_at.end() || out_it == b->start_at.end()) return;
+  auto allowed = [&](int seg) {
+    if (!trunk_only) return true;
+    const RoadLevel level = b->rn.segment(seg).level;
+    return level == RoadLevel::kTrunk || level == RoadLevel::kElevated;
+  };
+  for (int in_seg : in_it->second) {
+    if (!allowed(in_seg)) continue;
+    // Count non-U-turn exits; allow the U-turn only when nothing else exists.
+    int alternatives = 0;
+    for (int out_seg : out_it->second) {
+      if (allowed(out_seg) && !IsReverseTwin(*b, in_seg, out_seg)) ++alternatives;
+    }
+    for (int out_seg : out_it->second) {
+      if (!allowed(out_seg)) continue;
+      if (IsReverseTwin(*b, in_seg, out_seg) && alternatives > 0) continue;
+      b->rn.AddEdge(in_seg, out_seg);
+    }
+  }
+}
+
+}  // namespace
+
+RoadNetwork GenerateCity(const CityConfig& cfg) {
+  RNTRAJ_CHECK_MSG(cfg.rows >= 3 && cfg.cols >= 3, "city too small");
+  Rng rng(cfg.seed);
+  Builder b;
+
+  const int corridor = CorridorRow(cfg);
+  auto node_key = [&](int r, int c) { return r * cfg.cols + c; };
+  // Elevated joints live in a disjoint key space.
+  const int kElevatedBase = cfg.rows * cfg.cols;
+  auto elev_key = [&](int c) { return kElevatedBase + c; };
+
+  // Jittered intersection positions.
+  std::vector<Vec2> pos(static_cast<size_t>(cfg.rows) * cfg.cols);
+  for (int r = 0; r < cfg.rows; ++r) {
+    for (int c = 0; c < cfg.cols; ++c) {
+      pos[node_key(r, c)] = {c * cfg.spacing + rng.Gaussian(0, cfg.jitter),
+                             r * cfg.spacing + rng.Gaussian(0, cfg.jitter)};
+    }
+  }
+
+  auto street_level = [&](bool horizontal, int r, int c) {
+    if (horizontal && r == corridor) return RoadLevel::kTrunk;
+    if (horizontal && r % cfg.arterial_every == 0) return RoadLevel::kSecondary;
+    if (!horizontal && c % cfg.arterial_every == 0) return RoadLevel::kSecondary;
+    return RoadLevel::kResidential;
+  };
+
+  auto add_street = [&](int na, int nb, RoadLevel level, bool two_way,
+                        bool forward) {
+    const Vec2 a = pos[na];
+    const Vec2 bp = pos[nb];
+    if (two_way || forward) b.AddSeg({a, bp}, level, na, nb);
+    if (two_way || !forward) b.AddSeg({bp, a}, level, nb, na);
+  };
+
+  for (int r = 0; r < cfg.rows; ++r) {
+    for (int c = 0; c + 1 < cfg.cols; ++c) {
+      const bool border = r == 0 || r == cfg.rows - 1;
+      const RoadLevel level = street_level(true, r, c);
+      const bool two_way = border || level == RoadLevel::kTrunk ||
+                           rng.Bernoulli(cfg.two_way_prob);
+      add_street(node_key(r, c), node_key(r, c + 1), level, two_way,
+                 /*forward=*/r % 2 == 0);
+    }
+  }
+  for (int c = 0; c < cfg.cols; ++c) {
+    for (int r = 0; r + 1 < cfg.rows; ++r) {
+      const bool border = c == 0 || c == cfg.cols - 1;
+      const RoadLevel level = street_level(false, r, c);
+      const bool two_way = border || rng.Bernoulli(cfg.two_way_prob);
+      add_street(node_key(r, c), node_key(r + 1, c), level, two_way,
+                 /*forward=*/c % 2 == 0);
+    }
+  }
+
+  // Elevated expressway parallel to the trunk corridor: long two-way spans
+  // between joints, laterally offset by elevated_offset, with ramps only at
+  // selected joints.
+  std::vector<int> joints;
+  std::vector<int> ramp_joints;
+  if (cfg.elevated_corridor) {
+    const Vec2 off{0.0, cfg.elevated_offset};
+    for (int c = 0; c < cfg.cols; c += cfg.elevated_span) joints.push_back(c);
+    if (joints.back() != cfg.cols - 1) joints.push_back(cfg.cols - 1);
+    for (size_t j = 0; j + 1 < joints.size(); ++j) {
+      const int c0 = joints[j];
+      const int c1 = joints[j + 1];
+      std::vector<Vec2> fwd;
+      for (int c = c0; c <= c1; ++c) fwd.push_back(pos[node_key(corridor, c)] + off);
+      std::vector<Vec2> bwd(fwd.rbegin(), fwd.rend());
+      b.AddSeg(fwd, RoadLevel::kElevated, elev_key(c0), elev_key(c1));
+      b.AddSeg(bwd, RoadLevel::kElevated, elev_key(c1), elev_key(c0));
+    }
+    for (int c : joints) {
+      const bool is_end = c == joints.front() || c == joints.back();
+      if (is_end || c % cfg.ramp_every == 0) ramp_joints.push_back(c);
+    }
+  }
+
+  // Wire connectivity: plain nodes, then ramp joints merge the elevated node
+  // with the surface node beneath it.
+  for (int r = 0; r < cfg.rows; ++r) {
+    for (int c = 0; c < cfg.cols; ++c) {
+      Connect(&b, node_key(r, c), node_key(r, c));
+    }
+  }
+  for (int c : joints) Connect(&b, elev_key(c), elev_key(c));
+  for (int c : ramp_joints) {
+    Connect(&b, node_key(corridor, c), elev_key(c), /*trunk_only=*/true);
+    Connect(&b, elev_key(c), node_key(corridor, c), /*trunk_only=*/true);
+  }
+
+  b.rn.Build();
+  RNTRAJ_CHECK_MSG(b.rn.IsStronglyConnected(),
+                   "generated city must be strongly connected (seed "
+                       << cfg.seed << ")");
+  return std::move(b.rn);
+}
+
+}  // namespace rntraj

@@ -1,0 +1,43 @@
+#ifndef RNTRAJ_SIM_CITY_H_
+#define RNTRAJ_SIM_CITY_H_
+
+#include <cstdint>
+
+#include "src/roadnet/road_network.h"
+
+/// \file city.h
+/// Synthetic city generator. Produces a perturbed lattice of one/two-way
+/// streets with arterials, a surface trunk corridor and (optionally) an
+/// elevated expressway running geometrically parallel to it with sparse
+/// ramps — the ambiguity studied by the paper's elevated-road task (Fig. 4 /
+/// Fig. 5): two near-coincident candidate segments whose choice changes the
+/// network path by kilometres.
+
+namespace rntraj {
+
+/// Knobs for one synthetic city.
+struct CityConfig {
+  int rows = 8;               ///< Lattice rows (intersections).
+  int cols = 8;               ///< Lattice columns.
+  double spacing = 150.0;     ///< Meters between adjacent intersections.
+  double jitter = 30.0;       ///< Positional noise applied per intersection.
+  double two_way_prob = 0.7;  ///< Probability a street gets both directions.
+  int arterial_every = 3;     ///< Every k-th row/column is an arterial.
+  bool elevated_corridor = false;  ///< Build the elevated expressway.
+  int elevated_span = 2;      ///< Lattice cells per elevated segment.
+  int ramp_every = 4;         ///< Ramp connection every k-th joint column.
+  double elevated_offset = 8.0;  ///< Lateral offset of the elevated roadway.
+  uint64_t seed = 1;
+};
+
+/// Generates a strongly connected road network for the config. Border streets
+/// are forced two-way so the network is always strongly connected; interior
+/// one-way streets alternate direction like real city grids.
+RoadNetwork GenerateCity(const CityConfig& config);
+
+/// Row index of the trunk/elevated corridor for a config (middle row).
+inline int CorridorRow(const CityConfig& config) { return config.rows / 2; }
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_SIM_CITY_H_

@@ -1,0 +1,43 @@
+#include "src/sim/dataset.h"
+
+namespace rntraj {
+
+Dataset::Dataset(const DatasetConfig& config)
+    : config_(config),
+      roadnet_(GenerateCity(config.city)),
+      grid_(roadnet_.bounds(), config.grid_cell_size),
+      rtree_(BuildSegmentRTree(roadnet_)),
+      netdist_(&roadnet_) {
+  Rng rng(config.seed);
+  TrajectorySimulator sim(&roadnet_, config.sim);
+  int64_t uid = 0;
+  auto fill = [&](std::vector<TrajectorySample>* split, int count) {
+    split->reserve(count);
+    for (int i = 0; i < count; ++i) {
+      split->push_back(MakeSample(uid++, sim, rng));
+    }
+  };
+  fill(&train_, config.num_train);
+  fill(&val_, config.num_val);
+  fill(&test_, config.num_test);
+}
+
+TrajectorySample Dataset::MakeSample(int64_t uid, const TrajectorySimulator& sim,
+                                     Rng& rng) const {
+  TrajectorySample s;
+  s.uid = uid;
+  // Random departure time within a week so the environmental context
+  // features (hour of day, weekend) carry signal.
+  const double t0 = std::floor(rng.Uniform(0.0, 7.0 * 86400.0));
+  s.truth = sim.Sample(rng, t0);
+  s.raw_noisy = MakeRawObservations(roadnet_, s.truth, config_.noise, rng);
+  s.input = DownsampleEvery(s.raw_noisy, config_.keep_every);
+  s.input_indices = KeptIndices(s.truth.size(), config_.keep_every);
+  return s;
+}
+
+std::unique_ptr<Dataset> BuildDataset(const DatasetConfig& config) {
+  return std::make_unique<Dataset>(config);
+}
+
+}  // namespace rntraj

@@ -1,0 +1,123 @@
+#include "src/sim/presets.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rntraj {
+
+BenchScale ScaleFromEnv() {
+  const char* env = std::getenv("RNTR_SCALE");
+  if (env == nullptr) return BenchScale::kSmall;
+  if (std::strcmp(env, "tiny") == 0) return BenchScale::kTiny;
+  if (std::strcmp(env, "full") == 0) return BenchScale::kFull;
+  return BenchScale::kSmall;
+}
+
+std::string ToString(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kTiny: return "tiny";
+    case BenchScale::kSmall: return "small";
+    case BenchScale::kFull: return "full";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Scales a base (small) count down/up per scale.
+int ScaleCount(BenchScale s, int tiny, int small, int full) {
+  switch (s) {
+    case BenchScale::kTiny: return tiny;
+    case BenchScale::kSmall: return small;
+    case BenchScale::kFull: return full;
+  }
+  return small;
+}
+
+/// Common defaults shared by all cities.
+DatasetConfig BaseConfig(BenchScale scale) {
+  DatasetConfig cfg;
+  cfg.grid_cell_size = 50.0;
+  cfg.noise.sigma = 18.0;
+  cfg.noise.elevated_extra_sigma = 10.0;
+  cfg.sim.len_rho = ScaleCount(scale, 32, 48, 64);
+  cfg.num_train = ScaleCount(scale, 48, 192, 700);
+  cfg.num_val = ScaleCount(scale, 12, 32, 80);
+  cfg.num_test = ScaleCount(scale, 16, 48, 150);
+  return cfg;
+}
+
+}  // namespace
+
+DatasetConfig ChengduConfig(BenchScale scale, int keep_every) {
+  DatasetConfig cfg = BaseConfig(scale);
+  cfg.name = "chengdu";
+  cfg.city.rows = ScaleCount(scale, 7, 9, 12);
+  cfg.city.cols = ScaleCount(scale, 7, 9, 12);
+  cfg.city.spacing = 150.0;
+  cfg.city.arterial_every = 3;
+  cfg.city.elevated_corridor = true;
+  cfg.city.seed = 101;
+  cfg.sim.eps_rho = 12.0;
+  cfg.keep_every = keep_every;
+  cfg.seed = 1001;
+  return cfg;
+}
+
+DatasetConfig ChengduFewConfig(BenchScale scale) {
+  DatasetConfig cfg = ChengduConfig(scale, 8);
+  cfg.name = "chengdu-few";
+  cfg.num_train = std::max(8, cfg.num_train / 5);  // ~20% of the original
+  cfg.seed = 1001;  // same trajectories distribution, fewer of them
+  return cfg;
+}
+
+DatasetConfig PortoConfig(BenchScale scale, int keep_every) {
+  DatasetConfig cfg = BaseConfig(scale);
+  cfg.name = "porto";
+  cfg.city.rows = ScaleCount(scale, 6, 8, 10);
+  cfg.city.cols = ScaleCount(scale, 6, 8, 10);
+  cfg.city.spacing = 130.0;
+  cfg.city.jitter = 18.0;  // older, less regular street grid
+  cfg.city.two_way_prob = 0.55;
+  cfg.city.arterial_every = 4;
+  cfg.city.elevated_corridor = false;
+  cfg.city.seed = 202;
+  cfg.sim.eps_rho = 15.0;
+  cfg.keep_every = keep_every;
+  cfg.seed = 2002;
+  return cfg;
+}
+
+DatasetConfig ShanghaiLConfig(BenchScale scale, int keep_every) {
+  DatasetConfig cfg = BaseConfig(scale);
+  cfg.name = "shanghai-l";
+  cfg.city.rows = ScaleCount(scale, 8, 12, 16);
+  cfg.city.cols = ScaleCount(scale, 8, 12, 16);
+  cfg.city.spacing = 170.0;  // suburbs: longer blocks
+  cfg.city.jitter = 16.0;
+  cfg.city.arterial_every = 4;
+  cfg.city.elevated_corridor = true;
+  cfg.city.seed = 303;
+  cfg.sim.eps_rho = 10.0;
+  cfg.keep_every = keep_every;
+  cfg.seed = 3003;
+  return cfg;
+}
+
+DatasetConfig ShanghaiConfig(BenchScale scale, int keep_every) {
+  DatasetConfig cfg = BaseConfig(scale);
+  cfg.name = "shanghai";
+  cfg.city.rows = ScaleCount(scale, 7, 9, 11);
+  cfg.city.cols = ScaleCount(scale, 7, 10, 12);
+  cfg.city.spacing = 160.0;
+  cfg.city.arterial_every = 3;
+  cfg.city.elevated_corridor = true;
+  cfg.city.seed = 404;
+  cfg.sim.eps_rho = 10.0;
+  cfg.keep_every = keep_every;
+  cfg.seed = 4004;
+  return cfg;
+}
+
+}  // namespace rntraj

@@ -1,0 +1,45 @@
+#ifndef RNTRAJ_SIM_PRESETS_H_
+#define RNTRAJ_SIM_PRESETS_H_
+
+#include <string>
+
+#include "src/sim/dataset.h"
+
+/// \file presets.h
+/// Per-dataset analogue configurations mirroring paper Table II (Shanghai-L,
+/// Chengdu, Porto) plus Table IV (Shanghai, Chengdu-Few), scaled to CPU
+/// budgets. Every benchmark resolves its sizes through `BenchScale`
+/// (environment variable RNTR_SCALE = tiny | small | full).
+
+namespace rntraj {
+
+/// Global effort knob for datasets and training schedules.
+enum class BenchScale { kTiny, kSmall, kFull };
+
+/// Reads RNTR_SCALE (default: small).
+BenchScale ScaleFromEnv();
+
+/// Human-readable name.
+std::string ToString(BenchScale scale);
+
+/// Chengdu analogue: dense mid-size grid with an elevated corridor,
+/// eps_rho = 12 s (Table II). `keep_every` 8 or 16 selects the x8/x16 task.
+DatasetConfig ChengduConfig(BenchScale scale, int keep_every = 8);
+
+/// Chengdu-Few: identical city/settings, ~20% of the training trajectories
+/// (Table IV).
+DatasetConfig ChengduFewConfig(BenchScale scale);
+
+/// Porto analogue: smaller dense grid, no elevated corridor, eps_rho = 15 s.
+DatasetConfig PortoConfig(BenchScale scale, int keep_every = 8);
+
+/// Shanghai-L analogue: the largest, sparser area, eps_rho = 10 s.
+DatasetConfig ShanghaiLConfig(BenchScale scale, int keep_every = 16);
+
+/// Shanghai analogue: a different, mid-size area of the same city
+/// (Table IV), eps_rho = 10 s.
+DatasetConfig ShanghaiConfig(BenchScale scale, int keep_every = 8);
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_SIM_PRESETS_H_

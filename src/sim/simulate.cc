@@ -1,0 +1,165 @@
+#include "src/sim/simulate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/roadnet/shortest_path.h"
+
+namespace rntraj {
+
+double LevelSpeed(RoadLevel level) {
+  switch (level) {
+    case RoadLevel::kResidential: return 7.0;
+    case RoadLevel::kTertiary: return 8.5;
+    case RoadLevel::kSecondary: return 10.0;
+    case RoadLevel::kPrimary: return 12.0;
+    case RoadLevel::kTrunk: return 13.0;
+    case RoadLevel::kMotorwayRamp: return 9.0;
+    case RoadLevel::kMotorway: return 22.0;
+    case RoadLevel::kElevated: return 20.0;
+  }
+  return 8.0;
+}
+
+namespace {
+
+/// Unit direction of the segment near its start/end.
+Vec2 Heading(const Polyline& line, bool at_end) {
+  const auto& pts = line.points();
+  const Vec2 d = at_end ? pts[pts.size() - 1] - pts[pts.size() - 2]
+                        : pts[1] - pts[0];
+  const double n = Norm(d);
+  return n > 0 ? d * (1.0 / n) : Vec2{1, 0};
+}
+
+bool IsReverseOf(const RoadSegment& a, const RoadSegment& b) {
+  return Distance(a.start(), b.end()) < 1e-6 && Distance(a.end(), b.start()) < 1e-6;
+}
+
+}  // namespace
+
+int TrajectorySimulator::ChooseNext(int cur, Rng& rng) const {
+  const auto& outs = rn_->OutEdges(cur);
+  RNTRAJ_CHECK_MSG(!outs.empty(), "segment " << cur << " has no exits");
+  const RoadSegment& cs = rn_->segment(cur);
+  const Vec2 heading = Heading(cs.geometry, /*at_end=*/true);
+  std::vector<double> weights(outs.size());
+  double total = 0.0;
+  for (size_t i = 0; i < outs.size(); ++i) {
+    const RoadSegment& ns = rn_->segment(outs[i]);
+    double w = 1.0;
+    if (ns.level == cs.level) w *= cfg_.same_level_bias;
+    const double cos_turn = Dot(heading, Heading(ns.geometry, /*at_end=*/false));
+    w *= std::exp(cfg_.straight_bias * cos_turn);
+    if (IsReverseOf(cs, ns)) w *= cfg_.uturn_penalty;
+    weights[i] = w;
+    total += w;
+  }
+  double pick = rng.Uniform(0.0, total);
+  for (size_t i = 0; i < outs.size(); ++i) {
+    pick -= weights[i];
+    if (pick <= 0.0) return outs[i];
+  }
+  return outs.back();
+}
+
+MatchedTrajectory TrajectorySimulator::Sample(Rng& rng, double t0) const {
+  const int start = static_cast<int>(rng.UniformInt(0, rn_->num_segments() - 1));
+  return SampleFrom(start, rng.Uniform(0.0, 0.8), rng, t0);
+}
+
+MatchedTrajectory TrajectorySimulator::SampleFrom(int start_seg,
+                                                  double start_ratio, Rng& rng,
+                                                  double t0) const {
+  MatchedTrajectory out;
+  out.points.reserve(cfg_.len_rho);
+  int seg = start_seg;
+  double ratio = std::clamp(start_ratio, 0.0, 0.999);
+  double t = t0;
+  double stop_remaining = 0.0;  // seconds still halted at a light
+  double congestion = rng.Uniform(cfg_.congestion_min, cfg_.congestion_max);
+
+  // Purposeful routing: follow the shortest path to a sampled destination,
+  // re-planning after each deviation and drawing a fresh destination when one
+  // is reached.
+  std::vector<int> route;
+  size_t route_pos = 0;
+  auto plan_route = [&](int cur) {
+    route.clear();
+    route_pos = 0;
+    for (int attempt = 0; attempt < 8 && route.size() < 2; ++attempt) {
+      const int goal =
+          static_cast<int>(rng.UniformInt(0, rn_->num_segments() - 1));
+      if (goal == cur) continue;
+      route = ShortestSegmentPath(*rn_, cur, goal);
+    }
+    route_pos = 1;  // route[0] == cur
+  };
+  auto next_segment = [&](int cur) {
+    if (rng.Bernoulli(cfg_.deviate_prob)) {
+      const int pick = ChooseNext(cur, rng);
+      plan_route(pick);
+      return pick;
+    }
+    if (route_pos >= route.size()) plan_route(cur);
+    if (route_pos < route.size()) return route[route_pos++];
+    return ChooseNext(cur, rng);  // unreachable fallback
+  };
+  plan_route(seg);
+
+  for (int i = 0; i < cfg_.len_rho; ++i) {
+    out.points.push_back({seg, ratio, t});
+    // Advance one sample interval, first burning any halt time.
+    double travel_time = cfg_.eps_rho;
+    if (stop_remaining > 0.0) {
+      const double s = std::min(stop_remaining, travel_time);
+      stop_remaining -= s;
+      travel_time -= s;
+    }
+    const double jitter =
+        std::clamp(1.0 + rng.Gaussian(0.0, cfg_.speed_jitter), 0.3, 1.7);
+    double dist = LevelSpeed(rn_->segment(seg).level) * jitter * congestion *
+                  travel_time;
+    while (dist > 0.0) {
+      const double len = rn_->segment(seg).length();
+      const double remaining = (1.0 - ratio) * len;
+      if (dist < remaining) {
+        ratio += dist / len;
+        break;
+      }
+      dist -= remaining;
+      seg = next_segment(seg);
+      ratio = 0.0;
+      congestion = rng.Uniform(cfg_.congestion_min, cfg_.congestion_max);
+      // Traffic lights halt surface traffic at intersections; grade-separated
+      // roads flow freely.
+      const RoadLevel level = rn_->segment(seg).level;
+      const bool grade_separated =
+          level == RoadLevel::kElevated || level == RoadLevel::kMotorway;
+      if (!grade_separated && rng.Bernoulli(cfg_.stop_prob)) {
+        stop_remaining += rng.Uniform(cfg_.stop_min_s, cfg_.stop_max_s);
+        break;  // the vehicle halts at the start of the new segment
+      }
+    }
+    t += cfg_.eps_rho;
+  }
+  return out;
+}
+
+RawTrajectory MakeRawObservations(const RoadNetwork& rn,
+                                  const MatchedTrajectory& truth,
+                                  const GpsNoiseConfig& noise, Rng& rng) {
+  RawTrajectory out;
+  out.points.reserve(truth.points.size());
+  for (const auto& mp : truth.points) {
+    const Vec2 exact = rn.PointAt(mp.seg_id, mp.ratio);
+    double sigma = noise.sigma;
+    if (rn.segment(mp.seg_id).elevated()) sigma += noise.elevated_extra_sigma;
+    out.points.push_back(
+        {{exact.x + rng.Gaussian(0, sigma), exact.y + rng.Gaussian(0, sigma)},
+         mp.t});
+  }
+  return out;
+}
+
+}  // namespace rntraj

@@ -1,0 +1,84 @@
+#ifndef RNTRAJ_SIM_SIMULATE_H_
+#define RNTRAJ_SIM_SIMULATE_H_
+
+#include "src/common/random.h"
+#include "src/roadnet/road_network.h"
+#include "src/traj/trajectory.h"
+
+/// \file simulate.h
+/// Kinematic vehicle simulator: drives a vehicle along the directed road
+/// network with level-dependent speeds and realistic turn preferences, and
+/// emits the exact map-matched epsilon-interval ground truth (paper Def. 3)
+/// plus noisy raw GPS observations (paper Def. 2). See DESIGN.md: this
+/// replaces the proprietary taxi corpora.
+
+namespace rntraj {
+
+/// Free-flow speed for a road level (m/s).
+double LevelSpeed(RoadLevel level);
+
+/// Simulator knobs.
+struct SimulatorConfig {
+  double eps_rho = 12.0;       ///< Ground-truth sample interval (s).
+  int len_rho = 64;            ///< Ground-truth points per trajectory.
+  double speed_jitter = 0.25;  ///< Std of multiplicative per-step speed noise.
+  double same_level_bias = 4.0;  ///< Turn preference for staying on-level.
+  double straight_bias = 1.5;  ///< Turn preference for going straight.
+  double uturn_penalty = 0.02;   ///< Multiplier for immediate U-turns.
+  /// Urban traffic: probability of halting when entering a surface segment
+  /// (traffic lights / congestion); elevated and motorway segments never
+  /// stop. Makes progress non-uniform in time, which is why linear
+  /// interpolation degrades on real trajectories (paper §I).
+  double stop_prob = 0.3;
+  double stop_min_s = 4.0;   ///< Minimum halt duration.
+  double stop_max_s = 35.0;  ///< Maximum halt duration.
+  /// Range of the per-segment-visit congestion speed factor.
+  double congestion_min = 0.55;
+  double congestion_max = 1.15;
+  /// Vehicles follow shortest paths to sampled destinations (purposeful
+  /// routes, like real taxis); with this probability a turn deviates from the
+  /// route and the vehicle re-plans (driver noise / detours).
+  double deviate_prob = 0.08;
+};
+
+/// GPS observation noise (paper: raw points carry measurement error; noise is
+/// larger around the elevated corridor, mimicking urban-canyon multipath).
+struct GpsNoiseConfig {
+  double sigma = 15.0;
+  double elevated_extra_sigma = 10.0;
+};
+
+/// Samples vehicle trajectories over one road network.
+class TrajectorySimulator {
+ public:
+  TrajectorySimulator(const RoadNetwork* rn, const SimulatorConfig& config)
+      : rn_(rn), cfg_(config) {}
+
+  /// Ground-truth trajectory starting from a uniform random segment.
+  MatchedTrajectory Sample(Rng& rng, double t0 = 0.0) const;
+
+  /// Ground truth starting on the given segment (used to bias trajectories
+  /// through the elevated corridor).
+  MatchedTrajectory SampleFrom(int start_seg, double start_ratio, Rng& rng,
+                               double t0 = 0.0) const;
+
+  const SimulatorConfig& config() const { return cfg_; }
+
+ private:
+  /// Heuristic next-segment choice (weighted by level continuity,
+  /// straightness, and U-turn penalty); used for route deviations and as a
+  /// fallback when no route is available.
+  int ChooseNext(int cur, Rng& rng) const;
+
+  const RoadNetwork* rn_;
+  SimulatorConfig cfg_;
+};
+
+/// Noisy raw observations of a ground-truth trajectory (one per truth point).
+RawTrajectory MakeRawObservations(const RoadNetwork& rn,
+                                  const MatchedTrajectory& truth,
+                                  const GpsNoiseConfig& noise, Rng& rng);
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_SIM_SIMULATE_H_

@@ -1,0 +1,60 @@
+#ifndef RNTRAJ_TENSOR_OP_HELPERS_H_
+#define RNTRAJ_TENSOR_OP_HELPERS_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+/// \file op_helpers.h
+/// Internal helpers shared by the op implementation files. Not part of the
+/// public API.
+
+namespace rntraj {
+namespace internal {
+
+/// Allocates an output impl of the given shape (data zero-filled).
+inline std::shared_ptr<TensorImpl> NewImpl(const std::vector<int>& shape) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(static_cast<size_t>(ShapeSize(shape)), 0.0f);
+  return impl;
+}
+
+/// True when at least one input wants gradient.
+inline bool AnyRequiresGrad(
+    const std::vector<std::shared_ptr<TensorImpl>>& inputs) {
+  for (const auto& t : inputs) {
+    if (t->requires_grad) return true;
+  }
+  return false;
+}
+
+/// Finalises an op: marks `out` as requiring grad and attaches a GradNode when
+/// grad mode is enabled and any input requires grad. `backward` may assume
+/// `out.grad` is populated when invoked.
+inline void AttachNode(const char* op, const std::shared_ptr<TensorImpl>& out,
+                       std::vector<std::shared_ptr<TensorImpl>> inputs,
+                       std::function<void(const TensorImpl&)> backward) {
+  if (!GradModeEnabled() || !AnyRequiresGrad(inputs)) return;
+  out->requires_grad = true;
+  auto node = std::make_shared<GradNode>();
+  node->op = op;
+  node->inputs = std::move(inputs);
+  node->out = out;
+  node->backward = std::move(backward);
+  out->node = std::move(node);
+}
+
+/// Broadcast pattern for binary elementwise ops.
+enum class Broadcast { kSame, kScalar, kRow, kCol };
+
+/// Classifies the (a, b) shape pair; aborts on unsupported combinations.
+Broadcast ClassifyBroadcast(const TensorImpl& a, const TensorImpl& b,
+                            const char* op);
+
+}  // namespace internal
+}  // namespace rntraj
+
+#endif  // RNTRAJ_TENSOR_OP_HELPERS_H_

@@ -1,0 +1,117 @@
+#ifndef RNTRAJ_TENSOR_OPS_H_
+#define RNTRAJ_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/tensor/tensor.h"
+
+/// \file ops.h
+/// Differentiable tensor operations (reverse-mode). Every op validates shapes
+/// with RNTRAJ_CHECK, computes its forward result, and (when grad mode is on
+/// and any input requires grad) records a GradNode with a handwritten
+/// backward closure. All backwards are verified against numerical derivatives
+/// by tests/tensor_gradcheck_test.cc.
+///
+/// Broadcasting for binary ops (Add/Sub/Mul/Div) supports the four patterns
+/// used by the models:
+///   same-shape; scalar b (size 1); row vector b of shape (d) or (1,d) against
+///   a of shape (n,d); column b of shape (n,1) against a of shape (n,d).
+
+namespace rntraj {
+
+// ----- Binary elementwise (with broadcasting; see file comment) -------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+/// a + s elementwise.
+Tensor AddScalar(const Tensor& a, float s);
+/// a * s elementwise.
+Tensor MulScalar(const Tensor& a, float s);
+/// -a.
+Tensor Neg(const Tensor& a);
+
+// ----- Linear algebra --------------------------------------------------------
+
+/// (n,k) x (k,m) -> (n,m). Rank-1 `a` of shape (k) is treated as (1,k) and the
+/// result squeezed back to rank 1.
+Tensor Matmul(const Tensor& a, const Tensor& b);
+
+/// Rank-2 transpose.
+Tensor Transpose(const Tensor& a);
+
+// ----- Shape / indexing ------------------------------------------------------
+
+/// Vertically stacks rank-2 tensors with equal column counts; rank-1 inputs of
+/// size d are treated as a single (1,d) row.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// Horizontally concatenates rank-2 tensors with equal row counts.
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+
+/// Concatenates rank-1 tensors into one rank-1 tensor.
+Tensor ConcatVec(const std::vector<Tensor>& parts);
+
+/// Rows [start, start+len) of a rank-2 tensor.
+Tensor SliceRows(const Tensor& a, int start, int len);
+
+/// Columns [start, start+len) of a rank-2 tensor.
+Tensor SliceCols(const Tensor& a, int start, int len);
+
+/// Row-gather: out[i, :] = a[idx[i], :]. Duplicate indices accumulate gradient
+/// (this is the embedding-lookup primitive).
+Tensor GatherRows(const Tensor& a, const std::vector<int>& idx);
+
+/// Element pick per row: out[i] = a[i, idx[i]]; rank-1 output of size n.
+Tensor GatherElems(const Tensor& a, const std::vector<int>& idx);
+
+/// Same data viewed under a new shape (sizes must match); data is copied.
+Tensor Reshape(const Tensor& a, const std::vector<int>& shape);
+
+/// Repeats a single row ((1,d) or rank-1 (d)) n times into an (n,d) tensor.
+Tensor ExpandRows(const Tensor& a, int n);
+
+// ----- Reductions ------------------------------------------------------------
+
+/// Sum of all elements -> scalar.
+Tensor SumAll(const Tensor& a);
+/// Mean of all elements -> scalar.
+Tensor MeanAll(const Tensor& a);
+/// Per-row sum of a rank-2 tensor -> (n,1).
+Tensor RowSum(const Tensor& a);
+/// Per-row mean of a rank-2 tensor -> (n,1).
+Tensor RowMean(const Tensor& a);
+/// Per-column sum of a rank-2 tensor -> rank-1 (d).
+Tensor ColSum(const Tensor& a);
+/// Per-column mean of a rank-2 tensor -> rank-1 (d).
+Tensor ColMean(const Tensor& a);
+
+// ----- Nonlinearities ---------------------------------------------------------
+
+Tensor Relu(const Tensor& a);
+Tensor LeakyRelu(const Tensor& a, float negative_slope = 0.2f);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Exp(const Tensor& a);
+/// Natural log; inputs must be positive.
+Tensor Log(const Tensor& a);
+Tensor Sqrt(const Tensor& a);
+Tensor Square(const Tensor& a);
+
+/// Row-wise softmax of a rank-2 tensor (additive masks should be applied to
+/// the logits by the caller before this op).
+Tensor SoftmaxRows(const Tensor& a);
+
+/// Row-wise log-softmax of a rank-2 tensor.
+Tensor LogSoftmaxRows(const Tensor& a);
+
+/// Inverted-dropout: elements zeroed with probability p, survivors scaled by
+/// 1/(1-p). Identity when `training` is false or p == 0.
+Tensor Dropout(const Tensor& a, float p, bool training, Rng& rng);
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_TENSOR_OPS_H_

@@ -1,0 +1,156 @@
+#include "src/tensor/op_helpers.h"
+#include "src/tensor/ops.h"
+
+namespace rntraj {
+
+namespace internal {
+
+Broadcast ClassifyBroadcast(const TensorImpl& a, const TensorImpl& b,
+                            const char* op) {
+  if (a.shape == b.shape) return Broadcast::kSame;
+  if (b.size() == 1) return Broadcast::kScalar;
+  if (a.shape.size() == 2) {
+    const int n = a.shape[0];
+    const int d = a.shape[1];
+    if (b.shape.size() == 1 && b.shape[0] == d) return Broadcast::kRow;
+    if (b.shape.size() == 2 && b.shape[0] == 1 && b.shape[1] == d) {
+      return Broadcast::kRow;
+    }
+    if (b.shape.size() == 2 && b.shape[0] == n && b.shape[1] == 1) {
+      return Broadcast::kCol;
+    }
+  }
+  RNTRAJ_CHECK_MSG(false, op << ": unsupported broadcast, a.rank=" << a.shape.size()
+                             << " b.rank=" << b.shape.size());
+}
+
+namespace {
+
+// Maps the flat index of `a` to the flat index of broadcast `b`.
+inline size_t BIndex(Broadcast bc, size_t i, int d) {
+  switch (bc) {
+    case Broadcast::kSame:
+      return i;
+    case Broadcast::kScalar:
+      return 0;
+    case Broadcast::kRow:
+      return i % static_cast<size_t>(d);
+    case Broadcast::kCol:
+      return i / static_cast<size_t>(d);
+  }
+  return 0;
+}
+
+enum class BinOp { kAdd, kSub, kMul, kDiv };
+
+Tensor Binary(BinOp kind, const char* name, const Tensor& a, const Tensor& b) {
+  auto ai = a.impl();
+  auto bi = b.impl();
+  const Broadcast bc = ClassifyBroadcast(*ai, *bi, name);
+  const int d = ai->shape.size() == 2 ? ai->shape[1] : 1;
+
+  auto out = NewImpl(ai->shape);
+  const size_t n = ai->data.size();
+  for (size_t i = 0; i < n; ++i) {
+    const float av = ai->data[i];
+    const float bv = bi->data[BIndex(bc, i, d)];
+    float r = 0.0f;
+    switch (kind) {
+      case BinOp::kAdd: r = av + bv; break;
+      case BinOp::kSub: r = av - bv; break;
+      case BinOp::kMul: r = av * bv; break;
+      case BinOp::kDiv: r = av / bv; break;
+    }
+    out->data[i] = r;
+  }
+
+  AttachNode(name, out, {ai, bi}, [kind, bc, d, ai, bi](const TensorImpl& o) {
+    const size_t n = o.data.size();
+    if (ai->requires_grad) {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) {
+        const float g = o.grad[i];
+        switch (kind) {
+          case BinOp::kAdd:
+          case BinOp::kSub:
+            ai->grad[i] += g;
+            break;
+          case BinOp::kMul:
+            ai->grad[i] += g * bi->data[BIndex(bc, i, d)];
+            break;
+          case BinOp::kDiv:
+            ai->grad[i] += g / bi->data[BIndex(bc, i, d)];
+            break;
+        }
+      }
+    }
+    if (bi->requires_grad) {
+      bi->EnsureGrad();
+      for (size_t i = 0; i < n; ++i) {
+        const float g = o.grad[i];
+        const size_t j = BIndex(bc, i, d);
+        switch (kind) {
+          case BinOp::kAdd:
+            bi->grad[j] += g;
+            break;
+          case BinOp::kSub:
+            bi->grad[j] -= g;
+            break;
+          case BinOp::kMul:
+            bi->grad[j] += g * ai->data[i];
+            break;
+          case BinOp::kDiv: {
+            const float bv = bi->data[j];
+            bi->grad[j] += -g * ai->data[i] / (bv * bv);
+            break;
+          }
+        }
+      }
+    }
+  });
+  return Tensor(out);
+}
+
+}  // namespace
+}  // namespace internal
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return internal::Binary(internal::BinOp::kAdd, "add", a, b);
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return internal::Binary(internal::BinOp::kSub, "sub", a, b);
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return internal::Binary(internal::BinOp::kMul, "mul", a, b);
+}
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return internal::Binary(internal::BinOp::kDiv, "div", a, b);
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  auto ai = a.impl();
+  auto out = internal::NewImpl(ai->shape);
+  for (size_t i = 0; i < ai->data.size(); ++i) out->data[i] = ai->data[i] + s;
+  internal::AttachNode("add_scalar", out, {ai}, [ai](const TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (size_t i = 0; i < o.data.size(); ++i) ai->grad[i] += o.grad[i];
+  });
+  return Tensor(out);
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  auto ai = a.impl();
+  auto out = internal::NewImpl(ai->shape);
+  for (size_t i = 0; i < ai->data.size(); ++i) out->data[i] = ai->data[i] * s;
+  internal::AttachNode("mul_scalar", out, {ai}, [ai, s](const TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (size_t i = 0; i < o.data.size(); ++i) ai->grad[i] += o.grad[i] * s;
+  });
+  return Tensor(out);
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+}  // namespace rntraj

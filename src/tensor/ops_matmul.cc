@@ -1,0 +1,108 @@
+#include "src/tensor/op_helpers.h"
+#include "src/tensor/ops.h"
+
+namespace rntraj {
+
+namespace {
+
+// C(n,m) += A(n,k) * B(k,m); dense row-major, i-k-j loop order for locality.
+void GemmAcc(const float* a, const float* b, float* c, int n, int k, int m) {
+  for (int i = 0; i < n; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * m;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<size_t>(kk) * m;
+      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C(n,m) += A(k,n)^T * B(k,m).
+void GemmTransAAcc(const float* a, const float* b, float* c, int n, int k, int m) {
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = a + static_cast<size_t>(kk) * n;
+    const float* brow = b + static_cast<size_t>(kk) * m;
+    for (int i = 0; i < n; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<size_t>(i) * m;
+      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C(n,m) += A(n,k) * B(m,k)^T.
+void GemmTransBAcc(const float* a, const float* b, float* c, int n, int k, int m) {
+  for (int i = 0; i < n; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * m;
+    for (int j = 0; j < m; ++j) {
+      const float* brow = b + static_cast<size_t>(j) * k;
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  auto ai = a.impl();
+  auto bi = b.impl();
+  RNTRAJ_CHECK_MSG(bi->shape.size() == 2, "matmul: b must be rank-2");
+  const bool a_was_vec = ai->shape.size() == 1;
+  const int n = a_was_vec ? 1 : ai->shape[0];
+  const int k = a_was_vec ? ai->shape[0] : ai->shape[1];
+  RNTRAJ_CHECK_MSG(k == bi->shape[0], "matmul: inner dims " << k << " vs "
+                                                            << bi->shape[0]);
+  const int m = bi->shape[1];
+
+  auto out = internal::NewImpl(a_was_vec ? std::vector<int>{m}
+                                         : std::vector<int>{n, m});
+  GemmAcc(ai->data.data(), bi->data.data(), out->data.data(), n, k, m);
+
+  internal::AttachNode(
+      "matmul", out, {ai, bi}, [ai, bi, n, k, m](const TensorImpl& o) {
+        if (ai->requires_grad) {
+          ai->EnsureGrad();
+          // dA = dC * B^T
+          GemmTransBAcc(o.grad.data(), bi->data.data(), ai->grad.data(), n, m, k);
+        }
+        if (bi->requires_grad) {
+          bi->EnsureGrad();
+          // dB = A^T * dC
+          GemmTransAAcc(ai->data.data(), o.grad.data(), bi->grad.data(), k, n, m);
+        }
+      });
+  return Tensor(out);
+}
+
+Tensor Transpose(const Tensor& a) {
+  auto ai = a.impl();
+  RNTRAJ_CHECK_MSG(ai->shape.size() == 2, "transpose: rank-2 required");
+  const int n = ai->shape[0];
+  const int m = ai->shape[1];
+  auto out = internal::NewImpl({m, n});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      out->data[static_cast<size_t>(j) * n + i] =
+          ai->data[static_cast<size_t>(i) * m + j];
+    }
+  }
+  internal::AttachNode("transpose", out, {ai}, [ai, n, m](const TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) {
+        ai->grad[static_cast<size_t>(i) * m + j] +=
+            o.grad[static_cast<size_t>(j) * n + i];
+      }
+    }
+  });
+  return Tensor(out);
+}
+
+}  // namespace rntraj

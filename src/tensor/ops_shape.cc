@@ -1,0 +1,257 @@
+#include "src/tensor/op_helpers.h"
+#include "src/tensor/ops.h"
+
+namespace rntraj {
+
+namespace {
+
+// Rows/cols of a tensor treating rank-1 (d) as (1,d).
+inline int RowsOf(const TensorImpl& t) {
+  return t.shape.size() == 2 ? t.shape[0] : 1;
+}
+inline int ColsOf(const TensorImpl& t) {
+  return t.shape.size() == 2 ? t.shape[1] : t.shape[0];
+}
+
+}  // namespace
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  RNTRAJ_CHECK(!parts.empty());
+  const int d = ColsOf(*parts[0].impl());
+  int total_rows = 0;
+  std::vector<std::shared_ptr<TensorImpl>> impls;
+  impls.reserve(parts.size());
+  for (const auto& p : parts) {
+    auto pi = p.impl();
+    RNTRAJ_CHECK_MSG(ColsOf(*pi) == d, "concat_rows: column mismatch");
+    total_rows += RowsOf(*pi);
+    impls.push_back(pi);
+  }
+  auto out = internal::NewImpl({total_rows, d});
+  size_t off = 0;
+  for (const auto& pi : impls) {
+    std::copy(pi->data.begin(), pi->data.end(), out->data.begin() + off);
+    off += pi->data.size();
+  }
+  internal::AttachNode("concat_rows", out, impls, [impls](const TensorImpl& o) {
+    size_t off = 0;
+    for (const auto& pi : impls) {
+      if (pi->requires_grad) {
+        pi->EnsureGrad();
+        for (size_t i = 0; i < pi->data.size(); ++i) {
+          pi->grad[i] += o.grad[off + i];
+        }
+      }
+      off += pi->data.size();
+    }
+  });
+  return Tensor(out);
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  RNTRAJ_CHECK(!parts.empty());
+  std::vector<std::shared_ptr<TensorImpl>> impls;
+  impls.reserve(parts.size());
+  const int n = RowsOf(*parts[0].impl());
+  int total_cols = 0;
+  for (const auto& p : parts) {
+    auto pi = p.impl();
+    RNTRAJ_CHECK_MSG(RowsOf(*pi) == n, "concat_cols: row mismatch");
+    total_cols += ColsOf(*pi);
+    impls.push_back(pi);
+  }
+  auto out = internal::NewImpl({n, total_cols});
+  int col_off = 0;
+  for (const auto& pi : impls) {
+    const int d = ColsOf(*pi);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < d; ++j) {
+        out->data[static_cast<size_t>(i) * total_cols + col_off + j] =
+            pi->data[static_cast<size_t>(i) * d + j];
+      }
+    }
+    col_off += d;
+  }
+  internal::AttachNode(
+      "concat_cols", out, impls, [impls, n, total_cols](const TensorImpl& o) {
+        int col_off = 0;
+        for (const auto& pi : impls) {
+          const int d = ColsOf(*pi);
+          if (pi->requires_grad) {
+            pi->EnsureGrad();
+            for (int i = 0; i < n; ++i) {
+              for (int j = 0; j < d; ++j) {
+                pi->grad[static_cast<size_t>(i) * d + j] +=
+                    o.grad[static_cast<size_t>(i) * total_cols + col_off + j];
+              }
+            }
+          }
+          col_off += d;
+        }
+      });
+  return Tensor(out);
+}
+
+Tensor ConcatVec(const std::vector<Tensor>& parts) {
+  RNTRAJ_CHECK(!parts.empty());
+  std::vector<std::shared_ptr<TensorImpl>> impls;
+  int total = 0;
+  for (const auto& p : parts) {
+    auto pi = p.impl();
+    RNTRAJ_CHECK_MSG(pi->shape.size() == 1, "concat_vec: rank-1 required");
+    total += pi->shape[0];
+    impls.push_back(pi);
+  }
+  auto out = internal::NewImpl({total});
+  size_t off = 0;
+  for (const auto& pi : impls) {
+    std::copy(pi->data.begin(), pi->data.end(), out->data.begin() + off);
+    off += pi->data.size();
+  }
+  internal::AttachNode("concat_vec", out, impls, [impls](const TensorImpl& o) {
+    size_t off = 0;
+    for (const auto& pi : impls) {
+      if (pi->requires_grad) {
+        pi->EnsureGrad();
+        for (size_t i = 0; i < pi->data.size(); ++i) {
+          pi->grad[i] += o.grad[off + i];
+        }
+      }
+      off += pi->data.size();
+    }
+  });
+  return Tensor(out);
+}
+
+Tensor SliceRows(const Tensor& a, int start, int len) {
+  auto ai = a.impl();
+  RNTRAJ_CHECK(ai->shape.size() == 2);
+  const int n = ai->shape[0];
+  const int d = ai->shape[1];
+  RNTRAJ_CHECK_MSG(start >= 0 && len > 0 && start + len <= n,
+                   "slice_rows: [" << start << "," << start + len << ") of " << n);
+  auto out = internal::NewImpl({len, d});
+  std::copy(ai->data.begin() + static_cast<size_t>(start) * d,
+            ai->data.begin() + static_cast<size_t>(start + len) * d,
+            out->data.begin());
+  internal::AttachNode("slice_rows", out, {ai}, [ai, start, d](const TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    const size_t base = static_cast<size_t>(start) * d;
+    for (size_t i = 0; i < o.data.size(); ++i) ai->grad[base + i] += o.grad[i];
+  });
+  return Tensor(out);
+}
+
+Tensor SliceCols(const Tensor& a, int start, int len) {
+  auto ai = a.impl();
+  RNTRAJ_CHECK(ai->shape.size() == 2);
+  const int n = ai->shape[0];
+  const int d = ai->shape[1];
+  RNTRAJ_CHECK_MSG(start >= 0 && len > 0 && start + len <= d,
+                   "slice_cols: [" << start << "," << start + len << ") of " << d);
+  auto out = internal::NewImpl({n, len});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < len; ++j) {
+      out->data[static_cast<size_t>(i) * len + j] =
+          ai->data[static_cast<size_t>(i) * d + start + j];
+    }
+  }
+  internal::AttachNode(
+      "slice_cols", out, {ai}, [ai, start, len, n, d](const TensorImpl& o) {
+        if (!ai->requires_grad) return;
+        ai->EnsureGrad();
+        for (int i = 0; i < n; ++i) {
+          for (int j = 0; j < len; ++j) {
+            ai->grad[static_cast<size_t>(i) * d + start + j] +=
+                o.grad[static_cast<size_t>(i) * len + j];
+          }
+        }
+      });
+  return Tensor(out);
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int>& idx) {
+  auto ai = a.impl();
+  RNTRAJ_CHECK(ai->shape.size() == 2);
+  const int n = ai->shape[0];
+  const int d = ai->shape[1];
+  RNTRAJ_CHECK(!idx.empty());
+  auto out = internal::NewImpl({static_cast<int>(idx.size()), d});
+  for (size_t i = 0; i < idx.size(); ++i) {
+    RNTRAJ_CHECK_MSG(idx[i] >= 0 && idx[i] < n, "gather_rows: idx " << idx[i]
+                                                                    << " of " << n);
+    std::copy(ai->data.begin() + static_cast<size_t>(idx[i]) * d,
+              ai->data.begin() + static_cast<size_t>(idx[i] + 1) * d,
+              out->data.begin() + i * d);
+  }
+  internal::AttachNode("gather_rows", out, {ai}, [ai, idx, d](const TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (size_t i = 0; i < idx.size(); ++i) {
+      for (int j = 0; j < d; ++j) {
+        ai->grad[static_cast<size_t>(idx[i]) * d + j] += o.grad[i * d + j];
+      }
+    }
+  });
+  return Tensor(out);
+}
+
+Tensor GatherElems(const Tensor& a, const std::vector<int>& idx) {
+  auto ai = a.impl();
+  RNTRAJ_CHECK(ai->shape.size() == 2);
+  const int n = ai->shape[0];
+  const int d = ai->shape[1];
+  RNTRAJ_CHECK_MSG(static_cast<int>(idx.size()) == n,
+                   "gather_elems: need one column index per row");
+  auto out = internal::NewImpl({n});
+  for (int i = 0; i < n; ++i) {
+    RNTRAJ_CHECK(idx[i] >= 0 && idx[i] < d);
+    out->data[i] = ai->data[static_cast<size_t>(i) * d + idx[i]];
+  }
+  internal::AttachNode("gather_elems", out, {ai}, [ai, idx, d](const TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (size_t i = 0; i < idx.size(); ++i) {
+      ai->grad[i * d + idx[i]] += o.grad[i];
+    }
+  });
+  return Tensor(out);
+}
+
+Tensor Reshape(const Tensor& a, const std::vector<int>& shape) {
+  auto ai = a.impl();
+  RNTRAJ_CHECK_MSG(ShapeSize(shape) == ai->size(), "reshape: size mismatch");
+  auto out = internal::NewImpl(shape);
+  out->data = ai->data;
+  internal::AttachNode("reshape", out, {ai}, [ai](const TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (size_t i = 0; i < o.data.size(); ++i) ai->grad[i] += o.grad[i];
+  });
+  return Tensor(out);
+}
+
+Tensor ExpandRows(const Tensor& a, int n) {
+  auto ai = a.impl();
+  const int d = ColsOf(*ai);
+  RNTRAJ_CHECK_MSG(RowsOf(*ai) == 1, "expand_rows: input must be a single row");
+  RNTRAJ_CHECK(n > 0);
+  auto out = internal::NewImpl({n, d});
+  for (int i = 0; i < n; ++i) {
+    std::copy(ai->data.begin(), ai->data.end(),
+              out->data.begin() + static_cast<size_t>(i) * d);
+  }
+  internal::AttachNode("expand_rows", out, {ai}, [ai, n, d](const TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < d; ++j) {
+        ai->grad[j] += o.grad[static_cast<size_t>(i) * d + j];
+      }
+    }
+  });
+  return Tensor(out);
+}
+
+}  // namespace rntraj

@@ -1,0 +1,171 @@
+#include <cmath>
+
+#include "src/tensor/op_helpers.h"
+#include "src/tensor/ops.h"
+
+namespace rntraj {
+
+namespace {
+
+// Generic unary op: forward maps x->y, backward multiplies upstream grad by
+// dfdx(x, y).
+template <typename Fwd, typename Dfdx>
+Tensor Unary(const char* name, const Tensor& a, Fwd fwd, Dfdx dfdx) {
+  auto ai = a.impl();
+  auto out = internal::NewImpl(ai->shape);
+  for (size_t i = 0; i < ai->data.size(); ++i) out->data[i] = fwd(ai->data[i]);
+  internal::AttachNode(name, out, {ai}, [ai, dfdx](const TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (size_t i = 0; i < o.data.size(); ++i) {
+      ai->grad[i] += o.grad[i] * dfdx(ai->data[i], o.data[i]);
+    }
+  });
+  return Tensor(out);
+}
+
+}  // namespace
+
+Tensor Relu(const Tensor& a) {
+  return Unary(
+      "relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  return Unary(
+      "leaky_relu", a,
+      [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; },
+      [negative_slope](float x, float) {
+        return x > 0.0f ? 1.0f : negative_slope;
+      });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return Unary(
+      "sigmoid", a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return Unary(
+      "tanh", a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return Unary(
+      "exp", a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return Unary(
+      "log", a, [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return Unary(
+      "sqrt", a, [](float x) { return std::sqrt(x); },
+      [](float, float y) { return 0.5f / y; });
+}
+
+Tensor Square(const Tensor& a) {
+  return Unary(
+      "square", a, [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  auto ai = a.impl();
+  RNTRAJ_CHECK(ai->shape.size() == 2);
+  const int n = ai->shape[0];
+  const int d = ai->shape[1];
+  auto out = internal::NewImpl(ai->shape);
+  for (int i = 0; i < n; ++i) {
+    const float* x = ai->data.data() + static_cast<size_t>(i) * d;
+    float* y = out->data.data() + static_cast<size_t>(i) * d;
+    float mx = x[0];
+    for (int j = 1; j < d; ++j) mx = std::max(mx, x[j]);
+    double sum = 0.0;
+    for (int j = 0; j < d; ++j) {
+      y[j] = std::exp(x[j] - mx);
+      sum += y[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int j = 0; j < d; ++j) y[j] *= inv;
+  }
+  internal::AttachNode("softmax_rows", out, {ai}, [ai, n, d](const TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (int i = 0; i < n; ++i) {
+      const float* y = o.data.data() + static_cast<size_t>(i) * d;
+      const float* g = o.grad.data() + static_cast<size_t>(i) * d;
+      float* ga = ai->grad.data() + static_cast<size_t>(i) * d;
+      double dot = 0.0;
+      for (int j = 0; j < d; ++j) dot += g[j] * y[j];
+      for (int j = 0; j < d; ++j) {
+        ga[j] += (g[j] - static_cast<float>(dot)) * y[j];
+      }
+    }
+  });
+  return Tensor(out);
+}
+
+Tensor LogSoftmaxRows(const Tensor& a) {
+  auto ai = a.impl();
+  RNTRAJ_CHECK(ai->shape.size() == 2);
+  const int n = ai->shape[0];
+  const int d = ai->shape[1];
+  auto out = internal::NewImpl(ai->shape);
+  for (int i = 0; i < n; ++i) {
+    const float* x = ai->data.data() + static_cast<size_t>(i) * d;
+    float* y = out->data.data() + static_cast<size_t>(i) * d;
+    float mx = x[0];
+    for (int j = 1; j < d; ++j) mx = std::max(mx, x[j]);
+    double sum = 0.0;
+    for (int j = 0; j < d; ++j) sum += std::exp(x[j] - mx);
+    const float lse = mx + static_cast<float>(std::log(sum));
+    for (int j = 0; j < d; ++j) y[j] = x[j] - lse;
+  }
+  internal::AttachNode(
+      "log_softmax_rows", out, {ai}, [ai, n, d](const TensorImpl& o) {
+        if (!ai->requires_grad) return;
+        ai->EnsureGrad();
+        for (int i = 0; i < n; ++i) {
+          const float* y = o.data.data() + static_cast<size_t>(i) * d;
+          const float* g = o.grad.data() + static_cast<size_t>(i) * d;
+          float* ga = ai->grad.data() + static_cast<size_t>(i) * d;
+          double gsum = 0.0;
+          for (int j = 0; j < d; ++j) gsum += g[j];
+          for (int j = 0; j < d; ++j) {
+            ga[j] += g[j] - static_cast<float>(gsum) * std::exp(y[j]);
+          }
+        }
+      });
+  return Tensor(out);
+}
+
+Tensor Dropout(const Tensor& a, float p, bool training, Rng& rng) {
+  if (!training || p <= 0.0f) return a;
+  RNTRAJ_CHECK(p < 1.0f);
+  auto ai = a.impl();
+  auto out = internal::NewImpl(ai->shape);
+  auto mask = std::make_shared<std::vector<float>>(ai->data.size());
+  const float scale = 1.0f / (1.0f - p);
+  for (size_t i = 0; i < ai->data.size(); ++i) {
+    (*mask)[i] = rng.Bernoulli(p) ? 0.0f : scale;
+    out->data[i] = ai->data[i] * (*mask)[i];
+  }
+  internal::AttachNode("dropout", out, {ai}, [ai, mask](const TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    for (size_t i = 0; i < o.data.size(); ++i) {
+      ai->grad[i] += o.grad[i] * (*mask)[i];
+    }
+  });
+  return Tensor(out);
+}
+
+}  // namespace rntraj

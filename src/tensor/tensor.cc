@@ -1,0 +1,156 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "src/common/random.h"
+
+namespace rntraj {
+
+namespace {
+
+thread_local bool g_grad_mode = true;
+
+std::shared_ptr<TensorImpl> MakeImpl(const std::vector<int>& shape,
+                                     bool requires_grad) {
+  RNTRAJ_CHECK_MSG(!shape.empty() && shape.size() <= 3,
+                   "tensor rank must be 1..3, got " << shape.size());
+  for (int d : shape) RNTRAJ_CHECK_MSG(d > 0, "non-positive dim " << d);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(static_cast<size_t>(ShapeSize(shape)), 0.0f);
+  impl->requires_grad = requires_grad;
+  return impl;
+}
+
+}  // namespace
+
+int64_t ShapeSize(const std::vector<int>& shape) {
+  int64_t n = 1;
+  for (int d : shape) n *= d;
+  return n;
+}
+
+bool GradModeEnabled() { return g_grad_mode; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_mode) { g_grad_mode = false; }
+NoGradGuard::~NoGradGuard() { g_grad_mode = prev_; }
+
+Tensor Tensor::Zeros(const std::vector<int>& shape, bool requires_grad) {
+  return Tensor(MakeImpl(shape, requires_grad));
+}
+
+Tensor Tensor::Full(const std::vector<int>& shape, float value,
+                    bool requires_grad) {
+  auto impl = MakeImpl(shape, requires_grad);
+  std::fill(impl->data.begin(), impl->data.end(), value);
+  return Tensor(impl);
+}
+
+Tensor Tensor::FromVector(const std::vector<int>& shape,
+                          const std::vector<float>& values, bool requires_grad) {
+  auto impl = MakeImpl(shape, requires_grad);
+  RNTRAJ_CHECK_MSG(static_cast<int64_t>(values.size()) == ShapeSize(shape),
+                   "FromVector size mismatch: " << values.size() << " vs shape size "
+                                                << ShapeSize(shape));
+  impl->data = values;
+  return Tensor(impl);
+}
+
+Tensor Tensor::Randn(const std::vector<int>& shape, float stddev,
+                     bool requires_grad) {
+  auto impl = MakeImpl(shape, requires_grad);
+  for (auto& v : impl->data) {
+    v = static_cast<float>(GlobalRng().Gaussian(0.0, stddev));
+  }
+  return Tensor(impl);
+}
+
+Tensor Tensor::Uniform(const std::vector<int>& shape, float lo, float hi,
+                       bool requires_grad) {
+  auto impl = MakeImpl(shape, requires_grad);
+  for (auto& v : impl->data) {
+    v = static_cast<float>(GlobalRng().Uniform(lo, hi));
+  }
+  return Tensor(impl);
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return Full({1}, value, requires_grad);
+}
+
+void Tensor::ZeroGrad() {
+  if (!impl_->grad.empty()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  }
+}
+
+Tensor Tensor::Detach() const {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = false;
+  return Tensor(impl);
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream oss;
+  oss << "Tensor[";
+  for (size_t i = 0; i < impl_->shape.size(); ++i) {
+    oss << (i ? "x" : "") << impl_->shape[i];
+  }
+  oss << "](";
+  int64_t n = std::min<int64_t>(size(), 6);
+  for (int64_t i = 0; i < n; ++i) oss << (i ? ", " : "") << impl_->data[i];
+  if (size() > n) oss << ", ...";
+  oss << ")";
+  return oss.str();
+}
+
+void Tensor::Backward() { RunBackward(*this); }
+
+void RunBackward(const Tensor& root) {
+  RNTRAJ_CHECK_MSG(root.size() == 1, "Backward() root must be scalar");
+  auto root_impl = root.impl();
+  root_impl->EnsureGrad();
+  root_impl->grad[0] = 1.0f;
+  if (!root_impl->node) return;
+
+  // Iterative DFS post-order over the producer DAG; the reversed post-order is
+  // a valid topological order (every node precedes the producers of its
+  // inputs), so each node's backward runs after all of its consumers.
+  std::vector<GradNode*> order;
+  std::unordered_set<GradNode*> visited;
+  struct Frame {
+    GradNode* node;
+    size_t next_input;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root_impl->node.get(), 0});
+  visited.insert(root_impl->node.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_input < f.node->inputs.size()) {
+      GradNode* child = f.node->inputs[f.next_input]->node.get();
+      ++f.next_input;
+      if (child != nullptr && visited.insert(child).second) {
+        stack.push_back({child, 0});
+      }
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    GradNode* node = *it;
+    auto out = node->out.lock();
+    // The output may have died (no consumer kept it) or never received
+    // gradient (a dead branch of the DAG): skip.
+    if (!out || out->grad.empty()) continue;
+    node->backward(*out);
+  }
+}
+
+}  // namespace rntraj

@@ -1,0 +1,174 @@
+#ifndef RNTRAJ_TENSOR_TENSOR_H_
+#define RNTRAJ_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/check.h"
+
+/// \file tensor.h
+/// A small dense float32 tensor with reverse-mode automatic differentiation.
+///
+/// Design notes:
+///  - Tensors are value handles over a shared `TensorImpl` (shared ownership is
+///    intrinsic to an autograd tape: a tensor is simultaneously the output of
+///    its producer node and an input of any number of consumer nodes; this is
+///    the one documented exception to the single-owner rule in DESIGN.md §5).
+///  - All differentiable operations live in ops.h as free functions. Each op
+///    records a `GradNode` holding its backward closure; `Tensor::Backward()`
+///    runs the tape in reverse topological order.
+///  - Rank 1 and rank 2 tensors cover every model in this repository; scalars
+///    are rank-1 tensors of size 1.
+
+namespace rntraj {
+
+struct TensorImpl;
+
+/// A node of the autograd tape: the producer of one tensor.
+struct GradNode {
+  /// Operation name, used in error messages and tape dumps.
+  const char* op = "?";
+  /// Inputs kept alive for the duration of the backward pass.
+  std::vector<std::shared_ptr<TensorImpl>> inputs;
+  /// The produced tensor (weak: the impl owns the node, not vice versa).
+  std::weak_ptr<TensorImpl> out;
+  /// Accumulates d(loss)/d(input) into each input's grad buffer, given that
+  /// `out.grad` already holds d(loss)/d(out).
+  std::function<void(const TensorImpl& out)> backward;
+};
+
+/// Reference-counted tensor storage. Use through `Tensor`.
+struct TensorImpl {
+  std::vector<int> shape;
+  std::vector<float> data;
+  /// Gradient buffer; allocated lazily (empty until first accumulation).
+  std::vector<float> grad;
+  bool requires_grad = false;
+  /// Producer node; null for leaves and for tensors created under NoGradGuard.
+  std::shared_ptr<GradNode> node;
+
+  int64_t size() const { return static_cast<int64_t>(data.size()); }
+
+  /// Allocates (zero-filled) the gradient buffer if not present.
+  void EnsureGrad() {
+    if (grad.empty()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+/// Value handle for a float32 tensor with optional autograd tracking.
+class Tensor {
+ public:
+  /// Null handle; `defined()` is false.
+  Tensor() = default;
+
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  // ----- Factories ---------------------------------------------------------
+
+  /// Zero-filled tensor of the given shape.
+  static Tensor Zeros(const std::vector<int>& shape, bool requires_grad = false);
+
+  /// Constant-filled tensor.
+  static Tensor Full(const std::vector<int>& shape, float value,
+                     bool requires_grad = false);
+
+  /// Tensor initialised from a flat row-major buffer (size must match shape).
+  static Tensor FromVector(const std::vector<int>& shape,
+                           const std::vector<float>& values,
+                           bool requires_grad = false);
+
+  /// Gaussian init (mean 0) drawn from the global RNG.
+  static Tensor Randn(const std::vector<int>& shape, float stddev,
+                      bool requires_grad = false);
+
+  /// Uniform init in [lo, hi) drawn from the global RNG.
+  static Tensor Uniform(const std::vector<int>& shape, float lo, float hi,
+                        bool requires_grad = false);
+
+  /// Rank-1 size-1 tensor holding one value.
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  // ----- Introspection -----------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const std::vector<int>& shape() const { return impl_->shape; }
+  int rank() const { return static_cast<int>(impl_->shape.size()); }
+  int dim(int i) const { return impl_->shape.at(i); }
+  int64_t size() const { return impl_->size(); }
+
+  /// Number of rows for rank-2, size for rank-1.
+  int rows() const { return rank() == 2 ? dim(0) : dim(0); }
+  /// Number of columns for rank-2, 1 for rank-1.
+  int cols() const { return rank() == 2 ? dim(1) : 1; }
+
+  /// The single value of a size-1 tensor.
+  float item() const {
+    RNTRAJ_CHECK_MSG(size() == 1, "item() on tensor of size " << size());
+    return impl_->data[0];
+  }
+
+  float at(int i) const { return impl_->data.at(i); }
+  float at(int i, int j) const {
+    RNTRAJ_CHECK(rank() == 2);
+    return impl_->data[static_cast<size_t>(i) * dim(1) + j];
+  }
+
+  std::vector<float>& data() { return impl_->data; }
+  const std::vector<float>& data() const { return impl_->data; }
+  std::vector<float>& grad() {
+    impl_->EnsureGrad();
+    return impl_->grad;
+  }
+
+  bool requires_grad() const { return impl_->requires_grad; }
+  void set_requires_grad(bool v) { impl_->requires_grad = v; }
+
+  std::shared_ptr<TensorImpl> impl() const { return impl_; }
+
+  // ----- Autograd ----------------------------------------------------------
+
+  /// Clears the gradient buffer (keeps allocation).
+  void ZeroGrad();
+
+  /// Runs reverse-mode differentiation from this (scalar) tensor: seeds
+  /// d(this)/d(this)=1 and propagates through the tape.
+  void Backward();
+
+  /// A copy sharing no autograd history (fresh leaf with the same data).
+  Tensor Detach() const;
+
+  /// Human-readable one-line summary: shape and a few leading values.
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+/// RAII guard that disables tape recording within its scope (inference mode).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// True when ops should record backward nodes (no NoGradGuard active).
+bool GradModeEnabled();
+
+/// Runs the backward pass from `root` (must be size 1). Exposed for tests;
+/// prefer `Tensor::Backward()`.
+void RunBackward(const Tensor& root);
+
+/// Returns the total number of elements for a shape.
+int64_t ShapeSize(const std::vector<int>& shape);
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_TENSOR_TENSOR_H_

@@ -1,0 +1,56 @@
+#include "src/traj/resample.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace rntraj {
+
+std::vector<double> UniformTimes(double t0, double eps, int count) {
+  RNTRAJ_CHECK(count > 0 && eps > 0.0);
+  std::vector<double> out(count);
+  for (int i = 0; i < count; ++i) out[i] = t0 + i * eps;
+  return out;
+}
+
+RawTrajectory LinearInterpolate(const RawTrajectory& in,
+                                const std::vector<double>& times) {
+  RNTRAJ_CHECK_MSG(!in.empty(), "cannot interpolate an empty trajectory");
+  RawTrajectory out;
+  out.points.reserve(times.size());
+  for (double t : times) {
+    if (t <= in.points.front().t) {
+      out.points.push_back({in.points.front().pos, t});
+      continue;
+    }
+    if (t >= in.points.back().t) {
+      out.points.push_back({in.points.back().pos, t});
+      continue;
+    }
+    // Bracketing points (first point with time > t).
+    auto it = std::upper_bound(
+        in.points.begin(), in.points.end(), t,
+        [](double value, const RawPoint& p) { return value < p.t; });
+    const RawPoint& hi = *it;
+    const RawPoint& lo = *(it - 1);
+    const double span = hi.t - lo.t;
+    const double alpha = span > 0.0 ? (t - lo.t) / span : 0.0;
+    out.points.push_back({lo.pos + (hi.pos - lo.pos) * alpha, t});
+  }
+  return out;
+}
+
+std::vector<int> KeptIndices(int n, int k) {
+  RNTRAJ_CHECK(k >= 1);
+  std::vector<int> idx;
+  for (int i = 0; i < n; i += k) idx.push_back(i);
+  return idx;
+}
+
+RawTrajectory DownsampleEvery(const RawTrajectory& in, int k) {
+  RawTrajectory out;
+  for (int i : KeptIndices(in.size(), k)) out.points.push_back(in.points[i]);
+  return out;
+}
+
+}  // namespace rntraj

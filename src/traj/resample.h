@@ -1,0 +1,31 @@
+#ifndef RNTRAJ_TRAJ_RESAMPLE_H_
+#define RNTRAJ_TRAJ_RESAMPLE_H_
+
+#include <vector>
+
+#include "src/traj/trajectory.h"
+
+/// \file resample.h
+/// Temporal resampling utilities: the linear-interpolation recovery baseline
+/// (Hoteit et al. [18]) and the fixed-stride downsampling that produces the
+/// paper's low-sample inputs (keep every 8th/16th point).
+
+namespace rntraj {
+
+/// Evenly spaced timestamps t0, t0+eps, ..., (count points).
+std::vector<double> UniformTimes(double t0, double eps, int count);
+
+/// Positions linearly interpolated (uniform-speed assumption) at `times`.
+/// Times outside the input range clamp to the first/last point.
+RawTrajectory LinearInterpolate(const RawTrajectory& in,
+                                const std::vector<double>& times);
+
+/// Keeps indices 0, k, 2k, ...; the low-sample input of the recovery task.
+RawTrajectory DownsampleEvery(const RawTrajectory& in, int k);
+
+/// The kept indices for a trajectory of length n downsampled by stride k.
+std::vector<int> KeptIndices(int n, int k);
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_TRAJ_RESAMPLE_H_

@@ -1,0 +1,63 @@
+#ifndef RNTRAJ_TRAJ_TRAJECTORY_H_
+#define RNTRAJ_TRAJ_TRAJECTORY_H_
+
+#include <vector>
+
+#include "src/geo/geo.h"
+
+/// \file trajectory.h
+/// Trajectory value types (paper Definitions 2-3): a raw GPS trajectory is a
+/// timestamped point sequence with measurement error; a map-matched
+/// trajectory locates each point as (road segment, moving ratio).
+
+namespace rntraj {
+
+/// One raw GPS observation in the planar frame.
+struct RawPoint {
+  Vec2 pos;
+  double t = 0.0;
+};
+
+/// One map-matched point: position = segment `seg_id` at `ratio` in [0,1).
+struct MatchedPoint {
+  int seg_id = -1;
+  double ratio = 0.0;
+  double t = 0.0;
+};
+
+/// Raw GPS trajectory (paper tau).
+struct RawTrajectory {
+  std::vector<RawPoint> points;
+
+  int size() const { return static_cast<int>(points.size()); }
+  bool empty() const { return points.empty(); }
+  double duration() const {
+    return points.empty() ? 0.0 : points.back().t - points.front().t;
+  }
+};
+
+/// Map-matched trajectory (paper rho); for epsilon-sample-interval
+/// trajectories, consecutive timestamps differ by a fixed interval.
+struct MatchedTrajectory {
+  std::vector<MatchedPoint> points;
+
+  int size() const { return static_cast<int>(points.size()); }
+  bool empty() const { return points.empty(); }
+  double duration() const {
+    return points.empty() ? 0.0 : points.back().t - points.front().t;
+  }
+
+  /// The travel path: visited segment ids with consecutive duplicates
+  /// collapsed (paper's E_rho used by Recall/Precision).
+  std::vector<int> TravelPath() const {
+    std::vector<int> path;
+    for (const auto& p : points) {
+      if (path.empty() || path.back() != p.seg_id) path.push_back(p.seg_id);
+    }
+    return path;
+  }
+};
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/core/decoder.h"
+#include "src/core/features.h"
+#include "src/core/gpsformer.h"
+#include "src/core/gridgnn.h"
+#include "src/core/rntrajrec.h"
+#include "src/core/trainer.h"
+#include "src/nn/optim.h"
+#include "src/sim/presets.h"
+
+namespace rntraj {
+namespace {
+
+// Shared tiny dataset for all core tests (built once; expensive).
+class CoreFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig cfg = ChengduConfig(BenchScale::kTiny);
+    cfg.num_train = 8;
+    cfg.num_val = 2;
+    cfg.num_test = 4;
+    cfg.sim.len_rho = 24;
+    dataset_ = BuildDataset(cfg).release();
+    ctx_ = new ModelContext(ModelContext::FromDataset(*dataset_));
+  }
+  static void TearDownTestSuite() {
+    delete ctx_;
+    delete dataset_;
+    dataset_ = nullptr;
+    ctx_ = nullptr;
+  }
+
+  static RnTrajRecConfig SmallConfig() {
+    RnTrajRecConfig cfg;
+    cfg.dim = 16;
+    cfg.delta = 250.0;
+    cfg.max_subgraph_nodes = 16;
+    cfg.gridgnn.gnn_layers = 1;
+    cfg.gridgnn.heads = 2;
+    cfg.gpsformer.blocks = 1;
+    cfg.gpsformer.heads = 2;
+    cfg.gpsformer.grl.heads = 2;
+    cfg.Sync();
+    return cfg;
+  }
+
+  static Dataset* dataset_;
+  static ModelContext* ctx_;
+};
+
+Dataset* CoreFixture::dataset_ = nullptr;
+ModelContext* CoreFixture::ctx_ = nullptr;
+
+TEST_F(CoreFixture, FeatureShapes) {
+  const auto& s = dataset_->train()[0];
+  const int l = s.input.size();
+  EXPECT_EQ(static_cast<int>(InputGridCells(*ctx_, s).size()), l);
+  EXPECT_EQ(InputTimeColumn(s).dim(0), l);
+  EXPECT_EQ(InputGridCoords(*ctx_, s).dim(1), 2);
+  Tensor env = EnvContext(s);
+  EXPECT_EQ(env.dim(1), kEnvFeatureDim);
+  // Exactly one hour bit set.
+  float hour_sum = 0;
+  for (int i = 0; i < 24; ++i) hour_sum += env.at(0, i);
+  EXPECT_FLOAT_EQ(hour_sum, 1.0f);
+}
+
+TEST_F(CoreFixture, TimeColumnIsMonotoneInUnitRange) {
+  const auto& s = dataset_->train()[1];
+  Tensor t = InputTimeColumn(s);
+  for (int i = 0; i < t.dim(0); ++i) {
+    EXPECT_GE(t.at(i, 0), 0.0f);
+    EXPECT_LE(t.at(i, 0), 1.0f);
+    if (i > 0) EXPECT_GT(t.at(i, 0), t.at(i - 1, 0));
+  }
+}
+
+TEST_F(CoreFixture, GridGnnShapeAndGradientFlow) {
+  SeedGlobalRng(31);
+  GridGnnConfig cfg;
+  cfg.dim = 16;
+  cfg.gnn_layers = 1;
+  cfg.heads = 2;
+  GridGnn gnn(cfg, ctx_->rn, ctx_->grid);
+  Tensor x = gnn.Forward();
+  EXPECT_EQ(x.dim(0), ctx_->rn->num_segments());
+  EXPECT_EQ(x.dim(1), 16);
+  MeanAll(Square(x)).Backward();
+  // Gradients must reach both embedding tables through GRU + GAT.
+  bool grid_grad = false;
+  bool seg_grad = false;
+  for (auto& [name, p] : gnn.NamedParameters()) {
+    double norm = 0;
+    for (float g : p.grad()) norm += std::abs(g);
+    if (name.find("grid_emb") != std::string::npos) grid_grad |= norm > 0;
+    if (name.find("seg_emb") != std::string::npos) seg_grad |= norm > 0;
+  }
+  EXPECT_TRUE(grid_grad);
+  EXPECT_TRUE(seg_grad);
+}
+
+TEST_F(CoreFixture, GridGnnVariantsProduceSameShape) {
+  SeedGlobalRng(32);
+  for (RoadEncoderKind kind :
+       {RoadEncoderKind::kGridGnn, RoadEncoderKind::kGat, RoadEncoderKind::kGcn,
+        RoadEncoderKind::kGin}) {
+    GridGnnConfig cfg;
+    cfg.dim = 8;
+    cfg.gnn_layers = 1;
+    cfg.heads = 2;
+    cfg.kind = kind;
+    GridGnn gnn(cfg, ctx_->rn, ctx_->grid);
+    Tensor x = gnn.Forward();
+    EXPECT_EQ(x.dim(0), ctx_->rn->num_segments());
+    EXPECT_EQ(x.dim(1), 8);
+  }
+}
+
+std::vector<Tensor> RandomZ(const std::vector<DenseGraph>& graphs, int dim) {
+  std::vector<Tensor> z;
+  for (const auto& g : graphs) z.push_back(Tensor::Randn({g.n, dim}, 1.0f));
+  return z;
+}
+
+TEST(GrlTest, PreservesShapesAcrossVariants) {
+  SeedGlobalRng(33);
+  std::vector<DenseGraph> graphs;
+  graphs.push_back(BuildDenseGraph(3, {{0, 1}, {1, 2}}));
+  graphs.push_back(BuildDenseGraph(2, {{0, 1}}));
+  graphs.push_back(BuildDenseGraph(4, {{0, 1}, {2, 3}, {1, 2}}));
+  std::vector<const DenseGraph*> gptrs;
+  for (auto& g : graphs) gptrs.push_back(&g);
+
+  for (int variant = 0; variant < 4; ++variant) {
+    GrlConfig cfg;
+    cfg.dim = 8;
+    cfg.heads = 2;
+    cfg.use_gated_fusion = variant != 1;
+    cfg.use_graph_norm = variant != 2;
+    cfg.use_gat = variant != 3;
+    GraphRefinementLayer grl(cfg);
+    Tensor tr = Tensor::Randn({3, 8}, 1.0f);
+    auto z = RandomZ(graphs, 8);
+    auto out = grl.Forward(tr, z, gptrs);
+    ASSERT_EQ(out.size(), 3u);
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i].dim(0), graphs[i].n) << "variant " << variant;
+      EXPECT_EQ(out[i].dim(1), 8);
+    }
+  }
+}
+
+TEST(GrlTest, GradientsReachGatedFusionParams) {
+  SeedGlobalRng(34);
+  std::vector<DenseGraph> graphs;
+  graphs.push_back(BuildDenseGraph(3, {{0, 1}}));
+  graphs.push_back(BuildDenseGraph(2, {}));
+  std::vector<const DenseGraph*> gptrs = {&graphs[0], &graphs[1]};
+  GrlConfig cfg;
+  cfg.dim = 8;
+  cfg.heads = 2;
+  GraphRefinementLayer grl(cfg);
+  Tensor tr = Tensor::Randn({2, 8}, 1.0f);
+  auto z = RandomZ(graphs, 8);
+  auto out = grl.Forward(tr, z, gptrs);
+  MeanAll(Square(ConcatRows(out))).Backward();
+  bool any = false;
+  for (auto& [name, p] : grl.NamedParameters()) {
+    if (name.rfind("wz", 0) == 0) {
+      for (float g : p.grad()) any |= g != 0.0f;
+    }
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(GpsFormerTest, OutputShapesAndNoGrlPath) {
+  SeedGlobalRng(35);
+  std::vector<DenseGraph> graphs;
+  graphs.push_back(BuildDenseGraph(3, {{0, 1}}));
+  graphs.push_back(BuildDenseGraph(2, {}));
+  std::vector<const DenseGraph*> gptrs = {&graphs[0], &graphs[1]};
+  for (bool use_grl : {true, false}) {
+    GpsFormerConfig cfg;
+    cfg.dim = 8;
+    cfg.blocks = 2;
+    cfg.heads = 2;
+    cfg.ffn_dim = 16;
+    cfg.grl.heads = 2;
+    cfg.use_grl = use_grl;
+    GpsFormer former(cfg);
+    Tensor h0 = Tensor::Randn({2, 8}, 1.0f);
+    auto out = former.Forward(h0, RandomZ(graphs, 8), gptrs);
+    EXPECT_EQ(out.h.dim(0), 2);
+    EXPECT_EQ(out.h.dim(1), 8);
+    if (use_grl) {
+      ASSERT_EQ(out.z.size(), 2u);
+      EXPECT_EQ(out.z[0].dim(0), 3);
+    }
+  }
+}
+
+TEST_F(CoreFixture, DecoderTrainLossIsFiniteAndImproves) {
+  SeedGlobalRng(36);
+  DecoderConfig dcfg;
+  dcfg.dim = 16;
+  Decoder dec(dcfg, ctx_);
+  const auto& s = dataset_->train()[0];
+  const int l = s.input.size();
+  Tensor enc = Tensor::Randn({l, 16}, 0.5f);
+  Tensor h = Tensor::Randn({1, 16}, 0.5f);
+
+  auto params = dec.Parameters();
+  Adam opt(params, 5e-3f);
+  double first = 0;
+  double last = 0;
+  for (int it = 0; it < 15; ++it) {
+    opt.ZeroGrad();
+    Tensor loss = dec.TrainLoss(enc, h, s);
+    if (it == 0) first = loss.item();
+    last = loss.item();
+    EXPECT_TRUE(std::isfinite(last));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(last, first);
+}
+
+TEST_F(CoreFixture, DecoderRespectsConstraintMaskAtObservedSteps) {
+  SeedGlobalRng(37);
+  DecoderConfig dcfg;
+  dcfg.dim = 16;
+  Decoder dec(dcfg, ctx_);
+  const auto& s = dataset_->train()[2];
+  NoGradGuard guard;
+  Tensor enc = Tensor::Randn({s.input.size(), 16}, 0.5f);
+  Tensor h = Tensor::Randn({1, 16}, 0.5f);
+  MatchedTrajectory rec = dec.Decode(enc, h, s);
+  ASSERT_EQ(rec.size(), s.truth.size());
+  // At observed timestamps even an untrained decoder must stay within the
+  // constraint radius of the observation (mask pins the softmax).
+  for (size_t i = 0; i < s.input_indices.size(); ++i) {
+    const int j = s.input_indices[i];
+    const auto proj =
+        ctx_->rn->Project(s.input.points[i].pos, rec.points[j].seg_id);
+    EXPECT_LE(proj.distance, dcfg.mask_radius + 1e-6)
+        << "step " << j << " escaped the constraint mask";
+  }
+  // Timestamps follow the eps grid.
+  for (int j = 1; j < rec.size(); ++j) {
+    EXPECT_DOUBLE_EQ(rec.points[j].t - rec.points[j - 1].t, ctx_->eps_rho);
+  }
+}
+
+TEST_F(CoreFixture, RnTrajRecLossIsFiniteAndBackpropagates) {
+  SeedGlobalRng(38);
+  RnTrajRec model(SmallConfig(), *ctx_);
+  model.BeginBatch();
+  Tensor loss = model.TrainLoss(dataset_->train()[0]);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  loss.Backward();
+  auto params = model.Parameters();
+  const double norm = ClipGradNorm(params, 1e9);
+  EXPECT_GT(norm, 0.0);
+  EXPECT_TRUE(std::isfinite(norm));
+}
+
+TEST_F(CoreFixture, RnTrajRecTrainingReducesLoss) {
+  SeedGlobalRng(39);
+  RnTrajRec model(SmallConfig(), *ctx_);
+  TrainConfig tcfg;
+  tcfg.epochs = 3;
+  tcfg.batch_size = 4;
+  tcfg.lr = 2e-3f;
+  TrainStats stats = TrainModel(model, dataset_->train(), tcfg);
+  ASSERT_EQ(stats.epoch_losses.size(), 3u);
+  EXPECT_LT(stats.epoch_losses.back(), stats.epoch_losses.front());
+}
+
+TEST_F(CoreFixture, RnTrajRecRecoverIsWellFormed) {
+  SeedGlobalRng(40);
+  RnTrajRec model(SmallConfig(), *ctx_);
+  const auto& s = dataset_->test()[0];
+  model.BeginInference();
+  model.SetTrainingMode(false);
+  MatchedTrajectory rec = model.Recover(s);
+  ASSERT_EQ(rec.size(), s.truth.size());
+  for (const auto& p : rec.points) {
+    EXPECT_GE(p.seg_id, 0);
+    EXPECT_LT(p.seg_id, ctx_->rn->num_segments());
+    EXPECT_GE(p.ratio, 0.0);
+    EXPECT_LT(p.ratio, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(rec.points.front().t, s.truth.points.front().t);
+}
+
+TEST_F(CoreFixture, RnTrajRecAblationVariantsRun) {
+  SeedGlobalRng(41);
+  for (int variant = 0; variant < 5; ++variant) {
+    RnTrajRecConfig cfg = SmallConfig();
+    cfg.gpsformer.use_grl = variant != 0;
+    cfg.gpsformer.grl.use_gated_fusion = variant != 1;
+    cfg.gpsformer.grl.use_graph_norm = variant != 2;
+    cfg.gpsformer.grl.use_gat = variant != 3;
+    cfg.use_gcl = variant != 4;
+    RnTrajRec model(cfg, *ctx_);
+    model.BeginBatch();
+    Tensor loss = model.TrainLoss(dataset_->train()[1]);
+    EXPECT_TRUE(std::isfinite(loss.item())) << "variant " << variant;
+  }
+}
+
+TEST_F(CoreFixture, SubGraphCacheIsStableAcrossCalls) {
+  SeedGlobalRng(42);
+  RnTrajRec model(SmallConfig(), *ctx_);
+  const auto& s = dataset_->train()[3];
+  model.BeginInference();
+  model.SetTrainingMode(false);
+  MatchedTrajectory a = model.Recover(s);
+  MatchedTrajectory b = model.Recover(s);
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.points[i].seg_id, b.points[i].seg_id);
+    EXPECT_DOUBLE_EQ(a.points[i].ratio, b.points[i].ratio);
+  }
+}
+
+TEST_F(CoreFixture, ParameterCountGrowsWithBlocks) {
+  RnTrajRecConfig one = SmallConfig();
+  one.gpsformer.blocks = 1;
+  RnTrajRecConfig two = SmallConfig();
+  two.gpsformer.blocks = 2;
+  RnTrajRec m1(one, *ctx_);
+  RnTrajRec m2(two, *ctx_);
+  EXPECT_GT(m2.ParameterCount(), m1.ParameterCount());
+}
+
+}  // namespace
+}  // namespace rntraj

@@ -1,0 +1,164 @@
+#include "src/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/eval/report.h"
+#include "src/sim/city.h"
+
+namespace rntraj {
+namespace {
+
+MatchedTrajectory FromSegments(const std::vector<int>& segs) {
+  MatchedTrajectory t;
+  for (size_t i = 0; i < segs.size(); ++i) {
+    t.points.push_back({segs[i], 0.25, static_cast<double>(i)});
+  }
+  return t;
+}
+
+TEST(PathScoreTest, PerfectAndDisjoint) {
+  PathScore perfect = ScoreTravelPath({1, 2, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(perfect.recall, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.precision, 1.0);
+  EXPECT_DOUBLE_EQ(perfect.f1, 1.0);
+  PathScore none = ScoreTravelPath({1, 2}, {3, 4});
+  EXPECT_DOUBLE_EQ(none.recall, 0.0);
+  EXPECT_DOUBLE_EQ(none.f1, 0.0);
+}
+
+TEST(PathScoreTest, PartialOverlapMatchesHandCount) {
+  // truth {1,2,3,4}, pred {2,4,5}: common 2 -> R=0.5, P=2/3.
+  PathScore s = ScoreTravelPath({1, 2, 3, 4}, {2, 4, 5});
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_NEAR(s.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.f1, 2 * 0.5 * (2.0 / 3.0) / (0.5 + 2.0 / 3.0), 1e-12);
+}
+
+TEST(PathScoreTest, SetSemanticsIgnoreRepeats) {
+  PathScore s = ScoreTravelPath({1, 1, 2}, {1, 2, 2, 1});
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+}
+
+class MetricsFixture : public ::testing::Test {
+ protected:
+  MetricsFixture() : rn_(MakeNetwork()), nd_(&rn_) {}
+
+  static RoadNetwork MakeNetwork() {
+    // Straight two-segment road: 0: (0,0)-(100,0), 1: (100,0)-(200,0).
+    RoadNetwork rn;
+    rn.AddSegment({{0, 0}, {100, 0}}, RoadLevel::kResidential);
+    rn.AddSegment({{100, 0}, {200, 0}}, RoadLevel::kResidential);
+    rn.AddEdge(0, 1);
+    rn.Build();
+    return rn;
+  }
+
+  RoadNetwork rn_;
+  NetworkDistance nd_;
+};
+
+TEST_F(MetricsFixture, PerfectPredictionIsZeroError) {
+  auto truth = FromSegments({0, 0, 1, 1});
+  RecoveryMetrics m = EvaluateRecovery(nd_, {truth}, {truth});
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+  EXPECT_EQ(m.num_trajectories, 1);
+}
+
+TEST_F(MetricsFixture, MaeMatchesHandComputedNetworkDistance) {
+  MatchedTrajectory truth;
+  truth.points.push_back({0, 0.25, 0.0});
+  MatchedTrajectory pred;
+  pred.points.push_back({0, 0.75, 0.0});
+  RecoveryMetrics m = EvaluateRecovery(nd_, {pred}, {truth});
+  // 50 meters along the segment.
+  EXPECT_DOUBLE_EQ(m.mae, 50.0);
+  EXPECT_DOUBLE_EQ(m.rmse, 50.0);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);  // same segment
+}
+
+TEST_F(MetricsFixture, RmseWeighsOutliersMore) {
+  MatchedTrajectory truth;
+  truth.points.push_back({0, 0.0, 0.0});
+  truth.points.push_back({0, 0.0, 1.0});
+  MatchedTrajectory pred;
+  pred.points.push_back({0, 0.1, 0.0});   // 10 m
+  pred.points.push_back({0, 0.9, 1.0});   // 90 m
+  RecoveryMetrics m = EvaluateRecovery(nd_, {pred}, {truth});
+  EXPECT_DOUBLE_EQ(m.mae, 50.0);
+  EXPECT_NEAR(m.rmse, std::sqrt((100.0 + 8100.0) / 2.0), 1e-9);
+  EXPECT_GT(m.rmse, m.mae);
+}
+
+TEST_F(MetricsFixture, AccuracyCountsSegmentsNotGeometry) {
+  auto truth = FromSegments({0, 1});
+  auto pred = FromSegments({1, 1});
+  RecoveryMetrics m = EvaluateRecovery(nd_, {pred}, {truth});
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.5);
+}
+
+TEST_F(MetricsFixture, LengthMismatchAborts) {
+  auto truth = FromSegments({0, 1});
+  auto pred = FromSegments({0});
+  EXPECT_DEATH(EvaluateRecovery(nd_, {pred}, {truth}), "length mismatch");
+}
+
+TEST(SrAtKTest, FractionAboveThreshold) {
+  std::vector<double> f1 = {0.95, 0.85, 0.75, 0.65, 0.55};
+  EXPECT_DOUBLE_EQ(SrAtK(f1, 0.9), 0.2);
+  EXPECT_DOUBLE_EQ(SrAtK(f1, 0.8), 0.4);
+  EXPECT_DOUBLE_EQ(SrAtK(f1, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(SrAtK(f1, 0.95), 0.0);  // strict inequality
+  EXPECT_DOUBLE_EQ(SrAtK({}, 0.5), 0.0);
+}
+
+TEST(ElevatedF1Test, SelectsOnlyCorridorPoints) {
+  CityConfig cfg;
+  cfg.rows = 6;
+  cfg.cols = 6;
+  cfg.spacing = 120;
+  cfg.elevated_corridor = true;
+  cfg.seed = 23;
+  RoadNetwork rn = GenerateCity(cfg);
+  int elevated_seg = -1;
+  int far_seg = -1;
+  for (int i = 0; i < rn.num_segments() && (elevated_seg < 0 || far_seg < 0);
+       ++i) {
+    if (rn.segment(i).elevated()) elevated_seg = i;
+    // A segment far from the corridor: top row.
+    if (far_seg < 0 && rn.PointAt(i, 0.5).y > 4.5 * 120) far_seg = i;
+  }
+  ASSERT_GE(elevated_seg, 0);
+  ASSERT_GE(far_seg, 0);
+
+  // Trajectory with 4 elevated points and 4 far points; prediction correct on
+  // far points only.
+  MatchedTrajectory truth;
+  MatchedTrajectory pred;
+  for (int i = 0; i < 4; ++i) {
+    truth.points.push_back({elevated_seg, 0.2, double(i)});
+    pred.points.push_back({far_seg, 0.2, double(i)});
+  }
+  for (int i = 4; i < 8; ++i) {
+    truth.points.push_back({far_seg, 0.2, double(i)});
+    pred.points.push_back({far_seg, 0.2, double(i)});
+  }
+  auto f1s = ElevatedSubTrajectoryF1(rn, {pred}, {truth}, 30.0, 4);
+  ASSERT_EQ(f1s.size(), 1u);
+  // The elevated sub-trajectory was predicted entirely wrong.
+  EXPECT_DOUBLE_EQ(f1s[0], 0.0);
+  // Too-few elevated points -> trajectory is skipped.
+  auto skipped = ElevatedSubTrajectoryF1(rn, {pred}, {truth}, 30.0, 5);
+  EXPECT_TRUE(skipped.empty());
+}
+
+TEST(ReportTest, NumFormatting) {
+  EXPECT_EQ(TablePrinter::Num(0.123456), "0.1235");
+  EXPECT_EQ(TablePrinter::Num(152.3456, 2), "152.35");
+}
+
+}  // namespace
+}  // namespace rntraj

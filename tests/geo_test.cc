@@ -1,0 +1,128 @@
+#include "src/geo/geo.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+
+namespace rntraj {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  Vec2 a{1, 2};
+  Vec2 b{3, -1};
+  EXPECT_DOUBLE_EQ((a + b).x, 4);
+  EXPECT_DOUBLE_EQ((a - b).y, 3);
+  EXPECT_DOUBLE_EQ((a * 2.0).y, 4);
+  EXPECT_DOUBLE_EQ(Dot(a, b), 1);
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5);
+}
+
+TEST(HaversineTest, KnownDistances) {
+  // One degree of latitude is ~111.2 km.
+  EXPECT_NEAR(HaversineDistance({0, 0}, {1, 0}), 111195, 100);
+  // Zero distance.
+  EXPECT_DOUBLE_EQ(HaversineDistance({31.2, 121.5}, {31.2, 121.5}), 0.0);
+  // Symmetry.
+  LatLng a{31.23, 121.47};
+  LatLng b{30.66, 104.06};
+  EXPECT_DOUBLE_EQ(HaversineDistance(a, b), HaversineDistance(b, a));
+}
+
+TEST(ProjectionTest, RoundTripsAndMatchesHaversine) {
+  const LatLng anchor{31.2, 121.5};
+  Projection proj(anchor);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    LatLng p{anchor.lat + rng.Uniform(-0.05, 0.05),
+             anchor.lng + rng.Uniform(-0.05, 0.05)};
+    Vec2 m = proj.Project(p);
+    LatLng back = proj.Unproject(m);
+    EXPECT_NEAR(back.lat, p.lat, 1e-9);
+    EXPECT_NEAR(back.lng, p.lng, 1e-9);
+    // Planar distance approximates the great-circle distance at city scale.
+    const double planar = Norm(m);
+    const double sphere = HaversineDistance(anchor, p);
+    EXPECT_NEAR(planar, sphere, sphere * 0.002 + 0.5);
+  }
+}
+
+TEST(BBoxTest, ContainsIntersectsBuffer) {
+  BBox b{0, 0, 10, 5};
+  EXPECT_TRUE(b.Contains({5, 2}));
+  EXPECT_FALSE(b.Contains({11, 2}));
+  EXPECT_TRUE(b.Intersects({9, 4, 12, 8}));
+  EXPECT_FALSE(b.Intersects({10.1, 0, 12, 5}));
+  BBox g = b.Buffered(1.0);
+  EXPECT_TRUE(g.Contains({-0.5, -0.5}));
+  EXPECT_DOUBLE_EQ(g.width(), 12);
+}
+
+TEST(SegmentProjectionTest, InteriorEndpointAndClamp) {
+  Vec2 a{0, 0};
+  Vec2 b{10, 0};
+  auto mid = ProjectOntoSegment({5, 3}, a, b);
+  EXPECT_DOUBLE_EQ(mid.distance, 3);
+  EXPECT_DOUBLE_EQ(mid.ratio, 0.5);
+  auto before = ProjectOntoSegment({-4, 3}, a, b);
+  EXPECT_DOUBLE_EQ(before.ratio, 0);
+  EXPECT_DOUBLE_EQ(before.distance, 5);
+  auto after = ProjectOntoSegment({14, -3}, a, b);
+  EXPECT_DOUBLE_EQ(after.ratio, 1);
+  EXPECT_DOUBLE_EQ(after.distance, 5);
+}
+
+TEST(SegmentProjectionTest, DegenerateSegment) {
+  auto p = ProjectOntoSegment({3, 4}, {0, 0}, {0, 0});
+  EXPECT_DOUBLE_EQ(p.distance, 5);
+  EXPECT_DOUBLE_EQ(p.ratio, 0);
+}
+
+TEST(PolylineTest, LengthAndBounds) {
+  Polyline line({{0, 0}, {3, 0}, {3, 4}});
+  EXPECT_DOUBLE_EQ(line.length(), 7);
+  EXPECT_DOUBLE_EQ(line.bounds().max_x, 3);
+  EXPECT_DOUBLE_EQ(line.bounds().max_y, 4);
+}
+
+TEST(PolylineTest, PointAtWalksArcLength) {
+  Polyline line({{0, 0}, {3, 0}, {3, 4}});
+  Vec2 p0 = line.PointAt(0);
+  EXPECT_DOUBLE_EQ(p0.x, 0);
+  Vec2 pm = line.PointAt(3.0 / 7.0);  // exactly at the corner
+  EXPECT_NEAR(pm.x, 3, 1e-9);
+  EXPECT_NEAR(pm.y, 0, 1e-9);
+  Vec2 p1 = line.PointAt(1);
+  EXPECT_DOUBLE_EQ(p1.y, 4);
+  // Clamps out-of-range ratios.
+  EXPECT_DOUBLE_EQ(line.PointAt(-1).x, 0);
+  EXPECT_DOUBLE_EQ(line.PointAt(2).y, 4);
+}
+
+TEST(PolylineTest, ProjectPicksClosestPiece) {
+  Polyline line({{0, 0}, {10, 0}, {10, 10}});
+  auto p = line.Project({9, 6});
+  EXPECT_DOUBLE_EQ(p.distance, 1);
+  EXPECT_NEAR(p.ratio, 16.0 / 20.0, 1e-9);
+  EXPECT_DOUBLE_EQ(p.closest.x, 10);
+  EXPECT_DOUBLE_EQ(p.closest.y, 6);
+}
+
+TEST(PolylineTest, ProjectAndPointAtAreConsistent) {
+  Polyline line({{0, 0}, {5, 5}, {12, 3}, {20, 9}});
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    const double r = rng.Uniform(0, 1);
+    Vec2 on = line.PointAt(r);
+    auto proj = line.Project(on);
+    EXPECT_NEAR(proj.distance, 0.0, 1e-9);
+    EXPECT_NEAR(Distance(line.PointAt(proj.ratio), on), 0.0, 1e-6);
+  }
+}
+
+TEST(PolylineDeath, RejectsDegenerateInput) {
+  EXPECT_DEATH(Polyline({{1, 1}}), "polyline");
+  EXPECT_DEATH(Polyline({{1, 1}, {1, 1}}), "zero-length");
+}
+
+}  // namespace
+}  // namespace rntraj

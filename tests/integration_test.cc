@@ -1,0 +1,135 @@
+// End-to-end integration tests across subsystems: dataset -> training ->
+// recovery -> metrics, plus cross-model comparisons that encode the shapes
+// the paper's evaluation relies on (kept loose enough to be robust at tiny
+// scale).
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/zoo.h"
+#include "src/common/random.h"
+#include "src/core/trainer.h"
+#include "src/eval/metrics.h"
+#include "src/sim/presets.h"
+
+namespace rntraj {
+namespace {
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig cfg = ChengduConfig(BenchScale::kTiny);
+    cfg.num_train = 24;
+    cfg.num_val = 4;
+    cfg.num_test = 10;
+    dataset_ = BuildDataset(cfg).release();
+    ctx_ = new ModelContext(ModelContext::FromDataset(*dataset_));
+  }
+  static void TearDownTestSuite() {
+    delete ctx_;
+    delete dataset_;
+    dataset_ = nullptr;
+    ctx_ = nullptr;
+  }
+
+  RecoveryMetrics TrainAndEvaluate(const std::string& key, int epochs) {
+    SeedGlobalRng(777);
+    auto model = MakeModel(key, *ctx_, 16);
+    TrainConfig tc;
+    tc.epochs = epochs;
+    tc.batch_size = 6;
+    TrainModel(*model, dataset_->train(), tc);
+    auto preds = RecoverAll(*model, dataset_->test());
+    return EvaluateRecovery(dataset_->netdist(), preds,
+                            TruthsOf(dataset_->test()));
+  }
+
+  static Dataset* dataset_;
+  static ModelContext* ctx_;
+};
+
+Dataset* IntegrationFixture::dataset_ = nullptr;
+ModelContext* IntegrationFixture::ctx_ = nullptr;
+
+TEST_F(IntegrationFixture, LinearHmmPipelineProducesSaneMetrics) {
+  RecoveryMetrics m = TrainAndEvaluate("linear_hmm", 0);
+  EXPECT_GT(m.accuracy, 0.05);
+  EXPECT_GT(m.f1, 0.1);
+  EXPECT_LT(m.mae, 1500.0);
+  EXPECT_GE(m.rmse, m.mae);
+  EXPECT_EQ(m.num_trajectories, 10);
+}
+
+TEST_F(IntegrationFixture, TrainedRnTrajRecBeatsUntrained) {
+  SeedGlobalRng(777);
+  auto untrained = MakeModel("rntrajrec", *ctx_, 16);
+  auto preds_untrained = RecoverAll(*untrained, dataset_->test());
+  RecoveryMetrics m0 = EvaluateRecovery(dataset_->netdist(), preds_untrained,
+                                        TruthsOf(dataset_->test()));
+  RecoveryMetrics m1 = TrainAndEvaluate("rntrajrec", 4);
+  // Training must improve at least the geometric error.
+  EXPECT_LT(m1.mae, m0.mae * 1.05);
+  EXPECT_GE(m1.f1 + 0.02, m0.f1);
+}
+
+TEST_F(IntegrationFixture, ObservedStepsAreAnchoredForAllMethods) {
+  // The constraint-mask invariant: at observed timestamps every method must
+  // place the point within the mask radius of the observation. DHTR is
+  // exempt: it regresses coordinates freely without the constraint mask —
+  // exactly the two-stage weakness the paper's decoder fixes.
+  for (const auto& key : TableThreeMethodKeys()) {
+    if (key == "dhtr_hmm") continue;
+    SeedGlobalRng(777);
+    auto model = MakeModel(key, *ctx_, 16);
+    model->SetTrainingMode(false);
+    model->BeginInference();
+    const auto& s = dataset_->test()[1];
+    MatchedTrajectory rec = model->Recover(s);
+    for (size_t i = 0; i < s.input_indices.size(); ++i) {
+      const int j = s.input_indices[i];
+      const double d =
+          ctx_->rn->Project(s.input.points[i].pos, rec.points[j].seg_id)
+              .distance;
+      // HMM-based methods use their own candidate radius; allow slack.
+      EXPECT_LE(d, 350.0) << key << " step " << j;
+    }
+  }
+}
+
+TEST_F(IntegrationFixture, MetricsAreDeterministicForFixedSeeds) {
+  RecoveryMetrics a = TrainAndEvaluate("mtrajrec", 2);
+  RecoveryMetrics b = TrainAndEvaluate("mtrajrec", 2);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  EXPECT_DOUBLE_EQ(a.mae, b.mae);
+}
+
+TEST_F(IntegrationFixture, RecoveredTimestampsMatchTruthGrid) {
+  SeedGlobalRng(778);
+  auto model = MakeModel("t2vec", *ctx_, 16);
+  model->SetTrainingMode(false);
+  model->BeginInference();
+  const auto& s = dataset_->test()[2];
+  MatchedTrajectory rec = model->Recover(s);
+  ASSERT_EQ(rec.size(), s.truth.size());
+  for (int j = 0; j < rec.size(); ++j) {
+    EXPECT_DOUBLE_EQ(rec.points[j].t, s.truth.points[j].t);
+  }
+}
+
+TEST_F(IntegrationFixture, EvaluateAcceptsAllMethodOutputsJointly) {
+  std::vector<std::string> keys = {"linear_hmm", "dhtr_hmm", "gts"};
+  for (const auto& key : keys) {
+    SeedGlobalRng(779);
+    auto model = MakeModel(key, *ctx_, 16);
+    model->SetTrainingMode(false);
+    model->BeginInference();
+    auto preds = RecoverAll(*model, dataset_->test());
+    RecoveryMetrics m =
+        EvaluateRecovery(dataset_->netdist(), preds, TruthsOf(dataset_->test()));
+    EXPECT_TRUE(std::isfinite(m.mae)) << key;
+    EXPECT_GE(m.recall, 0.0);
+    EXPECT_LE(m.precision, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace rntraj

@@ -1,0 +1,145 @@
+#include "src/mapmatch/hmm.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/sim/city.h"
+#include "src/sim/simulate.h"
+
+namespace rntraj {
+namespace {
+
+struct World {
+  RoadNetwork rn;
+  RTree rtree;
+  NetworkDistance nd;
+
+  explicit World(const CityConfig& cfg)
+      : rn(GenerateCity(cfg)), rtree(BuildSegmentRTree(rn)), nd(&rn) {}
+};
+
+CityConfig TestCity(bool elevated = false) {
+  CityConfig cfg;
+  cfg.rows = 6;
+  cfg.cols = 6;
+  cfg.spacing = 120.0;
+  cfg.elevated_corridor = elevated;
+  cfg.seed = 17;
+  return cfg;
+}
+
+RawTrajectory Observe(const World& w, const MatchedTrajectory& truth,
+                      double sigma, uint64_t seed) {
+  GpsNoiseConfig noise;
+  noise.sigma = sigma;
+  noise.elevated_extra_sigma = 0.0;
+  Rng rng(seed);
+  return MakeRawObservations(w.rn, truth, noise, rng);
+}
+
+TEST(HmmTest, PerfectObservationsAreMatchedNearlyPerfectly) {
+  World w(TestCity());
+  SimulatorConfig scfg;
+  scfg.len_rho = 40;
+  TrajectorySimulator sim(&w.rn, scfg);
+  Rng rng(1);
+  MatchedTrajectory truth = sim.Sample(rng);
+  RawTrajectory exact = Observe(w, truth, /*sigma=*/0.01, 2);
+  MatchedTrajectory matched = HmmMapMatch(w.rn, w.rtree, w.nd, exact);
+  ASSERT_EQ(matched.size(), truth.size());
+  int correct = 0;
+  for (int i = 0; i < truth.size(); ++i) {
+    correct += matched.points[i].seg_id == truth.points[i].seg_id;
+  }
+  // Noise-free points can still be ambiguous at intersections (ratio 0 of the
+  // next segment == ratio 1 of the previous), so allow a small slack.
+  EXPECT_GE(correct, truth.size() * 9 / 10);
+}
+
+TEST(HmmTest, NoisyObservationsRecoverMostSegments) {
+  World w(TestCity());
+  SimulatorConfig scfg;
+  scfg.len_rho = 40;
+  TrajectorySimulator sim(&w.rn, scfg);
+  Rng rng(3);
+  int correct = 0;
+  int total = 0;
+  for (int rep = 0; rep < 4; ++rep) {
+    MatchedTrajectory truth = sim.Sample(rng);
+    RawTrajectory noisy = Observe(w, truth, /*sigma=*/12.0, 100 + rep);
+    MatchedTrajectory matched = HmmMapMatch(w.rn, w.rtree, w.nd, noisy);
+    for (int i = 0; i < truth.size(); ++i) {
+      correct += matched.points[i].seg_id == truth.points[i].seg_id;
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<double>(correct) / total, 0.6);
+}
+
+TEST(HmmTest, BeatsNearestSegmentOnNoisyData) {
+  World w(TestCity());
+  SimulatorConfig scfg;
+  scfg.len_rho = 48;
+  TrajectorySimulator sim(&w.rn, scfg);
+  Rng rng(7);
+  int hmm_correct = 0;
+  int nearest_correct = 0;
+  int total = 0;
+  for (int rep = 0; rep < 4; ++rep) {
+    MatchedTrajectory truth = sim.Sample(rng);
+    RawTrajectory noisy = Observe(w, truth, /*sigma=*/18.0, 200 + rep);
+    MatchedTrajectory matched = HmmMapMatch(w.rn, w.rtree, w.nd, noisy);
+    for (int i = 0; i < truth.size(); ++i) {
+      hmm_correct += matched.points[i].seg_id == truth.points[i].seg_id;
+      const auto near =
+          SegmentsWithinRadius(w.rn, w.rtree, noisy.points[i].pos, 60.0);
+      nearest_correct += near[0].seg_id == truth.points[i].seg_id;
+      ++total;
+    }
+  }
+  // Temporal context must help: HMM >= pointwise nearest-segment matching.
+  EXPECT_GE(hmm_correct, nearest_correct);
+}
+
+TEST(HmmTest, OutputPreservesTimestamps) {
+  World w(TestCity());
+  RawTrajectory traj;
+  traj.points.push_back({{10, 10}, 5.0});
+  traj.points.push_back({{100, 15}, 17.0});
+  MatchedTrajectory m = HmmMapMatch(w.rn, w.rtree, w.nd, traj);
+  ASSERT_EQ(m.size(), 2);
+  EXPECT_DOUBLE_EQ(m.points[0].t, 5.0);
+  EXPECT_DOUBLE_EQ(m.points[1].t, 17.0);
+  for (const auto& p : m.points) {
+    EXPECT_GE(p.seg_id, 0);
+    EXPECT_LT(p.seg_id, w.rn.num_segments());
+    EXPECT_GE(p.ratio, 0.0);
+    EXPECT_LT(p.ratio, 1.0);
+  }
+}
+
+TEST(HmmTest, EmptyAndSinglePoint) {
+  World w(TestCity());
+  EXPECT_TRUE(HmmMapMatch(w.rn, w.rtree, w.nd, RawTrajectory{}).empty());
+  RawTrajectory one;
+  one.points.push_back({{50, 50}, 0.0});
+  MatchedTrajectory m = HmmMapMatch(w.rn, w.rtree, w.nd, one);
+  EXPECT_EQ(m.size(), 1);
+}
+
+TEST(HmmTest, SurvivesTeleportingPoints) {
+  // Two points far apart with a tiny candidate radius force a Viterbi break;
+  // matching must still return a result for every point.
+  World w(TestCity());
+  RawTrajectory traj;
+  traj.points.push_back({{0, 0}, 0.0});
+  traj.points.push_back({{560, 560}, 10.0});
+  traj.points.push_back({{0, 560}, 20.0});
+  HmmConfig cfg;
+  cfg.candidate_radius = 30.0;
+  MatchedTrajectory m = HmmMapMatch(w.rn, w.rtree, w.nd, traj, cfg);
+  ASSERT_EQ(m.size(), 3);
+}
+
+}  // namespace
+}  // namespace rntraj

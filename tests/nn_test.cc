@@ -1,0 +1,410 @@
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/nn/attention.h"
+#include "src/nn/graph.h"
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+#include "src/nn/norm.h"
+#include "src/nn/optim.h"
+#include "src/nn/rnn.h"
+#include "src/nn/transformer.h"
+#include "tests/test_util.h"
+
+namespace rntraj {
+namespace {
+
+using testing_util::MaxGradError;
+
+constexpr double kTol = 3e-2;
+
+TEST(LinearTest, ShapesAndBias) {
+  SeedGlobalRng(1);
+  Linear lin(4, 3);
+  Tensor x = Tensor::Randn({5, 4}, 1.0f);
+  Tensor y = lin.Forward(x);
+  EXPECT_EQ(y.dim(0), 5);
+  EXPECT_EQ(y.dim(1), 3);
+  EXPECT_EQ(lin.ParameterCount(), 4 * 3 + 3);
+  Linear nb(4, 3, /*bias=*/false);
+  EXPECT_EQ(nb.ParameterCount(), 12);
+}
+
+TEST(LinearTest, VectorInputStaysRankOne) {
+  SeedGlobalRng(2);
+  Linear lin(4, 3);
+  Tensor y = lin.Forward(Tensor::Randn({4}, 1.0f));
+  EXPECT_EQ(y.rank(), 1);
+  EXPECT_EQ(y.dim(0), 3);
+}
+
+TEST(LinearTest, GradCheckThroughLayer) {
+  SeedGlobalRng(3);
+  Linear lin(3, 2);
+  Tensor x = Tensor::Randn({4, 3}, 1.0f);
+  auto loss = [&] { return MeanAll(Square(lin.Forward(x))); };
+  EXPECT_LT(MaxGradError(loss, lin.Parameters()), kTol);
+}
+
+TEST(EmbeddingTest, LookupMatchesTableRows) {
+  SeedGlobalRng(4);
+  Embedding emb(10, 4);
+  Tensor rows = emb.Forward({3, 7, 3});
+  EXPECT_EQ(rows.dim(0), 3);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_EQ(rows.at(0, j), emb.table().at(3, j));
+    EXPECT_EQ(rows.at(1, j), emb.table().at(7, j));
+    EXPECT_EQ(rows.at(2, j), rows.at(0, j));
+  }
+  Tensor one = emb.ForwardOne(5);
+  EXPECT_EQ(one.rank(), 1);
+  EXPECT_EQ(one.dim(0), 4);
+}
+
+TEST(EmbeddingTest, OnlyTouchedRowsGetGradient) {
+  SeedGlobalRng(5);
+  Embedding emb(6, 3);
+  Tensor loss = MeanAll(Square(emb.Forward({1, 4})));
+  loss.Backward();
+  auto& g = emb.Parameters()[0].grad();
+  for (int r = 0; r < 6; ++r) {
+    const bool touched = (r == 1 || r == 4);
+    for (int c = 0; c < 3; ++c) {
+      if (touched) {
+        EXPECT_NE(g[r * 3 + c], 0.0f) << r;
+      } else {
+        EXPECT_EQ(g[r * 3 + c], 0.0f) << r;
+      }
+    }
+  }
+}
+
+TEST(GruCellTest, ShapeAndBoundedOutput) {
+  SeedGlobalRng(6);
+  GruCell cell(3, 5);
+  Tensor x = Tensor::Randn({4, 3}, 1.0f);
+  Tensor h = Tensor::Zeros({4, 5});
+  Tensor h1 = cell.Forward(x, h);
+  EXPECT_EQ(h1.dim(0), 4);
+  EXPECT_EQ(h1.dim(1), 5);
+  // GRU state is a convex combination of h (0) and tanh output: within (-1,1).
+  for (float v : h1.data()) {
+    EXPECT_GT(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(GruCellTest, GradCheck) {
+  SeedGlobalRng(7);
+  GruCell cell(2, 3);
+  Tensor x = Tensor::Randn({2, 2}, 1.0f);
+  Tensor h = Tensor::Randn({2, 3}, 0.5f);
+  auto loss = [&] { return MeanAll(Square(cell.Forward(x, h))); };
+  EXPECT_LT(MaxGradError(loss, cell.Parameters()), kTol);
+}
+
+TEST(GruSequenceTest, OutputsOneRowPerStep) {
+  SeedGlobalRng(8);
+  Gru gru(3, 4);
+  Tensor x = Tensor::Randn({6, 3}, 1.0f);
+  auto out = gru.Forward(x);
+  EXPECT_EQ(out.outputs.dim(0), 6);
+  EXPECT_EQ(out.outputs.dim(1), 4);
+  // Final state equals last output row.
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(out.final_h.at(0, j), out.outputs.at(5, j));
+  }
+}
+
+TEST(LstmTest, ShapesAndGradCheck) {
+  SeedGlobalRng(9);
+  Lstm lstm(2, 3);
+  Tensor x = Tensor::Randn({4, 2}, 1.0f);
+  auto out = lstm.Forward(x);
+  EXPECT_EQ(out.outputs.dim(0), 4);
+  EXPECT_EQ(out.outputs.dim(1), 3);
+  auto loss = [&] { return MeanAll(Square(lstm.Forward(x).outputs)); };
+  EXPECT_LT(MaxGradError(loss, lstm.Parameters()), kTol);
+}
+
+TEST(BiLstmTest, ConcatenatesDirections) {
+  SeedGlobalRng(10);
+  BiLstm bi(3, 4);
+  Tensor x = Tensor::Randn({5, 3}, 1.0f);
+  Tensor y = bi.Forward(x);
+  EXPECT_EQ(y.dim(0), 5);
+  EXPECT_EQ(y.dim(1), 8);
+}
+
+TEST(AttentionTest, SelfAttentionShapeAndGradCheck) {
+  SeedGlobalRng(11);
+  MultiHeadSelfAttention mha(8, 2);
+  Tensor x = Tensor::Randn({5, 8}, 1.0f);
+  Tensor y = mha.Forward(x);
+  EXPECT_EQ(y.dim(0), 5);
+  EXPECT_EQ(y.dim(1), 8);
+  auto loss = [&] { return MeanAll(Square(mha.Forward(x))); };
+  EXPECT_LT(MaxGradError(loss, mha.Parameters()), kTol);
+}
+
+TEST(AttentionTest, MaskForbidsPositions) {
+  SeedGlobalRng(12);
+  MultiHeadSelfAttention mha(4, 1);
+  Tensor x = Tensor::Randn({3, 4}, 1.0f);
+  // Mask out column 2 entirely: output must not depend on row 2 of x.
+  Tensor mask = Tensor::Zeros({3, 3});
+  for (int i = 0; i < 3; ++i) mask.data()[i * 3 + 2] = -1e9f;
+  Tensor y1 = mha.Forward(x, mask);
+  x.data()[2 * 4 + 1] += 100.0f;  // perturb the masked row
+  Tensor y2 = mha.Forward(x, mask);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(y1.at(0, j), y2.at(0, j), 1e-4);
+    EXPECT_NEAR(y1.at(1, j), y2.at(1, j), 1e-4);
+  }
+}
+
+TEST(AttentionTest, AdditiveAttentionWeightsSumToOne) {
+  SeedGlobalRng(13);
+  AdditiveAttention attn(6);
+  Tensor q = Tensor::Randn({1, 6}, 1.0f);
+  Tensor keys = Tensor::Randn({7, 6}, 1.0f);
+  auto out = attn.Forward(q, keys);
+  EXPECT_EQ(out.context.dim(1), 6);
+  double sum = 0.0;
+  for (int j = 0; j < 7; ++j) sum += out.weights.at(0, j);
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(AttentionTest, AdditiveAttentionGradCheck) {
+  SeedGlobalRng(14);
+  AdditiveAttention attn(4);
+  Tensor q = Tensor::Randn({1, 4}, 1.0f);
+  Tensor keys = Tensor::Randn({5, 4}, 1.0f);
+  auto loss = [&] { return MeanAll(Square(attn.Forward(q, keys).context)); };
+  EXPECT_LT(MaxGradError(loss, attn.Parameters()), kTol);
+}
+
+TEST(LayerNormTest, RowsAreStandardised) {
+  SeedGlobalRng(15);
+  LayerNorm ln(8);
+  Tensor x = Tensor::Randn({4, 8}, 3.0f);
+  Tensor y = ln.Forward(x);
+  for (int i = 0; i < 4; ++i) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (int j = 0; j < 8; ++j) mean += y.at(i, j);
+    mean /= 8;
+    for (int j = 0; j < 8; ++j) var += (y.at(i, j) - mean) * (y.at(i, j) - mean);
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(LayerNormTest, GradCheck) {
+  SeedGlobalRng(16);
+  LayerNorm ln(5);
+  Tensor x = Tensor::Randn({3, 5}, 1.0f, true);
+  Tensor w = Tensor::Randn({5, 1}, 1.0f);
+  auto loss = [&] { return MeanAll(Matmul(ln.Forward(x), w)); };
+  std::vector<Tensor> params = ln.Parameters();
+  params.push_back(x);
+  EXPECT_LT(MaxGradError(loss, params), kTol);
+}
+
+TEST(GraphNormTest, TrainingNormalisesAndTracksRunningStats) {
+  SeedGlobalRng(17);
+  GraphNorm gn(4);
+  gn.SetTraining(true);
+  Tensor nodes = Tensor::Randn({10, 4}, 2.0f);
+  Tensor y = gn.Forward(nodes, {3, 3, 4});
+  EXPECT_EQ(y.dim(0), 10);
+  // Eval mode must use running statistics and stay deterministic.
+  gn.SetTraining(false);
+  Tensor y1 = gn.Forward(nodes, {3, 3, 4});
+  Tensor y2 = gn.Forward(nodes, {3, 3, 4});
+  testing_util::ExpectVectorNear(y1.data(), y2.data());
+}
+
+TEST(GraphNormTest, SizesMustCoverNodes) {
+  GraphNorm gn(2);
+  Tensor nodes = Tensor::Zeros({5, 2});
+  EXPECT_DEATH(gn.Forward(nodes, {2, 2}), "sizes");
+}
+
+TEST(GraphNormTest, GradCheck) {
+  SeedGlobalRng(18);
+  GraphNorm gn(3);
+  Tensor x = Tensor::Randn({6, 3}, 1.0f, true);
+  Tensor w = Tensor::Randn({3, 1}, 1.0f);
+  auto loss = [&] { return MeanAll(Square(Matmul(gn.Forward(x, {2, 4}), w))); };
+  std::vector<Tensor> params = gn.Parameters();
+  params.push_back(x);
+  EXPECT_LT(MaxGradError(loss, params), kTol);
+}
+
+TEST(TransformerTest, EncoderLayerPreservesShape) {
+  SeedGlobalRng(19);
+  TransformerEncoderLayer layer(8, 2, 16);
+  Tensor x = Tensor::Randn({6, 8}, 1.0f);
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.dim(0), 6);
+  EXPECT_EQ(y.dim(1), 8);
+}
+
+TEST(TransformerTest, EncoderGradCheckSpotCheck) {
+  SeedGlobalRng(20);
+  TransformerEncoderLayer layer(4, 2, 8);
+  Tensor x = Tensor::Randn({3, 4}, 1.0f, true);
+  auto loss = [&] { return MeanAll(Square(layer.Forward(x))); };
+  EXPECT_LT(MaxGradError(loss, {x}), kTol);
+}
+
+TEST(TransformerTest, PositionEncodingRangeAndDistinctRows) {
+  Tensor pe = SinusoidalPositionEncoding(16, 8);
+  EXPECT_EQ(pe.dim(0), 16);
+  EXPECT_EQ(pe.dim(1), 8);
+  for (float v : pe.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  // Rows must differ (position information).
+  bool any_diff = false;
+  for (int j = 0; j < 8; ++j) any_diff |= pe.at(0, j) != pe.at(5, j);
+  EXPECT_TRUE(any_diff);
+}
+
+DenseGraph ChainGraph(int n) {
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return BuildDenseGraph(n, edges);
+}
+
+TEST(DenseGraphTest, MasksMatchEdges) {
+  DenseGraph g = ChainGraph(3);  // 0->1->2 plus self loops
+  // Row 1 (node 1) may attend to {0 (pred), 1 (self)} but not 2.
+  EXPECT_EQ(g.adj_self.at(1, 0), 1.0f);
+  EXPECT_EQ(g.adj_self.at(1, 1), 1.0f);
+  EXPECT_EQ(g.adj_self.at(1, 2), 0.0f);
+  EXPECT_EQ(g.neg_mask.at(1, 2), -1e9f);
+  EXPECT_EQ(g.adj_noself.at(1, 1), 0.0f);
+  EXPECT_EQ(g.adj_noself.at(1, 0), 1.0f);
+}
+
+TEST(DenseGraphTest, GcnNormRowsAreFinite) {
+  DenseGraph g = ChainGraph(4);
+  for (float v : g.gcn_norm.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0f);
+  }
+}
+
+TEST(GatLayerTest, IsolatedNodeOnlySeesItself) {
+  SeedGlobalRng(21);
+  // Node 2 has no incoming edges besides its self loop.
+  DenseGraph g = BuildDenseGraph(3, {{0, 1}});
+  GatLayer gat(4, 1);
+  Tensor h = Tensor::Randn({3, 4}, 1.0f);
+  Tensor y1 = gat.Forward(h, g);
+  h.data()[0] += 50.0f;  // perturb node 0
+  Tensor y2 = gat.Forward(h, g);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(y1.at(2, j), y2.at(2, j), 1e-4) << "node 2 must be isolated";
+  }
+  // Node 1 aggregates node 0, so it must change.
+  bool changed = false;
+  for (int j = 0; j < 4; ++j) changed |= std::abs(y1.at(1, j) - y2.at(1, j)) > 1e-3;
+  EXPECT_TRUE(changed);
+}
+
+TEST(GatLayerTest, GradCheck) {
+  SeedGlobalRng(22);
+  DenseGraph g = ChainGraph(3);
+  GatLayer gat(4, 2);
+  Tensor h = Tensor::Randn({3, 4}, 1.0f, true);
+  auto loss = [&] { return MeanAll(Square(gat.Forward(h, g))); };
+  std::vector<Tensor> params = gat.Parameters();
+  params.push_back(h);
+  EXPECT_LT(MaxGradError(loss, params), kTol);
+}
+
+TEST(GcnGinLayerTest, ShapesAndGradCheck) {
+  SeedGlobalRng(23);
+  DenseGraph g = ChainGraph(4);
+  GcnLayer gcn(3, 3);
+  GinLayer gin(3, 6);
+  Tensor h = Tensor::Randn({4, 3}, 1.0f, true);
+  EXPECT_EQ(gcn.Forward(h, g).dim(1), 3);
+  EXPECT_EQ(gin.Forward(h, g).dim(1), 3);
+  auto loss = [&] { return MeanAll(Square(gin.Forward(gcn.Forward(h, g), g))); };
+  std::vector<Tensor> params = gcn.Parameters();
+  for (auto& p : gin.Parameters()) params.push_back(p);
+  EXPECT_LT(MaxGradError(loss, params), kTol);
+}
+
+TEST(ModuleTest, NamedParametersHaveDottedPaths) {
+  Gru gru(2, 3);
+  auto named = gru.NamedParameters();
+  ASSERT_FALSE(named.empty());
+  EXPECT_EQ(named[0].first.rfind("cell.", 0), 0);
+}
+
+TEST(ModuleTest, SetTrainingRecurses) {
+  TransformerEncoderLayer layer(4, 1, 8);
+  layer.SetTraining(false);
+  EXPECT_FALSE(layer.training());
+}
+
+TEST(OptimTest, SgdStepsDownhill) {
+  Tensor w = Tensor::FromVector({2}, {5.0f, -3.0f}, true);
+  Sgd opt({w}, 0.1f);
+  for (int i = 0; i < 50; ++i) {
+    opt.ZeroGrad();
+    Tensor loss = MeanAll(Square(w));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(std::abs(w.at(0)), 0.1f);
+  EXPECT_LT(std::abs(w.at(1)), 0.1f);
+}
+
+TEST(OptimTest, AdamFitsLinearRegression) {
+  SeedGlobalRng(24);
+  // y = x * [2, -1]^T + 0.5
+  Tensor x = Tensor::Randn({32, 2}, 1.0f);
+  std::vector<float> yv(32);
+  for (int i = 0; i < 32; ++i) yv[i] = 2 * x.at(i, 0) - x.at(i, 1) + 0.5f;
+  Tensor y = Tensor::FromVector({32, 1}, yv);
+  Linear lin(2, 1);
+  Adam opt(lin.Parameters(), 5e-2f);
+  float first_loss = 0.0f;
+  float last_loss = 0.0f;
+  for (int e = 0; e < 200; ++e) {
+    opt.ZeroGrad();
+    Tensor loss = MeanAll(Square(Sub(lin.Forward(x), y)));
+    if (e == 0) first_loss = loss.item();
+    last_loss = loss.item();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.01f);
+  EXPECT_LT(last_loss, 1e-2f);
+}
+
+TEST(OptimTest, ClipGradNormScalesLongGradients) {
+  Tensor w = Tensor::FromVector({2}, {1.0f, 1.0f}, true);
+  w.grad()[0] = 3.0f;
+  w.grad()[1] = 4.0f;  // norm 5
+  std::vector<Tensor> params = {w};
+  const double pre = ClipGradNorm(params, 1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  EXPECT_NEAR(w.grad()[0], 0.6f, 1e-5);
+  EXPECT_NEAR(w.grad()[1], 0.8f, 1e-5);
+  // Short gradients are untouched.
+  const double pre2 = ClipGradNorm(params, 10.0);
+  EXPECT_NEAR(pre2, 1.0, 1e-5);
+  EXPECT_NEAR(w.grad()[0], 0.6f, 1e-5);
+}
+
+}  // namespace
+}  // namespace rntraj

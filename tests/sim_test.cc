@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/city.h"
+#include "src/sim/dataset.h"
+#include "src/sim/presets.h"
+#include "src/sim/simulate.h"
+
+namespace rntraj {
+namespace {
+
+CityConfig SmallCity(bool elevated = false, uint64_t seed = 9) {
+  CityConfig cfg;
+  cfg.rows = 6;
+  cfg.cols = 6;
+  cfg.spacing = 120.0;
+  cfg.elevated_corridor = elevated;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(CityGeneratorTest, ProducesStronglyConnectedNetwork) {
+  for (uint64_t seed : {1, 2, 3, 4, 5}) {
+    RoadNetwork rn = GenerateCity(SmallCity(false, seed));
+    EXPECT_GT(rn.num_segments(), 40);
+    EXPECT_TRUE(rn.IsStronglyConnected()) << "seed " << seed;
+  }
+}
+
+TEST(CityGeneratorTest, ElevatedCorridorExistsAndIsParallel) {
+  RoadNetwork rn = GenerateCity(SmallCity(true));
+  int elevated_count = 0;
+  int trunk_count = 0;
+  for (int i = 0; i < rn.num_segments(); ++i) {
+    elevated_count += rn.segment(i).elevated();
+    trunk_count += rn.segment(i).level == RoadLevel::kTrunk;
+  }
+  ASSERT_GT(elevated_count, 0);
+  ASSERT_GT(trunk_count, 0);
+  // Every elevated segment must run close to some trunk segment (the
+  // ambiguity the paper's Fig. 5 case study shows).
+  for (int i = 0; i < rn.num_segments(); ++i) {
+    if (!rn.segment(i).elevated()) continue;
+    const Vec2 mid = rn.PointAt(i, 0.5);
+    double best = 1e18;
+    for (int j = 0; j < rn.num_segments(); ++j) {
+      if (rn.segment(j).level != RoadLevel::kTrunk) continue;
+      best = std::min(best, rn.Project(mid, j).distance);
+    }
+    EXPECT_LT(best, 40.0) << "elevated segment " << i << " has no nearby trunk";
+  }
+}
+
+TEST(CityGeneratorTest, ElevatedHasSparserConnectionsThanSurface) {
+  RoadNetwork rn = GenerateCity(SmallCity(true));
+  // Elevated segments should connect mostly to other elevated segments; ramps
+  // are rare. Count cross-level edges.
+  int elev_edges = 0;
+  int ramp_edges = 0;
+  for (auto [from, to] : rn.edges()) {
+    const bool fe = rn.segment(from).elevated();
+    const bool te = rn.segment(to).elevated();
+    if (fe && te) ++elev_edges;
+    if (fe != te) ++ramp_edges;
+  }
+  EXPECT_GT(elev_edges, 0);
+  EXPECT_GT(ramp_edges, 0);
+  EXPECT_LT(ramp_edges, elev_edges * 4);
+}
+
+TEST(CityGeneratorTest, DeterministicForSeed) {
+  RoadNetwork a = GenerateCity(SmallCity(true, 42));
+  RoadNetwork b = GenerateCity(SmallCity(true, 42));
+  ASSERT_EQ(a.num_segments(), b.num_segments());
+  for (int i = 0; i < a.num_segments(); ++i) {
+    EXPECT_DOUBLE_EQ(a.segment(i).length(), b.segment(i).length());
+  }
+  EXPECT_EQ(a.edges().size(), b.edges().size());
+}
+
+TEST(LevelSpeedTest, FasterRoadsAreFaster) {
+  EXPECT_GT(LevelSpeed(RoadLevel::kElevated), LevelSpeed(RoadLevel::kTrunk));
+  EXPECT_GT(LevelSpeed(RoadLevel::kTrunk), LevelSpeed(RoadLevel::kResidential));
+}
+
+TEST(SimulatorTest, TrajectoryIsContinuousOnGraph) {
+  RoadNetwork rn = GenerateCity(SmallCity(true));
+  SimulatorConfig cfg;
+  cfg.len_rho = 50;
+  cfg.eps_rho = 12.0;
+  TrajectorySimulator sim(&rn, cfg);
+  Rng rng(3);
+  MatchedTrajectory traj = sim.Sample(rng);
+  ASSERT_EQ(traj.size(), 50);
+  for (int i = 0; i < traj.size(); ++i) {
+    EXPECT_GE(traj.points[i].ratio, 0.0);
+    EXPECT_LT(traj.points[i].ratio, 1.0);
+    if (i > 0) {
+      EXPECT_DOUBLE_EQ(traj.points[i].t - traj.points[i - 1].t, 12.0);
+    }
+  }
+  // Consecutive path segments must be graph-adjacent.
+  auto path = traj.TravelPath();
+  for (size_t i = 1; i < path.size(); ++i) {
+    bool adjacent = false;
+    // The vehicle may traverse several segments between samples; a network
+    // path must exist. Check via single-hop or reachability through one
+    // intermediate at least by distance: use a short BFS.
+    std::vector<int> frontier = {path[i - 1]};
+    for (int hops = 0; hops < 6 && !adjacent; ++hops) {
+      std::vector<int> next;
+      for (int u : frontier) {
+        if (u == path[i]) adjacent = true;
+        for (int v : rn.OutEdges(u)) next.push_back(v);
+      }
+      frontier = std::move(next);
+    }
+    EXPECT_TRUE(adjacent) << "hop " << path[i - 1] << " -> " << path[i];
+  }
+}
+
+TEST(SimulatorTest, MovesAtPlausibleSpeed) {
+  RoadNetwork rn = GenerateCity(SmallCity(false));
+  SimulatorConfig cfg;
+  cfg.len_rho = 40;
+  TrajectorySimulator sim(&rn, cfg);
+  Rng rng(5);
+  MatchedTrajectory traj = sim.Sample(rng);
+  // Average planar displacement per sample should be below the max speed and
+  // above walking pace.
+  double total = 0.0;
+  for (int i = 1; i < traj.size(); ++i) {
+    total += Distance(rn.PointAt(traj.points[i].seg_id, traj.points[i].ratio),
+                      rn.PointAt(traj.points[i - 1].seg_id,
+                                 traj.points[i - 1].ratio));
+  }
+  const double avg_speed = total / traj.duration();
+  EXPECT_GT(avg_speed, 2.0);
+  EXPECT_LT(avg_speed, 25.0);
+}
+
+TEST(SimulatorTest, SampleFromStartsWhereAsked) {
+  RoadNetwork rn = GenerateCity(SmallCity(true));
+  SimulatorConfig cfg;
+  cfg.len_rho = 8;
+  TrajectorySimulator sim(&rn, cfg);
+  Rng rng(6);
+  MatchedTrajectory t = sim.SampleFrom(7, 0.25, rng);
+  EXPECT_EQ(t.points[0].seg_id, 7);
+  EXPECT_DOUBLE_EQ(t.points[0].ratio, 0.25);
+}
+
+TEST(NoiseTest, ObservationsAreNearTruth) {
+  RoadNetwork rn = GenerateCity(SmallCity(false));
+  SimulatorConfig cfg;
+  cfg.len_rho = 30;
+  TrajectorySimulator sim(&rn, cfg);
+  Rng rng(7);
+  MatchedTrajectory truth = sim.Sample(rng);
+  GpsNoiseConfig noise;
+  noise.sigma = 10.0;
+  RawTrajectory raw = MakeRawObservations(rn, truth, noise, rng);
+  ASSERT_EQ(raw.size(), truth.size());
+  double total_err = 0.0;
+  for (int i = 0; i < raw.size(); ++i) {
+    EXPECT_DOUBLE_EQ(raw.points[i].t, truth.points[i].t);
+    total_err += Distance(
+        raw.points[i].pos, rn.PointAt(truth.points[i].seg_id,
+                                      truth.points[i].ratio));
+  }
+  const double mean_err = total_err / raw.size();
+  // Mean of |N(0, 10)| in 2D (Rayleigh) is sigma * sqrt(pi/2) ~ 12.5.
+  EXPECT_GT(mean_err, 5.0);
+  EXPECT_LT(mean_err, 25.0);
+}
+
+TEST(DatasetTest, SplitsAndShapes) {
+  DatasetConfig cfg = ChengduConfig(BenchScale::kTiny);
+  cfg.num_train = 6;
+  cfg.num_val = 2;
+  cfg.num_test = 3;
+  auto ds = BuildDataset(cfg);
+  EXPECT_EQ(ds->train().size(), 6u);
+  EXPECT_EQ(ds->val().size(), 2u);
+  EXPECT_EQ(ds->test().size(), 3u);
+  const auto& s = ds->train()[0];
+  EXPECT_EQ(s.truth.size(), cfg.sim.len_rho);
+  EXPECT_EQ(s.raw_noisy.size(), cfg.sim.len_rho);
+  EXPECT_EQ(s.input.size(), (cfg.sim.len_rho + cfg.keep_every - 1) /
+                                cfg.keep_every);
+  EXPECT_EQ(s.input_indices.size(), static_cast<size_t>(s.input.size()));
+  EXPECT_EQ(s.input_indices[0], 0);
+  // Unique ids.
+  EXPECT_NE(ds->train()[0].uid, ds->train()[1].uid);
+}
+
+TEST(DatasetTest, InputPointsAlignWithTruthTimestamps) {
+  DatasetConfig cfg = PortoConfig(BenchScale::kTiny);
+  cfg.num_train = 2;
+  cfg.num_val = 1;
+  cfg.num_test = 1;
+  auto ds = BuildDataset(cfg);
+  for (const auto& s : ds->train()) {
+    for (size_t i = 0; i < s.input_indices.size(); ++i) {
+      EXPECT_DOUBLE_EQ(s.input.points[i].t,
+                       s.truth.points[s.input_indices[i]].t);
+    }
+  }
+}
+
+TEST(PresetsTest, TableTwoShapesHold) {
+  // Relative dataset properties from Table II must survive the scaling:
+  // Shanghai-L is the largest; Porto has the longest eps_rho; Chengdu-Few has
+  // ~20% of Chengdu's training set.
+  const auto scale = BenchScale::kTiny;
+  auto chengdu = ChengduConfig(scale);
+  auto porto = PortoConfig(scale);
+  auto shl = ShanghaiLConfig(scale);
+  auto few = ChengduFewConfig(scale);
+  EXPECT_GT(shl.city.rows * shl.city.cols, chengdu.city.rows * chengdu.city.cols);
+  EXPECT_GT(shl.city.rows * shl.city.cols, porto.city.rows * porto.city.cols);
+  EXPECT_GT(porto.sim.eps_rho, chengdu.sim.eps_rho);
+  EXPECT_LT(few.num_train, chengdu.num_train / 3);
+  EXPECT_EQ(few.city.seed, chengdu.city.seed);  // same road network
+}
+
+TEST(PresetsTest, KeepEveryMatchesTask) {
+  EXPECT_EQ(ChengduConfig(BenchScale::kTiny, 8).keep_every, 8);
+  EXPECT_EQ(ChengduConfig(BenchScale::kTiny, 16).keep_every, 16);
+  EXPECT_EQ(ShanghaiLConfig(BenchScale::kTiny).keep_every, 16);
+}
+
+TEST(PresetsTest, ScaleFromEnvParsesValues) {
+  EXPECT_EQ(ToString(BenchScale::kTiny), "tiny");
+  EXPECT_EQ(ToString(BenchScale::kSmall), "small");
+  EXPECT_EQ(ToString(BenchScale::kFull), "full");
+}
+
+}  // namespace
+}  // namespace rntraj

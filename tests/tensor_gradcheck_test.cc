@@ -1,0 +1,225 @@
+// Numerical gradient checks for every differentiable primitive. Each case
+// builds a small random computation whose only leaves are the checked
+// parameters, then compares tape gradients to central differences.
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+#include "tests/test_util.h"
+
+namespace rntraj {
+namespace {
+
+using testing_util::MaxGradError;
+
+constexpr double kTol = 2e-2;
+
+Tensor SmoothLoss(const Tensor& t) {
+  // A generic scalar readout that mixes signs so gradients are non-trivial.
+  return MeanAll(Mul(t, t));
+}
+
+TEST(GradCheck, AddSameShape) {
+  SeedGlobalRng(1);
+  Tensor a = Tensor::Randn({3, 4}, 1.0f, true);
+  Tensor b = Tensor::Randn({3, 4}, 1.0f, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(Add(a, b)); }, {a, b}), kTol);
+}
+
+TEST(GradCheck, AddRowBroadcast) {
+  SeedGlobalRng(2);
+  Tensor a = Tensor::Randn({3, 4}, 1.0f, true);
+  Tensor b = Tensor::Randn({4}, 1.0f, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(Add(a, b)); }, {a, b}), kTol);
+}
+
+TEST(GradCheck, AddColBroadcast) {
+  SeedGlobalRng(3);
+  Tensor a = Tensor::Randn({3, 4}, 1.0f, true);
+  Tensor b = Tensor::Randn({3, 1}, 1.0f, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(Add(a, b)); }, {a, b}), kTol);
+}
+
+TEST(GradCheck, SubScalarBroadcast) {
+  SeedGlobalRng(4);
+  Tensor a = Tensor::Randn({2, 5}, 1.0f, true);
+  Tensor b = Tensor::Randn({1}, 1.0f, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(Sub(a, b)); }, {a, b}), kTol);
+}
+
+TEST(GradCheck, MulRowBroadcast) {
+  SeedGlobalRng(5);
+  Tensor a = Tensor::Randn({3, 4}, 1.0f, true);
+  Tensor b = Tensor::Randn({4}, 1.0f, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(Mul(a, b)); }, {a, b}), kTol);
+}
+
+TEST(GradCheck, DivColBroadcast) {
+  SeedGlobalRng(6);
+  Tensor a = Tensor::Randn({3, 4}, 1.0f, true);
+  // Keep the denominator away from zero.
+  Tensor b = Tensor::FromVector({3, 1}, {1.5f, -2.0f, 2.5f}, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(Div(a, b)); }, {a, b}), kTol);
+}
+
+TEST(GradCheck, MatmulBothSides) {
+  SeedGlobalRng(7);
+  Tensor a = Tensor::Randn({3, 4}, 1.0f, true);
+  Tensor b = Tensor::Randn({4, 2}, 1.0f, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(Matmul(a, b)); }, {a, b}), kTol);
+}
+
+TEST(GradCheck, MatmulVectorLhs) {
+  SeedGlobalRng(8);
+  Tensor a = Tensor::Randn({4}, 1.0f, true);
+  Tensor b = Tensor::Randn({4, 3}, 1.0f, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(Matmul(a, b)); }, {a, b}), kTol);
+}
+
+TEST(GradCheck, Transpose) {
+  SeedGlobalRng(9);
+  Tensor a = Tensor::Randn({3, 5}, 1.0f, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(Transpose(a)); }, {a}), kTol);
+}
+
+TEST(GradCheck, ConcatRowsAndSliceRows) {
+  SeedGlobalRng(10);
+  Tensor a = Tensor::Randn({2, 3}, 1.0f, true);
+  Tensor b = Tensor::Randn({1, 3}, 1.0f, true);
+  auto loss = [&] {
+    Tensor c = ConcatRows({a, b});
+    return SmoothLoss(SliceRows(c, 1, 2));
+  };
+  EXPECT_LT(MaxGradError(loss, {a, b}), kTol);
+}
+
+TEST(GradCheck, ConcatColsAndSliceCols) {
+  SeedGlobalRng(11);
+  Tensor a = Tensor::Randn({3, 2}, 1.0f, true);
+  Tensor b = Tensor::Randn({3, 3}, 1.0f, true);
+  auto loss = [&] {
+    Tensor c = ConcatCols({a, b});
+    return SmoothLoss(SliceCols(c, 1, 3));
+  };
+  EXPECT_LT(MaxGradError(loss, {a, b}), kTol);
+}
+
+TEST(GradCheck, ConcatVec) {
+  SeedGlobalRng(12);
+  Tensor a = Tensor::Randn({3}, 1.0f, true);
+  Tensor b = Tensor::Randn({2}, 1.0f, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(ConcatVec({a, b})); }, {a, b}),
+            kTol);
+}
+
+TEST(GradCheck, GatherRowsWithDuplicates) {
+  SeedGlobalRng(13);
+  Tensor a = Tensor::Randn({4, 3}, 1.0f, true);
+  std::vector<int> idx = {1, 3, 1, 0};
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(GatherRows(a, idx)); }, {a}),
+            kTol);
+}
+
+TEST(GradCheck, GatherElems) {
+  SeedGlobalRng(14);
+  Tensor a = Tensor::Randn({3, 4}, 1.0f, true);
+  std::vector<int> idx = {2, 0, 3};
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(GatherElems(a, idx)); }, {a}),
+            kTol);
+}
+
+TEST(GradCheck, ReshapeAndExpandRows) {
+  SeedGlobalRng(15);
+  Tensor a = Tensor::Randn({1, 6}, 1.0f, true);
+  auto loss = [&] {
+    Tensor r = Reshape(a, {2, 3});
+    Tensor e = ExpandRows(SliceRows(r, 0, 1), 4);
+    return SmoothLoss(e);
+  };
+  EXPECT_LT(MaxGradError(loss, {a}), kTol);
+}
+
+TEST(GradCheck, Reductions) {
+  SeedGlobalRng(16);
+  Tensor a = Tensor::Randn({3, 4}, 1.0f, true);
+  EXPECT_LT(MaxGradError([&] { return Square(SumAll(a)); }, {a}), kTol);
+  EXPECT_LT(MaxGradError([&] { return Square(MeanAll(a)); }, {a}), kTol);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(RowSum(a)); }, {a}), kTol);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(RowMean(a)); }, {a}), kTol);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(ColSum(a)); }, {a}), kTol);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(ColMean(a)); }, {a}), kTol);
+}
+
+// Smooth unary ops under a parameterised sweep.
+class UnaryGradTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnaryGradTest, SigmoidTanhExpLogSqrtSquare) {
+  SeedGlobalRng(100 + GetParam());
+  Tensor a = Tensor::Randn({2, 3}, 0.8f, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(Sigmoid(a)); }, {a}), kTol);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(Tanh(a)); }, {a}), kTol);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(Exp(a)); }, {a}), kTol);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(Square(a)); }, {a}), kTol);
+  // Log/Sqrt need positive inputs.
+  Tensor p = AddScalar(Sigmoid(a).Detach(), 0.5f);
+  p.set_requires_grad(true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(Log(p)); }, {p}), kTol);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(Sqrt(p)); }, {p}), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnaryGradTest, ::testing::Range(0, 4));
+
+TEST(GradCheck, ReluAwayFromKink) {
+  // Fix values away from 0 so central differences are valid.
+  Tensor a = Tensor::FromVector({2, 3}, {-2, -1, 0.5f, 1, 2, -0.5f}, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(Relu(a)); }, {a}, 1e-3f), kTol);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(LeakyRelu(a, 0.2f)); }, {a},
+                         1e-3f),
+            kTol);
+}
+
+TEST(GradCheck, SoftmaxRows) {
+  SeedGlobalRng(17);
+  Tensor a = Tensor::Randn({3, 5}, 1.0f, true);
+  // Weighted sum to give distinct gradients per column.
+  Tensor w = Tensor::FromVector({5, 1}, {1, -2, 3, 0.5f, -1});
+  auto loss = [&] { return MeanAll(Matmul(SoftmaxRows(a), w)); };
+  EXPECT_LT(MaxGradError(loss, {a}), kTol);
+}
+
+TEST(GradCheck, LogSoftmaxRows) {
+  SeedGlobalRng(18);
+  Tensor a = Tensor::Randn({3, 5}, 1.0f, true);
+  std::vector<int> targets = {1, 4, 0};
+  auto loss = [&] {
+    return Neg(MeanAll(GatherElems(LogSoftmaxRows(a), targets)));
+  };
+  EXPECT_LT(MaxGradError(loss, {a}), kTol);
+}
+
+TEST(GradCheck, CompositeTwoLayerMlp) {
+  SeedGlobalRng(19);
+  Tensor x = Tensor::Randn({4, 3}, 1.0f, false);
+  Tensor w1 = Tensor::Randn({3, 5}, 0.7f, true);
+  Tensor b1 = Tensor::Randn({5}, 0.3f, true);
+  Tensor w2 = Tensor::Randn({5, 2}, 0.7f, true);
+  auto loss = [&] {
+    Tensor h = Tanh(Add(Matmul(x, w1), b1));
+    return SmoothLoss(Matmul(h, w2));
+  };
+  EXPECT_LT(MaxGradError(loss, {w1, b1, w2}), kTol);
+}
+
+TEST(GradCheck, GradsAccumulateAcrossTwoBackwards) {
+  Tensor x = Tensor::FromVector({2}, {1, 2}, true);
+  Tensor z1 = SumAll(MulScalar(x, 2.0f));
+  z1.Backward();
+  Tensor z2 = SumAll(MulScalar(x, 3.0f));
+  z2.Backward();
+  testing_util::ExpectVectorNear(x.grad(), {5, 5});
+}
+
+}  // namespace
+}  // namespace rntraj

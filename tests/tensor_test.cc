@@ -1,0 +1,290 @@
+#include "src/tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/random.h"
+#include "src/tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace rntraj {
+namespace {
+
+using testing_util::ExpectVectorNear;
+
+TEST(TensorBasics, ZerosShapeAndValues) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.size(), 6);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(TensorBasics, FullAndScalar) {
+  Tensor t = Tensor::Full({4}, 2.5f);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(t.at(i), 2.5f);
+  Tensor s = Tensor::Scalar(-1.5f);
+  EXPECT_EQ(s.item(), -1.5f);
+}
+
+TEST(TensorBasics, FromVectorRowMajorAt) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0, 0), 1);
+  EXPECT_EQ(t.at(0, 1), 2);
+  EXPECT_EQ(t.at(1, 0), 3);
+  EXPECT_EQ(t.at(1, 1), 4);
+}
+
+TEST(TensorBasics, RandnIsSeededDeterministically) {
+  SeedGlobalRng(7);
+  Tensor a = Tensor::Randn({8}, 1.0f);
+  SeedGlobalRng(7);
+  Tensor b = Tensor::Randn({8}, 1.0f);
+  ExpectVectorNear(a.data(), b.data());
+}
+
+TEST(TensorBasics, DetachSharesNoHistory) {
+  Tensor a = Tensor::Full({2}, 3.0f, /*requires_grad=*/true);
+  Tensor b = MulScalar(a, 2.0f);
+  Tensor c = b.Detach();
+  EXPECT_FALSE(c.requires_grad());
+  EXPECT_EQ(c.impl()->node, nullptr);
+  ExpectVectorNear(c.data(), {6.0f, 6.0f});
+}
+
+TEST(TensorBasics, ToStringMentionsShape) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_NE(t.ToString().find("2x3"), std::string::npos);
+}
+
+TEST(TensorDeath, ItemOnNonScalarAborts) {
+  Tensor t = Tensor::Zeros({2, 2});
+  EXPECT_DEATH(t.item(), "item");
+}
+
+TEST(TensorDeath, FromVectorSizeMismatchAborts) {
+  EXPECT_DEATH(Tensor::FromVector({2, 2}, {1.0f, 2.0f}), "size mismatch");
+}
+
+TEST(AutogradBasics, SimpleChainRule) {
+  // z = sum((x * 3) + 1); dz/dx = 3.
+  Tensor x = Tensor::FromVector({3}, {1, 2, 3}, /*requires_grad=*/true);
+  Tensor z = SumAll(AddScalar(MulScalar(x, 3.0f), 1.0f));
+  EXPECT_FLOAT_EQ(z.item(), 3 + 6 + 9 + 3);
+  z.Backward();
+  ExpectVectorNear(x.grad(), {3, 3, 3});
+}
+
+TEST(AutogradBasics, ProductRule) {
+  Tensor x = Tensor::FromVector({2}, {2, 5}, true);
+  Tensor y = Tensor::FromVector({2}, {7, -3}, true);
+  Tensor z = SumAll(Mul(x, y));
+  z.Backward();
+  ExpectVectorNear(x.grad(), {7, -3});
+  ExpectVectorNear(y.grad(), {2, 5});
+}
+
+TEST(AutogradBasics, DiamondDagAccumulatesBothPaths) {
+  // z = sum(x*2) + sum(x*3): both consumers contribute to dx.
+  Tensor x = Tensor::FromVector({2}, {1, 1}, true);
+  Tensor z = Add(SumAll(MulScalar(x, 2.0f)), SumAll(MulScalar(x, 3.0f)));
+  z.Backward();
+  ExpectVectorNear(x.grad(), {5, 5});
+}
+
+TEST(AutogradBasics, ReusedTensorAccumulates) {
+  // z = sum(x * x) -> dz/dx = 2x with x used twice by the same node.
+  Tensor x = Tensor::FromVector({3}, {1, 2, 3}, true);
+  Tensor z = SumAll(Mul(x, x));
+  z.Backward();
+  ExpectVectorNear(x.grad(), {2, 4, 6});
+}
+
+TEST(AutogradBasics, NoGradGuardRecordsNothing) {
+  Tensor x = Tensor::FromVector({2}, {1, 2}, true);
+  NoGradGuard guard;
+  Tensor y = MulScalar(x, 2.0f);
+  EXPECT_EQ(y.impl()->node, nullptr);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(AutogradBasics, NoGradInputsProduceNoNode) {
+  Tensor x = Tensor::FromVector({2}, {1, 2}, /*requires_grad=*/false);
+  Tensor y = MulScalar(x, 2.0f);
+  EXPECT_EQ(y.impl()->node, nullptr);
+}
+
+TEST(AutogradBasics, ZeroGradClears) {
+  Tensor x = Tensor::FromVector({2}, {1, 2}, true);
+  SumAll(x).Backward();
+  ExpectVectorNear(x.grad(), {1, 1});
+  x.ZeroGrad();
+  ExpectVectorNear(x.grad(), {0, 0});
+}
+
+TEST(OpsForward, AddBroadcastRowVector) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3}, {10, 20, 30});
+  ExpectVectorNear(Add(a, b).data(), {11, 22, 33, 14, 25, 36});
+}
+
+TEST(OpsForward, AddBroadcastColVector) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({2, 1}, {100, 200});
+  ExpectVectorNear(Add(a, b).data(), {101, 102, 103, 204, 205, 206});
+}
+
+TEST(OpsForward, SubMulDivScalarBroadcast) {
+  Tensor a = Tensor::FromVector({2, 2}, {2, 4, 6, 8});
+  Tensor s = Tensor::Scalar(2.0f);
+  ExpectVectorNear(Sub(a, s).data(), {0, 2, 4, 6});
+  ExpectVectorNear(Mul(a, s).data(), {4, 8, 12, 16});
+  ExpectVectorNear(Div(a, s).data(), {1, 2, 3, 4});
+}
+
+TEST(OpsForward, MatmulKnownValues) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  ExpectVectorNear(Matmul(a, b).data(), {58, 64, 139, 154});
+}
+
+TEST(OpsForward, MatmulVectorLhs) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3, 2}, {1, 0, 0, 1, 1, 1});
+  Tensor c = Matmul(a, b);
+  EXPECT_EQ(c.rank(), 1);
+  ExpectVectorNear(c.data(), {4, 5});
+}
+
+TEST(OpsForward, TransposeRoundTrip) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(a);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 2);
+  ExpectVectorNear(Transpose(t).data(), a.data());
+}
+
+TEST(OpsForward, ConcatRowsMixedRank) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({2}, {3, 4});
+  Tensor c = ConcatRows({a, b});
+  EXPECT_EQ(c.dim(0), 2);
+  ExpectVectorNear(c.data(), {1, 2, 3, 4});
+}
+
+TEST(OpsForward, ConcatColsAndVec) {
+  Tensor a = Tensor::FromVector({2, 1}, {1, 2});
+  Tensor b = Tensor::FromVector({2, 2}, {3, 4, 5, 6});
+  ExpectVectorNear(ConcatCols({a, b}).data(), {1, 3, 4, 2, 5, 6});
+  Tensor u = Tensor::FromVector({2}, {1, 2});
+  Tensor v = Tensor::FromVector({1}, {9});
+  ExpectVectorNear(ConcatVec({u, v}).data(), {1, 2, 9});
+}
+
+TEST(OpsForward, SliceRowsAndCols) {
+  Tensor a = Tensor::FromVector({3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  ExpectVectorNear(SliceRows(a, 1, 2).data(), {4, 5, 6, 7, 8, 9});
+  ExpectVectorNear(SliceCols(a, 1, 1).data(), {2, 5, 8});
+}
+
+TEST(OpsForward, GatherRowsWithDuplicates) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = GatherRows(a, {2, 0, 2});
+  ExpectVectorNear(g.data(), {5, 6, 1, 2, 5, 6});
+}
+
+TEST(OpsForward, GatherElemsPicksDiagonal) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  ExpectVectorNear(GatherElems(a, {0, 2}).data(), {1, 6});
+}
+
+TEST(OpsForward, ExpandRowsRepeats) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor e = ExpandRows(a, 3);
+  ExpectVectorNear(e.data(), {1, 2, 1, 2, 1, 2});
+}
+
+TEST(OpsForward, Reductions) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(SumAll(a).item(), 21);
+  EXPECT_FLOAT_EQ(MeanAll(a).item(), 3.5f);
+  ExpectVectorNear(RowSum(a).data(), {6, 15});
+  ExpectVectorNear(RowMean(a).data(), {2, 5});
+  ExpectVectorNear(ColSum(a).data(), {5, 7, 9});
+  ExpectVectorNear(ColMean(a).data(), {2.5f, 3.5f, 4.5f});
+}
+
+TEST(OpsForward, ActivationsKnownValues) {
+  Tensor a = Tensor::FromVector({3}, {-1, 0, 2});
+  ExpectVectorNear(Relu(a).data(), {0, 0, 2});
+  ExpectVectorNear(LeakyRelu(a, 0.1f).data(), {-0.1f, 0, 2});
+  ExpectVectorNear(Square(a).data(), {1, 0, 4});
+  Tensor s = Sigmoid(Tensor::FromVector({1}, {0}));
+  EXPECT_FLOAT_EQ(s.item(), 0.5f);
+  Tensor t = Tanh(Tensor::FromVector({1}, {0}));
+  EXPECT_FLOAT_EQ(t.item(), 0.0f);
+}
+
+TEST(OpsForward, DropoutIdentityWhenEvalOrZeroP) {
+  Rng rng(1);
+  Tensor a = Tensor::FromVector({4}, {1, 2, 3, 4});
+  EXPECT_EQ(Dropout(a, 0.5f, /*training=*/false, rng).impl(), a.impl());
+  EXPECT_EQ(Dropout(a, 0.0f, /*training=*/true, rng).impl(), a.impl());
+}
+
+TEST(OpsForward, DropoutMasksAndScales) {
+  Rng rng(3);
+  Tensor a = Tensor::Full({1000}, 1.0f);
+  Tensor d = Dropout(a, 0.5f, true, rng);
+  int zeros = 0;
+  for (float v : d.data()) {
+    EXPECT_TRUE(v == 0.0f || v == 2.0f);
+    zeros += v == 0.0f;
+  }
+  EXPECT_GT(zeros, 400);
+  EXPECT_LT(zeros, 600);
+}
+
+// Softmax rows sum to one for a sweep of shapes (property test).
+class SoftmaxShapeTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SoftmaxShapeTest, RowsSumToOne) {
+  auto [n, d] = GetParam();
+  SeedGlobalRng(n * 100 + d);
+  Tensor a = Tensor::Randn({n, d}, 3.0f);
+  Tensor s = SoftmaxRows(a);
+  for (int i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < d; ++j) {
+      const float v = s.at(i, j);
+      EXPECT_GE(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST_P(SoftmaxShapeTest, LogSoftmaxMatchesLogOfSoftmax) {
+  auto [n, d] = GetParam();
+  SeedGlobalRng(n * 37 + d);
+  Tensor a = Tensor::Randn({n, d}, 2.0f);
+  Tensor ls = LogSoftmaxRows(a);
+  Tensor s = SoftmaxRows(a);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::exp(ls.data()[i]), s.data()[i], 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SoftmaxShapeTest,
+                         ::testing::Values(std::pair{1, 1}, std::pair{1, 7},
+                                           std::pair{5, 2}, std::pair{8, 33},
+                                           std::pair{16, 128}));
+
+TEST(OpsForward, SoftmaxIsShiftInvariant) {
+  Tensor a = Tensor::FromVector({1, 3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({1, 3}, {1001, 1002, 1003});
+  ExpectVectorNear(SoftmaxRows(a).data(), SoftmaxRows(b).data(), 1e-5f);
+}
+
+}  // namespace
+}  // namespace rntraj

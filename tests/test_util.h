@@ -1,0 +1,71 @@
+#ifndef RNTRAJ_TESTS_TEST_UTIL_H_
+#define RNTRAJ_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+
+/// \file test_util.h
+/// Shared helpers for unit tests: numerical gradient checking and tensor
+/// comparison utilities.
+
+namespace rntraj {
+namespace testing_util {
+
+/// Compares analytic gradients (via the autograd tape) against central-
+/// difference numerical gradients for a scalar-valued function of `params`.
+///
+/// `loss_fn` must rebuild its computation graph from the *current* data of the
+/// captured parameter tensors on every call. Returns the maximum elementwise
+/// discrepancy normalised as |a-n| / max(1, |n|); callers assert it is small.
+inline double MaxGradError(const std::function<Tensor()>& loss_fn,
+                           std::vector<Tensor> params, float eps = 5e-3f) {
+  // Analytic pass.
+  for (auto& p : params) p.ZeroGrad();
+  Tensor loss = loss_fn();
+  EXPECT_EQ(loss.size(), 1);
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(params.size());
+  for (auto& p : params) analytic.push_back(p.grad());
+
+  // Numerical pass (no tape).
+  double worst = 0.0;
+  NoGradGuard guard;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    auto& data = params[pi].data();
+    for (size_t i = 0; i < data.size(); ++i) {
+      const float saved = data[i];
+      data[i] = saved + eps;
+      const double lp = loss_fn().item();
+      data[i] = saved - eps;
+      const double lm = loss_fn().item();
+      data[i] = saved;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double err = std::abs(analytic[pi][i] - numeric) /
+                         std::max(1.0, std::abs(numeric));
+      worst = std::max(worst, err);
+    }
+  }
+  return worst;
+}
+
+/// Asserts two float vectors are elementwise close.
+inline void ExpectVectorNear(const std::vector<float>& got,
+                             const std::vector<float>& want, float tol = 1e-5f) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], tol) << "at index " << i;
+  }
+}
+
+}  // namespace testing_util
+}  // namespace rntraj
+
+#endif  // RNTRAJ_TESTS_TEST_UTIL_H_

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "src/traj/resample.h"
+#include "src/traj/trajectory.h"
+
+namespace rntraj {
+namespace {
+
+RawTrajectory MakeStraightLine() {
+  // x = 10 * t along the x axis, points at t = 0, 10, 20, 30.
+  RawTrajectory traj;
+  for (int i = 0; i < 4; ++i) {
+    traj.points.push_back({{100.0 * i, 0.0}, 10.0 * i});
+  }
+  return traj;
+}
+
+TEST(TrajectoryTest, DurationAndSize) {
+  RawTrajectory t = MakeStraightLine();
+  EXPECT_EQ(t.size(), 4);
+  EXPECT_DOUBLE_EQ(t.duration(), 30.0);
+  EXPECT_DOUBLE_EQ(RawTrajectory{}.duration(), 0.0);
+}
+
+TEST(TrajectoryTest, TravelPathCollapsesConsecutiveDuplicates) {
+  MatchedTrajectory m;
+  for (int seg : {3, 3, 5, 5, 5, 2, 3}) m.points.push_back({seg, 0.5, 0});
+  EXPECT_EQ(m.TravelPath(), (std::vector<int>{3, 5, 2, 3}));
+}
+
+TEST(UniformTimesTest, SpacingAndCount) {
+  auto times = UniformTimes(100.0, 12.0, 4);
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_DOUBLE_EQ(times[0], 100.0);
+  EXPECT_DOUBLE_EQ(times[3], 136.0);
+}
+
+TEST(LinearInterpolateTest, MidpointsAreLinear) {
+  RawTrajectory in = MakeStraightLine();
+  auto out = LinearInterpolate(in, {5.0, 15.0, 25.0});
+  ASSERT_EQ(out.size(), 3);
+  EXPECT_DOUBLE_EQ(out.points[0].pos.x, 50.0);
+  EXPECT_DOUBLE_EQ(out.points[1].pos.x, 150.0);
+  EXPECT_DOUBLE_EQ(out.points[2].pos.x, 250.0);
+}
+
+TEST(LinearInterpolateTest, ExactTimestampsReproduceInput) {
+  RawTrajectory in = MakeStraightLine();
+  auto out = LinearInterpolate(in, {0.0, 10.0, 20.0, 30.0});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(out.points[i].pos.x, in.points[i].pos.x);
+  }
+}
+
+TEST(LinearInterpolateTest, ClampsOutsideRange) {
+  RawTrajectory in = MakeStraightLine();
+  auto out = LinearInterpolate(in, {-5.0, 99.0});
+  EXPECT_DOUBLE_EQ(out.points[0].pos.x, 0.0);
+  EXPECT_DOUBLE_EQ(out.points[1].pos.x, 300.0);
+}
+
+TEST(LinearInterpolateTest, TwoDimensional) {
+  RawTrajectory in;
+  in.points.push_back({{0, 0}, 0});
+  in.points.push_back({{10, 20}, 10});
+  auto out = LinearInterpolate(in, {2.5});
+  EXPECT_DOUBLE_EQ(out.points[0].pos.x, 2.5);
+  EXPECT_DOUBLE_EQ(out.points[0].pos.y, 5.0);
+}
+
+TEST(DownsampleTest, KeepEveryK) {
+  RawTrajectory in;
+  for (int i = 0; i < 10; ++i) in.points.push_back({{double(i), 0}, double(i)});
+  auto out = DownsampleEvery(in, 4);
+  ASSERT_EQ(out.size(), 3);
+  EXPECT_DOUBLE_EQ(out.points[0].pos.x, 0);
+  EXPECT_DOUBLE_EQ(out.points[1].pos.x, 4);
+  EXPECT_DOUBLE_EQ(out.points[2].pos.x, 8);
+  EXPECT_EQ(KeptIndices(10, 4), (std::vector<int>{0, 4, 8}));
+}
+
+// Paper setting: keep_every=8 keeps 12.5% of a 64-point trajectory,
+// keep_every=16 keeps 6.25%.
+class KeepRatioTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KeepRatioTest, KeptFractionMatchesPaper) {
+  const int k = GetParam();
+  const int n = 64;
+  auto idx = KeptIndices(n, k);
+  EXPECT_NEAR(static_cast<double>(idx.size()) / n, 1.0 / k, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, KeepRatioTest, ::testing::Values(8, 16));
+
+}  // namespace
+}  // namespace rntraj
