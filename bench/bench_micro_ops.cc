@@ -12,6 +12,7 @@
 #include "src/nn/attention.h"
 #include "src/nn/graph.h"
 #include "src/sim/presets.h"
+#include "src/tensor/buffer_pool.h"
 #include "src/tensor/ops.h"
 
 namespace rntraj {
@@ -23,6 +24,7 @@ void BM_Matmul(benchmark::State& state) {
   Tensor a = Tensor::Randn({n, n}, 1.0f);
   Tensor b = Tensor::Randn({n, n}, 1.0f);
   NoGradGuard guard;
+  BufferPoolScope pool;
   for (auto _ : state) {
     benchmark::DoNotOptimize(Matmul(a, b).data().data());
   }
@@ -34,11 +36,38 @@ void BM_SoftmaxRows(benchmark::State& state) {
   SeedGlobalRng(2);
   Tensor a = Tensor::Randn({64, static_cast<int>(state.range(0))}, 1.0f);
   NoGradGuard guard;
+  BufferPoolScope pool;
   for (auto _ : state) {
     benchmark::DoNotOptimize(SoftmaxRows(a).data().data());
   }
 }
 BENCHMARK(BM_SoftmaxRows)->Arg(64)->Arg(512);
+
+void BM_AddRowCol(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SeedGlobalRng(8);
+  Tensor u = Tensor::Randn({n, 1}, 1.0f);
+  Tensor v = Tensor::Randn({n}, 1.0f);
+  NoGradGuard guard;
+  BufferPoolScope pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AddRowCol(u, v).data().data());
+  }
+}
+BENCHMARK(BM_AddRowCol)->Arg(128);
+
+void BM_MaskedSoftmaxRows(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SeedGlobalRng(9);
+  Tensor a = Tensor::Randn({n, n}, 1.0f);
+  Tensor mask = Tensor::Zeros({n, n});
+  NoGradGuard guard;
+  BufferPoolScope pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaskedSoftmaxRows(a, mask).data().data());
+  }
+}
+BENCHMARK(BM_MaskedSoftmaxRows)->Arg(128);
 
 void BM_GatLayer(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -49,6 +78,7 @@ void BM_GatLayer(benchmark::State& state) {
   GatLayer gat(32, 4);
   Tensor h = Tensor::Randn({n, 32}, 1.0f);
   NoGradGuard guard;
+  BufferPoolScope pool;
   for (auto _ : state) {
     benchmark::DoNotOptimize(gat.Forward(h, g).data().data());
   }
@@ -60,6 +90,7 @@ void BM_SelfAttention(benchmark::State& state) {
   MultiHeadSelfAttention mha(32, 4);
   Tensor x = Tensor::Randn({static_cast<int>(state.range(0)), 32}, 1.0f);
   NoGradGuard guard;
+  BufferPoolScope pool;
   for (auto _ : state) {
     benchmark::DoNotOptimize(mha.Forward(x).data().data());
   }

@@ -1,0 +1,112 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace rntraj {
+
+namespace {
+// Set while a thread is executing pool tasks; nested Run calls detect it and
+// execute inline rather than waiting on a pool they are themselves part of.
+thread_local bool t_in_pool_task = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int workers = std::max(0, num_threads - 1);
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::DrainJob() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t epoch = job_epoch_;
+  while (job_epoch_ == epoch && job_next_ < job_size_) {
+    const int t = job_next_++;
+    ++job_pending_;
+    lock.unlock();
+    t_in_pool_task = true;
+    (*job_fn_)(t);
+    t_in_pool_task = false;
+    lock.lock();
+    if (--job_pending_ == 0 && job_next_ >= job_size_) {
+      work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen_epoch = 0;
+  while (true) {
+    work_ready_.wait(lock, [&] {
+      return shutdown_ || (job_fn_ != nullptr && job_epoch_ != seen_epoch &&
+                           job_next_ < job_size_);
+    });
+    if (shutdown_) return;
+    seen_epoch = job_epoch_;
+    lock.unlock();
+    DrainJob();
+    lock.lock();
+  }
+}
+
+void ThreadPool::Run(int num_tasks, const std::function<void(int)>& fn) {
+  if (num_tasks <= 0) return;
+  if (workers_.empty() || num_tasks == 1 || t_in_pool_task) {
+    for (int t = 0; t < num_tasks; ++t) fn(t);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_fn_ = &fn;
+    job_size_ = num_tasks;
+    job_next_ = 0;
+    job_pending_ = 0;
+    ++job_epoch_;
+  }
+  work_ready_.notify_all();
+  DrainJob();  // The caller participates.
+  std::unique_lock<std::mutex> lock(mu_);
+  work_done_.wait(lock,
+                  [&] { return job_next_ >= job_size_ && job_pending_ == 0; });
+  job_fn_ = nullptr;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t total = end - begin;
+  if (total <= 0) return;
+  grain = std::max<int64_t>(1, grain);
+  ThreadPool& pool = ThreadPool::Global();
+  const int64_t max_chunks =
+      std::min<int64_t>(pool.num_threads(), (total + grain - 1) / grain);
+  if (max_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t chunk = (total + max_chunks - 1) / max_chunks;
+  pool.Run(static_cast<int>(max_chunks), [&](int t) {
+    const int64_t lo = begin + t * chunk;
+    const int64_t hi = std::min<int64_t>(end, lo + chunk);
+    if (lo < hi) fn(lo, hi);
+  });
+}
+
+}  // namespace rntraj

@@ -1,0 +1,74 @@
+#ifndef RNTRAJ_COMMON_THREAD_POOL_H_
+#define RNTRAJ_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// A small reusable worker pool for data-parallel loops. Used by the GEMM
+/// kernels (row-block parallelism) and by the trainer (batch-parallel
+/// forward). Workers are started once and reused; a parallel region costs two
+/// condition-variable round trips, not thread creation.
+
+namespace rntraj {
+
+/// Fixed-size pool of persistent worker threads executing indexed tasks.
+///
+/// `Run(num_tasks, fn)` invokes `fn(t)` for every t in [0, num_tasks) across
+/// the workers and the calling thread, and returns when all calls finished.
+/// One parallel region runs at a time (concurrent Run calls serialise); a
+/// `Run` issued from inside a task executes inline on the caller, so nested
+/// parallelism degrades gracefully instead of deadlocking.
+class ThreadPool {
+ public:
+  /// Creates `num_threads - 1` workers (the caller of Run participates as the
+  /// remaining thread). `num_threads <= 1` means no workers: Run is inline.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + caller).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(0) .. fn(num_tasks - 1), blocking until every call returned.
+  void Run(int num_tasks, const std::function<void(int)>& fn);
+
+  /// Process-wide pool sized to the hardware (std::thread::hardware_concurrency).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs task indices until the current job is exhausted.
+  void DrainJob();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::mutex run_mu_;  ///< Serialises concurrent Run calls.
+
+  // State of the in-flight job (guarded by mu_).
+  const std::function<void(int)>* job_fn_ = nullptr;
+  int job_size_ = 0;
+  int job_next_ = 0;     ///< Next unclaimed task index.
+  int job_pending_ = 0;  ///< Claimed-but-unfinished task count.
+  uint64_t job_epoch_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Splits [begin, end) into contiguous chunks of at least `grain` elements
+/// and runs `fn(chunk_begin, chunk_end)` on the global pool. Runs inline when
+/// the range is below `grain` or the pool has a single thread.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_COMMON_THREAD_POOL_H_

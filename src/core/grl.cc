@@ -38,7 +38,10 @@ Tensor GraphRefinementLayer::Fuse(const Tensor& tr_row, const Tensor& z_i) const
     return Relu(fuse_lin_.Forward(ConcatCols({trx, z_i})));
   }
   // Eq. (7): z = sigma(tr W1 + Z W2 + b); out = z*tr + (1-z)*Z.
-  Tensor gate = Sigmoid(Add(Add(Matmul(trx, wz1_), Matmul(z_i, wz2_)), bz_));
+  // tr W1 is the same row for every node, so project the single row and
+  // broadcast it, instead of multiplying the expanded (n_i, d) copy.
+  Tensor gate = Sigmoid(AddRowBroadcast(
+      AddRowBroadcast(Matmul(z_i, wz2_), bz_), Matmul(tr_row, wz1_)));
   return Add(Mul(gate, trx), Mul(AddScalar(Neg(gate), 1.0f), z_i));
 }
 

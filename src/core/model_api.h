@@ -64,6 +64,14 @@ class RecoveryModel {
   /// Scalar training loss for one sample.
   virtual Tensor TrainLoss(const TrajectorySample& sample) = 0;
 
+  /// True when TrainLoss may be called concurrently for different samples of
+  /// one batch (pure-functional forward: no shared mutable caches, no
+  /// unsynchronised RNG draws). The models in this repo keep per-batch
+  /// caches, so the default is false and the trainer's batch_threads option
+  /// falls back to serial; override after making a model's forward
+  /// re-entrant.
+  virtual bool SupportsConcurrentTrainLoss() const { return false; }
+
   /// Hook before a sequence of Recover calls (precompute shared state; the
   /// paper's Fig. 6 likewise excludes road-representation time from
   /// inference).

@@ -6,7 +6,9 @@
 #include <numeric>
 
 #include "src/common/random.h"
+#include "src/common/thread_pool.h"
 #include "src/nn/optim.h"
+#include "src/tensor/buffer_pool.h"
 #include "src/tensor/ops.h"
 
 namespace rntraj {
@@ -18,6 +20,9 @@ TrainStats TrainModel(RecoveryModel& model,
   if (!model.IsLearned() || data.empty()) return stats;
 
   const auto start = std::chrono::steady_clock::now();
+  // Recycle op outputs across iterations: after the first batch, nearly every
+  // forward/backward allocation is served from the pool.
+  BufferPoolScope pool_scope;
   model.SetTrainingMode(true);
   std::vector<Tensor> params = model.Parameters();
   Adam opt(params, cfg.lr);
@@ -40,12 +45,25 @@ TrainStats TrainModel(RecoveryModel& model,
       const size_t end = std::min(order.size(), i + cfg.batch_size);
       opt.ZeroGrad();
       model.BeginBatch();
+      const int count = static_cast<int>(end - i);
+      std::vector<Tensor> losses(count);
+      if (cfg.batch_threads > 1 && count > 1 &&
+          model.SupportsConcurrentTrainLoss()) {
+        // Concurrent forward passes; the model has declared its TrainLoss
+        // re-entrant (see RecoveryModel::SupportsConcurrentTrainLoss).
+        ThreadPool::Global().Run(count, [&](int t) {
+          losses[t] = model.TrainLoss(data[order[i + t]]);
+        });
+      } else {
+        for (int t = 0; t < count; ++t) {
+          losses[t] = model.TrainLoss(data[order[i + t]]);
+        }
+      }
       Tensor total;
-      for (size_t j = i; j < end; ++j) {
-        Tensor loss = model.TrainLoss(data[order[j]]);
+      for (const Tensor& loss : losses) {
         total = total.defined() ? Add(total, loss) : loss;
       }
-      total = MulScalar(total, 1.0f / static_cast<float>(end - i));
+      total = MulScalar(total, 1.0f / static_cast<float>(count));
       epoch_loss += total.item();
       ++batches;
       total.Backward();
@@ -69,6 +87,9 @@ std::vector<MatchedTrajectory> RecoverAll(
     RecoveryModel& model, const std::vector<TrajectorySample>& data) {
   model.SetTrainingMode(false);
   model.BeginInference();
+  // Inference is the steady-state allocation pattern the pool targets: every
+  // trajectory repeats the same op sequence over the same shapes.
+  BufferPoolScope pool_scope;
   std::vector<MatchedTrajectory> out;
   out.reserve(data.size());
   for (const auto& s : data) out.push_back(model.Recover(s));

@@ -21,6 +21,13 @@ struct TrainConfig {
   double clip_norm = 5.0;  ///< Global-norm clipping for RNN stability.
   uint64_t seed = 123;
   bool verbose = false;    ///< Print per-epoch losses to stderr.
+  /// Forward passes of a mini-batch to run concurrently on the shared thread
+  /// pool (the backward pass stays serial: gradients accumulate into shared
+  /// parameter buffers). 1 = fully serial. Values > 1 take effect only for
+  /// models whose SupportsConcurrentTrainLoss() is true — the trainer falls
+  /// back to serial otherwise, so the flag is safe on any model. Loss order
+  /// within a batch — and so the summed batch loss — is preserved either way.
+  int batch_threads = 1;
 };
 
 /// Per-run training telemetry.

@@ -47,9 +47,12 @@ class MultiHeadSelfAttention : public Module {
       Tensor qh = SliceCols(q, h * dh_, dh_);
       Tensor kh = SliceCols(k, h * dh_, dh_);
       Tensor vh = SliceCols(v, h * dh_, dh_);
-      Tensor scores = MulScalar(Matmul(qh, Transpose(kh)), scale);  // (l, l)
-      if (additive_mask.defined()) scores = Add(scores, additive_mask);
-      Tensor attn = SoftmaxRows(scores);
+      // Q K^T without materialising the transpose; the additive mask folds
+      // into the softmax pass.
+      Tensor scores = MulScalar(MatmulTransB(qh, kh), scale);  // (l, l)
+      Tensor attn = additive_mask.defined()
+                        ? MaskedSoftmaxRows(scores, additive_mask)
+                        : SoftmaxRows(scores);
       heads.push_back(Matmul(attn, vh));  // (l, dh)
     }
     (void)l;
@@ -96,7 +99,9 @@ class AdditiveAttention : public Module {
   Output Forward(const Tensor& query, const CachedKeys& cached) const {
     const int l = cached.keys.dim(0);
     Tensor qw = Matmul(query, wg_);                       // (1, d)
-    Tensor t = Tanh(Add(cached.kw, ExpandRows(qw, l)));
+    // Fused row broadcast of the query over every key row (no (l, d)
+    // ExpandRows temporary on the per-decoder-step path).
+    Tensor t = Tanh(AddRowBroadcast(cached.kw, qw));
     Tensor scores = Reshape(Matmul(t, v_), {1, l});       // (1, l)
     Tensor alpha = SoftmaxRows(scores);
     return {alpha, Matmul(alpha, cached.keys)};

@@ -98,11 +98,10 @@ class GatLayer : public Module {
       Tensor ha = Matmul(h, w_att_[k]);      // (n, dh) attention features
       Tensor u = Matmul(ha, a_src_[k]);      // (n, 1): centre term
       Tensor v = Reshape(Matmul(ha, a_dst_[k]), {n});  // (n): neighbour term
-      // scores_ij = u_i + v_j on edges, -inf elsewhere.
-      Tensor scores = Add(Add(Tensor::Zeros({n, n}), u), v);
-      scores = LeakyRelu(scores, 0.2f);
-      scores = Add(scores, g.neg_mask);
-      Tensor attn = SoftmaxRows(scores);
+      // scores_ij = u_i + v_j, built by the fused outer sum (no (n,n) zeros
+      // temporary); the connectivity mask folds into the softmax pass.
+      Tensor scores = LeakyRelu(AddRowCol(u, v), 0.2f);
+      Tensor attn = MaskedSoftmaxRows(scores, g.neg_mask);
       heads.push_back(LeakyRelu(Matmul(attn, hw), 0.2f));
     }
     return heads_ == 1 ? heads[0] : ConcatCols(heads);
@@ -128,6 +127,8 @@ class GcnLayer : public Module {
   }
 
   Tensor Forward(const Tensor& h, const DenseGraph& g) const {
+    // Dense propagation rides the blocked GEMM; the linear layer's bias add
+    // is the fused row broadcast.
     return Relu(lin_.Forward(Matmul(g.gcn_norm, h)));
   }
 

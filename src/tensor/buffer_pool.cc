@@ -1,0 +1,109 @@
+#include "src/tensor/buffer_pool.h"
+
+#include <algorithm>
+#include <array>
+
+namespace rntraj {
+
+namespace {
+
+// Buffers are bucketed by the floor power of two of their capacity, so every
+// buffer in bucket b holds at least 2^b floats. An allocation of n elements
+// looks in the ceil bucket (and one above) and therefore always receives
+// enough capacity.
+constexpr int kNumBuckets = 27;             // up to 2^26 floats = 256 MiB
+constexpr size_t kMaxPerBucket = 16;        // bound per-size cache depth
+constexpr size_t kMinPooledElems = 32;      // tiny buffers: allocator is fine
+
+struct Pool {
+  std::array<std::vector<std::vector<float>>, kNumBuckets> buckets;
+  BufferPoolStats stats;
+  int scope_depth = 0;
+};
+
+Pool& ThePool() {
+  thread_local Pool pool;
+  return pool;
+}
+
+inline int FloorLog2(size_t n) {
+  int b = 0;
+  while (n >>= 1) ++b;
+  return b;
+}
+
+inline int CeilLog2(size_t n) {
+  const int f = FloorLog2(n);
+  return (size_t{1} << f) == n ? f : f + 1;
+}
+
+}  // namespace
+
+BufferPoolScope::BufferPoolScope() { ++ThePool().scope_depth; }
+
+BufferPoolScope::~BufferPoolScope() { --ThePool().scope_depth; }
+
+BufferPoolStats GetBufferPoolStats() { return ThePool().stats; }
+
+void ClearBufferPool() {
+  Pool& pool = ThePool();
+  for (auto& bucket : pool.buckets) bucket.clear();
+  pool.stats.cached_bytes = 0;
+}
+
+namespace internal {
+
+bool BufferPoolActive() { return ThePool().scope_depth > 0; }
+
+std::vector<float> AcquireBuffer(size_t n) {
+  Pool& pool = ThePool();
+  if (pool.scope_depth > 0 && n >= kMinPooledElems) {
+    const int lo = CeilLog2(n);
+    // The ceil bucket guarantees capacity; the next one up catches buffers
+    // that landed there after vector growth rounding.
+    for (int b = lo; b < std::min(lo + 2, kNumBuckets); ++b) {
+      auto& bucket = pool.buckets[b];
+      if (!bucket.empty()) {
+        std::vector<float> buf = std::move(bucket.back());
+        bucket.pop_back();
+        pool.stats.cached_bytes -= buf.capacity() * sizeof(float);
+        ++pool.stats.hits;
+        // Capacity >= n by the bucket invariant: resize never reallocates.
+        // Growing within capacity value-initialises only the new tail.
+        buf.resize(n);
+        return buf;
+      }
+    }
+  }
+  ++pool.stats.misses;
+  std::vector<float> buf;
+  if (pool.scope_depth > 0 && n >= kMinPooledElems) {
+    // Reserve the full bucket size up front so the buffer's capacity lands in
+    // the bucket future acquires of this size class search.
+    buf.reserve(size_t{1} << CeilLog2(n));
+  }
+  buf.resize(n);
+  return buf;
+}
+
+std::vector<float> AcquireZeroedBuffer(size_t n) {
+  std::vector<float> buf = AcquireBuffer(n);
+  std::fill(buf.begin(), buf.end(), 0.0f);
+  return buf;
+}
+
+void ReleaseBuffer(std::vector<float>&& buf) {
+  Pool& pool = ThePool();
+  const size_t cap = buf.capacity();
+  if (pool.scope_depth == 0 || cap < kMinPooledElems) return;
+  const int b = FloorLog2(cap);
+  if (b >= kNumBuckets) return;
+  auto& bucket = pool.buckets[b];
+  if (bucket.size() >= kMaxPerBucket) return;
+  pool.stats.cached_bytes += cap * sizeof(float);
+  ++pool.stats.recycled;
+  bucket.push_back(std::move(buf));
+}
+
+}  // namespace internal
+}  // namespace rntraj

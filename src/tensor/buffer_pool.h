@@ -1,0 +1,61 @@
+#ifndef RNTRAJ_TENSOR_BUFFER_POOL_H_
+#define RNTRAJ_TENSOR_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <vector>
+
+/// \file buffer_pool.h
+/// Size-bucketed recycling of tensor storage. Every op allocates a fresh
+/// output buffer; on hot paths (per-GPS-point sub-graph attention, decoder
+/// steps) that is thousands of identically-sized allocations per trajectory.
+/// Inside a BufferPoolScope, freed TensorImpl storage is cached per thread
+/// and handed back to the next allocation of a compatible size instead of
+/// going through the allocator.
+
+namespace rntraj {
+
+/// RAII scope (NoGradGuard-style) that turns on storage recycling for the
+/// current thread. Scopes nest; the pool's cache persists across scopes and
+/// is only trimmed by ClearBufferPool(). Typical use: one scope around a
+/// training run or an inference batch.
+class BufferPoolScope {
+ public:
+  BufferPoolScope();
+  ~BufferPoolScope();
+  BufferPoolScope(const BufferPoolScope&) = delete;
+  BufferPoolScope& operator=(const BufferPoolScope&) = delete;
+};
+
+/// Counters for telemetry and tests (per thread).
+struct BufferPoolStats {
+  size_t hits = 0;      ///< Allocations served from the cache.
+  size_t misses = 0;    ///< Allocations that went to the allocator.
+  size_t recycled = 0;  ///< Buffers accepted back into the cache.
+  size_t cached_bytes = 0;  ///< Bytes currently held by the cache.
+};
+
+BufferPoolStats GetBufferPoolStats();
+
+/// Drops every cached buffer of the current thread.
+void ClearBufferPool();
+
+namespace internal {
+
+/// True when a BufferPoolScope is active on this thread.
+bool BufferPoolActive();
+
+/// A buffer of exactly `n` elements with unspecified contents (recycled when
+/// possible). Callers must overwrite every element.
+std::vector<float> AcquireBuffer(size_t n);
+
+/// A buffer of exactly `n` zero elements.
+std::vector<float> AcquireZeroedBuffer(size_t n);
+
+/// Offers a dying buffer back to the cache (dropped when no scope is active,
+/// the buffer is tiny, or the bucket is full).
+void ReleaseBuffer(std::vector<float>&& buf);
+
+}  // namespace internal
+}  // namespace rntraj
+
+#endif  // RNTRAJ_TENSOR_BUFFER_POOL_H_

@@ -1,0 +1,94 @@
+#ifndef RNTRAJ_TENSOR_FAST_MATH_H_
+#define RNTRAJ_TENSOR_FAST_MATH_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+/// \file fast_math.h
+/// Branch-free float transcendentals for the softmax hot loops. Unlike libm's
+/// scalar expf, these are pure arithmetic and auto-vectorise (16 lanes under
+/// AVX-512), which is what makes the fused softmax ops fast: a 128-wide
+/// attention row is ~8 vector exp evaluations instead of 128 libm calls.
+
+namespace rntraj {
+namespace internal {
+
+/// expf accurate to ~1 ulp*few (max relative error about 1e-7; Cephes
+/// polynomial): far below any gradcheck or metric tolerance in this repo.
+/// Inputs below -86 return exactly 0 — crucial for -1e9 attention masks,
+/// where a saturated near-denormal result would poison every downstream FMA
+/// with microcode assists.
+inline float FastExp(float x) {
+  const bool underflow = x < -86.0f;
+  // Saturate to a comfortably-normal range: exp(-86) ~ 4e-38 at the bottom,
+  // exp(88) ~ 1.7e38 at the top. The top stays at 88 (not expf's 88.72)
+  // because the 2^n exponent-bit construction below goes infinite once
+  // n = round(x*log2e) reaches 128, i.e. from x ~ 88.38.
+  x = underflow ? -86.0f : (x > 88.0f ? 88.0f : x);
+  // x = n*ln2 + r with n rounded to nearest, r in [-ln2/2, ln2/2]. The
+  // add-subtract magic constant rounds without a floor() call, which GCC
+  // refuses to vectorise; |x * log2e| < 2^22 always holds here.
+  constexpr float kMagic = 12582912.0f;  // 1.5 * 2^23
+  const float n = (1.44269504088896341f * x + kMagic) - kMagic;
+  // Two-step Cody-Waite subtraction keeps r exact.
+  float r = x - n * 0.693359375f;
+  r -= n * -2.12194440e-4f;
+  // Degree-6 polynomial for exp(r) on the reduced range (Cephes expf).
+  float p = 1.9875691500e-4f;
+  p = p * r + 1.3981999507e-3f;
+  p = p * r + 8.3334519073e-3f;
+  p = p * r + 4.1665795894e-2f;
+  p = p * r + 1.6666665459e-1f;
+  p = p * r + 5.0000001201e-1f;
+  p = (p * r + 1.0f) * r + 1.0f;
+  // Scale by 2^n through the exponent bits.
+  const float scale =
+      std::bit_cast<float>((static_cast<int32_t>(n) + 127) << 23);
+  return underflow ? 0.0f : p * scale;
+}
+
+/// Maximum of a row; eight-way accumulators sidestep the serial max latency
+/// chain (FP max reductions are not auto-vectorised at strict FP semantics).
+inline float RowMax(const float* x, int d) {
+  if (d < 8) {
+    float mx = x[0];
+    for (int j = 1; j < d; ++j) mx = mx < x[j] ? x[j] : mx;
+    return mx;
+  }
+  float m[8];
+  for (int t = 0; t < 8; ++t) m[t] = x[t];
+  int j = 8;
+  for (; j + 8 <= d; j += 8) {
+#pragma GCC ivdep
+    for (int t = 0; t < 8; ++t) m[t] = m[t] < x[j + t] ? x[j + t] : m[t];
+  }
+  for (; j < d; ++j) m[0] = m[0] < x[j] ? x[j] : m[0];
+  float mx = m[0];
+  for (int t = 1; t < 8; ++t) mx = mx < m[t] ? m[t] : mx;
+  return mx;
+}
+
+/// y[j] = exp(x[j] - mx) for one softmax row; returns the sum of the row.
+inline float ExpRowMinusMax(const float* x, float* y, int d, float mx) {
+  // Separate exp pass (vectorises) from the sum reduction: strict FP
+  // addition order would otherwise block vectorisation of the whole loop.
+#pragma GCC ivdep
+  for (int j = 0; j < d; ++j) y[j] = FastExp(x[j] - mx);
+  // Four-way accumulators break the serial-add latency chain.
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int j = 0;
+  for (; j + 4 <= d; j += 4) {
+    s0 += y[j];
+    s1 += y[j + 1];
+    s2 += y[j + 2];
+    s3 += y[j + 3];
+  }
+  for (; j < d; ++j) s0 += y[j];
+  return (s0 + s1) + (s2 + s3);
+}
+
+}  // namespace internal
+}  // namespace rntraj
+
+#endif  // RNTRAJ_TENSOR_FAST_MATH_H_

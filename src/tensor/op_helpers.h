@@ -14,11 +14,21 @@
 namespace rntraj {
 namespace internal {
 
-/// Allocates an output impl of the given shape (data zero-filled).
+/// Allocates an output impl of the given shape (data zero-filled). Storage
+/// comes from the thread's buffer pool inside a BufferPoolScope.
 inline std::shared_ptr<TensorImpl> NewImpl(const std::vector<int>& shape) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
-  impl->data.assign(static_cast<size_t>(ShapeSize(shape)), 0.0f);
+  impl->data = AcquireZeroedBuffer(static_cast<size_t>(ShapeSize(shape)));
+  return impl;
+}
+
+/// Like NewImpl but with unspecified data contents: for ops that overwrite
+/// every output element, skipping the zero-fill pass.
+inline std::shared_ptr<TensorImpl> NewImplUninit(const std::vector<int>& shape) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = AcquireBuffer(static_cast<size_t>(ShapeSize(shape)));
   return impl;
 }
 

@@ -40,8 +40,28 @@ Tensor Neg(const Tensor& a);
 /// result squeezed back to rank 1.
 Tensor Matmul(const Tensor& a, const Tensor& b);
 
+/// a * b^T: (n,k) x (m,k) -> (n,m), without materialising the transpose
+/// (attention scores Q K^T).
+Tensor MatmulTransB(const Tensor& a, const Tensor& b);
+
 /// Rank-2 transpose.
 Tensor Transpose(const Tensor& a);
+
+// ----- Fused broadcast ops (attention hot path) ------------------------------
+
+/// Outer sum: out[i,j] = col[i] + row[j] -> (n,m). `col` is rank-1 (n) or
+/// (n,1); `row` is rank-1 (m) or (1,m). Replaces the
+/// Add(Add(Zeros(n,m), col), row) chain of the GAT score matrix.
+Tensor AddRowCol(const Tensor& col, const Tensor& row);
+
+/// out[i,:] = a[i,:] + row -> same shape as `a` ((n,d) or rank-1 (d)).
+/// Single-pass row broadcast (bias add, key/query sums).
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& row);
+
+/// Row softmax of (a + mask) in one pass, without materialising the masked
+/// logits. `mask` is an additive no-grad constant of a's shape (use -1e9 to
+/// forbid positions, e.g. DenseGraph::neg_mask).
+Tensor MaskedSoftmaxRows(const Tensor& a, const Tensor& mask);
 
 // ----- Shape / indexing ------------------------------------------------------
 

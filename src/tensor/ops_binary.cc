@@ -49,7 +49,7 @@ Tensor Binary(BinOp kind, const char* name, const Tensor& a, const Tensor& b) {
   const Broadcast bc = ClassifyBroadcast(*ai, *bi, name);
   const int d = ai->shape.size() == 2 ? ai->shape[1] : 1;
 
-  auto out = NewImpl(ai->shape);
+  auto out = NewImplUninit(ai->shape);
   const size_t n = ai->data.size();
   for (size_t i = 0; i < n; ++i) {
     const float av = ai->data[i];
@@ -129,7 +129,7 @@ Tensor Div(const Tensor& a, const Tensor& b) {
 
 Tensor AddScalar(const Tensor& a, float s) {
   auto ai = a.impl();
-  auto out = internal::NewImpl(ai->shape);
+  auto out = internal::NewImplUninit(ai->shape);
   for (size_t i = 0; i < ai->data.size(); ++i) out->data[i] = ai->data[i] + s;
   internal::AttachNode("add_scalar", out, {ai}, [ai](const TensorImpl& o) {
     if (!ai->requires_grad) return;
@@ -141,7 +141,7 @@ Tensor AddScalar(const Tensor& a, float s) {
 
 Tensor MulScalar(const Tensor& a, float s) {
   auto ai = a.impl();
-  auto out = internal::NewImpl(ai->shape);
+  auto out = internal::NewImplUninit(ai->shape);
   for (size_t i = 0; i < ai->data.size(); ++i) out->data[i] = ai->data[i] * s;
   internal::AttachNode("mul_scalar", out, {ai}, [ai, s](const TensorImpl& o) {
     if (!ai->requires_grad) return;

@@ -1,0 +1,170 @@
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/fast_math.h"
+#include "src/tensor/op_helpers.h"
+#include "src/tensor/ops.h"
+
+/// \file ops_fused.cc
+/// Fused broadcast primitives for the attention hot paths. Each op replaces a
+/// chain of generic broadcast ops (and their intermediate n*m tensors) with a
+/// single pass over the output.
+
+namespace rntraj {
+
+namespace {
+
+// Accepts a rank-1 (n) or rank-2 (n,1) column vector; returns n.
+int ColumnLength(const TensorImpl& t, const char* op) {
+  if (t.shape.size() == 1) return t.shape[0];
+  RNTRAJ_CHECK_MSG(t.shape.size() == 2 && t.shape[1] == 1,
+                   op << ": expected column vector, got "
+                      << (t.shape.size() == 2
+                              ? "(" + std::to_string(t.shape[0]) + "," +
+                                    std::to_string(t.shape[1]) + ")"
+                              : "rank-" + std::to_string(t.shape.size())));
+  return t.shape[0];
+}
+
+// Accepts a rank-1 (m) or rank-2 (1,m) row vector; returns m.
+int RowLength(const TensorImpl& t, const char* op) {
+  if (t.shape.size() == 1) return t.shape[0];
+  RNTRAJ_CHECK_MSG(t.shape.size() == 2 && t.shape[0] == 1,
+                   op << ": expected row vector, got shape ("
+                      << t.shape[0] << "," << t.shape[1] << ")");
+  return t.shape[1];
+}
+
+}  // namespace
+
+Tensor AddRowCol(const Tensor& col, const Tensor& row) {
+  auto ci = col.impl();
+  auto ri = row.impl();
+  const int n = ColumnLength(*ci, "add_row_col");
+  const int m = RowLength(*ri, "add_row_col");
+
+  auto out = internal::NewImplUninit({n, m});
+  const float* u = ci->data.data();
+  const float* v = ri->data.data();
+  for (int i = 0; i < n; ++i) {
+    float* orow = out->data.data() + static_cast<size_t>(i) * m;
+    const float ui = u[i];
+#pragma GCC ivdep
+    for (int j = 0; j < m; ++j) orow[j] = ui + v[j];
+  }
+
+  internal::AttachNode(
+      "add_row_col", out, {ci, ri}, [ci, ri, n, m](const TensorImpl& o) {
+        if (ci->requires_grad) {
+          ci->EnsureGrad();
+          for (int i = 0; i < n; ++i) {
+            const float* grow = o.grad.data() + static_cast<size_t>(i) * m;
+            float acc = 0.0f;
+            for (int j = 0; j < m; ++j) acc += grow[j];
+            ci->grad[i] += acc;
+          }
+        }
+        if (ri->requires_grad) {
+          ri->EnsureGrad();
+          float* gv = ri->grad.data();
+          for (int i = 0; i < n; ++i) {
+            const float* grow = o.grad.data() + static_cast<size_t>(i) * m;
+#pragma GCC ivdep
+            for (int j = 0; j < m; ++j) gv[j] += grow[j];
+          }
+        }
+      });
+  return Tensor(out);
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
+  auto ai = a.impl();
+  auto ri = row.impl();
+  const bool a_was_vec = ai->shape.size() == 1;
+  const int n = a_was_vec ? 1 : ai->shape[0];
+  const int d = a_was_vec ? ai->shape[0] : ai->shape[1];
+  RNTRAJ_CHECK_MSG(RowLength(*ri, "add_row_broadcast") == d,
+                   "add_row_broadcast: width " << d << " vs row of "
+                                               << RowLength(*ri, "add_row_broadcast"));
+
+  auto out = internal::NewImplUninit(ai->shape);
+  const float* v = ri->data.data();
+  for (int i = 0; i < n; ++i) {
+    const float* arow = ai->data.data() + static_cast<size_t>(i) * d;
+    float* orow = out->data.data() + static_cast<size_t>(i) * d;
+#pragma GCC ivdep
+    for (int j = 0; j < d; ++j) orow[j] = arow[j] + v[j];
+  }
+
+  internal::AttachNode(
+      "add_row_broadcast", out, {ai, ri}, [ai, ri, n, d](const TensorImpl& o) {
+        if (ai->requires_grad) {
+          ai->EnsureGrad();
+          float* ga = ai->grad.data();
+          const float* g = o.grad.data();
+#pragma GCC ivdep
+          for (size_t i = 0; i < o.grad.size(); ++i) ga[i] += g[i];
+        }
+        if (ri->requires_grad) {
+          ri->EnsureGrad();
+          float* gv = ri->grad.data();
+          for (int i = 0; i < n; ++i) {
+            const float* grow = o.grad.data() + static_cast<size_t>(i) * d;
+#pragma GCC ivdep
+            for (int j = 0; j < d; ++j) gv[j] += grow[j];
+          }
+        }
+      });
+  return Tensor(out);
+}
+
+Tensor MaskedSoftmaxRows(const Tensor& a, const Tensor& mask) {
+  auto ai = a.impl();
+  auto mi = mask.impl();
+  RNTRAJ_CHECK(ai->shape.size() == 2);
+  RNTRAJ_CHECK_MSG(mi->shape == ai->shape,
+                   "masked_softmax_rows: mask shape mismatch");
+  // The mask is an additive constant (graph connectivity / causal structure),
+  // not a learnable input; its gradient is never needed and the backward
+  // below does not produce one.
+  RNTRAJ_CHECK_MSG(!mi->requires_grad,
+                   "masked_softmax_rows: mask must not require grad");
+  const int n = ai->shape[0];
+  const int d = ai->shape[1];
+
+  auto out = internal::NewImplUninit(ai->shape);
+  for (int i = 0; i < n; ++i) {
+    const float* x = ai->data.data() + static_cast<size_t>(i) * d;
+    const float* mk = mi->data.data() + static_cast<size_t>(i) * d;
+    float* y = out->data.data() + static_cast<size_t>(i) * d;
+    // One pass builds the masked logits directly into the output row; the
+    // vectorised exp then runs in place.
+#pragma GCC ivdep
+    for (int j = 0; j < d; ++j) y[j] = x[j] + mk[j];
+    const float mx = internal::RowMax(y, d);
+    const float sum = internal::ExpRowMinusMax(y, y, d, mx);
+    const float inv = 1.0f / sum;
+#pragma GCC ivdep
+    for (int j = 0; j < d; ++j) y[j] *= inv;
+  }
+
+  // Same Jacobian as SoftmaxRows: the additive mask shifts logits only.
+  internal::AttachNode(
+      "masked_softmax_rows", out, {ai, mi}, [ai, n, d](const TensorImpl& o) {
+        if (!ai->requires_grad) return;
+        ai->EnsureGrad();
+        for (int i = 0; i < n; ++i) {
+          const float* y = o.data.data() + static_cast<size_t>(i) * d;
+          const float* g = o.grad.data() + static_cast<size_t>(i) * d;
+          float* ga = ai->grad.data() + static_cast<size_t>(i) * d;
+          double dot = 0.0;
+          for (int j = 0; j < d; ++j) dot += g[j] * y[j];
+          for (int j = 0; j < d; ++j) {
+            ga[j] += (g[j] - static_cast<float>(dot)) * y[j];
+          }
+        }
+      });
+  return Tensor(out);
+}
+
+}  // namespace rntraj

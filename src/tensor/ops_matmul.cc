@@ -1,3 +1,7 @@
+#include <algorithm>
+#include <vector>
+
+#include "src/common/thread_pool.h"
 #include "src/tensor/op_helpers.h"
 #include "src/tensor/ops.h"
 
@@ -5,44 +9,184 @@ namespace rntraj {
 
 namespace {
 
-// C(n,m) += A(n,k) * B(k,m); dense row-major, i-k-j loop order for locality.
-void GemmAcc(const float* a, const float* b, float* c, int n, int k, int m) {
-  for (int i = 0; i < n; ++i) {
-    const float* arow = a + static_cast<size_t>(i) * k;
-    float* crow = c + static_cast<size_t>(i) * m;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b + static_cast<size_t>(kk) * m;
-      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
+// Register-blocked GEMM. All three variants (plain, A-transposed,
+// B-transposed) funnel into one micro-kernel that accumulates an MR x NR tile
+// of C in registers over a KC-deep slice of the inner dimension:
+//
+//   - MR x NR = 8 x 32 keeps 16 accumulator vectors of 16 floats live under
+//     AVX-512 (8 under AVX2); each k-step costs two B row loads and eight A
+//     broadcasts, enough to saturate both FMA ports.
+//   - KC bounds the panel working set so the A/B slices stay cache-resident
+//     for the whole tile sweep.
+//   - The A-transposed variant reads A columns, which are contiguous per
+//     k-step (k-major access), so it needs no packing; the B-transposed
+//     variant packs each KC x NR tile of B^T into a contiguous scratch panel.
+//
+// The scalar triple loop these kernels replace peaked around 20 GFLOP/s on
+// one AVX-512 core; the blocked form reaches 130+ (see BENCHMARKS.md).
+constexpr int MR = 8;
+constexpr int NR = 32;
+constexpr int KC = 256;
+
+// Below this many flops (2*n*k*m) a GEMM is not worth a trip through the
+// thread pool.
+constexpr int64_t kParallelFlopThreshold = int64_t{1} << 21;
+
+// C(tile) += A(panel) * B(panel) for an AR x nr (nr <= NRT) tile over kc
+// steps. KMajorA=false reads A(i,p) at a[i*lda + p] (row-major panel);
+// KMajorA=true reads A(i,p) at a[p*lda + i] (k-major: the A^T product, where
+// per k-step the AR values are contiguous). NRT = NR for wide sweeps; the
+// 8-wide instantiation serves narrow outputs (per-head projections, score
+// vectors) without dragging a mostly-empty 32-wide accumulator around.
+template <int AR, bool KMajorA, int NRT>
+inline void MicroKernel(const float* a, int lda, const float* b, int ldb,
+                        float* c, int ldc, int kc, int nr) {
+  float acc[AR][NRT];
+  for (int i = 0; i < AR; ++i) {
+    for (int j = 0; j < NRT; ++j) acc[i][j] = 0.0f;
+  }
+  if (nr == NRT) {
+    for (int p = 0; p < kc; ++p) {
+      const float* brow = b + static_cast<size_t>(p) * ldb;
+      for (int i = 0; i < AR; ++i) {
+        const float av = KMajorA ? a[static_cast<size_t>(p) * lda + i]
+                                 : a[static_cast<size_t>(i) * lda + p];
+#pragma GCC ivdep
+        for (int j = 0; j < NRT; ++j) acc[i][j] += av * brow[j];
+      }
+    }
+    for (int i = 0; i < AR; ++i) {
+      float* crow = c + static_cast<size_t>(i) * ldc;
+#pragma GCC ivdep
+      for (int j = 0; j < NRT; ++j) crow[j] += acc[i][j];
+    }
+  } else {
+    for (int p = 0; p < kc; ++p) {
+      const float* brow = b + static_cast<size_t>(p) * ldb;
+      for (int i = 0; i < AR; ++i) {
+        const float av = KMajorA ? a[static_cast<size_t>(p) * lda + i]
+                                 : a[static_cast<size_t>(i) * lda + p];
+#pragma GCC ivdep
+        for (int j = 0; j < nr; ++j) acc[i][j] += av * brow[j];
+      }
+    }
+    for (int i = 0; i < AR; ++i) {
+      float* crow = c + static_cast<size_t>(i) * ldc;
+      for (int j = 0; j < nr; ++j) crow[j] += acc[i][j];
     }
   }
+}
+
+// Sweeps C rows [i0, i1) of one (kc x nr) panel product, peeling the row
+// remainder through narrower tiles.
+template <bool KMajorA, int NRT>
+inline void TileRows(const float* a, int lda, const float* b, int ldb,
+                     float* c, int ldc, int kc, int nr, int i0, int i1) {
+  // A element (i, p) sits at a[i*lda + p] (row-major) or a[p*lda + i]
+  // (k-major): advancing `i` rows moves by i*lda resp. i.
+  const auto arow = [&](int i) {
+    return KMajorA ? a + i : a + static_cast<size_t>(i) * lda;
+  };
+  int i = i0;
+  for (; i + MR <= i1; i += MR) {
+    MicroKernel<MR, KMajorA, NRT>(arow(i), lda, b, ldb,
+                                  c + static_cast<size_t>(i) * ldc, ldc, kc, nr);
+  }
+  for (; i + 4 <= i1; i += 4) {
+    MicroKernel<4, KMajorA, NRT>(arow(i), lda, b, ldb,
+                                 c + static_cast<size_t>(i) * ldc, ldc, kc, nr);
+  }
+  for (; i < i1; ++i) {
+    MicroKernel<1, KMajorA, NRT>(arow(i), lda, b, ldb,
+                                 c + static_cast<size_t>(i) * ldc, ldc, kc, nr);
+  }
+}
+
+// Width-dispatched TileRows: full 32-wide tiles, else the 8-wide kernel for
+// narrow blocks.
+template <bool KMajorA>
+inline void TileRowsDispatch(const float* a, int lda, const float* b, int ldb,
+                             float* c, int ldc, int kc, int nr, int i0, int i1) {
+  if (nr <= 8) {
+    TileRows<KMajorA, 8>(a, lda, b, ldb, c, ldc, kc, nr, i0, i1);
+  } else {
+    TileRows<KMajorA, NR>(a, lda, b, ldb, c, ldc, kc, nr, i0, i1);
+  }
+}
+
+// C rows [i0, i1) of C(n,m) += op(A) * B with B (k,m) row-major.
+// KMajorA=false: A is (n,k) row-major (lda = k).
+// KMajorA=true:  the product A^T * B with A stored (k,n) row-major (lda = n).
+template <bool KMajorA>
+void GemmRowRange(const float* a, int lda, const float* b, float* c, int k,
+                  int m, int i0, int i1) {
+  for (int p0 = 0; p0 < k; p0 += KC) {
+    const int kc = std::min(KC, k - p0);
+    const float* apanel = KMajorA ? a + static_cast<size_t>(p0) * lda : a + p0;
+    for (int j0 = 0; j0 < m; j0 += NR) {
+      const int nr = std::min(NR, m - j0);
+      TileRowsDispatch<KMajorA>(apanel, lda,
+                                b + static_cast<size_t>(p0) * m + j0, m,
+                                c + j0, m, kc, nr, i0, i1);
+    }
+  }
+}
+
+// Splits the C row range over the global thread pool when the problem is
+// large enough; each worker owns disjoint C rows, so no synchronisation.
+template <bool KMajorA>
+void GemmParallel(const float* a, int lda, const float* b, float* c, int n,
+                  int k, int m) {
+  const int64_t flops = int64_t{2} * n * k * m;
+  if (flops < kParallelFlopThreshold) {
+    GemmRowRange<KMajorA>(a, lda, b, c, k, m, 0, n);
+    return;
+  }
+  ParallelFor(0, n, MR, [&](int64_t i0, int64_t i1) {
+    GemmRowRange<KMajorA>(a, lda, b, c, k, m, static_cast<int>(i0),
+                          static_cast<int>(i1));
+  });
+}
+
+// C(n,m) += A(n,k) * B(k,m); all row-major.
+void GemmAcc(const float* a, const float* b, float* c, int n, int k, int m) {
+  GemmParallel<false>(a, /*lda=*/k, b, c, n, k, m);
 }
 
 // C(n,m) += A(k,n)^T * B(k,m).
-void GemmTransAAcc(const float* a, const float* b, float* c, int n, int k, int m) {
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = a + static_cast<size_t>(kk) * n;
-    const float* brow = b + static_cast<size_t>(kk) * m;
-    for (int i = 0; i < n; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + static_cast<size_t>(i) * m;
-      for (int j = 0; j < m; ++j) crow[j] += av * brow[j];
-    }
-  }
+void GemmTransAAcc(const float* a, const float* b, float* c, int n, int k,
+                   int m) {
+  GemmParallel<true>(a, /*lda=*/n, b, c, n, k, m);
 }
 
-// C(n,m) += A(n,k) * B(m,k)^T.
-void GemmTransBAcc(const float* a, const float* b, float* c, int n, int k, int m) {
-  for (int i = 0; i < n; ++i) {
-    const float* arow = a + static_cast<size_t>(i) * k;
-    float* crow = c + static_cast<size_t>(i) * m;
-    for (int j = 0; j < m; ++j) {
-      const float* brow = b + static_cast<size_t>(j) * k;
-      float acc = 0.0f;
-      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] += acc;
+// C(n,m) += A(n,k) * B(m,k)^T. B^T tiles are strided in memory, so each
+// KC x NR tile is packed into a contiguous panel once and reused for every
+// row block of A.
+void GemmTransBAcc(const float* a, const float* b, float* c, int n, int k,
+                   int m) {
+  const int64_t flops = int64_t{2} * n * k * m;
+  const bool parallel = flops >= kParallelFlopThreshold;
+  std::vector<float> pack(static_cast<size_t>(KC) * NR);
+  for (int p0 = 0; p0 < k; p0 += KC) {
+    const int kc = std::min(KC, k - p0);
+    for (int j0 = 0; j0 < m; j0 += NR) {
+      const int nr = std::min(NR, m - j0);
+      // pack(p, j) = B(j0+j, p0+p): transpose the (nr x kc) block of B.
+      for (int j = 0; j < nr; ++j) {
+        const float* brow = b + static_cast<size_t>(j0 + j) * k + p0;
+        for (int p = 0; p < kc; ++p) pack[static_cast<size_t>(p) * nr + j] = brow[p];
+      }
+      const float* apanel = a + p0;
+      float* cpanel = c + j0;
+      if (parallel) {
+        ParallelFor(0, n, MR, [&](int64_t i0, int64_t i1) {
+          TileRowsDispatch<false>(apanel, k, pack.data(), nr, cpanel, m, kc, nr,
+                                  static_cast<int>(i0), static_cast<int>(i1));
+        });
+      } else {
+        TileRowsDispatch<false>(apanel, k, pack.data(), nr, cpanel, m, kc, nr,
+                                0, n);
+      }
     }
   }
 }
@@ -80,12 +224,42 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
   return Tensor(out);
 }
 
+Tensor MatmulTransB(const Tensor& a, const Tensor& b) {
+  auto ai = a.impl();
+  auto bi = b.impl();
+  RNTRAJ_CHECK_MSG(ai->shape.size() == 2 && bi->shape.size() == 2,
+                   "matmul_trans_b: rank-2 inputs required");
+  const int n = ai->shape[0];
+  const int k = ai->shape[1];
+  const int m = bi->shape[0];
+  RNTRAJ_CHECK_MSG(k == bi->shape[1], "matmul_trans_b: inner dims "
+                                          << k << " vs " << bi->shape[1]);
+
+  auto out = internal::NewImpl({n, m});
+  GemmTransBAcc(ai->data.data(), bi->data.data(), out->data.data(), n, k, m);
+
+  internal::AttachNode(
+      "matmul_trans_b", out, {ai, bi}, [ai, bi, n, k, m](const TensorImpl& o) {
+        if (ai->requires_grad) {
+          ai->EnsureGrad();
+          // dA(n,k) = dC(n,m) * B(m,k)
+          GemmAcc(o.grad.data(), bi->data.data(), ai->grad.data(), n, m, k);
+        }
+        if (bi->requires_grad) {
+          bi->EnsureGrad();
+          // dB(m,k) = dC(n,m)^T * A(n,k)
+          GemmTransAAcc(o.grad.data(), ai->data.data(), bi->grad.data(), m, n, k);
+        }
+      });
+  return Tensor(out);
+}
+
 Tensor Transpose(const Tensor& a) {
   auto ai = a.impl();
   RNTRAJ_CHECK_MSG(ai->shape.size() == 2, "transpose: rank-2 required");
   const int n = ai->shape[0];
   const int m = ai->shape[1];
-  auto out = internal::NewImpl({m, n});
+  auto out = internal::NewImplUninit({m, n});
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < m; ++j) {
       out->data[static_cast<size_t>(j) * n + i] =

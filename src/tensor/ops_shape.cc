@@ -27,7 +27,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     total_rows += RowsOf(*pi);
     impls.push_back(pi);
   }
-  auto out = internal::NewImpl({total_rows, d});
+  auto out = internal::NewImplUninit({total_rows, d});
   size_t off = 0;
   for (const auto& pi : impls) {
     std::copy(pi->data.begin(), pi->data.end(), out->data.begin() + off);
@@ -60,7 +60,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     total_cols += ColsOf(*pi);
     impls.push_back(pi);
   }
-  auto out = internal::NewImpl({n, total_cols});
+  auto out = internal::NewImplUninit({n, total_cols});
   int col_off = 0;
   for (const auto& pi : impls) {
     const int d = ColsOf(*pi);
@@ -102,7 +102,7 @@ Tensor ConcatVec(const std::vector<Tensor>& parts) {
     total += pi->shape[0];
     impls.push_back(pi);
   }
-  auto out = internal::NewImpl({total});
+  auto out = internal::NewImplUninit({total});
   size_t off = 0;
   for (const auto& pi : impls) {
     std::copy(pi->data.begin(), pi->data.end(), out->data.begin() + off);
@@ -130,7 +130,7 @@ Tensor SliceRows(const Tensor& a, int start, int len) {
   const int d = ai->shape[1];
   RNTRAJ_CHECK_MSG(start >= 0 && len > 0 && start + len <= n,
                    "slice_rows: [" << start << "," << start + len << ") of " << n);
-  auto out = internal::NewImpl({len, d});
+  auto out = internal::NewImplUninit({len, d});
   std::copy(ai->data.begin() + static_cast<size_t>(start) * d,
             ai->data.begin() + static_cast<size_t>(start + len) * d,
             out->data.begin());
@@ -150,7 +150,7 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
   const int d = ai->shape[1];
   RNTRAJ_CHECK_MSG(start >= 0 && len > 0 && start + len <= d,
                    "slice_cols: [" << start << "," << start + len << ") of " << d);
-  auto out = internal::NewImpl({n, len});
+  auto out = internal::NewImplUninit({n, len});
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < len; ++j) {
       out->data[static_cast<size_t>(i) * len + j] =
@@ -177,7 +177,7 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& idx) {
   const int n = ai->shape[0];
   const int d = ai->shape[1];
   RNTRAJ_CHECK(!idx.empty());
-  auto out = internal::NewImpl({static_cast<int>(idx.size()), d});
+  auto out = internal::NewImplUninit({static_cast<int>(idx.size()), d});
   for (size_t i = 0; i < idx.size(); ++i) {
     RNTRAJ_CHECK_MSG(idx[i] >= 0 && idx[i] < n, "gather_rows: idx " << idx[i]
                                                                     << " of " << n);
@@ -204,7 +204,7 @@ Tensor GatherElems(const Tensor& a, const std::vector<int>& idx) {
   const int d = ai->shape[1];
   RNTRAJ_CHECK_MSG(static_cast<int>(idx.size()) == n,
                    "gather_elems: need one column index per row");
-  auto out = internal::NewImpl({n});
+  auto out = internal::NewImplUninit({n});
   for (int i = 0; i < n; ++i) {
     RNTRAJ_CHECK(idx[i] >= 0 && idx[i] < d);
     out->data[i] = ai->data[static_cast<size_t>(i) * d + idx[i]];
@@ -222,7 +222,7 @@ Tensor GatherElems(const Tensor& a, const std::vector<int>& idx) {
 Tensor Reshape(const Tensor& a, const std::vector<int>& shape) {
   auto ai = a.impl();
   RNTRAJ_CHECK_MSG(ShapeSize(shape) == ai->size(), "reshape: size mismatch");
-  auto out = internal::NewImpl(shape);
+  auto out = internal::NewImplUninit(shape);
   out->data = ai->data;
   internal::AttachNode("reshape", out, {ai}, [ai](const TensorImpl& o) {
     if (!ai->requires_grad) return;
@@ -237,7 +237,7 @@ Tensor ExpandRows(const Tensor& a, int n) {
   const int d = ColsOf(*ai);
   RNTRAJ_CHECK_MSG(RowsOf(*ai) == 1, "expand_rows: input must be a single row");
   RNTRAJ_CHECK(n > 0);
-  auto out = internal::NewImpl({n, d});
+  auto out = internal::NewImplUninit({n, d});
   for (int i = 0; i < n; ++i) {
     std::copy(ai->data.begin(), ai->data.end(),
               out->data.begin() + static_cast<size_t>(i) * d);

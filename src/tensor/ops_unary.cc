@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "src/tensor/fast_math.h"
 #include "src/tensor/op_helpers.h"
 #include "src/tensor/ops.h"
 
@@ -12,7 +13,7 @@ namespace {
 template <typename Fwd, typename Dfdx>
 Tensor Unary(const char* name, const Tensor& a, Fwd fwd, Dfdx dfdx) {
   auto ai = a.impl();
-  auto out = internal::NewImpl(ai->shape);
+  auto out = internal::NewImplUninit(ai->shape);
   for (size_t i = 0; i < ai->data.size(); ++i) out->data[i] = fwd(ai->data[i]);
   internal::AttachNode(name, out, {ai}, [ai, dfdx](const TensorImpl& o) {
     if (!ai->requires_grad) return;
@@ -82,18 +83,14 @@ Tensor SoftmaxRows(const Tensor& a) {
   RNTRAJ_CHECK(ai->shape.size() == 2);
   const int n = ai->shape[0];
   const int d = ai->shape[1];
-  auto out = internal::NewImpl(ai->shape);
+  auto out = internal::NewImplUninit(ai->shape);
   for (int i = 0; i < n; ++i) {
     const float* x = ai->data.data() + static_cast<size_t>(i) * d;
     float* y = out->data.data() + static_cast<size_t>(i) * d;
-    float mx = x[0];
-    for (int j = 1; j < d; ++j) mx = std::max(mx, x[j]);
-    double sum = 0.0;
-    for (int j = 0; j < d; ++j) {
-      y[j] = std::exp(x[j] - mx);
-      sum += y[j];
-    }
-    const float inv = static_cast<float>(1.0 / sum);
+    const float mx = internal::RowMax(x, d);
+    const float sum = internal::ExpRowMinusMax(x, y, d, mx);
+    const float inv = 1.0f / sum;
+#pragma GCC ivdep
     for (int j = 0; j < d; ++j) y[j] *= inv;
   }
   internal::AttachNode("softmax_rows", out, {ai}, [ai, n, d](const TensorImpl& o) {
@@ -118,15 +115,16 @@ Tensor LogSoftmaxRows(const Tensor& a) {
   RNTRAJ_CHECK(ai->shape.size() == 2);
   const int n = ai->shape[0];
   const int d = ai->shape[1];
-  auto out = internal::NewImpl(ai->shape);
+  auto out = internal::NewImplUninit(ai->shape);
   for (int i = 0; i < n; ++i) {
     const float* x = ai->data.data() + static_cast<size_t>(i) * d;
     float* y = out->data.data() + static_cast<size_t>(i) * d;
-    float mx = x[0];
-    for (int j = 1; j < d; ++j) mx = std::max(mx, x[j]);
-    double sum = 0.0;
-    for (int j = 0; j < d; ++j) sum += std::exp(x[j] - mx);
-    const float lse = mx + static_cast<float>(std::log(sum));
+    const float mx = internal::RowMax(x, d);
+    // The exp pass lands in the output row as scratch before the final
+    // subtraction overwrites it.
+    const float sum = internal::ExpRowMinusMax(x, y, d, mx);
+    const float lse = mx + std::log(sum);
+#pragma GCC ivdep
     for (int j = 0; j < d; ++j) y[j] = x[j] - lse;
   }
   internal::AttachNode(
@@ -151,7 +149,7 @@ Tensor Dropout(const Tensor& a, float p, bool training, Rng& rng) {
   if (!training || p <= 0.0f) return a;
   RNTRAJ_CHECK(p < 1.0f);
   auto ai = a.impl();
-  auto out = internal::NewImpl(ai->shape);
+  auto out = internal::NewImplUninit(ai->shape);
   auto mask = std::make_shared<std::vector<float>>(ai->data.size());
   const float scale = 1.0f / (1.0f - p);
   for (size_t i = 0; i < ai->data.size(); ++i) {

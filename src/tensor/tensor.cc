@@ -19,7 +19,8 @@ std::shared_ptr<TensorImpl> MakeImpl(const std::vector<int>& shape,
   for (int d : shape) RNTRAJ_CHECK_MSG(d > 0, "non-positive dim " << d);
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
-  impl->data.assign(static_cast<size_t>(ShapeSize(shape)), 0.0f);
+  impl->data =
+      internal::AcquireZeroedBuffer(static_cast<size_t>(ShapeSize(shape)));
   impl->requires_grad = requires_grad;
   return impl;
 }
@@ -89,7 +90,8 @@ void Tensor::ZeroGrad() {
 Tensor Tensor::Detach() const {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;
+  impl->data = internal::AcquireBuffer(impl_->data.size());
+  std::copy(impl_->data.begin(), impl_->data.end(), impl->data.begin());
   impl->requires_grad = false;
   return Tensor(impl);
 }

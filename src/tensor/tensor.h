@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/common/check.h"
+#include "src/tensor/buffer_pool.h"
 
 /// \file tensor.h
 /// A small dense float32 tensor with reverse-mode automatic differentiation.
@@ -50,11 +51,18 @@ struct TensorImpl {
   /// Producer node; null for leaves and for tensors created under NoGradGuard.
   std::shared_ptr<GradNode> node;
 
+  /// Offers data/grad storage back to the thread's buffer pool (a no-op
+  /// outside a BufferPoolScope).
+  ~TensorImpl() {
+    internal::ReleaseBuffer(std::move(data));
+    internal::ReleaseBuffer(std::move(grad));
+  }
+
   int64_t size() const { return static_cast<int64_t>(data.size()); }
 
   /// Allocates (zero-filled) the gradient buffer if not present.
   void EnsureGrad() {
-    if (grad.empty()) grad.assign(data.size(), 0.0f);
+    if (grad.empty()) grad = internal::AcquireZeroedBuffer(data.size());
   }
 };
 
@@ -99,10 +107,19 @@ class Tensor {
   int dim(int i) const { return impl_->shape.at(i); }
   int64_t size() const { return impl_->size(); }
 
-  /// Number of rows for rank-2, size for rank-1.
-  int rows() const { return rank() == 2 ? dim(0) : dim(0); }
-  /// Number of columns for rank-2, 1 for rank-1.
-  int cols() const { return rank() == 2 ? dim(1) : 1; }
+  /// Number of rows: dim(0) for rank-2; the length of a rank-1 tensor, which
+  /// is treated as a column vector of shape (n, 1). Aborts on higher ranks —
+  /// a rank-3 tensor has no single row/column reading.
+  int rows() const {
+    RNTRAJ_CHECK_MSG(rank() <= 2, "rows() on rank-" << rank() << " tensor");
+    return dim(0);
+  }
+  /// Number of columns: dim(1) for rank-2; 1 for rank-1 (column-vector view,
+  /// matching rows()). Aborts on higher ranks.
+  int cols() const {
+    RNTRAJ_CHECK_MSG(rank() <= 2, "cols() on rank-" << rank() << " tensor");
+    return rank() == 2 ? dim(1) : 1;
+  }
 
   /// The single value of a size-1 tensor.
   float item() const {

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "src/common/random.h"
+#include "src/tensor/buffer_pool.h"
+#include "src/tensor/fast_math.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/tensor.h"
 #include "tests/test_util.h"
@@ -210,6 +212,126 @@ TEST(GradCheck, CompositeTwoLayerMlp) {
     return SmoothLoss(Matmul(h, w2));
   };
   EXPECT_LT(MaxGradError(loss, {w1, b1, w2}), kTol);
+}
+
+// ----- Fused ops and the blocked/pooled kernels -----------------------------
+
+TEST(GradCheck, MatmulTransBBothSides) {
+  SeedGlobalRng(30);
+  Tensor a = Tensor::Randn({3, 4}, 1.0f, true);
+  Tensor b = Tensor::Randn({5, 4}, 1.0f, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(MatmulTransB(a, b)); }, {a, b}),
+            kTol);
+}
+
+TEST(GradCheck, MatmulTransBMatchesExplicitTranspose) {
+  SeedGlobalRng(31);
+  Tensor a = Tensor::Randn({4, 6}, 1.0f);
+  Tensor b = Tensor::Randn({3, 6}, 1.0f);
+  Tensor fused = MatmulTransB(a, b);
+  Tensor reference = Matmul(a, Transpose(b));
+  testing_util::ExpectVectorNear(fused.data(), reference.data(), 1e-5f);
+}
+
+TEST(GradCheck, AddRowColBothInputs) {
+  SeedGlobalRng(32);
+  // Column as (n,1) and row as rank-1 (m): the GAT score layout.
+  Tensor u = Tensor::Randn({3, 1}, 1.0f, true);
+  Tensor v = Tensor::Randn({4}, 1.0f, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(AddRowCol(u, v)); }, {u, v}),
+            kTol);
+  // Rank-1 column and (1,m) row.
+  Tensor u1 = Tensor::Randn({5}, 1.0f, true);
+  Tensor v1 = Tensor::Randn({1, 2}, 1.0f, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(AddRowCol(u1, v1)); }, {u1, v1}),
+            kTol);
+}
+
+TEST(GradCheck, AddRowBroadcastBothInputs) {
+  SeedGlobalRng(33);
+  Tensor a = Tensor::Randn({3, 4}, 1.0f, true);
+  Tensor r = Tensor::Randn({4}, 1.0f, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(AddRowBroadcast(a, r)); },
+                         {a, r}),
+            kTol);
+  // Rank-1 `a` (the Linear bias path for vector inputs).
+  Tensor av = Tensor::Randn({4}, 1.0f, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(AddRowBroadcast(av, r)); },
+                         {av, r}),
+            kTol);
+}
+
+TEST(GradCheck, MaskedSoftmaxRows) {
+  SeedGlobalRng(34);
+  Tensor a = Tensor::Randn({3, 5}, 1.0f, true);
+  // Graph-style mask: some forbidden positions per row, none fully masked.
+  Tensor mask = Tensor::FromVector({3, 5}, {0, -1e9f, 0, -1e9f, 0,      //
+                                            -1e9f, 0, 0, 0, -1e9f,     //
+                                            0, 0, -1e9f, 0, 0});
+  Tensor w = Tensor::FromVector({5, 1}, {1, -2, 3, 0.5f, -1});
+  auto loss = [&] { return MeanAll(Matmul(MaskedSoftmaxRows(a, mask), w)); };
+  EXPECT_LT(MaxGradError(loss, {a}), kTol);
+}
+
+TEST(GradCheck, MaskedSoftmaxMatchesAddThenSoftmax) {
+  SeedGlobalRng(35);
+  Tensor a = Tensor::Randn({4, 6}, 1.0f);
+  Tensor mask = Tensor::Zeros({4, 6});
+  for (int i = 0; i < 4; ++i) mask.data()[i * 6 + (i + 1)] = -1e9f;
+  Tensor fused = MaskedSoftmaxRows(a, mask);
+  Tensor reference = SoftmaxRows(Add(a, mask));
+  testing_util::ExpectVectorNear(fused.data(), reference.data(), 1e-5f);
+  // Masked positions must be exactly zero probability (not denormal noise).
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(fused.at(i, i + 1), 0.0f);
+}
+
+TEST(GradCheck, FastExpMatchesLibm) {
+  for (float x = -80.0f; x < 87.0f; x += 0.0137f) {
+    const float want = std::exp(x);
+    EXPECT_NEAR(internal::FastExp(x), want, 1e-5f * want + 1e-30f) << "x=" << x;
+  }
+  EXPECT_EQ(internal::FastExp(-1e9f), 0.0f);
+  // Saturates finite at both ends instead of over/underflowing.
+  EXPECT_TRUE(std::isfinite(internal::FastExp(88.5f)));
+  EXPECT_TRUE(std::isfinite(internal::FastExp(1e9f)));
+  EXPECT_GT(internal::FastExp(1e9f), 1e38f);
+}
+
+TEST(GradCheck, PooledMatmulNonSquareAndVectorLhs) {
+  // The same checks as the plain matmul cases, but with storage recycling on:
+  // every loop iteration after the first reuses buffers released by the
+  // previous one, so stale contents or aliasing would surface as gradient
+  // errors here.
+  BufferPoolScope pool;
+  for (int round = 0; round < 3; ++round) {
+    SeedGlobalRng(40 + round);
+    // Shapes above the pool's minimum size so recycling actually engages.
+    Tensor a = Tensor::Randn({6, 8}, 1.0f, true);
+    Tensor b = Tensor::Randn({8, 6}, 1.0f, true);
+    EXPECT_LT(MaxGradError([&] { return SmoothLoss(Matmul(a, b)); }, {a, b}),
+              kTol);
+    Tensor v = Tensor::Randn({8}, 1.0f, true);
+    EXPECT_LT(MaxGradError([&] { return SmoothLoss(Matmul(v, b)); }, {v, b}),
+              kTol);
+  }
+  EXPECT_GT(GetBufferPoolStats().hits, 0u);
+}
+
+TEST(GradCheck, BlockedGemmMatchesNaiveReference) {
+  // Odd sizes exercise every remainder path (row peel, narrow tiles, partial
+  // k panels) of the blocked kernel.
+  SeedGlobalRng(41);
+  const int n = 37, k = 29, m = 23;
+  Tensor a = Tensor::Randn({n, k}, 1.0f);
+  Tensor b = Tensor::Randn({k, m}, 1.0f);
+  Tensor c = Matmul(a, b);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      double acc = 0.0;
+      for (int p = 0; p < k; ++p) acc += double(a.at(i, p)) * b.at(p, j);
+      EXPECT_NEAR(c.at(i, j), acc, 1e-3) << "at (" << i << "," << j << ")";
+    }
+  }
 }
 
 TEST(GradCheck, GradsAccumulateAcrossTwoBackwards) {
