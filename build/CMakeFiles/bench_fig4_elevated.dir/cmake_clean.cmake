@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_elevated.dir/bench/bench_fig4_elevated.cc.o"
+  "CMakeFiles/bench_fig4_elevated.dir/bench/bench_fig4_elevated.cc.o.d"
+  "bench_fig4_elevated"
+  "bench_fig4_elevated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_elevated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_additional.dir/bench/bench_table4_additional.cc.o"
+  "CMakeFiles/bench_table4_additional.dir/bench/bench_table4_additional.cc.o.d"
+  "bench_table4_additional"
+  "bench_table4_additional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_additional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elevated_case_study.dir/examples/elevated_case_study.cpp.o"
+  "CMakeFiles/elevated_case_study.dir/examples/elevated_case_study.cpp.o.d"
+  "elevated_case_study"
+  "elevated_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elevated_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_matching_demo.dir/examples/map_matching_demo.cpp.o"
+  "CMakeFiles/map_matching_demo.dir/examples/map_matching_demo.cpp.o.d"
+  "map_matching_demo"
+  "map_matching_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_matching_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

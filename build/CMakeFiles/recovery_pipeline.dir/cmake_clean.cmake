@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_pipeline.dir/examples/recovery_pipeline.cpp.o"
+  "CMakeFiles/recovery_pipeline.dir/examples/recovery_pipeline.cpp.o.d"
+  "recovery_pipeline"
+  "recovery_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

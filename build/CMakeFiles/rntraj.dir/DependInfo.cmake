@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/gts.cc" "CMakeFiles/rntraj.dir/src/baselines/gts.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/baselines/gts.cc.o.d"
+  "/root/repo/src/baselines/kalman.cc" "CMakeFiles/rntraj.dir/src/baselines/kalman.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/baselines/kalman.cc.o.d"
+  "/root/repo/src/baselines/seq_encoders.cc" "CMakeFiles/rntraj.dir/src/baselines/seq_encoders.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/baselines/seq_encoders.cc.o.d"
+  "/root/repo/src/baselines/two_stage.cc" "CMakeFiles/rntraj.dir/src/baselines/two_stage.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/baselines/two_stage.cc.o.d"
+  "/root/repo/src/baselines/zoo.cc" "CMakeFiles/rntraj.dir/src/baselines/zoo.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/baselines/zoo.cc.o.d"
+  "/root/repo/src/common/random.cc" "CMakeFiles/rntraj.dir/src/common/random.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/common/random.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "CMakeFiles/rntraj.dir/src/common/thread_pool.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/common/thread_pool.cc.o.d"
+  "/root/repo/src/core/decoder.cc" "CMakeFiles/rntraj.dir/src/core/decoder.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/core/decoder.cc.o.d"
+  "/root/repo/src/core/features.cc" "CMakeFiles/rntraj.dir/src/core/features.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/core/features.cc.o.d"
+  "/root/repo/src/core/gpsformer.cc" "CMakeFiles/rntraj.dir/src/core/gpsformer.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/core/gpsformer.cc.o.d"
+  "/root/repo/src/core/gridgnn.cc" "CMakeFiles/rntraj.dir/src/core/gridgnn.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/core/gridgnn.cc.o.d"
+  "/root/repo/src/core/grl.cc" "CMakeFiles/rntraj.dir/src/core/grl.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/core/grl.cc.o.d"
+  "/root/repo/src/core/rntrajrec.cc" "CMakeFiles/rntraj.dir/src/core/rntrajrec.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/core/rntrajrec.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "CMakeFiles/rntraj.dir/src/core/trainer.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/core/trainer.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "CMakeFiles/rntraj.dir/src/eval/metrics.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/report.cc" "CMakeFiles/rntraj.dir/src/eval/report.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/eval/report.cc.o.d"
+  "/root/repo/src/geo/geo.cc" "CMakeFiles/rntraj.dir/src/geo/geo.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/geo/geo.cc.o.d"
+  "/root/repo/src/mapmatch/hmm.cc" "CMakeFiles/rntraj.dir/src/mapmatch/hmm.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/mapmatch/hmm.cc.o.d"
+  "/root/repo/src/roadnet/grid.cc" "CMakeFiles/rntraj.dir/src/roadnet/grid.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/roadnet/grid.cc.o.d"
+  "/root/repo/src/roadnet/road_network.cc" "CMakeFiles/rntraj.dir/src/roadnet/road_network.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/roadnet/road_network.cc.o.d"
+  "/root/repo/src/roadnet/rtree.cc" "CMakeFiles/rntraj.dir/src/roadnet/rtree.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/roadnet/rtree.cc.o.d"
+  "/root/repo/src/roadnet/shortest_path.cc" "CMakeFiles/rntraj.dir/src/roadnet/shortest_path.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/roadnet/shortest_path.cc.o.d"
+  "/root/repo/src/roadnet/subgraph.cc" "CMakeFiles/rntraj.dir/src/roadnet/subgraph.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/roadnet/subgraph.cc.o.d"
+  "/root/repo/src/sim/city.cc" "CMakeFiles/rntraj.dir/src/sim/city.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/sim/city.cc.o.d"
+  "/root/repo/src/sim/dataset.cc" "CMakeFiles/rntraj.dir/src/sim/dataset.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/sim/dataset.cc.o.d"
+  "/root/repo/src/sim/presets.cc" "CMakeFiles/rntraj.dir/src/sim/presets.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/sim/presets.cc.o.d"
+  "/root/repo/src/sim/simulate.cc" "CMakeFiles/rntraj.dir/src/sim/simulate.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/sim/simulate.cc.o.d"
+  "/root/repo/src/tensor/buffer_pool.cc" "CMakeFiles/rntraj.dir/src/tensor/buffer_pool.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/tensor/buffer_pool.cc.o.d"
+  "/root/repo/src/tensor/ops_binary.cc" "CMakeFiles/rntraj.dir/src/tensor/ops_binary.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/tensor/ops_binary.cc.o.d"
+  "/root/repo/src/tensor/ops_fused.cc" "CMakeFiles/rntraj.dir/src/tensor/ops_fused.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/tensor/ops_fused.cc.o.d"
+  "/root/repo/src/tensor/ops_matmul.cc" "CMakeFiles/rntraj.dir/src/tensor/ops_matmul.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/tensor/ops_matmul.cc.o.d"
+  "/root/repo/src/tensor/ops_reduce.cc" "CMakeFiles/rntraj.dir/src/tensor/ops_reduce.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/tensor/ops_reduce.cc.o.d"
+  "/root/repo/src/tensor/ops_shape.cc" "CMakeFiles/rntraj.dir/src/tensor/ops_shape.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/tensor/ops_shape.cc.o.d"
+  "/root/repo/src/tensor/ops_unary.cc" "CMakeFiles/rntraj.dir/src/tensor/ops_unary.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/tensor/ops_unary.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "CMakeFiles/rntraj.dir/src/tensor/tensor.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/tensor/tensor.cc.o.d"
+  "/root/repo/src/traj/resample.cc" "CMakeFiles/rntraj.dir/src/traj/resample.cc.o" "gcc" "CMakeFiles/rntraj.dir/src/traj/resample.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rntraj_bench_common.dir/bench/bench_common.cc.o"
+  "CMakeFiles/rntraj_bench_common.dir/bench/bench_common.cc.o.d"
+  "librntraj_bench_common.a"
+  "librntraj_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rntraj_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

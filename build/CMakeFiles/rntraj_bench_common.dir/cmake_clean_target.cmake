@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librntraj_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_embedding_explorer.dir/examples/road_embedding_explorer.cpp.o"
+  "CMakeFiles/road_embedding_explorer.dir/examples/road_embedding_explorer.cpp.o.d"
+  "road_embedding_explorer"
+  "road_embedding_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_embedding_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

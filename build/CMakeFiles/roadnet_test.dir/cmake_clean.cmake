@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roadnet_test.dir/tests/roadnet_test.cc.o"
+  "CMakeFiles/roadnet_test.dir/tests/roadnet_test.cc.o.d"
+  "roadnet_test"
+  "roadnet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roadnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(baselines_test "/root/repo/build/baselines_test")
+set_tests_properties(baselines_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;46;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;46;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(eval_test "/root/repo/build/eval_test")
+set_tests_properties(eval_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;46;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(geo_test "/root/repo/build/geo_test")
+set_tests_properties(geo_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;46;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;46;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(mapmatch_test "/root/repo/build/mapmatch_test")
+set_tests_properties(mapmatch_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;46;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(nn_test "/root/repo/build/nn_test")
+set_tests_properties(nn_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;46;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(roadnet_test "/root/repo/build/roadnet_test")
+set_tests_properties(roadnet_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;46;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;46;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(tensor_gradcheck_test "/root/repo/build/tensor_gradcheck_test")
+set_tests_properties(tensor_gradcheck_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;46;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(tensor_test "/root/repo/build/tensor_test")
+set_tests_properties(tensor_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;46;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(thread_pool_test "/root/repo/build/thread_pool_test")
+set_tests_properties(thread_pool_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;46;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(traj_test "/root/repo/build/traj_test")
+set_tests_properties(traj_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;46;add_test;/root/repo/CMakeLists.txt;0;")
