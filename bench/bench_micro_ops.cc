@@ -11,6 +11,7 @@
 #include "src/mapmatch/hmm.h"
 #include "src/nn/attention.h"
 #include "src/nn/graph.h"
+#include "src/serve/roadnet_cache.h"
 #include "src/sim/presets.h"
 #include "src/tensor/buffer_pool.h"
 #include "src/tensor/ops.h"
@@ -135,6 +136,41 @@ void BM_RTreeRadiusQuery(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RTreeRadiusQuery);
+
+/// The batched counterpart: `Arg` points per call through
+/// BatchSegmentsWithinRadius (chunk-parallel with scratch reuse). Compare
+/// items_per_second against BM_RTreeRadiusQuery's iterations/sec to read the
+/// per-point speedup.
+void BM_RTreeRadiusQueryBatch(benchmark::State& state) {
+  auto& w = TheWorld();
+  Rng rng(5);
+  const BBox& b = w.ds->roadnet().bounds();
+  std::vector<Vec2> points(state.range(0));
+  for (auto& p : points) {
+    p = {rng.Uniform(b.min_x, b.max_x), rng.Uniform(b.min_y, b.max_y)};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BatchSegmentsWithinRadius(w.ds->roadnet(), w.ds->rtree(), points, 300.0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeRadiusQueryBatch)->Arg(64)->Arg(256);
+
+/// Serving-cache variant: the same random points answered through a warm
+/// CellCandidateCache (exact grid-cell-keyed candidates).
+void BM_RTreeRadiusQueryCached(benchmark::State& state) {
+  auto& w = TheWorld();
+  serve::CellCandidateCache cache(&w.ds->roadnet(), &w.ds->rtree(),
+                                  &w.ds->grid(), {300.0});
+  Rng rng(5);
+  const BBox& b = w.ds->roadnet().bounds();
+  for (auto _ : state) {
+    Vec2 p{rng.Uniform(b.min_x, b.max_x), rng.Uniform(b.min_y, b.max_y)};
+    benchmark::DoNotOptimize(cache.WithinRadius(p, 300.0));
+  }
+}
+BENCHMARK(BM_RTreeRadiusQueryCached);
 
 void BM_SubGraphExtraction(benchmark::State& state) {
   auto& w = TheWorld();

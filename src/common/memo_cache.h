@@ -1,0 +1,52 @@
+#ifndef RNTRAJ_COMMON_MEMO_CACHE_H_
+#define RNTRAJ_COMMON_MEMO_CACHE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+
+/// \file memo_cache.h
+/// Thread-safe uid-keyed memoisation shared by the model-side per-sample
+/// caches (RnTrajRec point contexts, Decoder sample caches). One place owns
+/// the re-entrancy invariant: negative uids mark ephemeral inputs (online
+/// serving requests) that are computed into caller-provided scratch instead
+/// of memoised, and memoised entries are never erased, so returned
+/// references stay valid under concurrent inserts (unordered_map pointer
+/// stability).
+
+namespace rntraj {
+
+/// Memoises Build results per non-negative uid behind a shared_mutex.
+template <typename Value>
+class UidMemoCache {
+ public:
+  /// Returns the memoised value for `uid`, building it at most once per uid
+  /// (concurrent first calls may both build; one result wins). For uid < 0,
+  /// builds into `*scratch` and returns it without touching the map.
+  template <typename BuildFn>
+  const Value& ResolveOrBuild(int64_t uid, Value* scratch,
+                              BuildFn&& build) const {
+    if (uid < 0) {
+      *scratch = build();
+      return *scratch;
+    }
+    {
+      std::shared_lock lock(mu_);
+      auto it = map_.find(uid);
+      if (it != map_.end()) return it->second;
+    }
+    Value built = build();  // outside the lock
+    std::unique_lock lock(mu_);
+    return map_.try_emplace(uid, std::move(built)).first->second;
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  mutable std::unordered_map<int64_t, Value> map_;
+};
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_COMMON_MEMO_CACHE_H_

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
+#include "src/common/random.h"
 #include "src/core/features.h"
 #include "src/traj/resample.h"
 
@@ -16,6 +18,16 @@ namespace {
 /// a numerical blow-up. Must sit well below the smallest allowed weight
 /// log(omega) = -(mask_radius/beta)^2 ~= -44.
 constexpr float kForbiddenLogit = -60.0f;
+
+/// SplitMix64-style mix of the scheduled-sampling epoch and sample uid into
+/// a per-call engine seed: deterministic for a given (epoch, sample) however
+/// the batch is threaded or ordered.
+uint64_t SamplingSeed(uint64_t epoch, int64_t uid) {
+  uint64_t z = 0x9E3779B97F4A7C15ull * (epoch + 1) + static_cast<uint64_t>(uid);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
 
 }  // namespace
 
@@ -41,56 +53,82 @@ Decoder::Decoder(const DecoderConfig& config, const ModelContext* ctx)
   id_head_.weight().data() = Transpose(geo).data();
 }
 
-Tensor Decoder::LogConstraintMask(const TrajectorySample& sample,
-                                  int step) const {
-  const int num_segs = ctx_->rn->num_segments();
-  const auto& idx = sample.input_indices;
-  const auto it = std::lower_bound(idx.begin(), idx.end(), step);
-  const bool observed = it != idx.end() && *it == step;
-  if (!observed) return Tensor::Zeros({1, num_segs});
-
-  const int input_pos = static_cast<int>(std::distance(idx.begin(), it));
-  const Vec2& obs = sample.input.points[input_pos].pos;
-  std::vector<float> mask(num_segs, kForbiddenLogit);
-  for (const auto& ns :
-       SegmentsWithinRadius(*ctx_->rn, *ctx_->rtree, obs, cfg_.mask_radius)) {
-    const double z = ns.projection.distance / cfg_.beta;
-    mask[ns.seg_id] = static_cast<float>(-z * z);  // log exp(-(d/beta)^2)
-  }
-  return Tensor::FromVector({1, num_segs}, mask);
-}
-
-const Decoder::SampleCache& Decoder::CacheFor(
+Decoder::SampleCache Decoder::BuildSampleCache(
     const TrajectorySample& sample) const {
-  auto it = cache_.find(sample.uid);
-  if (it != cache_.end()) return it->second;
   SampleCache c;
   const int len = sample.truth.size();
+  const int num_segs = ctx_->rn->num_segments();
   // Dead-reckoned positions per step (from the raw input only).
   std::vector<double> times;
   times.reserve(len);
   for (const auto& p : sample.truth.points) times.push_back(p.t);
   RawTrajectory interp = LinearInterpolate(sample.input, times);
 
+  std::vector<int> observed_pos(len, -1);  ///< step -> index in input
+  for (size_t i = 0; i < sample.input_indices.size(); ++i) {
+    observed_pos[sample.input_indices[i]] = static_cast<int>(i);
+  }
+
+  // Radius queries, one per step: the observation at mask_radius for
+  // observed steps, the dead-reckoned position at spatial_prior_radius for
+  // the rest. With a query source installed (serving) each goes through the
+  // shared cache; otherwise the two radius groups run through the batched
+  // R-tree path.
+  std::vector<std::vector<NearbySegment>> near(len);
+  if (seg_source_ != nullptr) {
+    for (int j = 0; j < len; ++j) {
+      near[j] = observed_pos[j] >= 0
+                    ? seg_source_->WithinRadius(
+                          sample.input.points[observed_pos[j]].pos,
+                          cfg_.mask_radius)
+                    : seg_source_->WithinRadius(interp.points[j].pos,
+                                                cfg_.spatial_prior_radius);
+    }
+  } else {
+    std::vector<Vec2> obs_pts;
+    std::vector<int> obs_steps;
+    std::vector<Vec2> prior_pts;
+    std::vector<int> prior_steps;
+    for (int j = 0; j < len; ++j) {
+      if (observed_pos[j] >= 0) {
+        obs_pts.push_back(sample.input.points[observed_pos[j]].pos);
+        obs_steps.push_back(j);
+      } else {
+        prior_pts.push_back(interp.points[j].pos);
+        prior_steps.push_back(j);
+      }
+    }
+    auto obs_near = BatchSegmentsWithinRadius(*ctx_->rn, *ctx_->rtree, obs_pts,
+                                              cfg_.mask_radius);
+    auto prior_near = BatchSegmentsWithinRadius(
+        *ctx_->rn, *ctx_->rtree, prior_pts, cfg_.spatial_prior_radius);
+    for (size_t i = 0; i < obs_steps.size(); ++i) {
+      near[obs_steps[i]] = std::move(obs_near[i]);
+    }
+    for (size_t i = 0; i < prior_steps.size(); ++i) {
+      near[prior_steps[i]] = std::move(prior_near[i]);
+    }
+  }
+
   // Constraint masks at observed steps; soft spatial prior elsewhere.
-  std::vector<bool> is_observed(len, false);
-  for (int k : sample.input_indices) is_observed[k] = true;
   c.masks.reserve(len);
   for (int j = 0; j < len; ++j) {
-    if (is_observed[j]) {
-      c.masks.push_back(LogConstraintMask(sample, j));
+    if (observed_pos[j] >= 0) {
+      std::vector<float> mask(num_segs, kForbiddenLogit);
+      for (const auto& ns : near[j]) {
+        const double z = ns.projection.distance / cfg_.beta;
+        mask[ns.seg_id] = static_cast<float>(-z * z);  // log exp(-(d/beta)^2)
+      }
+      c.masks.push_back(Tensor::FromVector({1, num_segs}, mask));
       continue;
     }
-    std::vector<float> prior(ctx_->rn->num_segments(), cfg_.spatial_prior_floor);
-    for (const auto& ns :
-         SegmentsWithinRadius(*ctx_->rn, *ctx_->rtree, interp.points[j].pos,
-                              cfg_.spatial_prior_radius)) {
+    std::vector<float> prior(num_segs, cfg_.spatial_prior_floor);
+    for (const auto& ns : near[j]) {
       const double z = ns.projection.distance / cfg_.spatial_prior_sigma;
       prior[ns.seg_id] =
           std::max(cfg_.spatial_prior_floor, static_cast<float>(-z * z));
     }
-    c.masks.push_back(
-        Tensor::FromVector({1, ctx_->rn->num_segments()}, prior));
+    c.masks.push_back(Tensor::FromVector({1, num_segs}, prior));
   }
 
   const BBox& b = ctx_->rn->bounds();
@@ -103,7 +141,7 @@ const Decoder::SampleCache& Decoder::CacheFor(
         (interp.points[j].pos.y - b.min_y) / std::max(1.0, b.height()));
   }
   c.step_features = Tensor::FromVector({len, 3}, feat);
-  return cache_.emplace(sample.uid, std::move(c)).first->second;
+  return c;
 }
 
 Tensor Decoder::Step(const AdditiveAttention::CachedKeys& keys,
@@ -117,8 +155,11 @@ Tensor Decoder::Step(const AdditiveAttention::CachedKeys& keys,
 Tensor Decoder::TrainLoss(const Tensor& enc_outputs, const Tensor& traj_h,
                           const TrajectorySample& sample) const {
   const int len = sample.truth.size();
-  const SampleCache& cache = CacheFor(sample);
+  SampleCache scratch;
+  const SampleCache& cache = ResolveCache(sample, &scratch);
   const auto& masks = cache.masks;
+  Rng sampling_rng(
+      SamplingSeed(sampling_epoch_.load(std::memory_order_relaxed), sample.uid));
   const auto keys = attn_.Precompute(enc_outputs);
   Tensor h = traj_h;
   Tensor x_prev = Tensor::Zeros({1, cfg_.dim});
@@ -136,7 +177,7 @@ Tensor Decoder::TrainLoss(const Tensor& enc_outputs, const Tensor& traj_h,
 
     // Scheduled sampling: feed either the truth or the model's own argmax
     // forward, so the decoder learns to recover from its mistakes.
-    const bool force = sampling_rng_.Bernoulli(cfg_.teacher_forcing);
+    const bool force = sampling_rng.Bernoulli(cfg_.teacher_forcing);
     int fed = target;
     if (!force) {
       fed = 0;
@@ -164,7 +205,8 @@ MatchedTrajectory Decoder::Decode(const Tensor& enc_outputs,
   const int len = sample.truth.size();
   const double t0 = sample.truth.points.front().t;
   const double eps = ctx_->eps_rho;
-  const SampleCache& cache = CacheFor(sample);
+  SampleCache scratch;
+  const SampleCache& cache = ResolveCache(sample, &scratch);
   const auto& masks = cache.masks;
   const auto keys = attn_.Precompute(enc_outputs);
   MatchedTrajectory out;

@@ -1,8 +1,10 @@
 #ifndef RNTRAJ_CORE_DECODER_H_
 #define RNTRAJ_CORE_DECODER_H_
 
-#include <unordered_map>
+#include <atomic>
 #include <vector>
+
+#include "src/common/memo_cache.h"
 
 #include "src/core/model_api.h"
 #include "src/nn/attention.h"
@@ -63,8 +65,24 @@ class Decoder : public Module {
   /// Scheduled-sampling probability (see DecoderConfig::teacher_forcing).
   void set_teacher_forcing(double prob) { cfg_.teacher_forcing = prob; }
 
+  /// Advances the scheduled-sampling stream (call once per optimiser step).
+  /// Coin flips are drawn from a per-call engine seeded by (epoch, sample
+  /// uid), so concurrent TrainLoss calls are race-free and a batch's flips do
+  /// not depend on the order its samples are processed in.
+  void AdvanceSamplingEpoch() {
+    sampling_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Answers road-network radius queries through `source` instead of the
+  /// direct R-tree (see RecoveryModel::SetSegmentQuerySource).
+  void set_segment_query_source(const SegmentQuerySource* source) {
+    seg_source_ = source;
+  }
+
  private:
-  /// Constant per-sample decoding context, cached across epochs.
+  /// Constant per-sample decoding context, memoised across epochs for
+  /// dataset samples (uid >= 0) and computed into per-call scratch for
+  /// ephemeral serving samples (uid < 0).
   struct SampleCache {
     /// Constraint log-masks plus the soft spatial prior, one (1, |V|) tensor
     /// per target step.
@@ -77,13 +95,18 @@ class Decoder : public Module {
     Tensor step_features;
   };
 
-  /// Additive log-mask over segments for target step j (paper's constraint
-  /// mask layer): observed steps allow only segments within mask_radius of
-  /// the observation, weighted exp(-(d/beta)^2); unobserved steps are
-  /// unconstrained. Returns a (1, |V|) constant tensor.
-  Tensor LogConstraintMask(const TrajectorySample& sample, int step) const;
+  /// Computes one sample's decoding context (pure: no shared state touched
+  /// beyond read-only parameters and the query source).
+  SampleCache BuildSampleCache(const TrajectorySample& sample) const;
 
-  const SampleCache& CacheFor(const TrajectorySample& sample) const;
+  /// Memoised lookup: returns the cached context for dataset samples,
+  /// `*scratch` filled by BuildSampleCache for ephemeral ones (see
+  /// UidMemoCache for the re-entrancy invariant).
+  const SampleCache& ResolveCache(const TrajectorySample& sample,
+                                  SampleCache* scratch) const {
+    return cache_.ResolveOrBuild(sample.uid, scratch,
+                                 [&] { return BuildSampleCache(sample); });
+  }
 
   /// One GRU step; returns the new hidden state (1, d). `step_row` is the
   /// (1, 3) per-step feature row from SampleCache.
@@ -93,13 +116,16 @@ class Decoder : public Module {
 
   DecoderConfig cfg_;
   const ModelContext* ctx_;
+  const SegmentQuerySource* seg_source_ = nullptr;
   Embedding seg_emb_;
   AdditiveAttention attn_;
   GruCell gru_;
   Linear id_head_;
   Linear rate_head_;
-  mutable std::unordered_map<int64_t, SampleCache> cache_;
-  mutable Rng sampling_rng_{977};  ///< Scheduled-sampling coin flips.
+  UidMemoCache<SampleCache> cache_;
+  /// Scheduled-sampling epoch: seeds the per-call coin-flip engine together
+  /// with the sample uid (see AdvanceSamplingEpoch).
+  std::atomic<uint64_t> sampling_epoch_{0};
 };
 
 }  // namespace rntraj

@@ -66,11 +66,29 @@ class RecoveryModel {
 
   /// True when TrainLoss may be called concurrently for different samples of
   /// one batch (pure-functional forward: no shared mutable caches, no
-  /// unsynchronised RNG draws). The models in this repo keep per-batch
-  /// caches, so the default is false and the trainer's batch_threads option
-  /// falls back to serial; override after making a model's forward
-  /// re-entrant.
+  /// unsynchronised RNG draws). The default is false and the trainer's
+  /// batch_threads option falls back to serial, so the flag is safe on any
+  /// model; RnTrajRec's forwards are re-entrant (per-call scratch +
+  /// lock-protected memo caches) and override this to true.
   virtual bool SupportsConcurrentTrainLoss() const { return false; }
+
+  /// True when Recover may be called concurrently after one BeginInference —
+  /// the contract the online serving sessions (src/serve/) rely on. Defaults
+  /// to the TrainLoss answer: a pure-functional forward is re-entrant in both
+  /// modes.
+  virtual bool SupportsConcurrentRecover() const {
+    return SupportsConcurrentTrainLoss();
+  }
+
+  /// Installs an alternative answerer for the model's road-network radius
+  /// queries (sub-graph generation, decoder constraint masks). Serving
+  /// installs an exact grid-cell-keyed cache shared across sessions; models
+  /// without such queries ignore it. Pass nullptr to restore direct R-tree
+  /// queries. Not thread-safe: call before concurrent use, keep `source`
+  /// alive while installed.
+  virtual void SetSegmentQuerySource(const SegmentQuerySource* source) {
+    (void)source;
+  }
 
   /// Hook before a sequence of Recover calls (precompute shared state; the
   /// paper's Fig. 6 likewise excludes road-representation time from

@@ -25,17 +25,19 @@ RnTrajRec::RnTrajRec(RnTrajRecConfig config, const ModelContext& ctx)
   gcl_w_ = RegisterParameter("gcl_w", XavierUniform(cfg_.dim, 1));
 }
 
-const std::vector<RnTrajRec::CachedPoint>& RnTrajRec::CachedPoints(
-    const TrajectorySample& sample) {
-  auto it = cache_.find(sample.uid);
-  if (it != cache_.end()) return it->second;
-
-  std::vector<CachedPoint> pts;
+RnTrajRec::PointContexts RnTrajRec::BuildPointContexts(
+    const TrajectorySample& sample) const {
+  PointContexts pts;
   pts.reserve(sample.input.size());
   for (const auto& rp : sample.input.points) {
-    CachedPoint cp;
-    cp.sg = ExtractPointSubGraph(*ctx_.rn, *ctx_.rtree, rp.pos, cfg_.delta,
-                                 cfg_.gamma, cfg_.max_subgraph_nodes);
+    PointContext cp;
+    cp.sg = seg_source_ != nullptr
+                ? ExtractPointSubGraph(*ctx_.rn, *seg_source_, rp.pos,
+                                       cfg_.delta, cfg_.gamma,
+                                       cfg_.max_subgraph_nodes)
+                : ExtractPointSubGraph(*ctx_.rn, *ctx_.rtree, rp.pos,
+                                       cfg_.delta, cfg_.gamma,
+                                       cfg_.max_subgraph_nodes);
     cp.dense = BuildDenseGraph(cp.sg.size(), cp.sg.local_edges);
     const int n = cp.sg.size();
     std::vector<float> pool(n);
@@ -50,19 +52,22 @@ const std::vector<RnTrajRec::CachedPoint>& RnTrajRec::CachedPoints(
     cp.log_weights = Tensor::FromVector({1, n}, logw);
     pts.push_back(std::move(cp));
   }
-  return cache_.emplace(sample.uid, std::move(pts)).first->second;
+  return pts;
 }
 
-void RnTrajRec::BeginBatch() { xroad_ = gridgnn_.Forward(); }
+void RnTrajRec::BeginBatch() {
+  xroad_ = gridgnn_.Forward();
+  decoder_.AdvanceSamplingEpoch();
+}
 
 void RnTrajRec::BeginInference() {
   NoGradGuard guard;
   xroad_ = gridgnn_.Forward();
 }
 
-RnTrajRec::Encoded RnTrajRec::Encode(const TrajectorySample& sample) {
+RnTrajRec::Encoded RnTrajRec::Encode(const TrajectorySample& sample,
+                                     const PointContexts& pts) {
   RNTRAJ_CHECK_MSG(xroad_.defined(), "call BeginBatch()/BeginInference() first");
-  const auto& pts = CachedPoints(sample);
   const int l = sample.input.size();
 
   // Sub-Graph Generation (paper §IV-C): initial node features Z^0 and the
@@ -97,7 +102,7 @@ Tensor RnTrajRec::GraphClassificationLoss(const Encoded& e,
   // supervised by the true segment at the input timestamps.
   std::vector<Tensor> terms;
   for (size_t i = 0; i < e.z.size(); ++i) {
-    const CachedPoint& cp = (*e.points)[i];
+    const PointContext& cp = (*e.points)[i];
     const int truth_seg =
         sample.truth.points[sample.input_indices[i]].seg_id;
     const int local = cp.sg.LocalIndexOf(truth_seg);
@@ -111,7 +116,9 @@ Tensor RnTrajRec::GraphClassificationLoss(const Encoded& e,
 }
 
 Tensor RnTrajRec::TrainLoss(const TrajectorySample& sample) {
-  Encoded e = Encode(sample);
+  PointContexts scratch;
+  const PointContexts& pts = ResolvePoints(sample, &scratch);
+  Encoded e = Encode(sample, pts);
   Tensor loss = decoder_.TrainLoss(e.enc, e.traj_h, sample);
   if (cfg_.use_gcl && cfg_.gpsformer.use_grl) {
     loss = Add(loss, MulScalar(GraphClassificationLoss(e, sample),
@@ -122,7 +129,9 @@ Tensor RnTrajRec::TrainLoss(const TrajectorySample& sample) {
 
 MatchedTrajectory RnTrajRec::Recover(const TrajectorySample& sample) {
   NoGradGuard guard;
-  Encoded e = Encode(sample);
+  PointContexts scratch;
+  const PointContexts& pts = ResolvePoints(sample, &scratch);
+  Encoded e = Encode(sample, pts);
   return decoder_.Decode(e.enc, e.traj_h, sample);
 }
 

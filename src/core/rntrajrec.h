@@ -2,9 +2,9 @@
 #define RNTRAJ_CORE_RNTRAJREC_H_
 
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/memo_cache.h"
 #include "src/core/decoder.h"
 #include "src/core/features.h"
 #include "src/core/gpsformer.h"
@@ -61,32 +61,55 @@ class RnTrajRec : public Module, public RecoveryModel {
   void SetTeacherForcing(double prob) override {
     decoder_.set_teacher_forcing(prob);
   }
+  /// Forwards are re-entrant: per-sample context lives in per-call scratch
+  /// (ephemeral samples) or a shared_mutex-guarded memo (dataset samples),
+  /// scheduled sampling draws from a per-call engine, and GraphNorm running
+  /// statistics update under a lock. This unlocks the trainer's
+  /// batch_threads data parallelism and concurrent serving sessions.
+  bool SupportsConcurrentTrainLoss() const override { return true; }
+  bool SupportsConcurrentRecover() const override { return true; }
+  void SetSegmentQuerySource(const SegmentQuerySource* source) override {
+    seg_source_ = source;
+    decoder_.set_segment_query_source(source);
+  }
 
   const RnTrajRecConfig& config() const { return cfg_; }
 
  private:
-  /// Immutable per-input-point spatial context, cached per sample.
-  struct CachedPoint {
+  /// Immutable per-input-point spatial context (Sub-Graph Generation).
+  struct PointContext {
     PointSubGraph sg;
     DenseGraph dense;
     Tensor pool_weights;  ///< (1, n) omega / sum(omega), for Eq. (6).
     Tensor log_weights;   ///< (1, n) log omega, the Eq. (18) GCL mask.
   };
+  using PointContexts = std::vector<PointContext>;
 
   struct Encoded {
     Tensor enc;                  ///< (l, d) encoder outputs H^N.
     Tensor traj_h;               ///< (1, d) trajectory-level state.
     std::vector<Tensor> z;       ///< Final sub-graph features Z^N.
-    const std::vector<CachedPoint>* points;
+    const PointContexts* points;
   };
 
-  const std::vector<CachedPoint>& CachedPoints(const TrajectorySample& sample);
-  Encoded Encode(const TrajectorySample& sample);
+  /// Computes the per-point contexts for one sample (pure).
+  PointContexts BuildPointContexts(const TrajectorySample& sample) const;
+
+  /// Memoised lookup: cached for dataset samples, `*scratch` for ephemeral
+  /// ones (see UidMemoCache for the re-entrancy invariant).
+  const PointContexts& ResolvePoints(const TrajectorySample& sample,
+                                     PointContexts* scratch) const {
+    return cache_.ResolveOrBuild(sample.uid, scratch,
+                                 [&] { return BuildPointContexts(sample); });
+  }
+
+  Encoded Encode(const TrajectorySample& sample, const PointContexts& pts);
   Tensor GraphClassificationLoss(const Encoded& e,
                                  const TrajectorySample& sample) const;
 
   RnTrajRecConfig cfg_;
   ModelContext ctx_;
+  const SegmentQuerySource* seg_source_ = nullptr;
   GridGnn gridgnn_;
   Linear input_proj_;   ///< (d+3) -> d (Sub-Graph Generation output).
   GpsFormer gpsformer_;
@@ -94,7 +117,7 @@ class RnTrajRec : public Module, public RecoveryModel {
   Decoder decoder_;
   Tensor gcl_w_;        ///< (d, 1), the Eq. (18) readout weight.
   Tensor xroad_;        ///< Batch-shared road representation.
-  std::unordered_map<int64_t, std::vector<CachedPoint>> cache_;
+  UidMemoCache<PointContexts> cache_;
 };
 
 }  // namespace rntraj

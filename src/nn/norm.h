@@ -1,6 +1,7 @@
 #ifndef RNTRAJ_NN_NORM_H_
 #define RNTRAJ_NN_NORM_H_
 
+#include <mutex>
 #include <vector>
 
 #include "src/nn/module.h"
@@ -81,6 +82,14 @@ class GraphNorm : public Module {
 
  private:
   void UpdateRunning(const Tensor& mu, const Tensor& var) {
+    // Concurrent training forwards (trainer batch_threads, serving warmup)
+    // all fold their batch statistics into the shared running estimates; the
+    // lock makes the read-modify-write race-free. The fold order across
+    // threads is scheduler-dependent and an EMA is non-commutative, so
+    // parallel training yields running (eval-mode) stats that can differ
+    // run-to-run at reordering magnitude — training-mode outputs, which use
+    // batch statistics, are unaffected.
+    std::lock_guard<std::mutex> lock(running_mu_);
     for (int j = 0; j < dim_; ++j) {
       running_mean_.data()[j] =
           (1.0f - momentum_) * running_mean_.data()[j] + momentum_ * mu.at(j);
@@ -96,6 +105,7 @@ class GraphNorm : public Module {
   Tensor beta_;
   Tensor running_mean_;
   Tensor running_var_;
+  std::mutex running_mu_;
 };
 
 }  // namespace rntraj

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/thread_pool.h"
+
 namespace rntraj {
 
 namespace {
@@ -74,21 +76,29 @@ std::vector<int> RTree::PackLevel(std::vector<int> entry_ids, bool leaf_level) {
 
 std::vector<int> RTree::Query(const BBox& query) const {
   std::vector<int> out;
-  if (root_ < 0) return out;
-  std::vector<int> stack = {root_};
+  QueryScratch scratch;
+  QueryInto(query, &scratch, &out);
+  return out;
+}
+
+void RTree::QueryInto(const BBox& query, QueryScratch* scratch,
+                      std::vector<int>* out) const {
+  if (root_ < 0) return;
+  std::vector<int>& stack = scratch->stack;
+  stack.clear();
+  stack.push_back(root_);
   while (!stack.empty()) {
     const Node& node = nodes_[stack.back()];
     stack.pop_back();
     if (!node.box.Intersects(query)) continue;
     if (node.leaf) {
       for (int id : node.entries) {
-        if (item_boxes_[id].Intersects(query)) out.push_back(id);
+        if (item_boxes_[id].Intersects(query)) out->push_back(id);
       }
     } else {
       for (int child : node.entries) stack.push_back(child);
     }
   }
-  return out;
 }
 
 RTree BuildSegmentRTree(const RoadNetwork& rn) {
@@ -100,23 +110,67 @@ RTree BuildSegmentRTree(const RoadNetwork& rn) {
   return RTree(boxes);
 }
 
+namespace {
+
+/// Shared worker for the single-point and batched radius entry points.
+void SegmentsWithinRadiusInto(const RoadNetwork& rn, const RTree& rtree,
+                              const Vec2& p, double radius,
+                              RTree::QueryScratch* scratch,
+                              std::vector<int>* candidates,
+                              std::vector<NearbySegment>* out) {
+  out->clear();
+  double r = radius;
+  // Expand until we find something (guarantees a non-empty sub-graph for
+  // noisy points outside the nominal receptive field).
+  for (int attempt = 0; attempt < 24 && out->empty(); ++attempt, r *= 2.0) {
+    const BBox query = BBox::FromPoint(p).Buffered(r);
+    candidates->clear();
+    rtree.QueryInto(query, scratch, candidates);
+    for (int id : *candidates) {
+      PointProjection proj = rn.Project(p, id);
+      if (proj.distance <= r) out->push_back({id, proj});
+    }
+  }
+  SortNearbySegments(out);
+}
+
+}  // namespace
+
+void SortNearbySegments(std::vector<NearbySegment>* segs) {
+  std::sort(segs->begin(), segs->end(),
+            [](const NearbySegment& a, const NearbySegment& b) {
+              if (a.projection.distance != b.projection.distance) {
+                return a.projection.distance < b.projection.distance;
+              }
+              return a.seg_id < b.seg_id;
+            });
+}
+
 std::vector<NearbySegment> SegmentsWithinRadius(const RoadNetwork& rn,
                                                 const RTree& rtree, const Vec2& p,
                                                 double radius) {
   std::vector<NearbySegment> out;
-  double r = radius;
-  // Expand until we find something (guarantees a non-empty sub-graph for
-  // noisy points outside the nominal receptive field).
-  for (int attempt = 0; attempt < 24 && out.empty(); ++attempt, r *= 2.0) {
-    const BBox query = BBox::FromPoint(p).Buffered(r);
-    for (int id : rtree.Query(query)) {
-      PointProjection proj = rn.Project(p, id);
-      if (proj.distance <= r) out.push_back({id, proj});
-    }
-  }
-  std::sort(out.begin(), out.end(), [](const NearbySegment& a, const NearbySegment& b) {
-    return a.projection.distance < b.projection.distance;
-  });
+  RTree::QueryScratch scratch;
+  std::vector<int> candidates;
+  SegmentsWithinRadiusInto(rn, rtree, p, radius, &scratch, &candidates, &out);
+  return out;
+}
+
+std::vector<std::vector<NearbySegment>> BatchSegmentsWithinRadius(
+    const RoadNetwork& rn, const RTree& rtree, const std::vector<Vec2>& points,
+    double radius) {
+  std::vector<std::vector<NearbySegment>> out(points.size());
+  // Chunked so each worker reuses one traversal stack + candidate buffer for
+  // its whole range instead of reallocating per point.
+  ParallelFor(0, static_cast<int64_t>(points.size()), /*grain=*/8,
+              [&](int64_t begin, int64_t end) {
+                RTree::QueryScratch scratch;
+                std::vector<int> candidates;
+                for (int64_t i = begin; i < end; ++i) {
+                  SegmentsWithinRadiusInto(rn, rtree, points[i], radius,
+                                           &scratch, &candidates, &out[i]);
+                }
+              });
   return out;
 }
 

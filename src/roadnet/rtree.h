@@ -14,14 +14,26 @@
 
 namespace rntraj {
 
-/// Bulk-loaded R-tree; immutable after construction.
+/// Bulk-loaded R-tree; immutable after construction (and therefore safe to
+/// query from any number of threads concurrently).
 class RTree {
  public:
   /// Builds over `boxes`; result ids refer to positions in this vector.
   explicit RTree(const std::vector<BBox>& boxes, int node_capacity = 8);
 
+  /// Reusable traversal scratch for allocation-free repeated queries.
+  struct QueryScratch {
+    std::vector<int> stack;
+  };
+
   /// Ids of all boxes intersecting the query box.
   std::vector<int> Query(const BBox& query) const;
+
+  /// Appends ids of all boxes intersecting `query` to `*out` (not cleared),
+  /// reusing `*scratch` for the traversal stack. The allocation-free variant
+  /// for hot loops (batched radius queries, serving caches).
+  void QueryInto(const BBox& query, QueryScratch* scratch,
+                 std::vector<int>* out) const;
 
   int size() const { return num_items_; }
 
@@ -50,13 +62,59 @@ struct NearbySegment {
 };
 
 /// All segments whose exact geometric distance to `p` is at most `radius`,
-/// sorted by ascending distance. When nothing is inside the radius the search
-/// expands (doubling) until at least one segment is found, so the result is
-/// never empty on a non-empty network — the behaviour Sub-Graph Generation
-/// needs for far-off noisy points.
+/// sorted by ascending distance (ties broken by segment id, so the ordering
+/// is deterministic and reproducible by cached query paths). When nothing is
+/// inside the radius the search expands (doubling) until at least one segment
+/// is found, so the result is never empty on a non-empty network — the
+/// behaviour Sub-Graph Generation needs for far-off noisy points.
 std::vector<NearbySegment> SegmentsWithinRadius(const RoadNetwork& rn,
                                                 const RTree& rtree, const Vec2& p,
                                                 double radius);
+
+/// Canonical ordering of radius-query results: ascending exact distance,
+/// ties broken by segment id. Exposed so cached query paths (serving) can
+/// reproduce SegmentsWithinRadius output bit-for-bit.
+void SortNearbySegments(std::vector<NearbySegment>* segs);
+
+/// Radius queries for a batch of points, parallelised over the shared thread
+/// pool with per-chunk scratch reuse (the allocation churn of the one-point
+/// entry point is the measurable cost at batch sizes; see
+/// BM_RTreeRadiusQueryBatch). `out[i]` corresponds to `points[i]` and is
+/// element-wise identical to SegmentsWithinRadius(rn, rtree, points[i], r).
+std::vector<std::vector<NearbySegment>> BatchSegmentsWithinRadius(
+    const RoadNetwork& rn, const RTree& rtree, const std::vector<Vec2>& points,
+    double radius);
+
+/// Source of radius queries against one road network. The default
+/// implementation answers straight from the R-tree; the serving subsystem
+/// substitutes a grid-cell-keyed LRU cache (src/serve/roadnet_cache.h) whose
+/// results are exact — models call through this interface so online sessions
+/// can share hot roadnet work across requests without changing outputs.
+class SegmentQuerySource {
+ public:
+  virtual ~SegmentQuerySource() = default;
+
+  /// Same contract as SegmentsWithinRadius (sorted, never empty on a
+  /// non-empty network).
+  virtual std::vector<NearbySegment> WithinRadius(const Vec2& p,
+                                                  double radius) const = 0;
+};
+
+/// The pass-through SegmentQuerySource over a network + R-tree pair.
+class DirectSegmentQuerySource : public SegmentQuerySource {
+ public:
+  DirectSegmentQuerySource(const RoadNetwork* rn, const RTree* rtree)
+      : rn_(rn), rtree_(rtree) {}
+
+  std::vector<NearbySegment> WithinRadius(const Vec2& p,
+                                          double radius) const override {
+    return SegmentsWithinRadius(*rn_, *rtree_, p, radius);
+  }
+
+ private:
+  const RoadNetwork* rn_;
+  const RTree* rtree_;
+};
 
 /// Builds an R-tree over all segment geometries of a road network.
 RTree BuildSegmentRTree(const RoadNetwork& rn);

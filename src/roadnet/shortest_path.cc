@@ -1,34 +1,90 @@
 #include "src/roadnet/shortest_path.h"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <queue>
 
 namespace rntraj {
 
-const std::vector<double>& NetworkDistance::Row(int src) const {
-  auto it = rows_.find(src);
-  if (it != rows_.end()) return it->second;
-
+NetworkDistance::RowPtr NetworkDistance::ComputeRow(int src) const {
   const int n = rn_->num_segments();
-  std::vector<double> dist(n, kUnreachable);
+  auto dist = std::make_shared<std::vector<double>>(n, kUnreachable);
   using Item = std::pair<double, int>;
   std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
-  dist[src] = 0.0;
+  (*dist)[src] = 0.0;
   pq.push({0.0, src});
   while (!pq.empty()) {
     auto [d, u] = pq.top();
     pq.pop();
-    if (d > dist[u]) continue;
+    if (d > (*dist)[u]) continue;
     const double leave_cost = rn_->segment(u).length();
     for (int v : rn_->OutEdges(u)) {
       const double nd = d + leave_cost;
-      if (nd < dist[v]) {
-        dist[v] = nd;
+      if (nd < (*dist)[v]) {
+        (*dist)[v] = nd;
         pq.push({nd, v});
       }
     }
   }
-  return rows_.emplace(src, std::move(dist)).first->second;
+  return dist;
+}
+
+void NetworkDistance::TouchLocked(int src) const {
+  if (max_rows_ <= 0) return;
+  auto it = rows_.find(src);
+  if (it == rows_.end()) return;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+}
+
+void NetworkDistance::EvictLocked() const {
+  while (max_rows_ > 0 && static_cast<int>(rows_.size()) > max_rows_) {
+    rows_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+NetworkDistance::RowPtr NetworkDistance::Row(int src) const {
+  {
+    // Fast path: hits return under the shared lock in both modes, so
+    // concurrent sessions never serialize on lookups. In capped mode the
+    // recency update is opportunistic (try_to_lock below): a skipped touch
+    // only degrades the LRU towards FIFO, never correctness.
+    bool touch = false;
+    std::shared_lock lock(mu_);
+    auto it = rows_.find(src);
+    if (it != rows_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      RowPtr row = it->second.row;
+      touch = max_rows_ > 0;
+      lock.unlock();
+      if (touch) {
+        std::unique_lock ul(mu_, std::try_to_lock);
+        if (ul.owns_lock()) TouchLocked(src);
+      }
+      return row;
+    }
+  }
+  // Dijkstra outside any lock: concurrent misses on distinct sources run in
+  // parallel (duplicated work on the same source is possible but harmless).
+  RowPtr row = ComputeRow(src);
+  std::unique_lock lock(mu_);
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto [it, inserted] = rows_.try_emplace(src);
+  if (inserted) {
+    lru_.push_front(src);
+    it->second = {row, lru_.begin()};
+    EvictLocked();
+  }
+  return it->second.row;
+}
+
+void NetworkDistance::set_max_cached_rows(int cap) {
+  // The recency list is maintained in both modes (hits just don't reorder it
+  // while unbounded), so switching modes only needs an eviction sweep.
+  std::unique_lock lock(mu_);
+  max_rows_ = cap;
+  EvictLocked();
 }
 
 double NetworkDistance::CycleThrough(int seg) const {
@@ -36,7 +92,7 @@ double NetworkDistance::CycleThrough(int seg) const {
   double best = kUnreachable;
   // Cheapest cycle = len(seg) + min over successors v of dist(v -> seg).
   for (int v : rn_->OutEdges(seg)) {
-    const double back = Row(v)[seg];
+    const double back = (*Row(v))[seg];
     if (back < kUnreachable) best = std::min(best, len + back);
   }
   return best;

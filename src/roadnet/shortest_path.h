@@ -1,7 +1,11 @@
 #ifndef RNTRAJ_ROADNET_SHORTEST_PATH_H_
 #define RNTRAJ_ROADNET_SHORTEST_PATH_H_
 
+#include <atomic>
 #include <limits>
+#include <list>
+#include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -23,15 +27,33 @@
 namespace rntraj {
 
 /// Lazy all-pairs network distances with per-source Dijkstra row caching.
+///
+/// Thread-safe: rows are computed outside the lock and shared through
+/// reference-counted handles, so concurrent readers (serving sessions, the
+/// data-parallel trainer) never block on each other's Dijkstra runs and never
+/// observe a row mid-eviction. With `max_cached_rows` > 0 the cache is a true
+/// LRU (the serving configuration: bounds memory at |V| doubles per row);
+/// the default 0 keeps every row, matching the offline pipelines that sweep
+/// all sources anyway.
 class NetworkDistance {
  public:
-  explicit NetworkDistance(const RoadNetwork* rn) : rn_(rn) {}
+  explicit NetworkDistance(const RoadNetwork* rn, int max_cached_rows = 0)
+      : rn_(rn), max_rows_(max_cached_rows) {}
 
   static constexpr double kUnreachable = std::numeric_limits<double>::infinity();
 
+  /// Caps the number of cached Dijkstra rows (0 = unbounded), evicting the
+  /// least-recently-used rows immediately if over the new cap.
+  void set_max_cached_rows(int cap);
+
+  int max_cached_rows() const {
+    std::shared_lock lock(mu_);
+    return max_rows_;
+  }
+
   /// Shortest travel distance from the start of segment `from` to the start
   /// of segment `to` (0 when from == to).
-  double StartToStart(int from, int to) const { return Row(from)[to]; }
+  double StartToStart(int from, int to) const { return (*Row(from))[to]; }
 
   /// Shortest strictly-positive cycle leaving and re-entering segment `seg`.
   double CycleThrough(int seg) const;
@@ -43,14 +65,37 @@ class NetworkDistance {
   /// when the network offers no route in either direction.
   double Symmetric(int seg_a, double ratio_a, int seg_b, double ratio_b) const;
 
-  /// Number of Dijkstra source rows computed so far (for tests/benchmarks).
-  int cached_rows() const { return static_cast<int>(rows_.size()); }
+  /// Number of Dijkstra source rows currently cached (for tests/benchmarks).
+  int cached_rows() const {
+    std::shared_lock lock(mu_);
+    return static_cast<int>(rows_.size());
+  }
+
+  /// Rows served from cache / computed (for serving telemetry).
+  int64_t row_hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t row_misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
-  const std::vector<double>& Row(int src) const;
+  using RowPtr = std::shared_ptr<const std::vector<double>>;
+
+  struct Entry {
+    RowPtr row;
+    std::list<int>::iterator lru_it;  ///< Position in lru_ (capped mode only).
+  };
+
+  RowPtr Row(int src) const;
+  RowPtr ComputeRow(int src) const;
+  /// Inserts (or refreshes) under an already-held exclusive lock.
+  void TouchLocked(int src) const;
+  void EvictLocked() const;
 
   const RoadNetwork* rn_;
-  mutable std::unordered_map<int, std::vector<double>> rows_;
+  int max_rows_ = 0;
+  mutable std::shared_mutex mu_;
+  mutable std::unordered_map<int, Entry> rows_;
+  mutable std::list<int> lru_;  ///< Front = most recently used.
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
 };
 
 /// Shortest (by travelled length) segment sequence from `from` to `to`,

@@ -8,8 +8,22 @@ namespace rntraj {
 PointSubGraph ExtractPointSubGraph(const RoadNetwork& rn, const RTree& rtree,
                                    const Vec2& p, double delta, double gamma,
                                    int max_nodes) {
+  return BuildPointSubGraph(rn, SegmentsWithinRadius(rn, rtree, p, delta),
+                            gamma, max_nodes);
+}
+
+PointSubGraph ExtractPointSubGraph(const RoadNetwork& rn,
+                                   const SegmentQuerySource& source,
+                                   const Vec2& p, double delta, double gamma,
+                                   int max_nodes) {
+  return BuildPointSubGraph(rn, source.WithinRadius(p, delta), gamma,
+                            max_nodes);
+}
+
+PointSubGraph BuildPointSubGraph(const RoadNetwork& rn,
+                                 std::vector<NearbySegment> near, double gamma,
+                                 int max_nodes) {
   PointSubGraph sg;
-  std::vector<NearbySegment> near = SegmentsWithinRadius(rn, rtree, p, delta);
   if (static_cast<int>(near.size()) > max_nodes) near.resize(max_nodes);
 
   std::unordered_map<int, int> local;

@@ -43,6 +43,20 @@ PointSubGraph ExtractPointSubGraph(const RoadNetwork& rn, const RTree& rtree,
                                    const Vec2& p, double delta, double gamma,
                                    int max_nodes = 64);
 
+/// Same extraction answering the radius query through `source` instead of the
+/// raw R-tree — the hook online inference uses to share cached roadnet work
+/// across requests (the cache is exact, so outputs are identical).
+PointSubGraph ExtractPointSubGraph(const RoadNetwork& rn,
+                                   const SegmentQuerySource& source,
+                                   const Vec2& p, double delta, double gamma,
+                                   int max_nodes = 64);
+
+/// Builds the sub-graph from an already-answered radius query (`near` must be
+/// SegmentsWithinRadius output for (p, delta): sorted, non-empty).
+PointSubGraph BuildPointSubGraph(const RoadNetwork& rn,
+                                 std::vector<NearbySegment> near, double gamma,
+                                 int max_nodes);
+
 }  // namespace rntraj
 
 #endif  // RNTRAJ_ROADNET_SUBGRAPH_H_

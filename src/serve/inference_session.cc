@@ -1,0 +1,71 @@
+#include "src/serve/inference_session.h"
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "src/sim/dataset.h"
+
+namespace rntraj {
+namespace serve {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch) {
+  const auto batch_start = std::chrono::steady_clock::now();
+  const int batch_size = static_cast<int>(batch.size());
+  // Counted up front so Stats() readers woken by this batch's own futures
+  // see a consistent batches/requests pair.
+  batches_.fetch_add(1, std::memory_order_relaxed);
+
+  // Batch-level cache warmup: one pass over every input point of the batch
+  // per radius, so overlapping requests share the R-tree work (and the
+  // per-request forwards below run almost entirely on cache hits).
+  if (cache_ != nullptr && !prefetch_radii_.empty()) {
+    std::vector<Vec2> points;
+    for (const QueuedRequest& q : batch) {
+      for (const auto& p : q.request.input.points) points.push_back(p.pos);
+    }
+    for (double r : prefetch_radii_) cache_->Prefetch(points, r);
+  }
+
+  for (QueuedRequest& q : batch) {
+    RecoveryResponse resp;
+    resp.batch_size = batch_size;
+    resp.session_id = id_;
+    resp.queue_ms = std::chrono::duration<double, std::milli>(
+                        batch_start - q.enqueued_at)
+                        .count();
+    std::string error;
+    if (ValidateRequest(q.request, &error)) {
+      const auto infer_start = std::chrono::steady_clock::now();
+      TrajectorySample sample =
+          MakeEphemeralSample(std::move(q.request.input),
+                              std::move(q.request.input_indices),
+                              q.request.target_times);
+      resp.recovered = model_->Recover(sample);
+      resp.infer_ms = MsSince(infer_start);
+      resp.ok = true;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      resp.error = std::move(error);
+    }
+    // Record completion before resolving the future: a caller that returns
+    // from future.get() must already see itself in Stats().
+    if (on_complete_) on_complete_(MsSince(q.enqueued_at));
+    q.promise.set_value(std::move(resp));
+  }
+  busy_seconds_.fetch_add(MsSince(batch_start) / 1000.0,
+                          std::memory_order_relaxed);
+}
+
+}  // namespace serve
+}  // namespace rntraj

@@ -1,0 +1,80 @@
+#ifndef RNTRAJ_SERVE_INFERENCE_SESSION_H_
+#define RNTRAJ_SERVE_INFERENCE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/model_api.h"
+#include "src/serve/micro_batcher.h"
+#include "src/serve/roadnet_cache.h"
+
+/// \file inference_session.h
+/// One re-entrant model session: the per-worker execution context that turns
+/// a popped micro-batch into responses. The model itself is shared across
+/// sessions — its forwards are re-entrant (see
+/// RecoveryModel::SupportsConcurrentRecover) — so a session owns only what
+/// must be per-thread: the buffer-pool scope its worker runs under, scratch
+/// conversion state, and telemetry. Sessions never touch each other; all
+/// cross-request sharing happens through the roadnet caches.
+
+namespace rntraj {
+namespace serve {
+
+/// Snapshot of one session's counters.
+struct SessionStats {
+  int64_t batches = 0;
+  int64_t requests = 0;       ///< Successfully answered requests.
+  double busy_seconds = 0.0;  ///< Time spent inside ProcessBatch.
+};
+
+/// Execution context of one serving worker.
+class InferenceSession {
+ public:
+  /// `cache` may be null (caching disabled). `prefetch_radii` lists the
+  /// radii warmed over the batch's input points before the forwards run.
+  /// `on_complete(total_ms)` fires after each response is delivered (the
+  /// service records end-to-end latency there); may be empty.
+  InferenceSession(int id, RecoveryModel* model,
+                   const CellCandidateCache* cache,
+                   std::vector<double> prefetch_radii,
+                   std::function<void(double)> on_complete)
+      : id_(id),
+        model_(model),
+        cache_(cache),
+        prefetch_radii_(std::move(prefetch_radii)),
+        on_complete_(std::move(on_complete)) {}
+
+  /// Runs every request of the batch through the model and fulfils the
+  /// promises. Invalid requests get ok=false responses; the batch's valid
+  /// remainder still runs. Caller must hold a BufferPoolScope on the worker
+  /// thread (the service's worker loop does).
+  void ProcessBatch(std::vector<QueuedRequest>&& batch);
+
+  int id() const { return id_; }
+
+  /// Racy-free snapshot (counters are atomics; readable while serving).
+  SessionStats Snapshot() const {
+    SessionStats s;
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.requests = requests_.load(std::memory_order_relaxed);
+    s.busy_seconds = busy_seconds_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  int id_;
+  RecoveryModel* model_;
+  const CellCandidateCache* cache_;
+  std::vector<double> prefetch_radii_;
+  std::function<void(double)> on_complete_;
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> requests_{0};
+  std::atomic<double> busy_seconds_{0.0};
+};
+
+}  // namespace serve
+}  // namespace rntraj
+
+#endif  // RNTRAJ_SERVE_INFERENCE_SESSION_H_

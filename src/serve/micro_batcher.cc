@@ -1,0 +1,66 @@
+#include "src/serve/micro_batcher.h"
+
+#include <algorithm>
+
+namespace rntraj {
+namespace serve {
+
+bool MicroBatcher::Push(QueuedRequest&& req) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || queue_.size() >= cfg_.max_queue_depth) return false;
+    req.enqueued_at = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(req));
+  }
+  nonempty_.notify_one();
+  return true;
+}
+
+std::vector<QueuedRequest> MicroBatcher::PopBatch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    nonempty_.wait(lock, [&] { return !queue_.empty() || shutdown_; });
+    if (queue_.empty()) return {};  // shut down and drained
+
+    // Coalesce: the batch's deadline is anchored on the *oldest* request so
+    // a request never waits more than max_batch_delay_us in a forming batch.
+    const auto deadline =
+        queue_.front().enqueued_at +
+        std::chrono::microseconds(cfg_.max_batch_delay_us);
+    while (static_cast<int>(queue_.size()) < cfg_.max_batch_size &&
+           !shutdown_ && !queue_.empty()) {
+      if (nonempty_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) break;
+    }
+    // A sibling consumer may have drained the queue while we coalesced
+    // (wait_until releases the lock); an empty batch means shutdown to the
+    // caller, so go back to waiting instead of returning one spuriously.
+    if (queue_.empty()) continue;
+
+    const size_t take =
+        std::min(queue_.size(), static_cast<size_t>(cfg_.max_batch_size));
+    std::vector<QueuedRequest> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    // Push's notify_one may all have landed on this (already awake)
+    // consumer while it coalesced; hand leftover work to a sleeping sibling.
+    if (!queue_.empty()) nonempty_.notify_one();
+    return batch;
+  }
+}
+
+void MicroBatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  nonempty_.notify_all();
+}
+
+}  // namespace serve
+}  // namespace rntraj

@@ -1,0 +1,80 @@
+#ifndef RNTRAJ_SERVE_MICRO_BATCHER_H_
+#define RNTRAJ_SERVE_MICRO_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "src/serve/request.h"
+
+/// \file micro_batcher.h
+/// The admission queue of the recovery service: a bounded MPMC queue whose
+/// consumers pop *micro-batches* — groups of requests coalesced under a
+/// latency deadline. Batching amortises per-dispatch overhead and gives the
+/// sessions batch-level work sharing (roadnet cache prefetch over all points
+/// of a batch); the deadline bounds the latency cost a lone request pays
+/// waiting for company.
+
+namespace rntraj {
+namespace serve {
+
+/// Coalescing policy.
+struct MicroBatcherConfig {
+  int max_batch_size = 16;
+  /// How long a dispatch may hold the *oldest* queued request waiting for
+  /// the batch to fill. 0 = dispatch whatever is queued immediately.
+  int max_batch_delay_us = 2000;
+  /// Admission bound; Push fails beyond this depth (load shedding).
+  size_t max_queue_depth = 4096;
+};
+
+/// A request in flight through the queue.
+struct QueuedRequest {
+  uint64_t id = 0;
+  RecoveryRequest request;
+  std::promise<RecoveryResponse> promise;
+  std::chrono::steady_clock::time_point enqueued_at;
+};
+
+/// Thread-safe micro-batching queue. Producers Push from any thread;
+/// consumer sessions block in PopBatch. Shutdown lets consumers drain what
+/// is queued, then unblocks them with an empty batch.
+class MicroBatcher {
+ public:
+  explicit MicroBatcher(const MicroBatcherConfig& config) : cfg_(config) {}
+
+  /// Enqueues one request (stamps `enqueued_at`). Returns false — leaving
+  /// `req` untouched-but-moved-from only on success — when the queue is full
+  /// or shut down.
+  bool Push(QueuedRequest&& req);
+
+  /// Blocks until at least one request is available, then coalesces: returns
+  /// up to max_batch_size requests, waiting at most max_batch_delay_us past
+  /// the oldest request's enqueue time for the batch to fill. An empty
+  /// result means the batcher was shut down and fully drained.
+  std::vector<QueuedRequest> PopBatch();
+
+  /// Stops admissions; queued requests remain poppable until drained.
+  void Shutdown();
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  MicroBatcherConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable nonempty_;
+  std::deque<QueuedRequest> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace serve
+}  // namespace rntraj
+
+#endif  // RNTRAJ_SERVE_MICRO_BATCHER_H_

@@ -1,0 +1,176 @@
+#include "src/serve/recovery_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/serve/workload.h"
+#include "src/sim/dataset.h"
+#include "src/tensor/buffer_pool.h"
+
+namespace rntraj {
+namespace serve {
+
+namespace {
+
+/// Ring-buffer window for latency percentiles.
+constexpr size_t kLatencyWindow = 8192;
+
+}  // namespace
+
+RecoveryService::RecoveryService(RecoveryModel* model, const ModelContext& ctx,
+                                 const RecoveryServiceConfig& config)
+    : model_(model), cfg_(config), batcher_(config.batcher) {
+  exclusive_model_ = !model_->SupportsConcurrentRecover();
+  if (exclusive_model_) cfg_.num_sessions = 1;
+  cfg_.num_sessions = std::max(1, cfg_.num_sessions);
+
+  if (!cfg_.cache_radii.empty()) {
+    cache_ = std::make_unique<CellCandidateCache>(
+        ctx.rn, ctx.rtree, ctx.grid, cfg_.cache_radii, cfg_.cache);
+    model_->SetSegmentQuerySource(cache_.get());
+  }
+  if (cfg_.max_dijkstra_rows > 0 && ctx.netdist != nullptr) {
+    // The dataset's NetworkDistance is shared with offline pipelines;
+    // remember its cap so shutdown restores it (an offline all-pairs metrics
+    // sweep under a serving-sized LRU would thrash Dijkstra recomputation).
+    netdist_ = ctx.netdist;
+    prev_max_dijkstra_rows_ = netdist_->max_cached_rows();
+    netdist_->set_max_cached_rows(cfg_.max_dijkstra_rows);
+  }
+  if (cfg_.warm_model) {
+    // The re-entrant session warmup: road representation (GridGNN forward)
+    // computed once here, shared read-only by every request after.
+    model_->SetTrainingMode(false);
+    model_->BeginInference();
+  }
+
+  auto on_complete = [this](double total_ms) { RecordLatency(total_ms); };
+  for (int i = 0; i < cfg_.num_sessions; ++i) {
+    sessions_.push_back(std::make_unique<InferenceSession>(
+        i, model_, cache_.get(), cfg_.prefetch_radii, on_complete));
+  }
+  workers_.reserve(sessions_.size());
+  for (auto& session : sessions_) {
+    workers_.emplace_back([this, s = session.get()] { WorkerLoop(s); });
+  }
+}
+
+RecoveryService::~RecoveryService() {
+  Shutdown();
+  if (cache_ != nullptr) model_->SetSegmentQuerySource(nullptr);
+  if (netdist_ != nullptr) {
+    netdist_->set_max_cached_rows(prev_max_dijkstra_rows_);
+  }
+}
+
+void RecoveryService::WorkerLoop(InferenceSession* session) {
+  // Steady-state inference repeats the same op shapes request after request;
+  // the per-thread buffer pool turns that into allocation-free forwards.
+  BufferPoolScope pool_scope;
+  while (true) {
+    std::vector<QueuedRequest> batch = batcher_.PopBatch();
+    if (batch.empty()) return;  // shut down and drained
+    if (exclusive_model_) {
+      // Non-re-entrant model: RecoverNow callers share it with this (only)
+      // session, so forwards take turns.
+      std::lock_guard<std::mutex> lock(exclusive_mu_);
+      session->ProcessBatch(std::move(batch));
+    } else {
+      session->ProcessBatch(std::move(batch));
+    }
+  }
+}
+
+std::future<RecoveryResponse> RecoveryService::Submit(RecoveryRequest req) {
+  QueuedRequest q;
+  q.request = std::move(req);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    q.id = static_cast<uint64_t>(submitted_++);
+  }
+  std::future<RecoveryResponse> future = q.promise.get_future();
+  if (!batcher_.Push(std::move(q))) {
+    // Load shed: answer immediately instead of blocking the producer.
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++rejected_;
+    RecoveryResponse resp;
+    resp.error = "queue full or service shutting down";
+    q.promise.set_value(std::move(resp));
+  }
+  return future;
+}
+
+RecoveryResponse RecoveryService::RecoverNow(RecoveryRequest req) {
+  RecoveryResponse resp;
+  resp.batch_size = 1;
+  std::string error;
+  if (!ValidateRequest(req, &error)) {
+    resp.error = std::move(error);
+    return resp;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  TrajectorySample sample = MakeEphemeralSample(
+      std::move(req.input), std::move(req.input_indices), req.target_times);
+  if (exclusive_model_) {
+    std::lock_guard<std::mutex> lock(exclusive_mu_);
+    resp.recovered = model_->Recover(sample);
+  } else {
+    resp.recovered = model_->Recover(sample);
+  }
+  resp.infer_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  resp.ok = true;
+  return resp;
+}
+
+void RecoveryService::Shutdown() {
+  // exchange: exactly one caller proceeds to join (destructor and an
+  // explicit Shutdown may race).
+  if (shut_down_.exchange(true)) return;
+  batcher_.Shutdown();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void RecoveryService::RecordLatency(double total_ms) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++completed_;
+  if (recent_latencies_ms_.size() < kLatencyWindow) {
+    recent_latencies_ms_.push_back(total_ms);
+  } else {
+    recent_latencies_ms_[latency_next_] = total_ms;
+    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+  }
+}
+
+ServeStats RecoveryService::Stats() const {
+  ServeStats s;
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s.submitted = submitted_;
+    s.rejected = rejected_;
+    s.completed = completed_;
+    latencies = recent_latencies_ms_;
+  }
+  int64_t session_requests = 0;
+  for (const auto& session : sessions_) {
+    const SessionStats st = session->Snapshot();
+    s.batches += st.batches;
+    session_requests += st.requests;
+  }
+  if (s.batches > 0) {
+    s.mean_batch_size =
+        static_cast<double>(session_requests) / static_cast<double>(s.batches);
+  }
+  s.p50_ms = Percentile(latencies, 0.50);
+  s.p99_ms = Percentile(std::move(latencies), 0.99);
+  if (cache_ != nullptr) s.cache = cache_->stats();
+  return s;
+}
+
+}  // namespace serve
+}  // namespace rntraj

@@ -1,0 +1,128 @@
+#ifndef RNTRAJ_SERVE_RECOVERY_SERVICE_H_
+#define RNTRAJ_SERVE_RECOVERY_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/model_api.h"
+#include "src/serve/inference_session.h"
+#include "src/serve/micro_batcher.h"
+#include "src/serve/request.h"
+#include "src/serve/roadnet_cache.h"
+
+/// \file recovery_service.h
+/// The online trajectory-recovery engine: a warm, re-entrant model behind a
+/// micro-batching queue and a pool of inference sessions, with shared
+/// roadnet query caches. This is the subsystem that turns the offline
+/// train/eval pipeline into a request-serving one — the road representation
+/// is computed once at warmup instead of per request, sessions answer
+/// concurrent requests against the same weights, and hot roadnet queries
+/// (sub-graph candidates by grid cell, Dijkstra rows by source segment) are
+/// shared across the whole request stream. Cached answers are exact, so the
+/// service returns precisely what offline single-request inference returns.
+
+namespace rntraj {
+namespace serve {
+
+/// Service-level knobs.
+struct RecoveryServiceConfig {
+  /// Worker sessions. Forced to 1 when the model does not support
+  /// concurrent Recover.
+  int num_sessions = 2;
+  MicroBatcherConfig batcher;
+
+  /// Radii the cell candidate cache serves — a model's sub-graph delta and
+  /// the decoder's mask/prior radii. Empty disables the cache.
+  std::vector<double> cache_radii;
+  RoadnetCacheConfig cache;
+  /// Radii prefetched over each micro-batch's input points (subset of
+  /// cache_radii; typically just the sub-graph delta).
+  std::vector<double> prefetch_radii;
+
+  /// Cap on NetworkDistance's Dijkstra row cache (serving HMM-style models
+  /// must not keep an all-pairs matrix resident). 0 leaves it unbounded.
+  int max_dijkstra_rows = 0;
+
+  /// Run BeginInference() (road representation warmup) at construction.
+  bool warm_model = true;
+};
+
+/// Aggregate serving telemetry.
+struct ServeStats {
+  int64_t submitted = 0;
+  int64_t rejected = 0;   ///< Queue-full / post-shutdown submissions.
+  int64_t completed = 0;  ///< Responses delivered (ok or validation error).
+  int64_t batches = 0;
+  double mean_batch_size = 0.0;
+  /// Percentiles over the most recent completed requests' total latency
+  /// (submit -> response), milliseconds.
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  RoadnetCacheStats cache;
+};
+
+/// The public serving API.
+///
+/// Thread-safe: Submit from any number of producer threads. The destructor
+/// shuts down admissions, drains queued requests, and joins the sessions.
+class RecoveryService {
+ public:
+  RecoveryService(RecoveryModel* model, const ModelContext& ctx,
+                  const RecoveryServiceConfig& config);
+  ~RecoveryService();
+
+  RecoveryService(const RecoveryService&) = delete;
+  RecoveryService& operator=(const RecoveryService&) = delete;
+
+  /// Enqueues one request. The future resolves when a session has answered
+  /// (ok=false for invalid requests, or immediately when the queue sheds
+  /// load).
+  std::future<RecoveryResponse> Submit(RecoveryRequest req);
+
+  /// Answers one request synchronously on the calling thread, bypassing the
+  /// queue (no batching; same model, same caches). The sequential reference
+  /// path the benchmarks compare against.
+  RecoveryResponse RecoverNow(RecoveryRequest req);
+
+  /// Stops admissions, drains the queue, joins sessions (idempotent).
+  void Shutdown();
+
+  ServeStats Stats() const;
+
+  const CellCandidateCache* cell_cache() const { return cache_.get(); }
+
+ private:
+  void WorkerLoop(InferenceSession* session);
+  void RecordLatency(double total_ms);
+
+  RecoveryModel* model_;
+  RecoveryServiceConfig cfg_;
+  /// True for models whose Recover is not re-entrant: sessions are clamped
+  /// to one, and RecoverNow (caller thread) serializes against that session
+  /// through exclusive_mu_.
+  bool exclusive_model_ = false;
+  std::mutex exclusive_mu_;
+  NetworkDistance* netdist_ = nullptr;  ///< Set iff we capped its row cache.
+  int prev_max_dijkstra_rows_ = 0;
+  std::unique_ptr<CellCandidateCache> cache_;
+  MicroBatcher batcher_;
+  std::vector<std::unique_ptr<InferenceSession>> sessions_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> shut_down_{false};
+
+  mutable std::mutex stats_mu_;
+  int64_t submitted_ = 0;
+  int64_t rejected_ = 0;
+  int64_t completed_ = 0;
+  std::vector<double> recent_latencies_ms_;  ///< Ring buffer.
+  size_t latency_next_ = 0;
+};
+
+}  // namespace serve
+}  // namespace rntraj
+
+#endif  // RNTRAJ_SERVE_RECOVERY_SERVICE_H_

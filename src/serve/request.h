@@ -1,0 +1,99 @@
+#ifndef RNTRAJ_SERVE_REQUEST_H_
+#define RNTRAJ_SERVE_REQUEST_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/traj/trajectory.h"
+
+/// \file request.h
+/// Wire-level value types of the online recovery service: one request asks
+/// for the eps-interval map-matched trajectory underlying a sparse noisy GPS
+/// track (the paper's online low-sample-rate recovery setting).
+
+namespace rntraj {
+namespace serve {
+
+/// One recovery query.
+struct RecoveryRequest {
+  /// Sparse observed GPS points, timestamps ascending.
+  RawTrajectory input;
+  /// Timestamps (seconds) of the recovery grid, ascending; typically spaced
+  /// at the dataset's eps_rho.
+  std::vector<double> target_times;
+  /// Position of each input point in the target grid (ascending, in
+  /// [0, target_times.size())).
+  std::vector<int> input_indices;
+};
+
+/// The service's answer, with per-request serving telemetry.
+struct RecoveryResponse {
+  bool ok = false;
+  std::string error;             ///< Set when !ok (validation failures).
+  MatchedTrajectory recovered;   ///< One point per target timestamp.
+  int batch_size = 0;            ///< Size of the micro-batch it rode in.
+  int session_id = -1;           ///< Session that ran the forward.
+  double queue_ms = 0.0;         ///< Enqueue -> batch dispatch.
+  double infer_ms = 0.0;         ///< Model forward time.
+};
+
+/// Structural validation; returns false and fills `*error` on the first
+/// violation. The service rejects invalid requests instead of aborting — a
+/// malformed query must never take a serving process down.
+inline bool ValidateRequest(const RecoveryRequest& req, std::string* error) {
+  const int len = static_cast<int>(req.target_times.size());
+  if (req.input.empty()) {
+    *error = "empty input trajectory";
+    return false;
+  }
+  if (len == 0) {
+    *error = "empty target time grid";
+    return false;
+  }
+  // Finiteness first: NaN defeats ordering comparisons (NaN <= x is false),
+  // and non-finite timestamps would violate the interpolator's partitioned-
+  // range precondition downstream.
+  for (double t : req.target_times) {
+    if (!std::isfinite(t)) {
+      *error = "target_times must be finite";
+      return false;
+    }
+  }
+  for (int j = 1; j < len; ++j) {
+    if (req.target_times[j] <= req.target_times[j - 1]) {
+      *error = "target_times must be strictly increasing";
+      return false;
+    }
+  }
+  for (size_t i = 0; i < req.input.points.size(); ++i) {
+    const RawPoint& p = req.input.points[i];
+    if (!std::isfinite(p.t) || !std::isfinite(p.pos.x) ||
+        !std::isfinite(p.pos.y)) {
+      *error = "input points must be finite";
+      return false;
+    }
+    if (i > 0 && p.t <= req.input.points[i - 1].t) {
+      *error = "input timestamps must be strictly increasing";
+      return false;
+    }
+  }
+  if (req.input_indices.size() != req.input.points.size()) {
+    *error = "input_indices must align with input points";
+    return false;
+  }
+  int prev = -1;
+  for (int k : req.input_indices) {
+    if (k <= prev || k >= len) {
+      *error = "input_indices must be strictly increasing and within the grid";
+      return false;
+    }
+    prev = k;
+  }
+  return true;
+}
+
+}  // namespace serve
+}  // namespace rntraj
+
+#endif  // RNTRAJ_SERVE_REQUEST_H_

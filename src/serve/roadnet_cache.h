@@ -1,0 +1,130 @@
+#ifndef RNTRAJ_SERVE_ROADNET_CACHE_H_
+#define RNTRAJ_SERVE_ROADNET_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/roadnet/grid.h"
+#include "src/roadnet/road_network.h"
+#include "src/roadnet/rtree.h"
+
+/// \file roadnet_cache.h
+/// The shared roadnet query cache of the serving subsystem. Radius queries
+/// (sub-graph generation at delta, decoder constraint masks at mask_radius /
+/// spatial_prior_radius) dominate per-request roadnet time; their R-tree
+/// traversals repeat heavily across requests because real traffic has
+/// spatial locality. The cache keys *candidate segment lists* by grid cell:
+/// for a cell c and radius r it stores every segment whose bounding box
+/// intersects the (r + half-cell-diagonal)-buffered cell centre — a provable
+/// superset of any exact radius-r query issued from inside c. Per query only
+/// the exact projection + filter runs, so cached answers are bit-identical
+/// to SegmentsWithinRadius: caching never changes model outputs.
+
+namespace rntraj {
+namespace serve {
+
+/// Cache shape knobs.
+struct RoadnetCacheConfig {
+  /// Total cached (cell, radius) candidate lists across all shards;
+  /// least-recently-used entries are evicted beyond it.
+  int capacity = 8192;
+  /// Lock striping for concurrent sessions.
+  int shards = 8;
+};
+
+/// Telemetry counters (monotonic).
+struct RoadnetCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  /// Queries answered by the direct path: unknown radius, point outside the
+  /// grid, or an empty filtered result (radius-expansion semantics).
+  int64_t fallbacks = 0;
+  int64_t entries = 0;  ///< Current resident candidate lists.
+};
+
+/// Grid-cell-keyed LRU of radius-query candidates, exact by construction.
+/// Thread-safe; one instance is shared by every serving session.
+class CellCandidateCache : public SegmentQuerySource {
+ public:
+  /// `radii` lists the radii the cache serves (a model's delta and the
+  /// decoder's mask/prior radii); queries at any other radius fall through
+  /// to the direct R-tree path.
+  CellCandidateCache(const RoadNetwork* rn, const RTree* rtree,
+                     const GridMapping* grid, std::vector<double> radii,
+                     const RoadnetCacheConfig& config = {});
+
+  /// Exact SegmentsWithinRadius semantics (sorted, never empty).
+  std::vector<NearbySegment> WithinRadius(const Vec2& p,
+                                          double radius) const override;
+
+  /// Warms the (cell, radius) entries covering `points` in one pass, with
+  /// the candidate computation chunk-parallelised over the thread pool.
+  /// Sessions call this per micro-batch so concurrent requests share the
+  /// R-tree work for overlapping areas.
+  void Prefetch(const std::vector<Vec2>& points, double radius) const;
+
+  RoadnetCacheStats stats() const;
+
+ private:
+  /// One cached candidate: segment id plus its geometry bounds, so queries
+  /// can prefilter with the same bbox-intersection test the R-tree leaf pass
+  /// applies — cached answers then project exactly the segments the direct
+  /// path projects (no conservative-radius overhead).
+  struct CandidateBox {
+    int seg_id;
+    BBox box;
+  };
+  using Candidates = std::shared_ptr<const std::vector<CandidateBox>>;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<int64_t, std::pair<Candidates, std::list<int64_t>::iterator>>
+        entries;
+    std::list<int64_t> lru;  ///< Front = most recently used.
+  };
+
+  /// Index into radii_ for an exact radius match, -1 otherwise.
+  int RadiusSlot(double radius) const;
+
+  /// Cache key for (cell, radius slot); cells are dense grid indices.
+  int64_t KeyOf(int cell, int slot) const {
+    return static_cast<int64_t>(cell) *
+               static_cast<int64_t>(radii_.size()) +
+           slot;
+  }
+
+  Shard& ShardOf(int64_t key) const {
+    return shards_[static_cast<size_t>(key) % shards_.size()];
+  }
+
+  /// Returns the candidate list for (cell, slot), computing and inserting it
+  /// on miss. Counts one hit or miss per call (Prefetch accounts for its own
+  /// inserts, so prefetched entries surface as hits here).
+  Candidates GetCandidates(int cell, int slot) const;
+
+  /// Computes the conservative candidate list for a cell centre.
+  std::vector<CandidateBox> ComputeCandidates(int cell, int slot) const;
+
+  void InsertLocked(Shard& shard, int64_t key, Candidates value) const;
+
+  const RoadNetwork* rn_;
+  const RTree* rtree_;
+  const GridMapping* grid_;
+  std::vector<double> radii_;
+  double half_diag_;  ///< Half the cell diagonal: the snap-safety margin.
+  int per_shard_capacity_;
+  mutable std::vector<Shard> shards_;
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
+  mutable std::atomic<int64_t> fallbacks_{0};
+};
+
+}  // namespace serve
+}  // namespace rntraj
+
+#endif  // RNTRAJ_SERVE_ROADNET_CACHE_H_

@@ -1,0 +1,47 @@
+#include "src/serve/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/common/random.h"
+
+namespace rntraj {
+namespace serve {
+
+RecoveryRequest RequestFromSample(const TrajectorySample& sample) {
+  RecoveryRequest req;
+  req.input = sample.input;
+  req.input_indices = sample.input_indices;
+  req.target_times.reserve(sample.truth.size());
+  for (const auto& p : sample.truth.points) req.target_times.push_back(p.t);
+  return req;
+}
+
+std::vector<WorkloadItem> PoissonWorkload(
+    const std::vector<TrajectorySample>& samples, int num_requests, double qps,
+    uint64_t seed) {
+  RNTRAJ_CHECK(!samples.empty());
+  RNTRAJ_CHECK(qps > 0.0);
+  Rng rng(seed);
+  std::vector<WorkloadItem> items;
+  items.reserve(num_requests);
+  double t = 0.0;
+  for (int i = 0; i < num_requests; ++i) {
+    const int idx = static_cast<int>(i % samples.size());
+    // Exponential inter-arrival via inverse CDF.
+    t += -std::log(1.0 - rng.Uniform(0.0, 1.0)) / qps;
+    items.push_back({RequestFromSample(samples[idx]), t, idx});
+  }
+  return items;
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  const size_t k = static_cast<size_t>(q * (values.size() - 1));
+  std::nth_element(values.begin(), values.begin() + k, values.end());
+  return values[k];
+}
+
+}  // namespace serve
+}  // namespace rntraj

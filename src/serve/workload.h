@@ -1,0 +1,43 @@
+#ifndef RNTRAJ_SERVE_WORKLOAD_H_
+#define RNTRAJ_SERVE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/serve/request.h"
+#include "src/sim/dataset.h"
+
+/// \file workload.h
+/// Request-stream generation for serving demos, benchmarks and tests: turns
+/// simulated dataset samples into recovery requests and schedules them as a
+/// Poisson arrival process (the standard open-loop traffic model — arrivals
+/// do not wait for responses, so queueing behaviour under load is visible).
+
+namespace rntraj {
+namespace serve {
+
+/// The recovery query a sample's observation side induces (truth stays
+/// behind as the evaluation key).
+RecoveryRequest RequestFromSample(const TrajectorySample& sample);
+
+/// One scheduled arrival.
+struct WorkloadItem {
+  RecoveryRequest request;
+  double arrival_s = 0.0;  ///< Offset from workload start.
+  int sample_index = 0;    ///< Source sample (for accuracy bookkeeping).
+};
+
+/// `num_requests` arrivals at `qps` mean rate (exponential inter-arrival
+/// times), cycling through `samples`. Deterministic in `seed`.
+std::vector<WorkloadItem> PoissonWorkload(
+    const std::vector<TrajectorySample>& samples, int num_requests, double qps,
+    uint64_t seed);
+
+/// q-quantile (q in [0, 1]) of `values` by selection; 0 when empty. The one
+/// percentile definition shared by ServeStats and the serving benchmarks.
+double Percentile(std::vector<double> values, double q);
+
+}  // namespace serve
+}  // namespace rntraj
+
+#endif  // RNTRAJ_SERVE_WORKLOAD_H_

@@ -40,4 +40,16 @@ std::unique_ptr<Dataset> BuildDataset(const DatasetConfig& config) {
   return std::make_unique<Dataset>(config);
 }
 
+TrajectorySample MakeEphemeralSample(RawTrajectory input,
+                                     std::vector<int> input_indices,
+                                     const std::vector<double>& target_times) {
+  TrajectorySample s;
+  s.uid = -1;
+  s.input = std::move(input);
+  s.input_indices = std::move(input_indices);
+  s.truth.points.reserve(target_times.size());
+  for (double t : target_times) s.truth.points.push_back({-1, 0.0, t});
+  return s;
+}
+
 }  // namespace rntraj

@@ -24,12 +24,24 @@ namespace rntraj {
 
 /// One supervised example for trajectory recovery.
 struct TrajectorySample {
-  int64_t uid = 0;             ///< Stable id used by model-side caches.
+  /// Stable id used by model-side memo caches. Negative ids mark *ephemeral*
+  /// samples (online serving requests): models must compute per-call scratch
+  /// for them instead of memoising, so request streams cannot grow the
+  /// caches without bound or collide on recycled ids.
+  int64_t uid = 0;
   MatchedTrajectory truth;     ///< Map-matched ground truth at eps_rho.
   RawTrajectory raw_noisy;     ///< Noisy observation of every truth point.
   RawTrajectory input;         ///< Low-sample model input (every k-th point).
   std::vector<int> input_indices;  ///< Positions of input points in `truth`.
 };
+
+/// Builds an ephemeral (uid = -1) sample for online inference: `input` plus
+/// the target timestamp grid is everything Recover is allowed to read — the
+/// truth points carry timestamps only (seg_id = -1). `input_indices[i]` is
+/// the position of input point i in the target grid.
+TrajectorySample MakeEphemeralSample(RawTrajectory input,
+                                     std::vector<int> input_indices,
+                                     const std::vector<double>& target_times);
 
 /// Everything needed to build one dataset.
 struct DatasetConfig {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "src/common/random.h"
 #include "src/core/decoder.h"
 #include "src/core/features.h"
@@ -308,6 +310,89 @@ TEST_F(CoreFixture, RnTrajRecAblationVariantsRun) {
     model.BeginBatch();
     Tensor loss = model.TrainLoss(dataset_->train()[1]);
     EXPECT_TRUE(std::isfinite(loss.item())) << "variant " << variant;
+  }
+}
+
+TEST_F(CoreFixture, TrainerBatchThreadsMatchesSerialTraining) {
+  // The multi-threaded trainer smoke test: with re-entrant forwards
+  // (SupportsConcurrentTrainLoss == true) the batch_threads data-parallel
+  // path must engage and reproduce the serial schedule — per-sample losses
+  // are deterministic in (epoch, uid) regardless of threading, and the
+  // trainer sums them in batch order.
+  ASSERT_TRUE(RnTrajRec(SmallConfig(), *ctx_).SupportsConcurrentTrainLoss());
+
+  TrainConfig serial_cfg;
+  serial_cfg.epochs = 2;
+  serial_cfg.batch_size = 4;
+  serial_cfg.batch_threads = 1;
+  SeedGlobalRng(43);
+  RnTrajRec serial_model(SmallConfig(), *ctx_);
+  TrainStats serial = TrainModel(serial_model, dataset_->train(), serial_cfg);
+
+  TrainConfig parallel_cfg = serial_cfg;
+  parallel_cfg.batch_threads = 4;
+  SeedGlobalRng(43);
+  RnTrajRec parallel_model(SmallConfig(), *ctx_);
+  TrainStats parallel =
+      TrainModel(parallel_model, dataset_->train(), parallel_cfg);
+
+  ASSERT_EQ(serial.epoch_losses.size(), parallel.epoch_losses.size());
+  for (size_t e = 0; e < serial.epoch_losses.size(); ++e) {
+    EXPECT_TRUE(std::isfinite(parallel.epoch_losses[e]));
+    EXPECT_NEAR(serial.epoch_losses[e], parallel.epoch_losses[e], 1e-6)
+        << "epoch " << e;
+  }
+}
+
+TEST_F(CoreFixture, ConcurrentRecoverMatchesSerial) {
+  SeedGlobalRng(44);
+  RnTrajRec model(SmallConfig(), *ctx_);
+  ASSERT_TRUE(model.SupportsConcurrentRecover());
+  model.SetTrainingMode(false);
+  model.BeginInference();
+  const auto& samples = dataset_->test();
+  std::vector<MatchedTrajectory> serial;
+  for (const auto& s : samples) serial.push_back(model.Recover(s));
+
+  std::vector<MatchedTrajectory> parallel(samples.size());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = t; i < samples.size(); i += 2) {
+        parallel[i] = model.Recover(samples[i]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (size_t i = 0; i < samples.size(); ++i) {
+    ASSERT_EQ(parallel[i].size(), serial[i].size());
+    for (int j = 0; j < serial[i].size(); ++j) {
+      EXPECT_EQ(parallel[i].points[j].seg_id, serial[i].points[j].seg_id);
+      EXPECT_DOUBLE_EQ(parallel[i].points[j].ratio, serial[i].points[j].ratio);
+    }
+  }
+}
+
+TEST_F(CoreFixture, EphemeralSampleMatchesDatasetSample) {
+  // Serving builds uid < 0 samples that bypass the memo caches; recovery
+  // from the same observations must be identical.
+  SeedGlobalRng(45);
+  RnTrajRec model(SmallConfig(), *ctx_);
+  model.SetTrainingMode(false);
+  model.BeginInference();
+  const auto& s = dataset_->test()[2];
+  MatchedTrajectory cached = model.Recover(s);
+
+  std::vector<double> times;
+  for (const auto& p : s.truth.points) times.push_back(p.t);
+  TrajectorySample eph = MakeEphemeralSample(s.input, s.input_indices, times);
+  ASSERT_LT(eph.uid, 0);
+  MatchedTrajectory ephemeral = model.Recover(eph);
+  ASSERT_EQ(ephemeral.size(), cached.size());
+  for (int j = 0; j < cached.size(); ++j) {
+    EXPECT_EQ(ephemeral.points[j].seg_id, cached.points[j].seg_id);
+    EXPECT_DOUBLE_EQ(ephemeral.points[j].ratio, cached.points[j].ratio);
   }
 }
 

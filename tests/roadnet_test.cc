@@ -273,6 +273,41 @@ TEST(SubGraphTest, MaxNodesCapsSize) {
   EXPECT_EQ(sg.size(), 2);
 }
 
+TEST(RTreeTest, BatchRadiusQueryMatchesSinglePointQueries) {
+  RoadNetwork rn = RingNetwork();
+  RTree rtree = BuildSegmentRTree(rn);
+  Rng rng(21);
+  std::vector<Vec2> points;
+  for (int i = 0; i < 64; ++i) {
+    points.push_back({rng.Uniform(-150.0, 250.0), rng.Uniform(-150.0, 250.0)});
+  }
+  auto batched = BatchSegmentsWithinRadius(rn, rtree, points, 80.0);
+  ASSERT_EQ(batched.size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    auto single = SegmentsWithinRadius(rn, rtree, points[i], 80.0);
+    ASSERT_EQ(batched[i].size(), single.size()) << "point " << i;
+    for (size_t k = 0; k < single.size(); ++k) {
+      EXPECT_EQ(batched[i][k].seg_id, single[k].seg_id);
+      EXPECT_DOUBLE_EQ(batched[i][k].projection.distance,
+                       single[k].projection.distance);
+    }
+  }
+}
+
+TEST(NetworkDistanceTest, CappedRowCacheStaysCorrect) {
+  RoadNetwork rn = RingNetwork();
+  NetworkDistance capped(&rn, /*max_cached_rows=*/2);
+  NetworkDistance unbounded(&rn);
+  for (int from = 0; from < rn.num_segments(); ++from) {
+    for (int to = 0; to < rn.num_segments(); ++to) {
+      EXPECT_EQ(capped.StartToStart(from, to), unbounded.StartToStart(from, to))
+          << from << "->" << to;
+    }
+  }
+  EXPECT_LE(capped.cached_rows(), 2);
+  EXPECT_EQ(unbounded.cached_rows(), rn.num_segments());
+}
+
 TEST(SubGraphTest, LocalIndexOf) {
   RoadNetwork rn = RingNetwork();
   RTree rtree = BuildSegmentRTree(rn);
