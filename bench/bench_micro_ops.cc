@@ -98,6 +98,112 @@ void BM_SelfAttention(benchmark::State& state) {
 }
 BENCHMARK(BM_SelfAttention)->Arg(8)->Arg(48);
 
+// GPSFormer forward, per-sample loop vs one padded batched pass (the PR 3
+// refactor): B ragged trajectories with chain sub-graphs per timestep.
+// Args are {batched, use_grl}: batched=1 runs the padded path; use_grl=0
+// isolates the temporal (transformer) half, where the batching win lives —
+// with GRL on, per-graph GAT propagation dominates and is identical in both
+// paths, so the full-encoder comparison lands near parity at this scale.
+struct GpsFormerBatchFixture {
+  GpsFormerConfig cfg;
+  std::unique_ptr<GpsFormer> gf;
+  std::unique_ptr<GpsFormer> gf_nogrl;
+  std::vector<int> lengths;
+  std::vector<Tensor> h0s;
+  std::vector<std::vector<Tensor>> z0s;
+  std::vector<std::vector<DenseGraph>> graphs;
+  Tensor h0_flat;
+  Tensor z0_flat;
+  std::vector<int> graph_sizes;
+  std::vector<const DenseGraph*> graph_ptrs;
+  /// Per-sample pointer views, prebuilt so the per-sample reference branch
+  /// times only the forward (no vector churn inside the timed loop).
+  std::vector<std::vector<const DenseGraph*>> sample_graph_ptrs;
+
+  GpsFormerBatchFixture() {
+    SeedGlobalRng(6);
+    const int dim = 32;
+    const int batch = 16;
+    cfg.dim = dim;
+    cfg.ffn_dim = 2 * dim;
+    cfg.grl.dim = dim;
+    gf = std::make_unique<GpsFormer>(cfg);
+    gf->SetTraining(false);
+    GpsFormerConfig nogrl = cfg;
+    nogrl.use_grl = false;
+    gf_nogrl = std::make_unique<GpsFormer>(nogrl);
+    gf_nogrl->SetTraining(false);
+    std::vector<Tensor> h0_parts;
+    std::vector<Tensor> z0_parts;
+    for (int s = 0; s < batch; ++s) {
+      const int l = 3 + s % 4;
+      lengths.push_back(l);
+      h0s.push_back(Tensor::Randn({l, dim}, 1.0f));
+      h0_parts.push_back(h0s.back());
+      std::vector<Tensor> z;
+      std::vector<DenseGraph> g;
+      for (int t = 0; t < l; ++t) {
+        const int n = 10 + (s + t) % 7;
+        z.push_back(Tensor::Randn({n, dim}, 1.0f));
+        z0_parts.push_back(z.back());
+        graph_sizes.push_back(n);
+        std::vector<std::pair<int, int>> edges;
+        for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+        g.push_back(BuildDenseGraph(n, edges));
+      }
+      z0s.push_back(std::move(z));
+      graphs.push_back(std::move(g));
+    }
+    h0_flat = ConcatRows(h0_parts);
+    z0_flat = ConcatRows(z0_parts);
+    for (const auto& g : graphs) {
+      sample_graph_ptrs.emplace_back();
+      for (const auto& d : g) {
+        graph_ptrs.push_back(&d);
+        sample_graph_ptrs.back().push_back(&d);
+      }
+    }
+  }
+};
+
+GpsFormerBatchFixture& TheGpsFormerFixture() {
+  static GpsFormerBatchFixture f;
+  return f;
+}
+
+void BM_GpsFormerBatch(benchmark::State& state) {
+  auto& f = TheGpsFormerFixture();
+  const bool batched = state.range(0) == 1;
+  const bool use_grl = state.range(1) == 1;
+  GpsFormer& gf = use_grl ? *f.gf : *f.gf_nogrl;
+  NoGradGuard guard;
+  BufferPoolScope pool;
+  for (auto _ : state) {
+    if (batched) {
+      benchmark::DoNotOptimize(
+          gf.ForwardBatch(f.h0_flat, f.lengths, f.z0_flat, f.graph_sizes,
+                          f.graph_ptrs)
+              .h.data()
+              .data());
+    } else {
+      for (size_t s = 0; s < f.h0s.size(); ++s) {
+        benchmark::DoNotOptimize(
+            gf.Forward(f.h0s[s], f.z0s[s], f.sample_graph_ptrs[s])
+                .h.data()
+                .data());
+      }
+    }
+  }
+  state.SetLabel(std::string(batched ? "one padded pass" : "per-sample loop") +
+                 (use_grl ? ", full encoder" : ", transformer half") +
+                 ", B=16");
+}
+BENCHMARK(BM_GpsFormerBatch)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 0})
+    ->Args({1, 0});
+
 struct World {
   std::unique_ptr<Dataset> ds;
   World() {

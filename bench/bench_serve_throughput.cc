@@ -1,20 +1,26 @@
 // Serving throughput benchmark: micro-batched RecoveryService vs sequential
 // single-request inference on the same request workload.
 //
-// Three configurations run over an identical request stream:
-//   cold sequential  — the no-subsystem baseline: every request pays the
-//                      full single-request cost including the road
-//                      representation forward (what answering a request in
-//                      isolation costs without re-entrant warm sessions);
-//   warm sequential  — one BeginInference, then one request at a time
-//                      (today's offline RecoverAll loop, no batching, no
-//                      caches);
-//   service          — RecoveryService: warm re-entrant sessions,
-//                      micro-batching queue, cell-candidate + Dijkstra-row
-//                      caches.
-// The service answers are compared element-wise against the warm sequential
-// answers: the caches are exact, so they must agree within 1e-5 (in practice
-// bit-identically). Reported: requests/sec, p50/p99 latency, speedups.
+// Configurations over an identical request stream:
+//   cold sequential   — the no-subsystem baseline: every request pays the
+//                       full single-request cost including the road
+//                       representation forward (what answering a request in
+//                       isolation costs without re-entrant warm sessions);
+//   warm sequential   — one BeginInference, then one request at a time
+//                       (today's offline RecoverAll loop, no batching, no
+//                       caches);
+//   service/per-req   — RecoveryService with batched_forward off: warm
+//                       re-entrant sessions + caches, but each request of a
+//                       micro-batch still runs its own forward (the PR 2
+//                       configuration — the "before" number);
+//   service/batched   — the default service: each micro-batch runs ONE
+//                       padded GPSFormer pass (RecoverBatch), so encoder
+//                       GEMMs see (sum of lengths, d) operands;
+//   plus a num_sessions sweep of the batched service.
+// The batched service answers are compared element-wise against the warm
+// sequential answers: they must agree within 1e-5 (same segments; ratios
+// match to float rounding — see RecoveryServiceConfig::batched_forward).
+// Reported: requests/sec, p50/p99 latency, speedups.
 
 #include <algorithm>
 #include <chrono>
@@ -37,7 +43,7 @@ double Seconds(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
-void Run() {
+bool Run() {
   const auto settings = bench::Settings();
   const int num_requests = settings.scale == BenchScale::kTiny ? 120 : 360;
 
@@ -98,31 +104,57 @@ void Run() {
   const double warm_total_s =
       std::accumulate(warm_ms.begin(), warm_ms.end(), 0.0) / 1000.0;
 
-  // --- service: micro-batched, warm sessions, caches. Sessions sized to the
-  // hardware: on a single core extra workers only thrash.
-  serve::RecoveryServiceConfig scfg;
-  scfg.num_sessions = std::max(
+  // --- service runs: warm sessions, caches, micro-batching; per-request
+  // forwards (the PR 2 configuration) vs one padded batched forward per
+  // micro-batch, plus a num_sessions sweep of the batched path. Default
+  // session count sized to the hardware: on one core extra workers only
+  // thrash.
+  const int auto_sessions = std::max(
       1, std::min(4, static_cast<int>(std::thread::hardware_concurrency())));
-  scfg.batcher.max_batch_size = 16;
-  scfg.batcher.max_batch_delay_us = 1000;
-  scfg.cache_radii = {mcfg.delta, mcfg.decoder.mask_radius,
-                      mcfg.decoder.spatial_prior_radius};
-  scfg.prefetch_radii = {mcfg.delta};
-  scfg.max_dijkstra_rows = 1024;
-  serve::RecoveryService service(&model, ctx, scfg);
 
-  std::vector<std::future<serve::RecoveryResponse>> futures;
-  futures.reserve(workload.size());
-  const auto s0 = std::chrono::steady_clock::now();
-  for (auto& item : workload) {
-    futures.push_back(service.Submit(item.request));
+  struct ServiceRun {
+    double total_s = 0.0;
+    serve::ServeStats stats;
+    std::vector<serve::RecoveryResponse> responses;
+  };
+  const auto run_service = [&](bool batched, int sessions) {
+    serve::RecoveryServiceConfig scfg;
+    scfg.num_sessions = sessions;
+    scfg.batched_forward = batched;
+    scfg.batcher.max_batch_size = 16;
+    scfg.batcher.max_batch_delay_us = 1000;
+    scfg.cache_radii = {mcfg.delta, mcfg.decoder.mask_radius,
+                        mcfg.decoder.spatial_prior_radius};
+    scfg.prefetch_radii = {mcfg.delta};
+    scfg.max_dijkstra_rows = 1024;
+    scfg.warm_model = false;  // already warmed for the warm-sequential run
+    serve::RecoveryService service(&model, ctx, scfg);
+    ServiceRun run;
+    std::vector<std::future<serve::RecoveryResponse>> futures;
+    futures.reserve(workload.size());
+    const auto s0 = std::chrono::steady_clock::now();
+    for (auto& item : workload) {
+      futures.push_back(service.Submit(item.request));
+    }
+    run.responses.reserve(futures.size());
+    for (auto& f : futures) run.responses.push_back(f.get());
+    run.total_s = Seconds(s0);
+    run.stats = service.Stats();
+    return run;
+  };
+
+  const ServiceRun per_request = run_service(/*batched=*/false, auto_sessions);
+  const ServiceRun batched = run_service(/*batched=*/true, auto_sessions);
+  std::vector<std::pair<int, ServiceRun>> sweep;
+  for (int ns : {1, 2, 4}) {
+    if (ns == auto_sessions) continue;  // already measured
+    sweep.emplace_back(ns, run_service(/*batched=*/true, ns));
   }
-  std::vector<serve::RecoveryResponse> responses;
-  responses.reserve(futures.size());
-  for (auto& f : futures) responses.push_back(f.get());
-  const double serve_total_s = Seconds(s0);
 
-  // --- equivalence: service answers vs warm sequential answers.
+  const std::vector<serve::RecoveryResponse>& responses = batched.responses;
+  const double serve_total_s = batched.total_s;
+
+  // --- equivalence: batched service answers vs warm sequential answers.
   int bad = 0;
   int seg_mismatches = 0;
   double max_ratio_diff = 0.0;
@@ -144,9 +176,9 @@ void Run() {
   }
   const bool match = bad == 0 && seg_mismatches == 0 && max_ratio_diff <= 1e-5;
 
-  const serve::ServeStats stats = service.Stats();
+  const serve::ServeStats stats = batched.stats;
   TablePrinter table({"Configuration", "req/s", "p50 ms", "p99 ms", "total s"},
-                     30, 11);
+                     34, 11);
   table.PrintTitle("Serving throughput: " + std::to_string(num_requests) +
                    " requests, " + model.name());
   table.PrintHeader();
@@ -160,15 +192,29 @@ void Run() {
                   TablePrinter::Num(serve::Percentile(warm_ms, 0.5), 2),
                   TablePrinter::Num(serve::Percentile(warm_ms, 0.99), 2),
                   TablePrinter::Num(warm_total_s, 2)});
-  table.PrintRow({"service (micro-batch + caches)",
+  table.PrintRow({"service, per-request forwards",
+                  TablePrinter::Num(num_requests / per_request.total_s, 1),
+                  TablePrinter::Num(per_request.stats.p50_ms, 2),
+                  TablePrinter::Num(per_request.stats.p99_ms, 2),
+                  TablePrinter::Num(per_request.total_s, 2)});
+  table.PrintRow({"service, batched forward",
                   TablePrinter::Num(num_requests / serve_total_s, 1),
                   TablePrinter::Num(stats.p50_ms, 2),
                   TablePrinter::Num(stats.p99_ms, 2),
                   TablePrinter::Num(serve_total_s, 2)});
-  std::printf("\nspeedup vs cold sequential: %.2fx\n",
+  for (const auto& [ns, run] : sweep) {
+    table.PrintRow({"service, batched, sessions=" + std::to_string(ns),
+                    TablePrinter::Num(num_requests / run.total_s, 1),
+                    TablePrinter::Num(run.stats.p50_ms, 2),
+                    TablePrinter::Num(run.stats.p99_ms, 2),
+                    TablePrinter::Num(run.total_s, 2)});
+  }
+  std::printf("\nbatched service speedup vs cold sequential: %.2fx\n",
               cold_total_s / serve_total_s);
-  std::printf("speedup vs warm sequential: %.2fx\n",
+  std::printf("batched service speedup vs warm sequential: %.2fx\n",
               warm_total_s / serve_total_s);
+  std::printf("batched forward speedup vs per-request forwards: %.2fx\n",
+              per_request.total_s / serve_total_s);
   std::printf("mean batch %.2f; cell cache hits %lld misses %lld fallbacks "
               "%lld\n",
               stats.mean_batch_size, static_cast<long long>(stats.cache.hits),
@@ -177,12 +223,12 @@ void Run() {
   std::printf("batched == sequential within 1e-5: %s (seg mismatches %d, max "
               "ratio diff %.2e, failed %d)\n",
               match ? "yes" : "NO", seg_mismatches, max_ratio_diff, bad);
+  return match;
 }
 
 }  // namespace
 }  // namespace rntraj
 
-int main() {
-  rntraj::Run();
-  return 0;
-}
+// Exit code doubles as the equivalence check (CI smoke-runs this target):
+// nonzero when served answers diverge from sequential inference.
+int main() { return rntraj::Run() ? 0 : 1; }

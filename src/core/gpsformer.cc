@@ -15,6 +15,28 @@ GpsFormer::GpsFormer(const GpsFormerConfig& config) : cfg_(config) {
   }
 }
 
+GpsFormer::BatchOutput GpsFormer::ForwardBatch(
+    const Tensor& h0, const std::vector<int>& lengths, const Tensor& z0,
+    const std::vector<int>& graph_sizes,
+    const std::vector<const DenseGraph*>& graphs) {
+  // Eq. (12): position embeddings restart at every sample boundary.
+  Tensor h = Add(h0, StackedPositionEncoding(lengths, cfg_.dim));
+  Tensor z = z0;
+  PaddedBatch pb = PaddedBatch::FromFlat(h, lengths);
+  const Tensor row_mask = pb.RowMask();
+  for (int n = 0; n < cfg_.blocks; ++n) {
+    pb = encoder_[n]->ForwardBatched(pb, row_mask);
+    if (!cfg_.use_grl) continue;  // Table V "w/o GRL"
+    z = grl_[n]->ForwardBatch(pb.Flat(), z, graph_sizes, graphs, lengths);
+    // Eq. (13): H^l = GraphReadout(Z^l), one masked mean-pool per sub-graph.
+    if (n + 1 < cfg_.blocks) {
+      pb = PaddedBatch::FromFlat(SegmentMeanRows(z, graph_sizes), lengths);
+    }
+  }
+  Tensor h_out = cfg_.use_grl ? SegmentMeanRows(z, graph_sizes) : pb.Flat();
+  return {std::move(h_out), std::move(z)};
+}
+
 GpsFormer::Output GpsFormer::Forward(
     const Tensor& h0, const std::vector<Tensor>& z0,
     const std::vector<const DenseGraph*>& graphs) {

@@ -40,6 +40,25 @@ class GpsFormer : public Module {
   Output Forward(const Tensor& h0, const std::vector<Tensor>& z0,
                  const std::vector<const DenseGraph*>& graphs);
 
+  struct BatchOutput {
+    Tensor h;  ///< (sum of lengths, d) flat per-point representations H^N.
+    Tensor z;  ///< (sum of sub-graph sizes, d) flat final node features Z^N.
+  };
+
+  /// One encoder pass for a whole batch of trajectories. `h0` stacks every
+  /// sample's initial point features back to back ((sum(lengths), d));
+  /// `z0`/`graph_sizes`/`graphs` hold all sub-graphs across the batch in the
+  /// same flat order. Internally the temporal half runs on a PaddedBatch
+  /// ((B*max_len, d) blocks) so attention/FFN/LayerNorm see fat GEMMs; the
+  /// GRL half runs on the flat layout (batched fusion GEMMs, per-graph GAT,
+  /// per-sample GraphNorm). Outputs match Forward over each sample alone
+  /// within float rounding (~1e-6: the blocked GEMM's row-peel kernels may
+  /// contract FMAs differently at different batch heights).
+  BatchOutput ForwardBatch(const Tensor& h0, const std::vector<int>& lengths,
+                           const Tensor& z0,
+                           const std::vector<int>& graph_sizes,
+                           const std::vector<const DenseGraph*>& graphs);
+
   const GpsFormerConfig& config() const { return cfg_; }
 
  private:

@@ -46,7 +46,31 @@ class GraphRefinementLayer : public Module {
   std::vector<Tensor> Forward(const Tensor& tr, const std::vector<Tensor>& z,
                               const std::vector<const DenseGraph*>& graphs);
 
+  /// Cross-sample batched layer. `tr` holds the valid encoder rows of every
+  /// sample back to back ((sum of lengths, d)); `z` is the flat node-feature
+  /// tensor of all sub-graphs across the batch (samples in order, timesteps
+  /// in order within each sample) with `graph_sizes`/`graphs` aligned to the
+  /// same flat order; `sample_graph_counts[s]` is sample s's timestep count.
+  ///
+  /// The gated-fusion projections run as single fat GEMMs over all nodes /
+  /// all timesteps of the whole batch; GAT propagation stays per sub-graph
+  /// (the masks are per-graph) and normalisation stays per sample, so
+  /// GraphNorm batch statistics cover exactly the sub-graphs the per-sample
+  /// path gives it (paper Eq. (9)) and every node feature matches Forward
+  /// over each sample alone within float rounding. Returns the refined flat
+  /// tensor.
+  Tensor ForwardBatch(const Tensor& tr, const Tensor& z,
+                      const std::vector<int>& graph_sizes,
+                      const std::vector<const DenseGraph*>& graphs,
+                      const std::vector<int>& sample_graph_counts);
+
  private:
+  /// Per-sample normalisation of a flat (sum nodes, d) tensor (batched
+  /// counterpart of Normalise): GraphNorm statistics are computed per sample
+  /// over that sample's sub-graph span.
+  Tensor NormaliseBatch(int which, const Tensor& flat,
+                        const std::vector<int>& graph_sizes,
+                        const std::vector<int>& sample_graph_counts);
   /// GatedFusion (Eq. (7)) or the w/o-GF concat+FFN replacement.
   Tensor Fuse(const Tensor& tr_row, const Tensor& z_i) const;
 

@@ -64,6 +64,23 @@ class RecoveryModel {
   /// Scalar training loss for one sample.
   virtual Tensor TrainLoss(const TrajectorySample& sample) = 0;
 
+  /// True when TrainLossBatch/RecoverBatch run a genuine cross-sample padded
+  /// forward (one encoder pass per batch) instead of the per-sample fallback
+  /// loop below. The trainer and the serving sessions prefer the batched
+  /// path when this is true.
+  virtual bool SupportsBatchedForward() const { return false; }
+
+  /// Training losses for a batch of samples, order preserved. The default
+  /// loops TrainLoss; models with a padded batched forward (RnTrajRec)
+  /// override it with one encoder pass for the whole batch.
+  virtual std::vector<Tensor> TrainLossBatch(
+      const std::vector<const TrajectorySample*>& samples) {
+    std::vector<Tensor> losses;
+    losses.reserve(samples.size());
+    for (const TrajectorySample* s : samples) losses.push_back(TrainLoss(*s));
+    return losses;
+  }
+
   /// True when TrainLoss may be called concurrently for different samples of
   /// one batch (pure-functional forward: no shared mutable caches, no
   /// unsynchronised RNG draws). The default is false and the trainer's
@@ -97,6 +114,17 @@ class RecoveryModel {
 
   /// Recovers the map-matched eps_rho-interval trajectory.
   virtual MatchedTrajectory Recover(const TrajectorySample& sample) = 0;
+
+  /// Recovers a batch of samples, order preserved. The default loops
+  /// Recover; models with a padded batched forward override it so a serving
+  /// micro-batch costs one encoder pass (see SupportsBatchedForward).
+  virtual std::vector<MatchedTrajectory> RecoverBatch(
+      const std::vector<const TrajectorySample*>& samples) {
+    std::vector<MatchedTrajectory> out;
+    out.reserve(samples.size());
+    for (const TrajectorySample* s : samples) out.push_back(Recover(*s));
+    return out;
+  }
 
   /// Train/eval mode toggle (dropout, GraphNorm statistics).
   virtual void SetTrainingMode(bool training) { (void)training; }

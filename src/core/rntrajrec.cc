@@ -7,6 +7,9 @@
 namespace rntraj {
 
 RnTrajRec::RnTrajRec(RnTrajRecConfig config, const ModelContext& ctx)
+    // Sync() before any sub-module is built: sub-configs inherit `dim`
+    // whether or not the caller remembered to call it (it is idempotent, so
+    // an already-synced config passes through unchanged).
     : cfg_([&config] {
         config.Sync();
         return config;
@@ -115,10 +118,79 @@ Tensor RnTrajRec::GraphClassificationLoss(const Encoded& e,
   return MeanAll(ConcatVec(terms));
 }
 
-Tensor RnTrajRec::TrainLoss(const TrajectorySample& sample) {
-  PointContexts scratch;
-  const PointContexts& pts = ResolvePoints(sample, &scratch);
-  Encoded e = Encode(sample, pts);
+std::vector<RnTrajRec::Encoded> RnTrajRec::EncodeBatch(
+    const std::vector<const TrajectorySample*>& samples,
+    const std::vector<const PointContexts*>& pts) {
+  RNTRAJ_CHECK_MSG(xroad_.defined(), "call BeginBatch()/BeginInference() first");
+  RNTRAJ_CHECK(samples.size() == pts.size());
+  const int batch = static_cast<int>(samples.size());
+
+  // Sub-Graph Generation across the batch: all sub-graphs flat (samples in
+  // order, timesteps in order), per-sample feature blocks stacked so the
+  // input projection is one (sum of lengths, d+3) GEMM.
+  std::vector<int> lengths(batch);
+  std::vector<Tensor> z0_parts;
+  std::vector<int> graph_sizes;
+  std::vector<const DenseGraph*> graphs;
+  std::vector<Tensor> feat_parts;
+  std::vector<Tensor> env_rows;
+  feat_parts.reserve(batch);
+  env_rows.reserve(batch);
+  for (int s = 0; s < batch; ++s) {
+    const TrajectorySample& sample = *samples[s];
+    lengths[s] = sample.input.size();
+    std::vector<Tensor> gp_rows;
+    gp_rows.reserve(lengths[s]);
+    for (const PointContext& cp : *pts[s]) {
+      Tensor zi = GatherRows(xroad_, cp.sg.seg_ids);   // (n_i, d)
+      gp_rows.push_back(Matmul(cp.pool_weights, zi));  // (1, d), Eq. (6)
+      z0_parts.push_back(std::move(zi));
+      graph_sizes.push_back(cp.sg.size());
+      graphs.push_back(&cp.dense);
+    }
+    feat_parts.push_back(ConcatCols({ConcatRows(gp_rows),
+                                     InputTimeColumn(sample),
+                                     InputGridCoords(ctx_, sample)}));
+    env_rows.push_back(EnvContext(sample));
+  }
+  Tensor h0 = input_proj_.Forward(
+      feat_parts.size() == 1 ? feat_parts[0] : ConcatRows(feat_parts));
+  Tensor z0 = z0_parts.size() == 1 ? z0_parts[0] : ConcatRows(z0_parts);
+
+  GpsFormer::BatchOutput out =
+      gpsformer_.ForwardBatch(h0, lengths, z0, graph_sizes, graphs);
+
+  // Trajectory-level representations: masked mean-pool per sample, then one
+  // (batch, d + f_t) projection GEMM for the whole batch.
+  Tensor pooled = SegmentMeanRows(out.h, lengths);
+  Tensor traj = traj_proj_.Forward(ConcatCols(
+      {pooled, env_rows.size() == 1 ? env_rows[0] : ConcatRows(env_rows)}));
+
+  // Per-sample views for the (per-sample) decoder and the GCL loss.
+  std::vector<Encoded> encoded;
+  encoded.reserve(batch);
+  int row = 0;
+  int g = 0;
+  int node = 0;
+  for (int s = 0; s < batch; ++s) {
+    Encoded e;
+    e.enc = SliceRows(out.h, row, lengths[s]);
+    e.traj_h = SliceRows(traj, s, 1);
+    e.z.reserve(lengths[s]);
+    for (int t = 0; t < lengths[s]; ++t) {
+      e.z.push_back(SliceRows(out.z, node, graph_sizes[g]));
+      node += graph_sizes[g];
+      ++g;
+    }
+    e.points = pts[s];
+    row += lengths[s];
+    encoded.push_back(std::move(e));
+  }
+  return encoded;
+}
+
+Tensor RnTrajRec::SampleLoss(const Encoded& e,
+                             const TrajectorySample& sample) const {
   Tensor loss = decoder_.TrainLoss(e.enc, e.traj_h, sample);
   if (cfg_.use_gcl && cfg_.gpsformer.use_grl) {
     loss = Add(loss, MulScalar(GraphClassificationLoss(e, sample),
@@ -127,12 +199,57 @@ Tensor RnTrajRec::TrainLoss(const TrajectorySample& sample) {
   return loss;
 }
 
+Tensor RnTrajRec::TrainLoss(const TrajectorySample& sample) {
+  PointContexts scratch;
+  const PointContexts& pts = ResolvePoints(sample, &scratch);
+  Encoded e = Encode(sample, pts);
+  return SampleLoss(e, sample);
+}
+
+std::vector<Tensor> RnTrajRec::TrainLossBatch(
+    const std::vector<const TrajectorySample*>& samples) {
+  if (samples.empty()) return {};
+  std::vector<PointContexts> scratch(samples.size());
+  std::vector<const PointContexts*> pts;
+  pts.reserve(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    pts.push_back(&ResolvePoints(*samples[i], &scratch[i]));
+  }
+  std::vector<Encoded> encoded = EncodeBatch(samples, pts);
+  std::vector<Tensor> losses;
+  losses.reserve(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    losses.push_back(SampleLoss(encoded[i], *samples[i]));
+  }
+  return losses;
+}
+
 MatchedTrajectory RnTrajRec::Recover(const TrajectorySample& sample) {
   NoGradGuard guard;
   PointContexts scratch;
   const PointContexts& pts = ResolvePoints(sample, &scratch);
   Encoded e = Encode(sample, pts);
   return decoder_.Decode(e.enc, e.traj_h, sample);
+}
+
+std::vector<MatchedTrajectory> RnTrajRec::RecoverBatch(
+    const std::vector<const TrajectorySample*>& samples) {
+  if (samples.empty()) return {};
+  NoGradGuard guard;
+  std::vector<PointContexts> scratch(samples.size());
+  std::vector<const PointContexts*> pts;
+  pts.reserve(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    pts.push_back(&ResolvePoints(*samples[i], &scratch[i]));
+  }
+  std::vector<Encoded> encoded = EncodeBatch(samples, pts);
+  std::vector<MatchedTrajectory> out;
+  out.reserve(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    out.push_back(decoder_.Decode(encoded[i].enc, encoded[i].traj_h,
+                                  *samples[i]));
+  }
+  return out;
 }
 
 }  // namespace rntraj

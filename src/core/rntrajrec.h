@@ -33,7 +33,13 @@ struct RnTrajRecConfig {
   DecoderConfig decoder;
   std::string name_suffix;  ///< Display suffix for ablation variants.
 
-  /// Propagates `dim` into the sub-configs.
+  /// Propagates `dim` into the sub-configs. Idempotent, and applied by the
+  /// RnTrajRec constructor itself — callers that only set `dim` need not
+  /// call it (forgetting used to silently build mismatched sub-module dims).
+  /// The fields it writes (sub-config dims, gpsformer.ffn_dim) are derived
+  /// from `dim` and cannot be customised independently: the constructor
+  /// re-runs Sync(), overwriting hand-set values. An ablation needing, say,
+  /// a non-2x ffn width must grow a config knob that Sync() respects.
   void Sync() {
     gridgnn.dim = dim;
     gpsformer.dim = dim;
@@ -57,6 +63,15 @@ class RnTrajRec : public Module, public RecoveryModel {
   void BeginInference() override;
   Tensor TrainLoss(const TrajectorySample& sample) override;
   MatchedTrajectory Recover(const TrajectorySample& sample) override;
+  /// The padded cross-sample forward: EncodeBatch runs one GPSFormer pass
+  /// for the whole batch (decoders stay per sample, consuming slices of the
+  /// batched encoder outputs). Outputs match the per-sample Encode path
+  /// within float rounding (~1e-6; see GpsFormer::ForwardBatch).
+  bool SupportsBatchedForward() const override { return true; }
+  std::vector<Tensor> TrainLossBatch(
+      const std::vector<const TrajectorySample*>& samples) override;
+  std::vector<MatchedTrajectory> RecoverBatch(
+      const std::vector<const TrajectorySample*>& samples) override;
   void SetTrainingMode(bool training) override { SetTraining(training); }
   void SetTeacherForcing(double prob) override {
     decoder_.set_teacher_forcing(prob);
@@ -104,8 +119,22 @@ class RnTrajRec : public Module, public RecoveryModel {
   }
 
   Encoded Encode(const TrajectorySample& sample, const PointContexts& pts);
+
+  /// One padded GPSFormer pass over every sample: point contexts resolve
+  /// through the same memo cache as Encode, the input/trajectory projections
+  /// and the encoder run on the concatenated (sum of lengths, d) storage,
+  /// and the per-sample Encoded views are sliced back out for the decoder
+  /// and the GCL loss. `pts[i]` must be the resolved contexts of samples[i]
+  /// and outlive the returned views.
+  std::vector<Encoded> EncodeBatch(
+      const std::vector<const TrajectorySample*>& samples,
+      const std::vector<const PointContexts*>& pts);
+
   Tensor GraphClassificationLoss(const Encoded& e,
                                  const TrajectorySample& sample) const;
+
+  /// Loss of one encoded sample: decoder loss + weighted GCL (Eq. (19)).
+  Tensor SampleLoss(const Encoded& e, const TrajectorySample& sample) const;
 
   RnTrajRecConfig cfg_;
   ModelContext ctx_;

@@ -47,8 +47,23 @@ TrainStats TrainModel(RecoveryModel& model,
       model.BeginBatch();
       const int count = static_cast<int>(end - i);
       std::vector<Tensor> losses(count);
-      if (cfg.batch_threads > 1 && count > 1 &&
-          model.SupportsConcurrentTrainLoss()) {
+      // Explicitly requested data parallelism (batch_threads > 1) wins over
+      // the batched forward for the WHOLE run — including trailing size-1
+      // batches — so one epoch never mixes forward paths: the batched
+      // path's per-sample decoder loop is serial, and silently replacing
+      // concurrent forwards with it could regress wall-clock.
+      const bool threads_requested =
+          cfg.batch_threads > 1 && model.SupportsConcurrentTrainLoss();
+      if (cfg.batched_forward && model.SupportsBatchedForward() &&
+          !threads_requested) {
+        // One padded encoder pass for the whole mini-batch (the serving
+        // micro-batch path); losses come back in batch order.
+        std::vector<const TrajectorySample*> batch_samples(count);
+        for (int t = 0; t < count; ++t) {
+          batch_samples[t] = &data[order[i + t]];
+        }
+        losses = model.TrainLossBatch(batch_samples);
+      } else if (threads_requested && count > 1) {
         // Concurrent forward passes; the model has declared its TrainLoss
         // re-entrant (see RecoveryModel::SupportsConcurrentTrainLoss).
         ThreadPool::Global().Run(count, [&](int t) {

@@ -7,6 +7,7 @@
 #include "src/nn/linear.h"
 #include "src/nn/module.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/padded_batch.h"
 
 /// \file attention.h
 /// Scaled dot-product multi-head self-attention (paper Eq. (10)) and the
@@ -56,6 +57,34 @@ class MultiHeadSelfAttention : public Module {
       heads.push_back(Matmul(attn, vh));  // (l, dh)
     }
     (void)l;
+    return wo_.Forward(ConcatCols(heads));
+  }
+
+  /// Padded-batch self-attention: one pass for all samples. The q/k/v/o
+  /// projections run as single fat GEMMs over the (B*pad_len, d) storage;
+  /// scores are block-diagonal (BatchedMatmulTransB keeps each sample's
+  /// queries on its own keys) and the length-masked softmax restricts every
+  /// row to the sample's valid keys, zeroing padding query rows. Per valid
+  /// row this matches Forward on the sample alone to float rounding (the
+  /// blocked GEMM's row-peel kernels may contract FMAs differently at
+  /// different heights; everything else is the same accumulation order).
+  Tensor ForwardBatched(const PaddedBatch& x) const {
+    const int batch = x.batch();
+    const std::vector<int> row_valid = x.RowValidCounts();
+    Tensor q = wq_.Forward(x.data);
+    Tensor k = wk_.Forward(x.data);
+    Tensor v = wv_.Forward(x.data);
+    const float scale = 1.0f / std::sqrt(static_cast<float>(dh_));
+    std::vector<Tensor> heads;
+    heads.reserve(heads_);
+    for (int h = 0; h < heads_; ++h) {
+      Tensor qh = SliceCols(q, h * dh_, dh_);
+      Tensor kh = SliceCols(k, h * dh_, dh_);
+      Tensor vh = SliceCols(v, h * dh_, dh_);
+      Tensor scores = MulScalar(BatchedMatmulTransB(qh, kh, batch), scale);
+      Tensor attn = LengthMaskedSoftmaxRows(scores, row_valid);
+      heads.push_back(BatchedMatmul(attn, vh, batch));  // (B*pad, dh)
+    }
     return wo_.Forward(ConcatCols(heads));
   }
 

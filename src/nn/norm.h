@@ -30,6 +30,14 @@ class LayerNorm : public Module {
     return Add(Mul(y, gamma_), beta_);                       // row broadcast
   }
 
+  /// Masked variant for padded batches: normalises every row (LayerNorm is
+  /// row-local, so padding never contaminates valid rows), then re-zeroes the
+  /// padding rows via `row_mask` ((n,1), 1 for valid rows, 0 for padding) so
+  /// the all-padding-rows-are-zero invariant survives the affine shift beta.
+  Tensor Forward(const Tensor& x, const Tensor& row_mask) const {
+    return Mul(Forward(x), row_mask);
+  }
+
  private:
   int dim_;
   float eps_;

@@ -1,7 +1,9 @@
 #ifndef RNTRAJ_NN_TRANSFORMER_H_
 #define RNTRAJ_NN_TRANSFORMER_H_
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "src/nn/attention.h"
 #include "src/nn/linear.h"
@@ -54,6 +56,21 @@ class TransformerEncoderLayer : public Module {
     return ln2_.Forward(Add(y, ffn_.Forward(y)));
   }
 
+  /// Padded-batch layer: attention is block-diagonal + length-masked (see
+  /// MultiHeadSelfAttention::ForwardBatched); the residual adds, layer norms
+  /// and feed-forward are row-local, so they run over the whole (B*pad, d)
+  /// storage as fat GEMMs. Layer norms are masked to keep padding rows
+  /// exactly zero across the stack. Valid rows match Forward on each sample
+  /// alone within float rounding (see ForwardBatched in attention.h).
+  /// `row_mask` is the batch's PaddedBatch::RowMask() (passed in so callers
+  /// stacking layers build it once).
+  PaddedBatch ForwardBatched(const PaddedBatch& x,
+                             const Tensor& row_mask) const {
+    Tensor y = ln1_.Forward(Add(x.data, attn_.ForwardBatched(x)), row_mask);
+    Tensor out = ln2_.Forward(Add(y, ffn_.Forward(y)), row_mask);
+    return x.WithData(std::move(out));
+  }
+
  private:
   MultiHeadSelfAttention attn_;
   FeedForward ffn_;
@@ -77,6 +94,25 @@ inline Tensor SinusoidalPositionEncoding(int length, int dim) {
     }
   }
   return pe;
+}
+
+/// Stacked position encodings for a ragged batch: the (sum(lengths), d)
+/// constant whose rows restart the sinusoidal table at every sample boundary,
+/// so Add(h0_flat, ...) matches the per-sample Add(h0, PE(l, d)) exactly.
+inline Tensor StackedPositionEncoding(const std::vector<int>& lengths,
+                                      int dim) {
+  const int max_len = *std::max_element(lengths.begin(), lengths.end());
+  const Tensor pe = SinusoidalPositionEncoding(max_len, dim);
+  int total = 0;
+  for (int l : lengths) total += l;
+  Tensor out = Tensor::Zeros({total, dim});
+  size_t off = 0;
+  for (int l : lengths) {
+    std::copy(pe.data().begin(), pe.data().begin() + static_cast<size_t>(l) * dim,
+              out.data().begin() + off);
+    off += static_cast<size_t>(l) * dim;
+  }
+  return out;
 }
 
 }  // namespace rntraj

@@ -44,27 +44,27 @@ void NetworkDistance::EvictLocked() const {
   }
 }
 
-NetworkDistance::RowPtr NetworkDistance::Row(int src) const {
-  {
-    // Fast path: hits return under the shared lock in both modes, so
-    // concurrent sessions never serialize on lookups. In capped mode the
-    // recency update is opportunistic (try_to_lock below): a skipped touch
-    // only degrades the LRU towards FIFO, never correctness.
-    bool touch = false;
-    std::shared_lock lock(mu_);
-    auto it = rows_.find(src);
-    if (it != rows_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      RowPtr row = it->second.row;
-      touch = max_rows_ > 0;
-      lock.unlock();
-      if (touch) {
-        std::unique_lock ul(mu_, std::try_to_lock);
-        if (ul.owns_lock()) TouchLocked(src);
-      }
-      return row;
-    }
+NetworkDistance::RowPtr NetworkDistance::CachedRow(int src) const {
+  // Hits return under the shared lock in both modes, so concurrent sessions
+  // never serialize on lookups. In capped mode the recency update is
+  // opportunistic (try_to_lock below): a skipped touch only degrades the
+  // LRU towards FIFO, never correctness.
+  std::shared_lock lock(mu_);
+  auto it = rows_.find(src);
+  if (it == rows_.end()) return nullptr;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  RowPtr row = it->second.row;
+  const bool touch = max_rows_ > 0;
+  lock.unlock();
+  if (touch) {
+    std::unique_lock ul(mu_, std::try_to_lock);
+    if (ul.owns_lock()) TouchLocked(src);
   }
+  return row;
+}
+
+NetworkDistance::RowPtr NetworkDistance::Row(int src) const {
+  if (RowPtr row = CachedRow(src)) return row;
   // Dijkstra outside any lock: concurrent misses on distinct sources run in
   // parallel (duplicated work on the same source is possible but harmless).
   RowPtr row = ComputeRow(src);
@@ -79,6 +79,62 @@ NetworkDistance::RowPtr NetworkDistance::Row(int src) const {
   return it->second.row;
 }
 
+double NetworkDistance::TargetedSearch(int from, int to) const {
+  // Same cost model as ComputeRow, but the heap stops as soon as the target
+  // is settled: the first pop of `to` carries its final distance, so point
+  // queries explore only the ball around the source that reaches the target
+  // instead of the whole graph.
+  const int n = rn_->num_segments();
+  auto dist = std::make_shared<std::vector<double>>(n, kUnreachable);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  (*dist)[from] = 0.0;
+  pq.push({0.0, from});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (u == to) return d;  // settled: d is final
+    if (d > (*dist)[u]) continue;
+    const double leave_cost = rn_->segment(u).length();
+    for (int v : rn_->OutEdges(u)) {
+      const double nd = d + leave_cost;
+      if (nd < (*dist)[v]) {
+        (*dist)[v] = nd;
+        pq.push({nd, v});
+      }
+    }
+  }
+  // Frontier exhausted without settling `to` (unreachable target): the run
+  // did a full Dijkstra's work, so `dist` IS the complete source row —
+  // cache it instead of discarding it, exactly as Row() would have.
+  std::unique_lock lock(mu_);
+  bounded_miss_counts_.erase(from);
+  auto [it, inserted] = rows_.try_emplace(from);
+  if (inserted) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    lru_.push_front(from);
+    it->second = {std::move(dist), lru_.begin()};
+    EvictLocked();
+  }
+  return (*it->second.row)[to];
+}
+
+double NetworkDistance::BoundedStartToStart(int from, int to) const {
+  if (RowPtr row = CachedRow(from)) return (*row)[to];
+  // Miss: count it; frequent sources graduate to a full cached row so
+  // many-targets-per-source workloads (HMM transitions, metric sweeps) keep
+  // their amortised one-Dijkstra-per-source cost.
+  int miss_count;
+  {
+    std::unique_lock lock(mu_);
+    miss_count = ++bounded_miss_counts_[from];
+    if (miss_count >= kPromoteMisses) bounded_miss_counts_.erase(from);
+  }
+  if (miss_count >= kPromoteMisses) return StartToStart(from, to);
+  bounded_.fetch_add(1, std::memory_order_relaxed);
+  return TargetedSearch(from, to);
+}
+
 void NetworkDistance::set_max_cached_rows(int cap) {
   // The recency list is maintained in both modes (hits just don't reorder it
   // while unbounded), so switching modes only needs an eviction sweep.
@@ -90,9 +146,10 @@ void NetworkDistance::set_max_cached_rows(int cap) {
 double NetworkDistance::CycleThrough(int seg) const {
   const double len = rn_->segment(seg).length();
   double best = kUnreachable;
-  // Cheapest cycle = len(seg) + min over successors v of dist(v -> seg).
+  // Cheapest cycle = len(seg) + min over successors v of dist(v -> seg);
+  // each leg is a single-pair query, so the bounded search applies.
   for (int v : rn_->OutEdges(seg)) {
-    const double back = (*Row(v))[seg];
+    const double back = BoundedStartToStart(v, seg);
     if (back < kUnreachable) best = std::min(best, len + back);
   }
   return best;
@@ -108,7 +165,7 @@ double NetworkDistance::PointToPoint(int seg_a, double ratio_a, int seg_b,
     if (cycle == kUnreachable) return kUnreachable;
     return cycle - ratio_a * len_a + ratio_b * len_a;
   }
-  const double ss = StartToStart(seg_a, seg_b);
+  const double ss = BoundedStartToStart(seg_a, seg_b);
   if (ss == kUnreachable) return kUnreachable;
   return ss - ratio_a * len_a + ratio_b * len_b;
 }

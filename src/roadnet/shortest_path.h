@@ -52,7 +52,8 @@ class NetworkDistance {
   }
 
   /// Shortest travel distance from the start of segment `from` to the start
-  /// of segment `to` (0 when from == to).
+  /// of segment `to` (0 when from == to). Always computes (and caches) the
+  /// full source row — the all-pairs sweep primitive.
   double StartToStart(int from, int to) const { return (*Row(from))[to]; }
 
   /// Shortest strictly-positive cycle leaving and re-entering segment `seg`.
@@ -75,7 +76,28 @@ class NetworkDistance {
   int64_t row_hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t row_misses() const { return misses_.load(std::memory_order_relaxed); }
 
+  /// Target-pruned Dijkstra runs taken by PointToPoint/CycleThrough on row
+  /// misses (for tests/telemetry).
+  int64_t bounded_searches() const {
+    return bounded_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Single-pair distance with an early-exit bound: a cached row answers
+  /// immediately; otherwise a Dijkstra that stops the heap as soon as `to`
+  /// is settled (instead of exhausting the frontier). Repeated misses on one
+  /// source (kPromoteMisses) promote it to a full cached row, preserving the
+  /// amortised one-Dijkstra-per-source cost of all-pairs sweeps.
+  double BoundedStartToStart(int from, int to) const;
+
+  /// The early-exit Dijkstra behind BoundedStartToStart. When the target is
+  /// settled early the partial state is discarded (that is the saving); when
+  /// the frontier exhausts first (unreachable target) the run has done a
+  /// full row's work, so the completed row is cached as Row() would.
+  double TargetedSearch(int from, int to) const;
+
+  /// Bounded misses on one source before it graduates to a full Row().
+  static constexpr int kPromoteMisses = 4;
   using RowPtr = std::shared_ptr<const std::vector<double>>;
 
   struct Entry {
@@ -85,6 +107,10 @@ class NetworkDistance {
 
   RowPtr Row(int src) const;
   RowPtr ComputeRow(int src) const;
+  /// Shared-lock cache lookup with hit accounting and the opportunistic LRU
+  /// touch; null on miss. The one fast path under Row() and
+  /// BoundedStartToStart().
+  RowPtr CachedRow(int src) const;
   /// Inserts (or refreshes) under an already-held exclusive lock.
   void TouchLocked(int src) const;
   void EvictLocked() const;
@@ -94,8 +120,10 @@ class NetworkDistance {
   mutable std::shared_mutex mu_;
   mutable std::unordered_map<int, Entry> rows_;
   mutable std::list<int> lru_;  ///< Front = most recently used.
+  mutable std::unordered_map<int, int> bounded_miss_counts_;  ///< By mu_.
   mutable std::atomic<int64_t> hits_{0};
   mutable std::atomic<int64_t> misses_{0};
+  mutable std::atomic<int64_t> bounded_{0};
 };
 
 /// Shortest (by travelled length) segment sequence from `from` to `to`,

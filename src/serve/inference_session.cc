@@ -37,31 +37,69 @@ void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch) {
     for (double r : prefetch_radii_) cache_->Prefetch(points, r);
   }
 
-  for (QueuedRequest& q : batch) {
-    RecoveryResponse resp;
-    resp.batch_size = batch_size;
-    resp.session_id = id_;
-    resp.queue_ms = std::chrono::duration<double, std::milli>(
-                        batch_start - q.enqueued_at)
-                        .count();
+  // Validate and build the ephemeral samples of the batch's valid remainder
+  // up front (shared by both forward modes below).
+  std::vector<RecoveryResponse> responses(batch.size());
+  std::vector<TrajectorySample> samples;
+  std::vector<int> sample_of(batch.size(), -1);  ///< Request -> sample index.
+  samples.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    QueuedRequest& q = batch[i];
+    responses[i].batch_size = batch_size;
+    responses[i].session_id = id_;
+    responses[i].queue_ms = std::chrono::duration<double, std::milli>(
+                                batch_start - q.enqueued_at)
+                                .count();
     std::string error;
     if (ValidateRequest(q.request, &error)) {
-      const auto infer_start = std::chrono::steady_clock::now();
-      TrajectorySample sample =
+      sample_of[i] = static_cast<int>(samples.size());
+      samples.push_back(
           MakeEphemeralSample(std::move(q.request.input),
                               std::move(q.request.input_indices),
-                              q.request.target_times);
-      resp.recovered = model_->Recover(sample);
-      resp.infer_ms = MsSince(infer_start);
-      resp.ok = true;
-      requests_.fetch_add(1, std::memory_order_relaxed);
+                              q.request.target_times));
     } else {
-      resp.error = std::move(error);
+      responses[i].error = std::move(error);
+    }
+  }
+
+  if (batched_forward_ && !samples.empty()) {
+    // One cross-request forward for the coalesced batch: RecoverBatch runs
+    // a single padded encoder pass when the model supports one (and falls
+    // back to a per-sample loop when it does not). infer_ms reports each
+    // request's share of the batch forward; promises necessarily resolve
+    // together — the batch shares one encoder pass.
+    std::vector<const TrajectorySample*> ptrs;
+    ptrs.reserve(samples.size());
+    for (const TrajectorySample& s : samples) ptrs.push_back(&s);
+    const auto infer_start = std::chrono::steady_clock::now();
+    std::vector<MatchedTrajectory> recovered = model_->RecoverBatch(ptrs);
+    const double per_request_ms =
+        MsSince(infer_start) / static_cast<double>(samples.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (sample_of[i] < 0) continue;
+      responses[i].recovered = std::move(recovered[sample_of[i]]);
+      responses[i].infer_ms = per_request_ms;
+      responses[i].ok = true;
+    }
+    requests_.fetch_add(static_cast<int64_t>(samples.size()),
+                        std::memory_order_relaxed);
+  }
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (!batched_forward_ && sample_of[i] >= 0) {
+      // Per-request reference path (config batched_forward = false): each
+      // forward runs here so its promise resolves as soon as it is done,
+      // preserving the pre-batched-forward latency behaviour.
+      const auto infer_start = std::chrono::steady_clock::now();
+      responses[i].recovered = model_->Recover(samples[sample_of[i]]);
+      responses[i].infer_ms = MsSince(infer_start);
+      responses[i].ok = true;
+      requests_.fetch_add(1, std::memory_order_relaxed);
     }
     // Record completion before resolving the future: a caller that returns
     // from future.get() must already see itself in Stats().
-    if (on_complete_) on_complete_(MsSince(q.enqueued_at));
-    q.promise.set_value(std::move(resp));
+    if (on_complete_) on_complete_(MsSince(batch[i].enqueued_at));
+    batch[i].promise.set_value(std::move(responses[i]));
   }
   busy_seconds_.fetch_add(MsSince(batch_start) / 1000.0,
                           std::memory_order_relaxed);

@@ -36,20 +36,26 @@ class InferenceSession {
   /// radii warmed over the batch's input points before the forwards run.
   /// `on_complete(total_ms)` fires after each response is delivered (the
   /// service records end-to-end latency there); may be empty.
+  /// `batched_forward` routes each micro-batch through the model's
+  /// RecoverBatch (one padded encoder pass per batch when the model supports
+  /// it) instead of per-request forwards.
   InferenceSession(int id, RecoveryModel* model,
                    const CellCandidateCache* cache,
                    std::vector<double> prefetch_radii,
-                   std::function<void(double)> on_complete)
+                   std::function<void(double)> on_complete,
+                   bool batched_forward = true)
       : id_(id),
         model_(model),
         cache_(cache),
         prefetch_radii_(std::move(prefetch_radii)),
-        on_complete_(std::move(on_complete)) {}
+        on_complete_(std::move(on_complete)),
+        batched_forward_(batched_forward) {}
 
-  /// Runs every request of the batch through the model and fulfils the
-  /// promises. Invalid requests get ok=false responses; the batch's valid
-  /// remainder still runs. Caller must hold a BufferPoolScope on the worker
-  /// thread (the service's worker loop does).
+  /// Runs the batch through the model — one batched forward when enabled,
+  /// else request by request — and fulfils the promises. Invalid requests
+  /// get ok=false responses; the batch's valid remainder still runs. Caller
+  /// must hold a BufferPoolScope on the worker thread (the service's worker
+  /// loop does).
   void ProcessBatch(std::vector<QueuedRequest>&& batch);
 
   int id() const { return id_; }
@@ -69,6 +75,7 @@ class InferenceSession {
   const CellCandidateCache* cache_;
   std::vector<double> prefetch_radii_;
   std::function<void(double)> on_complete_;
+  bool batched_forward_;
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> requests_{0};
   std::atomic<double> busy_seconds_{0.0};

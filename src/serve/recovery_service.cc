@@ -48,7 +48,8 @@ RecoveryService::RecoveryService(RecoveryModel* model, const ModelContext& ctx,
   auto on_complete = [this](double total_ms) { RecordLatency(total_ms); };
   for (int i = 0; i < cfg_.num_sessions; ++i) {
     sessions_.push_back(std::make_unique<InferenceSession>(
-        i, model_, cache_.get(), cfg_.prefetch_radii, on_complete));
+        i, model_, cache_.get(), cfg_.prefetch_radii, on_complete,
+        cfg_.batched_forward));
   }
   workers_.reserve(sessions_.size());
   for (auto& session : sessions_) {

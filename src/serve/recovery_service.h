@@ -20,10 +20,12 @@
 /// roadnet query caches. This is the subsystem that turns the offline
 /// train/eval pipeline into a request-serving one — the road representation
 /// is computed once at warmup instead of per request, sessions answer
-/// concurrent requests against the same weights, and hot roadnet queries
-/// (sub-graph candidates by grid cell, Dijkstra rows by source segment) are
-/// shared across the whole request stream. Cached answers are exact, so the
-/// service returns precisely what offline single-request inference returns.
+/// concurrent requests against the same weights, each micro-batch runs one
+/// padded cross-request encoder pass (batched_forward), and hot roadnet
+/// queries (sub-graph candidates by grid cell, Dijkstra rows by source
+/// segment) are shared across the whole request stream. Cached answers are
+/// exact; the batched forward matches single-request inference to float
+/// rounding (same segments, ratios within ~1e-6).
 
 namespace rntraj {
 namespace serve {
@@ -46,6 +48,14 @@ struct RecoveryServiceConfig {
   /// Cap on NetworkDistance's Dijkstra row cache (serving HMM-style models
   /// must not keep an all-pairs matrix resident). 0 leaves it unbounded.
   int max_dijkstra_rows = 0;
+
+  /// Run each micro-batch as ONE cross-request padded forward
+  /// (RecoveryModel::RecoverBatch — a single GPSFormer pass per batch for
+  /// RnTrajRec) instead of per-request forwards. Answers match the
+  /// per-request path within float rounding (~1e-6 encoder difference from
+  /// FMA contraction at different GEMM heights; same segments in practice).
+  /// Disable to measure the per-sample reference path.
+  bool batched_forward = true;
 
   /// Run BeginInference() (road representation warmup) at construction.
   bool warm_model = true;

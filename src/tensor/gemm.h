@@ -1,0 +1,27 @@
+#ifndef RNTRAJ_TENSOR_GEMM_H_
+#define RNTRAJ_TENSOR_GEMM_H_
+
+/// \file gemm.h
+/// Internal entry points of the register-blocked GEMM core (ops_matmul.cc).
+/// Shared by Matmul/MatmulTransB and the batched (leading-dim) variants in
+/// ops_batched.cc, so every matrix product in the repository funnels through
+/// the same packed micro-kernels. Not part of the public API.
+
+namespace rntraj {
+namespace internal {
+
+/// C(n,m) += A(n,k) * B(k,m); all row-major.
+void GemmAcc(const float* a, const float* b, float* c, int n, int k, int m);
+
+/// C(n,m) += A(k,n)^T * B(k,m).
+void GemmTransAAcc(const float* a, const float* b, float* c, int n, int k,
+                   int m);
+
+/// C(n,m) += A(n,k) * B(m,k)^T (packs B^T tiles into contiguous panels).
+void GemmTransBAcc(const float* a, const float* b, float* c, int n, int k,
+                   int m);
+
+}  // namespace internal
+}  // namespace rntraj
+
+#endif  // RNTRAJ_TENSOR_GEMM_H_

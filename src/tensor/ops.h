@@ -47,6 +47,22 @@ Tensor MatmulTransB(const Tensor& a, const Tensor& b);
 /// Rank-2 transpose.
 Tensor Transpose(const Tensor& a);
 
+// ----- Batched linear algebra (padded-batch forward path) --------------------
+//
+// A padded batch stores B samples as one rank-2 tensor of B equal-height row
+// blocks (see padded_batch.h). The batched products below run one packed GEMM
+// per block over the leading dim, so per-sample attention matrices come out of
+// the same blocked kernels as the fat (sum-of-lengths, d) projections.
+
+/// Block-diagonal product: a is (batch*m, k), b is (batch*k, n), both read as
+/// `batch` stacked blocks; out(i) = a(i) * b(i), stacked to (batch*m, n).
+Tensor BatchedMatmul(const Tensor& a, const Tensor& b, int batch);
+
+/// Block-diagonal a * b^T: a is (batch*m, k), b is (batch*n, k);
+/// out(i) = a(i) * b(i)^T, stacked to (batch*m, n). The padded-batch
+/// attention-score kernel (one Q K^T per sample, no cross-sample scores).
+Tensor BatchedMatmulTransB(const Tensor& a, const Tensor& b, int batch);
+
 // ----- Fused broadcast ops (attention hot path) ------------------------------
 
 /// Outer sum: out[i,j] = col[i] + row[j] -> (n,m). `col` is rank-1 (n) or
@@ -62,6 +78,13 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& row);
 /// logits. `mask` is an additive no-grad constant of a's shape (use -1e9 to
 /// forbid positions, e.g. DenseGraph::neg_mask).
 Tensor MaskedSoftmaxRows(const Tensor& a, const Tensor& mask);
+
+/// Length-masked row softmax: row i is the softmax of its first valid[i]
+/// entries (bit-identical to SoftmaxRows over that prefix), with the
+/// remaining entries — and entire rows with valid[i] == 0 — set to zero.
+/// The padded-batch attention mask: valid keys form a prefix of each padded
+/// row, and padding query rows are zeroed outright.
+Tensor LengthMaskedSoftmaxRows(const Tensor& a, const std::vector<int>& valid);
 
 // ----- Shape / indexing ------------------------------------------------------
 
@@ -94,6 +117,16 @@ Tensor Reshape(const Tensor& a, const std::vector<int>& shape);
 /// Repeats a single row ((1,d) or rank-1 (d)) n times into an (n,d) tensor.
 Tensor ExpandRows(const Tensor& a, int n);
 
+/// Ragged-to-padded: `a` is (sum(sizes), d) read as consecutive row segments;
+/// segment i lands at rows [i*pad_to, i*pad_to + sizes[i]) of the
+/// (sizes.size()*pad_to, d) output, the remainder zero-filled. Requires
+/// sizes[i] <= pad_to. Inverse of UnpadRows.
+Tensor PadRows(const Tensor& a, const std::vector<int>& sizes, int pad_to);
+
+/// Padded-to-ragged: drops the padding rows of a (sizes.size()*pad_to, d)
+/// tensor, packing the valid prefixes back to (sum(sizes), d).
+Tensor UnpadRows(const Tensor& a, const std::vector<int>& sizes, int pad_to);
+
 // ----- Reductions ------------------------------------------------------------
 
 /// Sum of all elements -> scalar.
@@ -108,6 +141,12 @@ Tensor RowMean(const Tensor& a);
 Tensor ColSum(const Tensor& a);
 /// Per-column mean of a rank-2 tensor -> rank-1 (d).
 Tensor ColMean(const Tensor& a);
+
+/// Masked mean-pool over consecutive row segments: `a` is (sum(sizes), d);
+/// out[i, :] = mean of segment i's rows (bit-identical to ColMean of the
+/// segment). The batched graph readout / trajectory pooling primitive —
+/// padding never enters because the caller passes true lengths as sizes.
+Tensor SegmentMeanRows(const Tensor& a, const std::vector<int>& sizes);
 
 // ----- Nonlinearities ---------------------------------------------------------
 

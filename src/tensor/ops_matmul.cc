@@ -2,6 +2,7 @@
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/tensor/gemm.h"
 #include "src/tensor/op_helpers.h"
 #include "src/tensor/ops.h"
 
@@ -148,6 +149,12 @@ void GemmParallel(const float* a, int lda, const float* b, float* c, int n,
   });
 }
 
+}  // namespace
+
+// The three accumulate entry points are shared with the batched ops
+// (ops_batched.cc) through gemm.h; everything above stays file-local.
+namespace internal {
+
 // C(n,m) += A(n,k) * B(k,m); all row-major.
 void GemmAcc(const float* a, const float* b, float* c, int n, int k, int m) {
   GemmParallel<false>(a, /*lda=*/k, b, c, n, k, m);
@@ -191,6 +198,12 @@ void GemmTransBAcc(const float* a, const float* b, float* c, int n, int k,
   }
 }
 
+}  // namespace internal
+
+namespace {
+using internal::GemmAcc;
+using internal::GemmTransAAcc;
+using internal::GemmTransBAcc;
 }  // namespace
 
 Tensor Matmul(const Tensor& a, const Tensor& b) {

@@ -1,0 +1,91 @@
+#ifndef RNTRAJ_TENSOR_PADDED_BATCH_H_
+#define RNTRAJ_TENSOR_PADDED_BATCH_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+
+/// \file padded_batch.h
+/// The padded-batch tensor layout of the cross-sample forward path: B
+/// variable-length samples stored as one rank-2 tensor of B equal-height row
+/// blocks ((B*pad_len, d), conceptually (B, L, d)), plus the per-sample valid
+/// lengths. Row-wise ops (Linear, LayerNorm, FeedForward) run over the whole
+/// tensor as fat GEMMs; cross-row ops use the batched masked primitives of
+/// ops.h (BatchedMatmul*, LengthMaskedSoftmaxRows, SegmentMeanRows), which
+/// confine attention and pooling to each sample's valid prefix. Padding rows
+/// start zero and never influence any valid row.
+
+namespace rntraj {
+
+/// A batch of padded per-sample row blocks. Value type: copying shares the
+/// underlying tensor storage like Tensor itself does.
+struct PaddedBatch {
+  Tensor data;               ///< (batch()*pad_len, d); block i = sample i.
+  std::vector<int> lengths;  ///< Valid rows at the top of each block.
+  int pad_len = 0;           ///< Block height (>= max length).
+
+  int batch() const { return static_cast<int>(lengths.size()); }
+  int total_len() const {
+    int t = 0;
+    for (int l : lengths) t += l;
+    return t;
+  }
+
+  /// Packs a ragged (sum(lengths), d) tensor into padded blocks of height
+  /// max(lengths).
+  static PaddedBatch FromFlat(const Tensor& flat,
+                              const std::vector<int>& lengths) {
+    PaddedBatch pb;
+    pb.lengths = lengths;
+    pb.pad_len = *std::max_element(lengths.begin(), lengths.end());
+    pb.data = PadRows(flat, lengths, pb.pad_len);
+    return pb;
+  }
+
+  /// Same layout, new storage (the per-layer update).
+  PaddedBatch WithData(Tensor new_data) const {
+    PaddedBatch pb;
+    pb.data = std::move(new_data);
+    pb.lengths = lengths;
+    pb.pad_len = pad_len;
+    return pb;
+  }
+
+  /// Packs the valid prefixes back to a ragged (sum(lengths), d) tensor.
+  Tensor Flat() const { return UnpadRows(data, lengths, pad_len); }
+
+  /// Valid rows of sample i, as a (lengths[i], d) tensor.
+  Tensor Slice(int i) const {
+    return SliceRows(data, i * pad_len, lengths[i]);
+  }
+
+  /// (batch()*pad_len, 1) column marking valid rows 1 and padding rows 0;
+  /// constant, no grad. Multiply row-local op outputs by it (e.g. the masked
+  /// LayerNorm overload) to re-zero padding rows.
+  Tensor RowMask() const {
+    Tensor mask = Tensor::Zeros({batch() * pad_len, 1});
+    for (int i = 0; i < batch(); ++i) {
+      std::fill_n(mask.data().begin() + static_cast<size_t>(i) * pad_len,
+                  lengths[i], 1.0f);
+    }
+    return mask;
+  }
+
+  /// Per-padded-row attention lengths: lengths[i] for the valid rows of block
+  /// i (queries attend over the sample's valid keys) and 0 for padding rows
+  /// (their softmax output is zeroed). Feed to LengthMaskedSoftmaxRows.
+  std::vector<int> RowValidCounts() const {
+    std::vector<int> valid(static_cast<size_t>(batch()) * pad_len, 0);
+    for (int i = 0; i < batch(); ++i) {
+      std::fill_n(valid.begin() + static_cast<size_t>(i) * pad_len, lengths[i],
+                  lengths[i]);
+    }
+    return valid;
+  }
+};
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_TENSOR_PADDED_BATCH_H_

@@ -325,6 +325,10 @@ TEST_F(CoreFixture, TrainerBatchThreadsMatchesSerialTraining) {
   serial_cfg.epochs = 2;
   serial_cfg.batch_size = 4;
   serial_cfg.batch_threads = 1;
+  // Force the per-sample path on the serial side too (batch_threads > 1
+  // already wins over the default batched forward): this test compares the
+  // data-parallel loop against the serial per-sample schedule.
+  serial_cfg.batched_forward = false;
   SeedGlobalRng(43);
   RnTrajRec serial_model(SmallConfig(), *ctx_);
   TrainStats serial = TrainModel(serial_model, dataset_->train(), serial_cfg);
@@ -394,6 +398,175 @@ TEST_F(CoreFixture, EphemeralSampleMatchesDatasetSample) {
     EXPECT_EQ(ephemeral.points[j].seg_id, cached.points[j].seg_id);
     EXPECT_DOUBLE_EQ(ephemeral.points[j].ratio, cached.points[j].ratio);
   }
+}
+
+// Ephemeral copy of `s` truncated to its first `keep` input points (a legal
+// request: indices stay ascending within the target grid), used to build
+// ragged-length batches.
+TrajectorySample TruncatedEphemeral(const TrajectorySample& s, int keep) {
+  RawTrajectory input;
+  input.points.assign(s.input.points.begin(), s.input.points.begin() + keep);
+  std::vector<int> indices(s.input_indices.begin(),
+                           s.input_indices.begin() + keep);
+  std::vector<double> times;
+  for (const auto& p : s.truth.points) times.push_back(p.t);
+  return MakeEphemeralSample(std::move(input), std::move(indices), times);
+}
+
+void ExpectSameRecovery(const MatchedTrajectory& got,
+                        const MatchedTrajectory& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (int j = 0; j < want.size(); ++j) {
+    EXPECT_EQ(got.points[j].seg_id, want.points[j].seg_id)
+        << what << " step " << j;
+    // Within float rounding: the blocked GEMM's row-peel kernels may
+    // contract FMAs differently at different batch heights, so the batched
+    // encoder matches the per-sample one to ~1e-6, not bit-exactly.
+    EXPECT_NEAR(got.points[j].ratio, want.points[j].ratio, 1e-6)
+        << what << " step " << j;
+  }
+}
+
+TEST_F(CoreFixture, BatchedForwardMatchesPerSampleInference) {
+  // The padded EncodeBatch path must reproduce the per-sample Encode path
+  // exactly: ragged lengths, B=1, and all-same-length batches.
+  SeedGlobalRng(46);
+  RnTrajRec model(SmallConfig(), *ctx_);
+  ASSERT_TRUE(model.SupportsBatchedForward());
+  model.SetTrainingMode(false);
+  model.BeginInference();
+
+  // Ragged lengths: full test samples plus truncated ephemeral variants.
+  const auto& test = dataset_->test();
+  const int full_len = test[0].input.size();
+  ASSERT_GE(full_len, 3);
+  std::vector<TrajectorySample> ragged;
+  ragged.push_back(test[0]);
+  ragged.push_back(TruncatedEphemeral(test[1], full_len - 1));
+  ragged.push_back(TruncatedEphemeral(test[2], 2));
+  ragged.push_back(test[3]);
+
+  std::vector<const TrajectorySample*> ptrs;
+  for (const auto& s : ragged) ptrs.push_back(&s);
+  std::vector<MatchedTrajectory> batched = model.RecoverBatch(ptrs);
+  ASSERT_EQ(batched.size(), ragged.size());
+  for (size_t i = 0; i < ragged.size(); ++i) {
+    ExpectSameRecovery(batched[i], model.Recover(ragged[i]), "ragged");
+  }
+
+  // B = 1.
+  std::vector<MatchedTrajectory> single = model.RecoverBatch({&test[1]});
+  ASSERT_EQ(single.size(), 1u);
+  ExpectSameRecovery(single[0], model.Recover(test[1]), "B=1");
+
+  // All same length (the zero-padding-free degenerate case).
+  std::vector<MatchedTrajectory> same =
+      model.RecoverBatch({&test[0], &test[3], &test[0]});
+  ExpectSameRecovery(same[0], model.Recover(test[0]), "same-length");
+  ExpectSameRecovery(same[1], model.Recover(test[3]), "same-length");
+  ExpectSameRecovery(same[2], model.Recover(test[0]), "same-length");
+}
+
+TEST_F(CoreFixture, BatchedForwardMatchesPerSampleTrainLoss) {
+  SeedGlobalRng(47);
+  RnTrajRec model(SmallConfig(), *ctx_);
+  model.SetTrainingMode(true);
+  model.BeginBatch();
+
+  std::vector<const TrajectorySample*> ptrs;
+  for (const auto& s : dataset_->train()) ptrs.push_back(&s);
+  std::vector<Tensor> batched = model.TrainLossBatch(ptrs);
+  ASSERT_EQ(batched.size(), ptrs.size());
+  for (size_t i = 0; i < ptrs.size(); ++i) {
+    const float reference = model.TrainLoss(*ptrs[i]).item();
+    EXPECT_TRUE(std::isfinite(batched[i].item()));
+    EXPECT_NEAR(batched[i].item(), reference,
+                1e-6 * (1.0 + std::abs(reference)))
+        << "sample " << i;
+  }
+
+  // The batched losses backpropagate through the padded path.
+  Tensor total;
+  for (const Tensor& l : batched) {
+    total = total.defined() ? Add(total, l) : l;
+  }
+  total.Backward();
+  bool any_grad = false;
+  for (auto& p : model.Parameters()) {
+    for (float g : p.grad()) {
+      if (g != 0.0f) {
+        any_grad = true;
+        break;
+      }
+    }
+    if (any_grad) break;
+  }
+  EXPECT_TRUE(any_grad);
+}
+
+TEST_F(CoreFixture, TrainerBatchedForwardMatchesPerSampleTraining) {
+  // The trainer's default batched-forward path must reproduce the
+  // per-sample schedule: losses are bit-identical per sample and summed in
+  // batch order either way.
+  TrainConfig reference_cfg;
+  reference_cfg.epochs = 2;
+  reference_cfg.batch_size = 4;
+  reference_cfg.batched_forward = false;
+  SeedGlobalRng(48);
+  RnTrajRec reference_model(SmallConfig(), *ctx_);
+  TrainStats reference =
+      TrainModel(reference_model, dataset_->train(), reference_cfg);
+
+  TrainConfig batched_cfg = reference_cfg;
+  batched_cfg.batched_forward = true;
+  SeedGlobalRng(48);
+  RnTrajRec batched_model(SmallConfig(), *ctx_);
+  TrainStats batched =
+      TrainModel(batched_model, dataset_->train(), batched_cfg);
+
+  ASSERT_EQ(reference.epoch_losses.size(), batched.epoch_losses.size());
+  for (size_t e = 0; e < reference.epoch_losses.size(); ++e) {
+    EXPECT_TRUE(std::isfinite(batched.epoch_losses[e]));
+    EXPECT_NEAR(reference.epoch_losses[e], batched.epoch_losses[e], 1e-6)
+        << "epoch " << e;
+  }
+}
+
+TEST_F(CoreFixture, ConfigSyncIsAppliedByConstructorAndIdempotent) {
+  // Forgetting Sync() used to silently build mismatched sub-module dims;
+  // the constructor now applies it itself.
+  RnTrajRecConfig unsynced;
+  unsynced.dim = 16;
+  unsynced.delta = 250.0;
+  unsynced.max_subgraph_nodes = 16;
+  unsynced.gridgnn.gnn_layers = 1;
+  unsynced.gridgnn.heads = 2;
+  unsynced.gpsformer.blocks = 1;
+  unsynced.gpsformer.heads = 2;
+  unsynced.gpsformer.grl.heads = 2;
+  ASSERT_NE(unsynced.gridgnn.dim, unsynced.dim);  // would mismatch if unsynced
+
+  RnTrajRecConfig synced = unsynced;
+  synced.Sync();
+  RnTrajRecConfig twice = synced;
+  twice.Sync();  // idempotent
+  EXPECT_EQ(twice.gpsformer.dim, synced.gpsformer.dim);
+  EXPECT_EQ(twice.gpsformer.ffn_dim, synced.gpsformer.ffn_dim);
+  EXPECT_EQ(twice.decoder.dim, synced.decoder.dim);
+
+  RnTrajRec from_unsynced(unsynced, *ctx_);
+  RnTrajRec from_synced(synced, *ctx_);
+  EXPECT_EQ(from_unsynced.config().gridgnn.dim, 16);
+  EXPECT_EQ(from_unsynced.config().gpsformer.dim, 16);
+  EXPECT_EQ(from_unsynced.config().gpsformer.ffn_dim, 32);
+  EXPECT_EQ(from_unsynced.config().decoder.dim, 16);
+  EXPECT_EQ(from_unsynced.ParameterCount(), from_synced.ParameterCount());
+
+  // And the resulting model actually runs end to end.
+  from_unsynced.SetTrainingMode(false);
+  from_unsynced.BeginInference();
+  MatchedTrajectory out = from_unsynced.Recover(dataset_->test()[0]);
+  EXPECT_EQ(out.size(), dataset_->test()[0].truth.size());
 }
 
 TEST_F(CoreFixture, SubGraphCacheIsStableAcrossCalls) {

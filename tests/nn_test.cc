@@ -260,6 +260,55 @@ TEST(TransformerTest, EncoderGradCheckSpotCheck) {
   EXPECT_LT(MaxGradError(loss, {x}), kTol);
 }
 
+TEST(TransformerTest, BatchedEncoderLayerMatchesPerSample) {
+  // The padded-batch layer must reproduce the per-sample layer on every
+  // valid row (to float rounding: the blocked GEMM's row-peel kernels may
+  // contract FMAs differently at different batch heights) and keep padding
+  // rows at zero.
+  SeedGlobalRng(21);
+  TransformerEncoderLayer layer(8, 2, 16);
+  const std::vector<int> lengths = {5, 2, 3};
+  std::vector<Tensor> samples;
+  std::vector<Tensor> flat_parts;
+  for (int l : lengths) {
+    samples.push_back(Tensor::Randn({l, 8}, 1.0f));
+    flat_parts.push_back(samples.back());
+  }
+  PaddedBatch pb = PaddedBatch::FromFlat(ConcatRows(flat_parts), lengths);
+  ASSERT_EQ(pb.pad_len, 5);
+  PaddedBatch out = layer.ForwardBatched(pb, pb.RowMask());
+
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    Tensor want = layer.Forward(samples[s]);
+    Tensor got = out.Slice(static_cast<int>(s));
+    for (int i = 0; i < lengths[s]; ++i) {
+      for (int j = 0; j < 8; ++j) {
+        EXPECT_NEAR(got.at(i, j), want.at(i, j), 2e-5)
+            << "sample " << s << " at (" << i << "," << j << ")";
+      }
+    }
+    // Padding rows stay exactly zero through attention/FFN/LayerNorm.
+    for (int i = lengths[s]; i < out.pad_len; ++i) {
+      for (int j = 0; j < 8; ++j) {
+        EXPECT_EQ(out.data.at(static_cast<int>(s) * out.pad_len + i, j), 0.0f);
+      }
+    }
+  }
+}
+
+TEST(TransformerTest, StackedPositionEncodingRestartsPerSample) {
+  const std::vector<int> lengths = {4, 2};
+  Tensor pe = StackedPositionEncoding(lengths, 6);
+  Tensor ref = SinusoidalPositionEncoding(4, 6);
+  ASSERT_EQ(pe.dim(0), 6);
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_EQ(pe.at(0, j), ref.at(0, j));   // sample 0, pos 0
+    EXPECT_EQ(pe.at(3, j), ref.at(3, j));   // sample 0, pos 3
+    EXPECT_EQ(pe.at(4, j), ref.at(0, j));   // sample 1 restarts at pos 0
+    EXPECT_EQ(pe.at(5, j), ref.at(1, j));
+  }
+}
+
 TEST(TransformerTest, PositionEncodingRangeAndDistinctRows) {
   Tensor pe = SinusoidalPositionEncoding(16, 8);
   EXPECT_EQ(pe.dim(0), 16);

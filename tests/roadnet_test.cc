@@ -308,6 +308,83 @@ TEST(NetworkDistanceTest, CappedRowCacheStaysCorrect) {
   EXPECT_EQ(unbounded.cached_rows(), rn.num_segments());
 }
 
+// One-way lattice: node (i,j) feeds a rightward and an upward street, so
+// many pairs are reachable only one way and many not at all — exercising
+// both the early-exit and the exhausted-frontier paths of the bounded
+// point-to-point search.
+RoadNetwork LatticeNetwork(int n) {
+  RoadNetwork rn;
+  std::vector<std::pair<Vec2, Vec2>> ends;
+  const auto add = [&](Vec2 a, Vec2 b) {
+    rn.AddSegment({a, b}, RoadLevel::kResidential);
+    ends.push_back({a, b});
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const Vec2 p{100.0 * i, 100.0 * j};
+      if (i + 1 < n) add(p, {100.0 * (i + 1), 100.0 * j});
+      if (j + 1 < n) add(p, {100.0 * i, 100.0 * (j + 1)});
+    }
+  }
+  for (size_t a = 0; a < ends.size(); ++a) {
+    for (size_t b = 0; b < ends.size(); ++b) {
+      if (a != b && ends[a].second.x == ends[b].first.x &&
+          ends[a].second.y == ends[b].first.y) {
+        rn.AddEdge(static_cast<int>(a), static_cast<int>(b));
+      }
+    }
+  }
+  rn.Build();
+  return rn;
+}
+
+TEST(NetworkDistanceTest, EarlyExitPointToPointMatchesFullRows) {
+  // Regression pin for the target-pruned PointToPoint: every answer —
+  // reachable, unreachable, and same-segment-backwards — must equal the
+  // distance derived from full cached Dijkstra rows.
+  RoadNetwork rn = LatticeNetwork(5);
+  NetworkDistance bounded(&rn);
+  NetworkDistance reference(&rn);
+  const int n = rn.num_segments();
+  for (int a = 0; a < n; a += 3) {
+    for (int b = 0; b < n; b += 2) {
+      const double ra = 0.25, rb = 0.75;
+      const double got = bounded.PointToPoint(a, ra, b, rb);
+      double want;
+      if (a == b) {
+        want = (rb - ra) * rn.segment(a).length();
+      } else {
+        const double ss = reference.StartToStart(a, b);
+        want = ss == NetworkDistance::kUnreachable
+                   ? NetworkDistance::kUnreachable
+                   : ss - ra * rn.segment(a).length() +
+                         rb * rn.segment(b).length();
+      }
+      EXPECT_DOUBLE_EQ(got, want) << a << "->" << b;
+    }
+  }
+  EXPECT_GT(bounded.bounded_searches(), 0);
+}
+
+TEST(NetworkDistanceTest, RepeatedBoundedMissesPromoteToCachedRow) {
+  RoadNetwork rn = RingNetwork();
+  NetworkDistance nd(&rn);
+  EXPECT_EQ(nd.cached_rows(), 0);
+  // First three single-pair queries from source 0 run target-pruned
+  // searches without caching a row.
+  for (int i = 0; i < 3; ++i) nd.PointToPoint(0, 0.1, 1 + i, 0.5);
+  EXPECT_EQ(nd.cached_rows(), 0);
+  EXPECT_EQ(nd.bounded_searches(), 3);
+  // The fourth miss promotes the source to a full cached row...
+  nd.PointToPoint(0, 0.1, 2, 0.5);
+  EXPECT_EQ(nd.cached_rows(), 1);
+  EXPECT_EQ(nd.bounded_searches(), 3);
+  // ...and later queries from it are plain row-cache hits.
+  const int64_t hits_before = nd.row_hits();
+  EXPECT_DOUBLE_EQ(nd.PointToPoint(0, 0.0, 3, 0.0), 300.0);
+  EXPECT_GT(nd.row_hits(), hits_before);
+}
+
 TEST(SubGraphTest, LocalIndexOf) {
   RoadNetwork rn = RingNetwork();
   RTree rtree = BuildSegmentRTree(rn);

@@ -320,6 +320,50 @@ TEST_F(ServeFixture, ServiceRecoverNowMatchesSubmit) {
   }
 }
 
+TEST_F(ServeFixture, BatchedForwardServiceMatchesPerRequestService) {
+  // The micro-batch path runs one padded encoder pass per coalesced batch
+  // (batched_forward, the default); answers must be identical to the
+  // per-request-forward configuration.
+  SeedGlobalRng(54);
+  RnTrajRec model(SmallConfig(), *ctx_);
+  model.SetTrainingMode(false);
+  model.BeginInference();
+
+  const auto run = [&](bool batched) {
+    serve::RecoveryServiceConfig scfg;
+    scfg.num_sessions = 1;
+    scfg.batcher.max_batch_size = 4;
+    scfg.batcher.max_batch_delay_us = 500;
+    scfg.batched_forward = batched;
+    scfg.warm_model = false;  // already warmed above
+    serve::RecoveryService service(&model, *ctx_, scfg);
+    std::vector<std::future<serve::RecoveryResponse>> futures;
+    for (const auto& s : dataset_->test()) {
+      futures.push_back(service.Submit(serve::RequestFromSample(s)));
+    }
+    std::vector<serve::RecoveryResponse> out;
+    for (auto& f : futures) out.push_back(f.get());
+    return out;
+  };
+
+  const auto per_request = run(false);
+  const auto batched = run(true);
+  ASSERT_EQ(per_request.size(), batched.size());
+  for (size_t i = 0; i < batched.size(); ++i) {
+    ASSERT_TRUE(per_request[i].ok) << per_request[i].error;
+    ASSERT_TRUE(batched[i].ok) << batched[i].error;
+    ASSERT_EQ(batched[i].recovered.size(), per_request[i].recovered.size());
+    for (int j = 0; j < per_request[i].recovered.size(); ++j) {
+      EXPECT_EQ(batched[i].recovered.points[j].seg_id,
+                per_request[i].recovered.points[j].seg_id)
+          << "request " << i << " step " << j;
+      EXPECT_NEAR(batched[i].recovered.points[j].ratio,
+                  per_request[i].recovered.points[j].ratio, 1e-6)
+          << "request " << i << " step " << j;
+    }
+  }
+}
+
 TEST_F(ServeFixture, ServiceRejectsMalformedRequests) {
   SeedGlobalRng(53);
   RnTrajRec model(SmallConfig(), *ctx_);

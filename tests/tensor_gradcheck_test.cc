@@ -343,5 +343,138 @@ TEST(GradCheck, GradsAccumulateAcrossTwoBackwards) {
   testing_util::ExpectVectorNear(x.grad(), {5, 5});
 }
 
+// ----- Batched masked ops (padded forward path) ------------------------------
+
+TEST(GradCheck, BatchedMatmulBothSides) {
+  SeedGlobalRng(50);
+  // 3 blocks of (4,5) x (5,2).
+  Tensor a = Tensor::Randn({12, 5}, 1.0f, true);
+  Tensor b = Tensor::Randn({15, 2}, 1.0f, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(BatchedMatmul(a, b, 3)); },
+                         {a, b}),
+            kTol);
+}
+
+TEST(GradCheck, BatchedMatmulMatchesPerBlockMatmul) {
+  SeedGlobalRng(51);
+  const int batch = 3, m = 4, k = 5, n = 2;
+  Tensor a = Tensor::Randn({batch * m, k}, 1.0f);
+  Tensor b = Tensor::Randn({batch * k, n}, 1.0f);
+  Tensor c = BatchedMatmul(a, b, batch);
+  for (int s = 0; s < batch; ++s) {
+    Tensor cs = Matmul(SliceRows(a, s * m, m), SliceRows(b, s * k, k));
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        EXPECT_EQ(c.at(s * m + i, j), cs.at(i, j))
+            << "block " << s << " at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(GradCheck, BatchedMatmulTransBBothSides) {
+  SeedGlobalRng(52);
+  // 2 blocks of (3,4) x (5,4)^T.
+  Tensor a = Tensor::Randn({6, 4}, 1.0f, true);
+  Tensor b = Tensor::Randn({10, 4}, 1.0f, true);
+  EXPECT_LT(
+      MaxGradError([&] { return SmoothLoss(BatchedMatmulTransB(a, b, 2)); },
+                   {a, b}),
+      kTol);
+}
+
+TEST(GradCheck, BatchedMatmulTransBMatchesPerBlock) {
+  SeedGlobalRng(53);
+  const int batch = 2, m = 3, k = 4, n = 5;
+  Tensor a = Tensor::Randn({batch * m, k}, 1.0f);
+  Tensor b = Tensor::Randn({batch * n, k}, 1.0f);
+  Tensor c = BatchedMatmulTransB(a, b, batch);
+  for (int s = 0; s < batch; ++s) {
+    Tensor cs = MatmulTransB(SliceRows(a, s * m, m), SliceRows(b, s * n, n));
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        EXPECT_EQ(c.at(s * m + i, j), cs.at(i, j))
+            << "block " << s << " at (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(GradCheck, LengthMaskedSoftmaxRows) {
+  SeedGlobalRng(54);
+  Tensor a = Tensor::Randn({4, 5}, 1.0f, true);
+  const std::vector<int> valid = {5, 3, 1, 0};
+  EXPECT_LT(
+      MaxGradError([&] { return SmoothLoss(LengthMaskedSoftmaxRows(a, valid)); },
+                   {a}),
+      kTol);
+}
+
+TEST(GradCheck, LengthMaskedSoftmaxMatchesPrefixSoftmax) {
+  SeedGlobalRng(55);
+  Tensor a = Tensor::Randn({3, 6}, 1.0f);
+  const std::vector<int> valid = {4, 6, 2};
+  Tensor masked = LengthMaskedSoftmaxRows(a, valid);
+  for (int i = 0; i < 3; ++i) {
+    // Bit-identical to SoftmaxRows over the row's valid prefix, zero beyond.
+    Tensor prefix = SoftmaxRows(SliceCols(SliceRows(a, i, 1), 0, valid[i]));
+    for (int j = 0; j < valid[i]; ++j) {
+      EXPECT_EQ(masked.at(i, j), prefix.at(0, j)) << "row " << i << " col " << j;
+    }
+    for (int j = valid[i]; j < 6; ++j) {
+      EXPECT_EQ(masked.at(i, j), 0.0f) << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(GradCheck, SegmentMeanRows) {
+  SeedGlobalRng(56);
+  Tensor a = Tensor::Randn({6, 3}, 1.0f, true);
+  const std::vector<int> sizes = {2, 3, 1};
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(SegmentMeanRows(a, sizes)); },
+                         {a}),
+            kTol);
+}
+
+TEST(GradCheck, SegmentMeanRowsMatchesColMean) {
+  SeedGlobalRng(57);
+  Tensor a = Tensor::Randn({7, 4}, 1.0f);
+  const std::vector<int> sizes = {3, 1, 3};
+  Tensor pooled = SegmentMeanRows(a, sizes);
+  int off = 0;
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    Tensor ref = ColMean(SliceRows(a, off, sizes[s]));
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(pooled.at(static_cast<int>(s), j), ref.at(j))
+          << "segment " << s << " col " << j;
+    }
+    off += sizes[s];
+  }
+}
+
+TEST(GradCheck, PadAndUnpadRows) {
+  SeedGlobalRng(58);
+  Tensor a = Tensor::Randn({6, 3}, 1.0f, true);
+  const std::vector<int> sizes = {1, 3, 2};
+  EXPECT_LT(
+      MaxGradError([&] { return SmoothLoss(PadRows(a, sizes, 3)); }, {a}),
+      kTol);
+  EXPECT_LT(MaxGradError(
+                [&] {
+                  return SmoothLoss(UnpadRows(PadRows(a, sizes, 4), sizes, 4));
+                },
+                {a}),
+            kTol);
+
+  // Roundtrip is the identity; padding rows are zero.
+  NoGradGuard guard;
+  Tensor padded = PadRows(a, sizes, 3);
+  ASSERT_EQ(padded.dim(0), 9);
+  Tensor back = UnpadRows(padded, sizes, 3);
+  testing_util::ExpectVectorNear(back.data(), a.data(), 0.0f);
+  EXPECT_EQ(padded.at(0 * 3 + 1, 0), 0.0f);  // pad row of segment 0
+  EXPECT_EQ(padded.at(2 * 3 + 2, 2), 0.0f);  // pad row of segment 2
+}
+
 }  // namespace
 }  // namespace rntraj
