@@ -43,7 +43,8 @@ MethodResult RunModel(RecoveryModel& model, Dataset& ds,
   const double infer_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  r.infer_ms_per_traj = 1000.0 * infer_s / std::max(1uz, ds.test().size());
+  r.infer_ms_per_traj =
+      1000.0 * infer_s / std::max<size_t>(1, ds.test().size());
   r.metrics = EvaluateRecovery(ds.netdist(), r.predictions, TruthsOf(ds.test()));
   return r;
 }

@@ -7,6 +7,7 @@
 
 #include "src/baselines/zoo.h"
 #include "src/common/random.h"
+#include "src/core/decoder.h"
 #include "src/core/trainer.h"
 #include "src/mapmatch/hmm.h"
 #include "src/nn/attention.h"
@@ -318,6 +319,76 @@ void BM_RnTrajRecInference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RnTrajRecInference);
+
+/// Isolated decoder record: the per-sample Decode loop vs one DecodeBatch
+/// over the identical micro-batch (same encoder outputs, warm mask caches),
+/// so the comparison measures exactly the PR 4 refactor — per target step,
+/// one fat GRU/attention/constraint-softmax pass instead of B thin ones.
+struct DecoderBatchWorld {
+  ModelContext ctx;
+  DecoderConfig cfg;
+  std::unique_ptr<Decoder> dec;
+  std::vector<const TrajectorySample*> ptrs;
+  std::vector<Tensor> enc;
+  std::vector<Tensor> traj;
+
+  DecoderBatchWorld() : ctx(ModelContext::FromDataset(*TheWorld().ds)) {
+    SeedGlobalRng(8);
+    cfg.dim = 32;
+    dec = std::make_unique<Decoder>(cfg, &ctx);
+    const auto& test = TheWorld().ds->test();
+    for (int i = 0; i < 16; ++i) {
+      const TrajectorySample& s = test[i % test.size()];
+      ptrs.push_back(&s);
+      enc.push_back(
+          Tensor::Randn({static_cast<int>(s.input.size()), cfg.dim}, 1.0f));
+      traj.push_back(Tensor::Randn({1, cfg.dim}, 0.5f));
+    }
+    // Warm the per-sample mask caches up front: both paths then measure
+    // pure decoding, not R-tree work.
+    NoGradGuard guard;
+    for (size_t i = 0; i < ptrs.size(); ++i) {
+      dec->Decode(enc[i], traj[i], *ptrs[i]);
+    }
+  }
+};
+
+DecoderBatchWorld& TheDecoderWorld() {
+  static DecoderBatchWorld w;
+  return w;
+}
+
+void BM_DecoderBatch(benchmark::State& state) {
+  auto& w = TheDecoderWorld();
+  const int b = static_cast<int>(state.range(0));
+  const bool batched = state.range(1) == 1;
+  std::vector<const TrajectorySample*> samples(w.ptrs.begin(),
+                                               w.ptrs.begin() + b);
+  std::vector<Tensor> enc(w.enc.begin(), w.enc.begin() + b);
+  std::vector<Tensor> traj(w.traj.begin(), w.traj.begin() + b);
+  NoGradGuard guard;
+  BufferPoolScope pool;
+  for (auto _ : state) {
+    if (batched) {
+      benchmark::DoNotOptimize(w.dec->DecodeBatch(enc, traj, samples));
+    } else {
+      for (int i = 0; i < b; ++i) {
+        benchmark::DoNotOptimize(w.dec->Decode(enc[i], traj[i], *samples[i]));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * b);
+  state.SetLabel(std::string(batched ? "one batched decode"
+                                     : "per-sample decode loop") +
+                 ", B=" + std::to_string(b) + ", d=32");
+}
+BENCHMARK(BM_DecoderBatch)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1})
+    ->Args({16, 0})
+    ->Args({16, 1});
 
 }  // namespace
 }  // namespace rntraj

@@ -26,6 +26,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <numeric>
 #include <thread>
 #include <vector>
@@ -223,6 +225,47 @@ bool Run() {
   std::printf("batched == sequential within 1e-5: %s (seg mismatches %d, max "
               "ratio diff %.2e, failed %d)\n",
               match ? "yes" : "NO", seg_mismatches, max_ratio_diff, bad);
+
+  // Machine-readable record for CI: RNTR_BENCH_JSON names a file to write a
+  // BENCH_*.json-style summary to. The CI bench job uploads it as an
+  // artifact and gates on it (divergence, or a large throughput regression
+  // against the committed baseline — see ci/check_bench.py).
+  if (const char* json_path = std::getenv("RNTR_BENCH_JSON")) {
+    std::ofstream json(json_path);
+    if (!json.is_open()) {
+      std::fprintf(stderr, "FAILED to open RNTR_BENCH_JSON path %s\n",
+                   json_path);
+      return false;  // the CI gate must not silently run without its record
+    }
+    json << "{\n"
+         << "  \"benchmark\": \"bench_serve_throughput\",\n"
+         << "  \"scale\": \"" << ToString(settings.scale) << "\",\n"
+         << "  \"requests\": " << num_requests << ",\n"
+         << "  \"sequential_cold_rps\": " << num_requests / cold_total_s
+         << ",\n"
+         << "  \"sequential_warm_rps\": " << num_requests / warm_total_s
+         << ",\n"
+         << "  \"service_per_request_forwards_rps\": "
+         << num_requests / per_request.total_s << ",\n"
+         << "  \"service_batched_forward_rps\": "
+         << num_requests / serve_total_s << ",\n"
+         << "  \"batched_vs_per_request_speedup\": "
+         << per_request.total_s / serve_total_s << ",\n"
+         << "  \"service_p50_ms\": " << stats.p50_ms << ",\n"
+         << "  \"service_p99_ms\": " << stats.p99_ms << ",\n"
+         << "  \"mean_batch_size\": " << stats.mean_batch_size << ",\n"
+         << "  \"seg_mismatches\": " << seg_mismatches << ",\n"
+         << "  \"max_ratio_diff\": " << max_ratio_diff << ",\n"
+         << "  \"failed_requests\": " << bad << ",\n"
+         << "  \"served_matches_sequential\": " << (match ? "true" : "false")
+         << "\n}\n";
+    json.flush();
+    if (!json.good()) {
+      std::fprintf(stderr, "FAILED writing JSON record to %s\n", json_path);
+      return false;
+    }
+    std::printf("wrote JSON record to %s\n", json_path);
+  }
   return match;
 }
 

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""CI gate over the serving-throughput bench record.
+
+Usage: check_bench.py <produced.json> <committed_baseline.json>
+
+Fails (exit 1) when either:
+  * the bench reports batched-vs-sequential divergence
+    (served_matches_sequential false, seg mismatches, or failed requests) —
+    a correctness break, no tolerance;
+  * the batched service throughput regressed by more than 2x against the
+    committed baseline's record at the same scale.
+
+The 2x threshold is deliberately tolerant: the committed baseline was
+recorded on a different box (1 core, -march=native) than the CI runner, and
+the tiny-scale run sits well inside scheduler noise — this gate only catches
+"the batched path fell off a cliff" regressions, not percent-level drift.
+Tighten it only alongside a runner-recorded baseline.
+"""
+
+import json
+import sys
+
+REGRESSION_FACTOR = 2.0
+
+
+def fail(msg: str) -> None:
+    print(f"::error::bench gate: {msg}")
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <produced.json> <baseline.json>")
+    with open(sys.argv[1]) as f:
+        produced = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline_file = json.load(f)
+
+    # Correctness first: served answers must match sequential inference.
+    if not produced.get("served_matches_sequential", False):
+        fail(
+            "batched service diverged from sequential inference "
+            f"(seg_mismatches={produced.get('seg_mismatches')}, "
+            f"max_ratio_diff={produced.get('max_ratio_diff')}, "
+            f"failed_requests={produced.get('failed_requests')})"
+        )
+
+    scale = produced.get("scale", "tiny")
+    baseline = baseline_file.get("serve", {}).get(scale)
+    if baseline is None:
+        fail(f"baseline has no serve record for scale '{scale}'")
+
+    key = "service_batched_forward_rps"
+    got = float(produced[key])
+    want = float(baseline[key])
+    if got <= 0:
+        fail(f"{key} is non-positive ({got})")
+    if want / got > REGRESSION_FACTOR:
+        fail(
+            f"{key} regressed >{REGRESSION_FACTOR}x vs committed baseline: "
+            f"{got:.1f} rps vs {want:.1f} rps"
+        )
+
+    print(
+        f"bench gate OK: {key} {got:.1f} rps "
+        f"(baseline {want:.1f} rps, tolerance {REGRESSION_FACTOR}x), "
+        f"served answers match sequential inference"
+    )
+
+
+if __name__ == "__main__":
+    main()

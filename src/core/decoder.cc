@@ -231,4 +231,244 @@ MatchedTrajectory Decoder::Decode(const Tensor& enc_outputs,
   return out;
 }
 
+Decoder::BatchPlan Decoder::BuildBatchPlan(
+    const std::vector<Tensor>& enc_outputs, const std::vector<Tensor>& traj_hs,
+    const std::vector<const TrajectorySample*>& samples,
+    std::vector<SampleCache>* scratch) const {
+  const int batch = static_cast<int>(samples.size());
+  scratch->resize(batch);
+  BatchPlan plan;
+  plan.order.resize(batch);
+  for (int i = 0; i < batch; ++i) plan.order[i] = i;
+  // Descending target length (stable: equal-length lanes keep batch order),
+  // so the active lanes at any step are a prefix of the lane array.
+  std::stable_sort(plan.order.begin(), plan.order.end(), [&](int a, int b) {
+    return samples[a]->truth.size() > samples[b]->truth.size();
+  });
+
+  plan.samples.reserve(batch);
+  plan.caches.reserve(batch);
+  plan.tgt_lens.reserve(batch);
+  std::vector<Tensor> enc_sorted;
+  std::vector<int> enc_lens;
+  std::vector<Tensor> h0_rows;
+  std::vector<Tensor> feat_rows;
+  enc_sorted.reserve(batch);
+  enc_lens.reserve(batch);
+  h0_rows.reserve(batch);
+  feat_rows.reserve(batch);
+  for (int p = 0; p < batch; ++p) {
+    const int i = plan.order[p];
+    plan.samples.push_back(samples[i]);
+    plan.caches.push_back(&ResolveCache(*samples[i], &(*scratch)[i]));
+    plan.tgt_lens.push_back(samples[i]->truth.size());
+    enc_sorted.push_back(enc_outputs[i]);
+    enc_lens.push_back(enc_outputs[i].dim(0));
+    h0_rows.push_back(traj_hs[i]);
+    feat_rows.push_back(plan.caches.back()->step_features);
+  }
+  plan.max_len = plan.tgt_lens.front();
+
+  // Key-side work shared by every step: pad the encoder outputs into
+  // (B*pad, d) blocks and project them through W_h as one fat GEMM.
+  Tensor enc_flat =
+      enc_sorted.size() == 1 ? enc_sorted[0] : ConcatRows(enc_sorted);
+  plan.keys = attn_.PrecomputeBatch(PaddedBatch::FromFlat(enc_flat, enc_lens));
+
+  // Per-step input features, padded to (B*max_len, 3) so step j of the
+  // active lanes is one row gather (constants: no autograd traffic).
+  Tensor feat_flat =
+      feat_rows.size() == 1 ? feat_rows[0] : ConcatRows(feat_rows);
+  plan.step_features = PadRows(feat_flat, plan.tgt_lens, plan.max_len);
+
+  plan.h0 = h0_rows.size() == 1 ? h0_rows[0] : ConcatRows(h0_rows);
+  return plan;
+}
+
+namespace {
+
+/// The cached keys restricted to the first `active` blocks. Called only when
+/// the active set shrinks (at most B-1 times per pass), so steady-state
+/// decoder steps reuse the same key tensors without per-step slice copies.
+AdditiveAttention::CachedKeysBatch SliceCachedKeys(
+    const AdditiveAttention::CachedKeysBatch& full, int active) {
+  if (active * full.pad_len >= full.kw.dim(0)) return full;
+  return {SliceRows(full.keys, 0, active * full.pad_len),
+          SliceRows(full.kw, 0, active * full.pad_len),
+          std::vector<int>(full.lengths.begin(), full.lengths.begin() + active),
+          full.pad_len};
+}
+
+}  // namespace
+
+Tensor Decoder::StepBatch(const BatchPlan& plan,
+                          const AdditiveAttention::CachedKeysBatch& keys,
+                          int active, const Tensor& h_prev,
+                          const Tensor& x_prev, const Tensor& r_prev,
+                          int j) const {
+  std::vector<int> idx(active);
+  for (int p = 0; p < active; ++p) idx[p] = p * plan.max_len + j;
+  Tensor step_rows = GatherRows(plan.step_features, idx);  // (active, 3)
+  Tensor a = attn_.ForwardBatched(h_prev, keys).context;   // (active, d)
+  Tensor input = ConcatCols({x_prev, r_prev, step_rows, a});
+  return gru_.Forward(input, h_prev);
+}
+
+Tensor Decoder::MaskStack(const BatchPlan& plan, int active, int j) const {
+  if (active == 1) return plan.caches[0]->masks[j];
+  std::vector<Tensor> rows;
+  rows.reserve(active);
+  for (int p = 0; p < active; ++p) rows.push_back(plan.caches[p]->masks[j]);
+  return ConcatRows(rows);
+}
+
+std::vector<Tensor> Decoder::TrainLossBatch(
+    const std::vector<Tensor>& enc_outputs, const std::vector<Tensor>& traj_hs,
+    const std::vector<const TrajectorySample*>& samples) const {
+  const int batch = static_cast<int>(samples.size());
+  if (batch == 0) return {};
+  std::vector<SampleCache> scratch;
+  BatchPlan plan = BuildBatchPlan(enc_outputs, traj_hs, samples, &scratch);
+  // One scheduled-sampling engine per lane, seeded exactly like TrainLoss:
+  // lane p draws once per step in step order, so its flip sequence is that
+  // of the per-sample path regardless of batch composition or lane order.
+  const uint64_t epoch = sampling_epoch_.load(std::memory_order_relaxed);
+  std::vector<Rng> rngs;
+  rngs.reserve(batch);
+  for (int p = 0; p < batch; ++p) {
+    rngs.emplace_back(SamplingSeed(epoch, plan.samples[p]->uid));
+  }
+
+  Tensor h = plan.h0;
+  Tensor x_prev = Tensor::Zeros({batch, cfg_.dim});
+  std::vector<float> r_vals(batch, 0.0f);
+  // Per-step loss terms in lane order; lane p's step-j term sits at offset
+  // offsets[j] + p of the concatenation (the per-lane means below gather it).
+  std::vector<Tensor> id_steps;
+  std::vector<Tensor> rate_steps;
+  std::vector<int> offsets(plan.max_len, 0);
+  id_steps.reserve(plan.max_len);
+  rate_steps.reserve(plan.max_len);
+  int total = 0;
+  int active = batch;
+  AdditiveAttention::CachedKeysBatch keys = plan.keys;
+  for (int j = 0; j < plan.max_len; ++j) {
+    // Early-finish compaction: lanes whose target ended leave the GEMMs.
+    while (plan.tgt_lens[active - 1] <= j) --active;
+    if (h.dim(0) > active) {
+      h = SliceRows(h, 0, active);
+      x_prev = SliceRows(x_prev, 0, active);
+      keys = SliceCachedKeys(plan.keys, active);
+    }
+    Tensor r_prev = Tensor::FromVector(
+        {active, 1}, std::vector<float>(r_vals.begin(), r_vals.begin() + active));
+    h = StepBatch(plan, keys, active, h, x_prev, r_prev, j);
+    Tensor logits = Add(id_head_.Forward(h), MaskStack(plan, active, j));
+    Tensor lsm = LogSoftmaxRows(logits);
+    std::vector<int> targets(active);
+    for (int p = 0; p < active; ++p) {
+      targets[p] = plan.samples[p]->truth.points[j].seg_id;
+    }
+    id_steps.push_back(Neg(GatherElems(lsm, targets)));  // (active)
+    offsets[j] = total;
+    total += active;
+
+    // Scheduled sampling per lane: feed the truth or the lane's own argmax.
+    std::vector<int> fed(active);
+    std::vector<char> force(active);
+    for (int p = 0; p < active; ++p) {
+      force[p] = rngs[p].Bernoulli(cfg_.teacher_forcing) ? 1 : 0;
+      int best = targets[p];
+      if (!force[p]) {
+        best = 0;
+        for (int v = 1; v < logits.cols(); ++v) {
+          if (logits.at(p, v) > logits.at(p, best)) best = v;
+        }
+      }
+      fed[p] = best;
+    }
+    Tensor x_j = seg_emb_.Forward(fed);  // (active, d)
+    Tensor r_pred = Sigmoid(rate_head_.Forward(ConcatCols({x_j, h})));
+    std::vector<float> r_true(active);
+    for (int p = 0; p < active; ++p) {
+      r_true[p] = static_cast<float>(plan.samples[p]->truth.points[j].ratio);
+    }
+    rate_steps.push_back(
+        Square(Sub(r_pred, Tensor::FromVector({active, 1}, r_true))));
+    for (int p = 0; p < active; ++p) {
+      r_vals[p] = force[p] ? r_true[p]
+                           : std::clamp(r_pred.at(p, 0), 0.0f, 1.0f);
+    }
+    x_prev = x_j;
+  }
+
+  // Per-lane means over the lane's own step terms, in step order — the same
+  // elements, in the same order, as the per-sample MeanAll(ConcatVec(...)).
+  Tensor id_all = Reshape(ConcatVec(id_steps), {total, 1});
+  Tensor rate_all =
+      rate_steps.size() == 1 ? rate_steps[0] : ConcatRows(rate_steps);
+  std::vector<Tensor> losses(batch);
+  for (int p = 0; p < batch; ++p) {
+    std::vector<int> idx(plan.tgt_lens[p]);
+    for (int j = 0; j < plan.tgt_lens[p]; ++j) idx[j] = offsets[j] + p;
+    Tensor id_loss = MeanAll(GatherRows(id_all, idx));
+    Tensor rate_loss = MeanAll(GatherRows(rate_all, idx));
+    losses[plan.order[p]] = Add(id_loss, MulScalar(rate_loss, cfg_.lambda_rate));
+  }
+  return losses;
+}
+
+std::vector<MatchedTrajectory> Decoder::DecodeBatch(
+    const std::vector<Tensor>& enc_outputs, const std::vector<Tensor>& traj_hs,
+    const std::vector<const TrajectorySample*>& samples) const {
+  const int batch = static_cast<int>(samples.size());
+  if (batch == 0) return {};
+  const double eps = ctx_->eps_rho;
+  std::vector<SampleCache> scratch;
+  BatchPlan plan = BuildBatchPlan(enc_outputs, traj_hs, samples, &scratch);
+
+  std::vector<MatchedTrajectory> sorted_out(batch);
+  for (int p = 0; p < batch; ++p) {
+    sorted_out[p].points.reserve(plan.tgt_lens[p]);
+  }
+  Tensor h = plan.h0;
+  Tensor x_prev = Tensor::Zeros({batch, cfg_.dim});
+  std::vector<float> r_vals(batch, 0.0f);
+  int active = batch;
+  AdditiveAttention::CachedKeysBatch keys = plan.keys;
+  for (int j = 0; j < plan.max_len; ++j) {
+    while (plan.tgt_lens[active - 1] <= j) --active;
+    if (h.dim(0) > active) {
+      h = SliceRows(h, 0, active);
+      x_prev = SliceRows(x_prev, 0, active);
+      keys = SliceCachedKeys(plan.keys, active);
+    }
+    Tensor r_prev = Tensor::FromVector(
+        {active, 1}, std::vector<float>(r_vals.begin(), r_vals.begin() + active));
+    h = StepBatch(plan, keys, active, h, x_prev, r_prev, j);
+    Tensor logits = Add(id_head_.Forward(h), MaskStack(plan, active, j));
+    std::vector<int> best(active, 0);
+    for (int p = 0; p < active; ++p) {
+      for (int v = 1; v < logits.cols(); ++v) {
+        if (logits.at(p, v) > logits.at(p, best[p])) best[p] = v;
+      }
+    }
+    Tensor x_j = seg_emb_.Forward(best);
+    Tensor r_pred = Sigmoid(rate_head_.Forward(ConcatCols({x_j, h})));
+    for (int p = 0; p < active; ++p) {
+      const double ratio = std::clamp<double>(r_pred.at(p, 0), 0.0, 0.999);
+      const double t0 = plan.samples[p]->truth.points.front().t;
+      sorted_out[p].points.push_back({best[p], ratio, t0 + j * eps});
+      r_vals[p] = static_cast<float>(ratio);
+    }
+    x_prev = x_j;
+  }
+
+  std::vector<MatchedTrajectory> out(batch);
+  for (int p = 0; p < batch; ++p) {
+    out[plan.order[p]] = std::move(sorted_out[p]);
+  }
+  return out;
+}
+
 }  // namespace rntraj

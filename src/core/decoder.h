@@ -59,6 +59,32 @@ class Decoder : public Module {
   MatchedTrajectory Decode(const Tensor& enc_outputs, const Tensor& traj_h,
                            const TrajectorySample& sample) const;
 
+  /// Batched teacher-forced training losses, one scalar per sample (order
+  /// preserved). Per target timestep the whole micro-batch advances through
+  /// ONE fat GRU step ((B_active, d) GEMMs), one batched additive-attention
+  /// pass over the padded encoder outputs, and one batched constraint-mask
+  /// softmax + rate head; lanes whose target is exhausted drop out of the
+  /// GEMMs (lanes are sorted by target length so the active set stays a
+  /// prefix). Scheduled-sampling coin flips come from the same per-lane
+  /// (epoch, uid)-seeded engines as TrainLoss, so they are independent of
+  /// lane order and match the per-sample path exactly. Losses match
+  /// TrainLoss within float rounding (~1e-6; same-weight GEMMs at batch
+  /// height vs height 1). `enc_outputs[i]`/`traj_hs[i]` are sample i's
+  /// (l_i, d) encoder states and (1, d) initial GRU state.
+  std::vector<Tensor> TrainLossBatch(
+      const std::vector<Tensor>& enc_outputs,
+      const std::vector<Tensor>& traj_hs,
+      const std::vector<const TrajectorySample*>& samples) const;
+
+  /// Batched greedy decoding (order preserved): the inference counterpart of
+  /// TrainLossBatch, one fat GRU/attention/head step per target timestep
+  /// with the same early-finish lane compaction. Matches Decode within float
+  /// rounding (same segments; ratios to ~1e-6).
+  std::vector<MatchedTrajectory> DecodeBatch(
+      const std::vector<Tensor>& enc_outputs,
+      const std::vector<Tensor>& traj_hs,
+      const std::vector<const TrajectorySample*>& samples) const;
+
   /// The road-segment embedding table (shared with the id head input x_j).
   const Embedding& seg_embedding() const { return seg_emb_; }
 
@@ -113,6 +139,45 @@ class Decoder : public Module {
   Tensor Step(const AdditiveAttention::CachedKeys& keys, const Tensor& h_prev,
               const Tensor& x_prev, const Tensor& r_prev,
               const Tensor& step_row) const;
+
+  /// Shared constant state of one batched decode/train pass. Lanes are the
+  /// batch samples reordered by descending target length, so the lanes still
+  /// active at step j always form the prefix [0, active_j) and finished
+  /// lanes drop out of every GEMM by row slicing alone.
+  struct BatchPlan {
+    std::vector<int> order;                        ///< Lane -> original index.
+    std::vector<const TrajectorySample*> samples;  ///< In lane order.
+    std::vector<const SampleCache*> caches;        ///< In lane order.
+    std::vector<int> tgt_lens;                     ///< Descending.
+    int max_len = 0;
+    /// Padded encoder outputs + their W_h projection, shared by every step.
+    AdditiveAttention::CachedKeysBatch keys;
+    Tensor step_features;  ///< (B*max_len, 3) padded per-step constants.
+    Tensor h0;             ///< (B, d) initial GRU states in lane order.
+  };
+
+  /// Sorts the lanes, resolves the per-sample caches (into `*scratch` for
+  /// ephemeral samples) and precomputes the padded attention keys and step
+  /// features. `scratch` must outlive the plan.
+  BatchPlan BuildBatchPlan(
+      const std::vector<Tensor>& enc_outputs,
+      const std::vector<Tensor>& traj_hs,
+      const std::vector<const TrajectorySample*>& samples,
+      std::vector<SampleCache>* scratch) const;
+
+  /// One fat GRU step for the first `active` lanes: batched additive
+  /// attention over `keys` (plan.keys pre-sliced to the active prefix — the
+  /// caller re-slices only when the active set shrinks, so steady-state
+  /// steps pay no key copies), then a (active, 2d+4) x GRU update.
+  /// `h_prev`/`x_prev` are (active, d), `r_prev` is (active, 1).
+  Tensor StepBatch(const BatchPlan& plan,
+                   const AdditiveAttention::CachedKeysBatch& keys, int active,
+                   const Tensor& h_prev, const Tensor& x_prev,
+                   const Tensor& r_prev, int j) const;
+
+  /// Stacks the step-j constraint masks of the first `active` lanes into one
+  /// (active, |V|) additive-logit tensor.
+  Tensor MaskStack(const BatchPlan& plan, int active, int j) const;
 
   DecoderConfig cfg_;
   const ModelContext* ctx_;

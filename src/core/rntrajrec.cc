@@ -166,7 +166,7 @@ std::vector<RnTrajRec::Encoded> RnTrajRec::EncodeBatch(
   Tensor traj = traj_proj_.Forward(ConcatCols(
       {pooled, env_rows.size() == 1 ? env_rows[0] : ConcatRows(env_rows)}));
 
-  // Per-sample views for the (per-sample) decoder and the GCL loss.
+  // Per-sample views for the batched decoder's lane plan and the GCL loss.
   std::vector<Encoded> encoded;
   encoded.reserve(batch);
   int row = 0;
@@ -187,6 +187,17 @@ std::vector<RnTrajRec::Encoded> RnTrajRec::EncodeBatch(
     encoded.push_back(std::move(e));
   }
   return encoded;
+}
+
+void RnTrajRec::SplitEncoded(const std::vector<Encoded>& encoded,
+                             std::vector<Tensor>* enc,
+                             std::vector<Tensor>* traj) {
+  enc->reserve(encoded.size());
+  traj->reserve(encoded.size());
+  for (const Encoded& e : encoded) {
+    enc->push_back(e.enc);
+    traj->push_back(e.traj_h);
+  }
 }
 
 Tensor RnTrajRec::SampleLoss(const Encoded& e,
@@ -216,10 +227,20 @@ std::vector<Tensor> RnTrajRec::TrainLossBatch(
     pts.push_back(&ResolvePoints(*samples[i], &scratch[i]));
   }
   std::vector<Encoded> encoded = EncodeBatch(samples, pts);
-  std::vector<Tensor> losses;
-  losses.reserve(samples.size());
-  for (size_t i = 0; i < samples.size(); ++i) {
-    losses.push_back(SampleLoss(encoded[i], *samples[i]));
+  // Batched decoder: one fat GRU/attention/head step per target timestep for
+  // the whole mini-batch (the per-sample decoders this replaces were the
+  // serving bottleneck after the encoder was batched). The GCL term stays
+  // per sample — it reads ragged sub-graph logits.
+  std::vector<Tensor> enc;
+  std::vector<Tensor> traj;
+  SplitEncoded(encoded, &enc, &traj);
+  std::vector<Tensor> losses = decoder_.TrainLossBatch(enc, traj, samples);
+  if (cfg_.use_gcl && cfg_.gpsformer.use_grl) {
+    for (size_t i = 0; i < samples.size(); ++i) {
+      losses[i] = Add(losses[i],
+                      MulScalar(GraphClassificationLoss(encoded[i], *samples[i]),
+                                cfg_.lambda_gcl));
+    }
   }
   return losses;
 }
@@ -243,13 +264,13 @@ std::vector<MatchedTrajectory> RnTrajRec::RecoverBatch(
     pts.push_back(&ResolvePoints(*samples[i], &scratch[i]));
   }
   std::vector<Encoded> encoded = EncodeBatch(samples, pts);
-  std::vector<MatchedTrajectory> out;
-  out.reserve(samples.size());
-  for (size_t i = 0; i < samples.size(); ++i) {
-    out.push_back(decoder_.Decode(encoded[i].enc, encoded[i].traj_h,
-                                  *samples[i]));
-  }
-  return out;
+  // Batched decoder: a serving micro-batch now costs one padded encoder pass
+  // AND one fat decoder step per target timestep (early-finishing lanes drop
+  // out of the GEMMs as their targets end).
+  std::vector<Tensor> enc;
+  std::vector<Tensor> traj;
+  SplitEncoded(encoded, &enc, &traj);
+  return decoder_.DecodeBatch(enc, traj, samples);
 }
 
 }  // namespace rntraj

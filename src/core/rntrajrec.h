@@ -64,9 +64,11 @@ class RnTrajRec : public Module, public RecoveryModel {
   Tensor TrainLoss(const TrajectorySample& sample) override;
   MatchedTrajectory Recover(const TrajectorySample& sample) override;
   /// The padded cross-sample forward: EncodeBatch runs one GPSFormer pass
-  /// for the whole batch (decoders stay per sample, consuming slices of the
-  /// batched encoder outputs). Outputs match the per-sample Encode path
-  /// within float rounding (~1e-6; see GpsFormer::ForwardBatch).
+  /// for the whole batch and the decoder advances every sample per target
+  /// timestep through one fat GRU/attention/head step
+  /// (Decoder::{TrainLossBatch,DecodeBatch}, with early-finish lane
+  /// compaction). Outputs match the per-sample path within float rounding
+  /// (~1e-6; see GpsFormer::ForwardBatch and the decoder batch docs).
   bool SupportsBatchedForward() const override { return true; }
   std::vector<Tensor> TrainLossBatch(
       const std::vector<const TrajectorySample*>& samples) override;
@@ -129,6 +131,11 @@ class RnTrajRec : public Module, public RecoveryModel {
   std::vector<Encoded> EncodeBatch(
       const std::vector<const TrajectorySample*>& samples,
       const std::vector<const PointContexts*>& pts);
+
+  /// Splits EncodeBatch's per-sample views into the parallel
+  /// encoder-output/initial-state arrays the batched decoder consumes.
+  static void SplitEncoded(const std::vector<Encoded>& encoded,
+                           std::vector<Tensor>* enc, std::vector<Tensor>* traj);
 
   Tensor GraphClassificationLoss(const Encoded& e,
                                  const TrajectorySample& sample) const;

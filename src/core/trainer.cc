@@ -49,9 +49,10 @@ TrainStats TrainModel(RecoveryModel& model,
       std::vector<Tensor> losses(count);
       // Explicitly requested data parallelism (batch_threads > 1) wins over
       // the batched forward for the WHOLE run — including trailing size-1
-      // batches — so one epoch never mixes forward paths: the batched
-      // path's per-sample decoder loop is serial, and silently replacing
-      // concurrent forwards with it could regress wall-clock.
+      // batches — so one epoch never mixes forward paths: the batched path
+      // (padded encoder + fat per-timestep decoder steps) runs on one
+      // thread, and silently replacing concurrent forwards with it could
+      // regress wall-clock on multi-core boxes.
       const bool threads_requested =
           cfg.batch_threads > 1 && model.SupportsConcurrentTrainLoss();
       if (cfg.batched_forward && model.SupportsBatchedForward() &&

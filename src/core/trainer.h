@@ -29,9 +29,10 @@ struct TrainConfig {
   /// within a batch — and so the summed batch loss — is preserved either way.
   int batch_threads = 1;
   /// Run each mini-batch through the model's padded batched forward
-  /// (TrainLossBatch: one encoder pass per batch) when it supports one.
-  /// Explicitly requested data parallelism wins: batch_threads > 1 keeps
-  /// the concurrent per-sample path (the batched decoder loop is serial).
+  /// (TrainLossBatch: one encoder pass per batch, one fat decoder step per
+  /// target timestep) when it supports one. Explicitly requested data
+  /// parallelism wins: batch_threads > 1 keeps the concurrent per-sample
+  /// path (the batched path runs on one thread).
   /// Per-sample losses — and so the epoch losses — match the per-sample
   /// path within float rounding (~1e-6) for RnTrajRec. Disable to force
   /// the per-sample reference path.

@@ -141,6 +141,55 @@ class AdditiveAttention : public Module {
     return Forward(query, Precompute(keys));
   }
 
+  /// Key-side projection for a padded batch of key blocks: one fat
+  /// (B*pad_len, d) GEMM shared by every decoding step of every lane
+  /// (padding key rows are zero and W_h has no bias, so they stay zero).
+  struct CachedKeysBatch {
+    Tensor keys;               ///< (B*pad_len, d), padding rows zero.
+    Tensor kw;                 ///< (B*pad_len, d) = keys W_h.
+    std::vector<int> lengths;  ///< Valid key rows per block.
+    int pad_len = 0;           ///< Block height.
+  };
+
+  CachedKeysBatch PrecomputeBatch(const PaddedBatch& keys) const {
+    return {keys.data, Matmul(keys.data, wh_), keys.lengths, keys.pad_len};
+  }
+
+  struct BatchOutput {
+    Tensor weights;  ///< (n, pad_len); row i zero beyond lengths[i].
+    Tensor context;  ///< (n, d) weighted key sums.
+  };
+
+  /// One additive-attention pass for n queries against the first n key
+  /// blocks: queries (n, d), one per leading block. n may be smaller than
+  /// the cached batch — the early-finish lane compaction of the batched
+  /// decoder keeps active lanes as a prefix and shrinks n as lanes finish.
+  /// Per valid row this matches Forward on the lane alone to float rounding
+  /// (fat GEMMs at different heights; the adds, tanh and softmax prefix are
+  /// bit-identical — see LengthMaskedSoftmaxRows).
+  BatchOutput ForwardBatched(const Tensor& queries,
+                             const CachedKeysBatch& cached) const {
+    const int n = queries.dim(0);
+    const int pad = cached.pad_len;
+    RNTRAJ_CHECK_MSG(n <= static_cast<int>(cached.lengths.size()),
+                     "additive_attention_batched: " << n << " queries vs "
+                         << cached.lengths.size() << " key blocks");
+    Tensor kw = cached.kw;
+    Tensor keys = cached.keys;
+    if (n * pad < kw.dim(0)) {
+      kw = SliceRows(kw, 0, n * pad);
+      keys = SliceRows(keys, 0, n * pad);
+    }
+    Tensor qw = Matmul(queries, wg_);                      // (n, d)
+    Tensor t = Tanh(AddBlockBroadcast(kw, qw, pad));       // (n*pad, d)
+    Tensor scores = Reshape(Matmul(t, v_), {n, pad});      // (n, pad)
+    std::vector<int> valid(cached.lengths.begin(), cached.lengths.begin() + n);
+    Tensor alpha = LengthMaskedSoftmaxRows(scores, valid);
+    // Padding keys are zero and their weights are zero, so the block product
+    // over the full padded height reproduces the valid-prefix product.
+    return {alpha, BatchedMatmul(alpha, keys, n)};
+  }
+
  private:
   int dim_;
   Tensor wg_;

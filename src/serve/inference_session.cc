@@ -64,8 +64,9 @@ void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch) {
 
   if (batched_forward_ && !samples.empty()) {
     // One cross-request forward for the coalesced batch: RecoverBatch runs
-    // a single padded encoder pass when the model supports one (and falls
-    // back to a per-sample loop when it does not). infer_ms reports each
+    // a single padded encoder pass plus one fat decoder step per target
+    // timestep when the model supports a batched forward (and falls back to
+    // a per-sample loop when it does not). infer_ms reports each
     // request's share of the batch forward; promises necessarily resolve
     // together — the batch shares one encoder pass.
     std::vector<const TrajectorySample*> ptrs;

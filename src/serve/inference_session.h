@@ -37,8 +37,8 @@ class InferenceSession {
   /// `on_complete(total_ms)` fires after each response is delivered (the
   /// service records end-to-end latency there); may be empty.
   /// `batched_forward` routes each micro-batch through the model's
-  /// RecoverBatch (one padded encoder pass per batch when the model supports
-  /// it) instead of per-request forwards.
+  /// RecoverBatch (one padded encoder pass per batch plus batched decoder
+  /// steps when the model supports it) instead of per-request forwards.
   InferenceSession(int id, RecoveryModel* model,
                    const CellCandidateCache* cache,
                    std::vector<double> prefetch_radii,

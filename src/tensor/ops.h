@@ -74,6 +74,14 @@ Tensor AddRowCol(const Tensor& col, const Tensor& row);
 /// Single-pass row broadcast (bias add, key/query sums).
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& row);
 
+/// Block row broadcast: `a` is (batch*block, d) read as `batch` stacked
+/// blocks of height `block`, `rows` is (batch, d);
+/// out[i*block + r, :] = a[i*block + r, :] + rows[i, :]. The batched-decoder
+/// attention broadcast — each lane's query row is added to every row of its
+/// padded key block — without materialising a (batch*block, d) expansion of
+/// `rows` (the batched counterpart of AddRowBroadcast).
+Tensor AddBlockBroadcast(const Tensor& a, const Tensor& rows, int block);
+
 /// Row softmax of (a + mask) in one pass, without materialising the masked
 /// logits. `mask` is an additive no-grad constant of a's shape (use -1e9 to
 /// forbid positions, e.g. DenseGraph::neg_mask).

@@ -118,6 +118,59 @@ Tensor BatchedMatmulTransB(const Tensor& a, const Tensor& b, int batch) {
   return Tensor(out);
 }
 
+Tensor AddBlockBroadcast(const Tensor& a, const Tensor& rows, int block) {
+  auto ai = a.impl();
+  auto ri = rows.impl();
+  RNTRAJ_CHECK_MSG(ai->shape.size() == 2 && ri->shape.size() == 2,
+                   "add_block_broadcast: rank-2 inputs required");
+  const int d = ai->shape[1];
+  const int batch = ri->shape[0];
+  RNTRAJ_CHECK_MSG(block > 0 && ai->shape[0] == batch * block,
+                   "add_block_broadcast: " << ai->shape[0] << " rows vs "
+                                           << batch << "x" << block);
+  RNTRAJ_CHECK_MSG(ri->shape[1] == d, "add_block_broadcast: width "
+                                          << d << " vs rows of "
+                                          << ri->shape[1]);
+
+  auto out = internal::NewImplUninit(ai->shape);
+  for (int s = 0; s < batch; ++s) {
+    const float* v = ri->data.data() + static_cast<size_t>(s) * d;
+    for (int r = 0; r < block; ++r) {
+      const float* arow =
+          ai->data.data() + (static_cast<size_t>(s) * block + r) * d;
+      float* orow =
+          out->data.data() + (static_cast<size_t>(s) * block + r) * d;
+#pragma GCC ivdep
+      for (int j = 0; j < d; ++j) orow[j] = arow[j] + v[j];
+    }
+  }
+
+  internal::AttachNode(
+      "add_block_broadcast", out, {ai, ri},
+      [ai, ri, batch, block, d](const TensorImpl& o) {
+        if (ai->requires_grad) {
+          ai->EnsureGrad();
+          float* ga = ai->grad.data();
+          const float* g = o.grad.data();
+#pragma GCC ivdep
+          for (size_t i = 0; i < o.grad.size(); ++i) ga[i] += g[i];
+        }
+        if (ri->requires_grad) {
+          ri->EnsureGrad();
+          for (int s = 0; s < batch; ++s) {
+            float* gv = ri->grad.data() + static_cast<size_t>(s) * d;
+            for (int r = 0; r < block; ++r) {
+              const float* grow =
+                  o.grad.data() + (static_cast<size_t>(s) * block + r) * d;
+#pragma GCC ivdep
+              for (int j = 0; j < d; ++j) gv[j] += grow[j];
+            }
+          }
+        }
+      });
+  return Tensor(out);
+}
+
 Tensor LengthMaskedSoftmaxRows(const Tensor& a, const std::vector<int>& valid) {
   auto ai = a.impl();
   RNTRAJ_CHECK(ai->shape.size() == 2);

@@ -17,12 +17,12 @@ namespace {
 // Accepts a rank-1 (n) or rank-2 (n,1) column vector; returns n.
 int ColumnLength(const TensorImpl& t, const char* op) {
   if (t.shape.size() == 1) return t.shape[0];
+  // Streamed piecewise (no string concatenation: GCC 12's -Wrestrict trips
+  // on the temporary-string insert pattern the old message used).
   RNTRAJ_CHECK_MSG(t.shape.size() == 2 && t.shape[1] == 1,
-                   op << ": expected column vector, got "
-                      << (t.shape.size() == 2
-                              ? "(" + std::to_string(t.shape[0]) + "," +
-                                    std::to_string(t.shape[1]) + ")"
-                              : "rank-" + std::to_string(t.shape.size())));
+                   op << ": expected column vector (n) or (n,1), got rank-"
+                      << t.shape.size() << " tensor with "
+                      << (t.shape.size() == 2 ? t.shape[1] : -1) << " cols");
   return t.shape[0];
 }
 

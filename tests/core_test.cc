@@ -75,7 +75,9 @@ TEST_F(CoreFixture, TimeColumnIsMonotoneInUnitRange) {
   for (int i = 0; i < t.dim(0); ++i) {
     EXPECT_GE(t.at(i, 0), 0.0f);
     EXPECT_LE(t.at(i, 0), 1.0f);
-    if (i > 0) EXPECT_GT(t.at(i, 0), t.at(i - 1, 0));
+    if (i > 0) {
+      EXPECT_GT(t.at(i, 0), t.at(i - 1, 0));
+    }
   }
 }
 
@@ -413,6 +415,25 @@ TrajectorySample TruncatedEphemeral(const TrajectorySample& s, int keep) {
   return MakeEphemeralSample(std::move(input), std::move(indices), times);
 }
 
+/// Ephemeral variant with the TARGET truncated to its first `keep` steps
+/// (real seg ids and ratios kept, so it trains too); input points whose
+/// target position falls beyond the cut are dropped. Exercises the batched
+/// decoder's early-finish lane compaction: such lanes leave the step GEMMs
+/// before the longer lanes do.
+TrajectorySample TruncatedTargetEphemeral(const TrajectorySample& s, int keep) {
+  TrajectorySample out;
+  out.uid = -1;
+  out.truth.points.assign(s.truth.points.begin(),
+                          s.truth.points.begin() + keep);
+  for (size_t i = 0; i < s.input_indices.size(); ++i) {
+    if (s.input_indices[i] < keep) {
+      out.input.points.push_back(s.input.points[i]);
+      out.input_indices.push_back(s.input_indices[i]);
+    }
+  }
+  return out;
+}
+
 void ExpectSameRecovery(const MatchedTrajectory& got,
                         const MatchedTrajectory& want, const char* what) {
   ASSERT_EQ(got.size(), want.size()) << what;
@@ -502,6 +523,77 @@ TEST_F(CoreFixture, BatchedForwardMatchesPerSampleTrainLoss) {
     if (any_grad) break;
   }
   EXPECT_TRUE(any_grad);
+}
+
+TEST_F(CoreFixture, BatchedDecoderEarlyFinishLaneCompaction) {
+  // Ragged TARGET lengths: lanes finish at different timesteps, so the
+  // batched decoder's active set shrinks mid-decode (batch -> ... -> 1).
+  // Every lane — including the ones that drop out of the GEMMs first — must
+  // match its per-sample decode/loss.
+  SeedGlobalRng(49);
+  RnTrajRec model(SmallConfig(), *ctx_);
+  const auto& test = dataset_->test();
+  const int full = test[0].truth.size();
+  ASSERT_GE(full, 6);
+  std::vector<TrajectorySample> ragged;
+  ragged.push_back(test[0]);  // full-length lane, survives to the last step
+  ragged.push_back(TruncatedTargetEphemeral(test[1], full / 2));
+  ragged.push_back(TruncatedTargetEphemeral(test[2], 2));
+  ragged.push_back(TruncatedTargetEphemeral(test[3], full - 1));
+  std::vector<const TrajectorySample*> ptrs;
+  for (const auto& s : ragged) ptrs.push_back(&s);
+
+  model.SetTrainingMode(false);
+  model.BeginInference();
+  std::vector<MatchedTrajectory> batched = model.RecoverBatch(ptrs);
+  ASSERT_EQ(batched.size(), ragged.size());
+  for (size_t i = 0; i < ragged.size(); ++i) {
+    EXPECT_EQ(batched[i].size(), ragged[i].truth.size()) << "lane " << i;
+    ExpectSameRecovery(batched[i], model.Recover(ragged[i]), "early-finish");
+  }
+
+  // The training path compacts the same way; losses still match per-sample.
+  model.SetTrainingMode(true);
+  model.BeginBatch();
+  std::vector<Tensor> losses = model.TrainLossBatch(ptrs);
+  ASSERT_EQ(losses.size(), ragged.size());
+  for (size_t i = 0; i < ragged.size(); ++i) {
+    const float reference = model.TrainLoss(ragged[i]).item();
+    EXPECT_TRUE(std::isfinite(losses[i].item()));
+    EXPECT_NEAR(losses[i].item(), reference, 1e-6 * (1.0 + std::abs(reference)))
+        << "lane " << i;
+  }
+}
+
+TEST_F(CoreFixture, BatchedDecoderFlipsIndependentOfLaneOrder) {
+  // Scheduled-sampling coin flips are keyed by (sampling epoch, sample uid),
+  // never by lane index: permuting a batch must permute its losses and
+  // nothing else, and every ordering must match the per-sample TrainLoss
+  // stream (which a lane-order-dependent flip could not).
+  SeedGlobalRng(50);
+  RnTrajRec model(SmallConfig(), *ctx_);
+  model.SetTrainingMode(true);
+  model.SetTeacherForcing(0.5);  // actually stochastic: both outcomes occur
+  model.BeginBatch();
+  const auto& train = dataset_->train();
+  const size_t n = std::min<size_t>(6, train.size());
+  std::vector<const TrajectorySample*> forward;
+  std::vector<const TrajectorySample*> reversed;
+  for (size_t i = 0; i < n; ++i) forward.push_back(&train[i]);
+  for (size_t i = n; i-- > 0;) reversed.push_back(&train[i]);
+
+  std::vector<Tensor> a = model.TrainLossBatch(forward);
+  std::vector<Tensor> b = model.TrainLossBatch(reversed);
+  ASSERT_EQ(a.size(), n);
+  ASSERT_EQ(b.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    const float reference = model.TrainLoss(train[i]).item();
+    EXPECT_NEAR(a[i].item(), reference, 1e-5 * (1.0 + std::abs(reference)))
+        << "forward order, sample " << i;
+    EXPECT_NEAR(b[n - 1 - i].item(), reference,
+                1e-5 * (1.0 + std::abs(reference)))
+        << "reversed order, sample " << i;
+  }
 }
 
 TEST_F(CoreFixture, TrainerBatchedForwardMatchesPerSampleTraining) {

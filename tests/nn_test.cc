@@ -184,6 +184,48 @@ TEST(AttentionTest, AdditiveAttentionGradCheck) {
   EXPECT_LT(MaxGradError(loss, attn.Parameters()), kTol);
 }
 
+TEST(AttentionTest, AdditiveBatchedMatchesPerSample) {
+  // One batched pass over padded key blocks must reproduce the per-sample
+  // additive attention lane by lane — ragged key lengths, a length-1 block,
+  // and a compacted (prefix-only) call included.
+  SeedGlobalRng(61);
+  AdditiveAttention attn(8);
+  const std::vector<int> lengths = {5, 3, 1};
+  std::vector<Tensor> keys;
+  for (int l : lengths) keys.push_back(Tensor::Randn({l, 8}, 1.0f));
+  Tensor queries = Tensor::Randn({3, 8}, 1.0f);
+
+  auto cached = attn.PrecomputeBatch(
+      PaddedBatch::FromFlat(ConcatRows(keys), lengths));
+  auto batched = attn.ForwardBatched(queries, cached);
+  ASSERT_EQ(batched.context.dim(0), 3);
+  ASSERT_EQ(batched.weights.dim(1), cached.pad_len);
+  for (int i = 0; i < 3; ++i) {
+    auto per = attn.Forward(SliceRows(queries, i, 1), keys[i]);
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_NEAR(batched.context.at(i, j), per.context.at(0, j), 1e-5)
+          << "lane " << i;
+    }
+    for (int j = 0; j < lengths[i]; ++j) {
+      EXPECT_NEAR(batched.weights.at(i, j), per.weights.at(0, j), 1e-5);
+    }
+    // Padding key positions carry exactly zero weight.
+    for (int j = lengths[i]; j < cached.pad_len; ++j) {
+      EXPECT_EQ(batched.weights.at(i, j), 0.0f);
+    }
+  }
+
+  // Early-finish compaction: attending only the first two lanes against the
+  // same cached keys gives those lanes' rows unchanged.
+  auto prefix = attn.ForwardBatched(SliceRows(queries, 0, 2), cached);
+  ASSERT_EQ(prefix.context.dim(0), 2);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_NEAR(prefix.context.at(i, j), batched.context.at(i, j), 1e-6);
+    }
+  }
+}
+
 TEST(LayerNormTest, RowsAreStandardised) {
   SeedGlobalRng(15);
   LayerNorm ln(8);

@@ -242,7 +242,9 @@ TEST(SubGraphTest, ContainsNearbyAndWeightsDecay) {
   for (int i = 0; i < sg.size(); ++i) {
     EXPECT_GT(sg.weights[i], 0.0);
     EXPECT_LE(sg.weights[i], 1.0);
-    if (i > 0) EXPECT_LE(sg.weights[i], sg.weights[i - 1] + 1e-12);
+    if (i > 0) {
+      EXPECT_LE(sg.weights[i], sg.weights[i - 1] + 1e-12);
+    }
   }
   // Weight formula spot check: omega = exp(-(d/gamma)^2).
   EXPECT_NEAR(sg.weights[0], std::exp(-(5.0 / 30.0) * (5.0 / 30.0)), 1e-9);

@@ -329,6 +329,29 @@ TEST_F(ServeFixture, BatchedForwardServiceMatchesPerRequestService) {
   model.SetTrainingMode(false);
   model.BeginInference();
 
+  // Mixed target lengths inside one micro-batch: every other request keeps
+  // only a prefix of its recovery grid, so the batched decoder's lanes
+  // finish at different steps (early-finish compaction on the serve path).
+  std::vector<serve::RecoveryRequest> requests;
+  for (size_t i = 0; i < dataset_->test().size(); ++i) {
+    serve::RecoveryRequest req = serve::RequestFromSample(dataset_->test()[i]);
+    if (i % 2 == 1) {
+      const int keep = std::max<int>(2, static_cast<int>(req.target_times.size()) / (1 + static_cast<int>(i) % 3));
+      req.target_times.resize(keep);
+      RawTrajectory input;
+      std::vector<int> indices;
+      for (size_t k = 0; k < req.input_indices.size(); ++k) {
+        if (req.input_indices[k] < keep) {
+          input.points.push_back(req.input.points[k]);
+          indices.push_back(req.input_indices[k]);
+        }
+      }
+      req.input = std::move(input);
+      req.input_indices = std::move(indices);
+    }
+    requests.push_back(std::move(req));
+  }
+
   const auto run = [&](bool batched) {
     serve::RecoveryServiceConfig scfg;
     scfg.num_sessions = 1;
@@ -338,8 +361,8 @@ TEST_F(ServeFixture, BatchedForwardServiceMatchesPerRequestService) {
     scfg.warm_model = false;  // already warmed above
     serve::RecoveryService service(&model, *ctx_, scfg);
     std::vector<std::future<serve::RecoveryResponse>> futures;
-    for (const auto& s : dataset_->test()) {
-      futures.push_back(service.Submit(serve::RequestFromSample(s)));
+    for (const auto& req : requests) {
+      futures.push_back(service.Submit(req));  // Submit copies its argument
     }
     std::vector<serve::RecoveryResponse> out;
     for (auto& f : futures) out.push_back(f.get());

@@ -261,6 +261,26 @@ TEST(GradCheck, AddRowBroadcastBothInputs) {
             kTol);
 }
 
+TEST(GradCheck, AddBlockBroadcast) {
+  SeedGlobalRng(60);
+  // Three blocks of height 2: row i of `rows` broadcast over block i (the
+  // batched-decoder query-over-keys broadcast).
+  Tensor a = Tensor::Randn({6, 4}, 1.0f, true);
+  Tensor rows = Tensor::Randn({3, 4}, 1.0f, true);
+  EXPECT_LT(MaxGradError([&] { return SmoothLoss(AddBlockBroadcast(a, rows, 2)); },
+                         {a, rows}),
+            kTol);
+  // block == 1 degenerates to a plain same-shape add.
+  Tensor b = Tensor::Randn({3, 4}, 1.0f, true);
+  Tensor fused = AddBlockBroadcast(b, rows, 1);
+  Tensor plain = Add(b, rows);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(fused.at(i, j), plain.at(i, j));
+    }
+  }
+}
+
 TEST(GradCheck, MaskedSoftmaxRows) {
   SeedGlobalRng(34);
   Tensor a = Tensor::Randn({3, 5}, 1.0f, true);
