@@ -99,6 +99,64 @@ void BM_SelfAttention(benchmark::State& state) {
 }
 BENCHMARK(BM_SelfAttention)->Arg(8)->Arg(48);
 
+// Batched GAT: the graph-by-graph GatLayer::Forward loop vs ONE
+// ForwardBatched pass over the block-diagonal pack of the same sub-graphs
+// (the PR 5 refactor). Arg0 = number of sub-graphs (ragged 10-16 node
+// chains, the serving sub-graph shape), arg1 = batched.
+struct GatBatchFixture {
+  std::vector<DenseGraph> graphs;
+  std::vector<const DenseGraph*> graph_ptrs;
+  BatchedDenseGraph batched;
+  Tensor h_flat;
+  std::vector<Tensor> h_parts;
+  GatLayer gat{32, 4};
+
+  explicit GatBatchFixture(int num_graphs) {
+    SeedGlobalRng(11);
+    for (int g = 0; g < num_graphs; ++g) {
+      const int n = 10 + g % 7;
+      std::vector<std::pair<int, int>> edges;
+      for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+      graphs.push_back(BuildDenseGraph(n, edges));
+      h_parts.push_back(Tensor::Randn({n, 32}, 1.0f));
+    }
+    for (const auto& g : graphs) graph_ptrs.push_back(&g);
+    batched = BuildBatchedDenseGraph(graph_ptrs);
+    h_flat = ConcatRows(h_parts);
+  }
+};
+
+void BM_GatBatch(benchmark::State& state) {
+  static GatBatchFixture f16(16);
+  static GatBatchFixture f64(64);
+  GatBatchFixture& f = state.range(0) == 16 ? f16 : f64;
+  const bool batched = state.range(1) == 1;
+  NoGradGuard guard;
+  BufferPoolScope pool;
+  for (auto _ : state) {
+    if (batched) {
+      benchmark::DoNotOptimize(
+          f.gat.ForwardBatched(f.h_flat, f.batched).data().data());
+    } else {
+      for (size_t g = 0; g < f.graphs.size(); ++g) {
+        benchmark::DoNotOptimize(
+            f.gat.Forward(f.h_parts[g], f.graphs[g]).data().data());
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(f.graphs.size()));
+  state.SetLabel(std::string(batched ? "one block-diagonal pass"
+                                     : "per-graph loop") +
+                 ", graphs=" + std::to_string(f.graphs.size()) +
+                 ", 10-16 nodes, d=32, heads=4");
+}
+BENCHMARK(BM_GatBatch)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
 // GPSFormer forward, per-sample loop vs one padded batched pass (the PR 3
 // refactor): B ragged trajectories with chain sub-graphs per timestep.
 // Args are {batched, use_grl}: batched=1 runs the padded path; use_grl=0
@@ -117,6 +175,9 @@ struct GpsFormerBatchFixture {
   Tensor z0_flat;
   std::vector<int> graph_sizes;
   std::vector<const DenseGraph*> graph_ptrs;
+  /// Block-diagonal pack of every sub-graph across the batch, prebuilt like
+  /// the serving path's per-sample cached packs.
+  BatchedDenseGraph batched_graphs;
   /// Per-sample pointer views, prebuilt so the per-sample reference branch
   /// times only the forward (no vector churn inside the timed loop).
   std::vector<std::vector<const DenseGraph*>> sample_graph_ptrs;
@@ -164,6 +225,7 @@ struct GpsFormerBatchFixture {
         sample_graph_ptrs.back().push_back(&d);
       }
     }
+    batched_graphs = BuildBatchedDenseGraph(graph_ptrs);
   }
 };
 
@@ -182,8 +244,7 @@ void BM_GpsFormerBatch(benchmark::State& state) {
   for (auto _ : state) {
     if (batched) {
       benchmark::DoNotOptimize(
-          gf.ForwardBatch(f.h0_flat, f.lengths, f.z0_flat, f.graph_sizes,
-                          f.graph_ptrs)
+          gf.ForwardBatch(f.h0_flat, f.lengths, f.z0_flat, f.batched_graphs)
               .h.data()
               .data());
     } else {
@@ -204,6 +265,41 @@ BENCHMARK(BM_GpsFormerBatch)
     ->Args({1, 1})
     ->Args({0, 0})
     ->Args({1, 0});
+
+// Isolated GRL record over the same B=16 ragged batch as BM_GpsFormerBatch:
+// the per-sample Forward loop vs one ForwardBatch (fat fusion GEMMs + ONE
+// block-diagonal batched GAT pass). This is the layer that kept the full
+// encoder at parity in BENCH_PR3.json.
+void BM_GrlBatch(benchmark::State& state) {
+  auto& f = TheGpsFormerFixture();
+  static GraphRefinementLayer* grl = [] {
+    GrlConfig cfg;
+    cfg.dim = 32;
+    auto* layer = new GraphRefinementLayer(cfg);
+    layer->SetTraining(false);
+    return layer;
+  }();
+  const bool batched = state.range(0) == 1;
+  NoGradGuard guard;
+  BufferPoolScope pool;
+  for (auto _ : state) {
+    if (batched) {
+      benchmark::DoNotOptimize(
+          grl->ForwardBatch(f.h0_flat, f.z0_flat, f.batched_graphs, f.lengths)
+              .data()
+              .data());
+    } else {
+      for (size_t s = 0; s < f.h0s.size(); ++s) {
+        benchmark::DoNotOptimize(
+            grl->Forward(f.h0s[s], f.z0s[s], f.sample_graph_ptrs[s]));
+      }
+    }
+  }
+  state.SetLabel(std::string(batched ? "one batched GRL pass"
+                                     : "per-sample GRL loop") +
+                 ", B=16, d=32");
+}
+BENCHMARK(BM_GrlBatch)->Arg(0)->Arg(1);
 
 struct World {
   std::unique_ptr<Dataset> ds;

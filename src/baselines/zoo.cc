@@ -32,6 +32,7 @@ std::unique_ptr<RecoveryModel> MakeModel(const std::string& key,
     return std::make_unique<RnTrajRec>(DefaultRnTrajRecConfig(dim), ctx);
   }
   RNTRAJ_CHECK_MSG(false, "unknown method key: " << key);
+  RNTRAJ_UNREACHABLE();
 }
 
 RnTrajRecConfig DefaultRnTrajRecConfig(int dim) {

@@ -44,4 +44,10 @@ namespace internal {
     }                                                                         \
   } while (0)
 
+/// Marks code after an unconditional RNTRAJ_CHECK*(false, ...) abort.
+/// CheckFailed is [[noreturn]], but sanitizer instrumentation (TSan) defeats
+/// GCC's noreturn path analysis and -Wreturn-type fires on functions whose
+/// every exit is such an abort; this keeps those warning-clean.
+#define RNTRAJ_UNREACHABLE() __builtin_unreachable()
+
 #endif  // RNTRAJ_COMMON_CHECK_H_

@@ -17,8 +17,7 @@ GpsFormer::GpsFormer(const GpsFormerConfig& config) : cfg_(config) {
 
 GpsFormer::BatchOutput GpsFormer::ForwardBatch(
     const Tensor& h0, const std::vector<int>& lengths, const Tensor& z0,
-    const std::vector<int>& graph_sizes,
-    const std::vector<const DenseGraph*>& graphs) {
+    const BatchedDenseGraph& graphs) {
   // Eq. (12): position embeddings restart at every sample boundary.
   Tensor h = Add(h0, StackedPositionEncoding(lengths, cfg_.dim));
   Tensor z = z0;
@@ -27,13 +26,13 @@ GpsFormer::BatchOutput GpsFormer::ForwardBatch(
   for (int n = 0; n < cfg_.blocks; ++n) {
     pb = encoder_[n]->ForwardBatched(pb, row_mask);
     if (!cfg_.use_grl) continue;  // Table V "w/o GRL"
-    z = grl_[n]->ForwardBatch(pb.Flat(), z, graph_sizes, graphs, lengths);
+    z = grl_[n]->ForwardBatch(pb.Flat(), z, graphs, lengths);
     // Eq. (13): H^l = GraphReadout(Z^l), one masked mean-pool per sub-graph.
     if (n + 1 < cfg_.blocks) {
-      pb = PaddedBatch::FromFlat(SegmentMeanRows(z, graph_sizes), lengths);
+      pb = PaddedBatch::FromFlat(SegmentMeanRows(z, graphs.sizes), lengths);
     }
   }
-  Tensor h_out = cfg_.use_grl ? SegmentMeanRows(z, graph_sizes) : pb.Flat();
+  Tensor h_out = cfg_.use_grl ? SegmentMeanRows(z, graphs.sizes) : pb.Flat();
   return {std::move(h_out), std::move(z)};
 }
 

@@ -76,8 +76,14 @@ Tensor GraphRefinementLayer::NormaliseBatch(
     return (which == 0 ? ln1_ : ln2_).Forward(flat);
   }
   // GraphNorm: statistics must span exactly one sample's sub-graphs (the
-  // per-sample path's Normalise), so slice the flat tensor per sample.
+  // per-sample path's Normalise), so slice the flat tensor per sample —
+  // but only while training: eval-mode GraphNorm reads running statistics
+  // only (row-local), so one pass over the whole batch is elementwise
+  // identical to the per-sample passes and skips the slice/concat churn.
   GraphNorm& gn = which == 0 ? gn1_ : gn2_;
+  if (!gn.training()) {
+    return gn.Forward(flat, graph_sizes);
+  }
   std::vector<Tensor> parts;
   parts.reserve(sample_graph_counts.size());
   int g = 0;
@@ -95,19 +101,17 @@ Tensor GraphRefinementLayer::NormaliseBatch(
 }
 
 Tensor GraphRefinementLayer::ForwardBatch(
-    const Tensor& tr, const Tensor& z, const std::vector<int>& graph_sizes,
-    const std::vector<const DenseGraph*>& graphs,
+    const Tensor& tr, const Tensor& z, const BatchedDenseGraph& graphs,
     const std::vector<int>& sample_graph_counts) {
-  const int num_graphs = static_cast<int>(graph_sizes.size());
-  RNTRAJ_CHECK(static_cast<size_t>(num_graphs) == graphs.size());
+  const std::vector<int>& graph_sizes = graphs.sizes;
+  const int num_graphs = graphs.num_graphs;
   RNTRAJ_CHECK(tr.dim(0) == num_graphs);
-  int total_nodes = 0;
   std::vector<int> node2graph;
+  node2graph.reserve(graphs.total_nodes);
   for (int g = 0; g < num_graphs; ++g) {
-    total_nodes += graph_sizes[g];
     node2graph.insert(node2graph.end(), graph_sizes[g], g);
   }
-  RNTRAJ_CHECK(z.dim(0) == total_nodes);
+  RNTRAJ_CHECK(z.dim(0) == graphs.total_nodes);
 
   // Sub-layer 1: GraphNorm(x + GatedFusion(x)), fused across the batch. The
   // node-side and timestep-side projections are single fat GEMMs over all
@@ -128,22 +132,15 @@ Tensor GraphRefinementLayer::ForwardBatch(
   Tensor a = NormaliseBatch(0, Add(z, fuse_out), graph_sizes,
                             sample_graph_counts);
 
-  // Sub-layer 2: GraphNorm(x + GraphForward(x)). GAT masks are per
-  // sub-graph, so propagation walks the flat tensor graph by graph; the
+  // Sub-layer 2: GraphNorm(x + GraphForward(x)). GAT propagation runs ONE
+  // block-diagonal batched pass over all sub-graphs (per-graph softmax
+  // blocks in GatLayer::ForwardBatched keep neighbourhoods intact); the
   // w/o-GAT feed-forward replacement is row-local and runs in one GEMM.
   Tensor forwarded;
   if (cfg_.use_gat) {
-    std::vector<Tensor> parts;
-    parts.reserve(num_graphs);
-    int row = 0;
-    for (int gidx = 0; gidx < num_graphs; ++gidx) {
-      Tensor g = SliceRows(a, row, graph_sizes[gidx]);
-      Tensor prop = g;
-      for (auto& layer : gat_) prop = layer->Forward(prop, *graphs[gidx]);
-      parts.push_back(Add(g, prop));
-      row += graph_sizes[gidx];
-    }
-    forwarded = parts.size() == 1 ? parts[0] : ConcatRows(parts);
+    Tensor prop = a;
+    for (auto& layer : gat_) prop = layer->ForwardBatched(prop, graphs);
+    forwarded = Add(a, prop);
   } else {
     forwarded = Add(a, fwd_ffn_.Forward(a));
   }

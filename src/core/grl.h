@@ -49,19 +49,21 @@ class GraphRefinementLayer : public Module {
   /// Cross-sample batched layer. `tr` holds the valid encoder rows of every
   /// sample back to back ((sum of lengths, d)); `z` is the flat node-feature
   /// tensor of all sub-graphs across the batch (samples in order, timesteps
-  /// in order within each sample) with `graph_sizes`/`graphs` aligned to the
-  /// same flat order; `sample_graph_counts[s]` is sample s's timestep count.
+  /// in order within each sample) with `graphs` — the block-diagonal
+  /// connectivity of ALL those sub-graphs — aligned to the same flat order;
+  /// `sample_graph_counts[s]` is sample s's timestep count.
   ///
-  /// The gated-fusion projections run as single fat GEMMs over all nodes /
-  /// all timesteps of the whole batch; GAT propagation stays per sub-graph
-  /// (the masks are per-graph) and normalisation stays per sample, so
+  /// Everything is batched: the gated-fusion projections run as single fat
+  /// GEMMs over all nodes / all timesteps of the whole batch, and GAT
+  /// propagation runs ONE GatLayer::ForwardBatched pass over the packed
+  /// block-diagonal masks (per-graph softmax blocks, so sub-graphs still
+  /// never attend across each other). Normalisation stays per sample, so
   /// GraphNorm batch statistics cover exactly the sub-graphs the per-sample
   /// path gives it (paper Eq. (9)) and every node feature matches Forward
   /// over each sample alone within float rounding. Returns the refined flat
   /// tensor.
   Tensor ForwardBatch(const Tensor& tr, const Tensor& z,
-                      const std::vector<int>& graph_sizes,
-                      const std::vector<const DenseGraph*>& graphs,
+                      const BatchedDenseGraph& graphs,
                       const std::vector<int>& sample_graph_counts);
 
  private:

@@ -31,7 +31,7 @@ RnTrajRec::RnTrajRec(RnTrajRecConfig config, const ModelContext& ctx)
 RnTrajRec::PointContexts RnTrajRec::BuildPointContexts(
     const TrajectorySample& sample) const {
   PointContexts pts;
-  pts.reserve(sample.input.size());
+  pts.pts.reserve(sample.input.size());
   for (const auto& rp : sample.input.points) {
     PointContext cp;
     cp.sg = seg_source_ != nullptr
@@ -53,8 +53,14 @@ RnTrajRec::PointContexts RnTrajRec::BuildPointContexts(
     }
     cp.pool_weights = Tensor::FromVector({1, n}, pool);
     cp.log_weights = Tensor::FromVector({1, n}, logw);
-    pts.push_back(std::move(cp));
+    pts.pts.push_back(std::move(cp));
   }
+  // Pack the sample's sub-graph masks block-diagonally once; the batched GAT
+  // path reuses this from the memo cache on every subsequent forward.
+  std::vector<const DenseGraph*> graphs;
+  graphs.reserve(pts.pts.size());
+  for (const PointContext& cp : pts.pts) graphs.push_back(&cp.dense);
+  pts.batched = BuildBatchedDenseGraph(graphs);
   return pts;
 }
 
@@ -81,7 +87,7 @@ RnTrajRec::Encoded RnTrajRec::Encode(const TrajectorySample& sample,
   z0.reserve(l);
   graphs.reserve(l);
   gp_rows.reserve(l);
-  for (const auto& cp : pts) {
+  for (const auto& cp : pts.pts) {
     Tensor zi = GatherRows(xroad_, cp.sg.seg_ids);  // (n_i, d)
     gp_rows.push_back(Matmul(cp.pool_weights, zi)); // (1, d)
     z0.push_back(std::move(zi));
@@ -105,7 +111,7 @@ Tensor RnTrajRec::GraphClassificationLoss(const Encoded& e,
   // supervised by the true segment at the input timestamps.
   std::vector<Tensor> terms;
   for (size_t i = 0; i < e.z.size(); ++i) {
-    const PointContext& cp = (*e.points)[i];
+    const PointContext& cp = e.points->pts[i];
     const int truth_seg =
         sample.truth.points[sample.input_indices[i]].seg_id;
     const int local = cp.sg.LocalIndexOf(truth_seg);
@@ -127,13 +133,14 @@ std::vector<RnTrajRec::Encoded> RnTrajRec::EncodeBatch(
 
   // Sub-Graph Generation across the batch: all sub-graphs flat (samples in
   // order, timesteps in order), per-sample feature blocks stacked so the
-  // input projection is one (sum of lengths, d+3) GEMM.
+  // input projection is one (sum of lengths, d+3) GEMM. The block-diagonal
+  // masks concatenate from the per-sample cached packs (no per-graph work).
   std::vector<int> lengths(batch);
   std::vector<Tensor> z0_parts;
-  std::vector<int> graph_sizes;
-  std::vector<const DenseGraph*> graphs;
+  std::vector<const BatchedDenseGraph*> graph_parts;
   std::vector<Tensor> feat_parts;
   std::vector<Tensor> env_rows;
+  graph_parts.reserve(batch);
   feat_parts.reserve(batch);
   env_rows.reserve(batch);
   for (int s = 0; s < batch; ++s) {
@@ -141,13 +148,12 @@ std::vector<RnTrajRec::Encoded> RnTrajRec::EncodeBatch(
     lengths[s] = sample.input.size();
     std::vector<Tensor> gp_rows;
     gp_rows.reserve(lengths[s]);
-    for (const PointContext& cp : *pts[s]) {
+    for (const PointContext& cp : pts[s]->pts) {
       Tensor zi = GatherRows(xroad_, cp.sg.seg_ids);   // (n_i, d)
       gp_rows.push_back(Matmul(cp.pool_weights, zi));  // (1, d), Eq. (6)
       z0_parts.push_back(std::move(zi));
-      graph_sizes.push_back(cp.sg.size());
-      graphs.push_back(&cp.dense);
     }
+    graph_parts.push_back(&pts[s]->batched);
     feat_parts.push_back(ConcatCols({ConcatRows(gp_rows),
                                      InputTimeColumn(sample),
                                      InputGridCoords(ctx_, sample)}));
@@ -156,9 +162,12 @@ std::vector<RnTrajRec::Encoded> RnTrajRec::EncodeBatch(
   Tensor h0 = input_proj_.Forward(
       feat_parts.size() == 1 ? feat_parts[0] : ConcatRows(feat_parts));
   Tensor z0 = z0_parts.size() == 1 ? z0_parts[0] : ConcatRows(z0_parts);
+  BatchedDenseGraph concat;
+  if (batch > 1) concat = ConcatBatchedDenseGraphs(graph_parts);
+  const BatchedDenseGraph& graphs = batch == 1 ? pts[0]->batched : concat;
 
   GpsFormer::BatchOutput out =
-      gpsformer_.ForwardBatch(h0, lengths, z0, graph_sizes, graphs);
+      gpsformer_.ForwardBatch(h0, lengths, z0, graphs);
 
   // Trajectory-level representations: masked mean-pool per sample, then one
   // (batch, d + f_t) projection GEMM for the whole batch.
@@ -178,8 +187,8 @@ std::vector<RnTrajRec::Encoded> RnTrajRec::EncodeBatch(
     e.traj_h = SliceRows(traj, s, 1);
     e.z.reserve(lengths[s]);
     for (int t = 0; t < lengths[s]; ++t) {
-      e.z.push_back(SliceRows(out.z, node, graph_sizes[g]));
-      node += graph_sizes[g];
+      e.z.push_back(SliceRows(out.z, node, graphs.sizes[g]));
+      node += graphs.sizes[g];
       ++g;
     }
     e.points = pts[s];

@@ -1,6 +1,7 @@
 #ifndef RNTRAJ_NN_GRAPH_H_
 #define RNTRAJ_NN_GRAPH_H_
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 #include <vector>
@@ -72,6 +73,94 @@ inline DenseGraph BuildDenseGraph(int n,
   return g;
 }
 
+/// Block-diagonal connectivity for a SET of directed graphs (the batched-GAT
+/// counterpart of DenseGraph). Per-graph square masks are stored PACKED: a
+/// rank-1 tensor of length sum(n_g^2) where graph g's (n_g, n_g) row-major
+/// block starts at entry_offsets[g]. Node-aligned data (features, flat GEMM
+/// outputs) lives on the flat (sum(n_g), d) layout with graph g's rows
+/// starting at node_offsets[g]. Built once per sample (cacheable alongside
+/// the per-sample roadnet caches) and concatenated per batch.
+struct BatchedDenseGraph {
+  int num_graphs = 0;
+  int total_nodes = 0;    ///< sum of per-graph node counts.
+  int total_entries = 0;  ///< sum of squared node counts (packed mask size).
+  std::vector<int> sizes;          ///< per-graph node counts n_g.
+  std::vector<int> node_offsets;   ///< first flat node row of each graph.
+  std::vector<int> entry_offsets;  ///< first packed mask entry of each graph.
+  /// Packed block-diagonal additive softmax mask (per-graph neg_mask blocks:
+  /// 0 where a node may attend, -1e9 elsewhere — cross-graph scores are never
+  /// materialised, so no mask entries exist between graphs).
+  Tensor neg_mask;
+  /// Packed block-diagonal 0/1 adjacency including self-loops (per-graph
+  /// adj_self blocks), kept for property tests and non-attention consumers.
+  Tensor adj_self;
+};
+
+/// Packs the dense masks of `graphs` into one block-diagonal
+/// BatchedDenseGraph (per-graph neg_mask/adj_self blocks concatenated in
+/// order, offsets recorded per graph).
+inline BatchedDenseGraph BuildBatchedDenseGraph(
+    const std::vector<const DenseGraph*>& graphs) {
+  BatchedDenseGraph bg;
+  bg.num_graphs = static_cast<int>(graphs.size());
+  bg.sizes.reserve(graphs.size());
+  bg.node_offsets.reserve(graphs.size());
+  bg.entry_offsets.reserve(graphs.size());
+  for (const DenseGraph* g : graphs) {
+    bg.sizes.push_back(g->n);
+    bg.node_offsets.push_back(bg.total_nodes);
+    bg.entry_offsets.push_back(bg.total_entries);
+    bg.total_nodes += g->n;
+    bg.total_entries += g->n * g->n;
+  }
+  bg.neg_mask = Tensor::Zeros({bg.total_entries});
+  bg.adj_self = Tensor::Zeros({bg.total_entries});
+  for (size_t gi = 0; gi < graphs.size(); ++gi) {
+    const DenseGraph& g = *graphs[gi];
+    const size_t count = static_cast<size_t>(g.n) * g.n;
+    const size_t off = bg.entry_offsets[gi];
+    std::copy(g.neg_mask.data().begin(), g.neg_mask.data().begin() + count,
+              bg.neg_mask.data().begin() + off);
+    std::copy(g.adj_self.data().begin(), g.adj_self.data().begin() + count,
+              bg.adj_self.data().begin() + off);
+  }
+  return bg;
+}
+
+/// Concatenates already-packed BatchedDenseGraphs (e.g. the per-sample cached
+/// ones) into one batch-level block-diagonal graph: sizes append, offsets
+/// shift, mask storage is a straight copy.
+inline BatchedDenseGraph ConcatBatchedDenseGraphs(
+    const std::vector<const BatchedDenseGraph*>& parts) {
+  BatchedDenseGraph bg;
+  for (const BatchedDenseGraph* p : parts) {
+    bg.num_graphs += p->num_graphs;
+    bg.total_nodes += p->total_nodes;
+    bg.total_entries += p->total_entries;
+  }
+  bg.sizes.reserve(bg.num_graphs);
+  bg.node_offsets.reserve(bg.num_graphs);
+  bg.entry_offsets.reserve(bg.num_graphs);
+  bg.neg_mask = Tensor::Zeros({bg.total_entries});
+  bg.adj_self = Tensor::Zeros({bg.total_entries});
+  int node = 0;
+  int entry = 0;
+  for (const BatchedDenseGraph* p : parts) {
+    for (int g = 0; g < p->num_graphs; ++g) {
+      bg.sizes.push_back(p->sizes[g]);
+      bg.node_offsets.push_back(node + p->node_offsets[g]);
+      bg.entry_offsets.push_back(entry + p->entry_offsets[g]);
+    }
+    std::copy(p->neg_mask.data().begin(), p->neg_mask.data().end(),
+              bg.neg_mask.data().begin() + entry);
+    std::copy(p->adj_self.data().begin(), p->adj_self.data().end(),
+              bg.adj_self.data().begin() + entry);
+    node += p->total_nodes;
+    entry += p->total_entries;
+  }
+  return bg;
+}
+
 /// Multi-head graph attention layer (paper Eq. (3)-(4)).
 class GatLayer : public Module {
  public:
@@ -103,6 +192,34 @@ class GatLayer : public Module {
       Tensor scores = LeakyRelu(AddRowCol(u, v), 0.2f);
       Tensor attn = MaskedSoftmaxRows(scores, g.neg_mask);
       heads.push_back(LeakyRelu(Matmul(attn, hw), 0.2f));
+    }
+    return heads_ == 1 ? heads[0] : ConcatCols(heads);
+  }
+
+  /// Batched counterpart: one pass over ALL sub-graphs of a batch. `h` holds
+  /// every graph's node features flat ((g.total_nodes, d), graphs in order);
+  /// `g` is their block-diagonal connectivity. The per-head projections and
+  /// score terms run as single fat GEMMs over all nodes; the square
+  /// score/softmax/attention stage runs on the packed block-diagonal layout
+  /// (AddRowColBlocks -> SegmentMaskedSoftmax -> BlockDiagMatmul), where each
+  /// block executes the exact per-graph kernels — so the output matches the
+  /// graph-by-graph Forward loop within float rounding (~1e-6; the fat
+  /// projection GEMMs run at a different height than their per-graph
+  /// equivalents, contracting FMAs differently in the row-peel kernels).
+  Tensor ForwardBatched(const Tensor& h, const BatchedDenseGraph& g) const {
+    RNTRAJ_CHECK(h.dim(0) == g.total_nodes);
+    std::vector<Tensor> heads;
+    heads.reserve(heads_);
+    for (int k = 0; k < heads_; ++k) {
+      Tensor hw = Matmul(h, w_[k]);      // (sum n, dh) aggregation features
+      Tensor ha = Matmul(h, w_att_[k]);  // (sum n, dh) attention features
+      Tensor u = Matmul(ha, a_src_[k]);  // (sum n, 1): centre term
+      Tensor v = Reshape(Matmul(ha, a_dst_[k]), {g.total_nodes});
+      // Per-graph score matrices, packed block-diagonal; cross-graph scores
+      // are never materialised.
+      Tensor scores = LeakyRelu(AddRowColBlocks(u, v, g.sizes), 0.2f);
+      Tensor attn = SegmentMaskedSoftmax(scores, g.neg_mask, g.sizes);
+      heads.push_back(LeakyRelu(BlockDiagMatmul(attn, hw, g.sizes), 0.2f));
     }
     return heads_ == 1 ? heads[0] : ConcatCols(heads);
   }

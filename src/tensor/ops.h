@@ -63,6 +63,41 @@ Tensor BatchedMatmul(const Tensor& a, const Tensor& b, int batch);
 /// attention-score kernel (one Q K^T per sample, no cross-sample scores).
 Tensor BatchedMatmulTransB(const Tensor& a, const Tensor& b, int batch);
 
+// ----- Ragged block-diagonal ops (batched GAT over sub-graphs) ---------------
+//
+// The batched GAT path processes every sub-graph of a batch in one pass. Its
+// square per-graph matrices (scores, attention) use a PACKED block-diagonal
+// layout: a rank-1 tensor of length sum(sizes[g]^2) where block g occupies the
+// contiguous row-major span [sum_{h<g} sizes[h]^2, ...) as a (n_g, n_g)
+// matrix. Rectangular node features stay on the flat (sum(sizes), d) layout.
+// Blocks are contiguous, so each op runs the exact per-graph kernel
+// (MaskedSoftmaxRows pipeline / packed GEMM core) per block — bit-identical
+// to the graph-by-graph loop it replaces. sizes[g] == 0 blocks are legal and
+// contribute nothing.
+
+/// Block outer sum: for block g with node offset o and packed entry offset e,
+/// out[e + i*n_g + j] = col[o + i] + row[o + j]. `col`/`row` both have
+/// sum(sizes) elements (any rank-1/(n,1)/(1,n) shaping). Builds every
+/// sub-graph's GAT score matrix (AddRowCol per graph) in one pass.
+Tensor AddRowColBlocks(const Tensor& col, const Tensor& row,
+                       const std::vector<int>& sizes);
+
+/// Segment-masked softmax over a packed block-diagonal tensor: every block-g
+/// row of width sizes[g] is the softmax of (a + mask) over that row —
+/// bit-identical to MaskedSoftmaxRows on the (n_g, n_g) block. `mask` is an
+/// additive no-grad constant in the same packed layout
+/// (BatchedDenseGraph::neg_mask).
+Tensor SegmentMaskedSoftmax(const Tensor& a, const Tensor& mask,
+                            const std::vector<int>& sizes);
+
+/// Block-diagonal attention-times-value product: `attn` is packed
+/// block-diagonal (sum(sizes[g]^2)), `b` is flat (sum(sizes), d);
+/// out rows of block g = attn(g) (n_g, n_g) * b(g) (n_g, d), stacked to
+/// (sum(sizes), d). Runs the packed GEMM core per block, so each block is
+/// bit-identical to Matmul on the same operands.
+Tensor BlockDiagMatmul(const Tensor& attn, const Tensor& b,
+                       const std::vector<int>& sizes);
+
 // ----- Fused broadcast ops (attention hot path) ------------------------------
 
 /// Outer sum: out[i,j] = col[i] + row[j] -> (n,m). `col` is rank-1 (n) or

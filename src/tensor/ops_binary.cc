@@ -22,6 +22,7 @@ Broadcast ClassifyBroadcast(const TensorImpl& a, const TensorImpl& b,
   }
   RNTRAJ_CHECK_MSG(false, op << ": unsupported broadcast, a.rank=" << a.shape.size()
                              << " b.rank=" << b.shape.size());
+  RNTRAJ_UNREACHABLE();
 }
 
 namespace {

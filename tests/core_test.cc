@@ -179,6 +179,177 @@ TEST(GrlTest, GradientsReachGatedFusionParams) {
   EXPECT_TRUE(any);
 }
 
+// Builds a ragged two-sample batch for the GRL/GpsFormer equivalence tests:
+// sample 0 has three timesteps (1-node, edge-less and chain sub-graphs),
+// sample 1 has two (denser 4-node graph + chain) — the degenerate shapes the
+// serving sub-graph extractor produces.
+struct RaggedGrlBatch {
+  std::vector<DenseGraph> graphs;
+  std::vector<int> lengths{3, 2};
+  std::vector<std::vector<const DenseGraph*>> per_sample;
+  BatchedDenseGraph batched;
+
+  RaggedGrlBatch() {
+    graphs.push_back(BuildDenseGraph(1, {}));
+    graphs.push_back(BuildDenseGraph(2, {}));
+    graphs.push_back(BuildDenseGraph(3, {{0, 1}, {1, 2}}));
+    graphs.push_back(BuildDenseGraph(4, {{0, 1}, {2, 3}, {1, 2}, {0, 3}}));
+    graphs.push_back(BuildDenseGraph(3, {{2, 1}, {1, 0}}));
+    per_sample.push_back({&graphs[0], &graphs[1], &graphs[2]});
+    per_sample.push_back({&graphs[3], &graphs[4]});
+    std::vector<const DenseGraph*> flat;
+    for (const auto& s : per_sample) flat.insert(flat.end(), s.begin(), s.end());
+    batched = BuildBatchedDenseGraph(flat);
+  }
+};
+
+TEST(GrlTest, ForwardBatchMatchesPerSampleForward) {
+  // The batched GRL (fat fusion GEMMs + ONE block-diagonal GAT pass +
+  // per-sample GraphNorm) must reproduce the per-sample Forward on every
+  // node feature, in training mode (per-sample batch statistics) and eval
+  // mode (running statistics), across all ablation variants.
+  for (bool train : {true, false}) {
+    for (int variant = 0; variant < 4; ++variant) {
+      SeedGlobalRng(60 + variant);
+      RaggedGrlBatch b;
+      GrlConfig cfg;
+      cfg.dim = 8;
+      cfg.heads = 2;
+      cfg.use_gated_fusion = variant != 1;
+      cfg.use_graph_norm = variant != 2;
+      cfg.use_gat = variant != 3;
+      GraphRefinementLayer grl(cfg);
+      grl.SetTraining(train);
+
+      std::vector<Tensor> tr_parts;
+      std::vector<Tensor> z_flat_parts;
+      std::vector<std::vector<Tensor>> z_parts;
+      for (size_t s = 0; s < b.per_sample.size(); ++s) {
+        tr_parts.push_back(Tensor::Randn({b.lengths[s], 8}, 1.0f));
+        z_parts.emplace_back();
+        for (const DenseGraph* g : b.per_sample[s]) {
+          z_parts.back().push_back(Tensor::Randn({g->n, 8}, 1.0f));
+          z_flat_parts.push_back(z_parts.back().back());
+        }
+      }
+
+      Tensor out = grl.ForwardBatch(ConcatRows(tr_parts),
+                                    ConcatRows(z_flat_parts), b.batched,
+                                    b.lengths);
+      ASSERT_EQ(out.dim(0), b.batched.total_nodes);
+
+      int node = 0;
+      for (size_t s = 0; s < b.per_sample.size(); ++s) {
+        std::vector<Tensor> ref =
+            grl.Forward(tr_parts[s], z_parts[s], b.per_sample[s]);
+        for (size_t t = 0; t < ref.size(); ++t) {
+          for (int i = 0; i < ref[t].dim(0); ++i) {
+            for (int j = 0; j < 8; ++j) {
+              EXPECT_NEAR(out.at(node + i, j), ref[t].at(i, j),
+                          1e-6 * (1.0 + std::abs(ref[t].at(i, j))))
+                  << (train ? "train" : "eval") << " variant " << variant
+                  << " sample " << s << " timestep " << t << " (" << i << ","
+                  << j << ")";
+            }
+          }
+          node += ref[t].dim(0);
+        }
+      }
+    }
+  }
+}
+
+TEST(GrlTest, ForwardBatchSingleSampleMatches) {
+  // B=1: the batched layer sees exactly one sample's sub-graphs.
+  SeedGlobalRng(64);
+  std::vector<DenseGraph> graphs;
+  graphs.push_back(BuildDenseGraph(1, {}));
+  graphs.push_back(BuildDenseGraph(3, {{0, 1}, {2, 1}}));
+  std::vector<const DenseGraph*> gptrs = {&graphs[0], &graphs[1]};
+  BatchedDenseGraph bg = BuildBatchedDenseGraph(gptrs);
+  GrlConfig cfg;
+  cfg.dim = 8;
+  cfg.heads = 2;
+  GraphRefinementLayer grl(cfg);
+  grl.SetTraining(false);
+  Tensor tr = Tensor::Randn({2, 8}, 1.0f);
+  std::vector<Tensor> z = RandomZ(graphs, 8);
+  Tensor out = grl.ForwardBatch(tr, ConcatRows(z), bg, {2});
+  std::vector<Tensor> ref = grl.Forward(tr, z, gptrs);
+  int node = 0;
+  for (size_t t = 0; t < ref.size(); ++t) {
+    for (int i = 0; i < ref[t].dim(0); ++i) {
+      for (int j = 0; j < 8; ++j) {
+        EXPECT_NEAR(out.at(node + i, j), ref[t].at(i, j),
+                    1e-6 * (1.0 + std::abs(ref[t].at(i, j))))
+            << "timestep " << t << " (" << i << "," << j << ")";
+      }
+    }
+    node += ref[t].dim(0);
+  }
+}
+
+TEST(GpsFormerTest, ForwardBatchMatchesPerSampleEncode) {
+  // Full encoder equivalence on the ragged batch: padded transformer half +
+  // block-diagonal batched GAT half vs the per-sample Forward, for both
+  // pooled outputs (H^N) and final node features (Z^N).
+  SeedGlobalRng(65);
+  RaggedGrlBatch b;
+  GpsFormerConfig cfg;
+  cfg.dim = 8;
+  cfg.blocks = 2;
+  cfg.heads = 2;
+  cfg.ffn_dim = 16;
+  cfg.grl.heads = 2;
+  GpsFormer former(cfg);
+  former.SetTraining(false);
+
+  std::vector<Tensor> h0_parts;
+  std::vector<Tensor> z0_flat_parts;
+  std::vector<std::vector<Tensor>> z0_parts;
+  for (size_t s = 0; s < b.per_sample.size(); ++s) {
+    h0_parts.push_back(Tensor::Randn({b.lengths[s], 8}, 1.0f));
+    z0_parts.emplace_back();
+    for (const DenseGraph* g : b.per_sample[s]) {
+      z0_parts.back().push_back(Tensor::Randn({g->n, 8}, 1.0f));
+      z0_flat_parts.push_back(z0_parts.back().back());
+    }
+  }
+
+  GpsFormer::BatchOutput out = former.ForwardBatch(
+      ConcatRows(h0_parts), b.lengths, ConcatRows(z0_flat_parts), b.batched);
+  ASSERT_EQ(out.h.dim(0), 5);  // sum of lengths
+  ASSERT_EQ(out.z.dim(0), b.batched.total_nodes);
+
+  int row = 0;
+  int node = 0;
+  for (size_t s = 0; s < b.per_sample.size(); ++s) {
+    GpsFormer::Output ref =
+        former.Forward(h0_parts[s], z0_parts[s], b.per_sample[s]);
+    for (int i = 0; i < b.lengths[s]; ++i) {
+      for (int j = 0; j < 8; ++j) {
+        EXPECT_NEAR(out.h.at(row + i, j), ref.h.at(i, j),
+                    1e-6 * (1.0 + std::abs(ref.h.at(i, j))))
+            << "sample " << s << " H row " << i;
+      }
+    }
+    for (size_t t = 0; t < ref.z.size(); ++t) {
+      for (int i = 0; i < ref.z[t].dim(0); ++i) {
+        for (int j = 0; j < 8; ++j) {
+          // Z tolerance is looser than H's: rounding accumulates across two
+          // blocks on intermediate node features an order of magnitude
+          // larger than the final value it lands on.
+          EXPECT_NEAR(out.z.at(node + i, j), ref.z[t].at(i, j),
+                      4e-6 * (1.0 + std::abs(ref.z[t].at(i, j))))
+              << "sample " << s << " Z timestep " << t;
+        }
+      }
+      node += ref.z[t].dim(0);
+    }
+    row += b.lengths[s];
+  }
+}
+
 TEST(GpsFormerTest, OutputShapesAndNoGrlPath) {
   SeedGlobalRng(35);
   std::vector<DenseGraph> graphs;

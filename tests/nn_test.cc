@@ -390,6 +390,149 @@ TEST(DenseGraphTest, GcnNormRowsAreFinite) {
   }
 }
 
+TEST(DenseGraphTest, BuildDenseGraphInvariants) {
+  // Property test over a non-trivial directed graph: every mask BuildDenseGraph
+  // emits must stay mutually consistent (previously only exercised indirectly
+  // through layer outputs).
+  const int n = 5;
+  const std::vector<std::pair<int, int>> edges = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 3}, {2, 0}};
+  DenseGraph g = BuildDenseGraph(n, edges);
+
+  std::vector<float> deg(n, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    // Self-loops: every node attends to itself.
+    EXPECT_EQ(g.adj_self.at(i, i), 1.0f) << "node " << i;
+    EXPECT_EQ(g.neg_mask.at(i, i), 0.0f) << "node " << i;
+    EXPECT_EQ(g.adj_noself.at(i, i), 0.0f) << "node " << i;
+    for (int j = 0; j < n; ++j) {
+      const float a = g.adj_self.at(i, j);
+      EXPECT_TRUE(a == 0.0f || a == 1.0f) << "(" << i << "," << j << ")";
+      // Mask/adjacency consistency: attendable exactly where adjacent.
+      EXPECT_EQ(g.neg_mask.at(i, j), a == 1.0f ? 0.0f : -1e9f)
+          << "(" << i << "," << j << ")";
+      // adj_noself is adj_self with the diagonal removed.
+      EXPECT_EQ(g.adj_noself.at(i, j), i == j ? 0.0f : a)
+          << "(" << i << "," << j << ")";
+      // gcn_norm support matches adj_self support.
+      EXPECT_EQ(g.gcn_norm.at(i, j) != 0.0f, a != 0.0f)
+          << "(" << i << "," << j << ")";
+      deg[i] += a;
+    }
+  }
+  // Edge rows: (src, dst) means dst aggregates from src.
+  for (const auto& [src, dst] : edges) {
+    EXPECT_EQ(g.adj_self.at(dst, src), 1.0f) << src << "->" << dst;
+  }
+  // gcn_norm is exactly D^-1/2 (A+I) D^-1/2 over the row degrees. Its row
+  // sums are bounded: each of the deg_i nonzero terms is at most
+  // 1/sqrt(deg_i) (deg_j >= 1 from the self-loop), so
+  // 0 < row_sum <= sqrt(deg_i), with equality at 1 for degree-regular rows.
+  for (int i = 0; i < n; ++i) {
+    float row_sum = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      const float want = g.adj_self.at(i, j) / std::sqrt(deg[i] * deg[j]);
+      EXPECT_FLOAT_EQ(g.gcn_norm.at(i, j), want) << "(" << i << "," << j << ")";
+      row_sum += g.gcn_norm.at(i, j);
+    }
+    EXPECT_GT(row_sum, 0.0f);
+    EXPECT_LE(row_sum, std::sqrt(deg[i]) + 1e-6f) << "row " << i;
+  }
+  // Degree-regular case: complete-graph rows sum to exactly 1.
+  std::vector<std::pair<int, int>> complete;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (i != j) complete.push_back({i, j});
+    }
+  }
+  DenseGraph k3 = BuildDenseGraph(3, complete);
+  for (int i = 0; i < 3; ++i) {
+    float row_sum = 0.0f;
+    for (int j = 0; j < 3; ++j) row_sum += k3.gcn_norm.at(i, j);
+    EXPECT_NEAR(row_sum, 1.0f, 1e-6f) << "row " << i;
+  }
+}
+
+// The ragged graph mix every BatchedDenseGraph test below uses: a 1-node
+// sub-graph, an edge-less (self-loops only) pair, a chain, and a denser
+// 4-node graph — the shapes the serving sub-graph extractor produces.
+std::vector<DenseGraph> RaggedGraphs() {
+  std::vector<DenseGraph> graphs;
+  graphs.push_back(BuildDenseGraph(1, {}));
+  graphs.push_back(BuildDenseGraph(2, {}));
+  graphs.push_back(BuildDenseGraph(3, {{0, 1}, {1, 2}}));
+  graphs.push_back(BuildDenseGraph(4, {{0, 1}, {2, 3}, {1, 2}, {0, 3}}));
+  return graphs;
+}
+
+std::vector<const DenseGraph*> GraphPtrs(const std::vector<DenseGraph>& graphs) {
+  std::vector<const DenseGraph*> ptrs;
+  for (const auto& g : graphs) ptrs.push_back(&g);
+  return ptrs;
+}
+
+TEST(BatchedDenseGraphTest, PackedBlocksMatchPerGraphMasks) {
+  std::vector<DenseGraph> graphs = RaggedGraphs();
+  BatchedDenseGraph bg = BuildBatchedDenseGraph(GraphPtrs(graphs));
+
+  ASSERT_EQ(bg.num_graphs, 4);
+  EXPECT_EQ(bg.total_nodes, 1 + 2 + 3 + 4);
+  EXPECT_EQ(bg.total_entries, 1 + 4 + 9 + 16);
+  ASSERT_EQ(static_cast<int>(bg.sizes.size()), 4);
+  int node = 0;
+  int entry = 0;
+  for (size_t g = 0; g < graphs.size(); ++g) {
+    const int n = graphs[g].n;
+    EXPECT_EQ(bg.sizes[g], n);
+    EXPECT_EQ(bg.node_offsets[g], node);
+    EXPECT_EQ(bg.entry_offsets[g], entry);
+    // The packed block is that graph's mask, bit for bit.
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        EXPECT_EQ(bg.neg_mask.at(entry + i * n + j), graphs[g].neg_mask.at(i, j))
+            << "graph " << g << " (" << i << "," << j << ")";
+        EXPECT_EQ(bg.adj_self.at(entry + i * n + j), graphs[g].adj_self.at(i, j))
+            << "graph " << g << " (" << i << "," << j << ")";
+      }
+    }
+    node += n;
+    entry += n * n;
+  }
+  EXPECT_EQ(static_cast<int>(bg.neg_mask.size()), bg.total_entries);
+  EXPECT_EQ(static_cast<int>(bg.adj_self.size()), bg.total_entries);
+}
+
+TEST(BatchedDenseGraphTest, ConcatMatchesDirectBuild) {
+  // Concatenating per-sample packs (the serving cache path) must equal
+  // packing the full flat graph list directly.
+  std::vector<DenseGraph> graphs = RaggedGraphs();
+  std::vector<const DenseGraph*> ptrs = GraphPtrs(graphs);
+  BatchedDenseGraph direct = BuildBatchedDenseGraph(ptrs);
+
+  BatchedDenseGraph part1 = BuildBatchedDenseGraph({ptrs[0], ptrs[1]});
+  BatchedDenseGraph part2 = BuildBatchedDenseGraph({ptrs[2], ptrs[3]});
+  BatchedDenseGraph cat = ConcatBatchedDenseGraphs({&part1, &part2});
+
+  EXPECT_EQ(cat.num_graphs, direct.num_graphs);
+  EXPECT_EQ(cat.total_nodes, direct.total_nodes);
+  EXPECT_EQ(cat.total_entries, direct.total_entries);
+  EXPECT_EQ(cat.sizes, direct.sizes);
+  EXPECT_EQ(cat.node_offsets, direct.node_offsets);
+  EXPECT_EQ(cat.entry_offsets, direct.entry_offsets);
+  for (int e = 0; e < direct.total_entries; ++e) {
+    EXPECT_EQ(cat.neg_mask.at(e), direct.neg_mask.at(e)) << "entry " << e;
+    EXPECT_EQ(cat.adj_self.at(e), direct.adj_self.at(e)) << "entry " << e;
+  }
+
+  // Single-part concat (B=1) reproduces the pack unchanged.
+  BatchedDenseGraph one = ConcatBatchedDenseGraphs({&direct});
+  EXPECT_EQ(one.sizes, direct.sizes);
+  EXPECT_EQ(one.entry_offsets, direct.entry_offsets);
+  for (int e = 0; e < direct.total_entries; ++e) {
+    EXPECT_EQ(one.neg_mask.at(e), direct.neg_mask.at(e)) << "entry " << e;
+  }
+}
+
 TEST(GatLayerTest, IsolatedNodeOnlySeesItself) {
   SeedGlobalRng(21);
   // Node 2 has no incoming edges besides its self loop.
@@ -414,6 +557,91 @@ TEST(GatLayerTest, GradCheck) {
   GatLayer gat(4, 2);
   Tensor h = Tensor::Randn({3, 4}, 1.0f, true);
   auto loss = [&] { return MeanAll(Square(gat.Forward(h, g))); };
+  std::vector<Tensor> params = gat.Parameters();
+  params.push_back(h);
+  EXPECT_LT(MaxGradError(loss, params), kTol);
+}
+
+TEST(GatLayerTest, ForwardBatchedMatchesPerGraphForward) {
+  // The block-diagonal batched pass must reproduce the graph-by-graph loop
+  // over ragged sub-graph sizes (incl. 1-node and edge-less graphs), for one
+  // head and for multiple heads. Tolerance is the batched-path float-rounding
+  // bound: the fat projection GEMMs run at a different height than their
+  // per-graph equivalents.
+  for (int heads : {1, 4}) {
+    SeedGlobalRng(24 + heads);
+    std::vector<DenseGraph> graphs = RaggedGraphs();
+    BatchedDenseGraph bg = BuildBatchedDenseGraph(GraphPtrs(graphs));
+    GatLayer gat(8, heads);
+    std::vector<Tensor> h_parts;
+    for (const auto& g : graphs) h_parts.push_back(Tensor::Randn({g.n, 8}, 1.0f));
+    Tensor batched = gat.ForwardBatched(ConcatRows(h_parts), bg);
+    ASSERT_EQ(batched.dim(0), bg.total_nodes);
+    ASSERT_EQ(batched.dim(1), 8);
+    int node = 0;
+    for (size_t g = 0; g < graphs.size(); ++g) {
+      Tensor ref = gat.Forward(h_parts[g], graphs[g]);
+      for (int i = 0; i < graphs[g].n; ++i) {
+        for (int j = 0; j < 8; ++j) {
+          EXPECT_NEAR(batched.at(node + i, j), ref.at(i, j), 1e-6)
+              << "heads=" << heads << " graph " << g << " (" << i << "," << j
+              << ")";
+        }
+      }
+      node += graphs[g].n;
+    }
+  }
+}
+
+TEST(GatLayerTest, ForwardBatchedSingleGraphIsBitExact) {
+  // With ONE graph in the batch every kernel runs at identical heights on
+  // identical data, so the batched path collapses to Forward bit for bit.
+  SeedGlobalRng(26);
+  DenseGraph g = ChainGraph(5);
+  BatchedDenseGraph bg = BuildBatchedDenseGraph({&g});
+  GatLayer gat(8, 2);
+  Tensor h = Tensor::Randn({5, 8}, 1.0f);
+  Tensor batched = gat.ForwardBatched(h, bg);
+  Tensor ref = gat.Forward(h, g);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_EQ(batched.at(i, j), ref.at(i, j)) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(GatLayerTest, ForwardBatchedIsolatesGraphs) {
+  // No cross-graph leakage: perturbing one graph's nodes must leave every
+  // other graph's outputs bit-unchanged (projections are row-local, the
+  // score/softmax/attention stage is per-block).
+  SeedGlobalRng(27);
+  std::vector<DenseGraph> graphs = RaggedGraphs();
+  BatchedDenseGraph bg = BuildBatchedDenseGraph(GraphPtrs(graphs));
+  GatLayer gat(8, 2);
+  Tensor h = Tensor::Randn({bg.total_nodes, 8}, 1.0f);
+  Tensor before = gat.ForwardBatched(h, bg);
+  // Perturb every node of graph 2 (rows 3..5).
+  for (int i = bg.node_offsets[2]; i < bg.node_offsets[3]; ++i) {
+    h.data()[static_cast<size_t>(i) * 8] += 25.0f;
+  }
+  Tensor after = gat.ForwardBatched(h, bg);
+  for (int i = 0; i < bg.total_nodes; ++i) {
+    const bool in_graph2 = i >= bg.node_offsets[2] && i < bg.node_offsets[3];
+    if (in_graph2) continue;
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_EQ(before.at(i, j), after.at(i, j))
+          << "row " << i << " leaked across graphs";
+    }
+  }
+}
+
+TEST(GatLayerTest, ForwardBatchedGradCheck) {
+  SeedGlobalRng(28);
+  std::vector<DenseGraph> graphs = RaggedGraphs();
+  BatchedDenseGraph bg = BuildBatchedDenseGraph(GraphPtrs(graphs));
+  GatLayer gat(4, 2);
+  Tensor h = Tensor::Randn({bg.total_nodes, 4}, 1.0f, true);
+  auto loss = [&] { return MeanAll(Square(gat.ForwardBatched(h, bg))); };
   std::vector<Tensor> params = gat.Parameters();
   params.push_back(h);
   EXPECT_LT(MaxGradError(loss, params), kTol);

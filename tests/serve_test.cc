@@ -323,7 +323,10 @@ TEST_F(ServeFixture, ServiceRecoverNowMatchesSubmit) {
 TEST_F(ServeFixture, BatchedForwardServiceMatchesPerRequestService) {
   // The micro-batch path runs one padded encoder pass per coalesced batch
   // (batched_forward, the default); answers must be identical to the
-  // per-request-forward configuration.
+  // per-request-forward configuration. This is the serve layer of the
+  // batched-GAT equivalence chain (op gradcheck -> GatLayer -> GRL ->
+  // GpsFormer -> here): each coalesced batch runs ONE block-diagonal GAT
+  // pass over every request's sub-graphs.
   SeedGlobalRng(54);
   RnTrajRec model(SmallConfig(), *ctx_);
   model.SetTrainingMode(false);

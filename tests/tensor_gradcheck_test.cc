@@ -472,6 +472,157 @@ TEST(GradCheck, SegmentMeanRowsMatchesColMean) {
   }
 }
 
+// ----- Packed block-diagonal ops (batched GAT path) --------------------------
+//
+// Layout under test: a rank-1 tensor of length sum(sizes[g]^2) where block g
+// is a row-major (n_g, n_g) matrix starting at sum_{h<g} sizes[h]^2. The
+// sizes below always mix ragged blocks with the degenerate shapes the
+// serving path produces: a 1-node sub-graph (isolated GPS point) and an
+// empty block.
+
+// Packed additive mask with a few forbidden entries per block (diagonal
+// always allowed, mirroring self-loops).
+Tensor PackedNegMask(const std::vector<int>& sizes) {
+  int total = 0;
+  for (int s : sizes) total += s * s;
+  std::vector<float> mask(total, 0.0f);
+  int entry = 0;
+  for (int s : sizes) {
+    for (int i = 0; i < s; ++i) {
+      for (int j = 0; j < s; ++j) {
+        // Forbid roughly half the off-diagonal entries.
+        if (i != j && (i + 2 * j) % 3 == 0) mask[entry + i * s + j] = -1e9f;
+      }
+    }
+    entry += s * s;
+  }
+  return Tensor::FromVector({total}, mask);
+}
+
+TEST(GradCheck, AddRowColBlocks) {
+  SeedGlobalRng(60);
+  // Ragged blocks incl. a degenerate 1-node block and an empty block.
+  const std::vector<int> sizes = {3, 1, 0, 2};
+  Tensor col = Tensor::Randn({6, 1}, 1.0f, true);
+  Tensor row = Tensor::Randn({6}, 1.0f, true);
+  EXPECT_LT(MaxGradError(
+                [&] { return SmoothLoss(AddRowColBlocks(col, row, sizes)); },
+                {col, row}),
+            kTol);
+}
+
+TEST(GradCheck, AddRowColBlocksMatchesPerBlockAddRowCol) {
+  SeedGlobalRng(61);
+  const std::vector<int> sizes = {2, 1, 3};
+  Tensor col = Tensor::Randn({6, 1}, 1.0f);
+  Tensor row = Tensor::Randn({6}, 1.0f);
+  Tensor packed = AddRowColBlocks(col, row, sizes);
+  ASSERT_EQ(packed.size(), 4 + 1 + 9);
+  int node = 0;
+  int entry = 0;
+  for (int s : sizes) {
+    // Bit-identical to the per-graph fused outer sum on the same block.
+    Tensor ref = AddRowCol(SliceRows(col, node, s),
+                           Reshape(SliceRows(Reshape(row, {6, 1}), node, s), {s}));
+    for (int i = 0; i < s; ++i) {
+      for (int j = 0; j < s; ++j) {
+        EXPECT_EQ(packed.at(entry + i * s + j), ref.at(i, j))
+            << "block of size " << s << " at (" << i << "," << j << ")";
+      }
+    }
+    node += s;
+    entry += s * s;
+  }
+}
+
+TEST(GradCheck, SegmentMaskedSoftmax) {
+  SeedGlobalRng(62);
+  const std::vector<int> sizes = {3, 1, 0, 2};
+  Tensor mask = PackedNegMask(sizes);
+  Tensor a = Tensor::Randn({static_cast<int>(mask.size())}, 1.0f, true);
+  EXPECT_LT(MaxGradError(
+                [&] { return SmoothLoss(SegmentMaskedSoftmax(a, mask, sizes)); },
+                {a}),
+            kTol);
+}
+
+TEST(GradCheck, SegmentMaskedSoftmaxMatchesMaskedSoftmaxRows) {
+  SeedGlobalRng(63);
+  const std::vector<int> sizes = {4, 1, 2};
+  Tensor mask = PackedNegMask(sizes);
+  Tensor a = Tensor::Randn({static_cast<int>(mask.size())}, 1.0f);
+  Tensor packed = SegmentMaskedSoftmax(a, mask, sizes);
+  int entry = 0;
+  for (int s : sizes) {
+    // Bit-identical to the per-graph masked softmax on the same block.
+    Tensor block = Reshape(SliceRows(Reshape(a, {static_cast<int>(a.size()), 1}),
+                                     entry, s * s),
+                           {s, s});
+    Tensor mblock = Reshape(
+        SliceRows(Reshape(mask, {static_cast<int>(mask.size()), 1}), entry,
+                  s * s),
+        {s, s});
+    Tensor ref = MaskedSoftmaxRows(block, mblock);
+    for (int i = 0; i < s; ++i) {
+      for (int j = 0; j < s; ++j) {
+        EXPECT_EQ(packed.at(entry + i * s + j), ref.at(i, j))
+            << "block of size " << s << " at (" << i << "," << j << ")";
+      }
+    }
+    entry += s * s;
+  }
+}
+
+TEST(GradCheck, SegmentMaskedSoftmaxDegenerateOneNodeBlock) {
+  // A 1-node sub-graph's attention row is softmax of one logit: exactly 1.
+  SeedGlobalRng(64);
+  const std::vector<int> sizes = {1, 1};
+  Tensor a = Tensor::FromVector({2}, {3.5f, -2.0f});
+  Tensor mask = Tensor::Zeros({2});
+  Tensor out = SegmentMaskedSoftmax(a, mask, sizes);
+  EXPECT_EQ(out.at(0), 1.0f);
+  EXPECT_EQ(out.at(1), 1.0f);
+}
+
+TEST(GradCheck, BlockDiagMatmulBothSides) {
+  SeedGlobalRng(65);
+  const std::vector<int> sizes = {3, 1, 0, 2};
+  Tensor attn = Tensor::Randn({9 + 1 + 0 + 4}, 1.0f, true);
+  Tensor b = Tensor::Randn({6, 3}, 1.0f, true);
+  EXPECT_LT(MaxGradError(
+                [&] { return SmoothLoss(BlockDiagMatmul(attn, b, sizes)); },
+                {attn, b}),
+            kTol);
+}
+
+TEST(GradCheck, BlockDiagMatmulMatchesPerBlockMatmul) {
+  SeedGlobalRng(66);
+  const std::vector<int> sizes = {2, 1, 3};
+  Tensor attn = Tensor::Randn({4 + 1 + 9}, 1.0f);
+  Tensor b = Tensor::Randn({6, 4}, 1.0f);
+  Tensor out = BlockDiagMatmul(attn, b, sizes);
+  ASSERT_EQ(out.dim(0), 6);
+  ASSERT_EQ(out.dim(1), 4);
+  int node = 0;
+  int entry = 0;
+  for (int s : sizes) {
+    // Bit-identical to Matmul on the same block (same packed GEMM core).
+    Tensor ablock = Reshape(
+        SliceRows(Reshape(attn, {static_cast<int>(attn.size()), 1}), entry,
+                  s * s),
+        {s, s});
+    Tensor ref = Matmul(ablock, SliceRows(b, node, s));
+    for (int i = 0; i < s; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_EQ(out.at(node + i, j), ref.at(i, j))
+            << "block of size " << s << " at (" << i << "," << j << ")";
+      }
+    }
+    node += s;
+    entry += s * s;
+  }
+}
+
 TEST(GradCheck, PadAndUnpadRows) {
   SeedGlobalRng(58);
   Tensor a = Tensor::Randn({6, 3}, 1.0f, true);
