@@ -178,6 +178,70 @@ bool Run() {
   }
   const bool match = bad == 0 && seg_mismatches == 0 && max_ratio_diff <= 1e-5;
 
+  // --- overload: open-loop Poisson replay past capacity, ladder off vs on.
+  //
+  // Offered load is a multiple of the batched service's measured closed-loop
+  // capacity ON THIS RUN (so the section is self-calibrating across boxes),
+  // the queue is deliberately shallow, and every request carries a deadline.
+  // Policy OFF is the pre-PR6 behaviour: the only defence is queue-full
+  // shedding, and queued requests that outlive their budget are evicted at
+  // dequeue. Policy ON adds the degradation ladder: DEGRADED routes to the
+  // Linear+HMM fallback (answers flagged `degraded`), SHEDDING refuses
+  // admission before the queue is even full. The claims the CI gate checks
+  // (ci/check_bench.py): p99 of ANSWERED requests stays bounded by the
+  // deadline in both runs (deadline enforcement), and the shed rate with the
+  // ladder on is strictly below the ladder-off shed rate at the same offered
+  // load (degrading beats dropping).
+  const double capacity_rps = num_requests / serve_total_s;
+  const double offered_qps = 3.0 * capacity_rps;
+  const int overload_requests =
+      settings.scale == BenchScale::kTiny ? 240 : 480;
+  const double overload_deadline_ms = 250.0;
+
+  struct OverloadRun {
+    double total_s = 0.0;
+    serve::ServeStats stats;
+  };
+  const auto run_overload = [&](bool policy_on) {
+    serve::RecoveryServiceConfig scfg;
+    scfg.num_sessions = auto_sessions;
+    scfg.batcher.max_batch_size = 16;
+    scfg.batcher.max_batch_delay_us = 1000;
+    scfg.batcher.max_queue_depth = 32;  // shallow: overload bites quickly
+    scfg.cache_radii = {mcfg.delta, mcfg.decoder.mask_radius,
+                        mcfg.decoder.spatial_prior_radius};
+    scfg.prefetch_radii = {mcfg.delta};
+    scfg.max_dijkstra_rows = 1024;
+    scfg.warm_model = false;
+    scfg.policy.enabled = policy_on;
+    serve::RecoveryService service(&model, ctx, scfg);
+    auto overload_workload = serve::PoissonWorkload(
+        ds->test(), overload_requests, offered_qps, /*seed=*/21);
+    std::vector<std::future<serve::RecoveryResponse>> futures;
+    futures.reserve(overload_workload.size());
+    const auto s0 = std::chrono::steady_clock::now();
+    for (auto& item : overload_workload) {
+      // Open loop: arrivals follow the Poisson schedule regardless of how
+      // far behind the service is — that is what overload means.
+      std::this_thread::sleep_until(
+          s0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(item.arrival_s)));
+      serve::RecoveryRequest req = item.request;
+      req.deadline_ms = overload_deadline_ms;
+      futures.push_back(service.Submit(std::move(req)));
+    }
+    for (auto& f : futures) f.get();
+    OverloadRun run;
+    run.total_s = Seconds(s0);
+    run.stats = service.Stats();
+    return run;
+  };
+  const OverloadRun ladder_off = run_overload(/*policy_on=*/false);
+  const OverloadRun ladder_on = run_overload(/*policy_on=*/true);
+  const auto rate = [&](int64_t n) {
+    return static_cast<double>(n) / overload_requests;
+  };
+
   const serve::ServeStats stats = batched.stats;
   TablePrinter table({"Configuration", "req/s", "p50 ms", "p99 ms", "total s"},
                      34, 11);
@@ -226,6 +290,37 @@ bool Run() {
               "ratio diff %.2e, failed %d)\n",
               match ? "yes" : "NO", seg_mismatches, max_ratio_diff, bad);
 
+  TablePrinter otable({"Overload (ladder)", "answered", "degraded", "shed",
+                       "missed", "p99 ms"},
+                      22, 10);
+  otable.PrintTitle(
+      "Overload: " + std::to_string(overload_requests) + " requests at " +
+      TablePrinter::Num(offered_qps, 0) + " qps offered (3x capacity), " +
+      TablePrinter::Num(overload_deadline_ms, 0) + " ms deadline, queue 32");
+  otable.PrintHeader();
+  const auto overload_row = [&](const char* name, const OverloadRun& run) {
+    otable.PrintRow(
+        {name,
+         std::to_string(run.stats.ok + run.stats.degraded),
+         std::to_string(run.stats.degraded), std::to_string(run.stats.shed),
+         std::to_string(run.stats.deadline_missed),
+         TablePrinter::Num(run.stats.p99_ms, 2)});
+  };
+  overload_row("policy off", ladder_off);
+  overload_row("policy on", ladder_on);
+  std::printf("shed rate: %.1f%% off -> %.1f%% on; ladder entered degraded "
+              "%lld times, shedding %lld times; answered p99 within the %.0f "
+              "ms deadline: %s\n",
+              100.0 * rate(ladder_off.stats.shed),
+              100.0 * rate(ladder_on.stats.shed),
+              static_cast<long long>(ladder_on.stats.policy_entered_degraded),
+              static_cast<long long>(ladder_on.stats.policy_entered_shedding),
+              overload_deadline_ms,
+              ladder_off.stats.p99_ms <= overload_deadline_ms &&
+                      ladder_on.stats.p99_ms <= overload_deadline_ms
+                  ? "yes"
+                  : "NO");
+
   // Machine-readable record for CI: RNTR_BENCH_JSON names a file to write a
   // BENCH_*.json-style summary to. The CI bench job uploads it as an
   // artifact and gates on it (divergence, or a large throughput regression
@@ -258,7 +353,36 @@ bool Run() {
          << "  \"max_ratio_diff\": " << max_ratio_diff << ",\n"
          << "  \"failed_requests\": " << bad << ",\n"
          << "  \"served_matches_sequential\": " << (match ? "true" : "false")
-         << "\n}\n";
+         << ",\n"
+         << "  \"overload_requests\": " << overload_requests << ",\n"
+         << "  \"overload_offered_qps\": " << offered_qps << ",\n"
+         << "  \"overload_deadline_ms\": " << overload_deadline_ms << ",\n"
+         << "  \"overload_policy_off_answered\": "
+         << ladder_off.stats.ok + ladder_off.stats.degraded << ",\n"
+         << "  \"overload_policy_off_shed_rate\": "
+         << rate(ladder_off.stats.shed) << ",\n"
+         << "  \"overload_policy_off_deadline_miss_rate\": "
+         << rate(ladder_off.stats.deadline_missed) << ",\n"
+         << "  \"overload_policy_off_p50_ms\": " << ladder_off.stats.p50_ms
+         << ",\n"
+         << "  \"overload_policy_off_p99_ms\": " << ladder_off.stats.p99_ms
+         << ",\n"
+         << "  \"overload_policy_on_answered\": "
+         << ladder_on.stats.ok + ladder_on.stats.degraded << ",\n"
+         << "  \"overload_policy_on_shed_rate\": "
+         << rate(ladder_on.stats.shed) << ",\n"
+         << "  \"overload_policy_on_degraded_rate\": "
+         << rate(ladder_on.stats.degraded) << ",\n"
+         << "  \"overload_policy_on_deadline_miss_rate\": "
+         << rate(ladder_on.stats.deadline_missed) << ",\n"
+         << "  \"overload_policy_on_p50_ms\": " << ladder_on.stats.p50_ms
+         << ",\n"
+         << "  \"overload_policy_on_p99_ms\": " << ladder_on.stats.p99_ms
+         << ",\n"
+         << "  \"overload_policy_on_entered_degraded\": "
+         << ladder_on.stats.policy_entered_degraded << ",\n"
+         << "  \"overload_policy_on_entered_shedding\": "
+         << ladder_on.stats.policy_entered_shedding << "\n}\n";
     json.flush();
     if (!json.good()) {
       std::fprintf(stderr, "FAILED writing JSON record to %s\n", json_path);

@@ -3,29 +3,77 @@
 
 Usage: check_bench.py <produced.json> <committed_baseline.json>
 
-Fails (exit 1) when either:
+Fails (exit 1) when any of:
   * the bench reports batched-vs-sequential divergence
     (served_matches_sequential false, seg mismatches, or failed requests) —
     a correctness break, no tolerance;
   * the batched service throughput regressed by more than 2x against the
-    committed baseline's record at the same scale.
+    committed baseline's record at the same scale;
+  * the overload section breaks one of the robustness layer's own
+    invariants (these compare the produced run against ITSELF, so they are
+    immune to runner-speed differences):
+      - answered-request p99 must stay bounded by the request deadline in
+        both ladder configurations (deadline enforcement is by construction:
+        an answer whose budget expired is delivered deadline-missed);
+      - the ladder-off run must actually shed (offered load is 3x the
+        capacity measured in the same run — if nothing sheds, the overload
+        section is not overloading and proves nothing);
+      - the ladder-on shed rate must be strictly below the ladder-off shed
+        rate at the same offered load (degrading beats dropping).
 
-The 2x threshold is deliberately tolerant: the committed baseline was
-recorded on a different box (1 core, -march=native) than the CI runner, and
-the tiny-scale run sits well inside scheduler noise — this gate only catches
-"the batched path fell off a cliff" regressions, not percent-level drift.
-Tighten it only alongside a runner-recorded baseline.
+The 2x throughput threshold is deliberately tolerant: the committed baseline
+was recorded on a different box (1 core, -march=native) than the CI runner,
+and the tiny-scale run sits well inside scheduler noise — this gate only
+catches "the batched path fell off a cliff" regressions, not percent-level
+drift. Tighten it only alongside a runner-recorded baseline. The p99-vs-
+deadline check carries a small slack for the delivery hop between the
+post-forward deadline check and the latency stamp.
 """
 
 import json
 import sys
 
 REGRESSION_FACTOR = 2.0
+DEADLINE_SLACK = 1.10
 
 
 def fail(msg: str) -> None:
     print(f"::error::bench gate: {msg}")
     sys.exit(1)
+
+
+def check_overload(produced: dict) -> None:
+    deadline_ms = float(produced["overload_deadline_ms"])
+    bound = deadline_ms * DEADLINE_SLACK
+    for cfg in ("off", "on"):
+        answered = int(produced[f"overload_policy_{cfg}_answered"])
+        p99 = float(produced[f"overload_policy_{cfg}_p99_ms"])
+        if answered > 0 and p99 > bound:
+            fail(
+                f"overload policy-{cfg} answered p99 {p99:.1f} ms exceeds "
+                f"the {deadline_ms:.0f} ms deadline (x{DEADLINE_SLACK} slack)"
+            )
+    shed_off = float(produced["overload_policy_off_shed_rate"])
+    shed_on = float(produced["overload_policy_on_shed_rate"])
+    if shed_off <= 0.0:
+        fail(
+            "overload section did not overload: the ladder-off run shed "
+            "nothing at 3x measured capacity (queue depth 32)"
+        )
+    if shed_on >= shed_off:
+        fail(
+            "degradation ladder did not reduce shedding: shed rate "
+            f"{shed_on:.3f} with the ladder on vs {shed_off:.3f} off "
+            "at the same offered load"
+        )
+    print(
+        f"overload gate OK: shed rate {shed_off:.3f} (ladder off) -> "
+        f"{shed_on:.3f} (ladder on), degraded rate "
+        f"{float(produced['overload_policy_on_degraded_rate']):.3f}, "
+        f"answered p99 {float(produced['overload_policy_off_p99_ms']):.1f} / "
+        f"{float(produced['overload_policy_on_p99_ms']):.1f} ms vs "
+        f"{deadline_ms:.0f} ms deadline"
+    )
 
 
 def main() -> None:
@@ -60,6 +108,14 @@ def main() -> None:
             f"{key} regressed >{REGRESSION_FACTOR}x vs committed baseline: "
             f"{got:.1f} rps vs {want:.1f} rps"
         )
+
+    if "overload_deadline_ms" in produced:
+        check_overload(produced)
+    elif "overload_deadline_ms" in baseline:
+        # The baseline records an overload section, so the bench must still
+        # produce one — losing the section silently would un-gate PR 6's
+        # robustness invariants.
+        fail("bench record is missing its overload section")
 
     print(
         f"bench gate OK: {key} {got:.1f} rps "

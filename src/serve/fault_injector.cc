@@ -1,0 +1,52 @@
+#include "src/serve/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+namespace rntraj {
+namespace serve {
+
+namespace {
+
+/// splitmix64 — the standard 64-bit finalising mixer; full avalanche, so
+/// consecutive request ids decorrelate.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool FaultInjector::Decide(uint64_t id, uint64_t salt,
+                           double probability) const {
+  if (probability <= 0.0) return false;
+  const uint64_t h = Mix(Mix(cfg_.seed ^ salt) ^ id);
+  // Map the top 53 bits to [0, 1): exact for probability = 1.0.
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0 /* 2^53 */);
+  if (u >= probability) return false;
+  if (cfg_.max_faults >= 0) {
+    // Spend one unit of budget; losers of the fetch_add race past the cap
+    // put their unit back conceptually by simply not faulting (the counter
+    // overshoot is harmless — faults_injected() reports the clamped value).
+    const int64_t n = injected_.fetch_add(1, std::memory_order_relaxed);
+    if (n >= cfg_.max_faults) {
+      injected_.store(cfg_.max_faults, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::MaybeStall(uint64_t batch_seq) const {
+  if (cfg_.stall_ms <= 0) return;
+  if (!Decide(batch_seq, kStallSalt, cfg_.stall_probability)) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg_.stall_ms));
+}
+
+}  // namespace serve
+}  // namespace rntraj

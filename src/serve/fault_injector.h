@@ -1,0 +1,101 @@
+#ifndef RNTRAJ_SERVE_FAULT_INJECTOR_H_
+#define RNTRAJ_SERVE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+
+/// \file fault_injector.h
+/// Deterministic fault injection for the serving subsystem — the chaos hook
+/// behind serve_chaos_test. Three faults, all config-driven:
+///
+///   * throw  — a request's forward throws FaultInjected inside the model
+///              call, exercising the session's fault isolation (only that
+///              request's future may be poisoned);
+///   * stall  — a session sleeps before running a batch, simulating a wedged
+///              forward (deadline propagation and the degradation ladder
+///              must absorb it);
+///   * expire — a request's deadline is forced already-expired at dispatch.
+///
+/// Decisions are PER REQUEST ID (or batch sequence number) via a seeded
+/// hash, not via a shared RNG stream: which requests fault is a pure
+/// function of (seed, id), independent of thread interleaving — chaos runs
+/// are reproducible under TSan's scheduler and across session counts.
+/// `max_faults` bounds the total injections, which is how tests model "the
+/// fault clears": after the budget is spent the injector goes quiet and the
+/// service must recover to OK.
+
+namespace rntraj {
+namespace serve {
+
+/// The exception injected throws. A subclass of std::runtime_error so the
+/// session's generic isolation path (catch std::exception) handles it like
+/// any real model failure.
+class FaultInjected : public std::runtime_error {
+ public:
+  FaultInjected() : std::runtime_error("injected fault: forward throw") {}
+};
+
+/// Injection knobs; all probabilities in [0, 1], all default off.
+struct FaultInjectorConfig {
+  uint64_t seed = 0;
+  double throw_probability = 0.0;   ///< Forward throws for this request.
+  double stall_probability = 0.0;   ///< Session stalls before this batch.
+  int stall_ms = 0;                 ///< Stall duration.
+  double expire_probability = 0.0;  ///< Deadline forced expired at dispatch.
+  /// Total injections (across all fault kinds) before the injector goes
+  /// quiet; < 0 = unlimited. The "fault clears" knob.
+  int64_t max_faults = -1;
+
+  bool any_enabled() const {
+    return throw_probability > 0.0 || stall_probability > 0.0 ||
+           expire_probability > 0.0;
+  }
+};
+
+/// Thread-safe (const methods + atomic budget/counters).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectorConfig& config) : cfg_(config) {}
+
+  bool enabled() const { return cfg_.any_enabled(); }
+
+  /// Throws FaultInjected when request `id` is targeted. Sessions call this
+  /// inside the same try block as the model forward, so the injected throw
+  /// is indistinguishable from the model itself throwing.
+  void OnForward(uint64_t id) const {
+    if (Decide(id, kThrowSalt, cfg_.throw_probability)) {
+      throw FaultInjected();
+    }
+  }
+
+  /// Sleeps stall_ms when batch `batch_seq` is targeted.
+  void MaybeStall(uint64_t batch_seq) const;
+
+  /// True when request `id`'s deadline should be treated as expired.
+  bool ShouldExpire(uint64_t id) const {
+    return Decide(id, kExpireSalt, cfg_.expire_probability);
+  }
+
+  /// Faults actually injected so far (tests assert the chaos really fired).
+  int64_t faults_injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr uint64_t kThrowSalt = 0x7477726f;
+  static constexpr uint64_t kStallSalt = 0x7374616c;
+  static constexpr uint64_t kExpireSalt = 0x65787069;
+
+  /// Deterministic per-(seed, id, salt) Bernoulli draw; consumes one unit of
+  /// the fault budget when it fires.
+  bool Decide(uint64_t id, uint64_t salt, double probability) const;
+
+  FaultInjectorConfig cfg_;
+  mutable std::atomic<int64_t> injected_{0};
+};
+
+}  // namespace serve
+}  // namespace rntraj
+
+#endif  // RNTRAJ_SERVE_FAULT_INJECTOR_H_

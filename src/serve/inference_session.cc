@@ -1,6 +1,7 @@
 #include "src/serve/inference_session.h"
 
 #include <chrono>
+#include <exception>
 #include <string>
 #include <utility>
 
@@ -17,6 +18,16 @@ double MsSince(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+std::string DescribeException() {
+  try {
+    throw;  // rethrow the in-flight exception to classify it
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
 }  // namespace
 
 void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch) {
@@ -26,10 +37,25 @@ void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch) {
   // see a consistent batches/requests pair.
   batches_.fetch_add(1, std::memory_order_relaxed);
 
+  // Chaos hook: a stalled session (wedged forward, page fault storm, ...).
+  // Keyed on the first request's id so which batches stall is deterministic
+  // per request stream, independent of which session popped them.
+  if (injector_ != nullptr && !batch.empty()) {
+    injector_->MaybeStall(batch.front().id);
+  }
+
+  // The degradation decision is per batch: when the ladder is off OK, valid
+  // requests run the cheap fallback path instead of the full model.
+  const bool degraded = policy_ != nullptr && fallback_ != nullptr &&
+                        policy_->state() != PolicyState::kOk;
+
   // Batch-level cache warmup: one pass over every input point of the batch
   // per radius, so overlapping requests share the R-tree work (and the
-  // per-request forwards below run almost entirely on cache hits).
-  if (cache_ != nullptr && !prefetch_radii_.empty()) {
+  // per-request forwards below run almost entirely on cache hits). The
+  // fallback path queries the R-tree directly, so a degraded batch skips
+  // the warmup — it would be pure overhead at exactly the moment the
+  // service is shedding cost.
+  if (!degraded && cache_ != nullptr && !prefetch_radii_.empty()) {
     std::vector<Vec2> points;
     for (const QueuedRequest& q : batch) {
       for (const auto& p : q.request.input.points) points.push_back(p.pos);
@@ -37,12 +63,15 @@ void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch) {
     for (double r : prefetch_radii_) cache_->Prefetch(points, r);
   }
 
-  // Validate and build the ephemeral samples of the batch's valid remainder
-  // up front (shared by both forward modes below).
+  // Triage every request up front: validation, injected deadline expiry,
+  // and the dispatch-time budget check (the batcher evicted requests that
+  // were already dead at dequeue; time has passed since — prefetch, stalls).
+  // Only the surviving remainder is converted to ephemeral samples.
   std::vector<RecoveryResponse> responses(batch.size());
   std::vector<TrajectorySample> samples;
   std::vector<int> sample_of(batch.size(), -1);  ///< Request -> sample index.
   samples.reserve(batch.size());
+  const auto dispatch_now = std::chrono::steady_clock::now();
   for (size_t i = 0; i < batch.size(); ++i) {
     QueuedRequest& q = batch[i];
     responses[i].batch_size = batch_size;
@@ -51,55 +80,131 @@ void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch) {
                                 batch_start - q.enqueued_at)
                                 .count();
     std::string error;
-    if (ValidateRequest(q.request, &error)) {
+    if (injector_ != nullptr && injector_->ShouldExpire(q.id)) {
+      q.deadline_at = dispatch_now - std::chrono::milliseconds(1);
+    }
+    if (!ValidateRequest(q.request, &error)) {
+      responses[i].kind = ResponseKind::kValidationError;
+      responses[i].error = std::move(error);
+    } else if (q.expired(dispatch_now)) {
+      responses[i].kind = ResponseKind::kDeadlineMissed;
+      responses[i].error = "deadline exceeded";
+    } else {
       sample_of[i] = static_cast<int>(samples.size());
       samples.push_back(
           MakeEphemeralSample(std::move(q.request.input),
                               std::move(q.request.input_indices),
                               q.request.target_times));
-    } else {
-      responses[i].error = std::move(error);
     }
   }
 
-  if (batched_forward_ && !samples.empty()) {
+  // One lane's outcome, fault-isolated: `run` computes the recovery for
+  // request i; a throw poisons only responses[i], never the worker thread
+  // or the batch's other lanes.
+  const auto run_isolated = [&](size_t i, auto&& run) {
+    const auto infer_start = std::chrono::steady_clock::now();
+    try {
+      responses[i].recovered = run();
+      responses[i].infer_ms = MsSince(infer_start);
+      responses[i].ok = true;
+      responses[i].kind = ResponseKind::kOk;
+      responses[i].degraded = degraded;
+      requests_.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      responses[i].kind = ResponseKind::kInternalError;
+      responses[i].error = "internal error: " + DescribeException();
+      responses[i].infer_ms = MsSince(infer_start);
+      faults_.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  if (degraded) {
+    // Degraded rung: linear interpolation + HMM map matching (the existing
+    // two-stage baseline) instead of the full model. Much cheaper — the
+    // point is to keep the queue draining under overload — and flagged so
+    // callers know what they got.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (sample_of[i] < 0) continue;
+      run_isolated(i, [&] { return fallback_->Recover(samples[sample_of[i]]); });
+    }
+  } else if (batched_forward_ && !samples.empty()) {
     // One cross-request forward for the coalesced batch: RecoverBatch runs
     // a single padded encoder pass plus one fat decoder step per target
-    // timestep when the model supports a batched forward (and falls back to
-    // a per-sample loop when it does not). infer_ms reports each
-    // request's share of the batch forward; promises necessarily resolve
-    // together — the batch shares one encoder pass.
+    // timestep when the model supports a batched forward. infer_ms reports
+    // each request's share of the batch forward; promises necessarily
+    // resolve together — the batch shares one encoder pass.
     std::vector<const TrajectorySample*> ptrs;
     ptrs.reserve(samples.size());
     for (const TrajectorySample& s : samples) ptrs.push_back(&s);
     const auto infer_start = std::chrono::steady_clock::now();
-    std::vector<MatchedTrajectory> recovered = model_->RecoverBatch(ptrs);
-    const double per_request_ms =
-        MsSince(infer_start) / static_cast<double>(samples.size());
+    bool batch_ok = false;
+    try {
+      if (injector_ != nullptr) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+          if (sample_of[i] >= 0) injector_->OnForward(batch[i].id);
+        }
+      }
+      std::vector<MatchedTrajectory> recovered = model_->RecoverBatch(ptrs);
+      const double per_request_ms =
+          MsSince(infer_start) / static_cast<double>(samples.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (sample_of[i] < 0) continue;
+        responses[i].recovered = std::move(recovered[sample_of[i]]);
+        responses[i].infer_ms = per_request_ms;
+        responses[i].ok = true;
+        responses[i].kind = ResponseKind::kOk;
+      }
+      requests_.fetch_add(static_cast<int64_t>(samples.size()),
+                          std::memory_order_relaxed);
+      batch_ok = true;
+    } catch (...) {
+      // The shared forward threw, so no lane has an answer yet. Isolate by
+      // retrying request by request: only the lane(s) whose forward throws
+      // again are poisoned; the rest still get correct (per-sample-path)
+      // answers.
+      faults_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!batch_ok) {
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (sample_of[i] < 0) continue;
+        run_isolated(i, [&] {
+          if (injector_ != nullptr) injector_->OnForward(batch[i].id);
+          return model_->Recover(samples[sample_of[i]]);
+        });
+      }
+    }
+  } else {
+    // Per-request reference path (config batched_forward = false): each
+    // forward runs in its own isolated lane, resolving as soon as it is
+    // done — preserving the pre-batched-forward latency behaviour.
     for (size_t i = 0; i < batch.size(); ++i) {
       if (sample_of[i] < 0) continue;
-      responses[i].recovered = std::move(recovered[sample_of[i]]);
-      responses[i].infer_ms = per_request_ms;
-      responses[i].ok = true;
+      run_isolated(i, [&] {
+        if (injector_ != nullptr) injector_->OnForward(batch[i].id);
+        return model_->Recover(samples[sample_of[i]]);
+      });
     }
-    requests_.fetch_add(static_cast<int64_t>(samples.size()),
-                        std::memory_order_relaxed);
+  }
+
+  // Post-forward budget check: an answer whose deadline passed while the
+  // forward ran is NOT delivered as a success — the caller has stopped
+  // waiting, and reporting it ok would hide the miss from the ladder.
+  {
+    const auto after = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (responses[i].kind == ResponseKind::kOk && batch[i].expired(after)) {
+        responses[i].ok = false;
+        responses[i].kind = ResponseKind::kDeadlineMissed;
+        responses[i].error = "deadline exceeded";
+        responses[i].recovered = MatchedTrajectory();
+      }
+    }
   }
 
   for (size_t i = 0; i < batch.size(); ++i) {
-    if (!batched_forward_ && sample_of[i] >= 0) {
-      // Per-request reference path (config batched_forward = false): each
-      // forward runs here so its promise resolves as soon as it is done,
-      // preserving the pre-batched-forward latency behaviour.
-      const auto infer_start = std::chrono::steady_clock::now();
-      responses[i].recovered = model_->Recover(samples[sample_of[i]]);
-      responses[i].infer_ms = MsSince(infer_start);
-      responses[i].ok = true;
-      requests_.fetch_add(1, std::memory_order_relaxed);
-    }
     // Record completion before resolving the future: a caller that returns
     // from future.get() must already see itself in Stats().
-    if (on_complete_) on_complete_(MsSince(batch[i].enqueued_at));
+    if (on_complete_) on_complete_(responses[i], MsSince(batch[i].enqueued_at));
     batch[i].promise.set_value(std::move(responses[i]));
   }
   busy_seconds_.fetch_add(MsSince(batch_start) / 1000.0,

@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "src/core/model_api.h"
+#include "src/serve/fault_injector.h"
 #include "src/serve/micro_batcher.h"
 #include "src/serve/roadnet_cache.h"
+#include "src/serve/service_policy.h"
 
 /// \file inference_session.h
 /// One re-entrant model session: the per-worker execution context that turns
@@ -18,6 +20,12 @@
 /// must be per-thread: the buffer-pool scope its worker runs under, scratch
 /// conversion state, and telemetry. Sessions never touch each other; all
 /// cross-request sharing happens through the roadnet caches.
+///
+/// Robustness contract (PR 6): a session NEVER lets a fault escape a
+/// request's lane. A throwing forward poisons only that request's future
+/// (error response, counted) — the worker thread survives and the batch's
+/// other lanes still get correct answers. Every popped request's promise is
+/// resolved exactly once, on every path.
 
 namespace rntraj {
 namespace serve {
@@ -26,6 +34,7 @@ namespace serve {
 struct SessionStats {
   int64_t batches = 0;
   int64_t requests = 0;       ///< Successfully answered requests.
+  int64_t faults = 0;         ///< Forwards that threw (isolated per lane).
   double busy_seconds = 0.0;  ///< Time spent inside ProcessBatch.
 };
 
@@ -34,28 +43,38 @@ class InferenceSession {
  public:
   /// `cache` may be null (caching disabled). `prefetch_radii` lists the
   /// radii warmed over the batch's input points before the forwards run.
-  /// `on_complete(total_ms)` fires after each response is delivered (the
-  /// service records end-to-end latency there); may be empty.
-  /// `batched_forward` routes each micro-batch through the model's
-  /// RecoverBatch (one padded encoder pass per batch plus batched decoder
-  /// steps when the model supports it) instead of per-request forwards.
-  InferenceSession(int id, RecoveryModel* model,
-                   const CellCandidateCache* cache,
-                   std::vector<double> prefetch_radii,
-                   std::function<void(double)> on_complete,
-                   bool batched_forward = true)
+  /// `on_complete(resp, total_ms)` fires after each response is delivered
+  /// (the service classifies the outcome and records end-to-end latency
+  /// there); may be empty. `batched_forward` routes each micro-batch through
+  /// the model's RecoverBatch (one padded encoder pass per batch) instead of
+  /// per-request forwards. `policy` (may be null) is consulted per batch:
+  /// when the ladder is off OK, valid requests run the cheap `fallback`
+  /// model (may be null = no degraded rung) instead of the full model.
+  /// `injector` (may be null) is the chaos hook.
+  InferenceSession(
+      int id, RecoveryModel* model, const CellCandidateCache* cache,
+      std::vector<double> prefetch_radii,
+      std::function<void(const RecoveryResponse&, double)> on_complete,
+      bool batched_forward = true, const ServicePolicy* policy = nullptr,
+      RecoveryModel* fallback = nullptr,
+      const FaultInjector* injector = nullptr)
       : id_(id),
         model_(model),
         cache_(cache),
         prefetch_radii_(std::move(prefetch_radii)),
         on_complete_(std::move(on_complete)),
-        batched_forward_(batched_forward) {}
+        batched_forward_(batched_forward),
+        policy_(policy),
+        fallback_(fallback),
+        injector_(injector) {}
 
   /// Runs the batch through the model — one batched forward when enabled,
   /// else request by request — and fulfils the promises. Invalid requests
-  /// get ok=false responses; the batch's valid remainder still runs. Caller
-  /// must hold a BufferPoolScope on the worker thread (the service's worker
-  /// loop does).
+  /// get ok=false responses and expired requests deadline-missed responses;
+  /// the batch's valid remainder still runs. A throwing forward is isolated
+  /// to its request (internal-error response), never the worker thread.
+  /// Caller must hold a BufferPoolScope on the worker thread (the service's
+  /// worker loop does).
   void ProcessBatch(std::vector<QueuedRequest>&& batch);
 
   int id() const { return id_; }
@@ -65,6 +84,7 @@ class InferenceSession {
     SessionStats s;
     s.batches = batches_.load(std::memory_order_relaxed);
     s.requests = requests_.load(std::memory_order_relaxed);
+    s.faults = faults_.load(std::memory_order_relaxed);
     s.busy_seconds = busy_seconds_.load(std::memory_order_relaxed);
     return s;
   }
@@ -74,10 +94,14 @@ class InferenceSession {
   RecoveryModel* model_;
   const CellCandidateCache* cache_;
   std::vector<double> prefetch_radii_;
-  std::function<void(double)> on_complete_;
+  std::function<void(const RecoveryResponse&, double)> on_complete_;
   bool batched_forward_;
+  const ServicePolicy* policy_;
+  RecoveryModel* fallback_;
+  const FaultInjector* injector_;
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> faults_{0};
   std::atomic<double> busy_seconds_{0.0};
 };
 

@@ -1,6 +1,7 @@
 #include "src/serve/micro_batcher.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace rntraj {
 namespace serve {
@@ -10,6 +11,13 @@ bool MicroBatcher::Push(QueuedRequest&& req) {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_ || queue_.size() >= cfg_.max_queue_depth) return false;
     req.enqueued_at = std::chrono::steady_clock::now();
+    if (req.request.deadline_ms > 0.0) {
+      req.deadline_at =
+          req.enqueued_at + std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(
+                                std::chrono::duration<double, std::milli>(
+                                    req.request.deadline_ms));
+    }
     queue_.push_back(std::move(req));
   }
   nonempty_.notify_one();
@@ -17,10 +25,36 @@ bool MicroBatcher::Push(QueuedRequest&& req) {
 }
 
 std::vector<QueuedRequest> MicroBatcher::PopBatch() {
+  // Expired requests evicted this round; resolved through the handler with
+  // the lock DROPPED (set_value wakes waiting callers) before any further
+  // blocking — an evicted request's immediate response must not wait out
+  // another coalescing round.
+  std::vector<QueuedRequest> expired;
+  const auto flush_expired = [&](std::unique_lock<std::mutex>& lock) {
+    if (expired.empty()) return;
+    lock.unlock();
+    for (QueuedRequest& q : expired) on_expired_(std::move(q));
+    expired.clear();
+    lock.lock();
+  };
+
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
+    flush_expired(lock);
     nonempty_.wait(lock, [&] { return !queue_.empty() || shutdown_; });
     if (queue_.empty()) return {};  // shut down and drained
+
+    // Deadline eviction at dequeue: a request that is already dead gets an
+    // immediate deadline-exceeded response instead of a batch slot — and,
+    // critically, instead of anchoring the coalescing deadline below.
+    if (on_expired_) {
+      const auto now = std::chrono::steady_clock::now();
+      while (!queue_.empty() && queue_.front().expired(now)) {
+        expired.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      if (queue_.empty()) continue;  // everything queued was dead
+    }
 
     // Coalesce: the batch's deadline is anchored on the *oldest* request so
     // a request never waits more than max_batch_delay_us in a forming batch.
@@ -39,17 +73,29 @@ std::vector<QueuedRequest> MicroBatcher::PopBatch() {
     // caller, so go back to waiting instead of returning one spuriously.
     if (queue_.empty()) continue;
 
-    const size_t take =
-        std::min(queue_.size(), static_cast<size_t>(cfg_.max_batch_size));
+    // Take up to max_batch_size live requests, evicting any that died while
+    // the batch coalesced.
     std::vector<QueuedRequest> batch;
-    batch.reserve(take);
-    for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
+    batch.reserve(std::min(queue_.size(),
+                           static_cast<size_t>(cfg_.max_batch_size)));
+    const auto now = std::chrono::steady_clock::now();
+    while (!queue_.empty() &&
+           static_cast<int>(batch.size()) < cfg_.max_batch_size) {
+      QueuedRequest q = std::move(queue_.front());
       queue_.pop_front();
+      if (on_expired_ && q.expired(now)) {
+        expired.push_back(std::move(q));
+      } else {
+        batch.push_back(std::move(q));
+      }
     }
+    if (batch.empty()) continue;  // the whole take was dead; flush, re-wait
+
     // Push's notify_one may all have landed on this (already awake)
     // consumer while it coalesced; hand leftover work to a sleeping sibling.
     if (!queue_.empty()) nonempty_.notify_one();
+    lock.unlock();
+    for (QueuedRequest& q : expired) on_expired_(std::move(q));
     return batch;
   }
 }

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <vector>
@@ -38,6 +39,14 @@ struct QueuedRequest {
   RecoveryRequest request;
   std::promise<RecoveryResponse> promise;
   std::chrono::steady_clock::time_point enqueued_at;
+  /// Absolute deadline (enqueued_at + request.deadline_ms); time_point::max()
+  /// when the request carries no deadline. Stamped by Push.
+  std::chrono::steady_clock::time_point deadline_at =
+      std::chrono::steady_clock::time_point::max();
+
+  bool expired(std::chrono::steady_clock::time_point now) const {
+    return now >= deadline_at;
+  }
 };
 
 /// Thread-safe micro-batching queue. Producers Push from any thread;
@@ -47,16 +56,31 @@ class MicroBatcher {
  public:
   explicit MicroBatcher(const MicroBatcherConfig& config) : cfg_(config) {}
 
-  /// Enqueues one request (stamps `enqueued_at`). Returns false — leaving
-  /// `req` untouched-but-moved-from only on success — when the queue is full
-  /// or shut down.
+  /// Enqueues one request (stamps `enqueued_at` and `deadline_at`). Returns
+  /// false — leaving `req` untouched-but-moved-from only on success — when
+  /// the queue is full or shut down.
   bool Push(QueuedRequest&& req);
 
   /// Blocks until at least one request is available, then coalesces: returns
   /// up to max_batch_size requests, waiting at most max_batch_delay_us past
   /// the oldest request's enqueue time for the batch to fill. An empty
   /// result means the batcher was shut down and fully drained.
+  ///
+  /// Requests whose deadline already expired are evicted here — handed to
+  /// the expired handler (below) instead of wasting a batch slot. Eviction
+  /// happens at dequeue only: expired requests deeper in the queue keep
+  /// their slot until a consumer reaches them (scanning the whole queue per
+  /// pop would make PopBatch O(depth)).
   std::vector<QueuedRequest> PopBatch();
+
+  /// Installs the deadline-eviction sink: PopBatch hands already-expired
+  /// requests to `handler` (outside the queue lock) instead of returning
+  /// them. Without a handler, expired requests are returned in the batch
+  /// and the consumer applies its own deadline check. Not thread-safe: set
+  /// before consumers start.
+  void SetExpiredHandler(std::function<void(QueuedRequest&&)> handler) {
+    on_expired_ = std::move(handler);
+  }
 
   /// Stops admissions; queued requests remain poppable until drained.
   void Shutdown();
@@ -68,6 +92,7 @@ class MicroBatcher {
 
  private:
   MicroBatcherConfig cfg_;
+  std::function<void(QueuedRequest&&)> on_expired_;
   mutable std::mutex mu_;
   std::condition_variable nonempty_;
   std::deque<QueuedRequest> queue_;

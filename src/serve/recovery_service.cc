@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "src/baselines/two_stage.h"
 #include "src/serve/workload.h"
 #include "src/sim/dataset.h"
 #include "src/tensor/buffer_pool.h"
@@ -45,11 +46,31 @@ RecoveryService::RecoveryService(RecoveryModel* model, const ModelContext& ctx,
     model_->BeginInference();
   }
 
-  auto on_complete = [this](double total_ms) { RecordLatency(total_ms); };
+  if (cfg_.policy.enabled) {
+    policy_ = std::make_unique<ServicePolicy>(cfg_.policy,
+                                              cfg_.batcher.max_queue_depth);
+    // The degraded rung: linear interpolation + HMM map matching (the
+    // existing two-stage baseline). Non-learned, stateless per call, and
+    // re-entrant — sessions share one instance.
+    fallback_ = std::make_unique<LinearHmmModel>(ctx, cfg_.fallback_hmm);
+  }
+  if (cfg_.fault.any_enabled()) {
+    injector_ = std::make_unique<FaultInjector>(cfg_.fault);
+  }
+
+  // Deadline eviction at dequeue: expired requests get their immediate
+  // response here instead of a batch slot.
+  batcher_.SetExpiredHandler(
+      [this](QueuedRequest&& q) { ResolveExpired(std::move(q)); });
+
+  auto on_complete = [this](const RecoveryResponse& resp, double total_ms) {
+    RecordCompletion(resp, total_ms);
+  };
   for (int i = 0; i < cfg_.num_sessions; ++i) {
     sessions_.push_back(std::make_unique<InferenceSession>(
         i, model_, cache_.get(), cfg_.prefetch_radii, on_complete,
-        cfg_.batched_forward));
+        cfg_.batched_forward, policy_.get(), fallback_.get(),
+        injector_.get()));
   }
   workers_.reserve(sessions_.size());
   for (auto& session : sessions_) {
@@ -83,6 +104,17 @@ void RecoveryService::WorkerLoop(InferenceSession* session) {
   }
 }
 
+RecoveryResponse RecoveryService::ShedResponse(const char* why) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++shed_;
+  }
+  RecoveryResponse resp;
+  resp.kind = ResponseKind::kShed;
+  resp.error = why;
+  return resp;
+}
+
 std::future<RecoveryResponse> RecoveryService::Submit(RecoveryRequest req) {
   QueuedRequest q;
   q.request = std::move(req);
@@ -91,13 +123,19 @@ std::future<RecoveryResponse> RecoveryService::Submit(RecoveryRequest req) {
     q.id = static_cast<uint64_t>(submitted_++);
   }
   std::future<RecoveryResponse> future = q.promise.get_future();
+  if (policy_ != nullptr) {
+    policy_->ObserveDepth(batcher_.depth());
+    if (policy_->state() == PolicyState::kShedding) {
+      // The ladder's last rung: refuse admission outright. Answering here
+      // costs nothing and keeps the queue for requests the degraded path
+      // can still serve in time.
+      q.promise.set_value(ShedResponse("shedding load (service overloaded)"));
+      return future;
+    }
+  }
   if (!batcher_.Push(std::move(q))) {
     // Load shed: answer immediately instead of blocking the producer.
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++rejected_;
-    RecoveryResponse resp;
-    resp.error = "queue full or service shutting down";
-    q.promise.set_value(std::move(resp));
+    q.promise.set_value(ShedResponse("queue full or service shutting down"));
   }
   return future;
 }
@@ -107,22 +145,34 @@ RecoveryResponse RecoveryService::RecoverNow(RecoveryRequest req) {
   resp.batch_size = 1;
   std::string error;
   if (!ValidateRequest(req, &error)) {
+    resp.kind = ResponseKind::kValidationError;
     resp.error = std::move(error);
     return resp;
   }
   const auto start = std::chrono::steady_clock::now();
   TrajectorySample sample = MakeEphemeralSample(
       std::move(req.input), std::move(req.input_indices), req.target_times);
-  if (exclusive_model_) {
-    std::lock_guard<std::mutex> lock(exclusive_mu_);
-    resp.recovered = model_->Recover(sample);
-  } else {
-    resp.recovered = model_->Recover(sample);
+  try {
+    if (exclusive_model_) {
+      std::lock_guard<std::mutex> lock(exclusive_mu_);
+      resp.recovered = model_->Recover(sample);
+    } else {
+      resp.recovered = model_->Recover(sample);
+    }
+  } catch (const std::exception& e) {
+    resp.kind = ResponseKind::kInternalError;
+    resp.error = std::string("internal error: ") + e.what();
+    return resp;
+  } catch (...) {
+    resp.kind = ResponseKind::kInternalError;
+    resp.error = "internal error: unknown exception";
+    return resp;
   }
   resp.infer_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - start)
                       .count();
   resp.ok = true;
+  resp.kind = ResponseKind::kOk;
   return resp;
 }
 
@@ -136,14 +186,56 @@ void RecoveryService::Shutdown() {
   }
 }
 
-void RecoveryService::RecordLatency(double total_ms) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  ++completed_;
-  if (recent_latencies_ms_.size() < kLatencyWindow) {
-    recent_latencies_ms_.push_back(total_ms);
-  } else {
-    recent_latencies_ms_[latency_next_] = total_ms;
-    latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+void RecoveryService::ResolveExpired(QueuedRequest&& q) {
+  RecoveryResponse resp;
+  resp.kind = ResponseKind::kDeadlineMissed;
+  resp.error = "deadline exceeded";
+  resp.queue_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - q.enqueued_at)
+                      .count();
+  RecordCompletion(resp, resp.queue_ms);
+  q.promise.set_value(std::move(resp));
+}
+
+void RecoveryService::RecordCompletion(const RecoveryResponse& resp,
+                                       double total_ms) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++completed_;
+    switch (resp.kind) {
+      case ResponseKind::kOk:
+        if (resp.degraded) {
+          ++degraded_;
+        } else {
+          ++ok_;
+        }
+        break;
+      case ResponseKind::kValidationError: ++validation_error_; break;
+      case ResponseKind::kDeadlineMissed: ++deadline_missed_; break;
+      case ResponseKind::kShed: ++shed_; break;  // not reached: sheds bypass
+      case ResponseKind::kInternalError: ++internal_error_; break;
+    }
+    if (resp.kind == ResponseKind::kOk) {
+      // Latency percentiles track answered requests only: shed/missed/error
+      // responses resolve fast and would read as spurious speed.
+      if (recent_latencies_ms_.size() < kLatencyWindow) {
+        recent_latencies_ms_.push_back(total_ms);
+      } else {
+        recent_latencies_ms_[latency_next_] = total_ms;
+        latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+      }
+    }
+  }
+  if (policy_ != nullptr) {
+    // Answered requests feed the miss-rate window (shed/invalid ones carry
+    // no capacity signal); every completion refreshes the depth signal so
+    // the ladder can step down as the queue drains.
+    if (resp.kind == ResponseKind::kOk) {
+      policy_->RecordOutcome(/*deadline_missed=*/false);
+    } else if (resp.kind == ResponseKind::kDeadlineMissed) {
+      policy_->RecordOutcome(/*deadline_missed=*/true);
+    }
+    policy_->ObserveDepth(batcher_.depth());
   }
 }
 
@@ -153,19 +245,33 @@ ServeStats RecoveryService::Stats() const {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     s.submitted = submitted_;
-    s.rejected = rejected_;
+    s.shed = shed_;
+    s.rejected = shed_;
     s.completed = completed_;
+    s.ok = ok_;
+    s.degraded = degraded_;
+    s.validation_error = validation_error_;
+    s.deadline_missed = deadline_missed_;
+    s.internal_error = internal_error_;
     latencies = recent_latencies_ms_;
   }
   int64_t session_requests = 0;
   for (const auto& session : sessions_) {
     const SessionStats st = session->Snapshot();
     s.batches += st.batches;
+    s.faults += st.faults;
     session_requests += st.requests;
   }
   if (s.batches > 0) {
     s.mean_batch_size =
         static_cast<double>(session_requests) / static_cast<double>(s.batches);
+  }
+  if (policy_ != nullptr) {
+    const ServicePolicyStats ps = policy_->Snapshot();
+    s.policy_state = ps.state;
+    s.policy_entered_degraded = ps.entered_degraded;
+    s.policy_entered_shedding = ps.entered_shedding;
+    s.recent_deadline_miss_rate = ps.recent_miss_rate;
   }
   s.p50_ms = Percentile(latencies, 0.50);
   s.p99_ms = Percentile(std::move(latencies), 0.99);

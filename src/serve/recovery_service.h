@@ -9,10 +9,13 @@
 #include <vector>
 
 #include "src/core/model_api.h"
+#include "src/mapmatch/hmm.h"
+#include "src/serve/fault_injector.h"
 #include "src/serve/inference_session.h"
 #include "src/serve/micro_batcher.h"
 #include "src/serve/request.h"
 #include "src/serve/roadnet_cache.h"
+#include "src/serve/service_policy.h"
 
 /// \file recovery_service.h
 /// The online trajectory-recovery engine: a warm, re-entrant model behind a
@@ -26,6 +29,13 @@
 /// segment) are shared across the whole request stream. Cached answers are
 /// exact; the batched forward matches single-request inference to float
 /// rounding (same segments, ratios within ~1e-6).
+///
+/// Robustness layer (PR 6): requests may carry a latency budget
+/// (RecoveryRequest::deadline_ms) that is enforced at dequeue, at dispatch
+/// and after the forward; a hysteretic degradation ladder (ServicePolicy)
+/// routes overload traffic to a cheap Linear+HMM fallback before shedding;
+/// a throwing or stalled forward poisons only its own request's future; and
+/// a deterministic FaultInjector drives the serve_chaos_test suite.
 
 namespace rntraj {
 namespace serve {
@@ -59,17 +69,47 @@ struct RecoveryServiceConfig {
 
   /// Run BeginInference() (road representation warmup) at construction.
   bool warm_model = true;
+
+  /// The graceful-degradation ladder (off by default). When enabled, the
+  /// service watches queue depth and deadline-miss rate: DEGRADED routes
+  /// requests to the Linear+HMM fallback (responses flagged `degraded`),
+  /// SHEDDING refuses new admissions outright until the backlog clears.
+  ServicePolicyConfig policy;
+  /// HMM knobs of the degraded-rung fallback recoverer.
+  HmmConfig fallback_hmm;
+
+  /// Deterministic fault injection (chaos testing; all off by default).
+  FaultInjectorConfig fault;
 };
 
-/// Aggregate serving telemetry.
+/// Aggregate serving telemetry. `completed` splits into one counter per
+/// response kind — shed and error responses must never be mistaken for
+/// successes in throughput numbers.
 struct ServeStats {
   int64_t submitted = 0;
-  int64_t rejected = 0;   ///< Queue-full / post-shutdown submissions.
-  int64_t completed = 0;  ///< Responses delivered (ok or validation error).
+  int64_t rejected = 0;   ///< == shed (kept for older callers).
+  int64_t completed = 0;  ///< Responses delivered by sessions (all kinds).
   int64_t batches = 0;
   double mean_batch_size = 0.0;
-  /// Percentiles over the most recent completed requests' total latency
-  /// (submit -> response), milliseconds.
+
+  // --- the completed breakdown, one counter per ResponseKind + degraded ---
+  int64_t ok = 0;                ///< Full-model successes.
+  int64_t degraded = 0;          ///< Fallback-path successes (flagged).
+  int64_t validation_error = 0;  ///< Rejected by ValidateRequest.
+  int64_t deadline_missed = 0;   ///< Budget expired (queue, dispatch or post).
+  int64_t shed = 0;              ///< Refused admission (queue full / policy).
+  int64_t internal_error = 0;    ///< A forward threw; lane-isolated.
+  int64_t faults = 0;            ///< Session forwards that threw.
+
+  /// Degradation-ladder telemetry.
+  PolicyState policy_state = PolicyState::kOk;
+  int64_t policy_entered_degraded = 0;
+  int64_t policy_entered_shedding = 0;
+  double recent_deadline_miss_rate = 0.0;
+
+  /// Percentiles over the most recent *successful* requests' total latency
+  /// (submit -> response), milliseconds. Error/shed/missed responses are
+  /// excluded — they resolve fast and would read as spurious speed.
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   RoadnetCacheStats cache;
@@ -79,6 +119,8 @@ struct ServeStats {
 ///
 /// Thread-safe: Submit from any number of producer threads. The destructor
 /// shuts down admissions, drains queued requests, and joins the sessions.
+/// A Submit racing Shutdown always receives a response (a shed error at
+/// worst) — never a dangling or broken future.
 class RecoveryService {
  public:
   RecoveryService(RecoveryModel* model, const ModelContext& ctx,
@@ -90,24 +132,36 @@ class RecoveryService {
 
   /// Enqueues one request. The future resolves when a session has answered
   /// (ok=false for invalid requests, or immediately when the queue sheds
-  /// load).
+  /// load, the policy is shedding, or the deadline expired in queue).
   std::future<RecoveryResponse> Submit(RecoveryRequest req);
 
   /// Answers one request synchronously on the calling thread, bypassing the
-  /// queue (no batching; same model, same caches). The sequential reference
-  /// path the benchmarks compare against.
+  /// queue (no batching, no deadline enforcement; same model, same caches).
+  /// The sequential reference path the benchmarks compare against.
   RecoveryResponse RecoverNow(RecoveryRequest req);
 
   /// Stops admissions, drains the queue, joins sessions (idempotent).
+  /// Every future ever returned by Submit is resolved by the time this
+  /// returns: queued requests are processed by the draining sessions, and
+  /// submissions that raced past the closing gate are shed with an error.
   void Shutdown();
 
   ServeStats Stats() const;
 
   const CellCandidateCache* cell_cache() const { return cache_.get(); }
+  const ServicePolicy* policy() const { return policy_.get(); }
+  const FaultInjector* fault_injector() const { return injector_.get(); }
 
  private:
   void WorkerLoop(InferenceSession* session);
-  void RecordLatency(double total_ms);
+  /// Classifies one delivered response into the stats breakdown, records
+  /// latency for successes, and feeds the ladder its outcome signal.
+  void RecordCompletion(const RecoveryResponse& resp, double total_ms);
+  /// Resolves one deadline-evicted request (from the batcher's dequeue
+  /// eviction) with an immediate deadline-exceeded response.
+  void ResolveExpired(QueuedRequest&& q);
+  /// Builds an immediate shed response and counts it.
+  RecoveryResponse ShedResponse(const char* why);
 
   RecoveryModel* model_;
   RecoveryServiceConfig cfg_;
@@ -119,6 +173,11 @@ class RecoveryService {
   NetworkDistance* netdist_ = nullptr;  ///< Set iff we capped its row cache.
   int prev_max_dijkstra_rows_ = 0;
   std::unique_ptr<CellCandidateCache> cache_;
+  std::unique_ptr<ServicePolicy> policy_;
+  std::unique_ptr<FaultInjector> injector_;
+  /// The degraded rung's recoverer (Linear+HMM two-stage baseline); only
+  /// built when the ladder is enabled. Stateless per call and re-entrant.
+  std::unique_ptr<RecoveryModel> fallback_;
   MicroBatcher batcher_;
   std::vector<std::unique_ptr<InferenceSession>> sessions_;
   std::vector<std::thread> workers_;
@@ -126,8 +185,13 @@ class RecoveryService {
 
   mutable std::mutex stats_mu_;
   int64_t submitted_ = 0;
-  int64_t rejected_ = 0;
+  int64_t shed_ = 0;
   int64_t completed_ = 0;
+  int64_t ok_ = 0;
+  int64_t degraded_ = 0;
+  int64_t validation_error_ = 0;
+  int64_t deadline_missed_ = 0;
+  int64_t internal_error_ = 0;
   std::vector<double> recent_latencies_ms_;  ///< Ring buffer.
   size_t latency_next_ = 0;
 };

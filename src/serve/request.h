@@ -25,12 +25,35 @@ struct RecoveryRequest {
   /// Position of each input point in the target grid (ascending, in
   /// [0, target_times.size())).
   std::vector<int> input_indices;
+  /// Latency budget in milliseconds from Submit; <= 0 means no deadline.
+  /// A request whose budget expires while queued is evicted at dequeue with
+  /// an immediate deadline-exceeded response instead of wasting a batch
+  /// slot, and a session re-checks the budget before (and after) dispatching
+  /// the forward — an answer the caller has stopped waiting for is not
+  /// delivered as a success.
+  double deadline_ms = 0.0;
+};
+
+/// What a response represents — the service's outcome taxonomy. Shed, error
+/// and deadline-missed responses must be distinguishable from successes in
+/// throughput numbers (ServeStats keeps one counter per kind).
+enum class ResponseKind {
+  kOk = 0,           ///< Recovered by the full model.
+  kValidationError,  ///< Request rejected by ValidateRequest.
+  kDeadlineMissed,   ///< Deadline expired before an answer was ready.
+  kShed,             ///< Refused admission (queue full / policy / shutdown).
+  kInternalError,    ///< The forward threw; only this request is poisoned.
 };
 
 /// The service's answer, with per-request serving telemetry.
 struct RecoveryResponse {
   bool ok = false;
+  ResponseKind kind = ResponseKind::kInternalError;
   std::string error;             ///< Set when !ok (validation failures).
+  /// True when the answer came from the cheap fallback path (linear
+  /// interpolation + HMM map matching) because the service was degraded;
+  /// callers know they got the budget answer, not the full model's.
+  bool degraded = false;
   MatchedTrajectory recovered;   ///< One point per target timestamp.
   int batch_size = 0;            ///< Size of the micro-batch it rode in.
   int session_id = -1;           ///< Session that ran the forward.

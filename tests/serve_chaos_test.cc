@@ -1,0 +1,605 @@
+// Fault-injection chaos suite for the serving subsystem (PR 6).
+//
+// Proves the robustness contract under each injected fault — forwards that
+// throw, sessions that stall, deadlines that expire — plus their
+// combination:
+//   * the service never crashes or hangs (every test is future-resolution
+//     bounded; ctest adds a per-test timeout as the backstop);
+//   * every submitted future resolves exactly once with a classified
+//     response;
+//   * a fault poisons only its own request's lane — non-faulted requests in
+//     the same micro-batch still return answers equivalent to sequential
+//     inference;
+//   * the degradation ladder routes overload to the Linear+HMM fallback
+//     (responses flagged `degraded`) and returns to OK after faults clear;
+//   * Submit racing Shutdown always receives a response, never a dangling
+//     future (the TSan job runs this file too).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/two_stage.h"
+#include "src/common/random.h"
+#include "src/core/rntrajrec.h"
+#include "src/serve/fault_injector.h"
+#include "src/serve/recovery_service.h"
+#include "src/serve/service_policy.h"
+#include "src/serve/workload.h"
+#include "src/sim/presets.h"
+
+namespace rntraj {
+namespace {
+
+using serve::FaultInjector;
+using serve::FaultInjectorConfig;
+using serve::PolicyState;
+using serve::RecoveryResponse;
+using serve::ResponseKind;
+using serve::ServicePolicy;
+using serve::ServicePolicyConfig;
+
+constexpr auto kFutureTimeout = std::chrono::seconds(60);
+
+/// get() with a hang guard: a future that never resolves is the exact bug
+/// this suite exists to catch, so fail the test instead of wedging the job.
+RecoveryResponse GetOrDie(std::future<RecoveryResponse>& f) {
+  EXPECT_EQ(f.wait_for(kFutureTimeout), std::future_status::ready)
+      << "future did not resolve: a submitted request was dropped or wedged";
+  return f.get();
+}
+
+// ----- ServicePolicy (the ladder in isolation) -------------------------------
+
+ServicePolicyConfig LadderConfig() {
+  ServicePolicyConfig cfg;
+  cfg.enabled = true;
+  cfg.window = 8;
+  cfg.min_window_fill = 2;
+  return cfg;
+}
+
+TEST(ServicePolicyTest, DepthEscalatesRungByRungWithHysteresis) {
+  ServicePolicy policy(LadderConfig(), /*max_queue_depth=*/100);
+  EXPECT_EQ(policy.state(), PolicyState::kOk);
+
+  policy.ObserveDepth(49);  // under the 0.50 enter watermark
+  EXPECT_EQ(policy.state(), PolicyState::kOk);
+  policy.ObserveDepth(55);
+  EXPECT_EQ(policy.state(), PolicyState::kDegraded);
+  // Hysteresis: dropping into the band (exit is 0.20) must NOT flap back.
+  policy.ObserveDepth(35);
+  EXPECT_EQ(policy.state(), PolicyState::kDegraded);
+  policy.ObserveDepth(88);  // over the 0.85 shed watermark
+  EXPECT_EQ(policy.state(), PolicyState::kShedding);
+  // Shed exit is 0.50; one rung at a time on the way down.
+  policy.ObserveDepth(60);
+  EXPECT_EQ(policy.state(), PolicyState::kShedding);
+  policy.ObserveDepth(40);
+  EXPECT_EQ(policy.state(), PolicyState::kDegraded);
+  policy.ObserveDepth(10);
+  EXPECT_EQ(policy.state(), PolicyState::kOk);
+
+  const auto st = policy.Snapshot();
+  EXPECT_EQ(st.entered_degraded, 1);
+  EXPECT_EQ(st.entered_shedding, 1);
+}
+
+TEST(ServicePolicyTest, MissRateTripsAndRecentGoodTrafficRecovers) {
+  ServicePolicy policy(LadderConfig(), /*max_queue_depth=*/100);
+  // One early miss is below min_window_fill: no escalation on a cold window.
+  policy.RecordOutcome(true);
+  EXPECT_EQ(policy.state(), PolicyState::kOk);
+  policy.RecordOutcome(true);  // 2/2 missed >= 0.20 with the window filled
+  EXPECT_EQ(policy.state(), PolicyState::kDegraded);
+  // Recovery needs the misses to age out of the window (size 8): after 8
+  // consecutive in-deadline outcomes the rate is 0 and depth is already low.
+  for (int i = 0; i < 7; ++i) {
+    policy.RecordOutcome(false);
+    EXPECT_EQ(policy.state(), PolicyState::kDegraded) << "aged out too early";
+  }
+  policy.RecordOutcome(false);
+  EXPECT_EQ(policy.state(), PolicyState::kOk);
+}
+
+TEST(ServicePolicyTest, DirectCliffArrivalJumpsToShedding) {
+  ServicePolicy policy(LadderConfig(), /*max_queue_depth=*/10);
+  policy.ObserveDepth(10);
+  EXPECT_EQ(policy.state(), PolicyState::kShedding);
+  const auto st = policy.Snapshot();
+  EXPECT_EQ(st.entered_degraded, 1);  // both rungs counted on the jump
+  EXPECT_EQ(st.entered_shedding, 1);
+}
+
+TEST(ServicePolicyTest, DisabledLadderNeverMoves) {
+  ServicePolicyConfig cfg;  // enabled = false
+  ServicePolicy policy(cfg, 10);
+  policy.ObserveDepth(10);
+  for (int i = 0; i < 16; ++i) policy.RecordOutcome(true);
+  EXPECT_EQ(policy.state(), PolicyState::kOk);
+}
+
+// ----- FaultInjector ---------------------------------------------------------
+
+TEST(FaultInjectorTest, DecisionsAreDeterministicPerId) {
+  FaultInjectorConfig cfg;
+  cfg.seed = 11;
+  cfg.expire_probability = 0.5;
+  FaultInjector a(cfg);
+  FaultInjector b(cfg);
+  int fired = 0;
+  for (uint64_t id = 0; id < 64; ++id) {
+    EXPECT_EQ(a.ShouldExpire(id), b.ShouldExpire(id)) << "id " << id;
+    if (a.ShouldExpire(id)) ++fired;
+  }
+  // ~50% fire rate: both classes must be populated (the chaos tests rely on
+  // partially-faulted batches existing).
+  EXPECT_GT(fired, 8);
+  EXPECT_LT(fired, 56);
+}
+
+TEST(FaultInjectorTest, ProbabilityEndpointsAreExact) {
+  FaultInjectorConfig all;
+  all.throw_probability = 1.0;
+  FaultInjector always(all);
+  for (uint64_t id = 0; id < 16; ++id) {
+    EXPECT_THROW(always.OnForward(id), serve::FaultInjected);
+  }
+  FaultInjectorConfig none;  // all probabilities 0
+  FaultInjector never(none);
+  for (uint64_t id = 0; id < 16; ++id) {
+    EXPECT_NO_THROW(never.OnForward(id));
+    EXPECT_FALSE(never.ShouldExpire(id));
+  }
+}
+
+TEST(FaultInjectorTest, FaultBudgetClearsTheFault) {
+  FaultInjectorConfig cfg;
+  cfg.throw_probability = 1.0;
+  cfg.max_faults = 3;
+  FaultInjector inj(cfg);
+  int thrown = 0;
+  for (uint64_t id = 0; id < 32; ++id) {
+    try {
+      inj.OnForward(id);
+    } catch (const serve::FaultInjected&) {
+      ++thrown;
+    }
+  }
+  EXPECT_EQ(thrown, 3);
+  EXPECT_EQ(inj.faults_injected(), 3);
+  // The fault has cleared: the injector stays quiet forever after.
+  EXPECT_NO_THROW(inj.OnForward(999));
+}
+
+// ----- Chaos fixture ---------------------------------------------------------
+
+class ServeChaosFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig cfg = ChengduConfig(BenchScale::kTiny);
+    cfg.num_train = 4;
+    cfg.num_val = 2;
+    cfg.num_test = 8;
+    cfg.sim.len_rho = 24;
+    dataset_ = BuildDataset(cfg).release();
+    ctx_ = new ModelContext(ModelContext::FromDataset(*dataset_));
+    SeedGlobalRng(61);
+    model_ = new RnTrajRec(SmallConfig(), *ctx_);
+    model_->SetTrainingMode(false);
+    model_->BeginInference();
+    // Sequential per-sample reference answers, computed before any service
+    // (and any cache) touches the model.
+    for (const auto& s : dataset_->test()) {
+      serve::RecoveryRequest req = serve::RequestFromSample(s);
+      TrajectorySample eph = MakeEphemeralSample(
+          std::move(req.input), std::move(req.input_indices),
+          req.target_times);
+      reference_->push_back(model_->Recover(eph));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete ctx_;
+    delete dataset_;
+    delete reference_;
+    model_ = nullptr;
+    ctx_ = nullptr;
+    dataset_ = nullptr;
+    reference_ = nullptr;
+  }
+
+  static RnTrajRecConfig SmallConfig() {
+    RnTrajRecConfig cfg;
+    cfg.dim = 16;
+    cfg.delta = 250.0;
+    cfg.max_subgraph_nodes = 16;
+    cfg.gridgnn.gnn_layers = 1;
+    cfg.gridgnn.heads = 2;
+    cfg.gpsformer.blocks = 1;
+    cfg.gpsformer.heads = 2;
+    cfg.gpsformer.grl.heads = 2;
+    cfg.Sync();
+    return cfg;
+  }
+
+  static serve::RecoveryServiceConfig BaseServiceConfig() {
+    serve::RecoveryServiceConfig scfg;
+    scfg.num_sessions = 2;
+    scfg.batcher.max_batch_size = 8;
+    scfg.batcher.max_batch_delay_us = 500;
+    scfg.warm_model = false;  // warmed in SetUpTestSuite
+    return scfg;
+  }
+
+  /// Expects `resp` to match the sequential reference for test sample `i`
+  /// (same segments; ratios within float rounding of the batched path).
+  static void ExpectMatchesReference(const RecoveryResponse& resp, size_t i) {
+    const MatchedTrajectory& ref = (*reference_)[i];
+    ASSERT_EQ(resp.recovered.size(), ref.size()) << "request " << i;
+    for (int j = 0; j < ref.size(); ++j) {
+      EXPECT_EQ(resp.recovered.points[j].seg_id, ref.points[j].seg_id)
+          << "request " << i << " step " << j;
+      EXPECT_NEAR(resp.recovered.points[j].ratio, ref.points[j].ratio, 1e-5)
+          << "request " << i << " step " << j;
+    }
+  }
+
+  static Dataset* dataset_;
+  static ModelContext* ctx_;
+  static RnTrajRec* model_;
+  static std::vector<MatchedTrajectory>* reference_;
+};
+
+Dataset* ServeChaosFixture::dataset_ = nullptr;
+ModelContext* ServeChaosFixture::ctx_ = nullptr;
+RnTrajRec* ServeChaosFixture::model_ = nullptr;
+std::vector<MatchedTrajectory>* ServeChaosFixture::reference_ =
+    new std::vector<MatchedTrajectory>();
+
+// ----- Fault: forwards throw -------------------------------------------------
+
+TEST_F(ServeChaosFixture, ThrowPoisonsOnlyItsLaneOthersMatchReference) {
+  serve::RecoveryServiceConfig scfg = BaseServiceConfig();
+  scfg.num_sessions = 1;  // everything rides shared micro-batches
+  scfg.fault.seed = 11;
+  scfg.fault.throw_probability = 0.5;
+  serve::RecoveryService service(model_, *ctx_, scfg);
+
+  std::vector<std::future<RecoveryResponse>> futures;
+  for (const auto& s : dataset_->test()) {
+    futures.push_back(service.Submit(serve::RequestFromSample(s)));
+  }
+  int faulted = 0;
+  int answered = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    RecoveryResponse resp = GetOrDie(futures[i]);
+    if (resp.ok) {
+      ++answered;
+      EXPECT_EQ(resp.kind, ResponseKind::kOk);
+      // The same micro-batch carried throwing lanes; survivors must still
+      // be equivalent to sequential inference.
+      ExpectMatchesReference(resp, i);
+    } else {
+      ++faulted;
+      EXPECT_EQ(resp.kind, ResponseKind::kInternalError);
+      EXPECT_NE(resp.error.find("injected"), std::string::npos) << resp.error;
+    }
+  }
+  // seed 11 at p=0.5 over ids 0..7 produces both classes (deterministic).
+  EXPECT_GT(faulted, 0);
+  EXPECT_GT(answered, 0);
+  ASSERT_NE(service.fault_injector(), nullptr);
+  EXPECT_GT(service.fault_injector()->faults_injected(), 0);
+
+  const auto stats = service.Stats();
+  EXPECT_EQ(stats.ok, answered);
+  EXPECT_EQ(stats.internal_error, faulted);
+  EXPECT_EQ(stats.completed, static_cast<int64_t>(futures.size()));
+  EXPECT_GT(stats.faults, 0);
+}
+
+TEST_F(ServeChaosFixture, EveryForwardThrowingNeverKillsAWorker) {
+  serve::RecoveryServiceConfig scfg = BaseServiceConfig();
+  scfg.fault.throw_probability = 1.0;
+  serve::RecoveryService service(model_, *ctx_, scfg);
+
+  // Two full waves: workers must survive the first wave of throws to be
+  // alive for the second.
+  for (int wave = 0; wave < 2; ++wave) {
+    std::vector<std::future<RecoveryResponse>> futures;
+    for (const auto& s : dataset_->test()) {
+      futures.push_back(service.Submit(serve::RequestFromSample(s)));
+    }
+    for (auto& f : futures) {
+      RecoveryResponse resp = GetOrDie(f);
+      EXPECT_FALSE(resp.ok);
+      EXPECT_EQ(resp.kind, ResponseKind::kInternalError);
+    }
+  }
+  const auto stats = service.Stats();
+  EXPECT_EQ(stats.internal_error,
+            static_cast<int64_t>(2 * dataset_->test().size()));
+  EXPECT_EQ(stats.ok, 0);
+}
+
+// ----- Fault: deadlines expire -----------------------------------------------
+
+TEST_F(ServeChaosFixture, ExpiredRequestsAreEvictedAtDequeueNotForwarded) {
+  serve::RecoveryServiceConfig scfg = BaseServiceConfig();
+  // A generous coalescing delay: requests sit in the forming batch long
+  // past their microscopic budget, so the batcher's dequeue eviction (not
+  // the session's dispatch check) answers them.
+  scfg.num_sessions = 1;
+  scfg.batcher.max_batch_delay_us = 20000;
+  serve::RecoveryService service(model_, *ctx_, scfg);
+
+  std::vector<std::future<RecoveryResponse>> futures;
+  for (const auto& s : dataset_->test()) {
+    serve::RecoveryRequest req = serve::RequestFromSample(s);
+    req.deadline_ms = 0.001;  // expired ~immediately
+    futures.push_back(service.Submit(std::move(req)));
+  }
+  for (auto& f : futures) {
+    RecoveryResponse resp = GetOrDie(f);
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.kind, ResponseKind::kDeadlineMissed);
+  }
+  const auto stats = service.Stats();
+  EXPECT_EQ(stats.deadline_missed,
+            static_cast<int64_t>(dataset_->test().size()));
+  EXPECT_EQ(stats.ok, 0);
+}
+
+TEST_F(ServeChaosFixture, InjectedDeadlineExpiryIsCountedAndHarmless) {
+  serve::RecoveryServiceConfig scfg = BaseServiceConfig();
+  scfg.fault.seed = 7;
+  scfg.fault.expire_probability = 0.5;
+  serve::RecoveryService service(model_, *ctx_, scfg);
+
+  std::vector<std::future<RecoveryResponse>> futures;
+  for (const auto& s : dataset_->test()) {
+    futures.push_back(service.Submit(serve::RequestFromSample(s)));
+  }
+  int missed = 0;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    RecoveryResponse resp = GetOrDie(futures[i]);
+    if (resp.kind == ResponseKind::kDeadlineMissed) {
+      ++missed;
+      EXPECT_FALSE(resp.ok);
+    } else {
+      ASSERT_TRUE(resp.ok) << resp.error;
+      ExpectMatchesReference(resp, i);
+    }
+  }
+  EXPECT_GT(missed, 0);
+  EXPECT_EQ(service.Stats().deadline_missed, missed);
+}
+
+// ----- Fault: sessions stall -------------------------------------------------
+
+TEST_F(ServeChaosFixture, StalledSessionMissesDeadlinesButNeverHangs) {
+  serve::RecoveryServiceConfig scfg = BaseServiceConfig();
+  scfg.num_sessions = 1;
+  scfg.fault.stall_probability = 1.0;
+  scfg.fault.stall_ms = 30;
+  serve::RecoveryService service(model_, *ctx_, scfg);
+
+  std::vector<std::future<RecoveryResponse>> futures;
+  for (const auto& s : dataset_->test()) {
+    serve::RecoveryRequest req = serve::RequestFromSample(s);
+    req.deadline_ms = 10.0;  // tighter than the stall
+    futures.push_back(service.Submit(std::move(req)));
+  }
+  for (auto& f : futures) {
+    RecoveryResponse resp = GetOrDie(f);
+    // Either evicted in queue behind the stalled batch or caught by the
+    // session's dispatch/post-forward budget checks — never a hang, never
+    // delivered late as a success.
+    EXPECT_FALSE(resp.ok);
+    EXPECT_EQ(resp.kind, ResponseKind::kDeadlineMissed);
+  }
+}
+
+// ----- Degradation ladder end to end -----------------------------------------
+
+TEST_F(ServeChaosFixture, LadderDegradesUnderMissesThenRecoversToOk) {
+  serve::RecoveryServiceConfig scfg = BaseServiceConfig();
+  scfg.num_sessions = 1;
+  scfg.policy = LadderConfig();  // window 8, min fill 2
+  // Stalls wedge the (only) session so deadlines miss; the budget models
+  // the fault clearing after 4 stalled batches.
+  scfg.fault.stall_probability = 1.0;
+  scfg.fault.stall_ms = 40;
+  scfg.fault.max_faults = 4;
+  serve::RecoveryService service(model_, *ctx_, scfg);
+
+  const auto submit_one = [&](size_t sample, double deadline_ms) {
+    serve::RecoveryRequest req =
+        serve::RequestFromSample(dataset_->test()[sample]);
+    req.deadline_ms = deadline_ms;
+    auto f = service.Submit(std::move(req));
+    return GetOrDie(f);
+  };
+
+  // Phase 1 — the fault is live: serial requests with budgets tighter than
+  // the stall miss their deadlines and trip the ladder.
+  int missed = 0;
+  for (int i = 0; i < 4; ++i) {
+    const RecoveryResponse resp = submit_one(i % dataset_->test().size(), 15.0);
+    if (resp.kind == ResponseKind::kDeadlineMissed) ++missed;
+  }
+  EXPECT_GE(missed, 2);
+  EXPECT_EQ(service.Stats().policy_state, PolicyState::kDegraded);
+  EXPECT_GE(service.Stats().policy_entered_degraded, 1);
+
+  // Phase 2 — the fault has cleared (budget spent) but the ladder is still
+  // DEGRADED: requests are answered by the Linear+HMM fallback, flagged,
+  // in budget, and matching the fallback reference exactly (it is
+  // deterministic).
+  LinearHmmModel fallback_ref(*ctx_, scfg.fallback_hmm);
+  bool saw_degraded = false;
+  int recovery_rounds = 0;
+  while (service.Stats().policy_state != PolicyState::kOk) {
+    ASSERT_LT(recovery_rounds, 64) << "ladder never returned to OK";
+    const size_t sample = recovery_rounds++ % dataset_->test().size();
+    const RecoveryResponse resp = submit_one(sample, 5000.0);
+    ASSERT_TRUE(resp.ok) << resp.error;
+    if (resp.degraded) {
+      saw_degraded = true;
+      serve::RecoveryRequest req =
+          serve::RequestFromSample(dataset_->test()[sample]);
+      TrajectorySample eph = MakeEphemeralSample(
+          std::move(req.input), std::move(req.input_indices),
+          req.target_times);
+      const MatchedTrajectory expect = fallback_ref.Recover(eph);
+      ASSERT_EQ(resp.recovered.size(), expect.size());
+      for (int j = 0; j < expect.size(); ++j) {
+        EXPECT_EQ(resp.recovered.points[j].seg_id, expect.points[j].seg_id);
+        EXPECT_DOUBLE_EQ(resp.recovered.points[j].ratio,
+                         expect.points[j].ratio);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_degraded);
+
+  // Phase 3 — recovered: full-model answers again, not flagged.
+  const size_t sample = 0;
+  const RecoveryResponse resp = submit_one(sample, 5000.0);
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_FALSE(resp.degraded);
+  ExpectMatchesReference(resp, sample);
+
+  const auto stats = service.Stats();
+  EXPECT_GT(stats.degraded, 0);
+  EXPECT_GT(stats.ok, 0);
+  EXPECT_EQ(stats.policy_state, PolicyState::kOk);
+}
+
+// ----- Combined chaos --------------------------------------------------------
+
+TEST_F(ServeChaosFixture, CombinedChaosEveryFutureResolvesAndCountsAddUp) {
+  serve::RecoveryServiceConfig scfg = BaseServiceConfig();
+  scfg.policy = LadderConfig();
+  scfg.fault.seed = 23;
+  scfg.fault.throw_probability = 0.25;
+  scfg.fault.stall_probability = 0.25;
+  scfg.fault.stall_ms = 10;
+  scfg.fault.expire_probability = 0.15;
+  serve::RecoveryService service(model_, *ctx_, scfg);
+
+  constexpr int kWaves = 6;
+  std::vector<std::future<RecoveryResponse>> futures;
+  for (int wave = 0; wave < kWaves; ++wave) {
+    for (const auto& s : dataset_->test()) {
+      serve::RecoveryRequest req = serve::RequestFromSample(s);
+      req.deadline_ms = 200.0;
+      futures.push_back(service.Submit(std::move(req)));
+    }
+    // One malformed request per wave: validation must stay lane-isolated
+    // under chaos too.
+    serve::RecoveryRequest bad;
+    futures.push_back(service.Submit(std::move(bad)));
+  }
+  int64_t resolved = 0;
+  for (auto& f : futures) {
+    const RecoveryResponse resp = GetOrDie(f);
+    ++resolved;
+    if (resp.ok) {
+      EXPECT_EQ(resp.kind, ResponseKind::kOk);
+    }
+  }
+  EXPECT_EQ(resolved, static_cast<int64_t>(futures.size()));
+
+  const auto stats = service.Stats();
+  EXPECT_EQ(stats.submitted, static_cast<int64_t>(futures.size()));
+  // Every submission is accounted for exactly once across the breakdown.
+  EXPECT_EQ(stats.completed + stats.shed, stats.submitted);
+  EXPECT_EQ(stats.ok + stats.degraded + stats.validation_error +
+                stats.deadline_missed + stats.internal_error,
+            stats.completed);
+  EXPECT_EQ(stats.validation_error, kWaves);
+}
+
+// ----- Shutdown hardening ----------------------------------------------------
+
+TEST_F(ServeChaosFixture, SubmitRacingShutdownAlwaysGetsAResponse) {
+  // Hammer Submit from several producers while Shutdown lands mid-stream.
+  // Every future must resolve — answered or shed — with no hang, no broken
+  // promise, no leak (the ASan job watches) and no race (the TSan job).
+  for (int round = 0; round < 3; ++round) {
+    serve::RecoveryServiceConfig scfg = BaseServiceConfig();
+    serve::RecoveryService service(model_, *ctx_, scfg);
+
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 40;
+    std::vector<std::vector<std::future<RecoveryResponse>>> futures(
+        kProducers);
+    std::vector<std::thread> producers;
+    std::atomic<int> started{0};
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        started.fetch_add(1);
+        for (int i = 0; i < kPerProducer; ++i) {
+          futures[p].push_back(service.Submit(
+              serve::RequestFromSample(dataset_->test()[i % 4])));
+        }
+      });
+    }
+    while (started.load() < kProducers) std::this_thread::yield();
+    // Land Shutdown in the middle of the submission storm.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2 * round));
+    service.Shutdown();
+    for (auto& t : producers) t.join();
+
+    int64_t answered = 0;
+    int64_t refused = 0;
+    for (auto& lane : futures) {
+      for (auto& f : lane) {
+        const RecoveryResponse resp = GetOrDie(f);
+        if (resp.ok) {
+          ++answered;
+        } else {
+          ++refused;
+          EXPECT_EQ(resp.kind, ResponseKind::kShed);
+        }
+      }
+    }
+    EXPECT_EQ(answered + refused,
+              static_cast<int64_t>(kProducers) * kPerProducer);
+    const auto stats = service.Stats();
+    EXPECT_EQ(stats.completed + stats.shed, stats.submitted);
+  }
+}
+
+TEST_F(ServeChaosFixture, ShutdownResolvesEverythingQueuedBehindAStall) {
+  // Requests queued behind a stalled session when Shutdown lands must all
+  // still resolve: the drain contract covers wedged workers.
+  serve::RecoveryServiceConfig scfg = BaseServiceConfig();
+  scfg.num_sessions = 1;
+  scfg.batcher.max_batch_size = 2;  // many batches -> many stalls
+  scfg.fault.stall_probability = 1.0;
+  scfg.fault.stall_ms = 20;
+  serve::RecoveryService service(model_, *ctx_, scfg);
+
+  std::vector<std::future<RecoveryResponse>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(service.Submit(
+        serve::RequestFromSample(dataset_->test()[i % 4])));
+  }
+  service.Shutdown();  // returns only once the queue is drained
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "Shutdown returned with an unresolved future";
+    const RecoveryResponse resp = f.get();
+    EXPECT_TRUE(resp.ok || resp.kind == ResponseKind::kShed) << resp.error;
+  }
+}
+
+}  // namespace
+}  // namespace rntraj

@@ -3,7 +3,9 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -125,6 +127,103 @@ TEST(MicroBatcherTest, ShedsLoadBeyondQueueDepth) {
   MicroBatcher batcher(cfg);
   for (uint64_t i = 0; i < 3; ++i) ASSERT_TRUE(batcher.Push(MakeQueued(i)));
   EXPECT_FALSE(batcher.Push(MakeQueued(99)));
+}
+
+// ----- ValidateRequest edge cases --------------------------------------------
+
+/// Minimal structurally-valid request: two points on a three-slot grid.
+serve::RecoveryRequest MakeValidRequest() {
+  serve::RecoveryRequest req;
+  req.input.points.push_back({{0.0, 0.0}, 0.0});
+  req.input.points.push_back({{100.0, 100.0}, 8.0});
+  req.target_times = {0.0, 4.0, 8.0};
+  req.input_indices = {0, 2};
+  return req;
+}
+
+std::string RejectionOf(const serve::RecoveryRequest& req) {
+  std::string error;
+  EXPECT_FALSE(serve::ValidateRequest(req, &error));
+  EXPECT_FALSE(error.empty());
+  return error;
+}
+
+TEST(ValidateRequestTest, AcceptsMinimalValidRequest) {
+  std::string error;
+  EXPECT_TRUE(serve::ValidateRequest(MakeValidRequest(), &error)) << error;
+}
+
+TEST(ValidateRequestTest, AcceptsSinglePointInput) {
+  serve::RecoveryRequest req = MakeValidRequest();
+  req.input.points.resize(1);
+  req.input_indices = {0};
+  std::string error;
+  EXPECT_TRUE(serve::ValidateRequest(req, &error)) << error;
+}
+
+TEST(ValidateRequestTest, RejectsNonFinitePointCoordinates) {
+  for (double bad : {std::nan(""), std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity()}) {
+    serve::RecoveryRequest req = MakeValidRequest();
+    req.input.points[1].pos.x = bad;
+    RejectionOf(req);
+    req = MakeValidRequest();
+    req.input.points[0].pos.y = bad;
+    RejectionOf(req);
+  }
+}
+
+TEST(ValidateRequestTest, RejectsNonFiniteTimes) {
+  for (double bad : {std::nan(""), std::numeric_limits<double>::infinity()}) {
+    serve::RecoveryRequest req = MakeValidRequest();
+    req.input.points[1].t = bad;
+    RejectionOf(req);
+    req = MakeValidRequest();
+    req.target_times[2] = bad;
+    RejectionOf(req);
+  }
+  // NaN must not slip through the ordering checks (NaN <= x is false, so a
+  // naive monotonicity scan would accept it).
+  serve::RecoveryRequest req = MakeValidRequest();
+  req.target_times[1] = std::nan("");
+  EXPECT_NE(RejectionOf(req).find("finite"), std::string::npos);
+}
+
+TEST(ValidateRequestTest, RejectsDuplicateTimestamps) {
+  serve::RecoveryRequest req = MakeValidRequest();
+  req.target_times[1] = req.target_times[0];  // duplicate grid slot
+  RejectionOf(req);
+  req = MakeValidRequest();
+  req.input.points[1].t = req.input.points[0].t;  // duplicate observation
+  RejectionOf(req);
+  req = MakeValidRequest();
+  req.input.points[1].t = -1.0;  // decreasing is just as dead
+  RejectionOf(req);
+}
+
+TEST(ValidateRequestTest, RejectsOutOfRangeInputIndices) {
+  serve::RecoveryRequest req = MakeValidRequest();
+  req.input_indices = {-1, 2};  // negative slot
+  RejectionOf(req);
+  req = MakeValidRequest();
+  req.input_indices = {0, 3};  // one past the grid
+  RejectionOf(req);
+  req = MakeValidRequest();
+  req.input_indices = {1, 1};  // not strictly increasing
+  RejectionOf(req);
+  req = MakeValidRequest();
+  req.input_indices = {0};  // misaligned with the points
+  RejectionOf(req);
+}
+
+TEST(ValidateRequestTest, RejectsEmptyInputOrGrid) {
+  serve::RecoveryRequest req = MakeValidRequest();
+  req.input.points.clear();
+  req.input_indices.clear();
+  RejectionOf(req);
+  req = MakeValidRequest();
+  req.target_times.clear();
+  RejectionOf(req);
 }
 
 // ----- Shared dataset fixture ------------------------------------------------
