@@ -119,7 +119,8 @@ bool Run() {
     serve::ServeStats stats;
     std::vector<serve::RecoveryResponse> responses;
   };
-  const auto run_service = [&](bool batched, int sessions) {
+  const auto run_service = [&](bool batched, int sessions,
+                               bool obs_on = false) {
     serve::RecoveryServiceConfig scfg;
     scfg.num_sessions = sessions;
     scfg.batched_forward = batched;
@@ -130,6 +131,13 @@ bool Run() {
     scfg.prefetch_radii = {mcfg.delta};
     scfg.max_dijkstra_rows = 1024;
     scfg.warm_model = false;  // already warmed for the warm-sequential run
+    if (obs_on) {
+      // The full observability plane: every request traced, stage profiling
+      // on. The overhead gate compares this against the obs-off twin.
+      scfg.trace.sample_rate = 1.0;
+      scfg.trace.ring_capacity = 256;
+      scfg.profile_stages = true;
+    }
     serve::RecoveryService service(&model, ctx, scfg);
     ServiceRun run;
     std::vector<std::future<serve::RecoveryResponse>> futures;
@@ -142,6 +150,20 @@ bool Run() {
     for (auto& f : futures) run.responses.push_back(f.get());
     run.total_s = Seconds(s0);
     run.stats = service.Stats();
+    if (obs_on) {
+      // Observability artifacts for CI: the metrics snapshot and the
+      // sampled-trace dump, written wherever the environment points.
+      if (const char* path = std::getenv("RNTR_METRICS_JSON")) {
+        std::ofstream out(path);
+        out << service.Metrics().ToJson() << "\n";
+        std::printf("wrote metrics snapshot to %s\n", path);
+      }
+      if (const char* path = std::getenv("RNTR_TRACE_JSON")) {
+        std::ofstream out(path);
+        out << service.tracer()->DumpJson() << "\n";
+        std::printf("wrote trace dump to %s\n", path);
+      }
+    }
     return run;
   };
 
@@ -152,6 +174,32 @@ bool Run() {
     if (ns == auto_sessions) continue;  // already measured
     sweep.emplace_back(ns, run_service(/*batched=*/true, ns));
   }
+
+  // --- observability overhead: the batched configuration on the same
+  // workload — tracing/metrics/profiling off vs everything on (sample_rate
+  // 1.0: every request carries a span tree; stage profiling global). The CI
+  // gate (ci/check_bench.py) is self-relative on THIS run: obs_on_rps must
+  // be >= 95% of obs_off_rps, so the claim "observability costs < 5%
+  // throughput" is re-proven on every box the bench runs on. Each side is
+  // the best of kObsRepeats interleaved runs: a single run on a shared box
+  // wobbles far more than the 5% gate (±10-30% observed), and min-time of
+  // repeated identical runs is the standard noise-floor estimator —
+  // best-vs-best keeps the comparison honest while interleaving cancels
+  // background-load drift.
+  constexpr int kObsRepeats = 3;
+  ServiceRun obs_off = run_service(/*batched=*/true, auto_sessions);
+  ServiceRun obs_on =
+      run_service(/*batched=*/true, auto_sessions, /*obs_on=*/true);
+  for (int rep = 1; rep < kObsRepeats; ++rep) {
+    ServiceRun off = run_service(/*batched=*/true, auto_sessions);
+    if (off.total_s < obs_off.total_s) obs_off = std::move(off);
+    ServiceRun on =
+        run_service(/*batched=*/true, auto_sessions, /*obs_on=*/true);
+    if (on.total_s < obs_on.total_s) obs_on = std::move(on);
+  }
+  const double obs_off_rps = num_requests / obs_off.total_s;
+  const double obs_on_rps = num_requests / obs_on.total_s;
+  const double obs_overhead_frac = 1.0 - obs_on_rps / obs_off_rps;
 
   const std::vector<serve::RecoveryResponse>& responses = batched.responses;
   const double serve_total_s = batched.total_s;
@@ -275,6 +323,16 @@ bool Run() {
                     TablePrinter::Num(run.stats.p99_ms, 2),
                     TablePrinter::Num(run.total_s, 2)});
   }
+  table.PrintRow({"service, batched, obs off",
+                  TablePrinter::Num(obs_off_rps, 1),
+                  TablePrinter::Num(obs_off.stats.p50_ms, 2),
+                  TablePrinter::Num(obs_off.stats.p99_ms, 2),
+                  TablePrinter::Num(obs_off.total_s, 2)});
+  table.PrintRow({"service, batched, obs ON (1.0)",
+                  TablePrinter::Num(obs_on_rps, 1),
+                  TablePrinter::Num(obs_on.stats.p50_ms, 2),
+                  TablePrinter::Num(obs_on.stats.p99_ms, 2),
+                  TablePrinter::Num(obs_on.total_s, 2)});
   std::printf("\nbatched service speedup vs cold sequential: %.2fx\n",
               cold_total_s / serve_total_s);
   std::printf("batched service speedup vs warm sequential: %.2fx\n",
@@ -289,6 +347,9 @@ bool Run() {
   std::printf("batched == sequential within 1e-5: %s (seg mismatches %d, max "
               "ratio diff %.2e, failed %d)\n",
               match ? "yes" : "NO", seg_mismatches, max_ratio_diff, bad);
+  std::printf("observability overhead (tracing 1.0 + stage profiling): "
+              "%.1f%% (%.1f -> %.1f req/s)\n",
+              100.0 * obs_overhead_frac, obs_off_rps, obs_on_rps);
 
   TablePrinter otable({"Overload (ladder)", "answered", "degraded", "shed",
                        "missed", "p99 ms"},
@@ -354,6 +415,9 @@ bool Run() {
          << "  \"failed_requests\": " << bad << ",\n"
          << "  \"served_matches_sequential\": " << (match ? "true" : "false")
          << ",\n"
+         << "  \"obs_off_rps\": " << obs_off_rps << ",\n"
+         << "  \"obs_on_rps\": " << obs_on_rps << ",\n"
+         << "  \"obs_overhead_frac\": " << obs_overhead_frac << ",\n"
          << "  \"overload_requests\": " << overload_requests << ",\n"
          << "  \"overload_offered_qps\": " << offered_qps << ",\n"
          << "  \"overload_deadline_ms\": " << overload_deadline_ms << ",\n"

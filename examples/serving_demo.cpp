@@ -1,14 +1,17 @@
 // Online recovery serving demo: the paper's motivating scenario turned into
 // a request/response system. Trains a small RNTrajRec, stands up a
 // RecoveryService (micro-batching queue + re-entrant sessions + roadnet
-// query caches), replays a Poisson request stream against it, and reports
-// throughput, latency percentiles, cache behaviour, and recovery accuracy —
-// verifying along the way that served answers match offline single-request
-// inference exactly.
+// query caches) with full observability on (per-request tracing, metrics
+// registry, stage profiling), replays a Poisson request stream against it,
+// and reports throughput, the complete outcome breakdown, latency
+// percentiles, a per-stage wall-time table, cache behaviour, and recovery
+// accuracy — verifying along the way that served answers match offline
+// single-request inference exactly.
 
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -82,6 +85,11 @@ int main() {
                       mcfg.decoder.spatial_prior_radius};
   scfg.prefetch_radii = {mcfg.delta};
   scfg.max_dijkstra_rows = 512;
+  // Full observability: trace every request (the demo stream is tiny) and
+  // attribute model wall time to stages for the table below.
+  scfg.trace.sample_rate = 1.0;
+  scfg.trace.ring_capacity = 64;
+  scfg.profile_stages = true;
   serve::RecoveryService service(&model, ctx, scfg);
 
   // Replay a Poisson request stream (open loop).
@@ -127,11 +135,51 @@ int main() {
   }
 
   const serve::ServeStats stats = service.Stats();
+  const obs::MetricsSnapshot ms = service.Metrics();
+  const auto counter = [&](const char* name) {
+    auto it = ms.counters.find(name);
+    return it == ms.counters.end() ? static_cast<long long>(0)
+                                   : static_cast<long long>(it->second);
+  };
   std::printf("\n-- serving results --\n");
   std::printf("completed %d/%d ok, %.1f req/s wall throughput\n", ok, kRequests,
               ok / wall_s);
+  // The full outcome breakdown: these six counters partition every
+  // submission (the conservation invariant the chaos suite asserts).
+  std::printf("outcomes: submitted %lld = ok %lld + degraded %lld + "
+              "validation_error %lld + deadline_missed %lld + shed %lld + "
+              "internal_error %lld\n",
+              counter("serve.submitted"), counter("serve.ok"),
+              counter("serve.degraded"), counter("serve.validation_error"),
+              counter("serve.deadline_missed"), counter("serve.shed"),
+              counter("serve.internal_error"));
   std::printf("latency p50 %.2f ms, p99 %.2f ms; mean batch %.2f\n",
               stats.p50_ms, stats.p99_ms, stats.mean_batch_size);
+  // Registry histograms: where a request's time went, by phase.
+  for (const char* hname : {"serve.latency_ms", "serve.queue_ms",
+                            "serve.infer_ms"}) {
+    auto it = ms.histograms.find(hname);
+    if (it == ms.histograms.end() || it->second.TotalCount() == 0) continue;
+    const obs::HistogramSnapshot& h = it->second;
+    std::printf("  %-16s count %6lld  mean %7.2f ms  p50 %7.2f  p90 %7.2f  "
+                "p99 %7.2f\n",
+                hname, static_cast<long long>(h.TotalCount()), h.Mean(),
+                h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99));
+  }
+  // Per-stage wall-time attribution (process-global profiler, exported
+  // through the registry as stage.* counters/gauges).
+  std::printf("stage profile (model wall time):\n");
+  for (const char* sname : {"subgraph", "transformer", "gat", "grl",
+                            "constraint_mask", "decoder"}) {
+    const std::string base = std::string("stage.") + sname;
+    auto cit = ms.counters.find(base + ".count");
+    auto git = ms.gauges.find(base + ".total_ms");
+    if (cit == ms.counters.end() || git == ms.gauges.end()) continue;
+    std::printf("  %-16s %9.2f ms over %6lld scopes\n", sname, git->second,
+                static_cast<long long>(cit->second));
+  }
+  std::printf("traces: %lld sampled, %lld dropped from ring\n",
+              counter("serve.trace.sampled"), counter("serve.trace.dropped"));
   std::printf("cell cache: %lld hits, %lld misses, %lld fallbacks, %lld "
               "entries resident\n",
               static_cast<long long>(stats.cache.hits),

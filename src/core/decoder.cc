@@ -6,6 +6,7 @@
 
 #include "src/common/random.h"
 #include "src/core/features.h"
+#include "src/obs/stage_profiler.h"
 #include "src/traj/resample.h"
 
 namespace rntraj {
@@ -55,6 +56,7 @@ Decoder::Decoder(const DecoderConfig& config, const ModelContext* ctx)
 
 Decoder::SampleCache Decoder::BuildSampleCache(
     const TrajectorySample& sample) const {
+  obs::ScopedStage stage(obs::Stage::kConstraintMask);
   SampleCache c;
   const int len = sample.truth.size();
   const int num_segs = ctx_->rn->num_segments();
@@ -158,6 +160,9 @@ Tensor Decoder::TrainLoss(const Tensor& enc_outputs, const Tensor& traj_h,
   SampleCache scratch;
   const SampleCache& cache = ResolveCache(sample, &scratch);
   const auto& masks = cache.masks;
+  // kDecoder covers the autoregressive pass; mask/prior construction above
+  // bills to kConstraintMask inside BuildSampleCache (disjoint scopes).
+  obs::ScopedStage stage(obs::Stage::kDecoder);
   Rng sampling_rng(
       SamplingSeed(sampling_epoch_.load(std::memory_order_relaxed), sample.uid));
   const auto keys = attn_.Precompute(enc_outputs);
@@ -208,6 +213,7 @@ MatchedTrajectory Decoder::Decode(const Tensor& enc_outputs,
   SampleCache scratch;
   const SampleCache& cache = ResolveCache(sample, &scratch);
   const auto& masks = cache.masks;
+  obs::ScopedStage stage(obs::Stage::kDecoder);
   const auto keys = attn_.Precompute(enc_outputs);
   MatchedTrajectory out;
   out.points.reserve(len);
@@ -329,6 +335,7 @@ std::vector<Tensor> Decoder::TrainLossBatch(
   if (batch == 0) return {};
   std::vector<SampleCache> scratch;
   BatchPlan plan = BuildBatchPlan(enc_outputs, traj_hs, samples, &scratch);
+  obs::ScopedStage stage(obs::Stage::kDecoder);
   // One scheduled-sampling engine per lane, seeded exactly like TrainLoss:
   // lane p draws once per step in step order, so its flip sequence is that
   // of the per-sample path regardless of batch composition or lane order.
@@ -426,6 +433,7 @@ std::vector<MatchedTrajectory> Decoder::DecodeBatch(
   const double eps = ctx_->eps_rho;
   std::vector<SampleCache> scratch;
   BatchPlan plan = BuildBatchPlan(enc_outputs, traj_hs, samples, &scratch);
+  obs::ScopedStage stage(obs::Stage::kDecoder);
 
   std::vector<MatchedTrajectory> sorted_out(batch);
   for (int p = 0; p < batch; ++p) {

@@ -1,5 +1,7 @@
 #include "src/core/gpsformer.h"
 
+#include "src/obs/stage_profiler.h"
+
 namespace rntraj {
 
 GpsFormer::GpsFormer(const GpsFormerConfig& config) : cfg_(config) {
@@ -24,7 +26,10 @@ GpsFormer::BatchOutput GpsFormer::ForwardBatch(
   PaddedBatch pb = PaddedBatch::FromFlat(h, lengths);
   const Tensor row_mask = pb.RowMask();
   for (int n = 0; n < cfg_.blocks; ++n) {
-    pb = encoder_[n]->ForwardBatched(pb, row_mask);
+    {
+      obs::ScopedStage stage(obs::Stage::kTransformer);
+      pb = encoder_[n]->ForwardBatched(pb, row_mask);
+    }
     if (!cfg_.use_grl) continue;  // Table V "w/o GRL"
     z = grl_[n]->ForwardBatch(pb.Flat(), z, graphs, lengths);
     // Eq. (13): H^l = GraphReadout(Z^l), one masked mean-pool per sub-graph.
@@ -44,7 +49,11 @@ GpsFormer::Output GpsFormer::Forward(
   Tensor h = Add(h0, SinusoidalPositionEncoding(l, cfg_.dim));
   std::vector<Tensor> z = z0;
   for (int n = 0; n < cfg_.blocks; ++n) {
-    Tensor tr = encoder_[n]->Forward(h);
+    Tensor tr;
+    {
+      obs::ScopedStage stage(obs::Stage::kTransformer);
+      tr = encoder_[n]->Forward(h);
+    }
     if (!cfg_.use_grl) {
       h = tr;  // Table V "w/o GRL": temporal modelling only
       continue;

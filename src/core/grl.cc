@@ -1,5 +1,7 @@
 #include "src/core/grl.h"
 
+#include "src/obs/stage_profiler.h"
+
 #include "src/nn/init.h"
 
 namespace rntraj {
@@ -117,20 +119,28 @@ Tensor GraphRefinementLayer::ForwardBatch(
   // node-side and timestep-side projections are single fat GEMMs over all
   // nodes / all timesteps; GatherRows broadcasts each timestep's row to its
   // sub-graph's nodes (elementwise identical to the per-sample Fuse).
-  Tensor trx = GatherRows(tr, node2graph);  // (total_nodes, d)
-  Tensor fuse_out;
-  if (cfg_.use_gated_fusion) {
-    // Eq. (7): z = sigma(tr W1 + Z W2 + b); out = z*tr + (1-z)*Z.
-    Tensor trw1 = Matmul(tr, wz1_);  // (num_graphs, d)
-    Tensor gate = Sigmoid(Add(AddRowBroadcast(Matmul(z, wz2_), bz_),
-                              GatherRows(trw1, node2graph)));
-    fuse_out = Add(Mul(gate, trx), Mul(AddScalar(Neg(gate), 1.0f), z));
-  } else {
-    // Table V "w/o GF": concatenation + feed-forward.
-    fuse_out = Relu(fuse_lin_.Forward(ConcatCols({trx, z})));
+  // Stage attribution: kGrl times the fusion + norm sub-layers, kGat the
+  // GAT propagation alone — disjoint scopes, so the profile splits "graph
+  // attention" from "the rest of the refinement layer" (RNTrajRec Fig. 6's
+  // efficiency axis; the fusion-target data for ROADMAP open item 1).
+  Tensor a;
+  {
+    obs::ScopedStage stage(obs::Stage::kGrl);
+    Tensor trx = GatherRows(tr, node2graph);  // (total_nodes, d)
+    Tensor fuse_out;
+    if (cfg_.use_gated_fusion) {
+      // Eq. (7): z = sigma(tr W1 + Z W2 + b); out = z*tr + (1-z)*Z.
+      Tensor trw1 = Matmul(tr, wz1_);  // (num_graphs, d)
+      Tensor gate = Sigmoid(Add(AddRowBroadcast(Matmul(z, wz2_), bz_),
+                                GatherRows(trw1, node2graph)));
+      fuse_out = Add(Mul(gate, trx), Mul(AddScalar(Neg(gate), 1.0f), z));
+    } else {
+      // Table V "w/o GF": concatenation + feed-forward.
+      fuse_out = Relu(fuse_lin_.Forward(ConcatCols({trx, z})));
+    }
+    a = NormaliseBatch(0, Add(z, fuse_out), graph_sizes,
+                       sample_graph_counts);
   }
-  Tensor a = NormaliseBatch(0, Add(z, fuse_out), graph_sizes,
-                            sample_graph_counts);
 
   // Sub-layer 2: GraphNorm(x + GraphForward(x)). GAT propagation runs ONE
   // block-diagonal batched pass over all sub-graphs (per-graph softmax
@@ -139,11 +149,16 @@ Tensor GraphRefinementLayer::ForwardBatch(
   Tensor forwarded;
   if (cfg_.use_gat) {
     Tensor prop = a;
-    for (auto& layer : gat_) prop = layer->ForwardBatched(prop, graphs);
+    {
+      obs::ScopedStage stage(obs::Stage::kGat);
+      for (auto& layer : gat_) prop = layer->ForwardBatched(prop, graphs);
+    }
     forwarded = Add(a, prop);
   } else {
+    obs::ScopedStage stage(obs::Stage::kGrl);
     forwarded = Add(a, fwd_ffn_.Forward(a));
   }
+  obs::ScopedStage stage(obs::Stage::kGrl);
   return NormaliseBatch(1, forwarded, graph_sizes, sample_graph_counts);
 }
 
@@ -155,26 +170,36 @@ std::vector<Tensor> GraphRefinementLayer::Forward(
   const int l = tr.dim(0);
 
   // Sub-layer 1: GraphNorm(x + GatedFusion(x)).
-  std::vector<Tensor> fused;
-  fused.reserve(l);
-  for (int i = 0; i < l; ++i) {
-    Tensor tr_row = SliceRows(tr, i, 1);
-    fused.push_back(Add(z[i], Fuse(tr_row, z[i])));
+  std::vector<Tensor> a;
+  {
+    obs::ScopedStage stage(obs::Stage::kGrl);
+    std::vector<Tensor> fused;
+    fused.reserve(l);
+    for (int i = 0; i < l; ++i) {
+      Tensor tr_row = SliceRows(tr, i, 1);
+      fused.push_back(Add(z[i], Fuse(tr_row, z[i])));
+    }
+    a = Normalise(0, fused);
   }
-  std::vector<Tensor> a = Normalise(0, fused);
 
-  // Sub-layer 2: GraphNorm(x + GraphForward(x)).
+  // Sub-layer 2: GraphNorm(x + GraphForward(x)). Same stage split as the
+  // batched path: kGat covers only the attention propagation.
   std::vector<Tensor> forwarded;
   forwarded.reserve(l);
-  for (int i = 0; i < l; ++i) {
-    Tensor g = a[i];
-    if (cfg_.use_gat) {
+  if (cfg_.use_gat) {
+    obs::ScopedStage stage(obs::Stage::kGat);
+    for (int i = 0; i < l; ++i) {
+      Tensor g = a[i];
       for (auto& layer : gat_) g = layer->Forward(g, *graphs[i]);
-    } else {
-      g = fwd_ffn_.Forward(g);  // Table V "w/o GAT"
+      forwarded.push_back(Add(a[i], g));
     }
-    forwarded.push_back(Add(a[i], g));
+  } else {
+    obs::ScopedStage stage(obs::Stage::kGrl);
+    for (int i = 0; i < l; ++i) {
+      forwarded.push_back(Add(a[i], fwd_ffn_.Forward(a[i])));
+    }
   }
+  obs::ScopedStage stage(obs::Stage::kGrl);
   return Normalise(1, forwarded);
 }
 

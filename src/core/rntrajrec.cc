@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/nn/init.h"
+#include "src/obs/stage_profiler.h"
 
 namespace rntraj {
 
@@ -30,6 +31,7 @@ RnTrajRec::RnTrajRec(RnTrajRecConfig config, const ModelContext& ctx)
 
 RnTrajRec::PointContexts RnTrajRec::BuildPointContexts(
     const TrajectorySample& sample) const {
+  obs::ScopedStage stage(obs::Stage::kSubgraph);
   PointContexts pts;
   pts.pts.reserve(sample.input.size());
   for (const auto& rp : sample.input.points) {
@@ -83,19 +85,23 @@ RnTrajRec::Encoded RnTrajRec::Encode(const TrajectorySample& sample,
   // weighted-mean point features g_p (Eq. (6)).
   std::vector<Tensor> z0;
   std::vector<const DenseGraph*> graphs;
-  std::vector<Tensor> gp_rows;
-  z0.reserve(l);
-  graphs.reserve(l);
-  gp_rows.reserve(l);
-  for (const auto& cp : pts.pts) {
-    Tensor zi = GatherRows(xroad_, cp.sg.seg_ids);  // (n_i, d)
-    gp_rows.push_back(Matmul(cp.pool_weights, zi)); // (1, d)
-    z0.push_back(std::move(zi));
-    graphs.push_back(&cp.dense);
+  Tensor h0;
+  {
+    obs::ScopedStage stage(obs::Stage::kSubgraph);
+    std::vector<Tensor> gp_rows;
+    z0.reserve(l);
+    graphs.reserve(l);
+    gp_rows.reserve(l);
+    for (const auto& cp : pts.pts) {
+      Tensor zi = GatherRows(xroad_, cp.sg.seg_ids);  // (n_i, d)
+      gp_rows.push_back(Matmul(cp.pool_weights, zi)); // (1, d)
+      z0.push_back(std::move(zi));
+      graphs.push_back(&cp.dense);
+    }
+    Tensor gp = ConcatRows(gp_rows);  // (l, d)
+    h0 = input_proj_.Forward(ConcatCols(
+        {gp, InputTimeColumn(sample), InputGridCoords(ctx_, sample)}));
   }
-  Tensor gp = ConcatRows(gp_rows);  // (l, d)
-  Tensor h0 = input_proj_.Forward(ConcatCols(
-      {gp, InputTimeColumn(sample), InputGridCoords(ctx_, sample)}));
 
   GpsFormer::Output out = gpsformer_.Forward(h0, z0, graphs);
 
@@ -136,35 +142,42 @@ std::vector<RnTrajRec::Encoded> RnTrajRec::EncodeBatch(
   // input projection is one (sum of lengths, d+3) GEMM. The block-diagonal
   // masks concatenate from the per-sample cached packs (no per-graph work).
   std::vector<int> lengths(batch);
-  std::vector<Tensor> z0_parts;
-  std::vector<const BatchedDenseGraph*> graph_parts;
-  std::vector<Tensor> feat_parts;
   std::vector<Tensor> env_rows;
-  graph_parts.reserve(batch);
-  feat_parts.reserve(batch);
-  env_rows.reserve(batch);
-  for (int s = 0; s < batch; ++s) {
-    const TrajectorySample& sample = *samples[s];
-    lengths[s] = sample.input.size();
-    std::vector<Tensor> gp_rows;
-    gp_rows.reserve(lengths[s]);
-    for (const PointContext& cp : pts[s]->pts) {
-      Tensor zi = GatherRows(xroad_, cp.sg.seg_ids);   // (n_i, d)
-      gp_rows.push_back(Matmul(cp.pool_weights, zi));  // (1, d), Eq. (6)
-      z0_parts.push_back(std::move(zi));
-    }
-    graph_parts.push_back(&pts[s]->batched);
-    feat_parts.push_back(ConcatCols({ConcatRows(gp_rows),
-                                     InputTimeColumn(sample),
-                                     InputGridCoords(ctx_, sample)}));
-    env_rows.push_back(EnvContext(sample));
-  }
-  Tensor h0 = input_proj_.Forward(
-      feat_parts.size() == 1 ? feat_parts[0] : ConcatRows(feat_parts));
-  Tensor z0 = z0_parts.size() == 1 ? z0_parts[0] : ConcatRows(z0_parts);
+  Tensor h0;
+  Tensor z0;
   BatchedDenseGraph concat;
-  if (batch > 1) concat = ConcatBatchedDenseGraphs(graph_parts);
-  const BatchedDenseGraph& graphs = batch == 1 ? pts[0]->batched : concat;
+  const BatchedDenseGraph* graphs_ptr = nullptr;
+  {
+    obs::ScopedStage stage(obs::Stage::kSubgraph);
+    std::vector<Tensor> z0_parts;
+    std::vector<const BatchedDenseGraph*> graph_parts;
+    std::vector<Tensor> feat_parts;
+    graph_parts.reserve(batch);
+    feat_parts.reserve(batch);
+    env_rows.reserve(batch);
+    for (int s = 0; s < batch; ++s) {
+      const TrajectorySample& sample = *samples[s];
+      lengths[s] = sample.input.size();
+      std::vector<Tensor> gp_rows;
+      gp_rows.reserve(lengths[s]);
+      for (const PointContext& cp : pts[s]->pts) {
+        Tensor zi = GatherRows(xroad_, cp.sg.seg_ids);   // (n_i, d)
+        gp_rows.push_back(Matmul(cp.pool_weights, zi));  // (1, d), Eq. (6)
+        z0_parts.push_back(std::move(zi));
+      }
+      graph_parts.push_back(&pts[s]->batched);
+      feat_parts.push_back(ConcatCols({ConcatRows(gp_rows),
+                                       InputTimeColumn(sample),
+                                       InputGridCoords(ctx_, sample)}));
+      env_rows.push_back(EnvContext(sample));
+    }
+    h0 = input_proj_.Forward(
+        feat_parts.size() == 1 ? feat_parts[0] : ConcatRows(feat_parts));
+    z0 = z0_parts.size() == 1 ? z0_parts[0] : ConcatRows(z0_parts);
+    if (batch > 1) concat = ConcatBatchedDenseGraphs(graph_parts);
+    graphs_ptr = batch == 1 ? &pts[0]->batched : &concat;
+  }
+  const BatchedDenseGraph& graphs = *graphs_ptr;
 
   GpsFormer::BatchOutput out =
       gpsformer_.ForwardBatch(h0, lengths, z0, graphs);

@@ -20,6 +20,14 @@ TrainStats TrainModel(RecoveryModel& model,
   if (!model.IsLearned() || data.empty()) return stats;
 
   const auto start = std::chrono::steady_clock::now();
+  // Stage profiling: flip the global profiler on for the run and report each
+  // epoch's delta, so the per-epoch tables attribute that epoch's wall time
+  // only (the profiler is cumulative and process-global).
+  obs::StageProfiler& profiler = obs::StageProfiler::Global();
+  const bool prev_profiling = profiler.enabled();
+  if (cfg.profile_stages) profiler.set_enabled(true);
+  const obs::StageProfile profile_start = profiler.Snapshot();
+  obs::StageProfile profile_prev = profile_start;
   // Recycle op outputs across iterations: after the first batch, nearly every
   // forward/backward allocation is served from the pool.
   BufferPoolScope pool_scope;
@@ -91,6 +99,21 @@ TrainStats TrainModel(RecoveryModel& model,
       std::fprintf(stderr, "[train] epoch %d/%d loss %.4f\n", epoch + 1,
                    cfg.epochs, stats.epoch_losses.back());
     }
+    if (cfg.profile_stages) {
+      const obs::StageProfile now = profiler.Snapshot();
+      if (cfg.verbose) {
+        const std::string table = now.Delta(profile_prev).ToTable();
+        if (!table.empty()) {
+          std::fprintf(stderr, "[train] epoch %d stage profile:\n%s", epoch + 1,
+                       table.c_str());
+        }
+      }
+      profile_prev = now;
+    }
+  }
+  if (cfg.profile_stages) {
+    stats.stage_profile = profiler.Snapshot().Delta(profile_start);
+    profiler.set_enabled(prev_profiling);
   }
   model.SetTrainingMode(false);
   stats.seconds = std::chrono::duration<double>(

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/core/model_api.h"
+#include "src/obs/stage_profiler.h"
 
 /// \file trainer.h
 /// Generic training/inference harness shared by every learned method: Adam,
@@ -37,12 +38,21 @@ struct TrainConfig {
   /// path within float rounding (~1e-6) for RnTrajRec. Disable to force
   /// the per-sample reference path.
   bool batched_forward = true;
+  /// Enables the process-global stage profiler for the run and prints a
+  /// per-epoch stage table (subgraph/transformer/gat/grl/constraint_mask/
+  /// decoder wall-time shares) to stderr when `verbose` is also set. The
+  /// profiler's prior enabled state is restored when TrainModel returns.
+  bool profile_stages = false;
 };
 
 /// Per-run training telemetry.
 struct TrainStats {
   std::vector<double> epoch_losses;
   double seconds = 0.0;
+  /// Stage wall-time attribution accumulated over the whole run; empty
+  /// (all-zero) unless TrainConfig::profile_stages was set. Render with
+  /// StageProfile::ToTable().
+  obs::StageProfile stage_profile;
 };
 
 /// Trains a model in place; a no-op (zero stats) for non-learned methods.

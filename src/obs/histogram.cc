@@ -1,0 +1,153 @@
+#include "src/obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rntraj {
+namespace obs {
+
+namespace {
+
+std::shared_ptr<const std::vector<double>> BuildEdges(
+    const HistogramOptions& opt) {
+  // Edges at min * 10^(i / bpd). Computed once, by the same pow() calls the
+  // tests use, so "a value exactly on an edge" is well-defined: Record()
+  // classifies by binary search over THESE doubles, not by a log() whose
+  // rounding could disagree with pow().
+  const double min_v = opt.min_value > 0.0 ? opt.min_value : 1e-3;
+  const double max_v = std::max(opt.max_value, min_v * 10.0);
+  const int bpd = std::max(1, opt.buckets_per_decade);
+  auto edges = std::make_shared<std::vector<double>>();
+  edges->push_back(min_v);
+  for (int i = 1;; ++i) {
+    const double e = min_v * std::pow(10.0, static_cast<double>(i) /
+                                                static_cast<double>(bpd));
+    if (e >= max_v) {
+      edges->push_back(max_v);
+      break;
+    }
+    edges->push_back(e);
+  }
+  return edges;
+}
+
+void AtomicMin(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int64_t HistogramSnapshot::TotalCount() const {
+  int64_t n = 0;
+  for (int64_t c : counts) n += c;
+  return n;
+}
+
+double HistogramSnapshot::Mean() const {
+  const int64_t n = TotalCount();
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  const int64_t n = TotalCount();
+  if (n <= 0 || edges == nullptr) return 0.0;
+  const long long rank = QuantileRank(q, n);
+  int64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    if (rank < cum) {
+      if (i == 0) {
+        // Underflow bucket: everything here is below the first edge; the
+        // observed min is the tightest deterministic answer we have.
+        return std::min(min, (*edges)[0]);
+      }
+      if (i == counts.size() - 1) {
+        // Overflow bucket: bounded above only by the observed max.
+        return std::max(max, edges->back());
+      }
+      // Finite bucket [edges[i-1], edges[i]): report the upper edge — an
+      // upper bound of the exact-sample quantile, tight to one bucket
+      // width — clamped to the observed max so a single sample reports
+      // itself, not its bucket's ceiling.
+      return std::min((*edges)[i], max);
+    }
+  }
+  return max;  // unreachable: rank < n == cum after the loop
+}
+
+bool HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (counts.size() != other.counts.size()) return false;
+  for (size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  return true;
+}
+
+HistogramSnapshot HistogramSnapshot::Delta(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot d = *this;
+  if (earlier.counts.size() != counts.size()) return d;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    d.counts[i] = counts[i] - earlier.counts[i];
+    if (d.counts[i] < 0) d.counts[i] = 0;  // counter reset upstream
+  }
+  d.sum = sum - earlier.sum;
+  return d;
+}
+
+LatencyHistogram::LatencyHistogram(const HistogramOptions& options)
+    : edges_(BuildEdges(options)) {
+  num_counts_ = edges_->size() + 1;
+  counts_ = std::make_unique<std::atomic<int64_t>[]>(num_counts_);
+  for (size_t i = 0; i < num_counts_; ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void LatencyHistogram::Record(double value) {
+  if (std::isnan(value)) return;
+  const std::vector<double>& e = *edges_;
+  // First edge strictly greater than value; value == edge lands in the
+  // bucket whose LOWER edge it is (half-open [lo, hi) buckets).
+  const size_t idx = static_cast<size_t>(
+      std::upper_bound(e.begin(), e.end(), value) - e.begin());
+  // idx 0 -> underflow; idx == e.size() -> v >= last edge -> overflow.
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.edges = edges_;
+  s.counts.resize(num_counts_);
+  for (size_t i = 0; i < num_counts_; ++i) {
+    s.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  const double mn = min_.load(std::memory_order_relaxed);
+  const double mx = max_.load(std::memory_order_relaxed);
+  s.min = std::isinf(mn) ? 0.0 : mn;
+  s.max = std::isinf(mx) ? 0.0 : mx;
+  return s;
+}
+
+}  // namespace obs
+}  // namespace rntraj

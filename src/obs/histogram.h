@@ -1,0 +1,111 @@
+#ifndef RNTRAJ_OBS_HISTOGRAM_H_
+#define RNTRAJ_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/obs/quantile.h"
+
+/// \file histogram.h
+/// Fixed-bucket log-scale latency histogram with EXACT counts: every
+/// recorded value lands in exactly one bucket, bucket edges are computed
+/// once at construction, and Record() is a binary search plus one relaxed
+/// atomic increment — no locks, no stored samples. Quantiles over the
+/// bucket counts use the tree-wide rank rule (obs/quantile.h) and answer
+/// with the rank's bucket upper edge (clamped to the observed max), so
+/// p50/p99 are deterministic, reproducible across thread interleavings, and
+/// *mergeable*: summing two workers' bucket counts yields exactly the
+/// histogram of the union of their samples. This replaces ServeStats'
+/// stored-sample ring: a window of samples cannot be merged across workers
+/// and its percentiles depend on arrival order once the ring wraps.
+///
+/// Relative quantile error is bounded by one bucket's width. The default
+/// 48 buckets per decade keeps that under 10^(1/48) - 1 ~ 4.9%.
+
+namespace rntraj {
+namespace obs {
+
+/// Bucket layout. Edges at min_value * 10^(i / buckets_per_decade) up to
+/// max_value; one underflow bucket below min_value, one overflow bucket at
+/// max_value and above.
+struct HistogramOptions {
+  double min_value = 1e-3;     ///< First finite bucket edge (1 us in ms).
+  double max_value = 1e5;      ///< Last finite bucket edge (100 s in ms).
+  int buckets_per_decade = 48; ///< Bucket relative width 10^(1/bpd)-1 ~ 4.9%.
+};
+
+/// Immutable copy of a histogram's counts — the unit of export, merge and
+/// delta. Two snapshots are layout-compatible iff they came from histograms
+/// with identical options.
+struct HistogramSnapshot {
+  /// Finite bucket edges, ascending, size B+1 for B finite buckets.
+  /// counts[0] is the underflow bucket (v < edges[0]); counts[1 + i] covers
+  /// [edges[i], edges[i+1]); counts.back() is the overflow bucket
+  /// (v >= edges.back()). Edges are shared with the source histogram.
+  std::shared_ptr<const std::vector<double>> edges;
+  std::vector<int64_t> counts;  ///< Size edges->size() + 1.
+  double sum = 0.0;
+  /// Observed extrema over the histogram's whole lifetime (NOT per delta
+  /// window — a delta keeps the newer snapshot's extrema, which still upper-
+  /// bounds the window). +inf/-inf respectively when nothing was recorded.
+  double min = 0.0;
+  double max = 0.0;
+
+  int64_t TotalCount() const;
+  double Mean() const;
+
+  /// q-quantile by the shared rank rule over exact bucket counts: the
+  /// upper edge of the bucket holding rank(q, count), clamped to the
+  /// observed max (and to the observed min for the underflow bucket).
+  /// 0 when empty. Deterministic and stable under merge.
+  double Quantile(double q) const;
+
+  /// Adds `other`'s counts/sum into this snapshot (same layout required;
+  /// returns false and leaves *this untouched on a layout mismatch). The
+  /// fleet-aggregation primitive: merge(worker snapshots) == one worker
+  /// having seen all samples.
+  bool Merge(const HistogramSnapshot& other);
+
+  /// Counts recorded since `earlier` (same layout required); the periodic-
+  /// dump primitive. Extrema are kept from *this (see note above).
+  HistogramSnapshot Delta(const HistogramSnapshot& earlier) const;
+};
+
+/// The live, concurrently-writable histogram. Record() is wait-free after
+/// the edge binary search; Snapshot() is racy-consistent (each counter read
+/// atomically; a snapshot taken mid-Record may miss in-flight values but
+/// never tears).
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(const HistogramOptions& options = {});
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Records one value. NaN is dropped (a NaN latency is a bug upstream,
+  /// not a tail sample); +/-inf land in overflow/underflow.
+  void Record(double value);
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Convenience: quantile of the current contents.
+  double Quantile(double q) const { return Snapshot().Quantile(q); }
+
+  const std::vector<double>& edges() const { return *edges_; }
+
+ private:
+  std::shared_ptr<const std::vector<double>> edges_;
+  /// counts_[0] underflow, counts_[1..B] finite, counts_[B+1] overflow.
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;
+  size_t num_counts_;
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  ///< +inf sentinel set in ctor.
+  std::atomic<double> max_{0.0};  ///< -inf sentinel set in ctor.
+};
+
+}  // namespace obs
+}  // namespace rntraj
+
+#endif  // RNTRAJ_OBS_HISTOGRAM_H_

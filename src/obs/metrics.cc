@@ -1,0 +1,200 @@
+#include "src/obs/metrics.h"
+
+#include <cctype>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+namespace rntraj {
+namespace obs {
+
+namespace {
+
+/// Shortest round-trip-safe double formatting (JSON has no inf/nan).
+std::string Num(double v) {
+  if (v != v) return "0";
+  if (v == std::numeric_limits<double>::infinity()) return "1e308";
+  if (v == -std::numeric_limits<double>::infinity()) return "-1e308";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // %.17g is exact but verbose; prefer the short form when it round-trips.
+  char short_buf[64];
+  std::snprintf(short_buf, sizeof(short_buf), "%.6g", v);
+  double back = 0.0;
+  std::sscanf(short_buf, "%lf", &back);
+  return back == v ? short_buf : buf;
+}
+
+/// Metric names are code-controlled identifiers; escape defensively anyway.
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Prometheus metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string PromName(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) || c == ':'
+                      ? c
+                      : '_');
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void AppendHistogramJson(std::string* out, const HistogramSnapshot& h) {
+  *out += "{\"count\":" + std::to_string(h.TotalCount());
+  *out += ",\"sum\":" + Num(h.sum);
+  *out += ",\"min\":" + Num(h.min);
+  *out += ",\"max\":" + Num(h.max);
+  *out += ",\"mean\":" + Num(h.Mean());
+  *out += ",\"p50\":" + Num(h.Quantile(0.50));
+  *out += ",\"p90\":" + Num(h.Quantile(0.90));
+  *out += ",\"p99\":" + Num(h.Quantile(0.99));
+  *out += ",\"buckets\":[";
+  bool first = true;
+  for (size_t i = 0; i < h.counts.size(); ++i) {
+    if (h.counts[i] == 0) continue;
+    if (!first) *out += ",";
+    first = false;
+    // `le` is the bucket's exclusive upper edge; the overflow bucket is
+    // unbounded ("inf" as in the Prometheus exposition).
+    const std::string le = (h.edges != nullptr && i < h.edges->size())
+                               ? Num((*h.edges)[i])
+                               : std::string("\"inf\"");
+    *out += "{\"le\":" + le + ",\"count\":" + std::to_string(h.counts[i]) +
+            "}";
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot d = *this;
+  for (auto& [name, v] : d.counters) {
+    auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) v -= it->second;
+  }
+  for (auto& [name, h] : d.histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it != earlier.histograms.end()) h = h.Delta(it->second);
+  }
+  return d;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] = v;
+  for (const auto& [name, h] : other.histograms) {
+    auto [it, inserted] = histograms.emplace(name, h);
+    if (!inserted) it->second.Merge(h);
+  }
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonString(name) + ":" + std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonString(name) + ":" + Num(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += JsonString(name) + ":";
+    AppendHistogramJson(&out, h);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    const std::string n = PromName(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string n = PromName(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + Num(v) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string n = PromName(name);
+    out += "# TYPE " + n + " histogram\n";
+    // Cumulative `le` series, as the exposition format specifies. The
+    // underflow bucket folds into the first finite `le`.
+    int64_t cum = 0;
+    if (h.edges != nullptr) {
+      for (size_t i = 0; i < h.edges->size(); ++i) {
+        cum += h.counts[i];
+        out += n + "_bucket{le=\"" + Num((*h.edges)[i]) + "\"} " +
+               std::to_string(cum) + "\n";
+      }
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.TotalCount()) +
+           "\n";
+    out += n + "_sum " + Num(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.TotalCount()) + "\n";
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(
+    const std::string& name, const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>(options);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot s;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) s.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace(name, h->Snapshot());
+  }
+  return s;
+}
+
+}  // namespace obs
+}  // namespace rntraj

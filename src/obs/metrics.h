@@ -1,0 +1,123 @@
+#ifndef RNTRAJ_OBS_METRICS_H_
+#define RNTRAJ_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/obs/histogram.h"
+
+/// \file metrics.h
+/// The named-metric registry: counters, gauges and latency histograms
+/// looked up once by name (mutex-guarded registration, cold path) and then
+/// incremented through stable pointers (lock-free, hot path). Counters
+/// shard across cache lines so concurrent producers do not bounce one
+/// line. A MetricsSnapshot is the export unit — JSON and Prometheus text
+/// for scrapers, Delta() for periodic dumps, Merge() for aggregating
+/// per-worker snapshots into a fleet view (ROADMAP open item 2: the
+/// router's input).
+
+namespace rntraj {
+namespace obs {
+
+/// Monotonic counter; Add is a relaxed fetch_add on one of kShards
+/// cache-line-padded atomics picked by thread identity.
+class Counter {
+ public:
+  void Add(int64_t n = 1) {
+    shards_[ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  static constexpr size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<int64_t> v{0};
+  };
+  static size_t ShardIndex() {
+    static thread_local const size_t slot =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+    return slot;
+  }
+  Shard shards_[kShards];
+};
+
+/// Last-writer-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Point-in-time copy of every registered metric. Maps are name-sorted, so
+/// exports are byte-deterministic for identical contents.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Activity since `earlier` (counters/histograms subtract; gauges keep
+  /// their current value — an instantaneous reading has no delta).
+  MetricsSnapshot Delta(const MetricsSnapshot& earlier) const;
+
+  /// Folds another worker's snapshot in: counters/histogram counts add,
+  /// gauges last-writer-wins (other overwrites on a shared name).
+  void Merge(const MetricsSnapshot& other);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,
+  /// max,mean,p50,p90,p99,buckets:[{le,count},...]}}} — buckets list only
+  /// non-empty ones. Self-contained: a scraped file carries everything a
+  /// fleet aggregator needs.
+  std::string ToJson() const;
+
+  /// Prometheus text exposition (counters, gauges, cumulative-`le`
+  /// histogram series + _sum/_count). Metric names are sanitised to
+  /// [a-zA-Z0-9_:] as the format requires.
+  std::string ToPrometheusText() const;
+};
+
+/// The registry. Thread-safe; returned pointers stay valid for the
+/// registry's lifetime — resolve names once, increment forever.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `options` applies on first registration only (a histogram's layout is
+  /// immutable; callers re-resolving a name get the existing instance).
+  LatencyHistogram* GetHistogram(const std::string& name,
+                                 const HistogramOptions& options = {});
+
+  MetricsSnapshot Snapshot() const;
+  /// Current snapshot minus `since` — the periodic-dump primitive.
+  MetricsSnapshot SnapshotDelta(const MetricsSnapshot& since) const {
+    return Snapshot().Delta(since);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace rntraj
+
+#endif  // RNTRAJ_OBS_METRICS_H_

@@ -1,0 +1,17 @@
+#include "src/obs/quantile.h"
+
+#include <algorithm>
+
+namespace rntraj {
+namespace obs {
+
+double ExactQuantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  const long long k =
+      QuantileRank(q, static_cast<long long>(values.size()));
+  std::nth_element(values.begin(), values.begin() + k, values.end());
+  return values[static_cast<size_t>(k)];
+}
+
+}  // namespace obs
+}  // namespace rntraj

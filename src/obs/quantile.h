@@ -1,0 +1,41 @@
+#ifndef RNTRAJ_OBS_QUANTILE_H_
+#define RNTRAJ_OBS_QUANTILE_H_
+
+#include <vector>
+
+/// \file quantile.h
+/// THE quantile definition of this tree. Every percentile the project
+/// reports — ServeStats, the serving benchmarks, the metrics registry's
+/// histograms — uses the same rank rule, pinned by obs_test:
+///
+///   rank(q, n) = floor(q * (n - 1)),   zero-indexed, q in [0, 1]
+///
+/// i.e. the q-quantile of n samples is the rank(q,n)-th smallest sample
+/// (the "lower" / type-1 empirical quantile: p0 = min, p100 = max, no
+/// interpolation). An empty input yields 0. LatencyHistogram::Quantile
+/// applies the identical rule to its exact bucket counts and answers with
+/// that rank's bucket upper edge, so histogram quantiles are a deterministic
+/// upper bound of the exact-sample quantile, off by at most one bucket's
+/// relative width.
+
+namespace rntraj {
+namespace obs {
+
+/// Exact q-quantile of `values` by selection (O(n) nth_element); 0 when
+/// empty. Takes its argument by value: selection reorders it.
+double ExactQuantile(std::vector<double> values, double q);
+
+/// The shared rank rule, exposed so the histogram and the exact helper can
+/// never drift apart: zero-indexed rank of the q-quantile among n samples.
+inline long long QuantileRank(double q, long long n) {
+  if (n <= 0) return 0;
+  long long k = static_cast<long long>(q * static_cast<double>(n - 1));
+  if (k < 0) k = 0;
+  if (k > n - 1) k = n - 1;
+  return k;
+}
+
+}  // namespace obs
+}  // namespace rntraj
+
+#endif  // RNTRAJ_OBS_QUANTILE_H_

@@ -1,0 +1,92 @@
+#include "src/obs/stage_profiler.h"
+
+#include <cstdio>
+
+namespace rntraj {
+namespace obs {
+
+namespace {
+
+thread_local StageCaptureScope* tls_capture = nullptr;
+
+}  // namespace
+
+const char* StageName(Stage s) {
+  switch (s) {
+    case Stage::kSubgraph: return "subgraph";
+    case Stage::kTransformer: return "transformer";
+    case Stage::kGat: return "gat";
+    case Stage::kGrl: return "grl";
+    case Stage::kConstraintMask: return "constraint_mask";
+    case Stage::kDecoder: return "decoder";
+    case Stage::kCount: break;
+  }
+  return "?";
+}
+
+int64_t StageProfile::TotalNs() const {
+  int64_t total = 0;
+  for (const StageStat& s : stages) total += s.ns;
+  return total;
+}
+
+StageProfile StageProfile::Delta(const StageProfile& earlier) const {
+  StageProfile d = *this;
+  for (int i = 0; i < kStageCount; ++i) {
+    d.stages[i].ns -= earlier.stages[i].ns;
+    d.stages[i].count -= earlier.stages[i].count;
+  }
+  return d;
+}
+
+std::string StageProfile::ToTable() const {
+  const int64_t total = TotalNs();
+  if (total <= 0) return "";
+  std::string out;
+  char line[128];
+  std::snprintf(line, sizeof(line), "  %-16s %10s %8s %7s\n", "stage",
+                "total_ms", "count", "share");
+  out += line;
+  for (int i = 0; i < kStageCount; ++i) {
+    const StageStat& s = stages[i];
+    if (s.count == 0 && s.ns == 0) continue;
+    std::snprintf(line, sizeof(line), "  %-16s %10.2f %8lld %6.1f%%\n",
+                  StageName(static_cast<Stage>(i)), s.Ms(),
+                  static_cast<long long>(s.count),
+                  100.0 * static_cast<double>(s.ns) /
+                      static_cast<double>(total));
+    out += line;
+  }
+  return out;
+}
+
+StageProfiler& StageProfiler::Global() {
+  static StageProfiler instance;
+  return instance;
+}
+
+void StageProfiler::RecordNs(Stage s, int64_t ns) {
+  Cell& c = cells_[static_cast<int>(s)];
+  c.ns.fetch_add(ns, std::memory_order_relaxed);
+  c.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+StageProfile StageProfiler::Snapshot() const {
+  StageProfile p;
+  for (int i = 0; i < kStageCount; ++i) {
+    p.stages[i].ns = cells_[i].ns.load(std::memory_order_relaxed);
+    p.stages[i].count = cells_[i].count.load(std::memory_order_relaxed);
+  }
+  return p;
+}
+
+StageCaptureScope::StageCaptureScope() : prev_(tls_capture) {
+  tls_capture = this;
+}
+
+StageCaptureScope::~StageCaptureScope() { tls_capture = prev_; }
+
+StageCaptureScope* StageCaptureScope::Current() { return tls_capture; }
+
+}  // namespace obs
+}  // namespace rntraj

@@ -1,0 +1,149 @@
+#ifndef RNTRAJ_OBS_STAGE_PROFILER_H_
+#define RNTRAJ_OBS_STAGE_PROFILER_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+/// \file stage_profiler.h
+/// Stage-level wall-time attribution for the model forward path: scoped
+/// timers inside the GPSFormer encoder (transformer blocks, GRL fusion,
+/// the GAT propagation within GRL), the sub-graph gather, and the decoder
+/// (constraint-mask construction, attention+GRU step loop) accumulate into
+/// a process-global, enum-indexed table of atomics — the data that tells a
+/// fusion effort (ROADMAP open item 1) where a micro-batch actually spends
+/// its budget. Stage timers measure the calling thread's wall time, which
+/// is the right attribution even when a GEMM fans out to the worker pool:
+/// the pool is synchronous to the caller.
+///
+/// Cost contract: when disabled (default) a ScopedStage is one relaxed
+/// atomic load, one thread-local read and a branch — no clock calls.
+/// StageCaptureScope additionally mirrors recorded durations into a
+/// thread-local frame so a serving session can attribute the encode/decode
+/// split of ITS forward without contamination from concurrent sessions.
+
+namespace rntraj {
+namespace obs {
+
+/// The attribution buckets. Stages are mutually exclusive by construction
+/// (no timer nests inside another stage's timer), so their sum is the
+/// instrumented share of a forward.
+enum class Stage : int {
+  kSubgraph = 0,     ///< Sub-graph gather + input projection (encoder prep).
+  kTransformer,      ///< Transformer encoder blocks (per GPSFormer layer).
+  kGat,              ///< GAT propagation inside the GRL.
+  kGrl,              ///< GRL gated fusion + graph norms (excluding GAT).
+  kConstraintMask,   ///< Decoder constraint mask + spatial prior build.
+  kDecoder,          ///< Decoder attention+GRU step loop.
+  kCount,
+};
+
+constexpr int kStageCount = static_cast<int>(Stage::kCount);
+
+const char* StageName(Stage s);
+
+/// One stage's accumulated totals.
+struct StageStat {
+  int64_t ns = 0;
+  int64_t count = 0;  ///< Completed scoped-timer intervals.
+  double Ms() const { return static_cast<double>(ns) / 1e6; }
+};
+
+/// Copyable snapshot of all stages.
+struct StageProfile {
+  std::array<StageStat, kStageCount> stages;
+
+  int64_t TotalNs() const;
+  /// Activity since `earlier` — the trainer's per-epoch view.
+  StageProfile Delta(const StageProfile& earlier) const;
+  /// Fixed-width human table ("stage  total_ms  count  share"), one line
+  /// per non-empty stage; empty string when nothing was recorded.
+  std::string ToTable() const;
+};
+
+/// Process-global accumulator. Thread-safe throughout.
+class StageProfiler {
+ public:
+  static StageProfiler& Global();
+
+  /// Master switch; off keeps ScopedStage at its one-branch cost.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void RecordNs(Stage s, int64_t ns);
+  StageProfile Snapshot() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  struct alignas(64) Cell {
+    std::atomic<int64_t> ns{0};
+    std::atomic<int64_t> count{0};
+  };
+  Cell cells_[kStageCount];
+};
+
+/// Thread-local capture frame: while alive on a thread, every stage
+/// duration recorded ON THAT THREAD is also added to this frame. Frames
+/// nest (inner captures win); a serving session wraps its batch forward in
+/// one to split the forward span into encode/decode without seeing other
+/// sessions' stages. Installing a frame activates stage timers on the
+/// thread even when the global profiler is disabled.
+class StageCaptureScope {
+ public:
+  StageCaptureScope();
+  ~StageCaptureScope();
+  StageCaptureScope(const StageCaptureScope&) = delete;
+  StageCaptureScope& operator=(const StageCaptureScope&) = delete;
+
+  int64_t ns(Stage s) const {
+    return ns_[static_cast<size_t>(static_cast<int>(s))];
+  }
+
+  /// The frame active on the calling thread, or null.
+  static StageCaptureScope* Current();
+  void Add(Stage s, int64_t ns) {
+    ns_[static_cast<size_t>(static_cast<int>(s))] += ns;
+  }
+
+ private:
+  std::array<int64_t, kStageCount> ns_{};
+  StageCaptureScope* prev_;
+};
+
+/// RAII stage timer. One branch when profiling is off everywhere.
+class ScopedStage {
+ public:
+  explicit ScopedStage(Stage s)
+      : stage_(s),
+        active_(StageProfiler::Global().enabled() ||
+                StageCaptureScope::Current() != nullptr) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedStage() {
+    if (!active_) return;
+    const int64_t ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    StageProfiler::Global().RecordNs(stage_, ns);
+    if (StageCaptureScope* cap = StageCaptureScope::Current()) {
+      cap->Add(stage_, ns);
+    }
+  }
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+ private:
+  Stage stage_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace rntraj
+
+#endif  // RNTRAJ_OBS_STAGE_PROFILER_H_

@@ -1,0 +1,222 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace rntraj {
+namespace obs {
+
+namespace {
+
+/// splitmix64 finaliser — the same mixer the fault injector uses, so trace
+/// sampling is a pure function of (seed, id) with full avalanche.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr uint64_t kSampleSalt = 0x74726163;  // 'trac'
+
+std::string JsonStr(const char* s) {
+  std::string out = "\"";
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\') out.push_back('\\');
+    out.push_back(*p);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string Us(int64_t ns) {
+  // Microseconds with one decimal: readable, and steady-clock resolution
+  // rarely justifies more.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", static_cast<double>(ns) / 1e3);
+  return buf;
+}
+
+}  // namespace
+
+RequestTrace::RequestTrace(uint64_t request_id)
+    : request_id_(request_id), begin_(std::chrono::steady_clock::now()) {
+  spans_.push_back(TraceSpan{"request", -1, 0, -1});
+}
+
+int RequestTrace::OpenSpanAt(const char* name, int parent, int64_t at_ns) {
+  spans_.push_back(TraceSpan{name, parent, at_ns, -1});
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+void RequestTrace::CloseSpanAt(int span, int64_t at_ns) {
+  if (span < 0 || span >= static_cast<int>(spans_.size())) return;
+  TraceSpan& s = spans_[static_cast<size_t>(span)];
+  if (s.end_ns >= 0) return;  // already closed
+  s.end_ns = at_ns < s.start_ns ? s.start_ns : at_ns;
+}
+
+int RequestTrace::AddCompletedSpan(const char* name, int parent,
+                                   int64_t start_ns, int64_t end_ns) {
+  if (end_ns < start_ns) end_ns = start_ns;
+  spans_.push_back(TraceSpan{name, parent, start_ns, end_ns});
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+int RequestTrace::SpanIndex(const char* name) const {
+  for (int i = static_cast<int>(spans_.size()) - 1; i >= 0; --i) {
+    const char* n = spans_[static_cast<size_t>(i)].name;
+    if (n == name || std::strcmp(n, name) == 0) return i;
+  }
+  return -1;
+}
+
+void RequestTrace::AddEventAt(const char* name, int64_t at_ns) {
+  events_.push_back(TraceEvent{name, at_ns});
+}
+
+void RequestTrace::Finish() {
+  const int64_t now = NowNs();
+  // Children first, root last, so the root's end bounds every child's.
+  for (size_t i = spans_.size(); i-- > 0;) {
+    if (spans_[i].end_ns < 0) spans_[i].end_ns = now;
+  }
+}
+
+bool RequestTrace::WellFormed(std::string* why) const {
+  auto violate = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (spans_.empty()) return violate("no spans");
+  if (spans_[0].parent != -1) return violate("span 0 is not the root");
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& s = spans_[i];
+    const std::string at = std::string(" (span ") + std::to_string(i) +
+                           " '" + s.name + "')";
+    if (i > 0 &&
+        (s.parent < 0 || s.parent >= static_cast<int>(i))) {
+      return violate("parent does not precede child" + at);
+    }
+    if (s.end_ns < 0) return violate("span still open" + at);
+    if (s.end_ns < s.start_ns) return violate("span ends before start" + at);
+    if (i > 0) {
+      const TraceSpan& p = spans_[static_cast<size_t>(s.parent)];
+      if (s.start_ns < p.start_ns || s.end_ns > p.end_ns) {
+        return violate("child escapes parent interval" + at);
+      }
+    }
+  }
+  for (const TraceEvent& e : events_) {
+    if (e.at_ns < spans_[0].start_ns || e.at_ns > spans_[0].end_ns) {
+      return violate(std::string("event '") + e.name +
+                     "' outside the root interval");
+    }
+  }
+  return true;
+}
+
+std::string RequestTrace::ToJson() const {
+  std::string out = "{\"request_id\":" + std::to_string(request_id_);
+  out += ",\"outcome\":" + JsonStr(outcome_);
+  if (degraded_) out += ",\"degraded\":true";
+  if (policy_at_submit_[0] != '\0') {
+    out += ",\"policy_at_submit\":" + JsonStr(policy_at_submit_);
+  }
+  if (session_id_ >= 0) {
+    out += ",\"session\":" + std::to_string(session_id_);
+  }
+  if (batch_size_ > 0) {
+    out += ",\"batch_size\":" + std::to_string(batch_size_);
+  }
+  out += ",\"spans\":[";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const TraceSpan& s = spans_[i];
+    if (i > 0) out += ",";
+    out += "{\"name\":" + JsonStr(s.name) +
+           ",\"parent\":" + std::to_string(s.parent) +
+           ",\"start_us\":" + Us(s.start_ns) +
+           ",\"end_us\":" + Us(s.end_ns) + "}";
+  }
+  out += "],\"events\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"name\":" + JsonStr(events_[i].name) +
+           ",\"at_us\":" + Us(events_[i].at_ns) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Tracer::Tracer(const TracerConfig& config) : cfg_(config) {
+  capacity_ = cfg_.ring_capacity > 0 ? cfg_.ring_capacity : 1;
+  slots_ = std::make_unique<Slot[]>(capacity_);
+}
+
+bool Tracer::ShouldSample(uint64_t request_id) const {
+  if (cfg_.sample_rate <= 0.0) return false;
+  if (cfg_.sample_rate >= 1.0) return true;
+  const uint64_t h = Mix(Mix(cfg_.seed ^ kSampleSalt) ^ request_id);
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0 /* 2^53 */);
+  return u < cfg_.sample_rate;
+}
+
+std::shared_ptr<RequestTrace> Tracer::MaybeBegin(uint64_t request_id) {
+  if (!ShouldSample(request_id)) return nullptr;
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<RequestTrace>(request_id);
+}
+
+void Tracer::Retain(std::shared_ptr<const RequestTrace> trace) {
+  if (trace == nullptr) return;
+  const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % capacity_];
+  uint32_t expected = 0;
+  // Lock-free, not blocking: a collision (another writer lapping the ring,
+  // or the reader copying this slot) drops the trace rather than spin.
+  if (!slot.busy.compare_exchange_strong(expected, 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  slot.trace = std::move(trace);
+  slot.busy.store(0, std::memory_order_release);
+}
+
+std::vector<std::shared_ptr<const RequestTrace>> Tracer::Retained() const {
+  std::vector<std::shared_ptr<const RequestTrace>> out;
+  out.reserve(capacity_);
+  // Oldest-first best effort: the slot that the next ticket would claim is
+  // the oldest entry once the ring has wrapped.
+  const uint64_t start = head_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < capacity_; ++i) {
+    Slot& slot = slots_[(start + i) % capacity_];
+    uint32_t expected = 0;
+    if (!slot.busy.compare_exchange_strong(expected, 1,
+                                           std::memory_order_acquire,
+                                           std::memory_order_relaxed)) {
+      continue;  // a writer owns it right now; skip
+    }
+    if (slot.trace != nullptr) out.push_back(slot.trace);
+    slot.busy.store(0, std::memory_order_release);
+  }
+  return out;
+}
+
+std::string Tracer::DumpJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& t : Retained()) {
+    if (!first) out += ",\n";
+    first = false;
+    out += t->ToJson();
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace rntraj

@@ -1,0 +1,176 @@
+#ifndef RNTRAJ_OBS_TRACE_H_
+#define RNTRAJ_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+/// \file trace.h
+/// Per-request tracing: a sampled request carries a RequestTrace — a span
+/// tree over its lifetime (submit -> queue wait -> dequeue/eviction ->
+/// dispatch -> forward[encode|decode] -> respond) plus point events
+/// (policy transitions, injected faults) — with steady-clock timestamps
+/// relative to submit. The Tracer decides deterministically which requests
+/// are sampled (seeded hash of the request id, the FaultInjector idiom:
+/// which requests are traced is a pure function of (seed, id), reproducible
+/// under TSan's scheduler and across session counts) and retains finished
+/// traces in a lock-free ring.
+///
+/// Cost contract: with sample_rate == 0 every touchpoint is one branch on a
+/// null pointer — no clock reads, no allocation. A RequestTrace itself is
+/// single-owner: it travels with its QueuedRequest, whose handoffs
+/// (queue mutex, promise) already order access — no internal locking.
+
+namespace rntraj {
+namespace obs {
+
+/// One interval in the tree. `name` must be a static-lifetime literal.
+struct TraceSpan {
+  const char* name = "";
+  int parent = -1;       ///< Index into the trace's span vector; -1 = root.
+  int64_t start_ns = 0;  ///< Steady-clock ns since the trace began.
+  int64_t end_ns = -1;   ///< -1 while open.
+};
+
+/// One point event, attached to the root span's timeline.
+struct TraceEvent {
+  const char* name = "";
+  int64_t at_ns = 0;
+};
+
+/// The span tree of one sampled request. Span index 0 is the root
+/// ("request"), opened at construction; indices are creation-ordered.
+class RequestTrace {
+ public:
+  static constexpr int kRootSpan = 0;
+
+  explicit RequestTrace(uint64_t request_id);
+
+  uint64_t request_id() const { return request_id_; }
+
+  /// Steady-clock ns since the trace began.
+  int64_t NowNs() const { return ToNs(std::chrono::steady_clock::now()); }
+  int64_t ToNs(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(tp - begin_)
+        .count();
+  }
+
+  /// Opens a child span; returns its index.
+  int OpenSpan(const char* name, int parent = kRootSpan) {
+    return OpenSpanAt(name, parent, NowNs());
+  }
+  int OpenSpanAt(const char* name, int parent, int64_t at_ns);
+  void CloseSpan(int span) { CloseSpanAt(span, NowNs()); }
+  void CloseSpanAt(int span, int64_t at_ns);
+  /// Records an already-measured interval (e.g. the encode/decode split
+  /// synthesised from stage-profiler capture after the forward ran).
+  int AddCompletedSpan(const char* name, int parent, int64_t start_ns,
+                       int64_t end_ns);
+  /// Index of the most recent span named `name` (pointer or string
+  /// compare), -1 if absent — how later pipeline stages find spans opened
+  /// by earlier ones without threading indices through the queue.
+  int SpanIndex(const char* name) const;
+
+  void AddEvent(const char* name) { AddEventAt(name, NowNs()); }
+  void AddEventAt(const char* name, int64_t at_ns);
+
+  /// Closes every still-open span (root last) at now.
+  void Finish();
+
+  // --- summary annotations stamped by the service ---
+  void set_outcome(const char* o) { outcome_ = o; }
+  const char* outcome() const { return outcome_; }
+  void set_degraded(bool d) { degraded_ = d; }
+  bool degraded() const { return degraded_; }
+  void set_session_id(int id) { session_id_ = id; }
+  int session_id() const { return session_id_; }
+  void set_batch_size(int n) { batch_size_ = n; }
+  int batch_size() const { return batch_size_; }
+  void set_policy_at_submit(const char* s) { policy_at_submit_ = s; }
+  const char* policy_at_submit() const { return policy_at_submit_; }
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Structural invariants: span 0 is the root and the only orphan, every
+  /// parent index precedes its child, every span is closed with
+  /// end >= start, and children nest inside their parent's interval.
+  /// Returns false and describes the first violation in *why (if given).
+  bool WellFormed(std::string* why = nullptr) const;
+
+  /// One JSON object: {"request_id":..,"outcome":..,"spans":[...],
+  /// "events":[...]}. Durations in microseconds for readability.
+  std::string ToJson() const;
+
+ private:
+  uint64_t request_id_;
+  std::chrono::steady_clock::time_point begin_;
+  std::vector<TraceSpan> spans_;
+  std::vector<TraceEvent> events_;
+  const char* outcome_ = "";
+  const char* policy_at_submit_ = "";
+  bool degraded_ = false;
+  int session_id_ = -1;
+  int batch_size_ = 0;
+};
+
+/// Sampling + retention knobs.
+struct TracerConfig {
+  /// Fraction of requests sampled, decided per request id (deterministic in
+  /// (seed, id)). 0 disables tracing: every touchpoint costs one branch.
+  double sample_rate = 0.0;
+  uint64_t seed = 0;
+  /// Finished traces retained for dumps; older entries are overwritten.
+  size_t ring_capacity = 256;
+};
+
+/// Thread-safe sampler + retention ring. Retain() is lock-free and
+/// wait-free: a ticket fetch_add picks the slot and a single CAS guards the
+/// shared_ptr swap — a writer (or the snapshot reader) colliding on a slot
+/// mid-update drops the trace instead of spinning (retention is best-effort
+/// by design; the `dropped` counter says how often).
+class Tracer {
+ public:
+  explicit Tracer(const TracerConfig& config);
+
+  const TracerConfig& config() const { return cfg_; }
+
+  /// One branch when sampling is off.
+  bool ShouldSample(uint64_t request_id) const;
+
+  /// A new trace for `request_id` when sampled, null otherwise.
+  std::shared_ptr<RequestTrace> MaybeBegin(uint64_t request_id);
+
+  /// Stores a finished trace in the ring (wraps, overwriting the oldest).
+  void Retain(std::shared_ptr<const RequestTrace> trace);
+
+  /// Copies out the currently retained traces (unordered).
+  std::vector<std::shared_ptr<const RequestTrace>> Retained() const;
+
+  /// JSON array of retained traces, oldest-first best effort.
+  std::string DumpJson() const;
+
+  int64_t sampled() const { return sampled_.load(std::memory_order_relaxed); }
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Slot {
+    std::atomic<uint32_t> busy{0};
+    std::shared_ptr<const RequestTrace> trace;  ///< Guarded by `busy`.
+  };
+
+  TracerConfig cfg_;
+  std::unique_ptr<Slot[]> slots_;
+  size_t capacity_;
+  std::atomic<uint64_t> head_{0};
+  std::atomic<int64_t> sampled_{0};
+  std::atomic<int64_t> dropped_{0};
+};
+
+}  // namespace obs
+}  // namespace rntraj
+
+#endif  // RNTRAJ_OBS_TRACE_H_

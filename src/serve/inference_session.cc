@@ -1,10 +1,13 @@
 #include "src/serve/inference_session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <exception>
+#include <optional>
 #include <string>
 #include <utility>
 
+#include "src/obs/stage_profiler.h"
 #include "src/sim/dataset.h"
 
 namespace rntraj {
@@ -36,6 +39,18 @@ void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch) {
   // Counted up front so Stats() readers woken by this batch's own futures
   // see a consistent batches/requests pair.
   batches_.fetch_add(1, std::memory_order_relaxed);
+
+  // Trace touchpoints (sampled requests only — `trace` is null for the
+  // rest): the queue span ends at dequeue, the dispatch span opens here and
+  // covers stall/prefetch/triage up to the forward.
+  bool any_traced = false;
+  for (QueuedRequest& q : batch) {
+    if (q.trace == nullptr) continue;
+    any_traced = true;
+    const int64_t at = q.trace->ToNs(batch_start);
+    q.trace->CloseSpanAt(q.trace->SpanIndex("queue"), at);
+    q.trace->OpenSpanAt("dispatch", obs::RequestTrace::kRootSpan, at);
+  }
 
   // Chaos hook: a stalled session (wedged forward, page fault storm, ...).
   // Keyed on the first request's id so which batches stall is deterministic
@@ -82,6 +97,7 @@ void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch) {
     std::string error;
     if (injector_ != nullptr && injector_->ShouldExpire(q.id)) {
       q.deadline_at = dispatch_now - std::chrono::milliseconds(1);
+      if (q.trace != nullptr) q.trace->AddEvent("fault-expire-injected");
     }
     if (!ValidateRequest(q.request, &error)) {
       responses[i].kind = ResponseKind::kValidationError;
@@ -117,6 +133,15 @@ void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch) {
       faults_.fetch_add(1, std::memory_order_relaxed);
     }
   };
+
+  // The forward section, bracketed for tracing. The capture frame mirrors
+  // this thread's stage timers (GAT/GRL/transformer/decoder/constraint
+  // mask) so the forward span can be split into encode/decode below without
+  // seeing concurrent sessions' stages; it is only installed when a traced
+  // request is aboard — untraced batches skip even that.
+  const auto forward_start = std::chrono::steady_clock::now();
+  std::optional<obs::StageCaptureScope> capture;
+  if (any_traced) capture.emplace();
 
   if (degraded) {
     // Degraded rung: linear interpolation + HMM map matching (the existing
@@ -189,22 +214,61 @@ void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch) {
   // Post-forward budget check: an answer whose deadline passed while the
   // forward ran is NOT delivered as a success — the caller has stopped
   // waiting, and reporting it ok would hide the miss from the ladder.
-  {
-    const auto after = std::chrono::steady_clock::now();
-    for (size_t i = 0; i < batch.size(); ++i) {
-      if (responses[i].kind == ResponseKind::kOk && batch[i].expired(after)) {
-        responses[i].ok = false;
-        responses[i].kind = ResponseKind::kDeadlineMissed;
-        responses[i].error = "deadline exceeded";
-        responses[i].recovered = MatchedTrajectory();
+  const auto forward_end = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (responses[i].kind == ResponseKind::kOk &&
+        batch[i].expired(forward_end)) {
+      responses[i].ok = false;
+      responses[i].kind = ResponseKind::kDeadlineMissed;
+      responses[i].error = "deadline exceeded";
+      responses[i].recovered = MatchedTrajectory();
+    }
+  }
+
+  // Trace epilogue: close dispatch, record the forward interval (with its
+  // encode/decode split from the capture frame — batch-shared wall time,
+  // since the batch rode one forward), open the respond span. The service
+  // finalises and retains the trace in on_complete_.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    obs::RequestTrace* t = batch[i].trace.get();
+    if (t == nullptr) continue;
+    const int64_t fs = t->ToNs(forward_start);
+    const int64_t fe = t->ToNs(forward_end);
+    t->CloseSpanAt(t->SpanIndex("dispatch"), fs);
+    if (sample_of[i] >= 0) {
+      const int fwd =
+          t->AddCompletedSpan("forward", obs::RequestTrace::kRootSpan, fs, fe);
+      if (capture.has_value()) {
+        const int64_t enc_ns = capture->ns(obs::Stage::kSubgraph) +
+                               capture->ns(obs::Stage::kTransformer) +
+                               capture->ns(obs::Stage::kGat) +
+                               capture->ns(obs::Stage::kGrl);
+        const int64_t dec_ns = capture->ns(obs::Stage::kConstraintMask) +
+                               capture->ns(obs::Stage::kDecoder);
+        int64_t at = fs;
+        if (enc_ns > 0) {
+          const int64_t end = std::min(at + enc_ns, fe);
+          t->AddCompletedSpan("forward.encode", fwd, at, end);
+          at = end;
+        }
+        if (dec_ns > 0) {
+          t->AddCompletedSpan("forward.decode", fwd, at,
+                              std::min(at + dec_ns, fe));
+        }
+      }
+      if (responses[i].kind == ResponseKind::kInternalError) {
+        t->AddEvent("forward-threw");
       }
     }
+    t->OpenSpanAt("respond", obs::RequestTrace::kRootSpan, fe);
   }
 
   for (size_t i = 0; i < batch.size(); ++i) {
     // Record completion before resolving the future: a caller that returns
     // from future.get() must already see itself in Stats().
-    if (on_complete_) on_complete_(responses[i], MsSince(batch[i].enqueued_at));
+    if (on_complete_) {
+      on_complete_(responses[i], batch[i], MsSince(batch[i].enqueued_at));
+    }
     batch[i].promise.set_value(std::move(responses[i]));
   }
   busy_seconds_.fetch_add(MsSince(batch_start) / 1000.0,

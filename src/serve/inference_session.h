@@ -43,9 +43,11 @@ class InferenceSession {
  public:
   /// `cache` may be null (caching disabled). `prefetch_radii` lists the
   /// radii warmed over the batch's input points before the forwards run.
-  /// `on_complete(resp, total_ms)` fires after each response is delivered
-  /// (the service classifies the outcome and records end-to-end latency
-  /// there); may be empty. `batched_forward` routes each micro-batch through
+  /// `on_complete(resp, queued, total_ms)` fires after each response is
+  /// built, BEFORE its promise resolves (the service classifies the
+  /// outcome, records end-to-end latency and finalises the request's trace
+  /// there — hence the mutable refs); may be empty. `batched_forward`
+  /// routes each micro-batch through
   /// the model's RecoverBatch (one padded encoder pass per batch) instead of
   /// per-request forwards. `policy` (may be null) is consulted per batch:
   /// when the ladder is off OK, valid requests run the cheap `fallback`
@@ -54,7 +56,8 @@ class InferenceSession {
   InferenceSession(
       int id, RecoveryModel* model, const CellCandidateCache* cache,
       std::vector<double> prefetch_radii,
-      std::function<void(const RecoveryResponse&, double)> on_complete,
+      std::function<void(RecoveryResponse&, QueuedRequest&, double)>
+          on_complete,
       bool batched_forward = true, const ServicePolicy* policy = nullptr,
       RecoveryModel* fallback = nullptr,
       const FaultInjector* injector = nullptr)
@@ -94,7 +97,7 @@ class InferenceSession {
   RecoveryModel* model_;
   const CellCandidateCache* cache_;
   std::vector<double> prefetch_radii_;
-  std::function<void(const RecoveryResponse&, double)> on_complete_;
+  std::function<void(RecoveryResponse&, QueuedRequest&, double)> on_complete_;
   bool batched_forward_;
   const ServicePolicy* policy_;
   RecoveryModel* fallback_;

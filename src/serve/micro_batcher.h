@@ -38,6 +38,10 @@ struct QueuedRequest {
   uint64_t id = 0;
   RecoveryRequest request;
   std::promise<RecoveryResponse> promise;
+  /// Span tree of a sampled request (null for the unsampled rest — the
+  /// tracing-off cost at every touchpoint is this one null check). Owned by
+  /// whoever holds the QueuedRequest; the queue handoff orders access.
+  std::shared_ptr<obs::RequestTrace> trace;
   std::chrono::steady_clock::time_point enqueued_at;
   /// Absolute deadline (enqueued_at + request.deadline_ms); time_point::max()
   /// when the request carries no deadline. Stamped by Push.

@@ -2,26 +2,39 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <utility>
 
 #include "src/baselines/two_stage.h"
-#include "src/serve/workload.h"
+#include "src/obs/stage_profiler.h"
 #include "src/sim/dataset.h"
 #include "src/tensor/buffer_pool.h"
 
 namespace rntraj {
 namespace serve {
 
-namespace {
-
-/// Ring-buffer window for latency percentiles.
-constexpr size_t kLatencyWindow = 8192;
-
-}  // namespace
-
 RecoveryService::RecoveryService(RecoveryModel* model, const ModelContext& ctx,
                                  const RecoveryServiceConfig& config)
     : model_(model), cfg_(config), batcher_(config.batcher) {
+  // Resolve the telemetry names once; the hot path increments through the
+  // cached pointers only.
+  c_submitted_ = metrics_.GetCounter("serve.submitted");
+  c_shed_ = metrics_.GetCounter("serve.shed");
+  c_completed_ = metrics_.GetCounter("serve.completed");
+  c_ok_ = metrics_.GetCounter("serve.ok");
+  c_degraded_ = metrics_.GetCounter("serve.degraded");
+  c_validation_error_ = metrics_.GetCounter("serve.validation_error");
+  c_deadline_missed_ = metrics_.GetCounter("serve.deadline_missed");
+  c_internal_error_ = metrics_.GetCounter("serve.internal_error");
+  h_latency_ms_ = metrics_.GetHistogram("serve.latency_ms");
+  h_queue_ms_ = metrics_.GetHistogram("serve.queue_ms");
+  h_infer_ms_ = metrics_.GetHistogram("serve.infer_ms");
+  if (cfg_.trace.sample_rate > 0.0) {
+    tracer_ = std::make_unique<obs::Tracer>(cfg_.trace);
+  }
+  prev_profile_enabled_ = obs::StageProfiler::Global().enabled();
+  if (cfg_.profile_stages) obs::StageProfiler::Global().set_enabled(true);
+
   exclusive_model_ = !model_->SupportsConcurrentRecover();
   if (exclusive_model_) cfg_.num_sessions = 1;
   cfg_.num_sessions = std::max(1, cfg_.num_sessions);
@@ -63,8 +76,10 @@ RecoveryService::RecoveryService(RecoveryModel* model, const ModelContext& ctx,
   batcher_.SetExpiredHandler(
       [this](QueuedRequest&& q) { ResolveExpired(std::move(q)); });
 
-  auto on_complete = [this](const RecoveryResponse& resp, double total_ms) {
+  auto on_complete = [this](RecoveryResponse& resp, QueuedRequest& q,
+                            double total_ms) {
     RecordCompletion(resp, total_ms);
+    FinishTrace(q, resp);
   };
   for (int i = 0; i < cfg_.num_sessions; ++i) {
     sessions_.push_back(std::make_unique<InferenceSession>(
@@ -83,6 +98,9 @@ RecoveryService::~RecoveryService() {
   if (cache_ != nullptr) model_->SetSegmentQuerySource(nullptr);
   if (netdist_ != nullptr) {
     netdist_->set_max_cached_rows(prev_max_dijkstra_rows_);
+  }
+  if (cfg_.profile_stages) {
+    obs::StageProfiler::Global().set_enabled(prev_profile_enabled_);
   }
 }
 
@@ -105,10 +123,7 @@ void RecoveryService::WorkerLoop(InferenceSession* session) {
 }
 
 RecoveryResponse RecoveryService::ShedResponse(const char* why) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++shed_;
-  }
+  c_shed_->Add(1);
   RecoveryResponse resp;
   resp.kind = ResponseKind::kShed;
   resp.error = why;
@@ -118,9 +133,20 @@ RecoveryResponse RecoveryService::ShedResponse(const char* why) {
 std::future<RecoveryResponse> RecoveryService::Submit(RecoveryRequest req) {
   QueuedRequest q;
   q.request = std::move(req);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    q.id = static_cast<uint64_t>(submitted_++);
+  q.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  c_submitted_->Add(1);
+  if (tracer_ != nullptr) {
+    // Deterministic per-id sampling: whether THIS request is traced does
+    // not depend on thread interleaving. The root span opens at
+    // construction; the queue span opens here and the dequeuing session
+    // (or the eviction path) closes it.
+    q.trace = tracer_->MaybeBegin(q.id);
+    if (q.trace != nullptr) {
+      if (policy_ != nullptr) {
+        q.trace->set_policy_at_submit(ToString(policy_->state()));
+      }
+      q.trace->OpenSpan("queue");
+    }
   }
   std::future<RecoveryResponse> future = q.promise.get_future();
   if (policy_ != nullptr) {
@@ -129,13 +155,17 @@ std::future<RecoveryResponse> RecoveryService::Submit(RecoveryRequest req) {
       // The ladder's last rung: refuse admission outright. Answering here
       // costs nothing and keeps the queue for requests the degraded path
       // can still serve in time.
-      q.promise.set_value(ShedResponse("shedding load (service overloaded)"));
+      RecoveryResponse resp = ShedResponse("shedding load (service overloaded)");
+      FinishTrace(q, resp);
+      q.promise.set_value(std::move(resp));
       return future;
     }
   }
   if (!batcher_.Push(std::move(q))) {
     // Load shed: answer immediately instead of blocking the producer.
-    q.promise.set_value(ShedResponse("queue full or service shutting down"));
+    RecoveryResponse resp = ShedResponse("queue full or service shutting down");
+    FinishTrace(q, resp);
+    q.promise.set_value(std::move(resp));
   }
   return future;
 }
@@ -190,41 +220,65 @@ void RecoveryService::ResolveExpired(QueuedRequest&& q) {
   RecoveryResponse resp;
   resp.kind = ResponseKind::kDeadlineMissed;
   resp.error = "deadline exceeded";
+  const auto now = std::chrono::steady_clock::now();
   resp.queue_ms = std::chrono::duration<double, std::milli>(
-                      std::chrono::steady_clock::now() - q.enqueued_at)
+                      now - q.enqueued_at)
                       .count();
+  if (q.trace != nullptr) {
+    const int64_t at = q.trace->ToNs(now);
+    q.trace->CloseSpanAt(q.trace->SpanIndex("queue"), at);
+    q.trace->AddEventAt("evicted-at-dequeue", at);
+  }
   RecordCompletion(resp, resp.queue_ms);
+  FinishTrace(q, resp);
   q.promise.set_value(std::move(resp));
+}
+
+void RecoveryService::FinishTrace(QueuedRequest& q, RecoveryResponse& resp) {
+  if (q.trace == nullptr) return;
+  obs::RequestTrace& t = *q.trace;
+  t.set_outcome(ResponseKindName(resp.kind));
+  t.set_degraded(resp.degraded);
+  t.set_session_id(resp.session_id);
+  t.set_batch_size(resp.batch_size);
+  if (policy_ != nullptr) {
+    // The ladder moved while this request was in flight — the per-request
+    // view of a policy transition ("submitted under OK, answered under
+    // DEGRADED") that aggregate counters cannot show.
+    const char* now_state = ToString(policy_->state());
+    if (t.policy_at_submit()[0] != '\0' &&
+        std::strcmp(now_state, t.policy_at_submit()) != 0) {
+      t.AddEvent("policy-transition");
+    }
+  }
+  t.Finish();
+  std::shared_ptr<const obs::RequestTrace> done = std::move(q.trace);
+  tracer_->Retain(done);
+  resp.trace = std::move(done);
 }
 
 void RecoveryService::RecordCompletion(const RecoveryResponse& resp,
                                        double total_ms) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++completed_;
-    switch (resp.kind) {
-      case ResponseKind::kOk:
-        if (resp.degraded) {
-          ++degraded_;
-        } else {
-          ++ok_;
-        }
-        break;
-      case ResponseKind::kValidationError: ++validation_error_; break;
-      case ResponseKind::kDeadlineMissed: ++deadline_missed_; break;
-      case ResponseKind::kShed: ++shed_; break;  // not reached: sheds bypass
-      case ResponseKind::kInternalError: ++internal_error_; break;
-    }
-    if (resp.kind == ResponseKind::kOk) {
-      // Latency percentiles track answered requests only: shed/missed/error
-      // responses resolve fast and would read as spurious speed.
-      if (recent_latencies_ms_.size() < kLatencyWindow) {
-        recent_latencies_ms_.push_back(total_ms);
+  c_completed_->Add(1);
+  switch (resp.kind) {
+    case ResponseKind::kOk:
+      if (resp.degraded) {
+        c_degraded_->Add(1);
       } else {
-        recent_latencies_ms_[latency_next_] = total_ms;
-        latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+        c_ok_->Add(1);
       }
-    }
+      break;
+    case ResponseKind::kValidationError: c_validation_error_->Add(1); break;
+    case ResponseKind::kDeadlineMissed: c_deadline_missed_->Add(1); break;
+    case ResponseKind::kShed: c_shed_->Add(1); break;  // not reached
+    case ResponseKind::kInternalError: c_internal_error_->Add(1); break;
+  }
+  h_queue_ms_->Record(resp.queue_ms);
+  if (resp.kind == ResponseKind::kOk) {
+    // Latency percentiles track answered requests only: shed/missed/error
+    // responses resolve fast and would read as spurious speed.
+    h_latency_ms_->Record(total_ms);
+    h_infer_ms_->Record(resp.infer_ms);
   }
   if (policy_ != nullptr) {
     // Answered requests feed the miss-rate window (shed/invalid ones carry
@@ -241,20 +295,15 @@ void RecoveryService::RecordCompletion(const RecoveryResponse& resp,
 
 ServeStats RecoveryService::Stats() const {
   ServeStats s;
-  std::vector<double> latencies;
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    s.submitted = submitted_;
-    s.shed = shed_;
-    s.rejected = shed_;
-    s.completed = completed_;
-    s.ok = ok_;
-    s.degraded = degraded_;
-    s.validation_error = validation_error_;
-    s.deadline_missed = deadline_missed_;
-    s.internal_error = internal_error_;
-    latencies = recent_latencies_ms_;
-  }
+  s.submitted = c_submitted_->Value();
+  s.shed = c_shed_->Value();
+  s.rejected = s.shed;
+  s.completed = c_completed_->Value();
+  s.ok = c_ok_->Value();
+  s.degraded = c_degraded_->Value();
+  s.validation_error = c_validation_error_->Value();
+  s.deadline_missed = c_deadline_missed_->Value();
+  s.internal_error = c_internal_error_->Value();
   int64_t session_requests = 0;
   for (const auto& session : sessions_) {
     const SessionStats st = session->Snapshot();
@@ -273,10 +322,60 @@ ServeStats RecoveryService::Stats() const {
     s.policy_entered_shedding = ps.entered_shedding;
     s.recent_deadline_miss_rate = ps.recent_miss_rate;
   }
-  s.p50_ms = Percentile(latencies, 0.50);
-  s.p99_ms = Percentile(std::move(latencies), 0.99);
+  const obs::HistogramSnapshot lat = h_latency_ms_->Snapshot();
+  s.p50_ms = lat.Quantile(0.50);
+  s.p99_ms = lat.Quantile(0.99);
   if (cache_ != nullptr) s.cache = cache_->stats();
   return s;
+}
+
+obs::MetricsSnapshot RecoveryService::Metrics() const {
+  obs::MetricsSnapshot snap = metrics_.Snapshot();
+  snap.gauges["serve.queue.depth"] = static_cast<double>(batcher_.depth());
+  int64_t batches = 0, requests = 0, faults = 0;
+  double busy = 0.0;
+  for (const auto& session : sessions_) {
+    const SessionStats st = session->Snapshot();
+    batches += st.batches;
+    requests += st.requests;
+    faults += st.faults;
+    busy += st.busy_seconds;
+  }
+  snap.counters["serve.batches"] = batches;
+  snap.counters["serve.session_requests"] = requests;
+  snap.counters["serve.faults"] = faults;
+  snap.gauges["serve.sessions.busy_seconds"] = busy;
+  if (policy_ != nullptr) {
+    const ServicePolicyStats ps = policy_->Snapshot();
+    snap.gauges["serve.policy.state"] =
+        static_cast<double>(static_cast<int>(ps.state));
+    snap.counters["serve.policy.entered_degraded"] = ps.entered_degraded;
+    snap.counters["serve.policy.entered_shedding"] = ps.entered_shedding;
+    snap.gauges["serve.policy.recent_miss_rate"] = ps.recent_miss_rate;
+  }
+  if (cache_ != nullptr) {
+    const RoadnetCacheStats cs = cache_->stats();
+    snap.counters["serve.cache.hits"] = cs.hits;
+    snap.counters["serve.cache.misses"] = cs.misses;
+    snap.counters["serve.cache.fallbacks"] = cs.fallbacks;
+    snap.gauges["serve.cache.entries"] = static_cast<double>(cs.entries);
+  }
+  if (tracer_ != nullptr) {
+    snap.counters["serve.trace.sampled"] = tracer_->sampled();
+    snap.counters["serve.trace.dropped"] = tracer_->dropped();
+  }
+  // Fold the global stage profile in (meaningful when profile_stages was
+  // on; zeros otherwise). Global: concurrent services share these totals.
+  const obs::StageProfile prof = obs::StageProfiler::Global().Snapshot();
+  for (int i = 0; i < obs::kStageCount; ++i) {
+    const obs::StageStat& st = prof.stages[i];
+    if (st.count == 0 && st.ns == 0) continue;
+    const std::string name =
+        std::string("stage.") + obs::StageName(static_cast<obs::Stage>(i));
+    snap.counters[name + ".count"] = st.count;
+    snap.gauges[name + ".total_ms"] = st.Ms();
+  }
+  return snap;
 }
 
 }  // namespace serve

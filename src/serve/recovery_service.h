@@ -10,6 +10,8 @@
 
 #include "src/core/model_api.h"
 #include "src/mapmatch/hmm.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serve/fault_injector.h"
 #include "src/serve/inference_session.h"
 #include "src/serve/micro_batcher.h"
@@ -80,6 +82,19 @@ struct RecoveryServiceConfig {
 
   /// Deterministic fault injection (chaos testing; all off by default).
   FaultInjectorConfig fault;
+
+  /// Observability (PR 7). The metrics registry is always on — its counters
+  /// replaced the old mutex-guarded stats, so it costs less than what it
+  /// displaced. Request tracing is off by default (trace.sample_rate == 0:
+  /// one null-pointer branch per touchpoint); sampling decisions are
+  /// deterministic per request id, the fault injector's reproducibility
+  /// idiom.
+  obs::TracerConfig trace;
+  /// Enables the process-global stage profiler (GAT/GRL/transformer/
+  /// decoder/constraint-mask wall time) for this service's lifetime. The
+  /// profiler is global: concurrent services sharing a process share its
+  /// totals.
+  bool profile_stages = false;
 };
 
 /// Aggregate serving telemetry. `completed` splits into one counter per
@@ -107,9 +122,13 @@ struct ServeStats {
   int64_t policy_entered_shedding = 0;
   double recent_deadline_miss_rate = 0.0;
 
-  /// Percentiles over the most recent *successful* requests' total latency
-  /// (submit -> response), milliseconds. Error/shed/missed responses are
-  /// excluded — they resolve fast and would read as spurious speed.
+  /// Percentiles over *successful* requests' total latency (submit ->
+  /// response), milliseconds. Error/shed/missed responses are excluded —
+  /// they resolve fast and would read as spurious speed. Computed from the
+  /// registry's exact-count log-bucket histogram (obs/histogram.h): the
+  /// value is the quantile rank's bucket upper edge — deterministic,
+  /// mergeable across workers, within one bucket width (< 5%) of the exact
+  /// sample quantile.
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   RoadnetCacheStats cache;
@@ -148,15 +167,33 @@ class RecoveryService {
 
   ServeStats Stats() const;
 
+  /// The machine-readable telemetry export: every registry metric plus
+  /// injected point-in-time gauges (queue depth, policy state, cache and
+  /// session counters, global stage-profile totals). This snapshot — JSON
+  /// via ToJson(), Prometheus text via ToPrometheusText(), mergeable via
+  /// Merge() — is the per-worker feed a fleet router aggregates (ROADMAP
+  /// open item 2). Outcome counters partition submissions exactly:
+  /// serve.submitted == ok + degraded + validation_error + deadline_missed
+  /// + internal_error + shed once the stream has drained (the chaos suite
+  /// asserts it).
+  obs::MetricsSnapshot Metrics() const;
+
   const CellCandidateCache* cell_cache() const { return cache_.get(); }
   const ServicePolicy* policy() const { return policy_.get(); }
   const FaultInjector* fault_injector() const { return injector_.get(); }
+  /// Null when tracing is disabled (sample_rate == 0).
+  const obs::Tracer* tracer() const { return tracer_.get(); }
 
  private:
   void WorkerLoop(InferenceSession* session);
-  /// Classifies one delivered response into the stats breakdown, records
-  /// latency for successes, and feeds the ladder its outcome signal.
+  /// Classifies one delivered response into the outcome counters, records
+  /// latency histograms for successes, and feeds the ladder its outcome
+  /// signal.
   void RecordCompletion(const RecoveryResponse& resp, double total_ms);
+  /// Stamps the outcome summary onto a sampled request's trace, closes its
+  /// remaining spans, retains it in the tracer's ring and attaches it to
+  /// the response. No-op for untraced requests.
+  void FinishTrace(QueuedRequest& q, RecoveryResponse& resp);
   /// Resolves one deadline-evicted request (from the batcher's dequeue
   /// eviction) with an immediate deadline-exceeded response.
   void ResolveExpired(QueuedRequest&& q);
@@ -183,17 +220,29 @@ class RecoveryService {
   std::vector<std::thread> workers_;
   std::atomic<bool> shut_down_{false};
 
-  mutable std::mutex stats_mu_;
-  int64_t submitted_ = 0;
-  int64_t shed_ = 0;
-  int64_t completed_ = 0;
-  int64_t ok_ = 0;
-  int64_t degraded_ = 0;
-  int64_t validation_error_ = 0;
-  int64_t deadline_missed_ = 0;
-  int64_t internal_error_ = 0;
-  std::vector<double> recent_latencies_ms_;  ///< Ring buffer.
-  size_t latency_next_ = 0;
+  /// Request-id allocator (ids double as the deterministic sampling and
+  /// fault-injection keys, so they must be unique and dense).
+  std::atomic<uint64_t> next_id_{0};
+  /// Whether the stage profiler was enabled before this service turned it
+  /// on (restored at shutdown).
+  bool prev_profile_enabled_ = false;
+
+  /// The telemetry plane. Counters/histograms are resolved by name once
+  /// here and incremented lock-free on the hot path — this replaced the
+  /// PR 6 mutex-guarded counter block and stored-sample latency ring.
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  obs::Counter* c_submitted_;
+  obs::Counter* c_shed_;
+  obs::Counter* c_completed_;
+  obs::Counter* c_ok_;
+  obs::Counter* c_degraded_;
+  obs::Counter* c_validation_error_;
+  obs::Counter* c_deadline_missed_;
+  obs::Counter* c_internal_error_;
+  obs::LatencyHistogram* h_latency_ms_;  ///< Successes, submit -> response.
+  obs::LatencyHistogram* h_queue_ms_;    ///< All completed, enqueue -> batch.
+  obs::LatencyHistogram* h_infer_ms_;    ///< Successes, forward share.
 };
 
 }  // namespace serve

@@ -2,9 +2,11 @@
 #define RNTRAJ_SERVE_REQUEST_H_
 
 #include <cmath>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/traj/trajectory.h"
 
 /// \file request.h
@@ -45,6 +47,19 @@ enum class ResponseKind {
   kInternalError,    ///< The forward threw; only this request is poisoned.
 };
 
+/// Stable wire name of a kind — the label traces, metric exports and the
+/// demo's outcome table share.
+inline const char* ResponseKindName(ResponseKind k) {
+  switch (k) {
+    case ResponseKind::kOk: return "ok";
+    case ResponseKind::kValidationError: return "validation_error";
+    case ResponseKind::kDeadlineMissed: return "deadline_missed";
+    case ResponseKind::kShed: return "shed";
+    case ResponseKind::kInternalError: return "internal_error";
+  }
+  return "?";
+}
+
 /// The service's answer, with per-request serving telemetry.
 struct RecoveryResponse {
   bool ok = false;
@@ -59,6 +74,10 @@ struct RecoveryResponse {
   int session_id = -1;           ///< Session that ran the forward.
   double queue_ms = 0.0;         ///< Enqueue -> batch dispatch.
   double infer_ms = 0.0;         ///< Model forward time.
+  /// The request's span tree, set iff the service's tracer sampled this
+  /// request (TracerConfig::sample_rate; null for every request otherwise).
+  /// Finished by the time the future resolves — safe to serialise.
+  std::shared_ptr<const obs::RequestTrace> trace;
 };
 
 /// Structural validation; returns false and fills `*error` on the first

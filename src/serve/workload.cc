@@ -1,7 +1,7 @@
 #include "src/serve/workload.h"
 
-#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "src/common/check.h"
 #include "src/common/random.h"
@@ -37,10 +37,7 @@ std::vector<WorkloadItem> PoissonWorkload(
 }
 
 double Percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  const size_t k = static_cast<size_t>(q * (values.size() - 1));
-  std::nth_element(values.begin(), values.begin() + k, values.end());
-  return values[k];
+  return obs::ExactQuantile(std::move(values), q);
 }
 
 }  // namespace serve

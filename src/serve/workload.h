@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/quantile.h"
 #include "src/serve/request.h"
 #include "src/sim/dataset.h"
 
@@ -33,8 +34,11 @@ std::vector<WorkloadItem> PoissonWorkload(
     const std::vector<TrajectorySample>& samples, int num_requests, double qps,
     uint64_t seed);
 
-/// q-quantile (q in [0, 1]) of `values` by selection; 0 when empty. The one
-/// percentile definition shared by ServeStats and the serving benchmarks.
+/// q-quantile (q in [0, 1]) of `values`; 0 when empty. A thin alias of
+/// obs::ExactQuantile — THE percentile definition shared by ServeStats, the
+/// metrics registry's histograms and the serving benchmarks (see
+/// src/obs/quantile.h for the pinned rank rule; obs_test enforces that the
+/// implementations cannot drift apart).
 double Percentile(std::vector<double> values, double q);
 
 }  // namespace serve

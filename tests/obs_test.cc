@@ -1,0 +1,424 @@
+// Unit suite for the observability layer (PR 7): exact-count log-bucket
+// histograms (edge-exact classification, underflow/overflow, merge/delta,
+// concurrent increments — the TSan job runs this file), the tree-wide
+// quantile rank rule pinned against every implementation that claims it,
+// the metrics registry + JSON/Prometheus exports, the request tracer
+// (deterministic sampling, ring wraparound, span-tree well-formedness),
+// and the stage profiler (global accumulation, thread-local capture
+// frames, nesting).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/histogram.h"
+#include "src/obs/metrics.h"
+#include "src/obs/quantile.h"
+#include "src/obs/stage_profiler.h"
+#include "src/obs/trace.h"
+#include "src/serve/workload.h"
+
+namespace rntraj {
+namespace {
+
+using obs::ExactQuantile;
+using obs::HistogramOptions;
+using obs::HistogramSnapshot;
+using obs::LatencyHistogram;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::QuantileRank;
+using obs::RequestTrace;
+using obs::ScopedStage;
+using obs::Stage;
+using obs::StageCaptureScope;
+using obs::StageProfile;
+using obs::StageProfiler;
+using obs::Tracer;
+using obs::TracerConfig;
+
+// ----- Quantile rank rule ----------------------------------------------------
+
+TEST(QuantileTest, RankRuleIsFloorOfQTimesNMinusOne) {
+  EXPECT_EQ(QuantileRank(0.0, 10), 0);
+  EXPECT_EQ(QuantileRank(0.5, 10), 4);   // floor(0.5 * 9)
+  EXPECT_EQ(QuantileRank(0.99, 10), 8);  // floor(0.99 * 9)
+  EXPECT_EQ(QuantileRank(1.0, 10), 9);
+  EXPECT_EQ(QuantileRank(0.5, 0), 0);
+  EXPECT_EQ(QuantileRank(0.5, 1), 0);
+}
+
+TEST(QuantileTest, ExactQuantileSelectsTheRankedSample) {
+  const std::vector<double> v = {5.0, 1.0, 9.0, 3.0};
+  // sorted: 1 3 5 9; rank(0.5, 4) = 1 -> 3 (type-1, no interpolation).
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile(v, 1.0), 9.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile({7.0}, 0.99), 7.0);
+}
+
+TEST(QuantileTest, EveryPercentileImplementationAgreesOnTheRule) {
+  // serve::Percentile must be the SAME function (it delegates); pin it so
+  // the implementations can never drift apart again.
+  std::vector<double> v;
+  for (int i = 100; i >= 1; --i) v.push_back(static_cast<double>(i));
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(serve::Percentile(v, q), ExactQuantile(v, q)) << q;
+    // And both match the rank rule applied to the sorted samples.
+    std::vector<double> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_DOUBLE_EQ(
+        ExactQuantile(v, q),
+        sorted[static_cast<size_t>(QuantileRank(q, sorted.size()))])
+        << q;
+  }
+}
+
+// ----- Histogram: bucket-boundary exactness ----------------------------------
+
+/// Small layout for edge arithmetic by hand: edges 1, 10, 100, 1000.
+HistogramOptions DecadeOptions() {
+  HistogramOptions opt;
+  opt.min_value = 1.0;
+  opt.max_value = 1000.0;
+  opt.buckets_per_decade = 1;
+  return opt;
+}
+
+TEST(HistogramTest, EdgeValuesLandInTheBucketTheyOpen) {
+  LatencyHistogram h(DecadeOptions());
+  ASSERT_EQ(h.edges().size(), 4u);  // 1, 10, 100, 1000
+  EXPECT_DOUBLE_EQ(h.edges()[0], 1.0);
+  EXPECT_DOUBLE_EQ(h.edges()[3], 1000.0);
+
+  // Buckets are half-open [lo, hi): a value exactly on an edge counts in
+  // the bucket whose LOWER edge it is.
+  h.Record(1.0);    // first finite bucket [1, 10)
+  h.Record(10.0);   // second finite bucket [10, 100)
+  h.Record(99.999); // still the second finite bucket
+  h.Record(100.0);  // third finite bucket [100, 1000)
+  const HistogramSnapshot s = h.Snapshot();
+  ASSERT_EQ(s.counts.size(), 5u);  // underflow + 3 finite + overflow
+  EXPECT_EQ(s.counts[0], 0);
+  EXPECT_EQ(s.counts[1], 1);
+  EXPECT_EQ(s.counts[2], 2);
+  EXPECT_EQ(s.counts[3], 1);
+  EXPECT_EQ(s.counts[4], 0);
+  EXPECT_EQ(s.TotalCount(), 4);
+}
+
+TEST(HistogramTest, UnderflowAndOverflowAreExact) {
+  LatencyHistogram h(DecadeOptions());
+  h.Record(0.5);                                      // < min -> underflow
+  h.Record(0.999999);                                 // < min -> underflow
+  h.Record(1000.0);                                   // == max -> overflow
+  h.Record(5000.0);                                   // > max -> overflow
+  h.Record(std::numeric_limits<double>::infinity());  // overflow
+  h.Record(-std::numeric_limits<double>::infinity()); // underflow
+  h.Record(std::numeric_limits<double>::quiet_NaN()); // dropped
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.counts.front(), 3);
+  EXPECT_EQ(s.counts.back(), 3);
+  EXPECT_EQ(s.TotalCount(), 6);  // the NaN never landed
+}
+
+TEST(HistogramTest, QuantileIsBucketUpperEdgeClampedToObservedExtrema) {
+  LatencyHistogram h(DecadeOptions());
+  for (int i = 0; i < 99; ++i) h.Record(5.0);  // [1, 10)
+  h.Record(500.0);                             // [100, 1000)
+  const HistogramSnapshot s = h.Snapshot();
+  // p50's rank lands among the 5.0s: answer is that bucket's upper edge.
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 10.0);
+  // p100's rank is the 500 sample; its bucket's upper edge (1000) clamps to
+  // the observed max.
+  EXPECT_DOUBLE_EQ(s.Quantile(1.0), 500.0);
+  // Underflow answers clamp to the observed min rather than inventing 0.
+  LatencyHistogram u(DecadeOptions());
+  u.Record(0.25);
+  EXPECT_DOUBLE_EQ(u.Snapshot().Quantile(0.5), 0.25);
+  // Empty histogram answers 0.
+  EXPECT_DOUBLE_EQ(LatencyHistogram(DecadeOptions()).Quantile(0.99), 0.0);
+}
+
+TEST(HistogramTest, QuantileIsWithinOneBucketWidthOfExact) {
+  LatencyHistogram h;  // default serving layout: 48 buckets/decade
+  std::vector<double> samples;
+  uint64_t z = 42;
+  for (int i = 0; i < 4000; ++i) {
+    // Cheap xorshift across ~4 decades of latencies.
+    z ^= z << 13; z ^= z >> 7; z ^= z << 17;
+    const double v = 0.05 + static_cast<double>(z % 1000000) / 1000.0;
+    samples.push_back(v);
+    h.Record(v);
+  }
+  const HistogramSnapshot s = h.Snapshot();
+  const double width = std::pow(10.0, 1.0 / 48.0);  // ~1.049
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double exact = ExactQuantile(samples, q);
+    const double approx = s.Quantile(q);
+    EXPECT_GE(approx, exact) << q;                  // upper edge: never under
+    EXPECT_LE(approx, exact * width * (1 + 1e-12)) << q;
+  }
+}
+
+TEST(HistogramTest, MergeEqualsOneHistogramHavingSeenEverything) {
+  LatencyHistogram a(DecadeOptions());
+  LatencyHistogram b(DecadeOptions());
+  LatencyHistogram whole(DecadeOptions());
+  for (double v : {2.0, 30.0, 0.1}) { a.Record(v); whole.Record(v); }
+  for (double v : {700.0, 4.0, 2000.0}) { b.Record(v); whole.Record(v); }
+  HistogramSnapshot sa = a.Snapshot();
+  ASSERT_TRUE(sa.Merge(b.Snapshot()));
+  const HistogramSnapshot sw = whole.Snapshot();
+  EXPECT_EQ(sa.counts, sw.counts);
+  EXPECT_DOUBLE_EQ(sa.sum, sw.sum);
+  EXPECT_DOUBLE_EQ(sa.Quantile(0.5), sw.Quantile(0.5));
+  // Layout mismatch is refused, not silently mangled.
+  LatencyHistogram other;  // default layout
+  EXPECT_FALSE(sa.Merge(other.Snapshot()));
+}
+
+TEST(HistogramTest, DeltaIsolatesTheWindow) {
+  LatencyHistogram h(DecadeOptions());
+  h.Record(2.0);
+  h.Record(20.0);
+  const HistogramSnapshot before = h.Snapshot();
+  h.Record(200.0);
+  h.Record(2.0);
+  const HistogramSnapshot delta = h.Snapshot().Delta(before);
+  EXPECT_EQ(delta.TotalCount(), 2);
+  EXPECT_EQ(delta.counts[1], 1);  // the second 2.0
+  EXPECT_EQ(delta.counts[3], 1);  // the 200.0
+  EXPECT_DOUBLE_EQ(delta.sum, 202.0);
+}
+
+// ----- Concurrency: exact totals under contention ----------------------------
+
+TEST(MetricsConcurrencyTest, CountersAndHistogramsCountExactlyUnderThreads) {
+  MetricsRegistry reg;
+  obs::Counter* c = reg.GetCounter("test.hits");
+  LatencyHistogram* h = reg.GetHistogram("test.lat_ms");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Add(1);
+        h->Record(static_cast<double>((t * kPerThread + i) % 100) + 0.5);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Exact counts: sharded atomics lose nothing, ever.
+  EXPECT_EQ(c->Value(), int64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h->Snapshot().TotalCount(), int64_t{kThreads} * kPerThread);
+}
+
+// ----- Registry + exports ----------------------------------------------------
+
+TEST(MetricsRegistryTest, NamesResolveToStablePointers) {
+  MetricsRegistry reg;
+  obs::Counter* c1 = reg.GetCounter("a");
+  obs::Counter* c2 = reg.GetCounter("a");
+  EXPECT_EQ(c1, c2);
+  obs::LatencyHistogram* h1 = reg.GetHistogram("h");
+  // Options apply on first registration only.
+  HistogramOptions other;
+  other.buckets_per_decade = 2;
+  EXPECT_EQ(reg.GetHistogram("h", other), h1);
+  EXPECT_EQ(h1->edges().size(), reg.GetHistogram("h")->edges().size());
+}
+
+TEST(MetricsRegistryTest, SnapshotDeltaAndExportsCarryExactCounts) {
+  MetricsRegistry reg;
+  reg.GetCounter("req.total")->Add(7);
+  reg.GetGauge("queue.depth")->Set(3.5);
+  reg.GetHistogram("lat")->Record(12.0);
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("req.total"), 7);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("queue.depth"), 3.5);
+  EXPECT_EQ(snap.histograms.at("lat").TotalCount(), 1);
+
+  reg.GetCounter("req.total")->Add(2);
+  const MetricsSnapshot delta = reg.SnapshotDelta(snap);
+  EXPECT_EQ(delta.counters.at("req.total"), 2);
+  // Gauges have no delta: the instantaneous value rides along.
+  EXPECT_DOUBLE_EQ(delta.gauges.at("queue.depth"), 3.5);
+
+  const std::string json = reg.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"req.total\":9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"queue.depth\":3.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"lat\""), std::string::npos) << json;
+
+  const std::string prom = reg.Snapshot().ToPrometheusText();
+  EXPECT_NE(prom.find("req_total 9"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("# TYPE lat histogram"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("lat_bucket{le=\"+Inf\"} 1"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("lat_count 1"), std::string::npos) << prom;
+}
+
+TEST(MetricsRegistryTest, MergeAggregatesWorkers) {
+  MetricsRegistry w1;
+  MetricsRegistry w2;
+  w1.GetCounter("serve.ok")->Add(3);
+  w2.GetCounter("serve.ok")->Add(4);
+  w1.GetHistogram("serve.latency_ms")->Record(10.0);
+  w2.GetHistogram("serve.latency_ms")->Record(20.0);
+  MetricsSnapshot fleet = w1.Snapshot();
+  fleet.Merge(w2.Snapshot());
+  EXPECT_EQ(fleet.counters.at("serve.ok"), 7);
+  EXPECT_EQ(fleet.histograms.at("serve.latency_ms").TotalCount(), 2);
+}
+
+// ----- Tracer ----------------------------------------------------------------
+
+TEST(TracerTest, SamplingIsDeterministicInSeedAndId) {
+  TracerConfig cfg;
+  cfg.sample_rate = 0.5;
+  cfg.seed = 99;
+  Tracer t1(cfg);
+  Tracer t2(cfg);
+  int sampled = 0;
+  for (uint64_t id = 0; id < 200; ++id) {
+    EXPECT_EQ(t1.ShouldSample(id), t2.ShouldSample(id)) << id;
+    if (t1.ShouldSample(id)) ++sampled;
+  }
+  // Rate 0.5 over 200 ids: both classes occur, roughly half each.
+  EXPECT_GT(sampled, 50);
+  EXPECT_LT(sampled, 150);
+
+  cfg.sample_rate = 0.0;
+  Tracer off(cfg);
+  cfg.sample_rate = 1.0;
+  Tracer on(cfg);
+  for (uint64_t id = 0; id < 50; ++id) {
+    EXPECT_FALSE(off.ShouldSample(id));
+    EXPECT_EQ(off.MaybeBegin(id), nullptr);
+    EXPECT_TRUE(on.ShouldSample(id));
+    EXPECT_NE(on.MaybeBegin(id), nullptr);
+  }
+  EXPECT_EQ(off.sampled(), 0);
+  EXPECT_EQ(on.sampled(), 50);
+}
+
+TEST(TracerTest, RingWrapsKeepingTheNewestTraces) {
+  TracerConfig cfg;
+  cfg.sample_rate = 1.0;
+  cfg.ring_capacity = 4;
+  Tracer tracer(cfg);
+  for (uint64_t id = 0; id < 10; ++id) {
+    auto t = std::make_shared<RequestTrace>(id);
+    t->Finish();
+    tracer.Retain(t);
+  }
+  const auto retained = tracer.Retained();
+  ASSERT_EQ(retained.size(), 4u);
+  // Capacity 4 after 10 retains: exactly ids 6..9 survive.
+  std::vector<uint64_t> ids;
+  for (const auto& t : retained) ids.push_back(t->request_id());
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<uint64_t>{6, 7, 8, 9}));
+  EXPECT_EQ(tracer.dropped(), 0);  // no concurrent collisions here
+  const std::string dump = tracer.DumpJson();
+  EXPECT_NE(dump.find("\"request_id\":9"), std::string::npos) << dump;
+  EXPECT_EQ(dump.find("\"request_id\":5"), std::string::npos) << dump;
+}
+
+TEST(RequestTraceTest, SpanTreeIsWellFormedAndFinishClosesEverything) {
+  RequestTrace t(17);
+  const int queue = t.OpenSpan("queue");
+  t.CloseSpan(queue);
+  const int dispatch = t.OpenSpan("dispatch");
+  t.CloseSpan(dispatch);
+  const int fwd = t.OpenSpan("forward");
+  const int enc = t.OpenSpan("encode", fwd);
+  t.CloseSpan(enc);
+  t.AddEvent("policy-transition");
+  t.OpenSpan("respond");
+  // `forward` and `respond` are still open; Finish must close them, root
+  // last, and leave a structurally valid tree.
+  t.Finish();
+  std::string why;
+  EXPECT_TRUE(t.WellFormed(&why)) << why;
+  EXPECT_EQ(t.SpanIndex("queue"), queue);
+  EXPECT_EQ(t.SpanIndex("missing"), -1);
+  for (const auto& span : t.spans()) {
+    EXPECT_GE(span.end_ns, span.start_ns);
+  }
+  const std::string json = t.ToJson();
+  for (const char* name :
+       {"queue", "dispatch", "forward", "encode", "respond",
+        "policy-transition"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(RequestTraceTest, WellFormedCatchesAnOpenSpan) {
+  RequestTrace t(3);
+  t.OpenSpan("queue");
+  std::string why;
+  EXPECT_FALSE(t.WellFormed(&why));  // root + queue still open
+  EXPECT_FALSE(why.empty());
+}
+
+// ----- Stage profiler --------------------------------------------------------
+
+TEST(StageProfilerTest, DisabledRecordsNothingEnabledAccumulates) {
+  StageProfiler& p = StageProfiler::Global();
+  ASSERT_FALSE(p.enabled()) << "another test left the global profiler on";
+  const StageProfile before = p.Snapshot();
+  { ScopedStage s(Stage::kGat); }
+  EXPECT_EQ(p.Snapshot().Delta(before).TotalNs(), 0);
+  EXPECT_EQ(p.Snapshot()
+                .Delta(before)
+                .stages[static_cast<int>(Stage::kGat)]
+                .count,
+            0);
+
+  p.set_enabled(true);
+  {
+    ScopedStage s(Stage::kGat);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  p.set_enabled(false);
+  const StageProfile delta = p.Snapshot().Delta(before);
+  const auto& gat = delta.stages[static_cast<int>(Stage::kGat)];
+  EXPECT_EQ(gat.count, 1);
+  EXPECT_GT(gat.ns, 0);
+  const std::string table = delta.ToTable();
+  EXPECT_NE(table.find("gat"), std::string::npos) << table;
+}
+
+TEST(StageProfilerTest, CaptureScopeActivatesTimersAndIsThreadLocal) {
+  ASSERT_FALSE(StageProfiler::Global().enabled());
+  StageCaptureScope capture;  // global disabled: capture alone activates
+  { ScopedStage s(Stage::kDecoder); }
+  EXPECT_GE(capture.ns(Stage::kDecoder), 0);
+  EXPECT_EQ(capture.ns(Stage::kTransformer), 0);
+  // A scope on ANOTHER thread must not leak into this frame.
+  std::thread other([] {
+    EXPECT_EQ(StageCaptureScope::Current(), nullptr);
+    ScopedStage s(Stage::kTransformer);  // inactive there: no frame, global off
+  });
+  other.join();
+  EXPECT_EQ(capture.ns(Stage::kTransformer), 0);
+  // Nested frames: the inner one wins while alive.
+  {
+    StageCaptureScope inner;
+    EXPECT_EQ(StageCaptureScope::Current(), &inner);
+  }
+  EXPECT_EQ(StageCaptureScope::Current(), &capture);
+}
+
+}  // namespace
+}  // namespace rntraj

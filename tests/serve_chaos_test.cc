@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cmath>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -524,6 +525,105 @@ TEST_F(ServeChaosFixture, CombinedChaosEveryFutureResolvesAndCountsAddUp) {
                 stats.deadline_missed + stats.internal_error,
             stats.completed);
   EXPECT_EQ(stats.validation_error, kWaves);
+
+  // The exported metrics snapshot carries the same conservation law: the
+  // outcome counters partition serve.submitted exactly (the PR 7 acceptance
+  // invariant, checked on the machine-readable export rather than the
+  // ServeStats view).
+  const obs::MetricsSnapshot snap = service.Metrics();
+  const auto counter = [&](const char* name) {
+    auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? int64_t{0} : it->second;
+  };
+  EXPECT_EQ(counter("serve.submitted"), stats.submitted);
+  EXPECT_EQ(counter("serve.ok") + counter("serve.degraded") +
+                counter("serve.validation_error") +
+                counter("serve.deadline_missed") +
+                counter("serve.internal_error") + counter("serve.shed"),
+            counter("serve.submitted"));
+  // And the JSON export carries those exact counts verbatim.
+  const std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"serve.submitted\":" +
+                      std::to_string(counter("serve.submitted"))),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"serve.ok\":" + std::to_string(counter("serve.ok"))),
+            std::string::npos)
+      << json;
+}
+
+// ----- Tracing under chaos ---------------------------------------------------
+
+TEST_F(ServeChaosFixture, EvictedAtDequeueRequestCarriesAWellFormedTrace) {
+  // Trace every request, then force the nastiest lifecycle for a span tree:
+  // expiry in queue, answered by the batcher's dequeue eviction — the
+  // request never reaches a session, so the trace must be finished by the
+  // eviction path (queue span closed, eviction event stamped, root closed).
+  serve::RecoveryServiceConfig scfg = BaseServiceConfig();
+  scfg.num_sessions = 1;
+  scfg.batcher.max_batch_delay_us = 20000;
+  scfg.trace.sample_rate = 1.0;
+  serve::RecoveryService service(model_, *ctx_, scfg);
+
+  std::vector<std::future<RecoveryResponse>> futures;
+  for (const auto& s : dataset_->test()) {
+    serve::RecoveryRequest req = serve::RequestFromSample(s);
+    req.deadline_ms = 0.001;  // expired ~immediately
+    futures.push_back(service.Submit(std::move(req)));
+  }
+  int traced = 0;
+  for (auto& f : futures) {
+    RecoveryResponse resp = GetOrDie(f);
+    EXPECT_EQ(resp.kind, ResponseKind::kDeadlineMissed);
+    ASSERT_NE(resp.trace, nullptr);
+    ++traced;
+    std::string why;
+    EXPECT_TRUE(resp.trace->WellFormed(&why)) << why;
+    EXPECT_STREQ(resp.trace->outcome(), "deadline_missed");
+    // The span tree records the lifecycle: a queue wait under the root and
+    // the eviction event, no dispatch/forward (it never reached a session).
+    EXPECT_GE(resp.trace->SpanIndex("queue"), 0);
+    EXPECT_EQ(resp.trace->SpanIndex("dispatch"), -1);
+    EXPECT_EQ(resp.trace->SpanIndex("forward"), -1);
+    bool evicted_event = false;
+    for (const auto& ev : resp.trace->events()) {
+      if (std::string(ev.name) == "evicted-at-dequeue") evicted_event = true;
+    }
+    EXPECT_TRUE(evicted_event);
+    EXPECT_FALSE(resp.trace->ToJson().empty());
+  }
+  EXPECT_EQ(traced, static_cast<int>(futures.size()));
+  ASSERT_NE(service.tracer(), nullptr);
+  EXPECT_EQ(service.tracer()->sampled(), traced);
+}
+
+TEST_F(ServeChaosFixture, TracedOkRequestRecordsTheFullPipeline) {
+  serve::RecoveryServiceConfig scfg = BaseServiceConfig();
+  scfg.trace.sample_rate = 1.0;
+  serve::RecoveryService service(model_, *ctx_, scfg);
+
+  std::vector<std::future<RecoveryResponse>> futures;
+  for (const auto& s : dataset_->test()) {
+    futures.push_back(service.Submit(serve::RequestFromSample(s)));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    RecoveryResponse resp = GetOrDie(futures[i]);
+    ASSERT_TRUE(resp.ok) << resp.error;
+    ExpectMatchesReference(resp, i);
+    ASSERT_NE(resp.trace, nullptr);
+    std::string why;
+    EXPECT_TRUE(resp.trace->WellFormed(&why)) << why;
+    EXPECT_STREQ(resp.trace->outcome(), "ok");
+    // The full lifecycle: queue wait, dispatch, the forward (with its
+    // encode/decode split synthesised from stage capture), respond.
+    for (const char* span :
+         {"queue", "dispatch", "forward", "forward.encode", "forward.decode",
+          "respond"}) {
+      EXPECT_GE(resp.trace->SpanIndex(span), 0) << span;
+    }
+    EXPECT_GT(resp.trace->batch_size(), 0);
+    EXPECT_GE(resp.trace->session_id(), 0);
+  }
 }
 
 // ----- Shutdown hardening ----------------------------------------------------
