@@ -14,7 +14,9 @@
 #include "src/nn/graph.h"
 #include "src/serve/roadnet_cache.h"
 #include "src/sim/presets.h"
+#include "src/tensor/bfloat16.h"
 #include "src/tensor/buffer_pool.h"
+#include "src/tensor/fusion.h"
 #include "src/tensor/ops.h"
 
 namespace rntraj {
@@ -300,6 +302,79 @@ void BM_GrlBatch(benchmark::State& state) {
                  ", B=16, d=32");
 }
 BENCHMARK(BM_GrlBatch)->Arg(0)->Arg(1);
+
+// The PR 8 fusion pass on the encoder's elementwise spine: scale+masked
+// softmax (attention weights), residual-add+LayerNorm (post-attention),
+// bias+ReLU (FFN), and a second residual-add+LayerNorm — everything in a
+// transformer block EXCEPT the GEMMs, which fusion leaves untouched. Arg0:
+// 0 = the generic op chains (exactly what the entry points re-compose with
+// fusion off), 1 = the fused single-pass kernels. The ratio of the two rows
+// is the fusion_chain_speedup the CI gate pins (>= 1.15x).
+void BM_FusedChain(benchmark::State& state) {
+  const bool fused = state.range(0) == 1;
+  const int n = 48, d = 64;
+  SeedGlobalRng(12);
+  Tensor scores = Tensor::Randn({n, n}, 1.0f);
+  Tensor mask = Tensor::Zeros({n, n});
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) mask.data()[i * n + j] = -1e9f;
+  }
+  Tensor x = Tensor::Randn({n, d}, 1.0f);
+  Tensor attn_out = Tensor::Randn({n, d}, 1.0f);
+  Tensor gamma1 = Tensor::Randn({d}, 0.1f);
+  Tensor beta1 = Tensor::Randn({d}, 0.1f);
+  Tensor gamma2 = Tensor::Randn({d}, 0.1f);
+  Tensor beta2 = Tensor::Randn({d}, 0.1f);
+  Tensor bias = Tensor::Randn({d}, 0.1f);
+  const float scale = 0.125f;
+  NoGradGuard guard;
+  BufferPoolScope pool;
+  fusion::FusionScope scope(fused);
+  for (auto _ : state) {
+    Tensor w = fusion::ScaleMaskedSoftmax(scores, scale, mask);
+    Tensor y = fusion::ResidualLayerNorm(x, attn_out, gamma1, beta1, 1e-5f);
+    Tensor ff = fusion::BiasAct(y, bias, fusion::Act::kRelu);
+    Tensor out = fusion::ResidualLayerNorm(y, ff, gamma2, beta2, 1e-5f);
+    benchmark::DoNotOptimize(w.data().data());
+    benchmark::DoNotOptimize(out.data().data());
+  }
+  state.SetLabel(std::string(fused ? "fused single-pass kernels"
+                                   : "generic op chains") +
+                 ", n=48, d=64");
+}
+BENCHMARK(BM_FusedChain)->Arg(0)->Arg(1);
+
+// bf16 conversion kernel throughput: the per-element cost of the storage
+// mode's block-boundary round trips (RNE pack + unpack vs a plain copy).
+void BM_Bf16RoundTrip(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SeedGlobalRng(13);
+  Tensor x = Tensor::Randn({n}, 2.0f);
+  std::vector<uint16_t> packed(n);
+  std::vector<float> unpacked(n);
+  for (auto _ : state) {
+    internal::Bf16FromFloatArray(x.data().data(), packed.data(), n);
+    internal::Bf16ToFloatArray(packed.data(), unpacked.data(), n);
+    benchmark::DoNotOptimize(unpacked.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Bf16RoundTrip)->Arg(4096)->Arg(65536);
+
+// The in-graph quantise op as the model emits it at block boundaries.
+void BM_Bf16Quantize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  SeedGlobalRng(14);
+  Tensor x = Tensor::Randn({n, 64}, 1.0f);
+  NoGradGuard guard;
+  BufferPoolScope pool;
+  Bf16Scope scope;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaybeQuantizeBf16(x).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * 64);
+}
+BENCHMARK(BM_Bf16Quantize)->Arg(64)->Arg(512);
 
 struct World {
   std::unique_ptr<Dataset> ds;

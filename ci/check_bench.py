@@ -14,6 +14,26 @@ Fails (exit 1) when any of:
     measured back-to-back in the produced run, so the check is self-relative
     and immune to runner-speed differences), or the baseline records an
     observability section the produced run lost;
+  * the fusion section (PR 8) breaks one of its self-relative claims:
+      - fused answers diverge from the unfused warm sequential answers
+        (seg mismatches / >1e-5 ratio diff / failed requests) — the fusion
+        pass must be numerically invisible end to end;
+      - fusion_on_rps < 0.95 * fusion_off_rps (fusion may never make the
+        service slower; both sides best-of-3 interleaved in the same run);
+      - the isolated encoder-chain speedup falls below 1.15x (the committed
+        claim the pass exists to deliver — measured in-process on the same
+        box, so the bound is runner-independent);
+  * the bf16 section (PR 8) reports divergence:
+      - served bf16 answers differ from offline bf16 inference in ANY
+        segment id (the serving machinery must add zero divergence of its
+        own — the storage mode's only sanctioned error is the rounding at
+        block boundaries, identical in both paths);
+      - offline bf16 drifts more than 0.15 in ratio from fp32 (the
+        documented looser bf16 bound; segment flips vs fp32 are reported
+        but not zero-gated — the bench model is untrained, so near-tied
+        logits make fp32-vs-bf16 segment identity meaningless here; the
+        model-level tests pin it on trained workloads);
+    or the baseline records fusion/bf16 sections the produced run lost;
   * the overload section breaks one of the robustness layer's own
     invariants (these compare the produced run against ITSELF, so they are
     immune to runner-speed differences):
@@ -48,6 +68,14 @@ DEADLINE_SLACK = 1.15
 # Observability must be near-free: tracing every request + stage profiling
 # may cost at most this fraction of the obs-off throughput of the same run.
 OBS_OVERHEAD_LIMIT = 0.05
+# Fusion may cost at most this fraction end to end (it should HELP; the
+# bound only guards against the pass somehow pessimising the service), and
+# must deliver at least this speedup on the isolated elementwise chain.
+FUSION_OVERHEAD_LIMIT = 0.05
+FUSION_CHAIN_MIN_SPEEDUP = 1.15
+# The documented bf16 numeric bound: max ratio drift of offline bf16
+# recovery vs fp32 on the bench workload.
+BF16_MAX_RATIO_DRIFT = 0.15
 
 
 def fail(msg: str) -> None:
@@ -107,6 +135,61 @@ def check_observability(produced: dict) -> None:
     )
 
 
+def check_fusion(produced: dict) -> None:
+    if int(produced.get("fusion_seg_mismatches", 0)) != 0 or int(
+        produced.get("fusion_failed_requests", 0)
+    ) != 0 or float(produced.get("fusion_max_ratio_diff", 0.0)) > 1e-5:
+        fail(
+            "fusion pass diverged from the unfused path "
+            f"(seg_mismatches={produced.get('fusion_seg_mismatches')}, "
+            f"max_ratio_diff={produced.get('fusion_max_ratio_diff')}, "
+            f"failed_requests={produced.get('fusion_failed_requests')})"
+        )
+    off = float(produced["fusion_off_rps"])
+    on = float(produced["fusion_on_rps"])
+    if off <= 0:
+        fail(f"fusion_off_rps is non-positive ({off})")
+    if on < (1.0 - FUSION_OVERHEAD_LIMIT) * off:
+        fail(
+            f"fusion pass made the service slower: {off:.1f} rps off -> "
+            f"{on:.1f} rps on (limit {FUSION_OVERHEAD_LIMIT:.0%}, same run)"
+        )
+    chain = float(produced["fusion_chain_speedup"])
+    if chain < FUSION_CHAIN_MIN_SPEEDUP:
+        fail(
+            f"fused encoder-chain speedup {chain:.2f}x is below the "
+            f"committed {FUSION_CHAIN_MIN_SPEEDUP}x claim"
+        )
+    print(
+        f"fusion gate OK: {off:.1f} rps off -> {on:.1f} rps on end to end, "
+        f"isolated chain {chain:.2f}x (min {FUSION_CHAIN_MIN_SPEEDUP}x), "
+        "fused answers match unfused within 1e-5"
+    )
+
+
+def check_bf16(produced: dict) -> None:
+    if int(produced.get("bf16_seg_mismatches", 0)) != 0 or int(
+        produced.get("bf16_failed_requests", 0)
+    ) != 0:
+        fail(
+            "bf16 served answers diverged from offline bf16 inference "
+            f"(seg_mismatches={produced.get('bf16_seg_mismatches')}, "
+            f"failed_requests={produced.get('bf16_failed_requests')})"
+        )
+    drift = float(produced["bf16_max_ratio_diff"])
+    if drift > BF16_MAX_RATIO_DRIFT:
+        fail(
+            f"bf16 ratio drift vs fp32 {drift:.3g} exceeds the documented "
+            f"{BF16_MAX_RATIO_DRIFT} bound"
+        )
+    print(
+        f"bf16 gate OK: served == offline bf16 exactly, fp32 ratio drift "
+        f"{drift:.3g} (bound {BF16_MAX_RATIO_DRIFT}), "
+        f"{int(produced.get('bf16_vs_fp32_seg_mismatches', 0))} seg flips vs "
+        "fp32 reported (untrained bench model, not gated)"
+    )
+
+
 def main() -> None:
     if len(sys.argv) != 3:
         fail(f"usage: {sys.argv[0]} <produced.json> <baseline.json>")
@@ -146,6 +229,18 @@ def main() -> None:
         # Losing the section silently would un-gate the observability
         # overhead claim (PR 7).
         fail("bench record is missing its observability section")
+
+    if "fusion_on_rps" in produced:
+        check_fusion(produced)
+    elif "fusion_on_rps" in baseline:
+        # Losing the section silently would un-gate the fusion-pass claims
+        # (PR 8).
+        fail("bench record is missing its fusion section")
+
+    if "bf16_max_ratio_diff" in produced:
+        check_bf16(produced)
+    elif "bf16_max_ratio_diff" in baseline:
+        fail("bench record is missing its bf16 section")
 
     if "overload_deadline_ms" in produced:
         check_overload(produced)

@@ -186,6 +186,18 @@ int main() {
               static_cast<long long>(stats.cache.misses),
               static_cast<long long>(stats.cache.fallbacks),
               static_cast<long long>(stats.cache.entries));
+  // Tensor buffer-pool telemetry (PR 8): the worker threads' op-output
+  // recycling, summed across sessions. A warm steady state shows hits
+  // dominating misses.
+  {
+    auto git = ms.gauges.find("tensor.bufpool.cached_bytes");
+    std::printf("buffer pool: %lld hits, %lld misses, %lld recycled, %.1f KiB "
+                "resident\n",
+                counter("tensor.bufpool.hits"),
+                counter("tensor.bufpool.misses"),
+                counter("tensor.bufpool.recycled"),
+                (git == ms.gauges.end() ? 0.0 : git->second) / 1024.0);
+  }
   std::printf("served == offline: %s (seg mismatches %d, max ratio diff "
               "%.2e)\n",
               seg_mismatches == 0 && max_ratio_diff <= 1e-5 ? "yes" : "NO",

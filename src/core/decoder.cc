@@ -6,6 +6,7 @@
 
 #include "src/common/random.h"
 #include "src/core/features.h"
+#include "src/tensor/fusion.h"
 #include "src/obs/stage_profiler.h"
 #include "src/traj/resample.h"
 
@@ -191,7 +192,8 @@ Tensor Decoder::TrainLoss(const Tensor& enc_outputs, const Tensor& traj_h,
       }
     }
     Tensor x_j = seg_emb_.Forward({fed});  // (1, d)
-    Tensor r_pred = Sigmoid(rate_head_.Forward(ConcatCols({x_j, h})));
+    Tensor r_pred =
+        rate_head_.ForwardAct(ConcatCols({x_j, h}), fusion::Act::kSigmoid);
     const float r_true = static_cast<float>(sample.truth.points[j].ratio);
     rate_terms.push_back(
         Reshape(Square(Sub(r_pred, Tensor::Scalar(r_true))), {1}));
@@ -228,7 +230,8 @@ MatchedTrajectory Decoder::Decode(const Tensor& enc_outputs,
       if (logits.at(0, v) > logits.at(0, best)) best = v;
     }
     Tensor x_j = seg_emb_.Forward({best});
-    Tensor r_pred = Sigmoid(rate_head_.Forward(ConcatCols({x_j, h})));
+    Tensor r_pred =
+        rate_head_.ForwardAct(ConcatCols({x_j, h}), fusion::Act::kSigmoid);
     const double ratio = std::clamp<double>(r_pred.item(), 0.0, 0.999);
     out.points.push_back({best, ratio, t0 + j * eps});
     x_prev = x_j;
@@ -395,7 +398,8 @@ std::vector<Tensor> Decoder::TrainLossBatch(
       fed[p] = best;
     }
     Tensor x_j = seg_emb_.Forward(fed);  // (active, d)
-    Tensor r_pred = Sigmoid(rate_head_.Forward(ConcatCols({x_j, h})));
+    Tensor r_pred =
+        rate_head_.ForwardAct(ConcatCols({x_j, h}), fusion::Act::kSigmoid);
     std::vector<float> r_true(active);
     for (int p = 0; p < active; ++p) {
       r_true[p] = static_cast<float>(plan.samples[p]->truth.points[j].ratio);
@@ -462,7 +466,8 @@ std::vector<MatchedTrajectory> Decoder::DecodeBatch(
       }
     }
     Tensor x_j = seg_emb_.Forward(best);
-    Tensor r_pred = Sigmoid(rate_head_.Forward(ConcatCols({x_j, h})));
+    Tensor r_pred =
+        rate_head_.ForwardAct(ConcatCols({x_j, h}), fusion::Act::kSigmoid);
     for (int p = 0; p < active; ++p) {
       const double ratio = std::clamp<double>(r_pred.at(p, 0), 0.0, 0.999);
       const double t0 = plan.samples[p]->truth.points.front().t;

@@ -1,6 +1,7 @@
 #include "src/core/gpsformer.h"
 
 #include "src/obs/stage_profiler.h"
+#include "src/tensor/bfloat16.h"
 
 namespace rntraj {
 
@@ -30,14 +31,20 @@ GpsFormer::BatchOutput GpsFormer::ForwardBatch(
       obs::ScopedStage stage(obs::Stage::kTransformer);
       pb = encoder_[n]->ForwardBatched(pb, row_mask);
     }
+    // bf16 storage mode: activations are rounded through bf16 at block
+    // boundaries (identity outside a Bf16Scope). Padding rows are zero and
+    // zero rounds to zero, so the padded-batch invariant survives.
+    if (Bf16Enabled()) pb = pb.WithData(QuantizeBf16(pb.data));
     if (!cfg_.use_grl) continue;  // Table V "w/o GRL"
     z = grl_[n]->ForwardBatch(pb.Flat(), z, graphs, lengths);
+    z = MaybeQuantizeBf16(z);
     // Eq. (13): H^l = GraphReadout(Z^l), one masked mean-pool per sub-graph.
     if (n + 1 < cfg_.blocks) {
       pb = PaddedBatch::FromFlat(SegmentMeanRows(z, graphs.sizes), lengths);
     }
   }
   Tensor h_out = cfg_.use_grl ? SegmentMeanRows(z, graphs.sizes) : pb.Flat();
+  h_out = MaybeQuantizeBf16(h_out);
   return {std::move(h_out), std::move(z)};
 }
 
@@ -54,17 +61,22 @@ GpsFormer::Output GpsFormer::Forward(
       obs::ScopedStage stage(obs::Stage::kTransformer);
       tr = encoder_[n]->Forward(h);
     }
+    // bf16 storage mode: same block-boundary rounding as ForwardBatch, so
+    // the per-sample and batched paths see identical quantisation points.
+    tr = MaybeQuantizeBf16(tr);
     if (!cfg_.use_grl) {
       h = tr;  // Table V "w/o GRL": temporal modelling only
       continue;
     }
     z = grl_[n]->Forward(tr, z, graphs);
+    for (auto& zi : z) zi = MaybeQuantizeBf16(zi);
     // Eq. (13): H^l = GraphReadout(Z^l) by per-sub-graph mean pooling.
     std::vector<Tensor> rows;
     rows.reserve(z.size());
     for (const auto& zi : z) rows.push_back(ColMean(zi));
     h = ConcatRows(rows);
   }
+  h = MaybeQuantizeBf16(h);
   return {h, z};
 }
 

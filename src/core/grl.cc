@@ -1,6 +1,7 @@
 #include "src/core/grl.h"
 
 #include "src/obs/stage_profiler.h"
+#include "src/tensor/fusion.h"
 
 #include "src/nn/init.h"
 
@@ -42,8 +43,11 @@ Tensor GraphRefinementLayer::Fuse(const Tensor& tr_row, const Tensor& z_i) const
   // Eq. (7): z = sigma(tr W1 + Z W2 + b); out = z*tr + (1-z)*Z.
   // tr W1 is the same row for every node, so project the single row and
   // broadcast it, instead of multiplying the expanded (n_i, d) copy.
-  Tensor gate = Sigmoid(AddRowBroadcast(
-      AddRowBroadcast(Matmul(z_i, wz2_), bz_), Matmul(tr_row, wz1_)));
+  // The outer broadcast-add + sigmoid goes through the fused emission point
+  // (the projected trajectory row acts as the "bias", and carries grad).
+  Tensor gate =
+      fusion::BiasAct(AddRowBroadcast(Matmul(z_i, wz2_), bz_),
+                      Matmul(tr_row, wz1_), fusion::Act::kSigmoid);
   return Add(Mul(gate, trx), Mul(AddScalar(Neg(gate), 1.0f), z_i));
 }
 
@@ -131,8 +135,9 @@ Tensor GraphRefinementLayer::ForwardBatch(
     if (cfg_.use_gated_fusion) {
       // Eq. (7): z = sigma(tr W1 + Z W2 + b); out = z*tr + (1-z)*Z.
       Tensor trw1 = Matmul(tr, wz1_);  // (num_graphs, d)
-      Tensor gate = Sigmoid(Add(AddRowBroadcast(Matmul(z, wz2_), bz_),
-                                GatherRows(trw1, node2graph)));
+      Tensor gate =
+          fusion::BiasAct(AddRowBroadcast(Matmul(z, wz2_), bz_),
+                          GatherRows(trw1, node2graph), fusion::Act::kSigmoid);
       fuse_out = Add(Mul(gate, trx), Mul(AddScalar(Neg(gate), 1.0f), z));
     } else {
       // Table V "w/o GF": concatenation + feed-forward.

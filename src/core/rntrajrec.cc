@@ -4,6 +4,8 @@
 
 #include "src/nn/init.h"
 #include "src/obs/stage_profiler.h"
+#include "src/tensor/bfloat16.h"
+#include "src/tensor/fusion.h"
 
 namespace rntraj {
 
@@ -67,13 +69,21 @@ RnTrajRec::PointContexts RnTrajRec::BuildPointContexts(
 }
 
 void RnTrajRec::BeginBatch() {
+  fusion::FusionScope fuse(cfg_.fuse_elementwise);
   xroad_ = gridgnn_.Forward();
   decoder_.AdvanceSamplingEpoch();
 }
 
 void RnTrajRec::BeginInference() {
   NoGradGuard guard;
+  fusion::FusionScope fuse(cfg_.fuse_elementwise);
+  if (cfg_.bf16_weights) {
+    // Inference-only storage mode: round every parameter through bf16 once.
+    // Idempotent, so repeated BeginInference calls are safe.
+    for (Tensor& p : Parameters()) RoundToBf16InPlace(p);
+  }
   xroad_ = gridgnn_.Forward();
+  if (cfg_.bf16_activations) RoundToBf16InPlace(xroad_);
 }
 
 RnTrajRec::Encoded RnTrajRec::Encode(const TrajectorySample& sample,
@@ -233,6 +243,8 @@ Tensor RnTrajRec::SampleLoss(const Encoded& e,
 }
 
 Tensor RnTrajRec::TrainLoss(const TrajectorySample& sample) {
+  fusion::FusionScope fuse(cfg_.fuse_elementwise);
+  Bf16Scope bf16(cfg_.bf16_activations);
   PointContexts scratch;
   const PointContexts& pts = ResolvePoints(sample, &scratch);
   Encoded e = Encode(sample, pts);
@@ -242,6 +254,8 @@ Tensor RnTrajRec::TrainLoss(const TrajectorySample& sample) {
 std::vector<Tensor> RnTrajRec::TrainLossBatch(
     const std::vector<const TrajectorySample*>& samples) {
   if (samples.empty()) return {};
+  fusion::FusionScope fuse(cfg_.fuse_elementwise);
+  Bf16Scope bf16(cfg_.bf16_activations);
   std::vector<PointContexts> scratch(samples.size());
   std::vector<const PointContexts*> pts;
   pts.reserve(samples.size());
@@ -269,6 +283,8 @@ std::vector<Tensor> RnTrajRec::TrainLossBatch(
 
 MatchedTrajectory RnTrajRec::Recover(const TrajectorySample& sample) {
   NoGradGuard guard;
+  fusion::FusionScope fuse(cfg_.fuse_elementwise);
+  Bf16Scope bf16(cfg_.bf16_activations);
   PointContexts scratch;
   const PointContexts& pts = ResolvePoints(sample, &scratch);
   Encoded e = Encode(sample, pts);
@@ -279,6 +295,8 @@ std::vector<MatchedTrajectory> RnTrajRec::RecoverBatch(
     const std::vector<const TrajectorySample*>& samples) {
   if (samples.empty()) return {};
   NoGradGuard guard;
+  fusion::FusionScope fuse(cfg_.fuse_elementwise);
+  Bf16Scope bf16(cfg_.bf16_activations);
   std::vector<PointContexts> scratch(samples.size());
   std::vector<const PointContexts*> pts;
   pts.reserve(samples.size());

@@ -33,6 +33,17 @@ struct RnTrajRecConfig {
   DecoderConfig decoder;
   std::string name_suffix;  ///< Display suffix for ablation variants.
 
+  /// PR 8 performance knobs, both default-off (off-path bit-identical).
+  /// `fuse_elementwise` routes the hot elementwise/normalisation chains
+  /// through single fused kernels (equivalent within FMA rounding ~1e-6);
+  /// `bf16_activations` rounds activations through bf16 at GPSFormer block
+  /// boundaries (fp32 accumulation everywhere; see BENCHMARKS.md for the
+  /// divergence bound); `bf16_weights` additionally rounds the parameters
+  /// once at BeginInference (inference-only storage mode).
+  bool fuse_elementwise = false;
+  bool bf16_activations = false;
+  bool bf16_weights = false;
+
   /// Propagates `dim` into the sub-configs. Idempotent, and applied by the
   /// RnTrajRec constructor itself — callers that only set `dim` need not
   /// call it (forgetting used to silently build mismatched sub-module dims).

@@ -8,7 +8,9 @@
 #include "src/common/random.h"
 #include "src/common/thread_pool.h"
 #include "src/nn/optim.h"
+#include "src/tensor/bfloat16.h"
 #include "src/tensor/buffer_pool.h"
+#include "src/tensor/fusion.h"
 #include "src/tensor/ops.h"
 
 namespace rntraj {
@@ -31,6 +33,10 @@ TrainStats TrainModel(RecoveryModel& model,
   // Recycle op outputs across iterations: after the first batch, nearly every
   // forward/backward allocation is served from the pool.
   BufferPoolScope pool_scope;
+  // Harness-level perf knobs (thread-local; the worker lambdas below install
+  // their own copies since scopes do not cross threads).
+  fusion::FusionScope fuse_scope(cfg.fuse_elementwise);
+  Bf16Scope bf16_scope(cfg.bf16_activations);
   model.SetTrainingMode(true);
   std::vector<Tensor> params = model.Parameters();
   Adam opt(params, cfg.lr);
@@ -76,6 +82,8 @@ TrainStats TrainModel(RecoveryModel& model,
         // Concurrent forward passes; the model has declared its TrainLoss
         // re-entrant (see RecoveryModel::SupportsConcurrentTrainLoss).
         ThreadPool::Global().Run(count, [&](int t) {
+          fusion::FusionScope fuse(cfg.fuse_elementwise);
+          Bf16Scope bf16(cfg.bf16_activations);
           losses[t] = model.TrainLoss(data[order[i + t]]);
         });
       } else {

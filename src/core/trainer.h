@@ -43,6 +43,13 @@ struct TrainConfig {
   /// decoder wall-time shares) to stderr when `verbose` is also set. The
   /// profiler's prior enabled state is restored when TrainModel returns.
   bool profile_stages = false;
+  /// Routes the run's forwards through the elementwise fusion peephole
+  /// (src/tensor/fusion.h) regardless of model-level knobs: scopes compose,
+  /// either enabling suffices. Default off — bit-identical training.
+  bool fuse_elementwise = false;
+  /// Rounds activations through bf16 at block boundaries for the whole run
+  /// (src/tensor/bfloat16.h). Default off.
+  bool bf16_activations = false;
 };
 
 /// Per-run training telemetry.

@@ -6,6 +6,7 @@
 
 #include "src/nn/linear.h"
 #include "src/nn/module.h"
+#include "src/tensor/fusion.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/padded_batch.h"
 
@@ -48,12 +49,13 @@ class MultiHeadSelfAttention : public Module {
       Tensor qh = SliceCols(q, h * dh_, dh_);
       Tensor kh = SliceCols(k, h * dh_, dh_);
       Tensor vh = SliceCols(v, h * dh_, dh_);
-      // Q K^T without materialising the transpose; the additive mask folds
-      // into the softmax pass.
-      Tensor scores = MulScalar(MatmulTransB(qh, kh), scale);  // (l, l)
+      // Q K^T without materialising the transpose; the scale and additive
+      // mask fold into the fused softmax emission point.
+      Tensor scores = MatmulTransB(qh, kh);  // (l, l)
       Tensor attn = additive_mask.defined()
-                        ? MaskedSoftmaxRows(scores, additive_mask)
-                        : SoftmaxRows(scores);
+                        ? fusion::ScaleMaskedSoftmax(scores, scale,
+                                                     additive_mask)
+                        : fusion::ScaleSoftmax(scores, scale);
       heads.push_back(Matmul(attn, vh));  // (l, dh)
     }
     (void)l;
@@ -81,8 +83,8 @@ class MultiHeadSelfAttention : public Module {
       Tensor qh = SliceCols(q, h * dh_, dh_);
       Tensor kh = SliceCols(k, h * dh_, dh_);
       Tensor vh = SliceCols(v, h * dh_, dh_);
-      Tensor scores = MulScalar(BatchedMatmulTransB(qh, kh, batch), scale);
-      Tensor attn = LengthMaskedSoftmaxRows(scores, row_valid);
+      Tensor scores = BatchedMatmulTransB(qh, kh, batch);
+      Tensor attn = fusion::ScaleLengthMaskedSoftmax(scores, scale, row_valid);
       heads.push_back(BatchedMatmul(attn, vh, batch));  // (B*pad, dh)
     }
     return wo_.Forward(ConcatCols(heads));

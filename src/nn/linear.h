@@ -3,6 +3,7 @@
 
 #include "src/nn/init.h"
 #include "src/nn/module.h"
+#include "src/tensor/fusion.h"
 #include "src/tensor/ops.h"
 
 /// \file linear.h
@@ -25,6 +26,15 @@ class Linear : public Module {
     Tensor y = Matmul(x, weight_);
     if (has_bias_) y = AddRowBroadcast(y, bias_);
     return y;
+  }
+
+  /// act(x W + b) routed through the fusion peephole: one fused
+  /// bias+activation kernel inside a FusionScope, the exact
+  /// Forward -> activation chain outside one.
+  Tensor ForwardAct(const Tensor& x, fusion::Act act,
+                    float leaky_slope = 0.2f) const {
+    return fusion::BiasAct(Matmul(x, weight_), has_bias_ ? bias_ : Tensor(),
+                           act, leaky_slope);
   }
 
   int in_features() const { return in_; }

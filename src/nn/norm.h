@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/nn/module.h"
+#include "src/tensor/fusion.h"
 #include "src/tensor/ops.h"
 
 /// \file norm.h
@@ -36,6 +37,19 @@ class LayerNorm : public Module {
   /// the all-padding-rows-are-zero invariant survives the affine shift beta.
   Tensor Forward(const Tensor& x, const Tensor& row_mask) const {
     return Mul(Forward(x), row_mask);
+  }
+
+  /// LayerNorm(a + b): the post-norm residual sub-layer routed through the
+  /// fusion peephole — one fused residual+normalise kernel inside a
+  /// FusionScope, the exact Add -> Forward chain outside one.
+  Tensor ForwardResidual(const Tensor& a, const Tensor& b) const {
+    return fusion::ResidualLayerNorm(a, b, gamma_, beta_, eps_);
+  }
+
+  /// Masked padded-batch overload; padding rows (row_mask 0) stay zero.
+  Tensor ForwardResidual(const Tensor& a, const Tensor& b,
+                         const Tensor& row_mask) const {
+    return fusion::ResidualLayerNorm(a, b, gamma_, beta_, eps_, row_mask);
   }
 
  private:
@@ -85,7 +99,8 @@ class GraphNorm : public Module {
       var = running_var_;
     }
     Tensor norm = Div(Sub(nodes, mu), Sqrt(AddScalar(var, eps_)));
-    return Add(Mul(norm, gamma_), beta_);
+    // Affine tail through the fusion peephole (exact same chain when off).
+    return fusion::ScaleShiftRows(norm, gamma_, beta_);
   }
 
  private:

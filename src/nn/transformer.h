@@ -28,7 +28,8 @@ class FeedForward : public Module {
   }
 
   Tensor Forward(const Tensor& x) const {
-    return lin2_.Forward(Relu(lin1_.Forward(x)));
+    // Inner projection through the fused bias+relu emission point.
+    return lin2_.Forward(lin1_.ForwardAct(x, fusion::Act::kRelu));
   }
 
  private:
@@ -52,8 +53,8 @@ class TransformerEncoderLayer : public Module {
   }
 
   Tensor Forward(const Tensor& x) const {
-    Tensor y = ln1_.Forward(Add(x, attn_.Forward(x)));
-    return ln2_.Forward(Add(y, ffn_.Forward(y)));
+    Tensor y = ln1_.ForwardResidual(x, attn_.Forward(x));
+    return ln2_.ForwardResidual(y, ffn_.Forward(y));
   }
 
   /// Padded-batch layer: attention is block-diagonal + length-masked (see
@@ -66,8 +67,8 @@ class TransformerEncoderLayer : public Module {
   /// stacking layers build it once).
   PaddedBatch ForwardBatched(const PaddedBatch& x,
                              const Tensor& row_mask) const {
-    Tensor y = ln1_.Forward(Add(x.data, attn_.ForwardBatched(x)), row_mask);
-    Tensor out = ln2_.Forward(Add(y, ffn_.Forward(y)), row_mask);
+    Tensor y = ln1_.ForwardResidual(x.data, attn_.ForwardBatched(x), row_mask);
+    Tensor out = ln2_.ForwardResidual(y, ffn_.Forward(y), row_mask);
     return x.WithData(std::move(out));
   }
 

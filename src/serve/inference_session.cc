@@ -9,6 +9,7 @@
 
 #include "src/obs/stage_profiler.h"
 #include "src/sim/dataset.h"
+#include "src/tensor/buffer_pool.h"
 
 namespace rntraj {
 namespace serve {
@@ -273,6 +274,18 @@ void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch) {
   }
   busy_seconds_.fetch_add(MsSince(batch_start) / 1000.0,
                           std::memory_order_relaxed);
+
+  // Publish this worker thread's buffer-pool counters (thread-local, so only
+  // this session's forwards are reflected). Stores, not adds: the pool stats
+  // are already cumulative for the thread's lifetime.
+  const BufferPoolStats pool = GetBufferPoolStats();
+  pool_hits_.store(static_cast<int64_t>(pool.hits), std::memory_order_relaxed);
+  pool_misses_.store(static_cast<int64_t>(pool.misses),
+                     std::memory_order_relaxed);
+  pool_recycled_.store(static_cast<int64_t>(pool.recycled),
+                       std::memory_order_relaxed);
+  pool_cached_bytes_.store(static_cast<int64_t>(pool.cached_bytes),
+                           std::memory_order_relaxed);
 }
 
 }  // namespace serve

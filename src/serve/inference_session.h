@@ -36,6 +36,15 @@ struct SessionStats {
   int64_t requests = 0;       ///< Successfully answered requests.
   int64_t faults = 0;         ///< Forwards that threw (isolated per lane).
   double busy_seconds = 0.0;  ///< Time spent inside ProcessBatch.
+
+  /// The worker thread's buffer-pool counters (hits/misses/recycled are
+  /// cumulative over the session's lifetime; cached_bytes is the pool's
+  /// current resident size). Published after each batch — a session owns
+  /// exactly one worker thread, so the thread-local pool stats are its own.
+  int64_t pool_hits = 0;
+  int64_t pool_misses = 0;
+  int64_t pool_recycled = 0;
+  int64_t pool_cached_bytes = 0;
 };
 
 /// Execution context of one serving worker.
@@ -89,6 +98,10 @@ class InferenceSession {
     s.requests = requests_.load(std::memory_order_relaxed);
     s.faults = faults_.load(std::memory_order_relaxed);
     s.busy_seconds = busy_seconds_.load(std::memory_order_relaxed);
+    s.pool_hits = pool_hits_.load(std::memory_order_relaxed);
+    s.pool_misses = pool_misses_.load(std::memory_order_relaxed);
+    s.pool_recycled = pool_recycled_.load(std::memory_order_relaxed);
+    s.pool_cached_bytes = pool_cached_bytes_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -106,6 +119,10 @@ class InferenceSession {
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> faults_{0};
   std::atomic<double> busy_seconds_{0.0};
+  std::atomic<int64_t> pool_hits_{0};
+  std::atomic<int64_t> pool_misses_{0};
+  std::atomic<int64_t> pool_recycled_{0};
+  std::atomic<int64_t> pool_cached_bytes_{0};
 };
 
 }  // namespace serve

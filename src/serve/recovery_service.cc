@@ -8,7 +8,9 @@
 #include "src/baselines/two_stage.h"
 #include "src/obs/stage_profiler.h"
 #include "src/sim/dataset.h"
+#include "src/tensor/bfloat16.h"
 #include "src/tensor/buffer_pool.h"
+#include "src/tensor/fusion.h"
 
 namespace rntraj {
 namespace serve {
@@ -108,6 +110,10 @@ void RecoveryService::WorkerLoop(InferenceSession* session) {
   // Steady-state inference repeats the same op shapes request after request;
   // the per-thread buffer pool turns that into allocation-free forwards.
   BufferPoolScope pool_scope;
+  // Per-thread perf knobs: fused elementwise chains and bf16 activation
+  // storage for every forward this session runs (no-ops when off).
+  fusion::FusionScope fuse_scope(cfg_.fuse_elementwise);
+  Bf16Scope bf16_scope(cfg_.bf16_activations);
   while (true) {
     std::vector<QueuedRequest> batch = batcher_.PopBatch();
     if (batch.empty()) return;  // shut down and drained
@@ -182,6 +188,9 @@ RecoveryResponse RecoveryService::RecoverNow(RecoveryRequest req) {
   const auto start = std::chrono::steady_clock::now();
   TrajectorySample sample = MakeEphemeralSample(
       std::move(req.input), std::move(req.input_indices), req.target_times);
+  // Same perf knobs as the session workers, installed on the caller thread.
+  fusion::FusionScope fuse_scope(cfg_.fuse_elementwise);
+  Bf16Scope bf16_scope(cfg_.bf16_activations);
   try {
     if (exclusive_model_) {
       std::lock_guard<std::mutex> lock(exclusive_mu_);
@@ -333,6 +342,7 @@ obs::MetricsSnapshot RecoveryService::Metrics() const {
   obs::MetricsSnapshot snap = metrics_.Snapshot();
   snap.gauges["serve.queue.depth"] = static_cast<double>(batcher_.depth());
   int64_t batches = 0, requests = 0, faults = 0;
+  int64_t pool_hits = 0, pool_misses = 0, pool_recycled = 0, pool_bytes = 0;
   double busy = 0.0;
   for (const auto& session : sessions_) {
     const SessionStats st = session->Snapshot();
@@ -340,11 +350,22 @@ obs::MetricsSnapshot RecoveryService::Metrics() const {
     requests += st.requests;
     faults += st.faults;
     busy += st.busy_seconds;
+    pool_hits += st.pool_hits;
+    pool_misses += st.pool_misses;
+    pool_recycled += st.pool_recycled;
+    pool_bytes += st.pool_cached_bytes;
   }
   snap.counters["serve.batches"] = batches;
   snap.counters["serve.session_requests"] = requests;
   snap.counters["serve.faults"] = faults;
   snap.gauges["serve.sessions.busy_seconds"] = busy;
+  // Tensor buffer-pool telemetry, summed over the worker threads' pools
+  // (hits/misses/recycled are lifetime counters; cached_bytes is the
+  // resident pool size right now — a gauge).
+  snap.counters["tensor.bufpool.hits"] = pool_hits;
+  snap.counters["tensor.bufpool.misses"] = pool_misses;
+  snap.counters["tensor.bufpool.recycled"] = pool_recycled;
+  snap.gauges["tensor.bufpool.cached_bytes"] = static_cast<double>(pool_bytes);
   if (policy_ != nullptr) {
     const ServicePolicyStats ps = policy_->Snapshot();
     snap.gauges["serve.policy.state"] =

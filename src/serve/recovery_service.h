@@ -69,6 +69,16 @@ struct RecoveryServiceConfig {
   /// Disable to measure the per-sample reference path.
   bool batched_forward = true;
 
+  /// Routes session forwards through the elementwise fusion peephole
+  /// (src/tensor/fusion.h): same segments, ratios within FMA rounding
+  /// (~1e-6). Composes with the model-level knob — either enables. Off
+  /// (default) is bit-identical to PR 7 serving.
+  bool fuse_elementwise = false;
+  /// bf16 activation storage at block boundaries for session forwards
+  /// (src/tensor/bfloat16.h). Served segment ids unchanged on the bench
+  /// workloads; BENCHMARKS.md records the ratio divergence bound.
+  bool bf16_activations = false;
+
   /// Run BeginInference() (road representation warmup) at construction.
   bool warm_model = true;
 

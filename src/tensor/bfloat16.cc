@@ -1,0 +1,71 @@
+#include "src/tensor/bfloat16.h"
+
+#include "src/tensor/op_helpers.h"
+
+namespace rntraj {
+
+namespace {
+
+thread_local bool tl_bf16_enabled = false;
+
+}  // namespace
+
+namespace internal {
+
+void Bf16RoundArray(const float* in, float* out, size_t n) {
+#pragma GCC ivdep
+  for (size_t i = 0; i < n; ++i) out[i] = Bf16Round(in[i]);
+}
+
+void Bf16FromFloatArray(const float* in, uint16_t* out, size_t n) {
+#pragma GCC ivdep
+  for (size_t i = 0; i < n; ++i) out[i] = Bf16Bits(in[i]);
+}
+
+void Bf16ToFloatArray(const uint16_t* in, float* out, size_t n) {
+#pragma GCC ivdep
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = std::bit_cast<float>(static_cast<uint32_t>(in[i]) << 16);
+  }
+}
+
+}  // namespace internal
+
+Bf16Scope::Bf16Scope(bool enable) : prev_(tl_bf16_enabled) {
+  if (enable) tl_bf16_enabled = true;
+}
+
+Bf16Scope::~Bf16Scope() { tl_bf16_enabled = prev_; }
+
+bool Bf16Enabled() { return tl_bf16_enabled; }
+
+Tensor QuantizeBf16(const Tensor& a) {
+  auto ai = a.impl();
+  auto out = internal::NewImplUninit(ai->shape);
+  internal::Bf16RoundArray(ai->data.data(), out->data.data(),
+                           ai->data.size());
+  // Straight-through estimator: rounding is piecewise constant, so its true
+  // derivative is zero almost everywhere; passing the gradient through
+  // unchanged is what lets training run with quantised activations.
+  internal::AttachNode("quantize_bf16", out, {ai}, [ai](const TensorImpl& o) {
+    if (!ai->requires_grad) return;
+    ai->EnsureGrad();
+    float* ga = ai->grad.data();
+    const float* g = o.grad.data();
+#pragma GCC ivdep
+    for (size_t i = 0; i < o.grad.size(); ++i) ga[i] += g[i];
+  });
+  return Tensor(out);
+}
+
+Tensor MaybeQuantizeBf16(const Tensor& a) {
+  if (!tl_bf16_enabled) return a;
+  return QuantizeBf16(a);
+}
+
+void RoundToBf16InPlace(Tensor& t) {
+  std::vector<float>& d = t.data();
+  internal::Bf16RoundArray(d.data(), d.data(), d.size());
+}
+
+}  // namespace rntraj

@@ -1,0 +1,111 @@
+#ifndef RNTRAJ_TENSOR_BFLOAT16_H_
+#define RNTRAJ_TENSOR_BFLOAT16_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/tensor/tensor.h"
+
+/// \file bfloat16.h
+/// BFloat16 storage type and the mixed-precision activation mode built on it.
+///
+/// bf16 is the top 16 bits of an IEEE-754 float32 (1 sign, 8 exponent,
+/// 7 mantissa): same dynamic range, ~2-3 significant decimal digits. The
+/// conversion kernels round to nearest-even (RNE), preserve +-inf, quiet
+/// NaNs, and handle fp32 subnormals through plain integer carry — all of it
+/// branch-light bit arithmetic that auto-vectorises.
+///
+/// Storage mode: tensors keep their fp32 buffers (GEMMs and reductions
+/// accumulate in fp32 throughout, which is the arrangement the mode is
+/// modelling), but inside a Bf16Scope the model rounds activations through
+/// bf16 at block boundaries (QuantizeBf16) so every downstream op sees
+/// exactly the values a bf16-stored activation tensor would hold. The scope
+/// is thread-local and off by default; outside it QuantizeBf16's gate
+/// (MaybeQuantizeBf16) is the identity — bit-for-bit the pre-bf16 forward.
+
+namespace rntraj {
+namespace internal {
+
+/// fp32 -> bf16 bit pattern, round-to-nearest-even. NaNs are quieted (top
+/// mantissa bit forced) so rounding can never turn a NaN into an infinity;
+/// +-inf pass through exactly; subnormals round correctly because the
+/// rounding increment carries through the exponent field like any other
+/// integer addition.
+inline uint16_t Bf16Bits(float f) {
+  const uint32_t u = std::bit_cast<uint32_t>(f);
+  if ((u & 0x7fffffffu) > 0x7f800000u) {
+    return static_cast<uint16_t>((u >> 16) | 0x0040u);  // quiet NaN
+  }
+  // RNE: add 0x7fff plus the LSB of the kept half; ties (low half exactly
+  // 0x8000) round to the even 16-bit result.
+  const uint32_t lsb = (u >> 16) & 1u;
+  return static_cast<uint16_t>((u + 0x7fffu + lsb) >> 16);
+}
+
+/// fp32 value of a round trip through bf16 (the storage-mode kernel).
+inline float Bf16Round(float f) {
+  return std::bit_cast<float>(static_cast<uint32_t>(Bf16Bits(f)) << 16);
+}
+
+/// out[i] = Bf16Round(in[i]); in == out (in-place) is allowed.
+void Bf16RoundArray(const float* in, float* out, size_t n);
+
+/// Packs floats to raw bf16 words (the wire/storage direction).
+void Bf16FromFloatArray(const float* in, uint16_t* out, size_t n);
+
+/// Widens raw bf16 words back to floats.
+void Bf16ToFloatArray(const uint16_t* in, float* out, size_t n);
+
+}  // namespace internal
+
+/// One bf16 value (the high half of a float32's bit pattern).
+struct BFloat16 {
+  uint16_t bits = 0;
+
+  BFloat16() = default;
+  explicit BFloat16(float f) : bits(internal::Bf16Bits(f)) {}
+
+  float ToFloat() const {
+    return std::bit_cast<float>(static_cast<uint32_t>(bits) << 16);
+  }
+  explicit operator float() const { return ToFloat(); }
+
+  friend bool operator==(BFloat16 a, BFloat16 b) { return a.bits == b.bits; }
+};
+
+/// RAII scope enabling bf16 activation rounding on the current thread.
+/// `enable == false` is a strict no-op (an outer enabled scope stays
+/// enabled), so config-driven call sites can install one unconditionally.
+class Bf16Scope {
+ public:
+  explicit Bf16Scope(bool enable = true);
+  ~Bf16Scope();
+  Bf16Scope(const Bf16Scope&) = delete;
+  Bf16Scope& operator=(const Bf16Scope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// True when a Bf16Scope(true) is active on this thread.
+bool Bf16Enabled();
+
+/// Differentiable bf16 rounding: forward maps every element through
+/// fp32->bf16->fp32 (RNE); backward is straight-through (gradients pass
+/// unscaled — the estimator mixed-precision training uses for quantisers).
+Tensor QuantizeBf16(const Tensor& a);
+
+/// QuantizeBf16 inside a Bf16Scope; the identity (same impl, zero ops
+/// recorded) outside one. The block-boundary hook models call
+/// unconditionally.
+Tensor MaybeQuantizeBf16(const Tensor& a);
+
+/// Rounds a tensor's storage through bf16 in place (no autograd involvement;
+/// used for the optional weight-rounding mode at inference warmup).
+/// Idempotent: bf16 values round to themselves.
+void RoundToBf16InPlace(Tensor& t);
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_TENSOR_BFLOAT16_H_

@@ -1,0 +1,562 @@
+#include "src/tensor/fusion.h"
+
+#include <cmath>
+#include <memory>
+
+#include "src/tensor/fast_math.h"
+#include "src/tensor/op_helpers.h"
+#include "src/tensor/ops.h"
+
+namespace rntraj {
+namespace fusion {
+
+namespace {
+
+thread_local bool tl_fusion_enabled = false;
+thread_local FusionCounters tl_counters;
+
+// Activation scalar functions — the same expressions ops_unary.cc uses, so a
+// fused emission produces bit-identical activation values.
+inline float ActForward(float x, Act act, float slope) {
+  switch (act) {
+    case Act::kIdentity:
+      return x;
+    case Act::kRelu:
+      return x > 0.0f ? x : 0.0f;
+    case Act::kLeakyRelu:
+      return x > 0.0f ? x : slope * x;
+    case Act::kSigmoid:
+      return 1.0f / (1.0f + std::exp(-x));
+    case Act::kTanh:
+      return std::tanh(x);
+  }
+  return x;
+}
+
+// Derivative from the OUTPUT value (all four activations admit one: relu and
+// leaky-relu because sign(out) == sign(in) for positive slope, sigmoid and
+// tanh by their classic identities). Matches the dfdx closures in
+// ops_unary.cc at every point including x == 0.
+inline float ActBackward(float y, Act act, float slope) {
+  switch (act) {
+    case Act::kIdentity:
+      return 1.0f;
+    case Act::kRelu:
+      return y > 0.0f ? 1.0f : 0.0f;
+    case Act::kLeakyRelu:
+      return y > 0.0f ? 1.0f : slope;
+    case Act::kSigmoid:
+      return y * (1.0f - y);
+    case Act::kTanh:
+      return 1.0f - y * y;
+  }
+  return 1.0f;
+}
+
+// The generic-op chain each activation maps to (the pre-fusion emission).
+Tensor ActFallback(const Tensor& x, Act act, float slope) {
+  switch (act) {
+    case Act::kIdentity:
+      return x;
+    case Act::kRelu:
+      return Relu(x);
+    case Act::kLeakyRelu:
+      return LeakyRelu(x, slope);
+    case Act::kSigmoid:
+      return Sigmoid(x);
+    case Act::kTanh:
+      return Tanh(x);
+  }
+  return x;
+}
+
+// Accepts a rank-1 (d) or rank-2 (1,d) row vector; returns d.
+int RowVecLength(const TensorImpl& t, const char* op) {
+  if (t.shape.size() == 1) return t.shape[0];
+  RNTRAJ_CHECK_MSG(t.shape.size() == 2 && t.shape[0] == 1,
+                   op << ": expected row vector, got shape ("
+                      << t.shape[0] << "," << t.shape[1] << ")");
+  return t.shape[1];
+}
+
+// How BiasAct's bias relates to x.
+enum class BiasKind { kNone, kRow, kSame };
+
+}  // namespace
+
+FusionScope::FusionScope(bool enable) : prev_(tl_fusion_enabled) {
+  if (enable) tl_fusion_enabled = true;
+}
+
+FusionScope::~FusionScope() { tl_fusion_enabled = prev_; }
+
+bool Enabled() { return tl_fusion_enabled; }
+
+FusionCounters Counters() { return tl_counters; }
+
+void ResetCounters() { tl_counters = FusionCounters{}; }
+
+Tensor BiasAct(const Tensor& x, const Tensor& bias, Act act,
+               float leaky_slope) {
+  auto ai = x.impl();
+  const bool a_was_vec = ai->shape.size() == 1;
+  const int n = a_was_vec ? 1 : ai->shape[0];
+  const int d = a_was_vec ? ai->shape[0] : ai->shape[1];
+
+  BiasKind kind = BiasKind::kNone;
+  std::shared_ptr<TensorImpl> bi;
+  if (bias.defined()) {
+    bi = bias.impl();
+    if (bi->shape == ai->shape) {
+      kind = BiasKind::kSame;
+    } else {
+      RNTRAJ_CHECK_MSG(RowVecLength(*bi, "bias_act") == d,
+                       "bias_act: width " << d << " vs bias of "
+                                          << RowVecLength(*bi, "bias_act"));
+      kind = BiasKind::kRow;
+    }
+  }
+
+  if (!tl_fusion_enabled) {
+    switch (kind) {
+      case BiasKind::kRow:
+        return ActFallback(AddRowBroadcast(x, bias), act, leaky_slope);
+      case BiasKind::kSame:
+        return ActFallback(Add(x, bias), act, leaky_slope);
+      case BiasKind::kNone:
+      default:
+        return ActFallback(x, act, leaky_slope);
+    }
+  }
+  ++tl_counters.bias_act;
+
+  auto out = internal::NewImplUninit(ai->shape);
+  const float* bv = bi ? bi->data.data() : nullptr;
+  for (int i = 0; i < n; ++i) {
+    const float* arow = ai->data.data() + static_cast<size_t>(i) * d;
+    float* orow = out->data.data() + static_cast<size_t>(i) * d;
+    const float* brow =
+        kind == BiasKind::kSame ? bv + static_cast<size_t>(i) * d : bv;
+    switch (kind) {
+      case BiasKind::kNone:
+#pragma GCC ivdep
+        for (int j = 0; j < d; ++j) {
+          orow[j] = ActForward(arow[j], act, leaky_slope);
+        }
+        break;
+      default:
+#pragma GCC ivdep
+        for (int j = 0; j < d; ++j) {
+          orow[j] = ActForward(arow[j] + brow[j], act, leaky_slope);
+        }
+        break;
+    }
+  }
+
+  std::vector<std::shared_ptr<TensorImpl>> inputs = {ai};
+  if (bi) inputs.push_back(bi);
+  internal::AttachNode(
+      "bias_act", out, std::move(inputs),
+      [ai, bi, kind, act, leaky_slope, n, d](const TensorImpl& o) {
+        const bool need_a = ai->requires_grad;
+        const bool need_b = bi && bi->requires_grad;
+        if (!need_a && !need_b) return;
+        if (need_a) ai->EnsureGrad();
+        if (need_b) bi->EnsureGrad();
+        for (int i = 0; i < n; ++i) {
+          const float* y = o.data.data() + static_cast<size_t>(i) * d;
+          const float* g = o.grad.data() + static_cast<size_t>(i) * d;
+          float* ga =
+              need_a ? ai->grad.data() + static_cast<size_t>(i) * d : nullptr;
+          float* gb = nullptr;
+          if (need_b) {
+            gb = kind == BiasKind::kSame
+                     ? bi->grad.data() + static_cast<size_t>(i) * d
+                     : bi->grad.data();
+          }
+          for (int j = 0; j < d; ++j) {
+            const float dy = g[j] * ActBackward(y[j], act, leaky_slope);
+            if (need_a) ga[j] += dy;
+            if (need_b) gb[j] += dy;
+          }
+        }
+      });
+  return Tensor(out);
+}
+
+namespace {
+
+// Shared implementation for the plain and masked residual LayerNorm. When
+// `mi` is null every row is live with weight 1; otherwise row i is scaled by
+// the mask value (zero rows are skipped outright, keeping padding rows
+// exactly zero and gradient-free, matching Mul(LayerNorm(a+b), row_mask)).
+Tensor ResidualLayerNormImpl(const Tensor& a, const Tensor& b,
+                             const Tensor& gamma, const Tensor& beta,
+                             float eps, const std::shared_ptr<TensorImpl>& mi) {
+  auto ai = a.impl();
+  auto bi = b.impl();
+  auto gi = gamma.impl();
+  auto bti = beta.impl();
+  RNTRAJ_CHECK(ai->shape.size() == 2);
+  RNTRAJ_CHECK_MSG(bi->shape == ai->shape,
+                   "residual_layer_norm: residual shape mismatch");
+  const int n = ai->shape[0];
+  const int d = ai->shape[1];
+  RNTRAJ_CHECK_MSG(RowVecLength(*gi, "residual_layer_norm") == d &&
+                       RowVecLength(*bti, "residual_layer_norm") == d,
+                   "residual_layer_norm: gamma/beta width mismatch");
+
+  ++tl_counters.residual_layer_norm;
+
+  auto out = internal::NewImplUninit(ai->shape);
+  const float* gm = gi->data.data();
+  const float* bt = bti->data.data();
+  const float* mk = mi ? mi->data.data() : nullptr;
+
+  // Per-row statistics stashed for the backward (mu, inv_std interleaved);
+  // only materialised when a grad node will record them.
+  const bool rec = GradModeEnabled() &&
+                   internal::AnyRequiresGrad({ai, bi, gi, bti});
+  auto stats = rec ? std::make_shared<std::vector<float>>(2 * n) : nullptr;
+
+  for (int i = 0; i < n; ++i) {
+    float* orow = out->data.data() + static_cast<size_t>(i) * d;
+    const float w = mk ? mk[i] : 1.0f;
+    if (mk && w == 0.0f) {
+      for (int j = 0; j < d; ++j) orow[j] = 0.0f;
+      if (rec) {
+        (*stats)[2 * i] = 0.0f;
+        (*stats)[2 * i + 1] = 0.0f;
+      }
+      continue;
+    }
+    const float* arow = ai->data.data() + static_cast<size_t>(i) * d;
+    const float* brow = bi->data.data() + static_cast<size_t>(i) * d;
+    // Pass 1: the residual sum lands in the output row as scratch.
+    double sum = 0.0;
+#pragma GCC ivdep
+    for (int j = 0; j < d; ++j) orow[j] = arow[j] + brow[j];
+    for (int j = 0; j < d; ++j) sum += orow[j];
+    const float mu = static_cast<float>(sum / d);
+    double var = 0.0;
+    for (int j = 0; j < d; ++j) {
+      const double c = orow[j] - mu;
+      var += c * c;
+    }
+    const float istd =
+        1.0f / std::sqrt(static_cast<float>(var / d) + eps);
+    if (rec) {
+      (*stats)[2 * i] = mu;
+      (*stats)[2 * i + 1] = istd;
+    }
+#pragma GCC ivdep
+    for (int j = 0; j < d; ++j) {
+      orow[j] = ((orow[j] - mu) * istd * gm[j] + bt[j]) * w;
+    }
+  }
+
+  std::vector<std::shared_ptr<TensorImpl>> inputs = {ai, bi, gi, bti};
+  if (mi) inputs.push_back(mi);
+  internal::AttachNode(
+      "residual_layer_norm", out, std::move(inputs),
+      [ai, bi, gi, bti, mi, stats, n, d](const TensorImpl& o) {
+        const bool need_a = ai->requires_grad;
+        const bool need_b = bi->requires_grad;
+        const bool need_g = gi->requires_grad;
+        const bool need_bt = bti->requires_grad;
+        if (need_a) ai->EnsureGrad();
+        if (need_b) bi->EnsureGrad();
+        if (need_g) gi->EnsureGrad();
+        if (need_bt) bti->EnsureGrad();
+        const float* gm = gi->data.data();
+        const float* mk = mi ? mi->data.data() : nullptr;
+        std::vector<float> xhat(d);
+        for (int i = 0; i < n; ++i) {
+          const float w = mk ? mk[i] : 1.0f;
+          if (mk && w == 0.0f) continue;  // padding rows carry no gradient
+          const float mu = (*stats)[2 * i];
+          const float istd = (*stats)[2 * i + 1];
+          const float* arow = ai->data.data() + static_cast<size_t>(i) * d;
+          const float* brow = bi->data.data() + static_cast<size_t>(i) * d;
+          const float* g = o.grad.data() + static_cast<size_t>(i) * d;
+#pragma GCC ivdep
+          for (int j = 0; j < d; ++j) {
+            xhat[j] = (arow[j] + brow[j] - mu) * istd;
+          }
+          // Standard LayerNorm gradient with gy = g * w * gamma:
+          // dx = istd * (gy - mean(gy) - xhat * mean(gy * xhat)).
+          double sum_gy = 0.0, sum_gyx = 0.0;
+          for (int j = 0; j < d; ++j) {
+            const float gy = g[j] * w * gm[j];
+            sum_gy += gy;
+            sum_gyx += gy * xhat[j];
+          }
+          const float mean_gy = static_cast<float>(sum_gy / d);
+          const float mean_gyx = static_cast<float>(sum_gyx / d);
+          if (need_a || need_b) {
+            float* ga =
+                need_a ? ai->grad.data() + static_cast<size_t>(i) * d : nullptr;
+            float* gb =
+                need_b ? bi->grad.data() + static_cast<size_t>(i) * d : nullptr;
+            for (int j = 0; j < d; ++j) {
+              const float gy = g[j] * w * gm[j];
+              const float dx = istd * (gy - mean_gy - xhat[j] * mean_gyx);
+              if (need_a) ga[j] += dx;
+              if (need_b) gb[j] += dx;
+            }
+          }
+          if (need_g) {
+            float* gg = gi->grad.data();
+#pragma GCC ivdep
+            for (int j = 0; j < d; ++j) gg[j] += g[j] * w * xhat[j];
+          }
+          if (need_bt) {
+            float* gbt = bti->grad.data();
+#pragma GCC ivdep
+            for (int j = 0; j < d; ++j) gbt[j] += g[j] * w;
+          }
+        }
+      });
+  return Tensor(out);
+}
+
+}  // namespace
+
+Tensor ResidualLayerNorm(const Tensor& a, const Tensor& b,
+                         const Tensor& gamma, const Tensor& beta, float eps) {
+  if (!tl_fusion_enabled) {
+    // The exact LayerNorm::Forward chain applied to the residual sum.
+    Tensor x = Add(a, b);
+    Tensor mu = RowMean(x);
+    Tensor xc = Sub(x, mu);
+    Tensor var = RowMean(Square(xc));
+    Tensor y = Div(xc, Sqrt(AddScalar(var, eps)));
+    return Add(Mul(y, gamma), beta);
+  }
+  return ResidualLayerNormImpl(a, b, gamma, beta, eps, nullptr);
+}
+
+Tensor ResidualLayerNorm(const Tensor& a, const Tensor& b,
+                         const Tensor& gamma, const Tensor& beta, float eps,
+                         const Tensor& row_mask) {
+  auto mi = row_mask.impl();
+  RNTRAJ_CHECK_MSG(!mi->requires_grad,
+                   "residual_layer_norm: mask must not require grad");
+  RNTRAJ_CHECK_MSG(
+      static_cast<int>(mi->data.size()) == a.impl()->shape[0],
+      "residual_layer_norm: need one mask entry per row");
+  if (!tl_fusion_enabled) {
+    Tensor x = Add(a, b);
+    Tensor mu = RowMean(x);
+    Tensor xc = Sub(x, mu);
+    Tensor var = RowMean(Square(xc));
+    Tensor y = Div(xc, Sqrt(AddScalar(var, eps)));
+    return Mul(Add(Mul(y, gamma), beta), row_mask);
+  }
+  return ResidualLayerNormImpl(a, b, gamma, beta, eps, mi);
+}
+
+namespace {
+
+// Shared fused softmax body: the caller has already written the scaled
+// (and additively masked) logits into the output row prefix; this runs the
+// same RowMax / ExpRowMinusMax / normalise pipeline as SoftmaxRows on it.
+inline void SoftmaxRowInPlace(float* y, int v) {
+  const float mx = internal::RowMax(y, v);
+  const float sum = internal::ExpRowMinusMax(y, y, v, mx);
+  const float inv = 1.0f / sum;
+#pragma GCC ivdep
+  for (int j = 0; j < v; ++j) y[j] *= inv;
+}
+
+}  // namespace
+
+Tensor ScaleSoftmax(const Tensor& a, float scale) {
+  if (!tl_fusion_enabled) return SoftmaxRows(MulScalar(a, scale));
+  ++tl_counters.scale_softmax;
+
+  auto ai = a.impl();
+  RNTRAJ_CHECK(ai->shape.size() == 2);
+  const int n = ai->shape[0];
+  const int d = ai->shape[1];
+  auto out = internal::NewImplUninit(ai->shape);
+  for (int i = 0; i < n; ++i) {
+    const float* x = ai->data.data() + static_cast<size_t>(i) * d;
+    float* y = out->data.data() + static_cast<size_t>(i) * d;
+#pragma GCC ivdep
+    for (int j = 0; j < d; ++j) y[j] = x[j] * scale;
+    SoftmaxRowInPlace(y, d);
+  }
+  // Softmax Jacobian composed with the scale: d(scale*x)/dx folds into a
+  // single multiplier on the usual (g - <g,y>) * y term.
+  internal::AttachNode(
+      "scale_softmax", out, {ai}, [ai, scale, n, d](const TensorImpl& o) {
+        if (!ai->requires_grad) return;
+        ai->EnsureGrad();
+        for (int i = 0; i < n; ++i) {
+          const float* y = o.data.data() + static_cast<size_t>(i) * d;
+          const float* g = o.grad.data() + static_cast<size_t>(i) * d;
+          float* ga = ai->grad.data() + static_cast<size_t>(i) * d;
+          double dot = 0.0;
+          for (int j = 0; j < d; ++j) dot += g[j] * y[j];
+          for (int j = 0; j < d; ++j) {
+            ga[j] += scale * (g[j] - static_cast<float>(dot)) * y[j];
+          }
+        }
+      });
+  return Tensor(out);
+}
+
+Tensor ScaleMaskedSoftmax(const Tensor& a, float scale, const Tensor& mask) {
+  if (!tl_fusion_enabled) {
+    return MaskedSoftmaxRows(MulScalar(a, scale), mask);
+  }
+  ++tl_counters.scale_softmax;
+
+  auto ai = a.impl();
+  auto mi = mask.impl();
+  RNTRAJ_CHECK(ai->shape.size() == 2);
+  RNTRAJ_CHECK_MSG(mi->shape == ai->shape,
+                   "scale_masked_softmax: mask shape mismatch");
+  RNTRAJ_CHECK_MSG(!mi->requires_grad,
+                   "scale_masked_softmax: mask must not require grad");
+  const int n = ai->shape[0];
+  const int d = ai->shape[1];
+  auto out = internal::NewImplUninit(ai->shape);
+  for (int i = 0; i < n; ++i) {
+    const float* x = ai->data.data() + static_cast<size_t>(i) * d;
+    const float* mk = mi->data.data() + static_cast<size_t>(i) * d;
+    float* y = out->data.data() + static_cast<size_t>(i) * d;
+#pragma GCC ivdep
+    for (int j = 0; j < d; ++j) y[j] = x[j] * scale + mk[j];
+    SoftmaxRowInPlace(y, d);
+  }
+  internal::AttachNode(
+      "scale_masked_softmax", out, {ai, mi},
+      [ai, scale, n, d](const TensorImpl& o) {
+        if (!ai->requires_grad) return;
+        ai->EnsureGrad();
+        for (int i = 0; i < n; ++i) {
+          const float* y = o.data.data() + static_cast<size_t>(i) * d;
+          const float* g = o.grad.data() + static_cast<size_t>(i) * d;
+          float* ga = ai->grad.data() + static_cast<size_t>(i) * d;
+          double dot = 0.0;
+          for (int j = 0; j < d; ++j) dot += g[j] * y[j];
+          for (int j = 0; j < d; ++j) {
+            ga[j] += scale * (g[j] - static_cast<float>(dot)) * y[j];
+          }
+        }
+      });
+  return Tensor(out);
+}
+
+Tensor ScaleLengthMaskedSoftmax(const Tensor& a, float scale,
+                                const std::vector<int>& valid) {
+  if (!tl_fusion_enabled) {
+    return LengthMaskedSoftmaxRows(MulScalar(a, scale), valid);
+  }
+  ++tl_counters.scale_softmax;
+
+  auto ai = a.impl();
+  RNTRAJ_CHECK(ai->shape.size() == 2);
+  const int n = ai->shape[0];
+  const int d = ai->shape[1];
+  RNTRAJ_CHECK_MSG(static_cast<int>(valid.size()) == n,
+                   "scale_length_masked_softmax: need one length per row");
+  auto out = internal::NewImplUninit(ai->shape);
+  for (int i = 0; i < n; ++i) {
+    const int v = valid[i];
+    RNTRAJ_CHECK_MSG(v >= 0 && v <= d, "scale_length_masked_softmax: valid "
+                                           << v << " of " << d);
+    const float* x = ai->data.data() + static_cast<size_t>(i) * d;
+    float* y = out->data.data() + static_cast<size_t>(i) * d;
+    if (v > 0) {
+#pragma GCC ivdep
+      for (int j = 0; j < v; ++j) y[j] = x[j] * scale;
+      SoftmaxRowInPlace(y, v);
+    }
+    for (int j = v; j < d; ++j) y[j] = 0.0f;
+  }
+  internal::AttachNode(
+      "scale_length_masked_softmax", out, {ai},
+      [ai, scale, valid, n, d](const TensorImpl& o) {
+        if (!ai->requires_grad) return;
+        ai->EnsureGrad();
+        for (int i = 0; i < n; ++i) {
+          const int v = valid[i];
+          if (v == 0) continue;
+          const float* y = o.data.data() + static_cast<size_t>(i) * d;
+          const float* g = o.grad.data() + static_cast<size_t>(i) * d;
+          float* ga = ai->grad.data() + static_cast<size_t>(i) * d;
+          double dot = 0.0;
+          for (int j = 0; j < v; ++j) dot += g[j] * y[j];
+          for (int j = 0; j < v; ++j) {
+            ga[j] += scale * (g[j] - static_cast<float>(dot)) * y[j];
+          }
+        }
+      });
+  return Tensor(out);
+}
+
+Tensor ScaleShiftRows(const Tensor& a, const Tensor& gamma,
+                      const Tensor& beta) {
+  if (!tl_fusion_enabled) return Add(Mul(a, gamma), beta);
+  ++tl_counters.scale_shift;
+
+  auto ai = a.impl();
+  auto gi = gamma.impl();
+  auto bti = beta.impl();
+  RNTRAJ_CHECK(ai->shape.size() == 2);
+  const int n = ai->shape[0];
+  const int d = ai->shape[1];
+  RNTRAJ_CHECK_MSG(RowVecLength(*gi, "scale_shift_rows") == d &&
+                       RowVecLength(*bti, "scale_shift_rows") == d,
+                   "scale_shift_rows: gamma/beta width mismatch");
+
+  auto out = internal::NewImplUninit(ai->shape);
+  const float* gm = gi->data.data();
+  const float* bt = bti->data.data();
+  for (int i = 0; i < n; ++i) {
+    const float* arow = ai->data.data() + static_cast<size_t>(i) * d;
+    float* orow = out->data.data() + static_cast<size_t>(i) * d;
+#pragma GCC ivdep
+    for (int j = 0; j < d; ++j) orow[j] = arow[j] * gm[j] + bt[j];
+  }
+  internal::AttachNode(
+      "scale_shift_rows", out, {ai, gi, bti},
+      [ai, gi, bti, n, d](const TensorImpl& o) {
+        const float* gm = gi->data.data();
+        if (ai->requires_grad) {
+          ai->EnsureGrad();
+          for (int i = 0; i < n; ++i) {
+            const float* g = o.grad.data() + static_cast<size_t>(i) * d;
+            float* ga = ai->grad.data() + static_cast<size_t>(i) * d;
+#pragma GCC ivdep
+            for (int j = 0; j < d; ++j) ga[j] += g[j] * gm[j];
+          }
+        }
+        if (gi->requires_grad) {
+          gi->EnsureGrad();
+          float* gg = gi->grad.data();
+          for (int i = 0; i < n; ++i) {
+            const float* g = o.grad.data() + static_cast<size_t>(i) * d;
+            const float* arow = ai->data.data() + static_cast<size_t>(i) * d;
+#pragma GCC ivdep
+            for (int j = 0; j < d; ++j) gg[j] += g[j] * arow[j];
+          }
+        }
+        if (bti->requires_grad) {
+          bti->EnsureGrad();
+          float* gbt = bti->grad.data();
+          for (int i = 0; i < n; ++i) {
+            const float* g = o.grad.data() + static_cast<size_t>(i) * d;
+#pragma GCC ivdep
+            for (int j = 0; j < d; ++j) gbt[j] += g[j];
+          }
+        }
+      });
+  return Tensor(out);
+}
+
+}  // namespace fusion
+}  // namespace rntraj

@@ -1,0 +1,120 @@
+#ifndef RNTRAJ_TENSOR_FUSION_H_
+#define RNTRAJ_TENSOR_FUSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+/// \file fusion.h
+/// The elementwise fusion pass (ROADMAP open item 1). The autograd tape here
+/// is eager — ops execute as they are recorded — so the pass runs as a
+/// peephole at op-emission time: nn layers emit their hot chains through the
+/// fusion:: entry points below, and each entry point either rewrites the
+/// chain into ONE fused kernel (single pass over the output, handwritten
+/// backward, no intermediate tensors) or falls back to the exact generic-op
+/// chain it replaces. The rewrite is gated by a thread-local FusionScope:
+/// outside an enabled scope every entry point emits the identical op
+/// sequence the call site used before this pass existed, so the off-path is
+/// bit-for-bit unchanged (tests/fusion_test.cc pins this).
+///
+/// Fused patterns (each verified by gradcheck):
+///   * bias+activation        — Linear -> Relu/LeakyRelu/Sigmoid/Tanh, with
+///                              row-broadcast, same-shape or absent bias;
+///   * residual-add+LayerNorm — post-norm transformer sub-layers, including
+///                              the masked padded-batch overload (padding
+///                              rows stay exactly zero);
+///   * scale+mask+softmax     — attention score pipelines (plain, additive-
+///                              mask and length-masked variants);
+///   * scale+shift rows       — the GraphNorm affine tail (gamma/beta row
+///                              broadcast) in one pass.
+///
+/// Stage attribution: fused kernels are emitted from the same call sites as
+/// the chains they replace, inside the same obs::ScopedStage scopes, so the
+/// stage profiler bills them to the unfused chain's stage by construction
+/// (tests/obs_test.cc pins fusion on/off producing comparable stage tables).
+
+namespace rntraj {
+namespace fusion {
+
+/// Activation applied by the fused bias+activation kernel.
+enum class Act { kIdentity, kRelu, kLeakyRelu, kSigmoid, kTanh };
+
+/// RAII scope enabling fusion on the current thread. `enable == false` is a
+/// strict no-op (an outer enabled scope stays enabled), so config-driven
+/// call sites install one unconditionally.
+class FusionScope {
+ public:
+  explicit FusionScope(bool enable = true);
+  ~FusionScope();
+  FusionScope(const FusionScope&) = delete;
+  FusionScope& operator=(const FusionScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// True when a FusionScope(true) is active on this thread.
+bool Enabled();
+
+/// Per-thread counts of fused kernels actually emitted (fallback emissions
+/// do not count). Tests assert the peephole fired; telemetry reads them.
+struct FusionCounters {
+  int64_t bias_act = 0;
+  int64_t residual_layer_norm = 0;  ///< Includes the masked overload.
+  int64_t scale_softmax = 0;        ///< All three softmax variants.
+  int64_t scale_shift = 0;
+  int64_t Total() const {
+    return bias_act + residual_layer_norm + scale_softmax + scale_shift;
+  }
+};
+
+/// This thread's counters since thread start (or the last reset).
+FusionCounters Counters();
+void ResetCounters();
+
+/// act(x + bias). `bias` may be undefined (pure activation), a row vector
+/// ((d) or (1,d), broadcast over x's rows — the Linear bias pattern), or
+/// x-shaped (elementwise — the GRL gate pattern). Fallback chain:
+/// Act(AddRowBroadcast(x, bias)) / Act(Add(x, bias)) / Act(x).
+Tensor BiasAct(const Tensor& x, const Tensor& bias, Act act,
+               float leaky_slope = 0.2f);
+
+/// LayerNorm(a + b) with learned scale/shift: the post-norm residual
+/// sub-layer in one kernel (one pass computes the sum, row statistics and
+/// the affine output; the backward replays the standard LayerNorm gradient
+/// from stashed per-row mu/inv-std). gamma/beta are rank-1 (d).
+Tensor ResidualLayerNorm(const Tensor& a, const Tensor& b,
+                         const Tensor& gamma, const Tensor& beta, float eps);
+
+/// Masked padded-batch overload: rows whose `row_mask` entry ((n,1) or
+/// rank-1 (n), no grad) is zero produce exactly-zero output rows and
+/// contribute no gradient — the all-padding-rows-are-zero invariant
+/// survives the affine shift beta, matching LayerNorm's masked Forward.
+Tensor ResidualLayerNorm(const Tensor& a, const Tensor& b,
+                         const Tensor& gamma, const Tensor& beta, float eps,
+                         const Tensor& row_mask);
+
+/// softmax_rows(scale * a): the attention-score epilogue without the
+/// MulScalar intermediate. Fallback: SoftmaxRows(MulScalar(a, scale)).
+Tensor ScaleSoftmax(const Tensor& a, float scale);
+
+/// softmax_rows(scale * a + mask); `mask` is an additive no-grad constant
+/// of a's shape. Fallback: MaskedSoftmaxRows(MulScalar(a, scale), mask).
+Tensor ScaleMaskedSoftmax(const Tensor& a, float scale, const Tensor& mask);
+
+/// Length-masked variant: row i is the softmax of scale * its first
+/// valid[i] entries, the rest zero (rows with valid[i] == 0 zero outright).
+/// Fallback: LengthMaskedSoftmaxRows(MulScalar(a, scale), valid).
+Tensor ScaleLengthMaskedSoftmax(const Tensor& a, float scale,
+                                const std::vector<int>& valid);
+
+/// a * gamma + beta with rank-1 (d) gamma/beta broadcast over rows (the
+/// normalisation affine tail). Fallback: Add(Mul(a, gamma), beta).
+Tensor ScaleShiftRows(const Tensor& a, const Tensor& gamma,
+                      const Tensor& beta);
+
+}  // namespace fusion
+}  // namespace rntraj
+
+#endif  // RNTRAJ_TENSOR_FUSION_H_

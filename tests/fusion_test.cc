@@ -1,0 +1,591 @@
+// The PR 8 fusion pass and bf16 storage mode. Three layers of proof:
+//
+//  * op layer — every fused kernel gradchecks (including the masked/padded
+//    and empty-row edge cases), matches its unfused chain within FMA
+//    rounding (~1e-6; the softmax family is bit-identical by construction),
+//    and the off-path (no FusionScope) emits the exact pre-PR8 op chain;
+//  * bf16 layer — round-to-nearest-even property tests (ties, subnormals,
+//    +-inf/NaN passthrough), straight-through gradients, scope gating;
+//  * model layer — a full RnTrajRec recover with fusion on returns the same
+//    segments as fusion off (ratios within 1e-5), and bf16 activations keep
+//    segments unchanged on the tiny workload within a documented ratio bound.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "src/common/random.h"
+#include "src/core/rntrajrec.h"
+#include "src/core/trainer.h"
+#include "src/nn/norm.h"
+#include "src/nn/transformer.h"
+#include "src/sim/presets.h"
+#include "src/tensor/bfloat16.h"
+#include "src/tensor/fusion.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/padded_batch.h"
+#include "tests/test_util.h"
+
+namespace rntraj {
+namespace {
+
+using testing_util::MaxGradError;
+
+constexpr double kTol = 2e-2;
+
+Tensor SmoothLoss(const Tensor& t) { return MeanAll(Mul(t, t)); }
+
+// ---------------------------------------------------------------- gradcheck
+
+TEST(FusionGradCheck, BiasActRowRelu) {
+  SeedGlobalRng(801);
+  fusion::FusionScope scope;
+  Tensor x = Tensor::Randn({3, 4}, 1.0f, true);
+  Tensor b = Tensor::Randn({4}, 1.0f, true);
+  EXPECT_LT(MaxGradError(
+                [&] {
+                  return SmoothLoss(
+                      fusion::BiasAct(x, b, fusion::Act::kRelu));
+                },
+                {x, b}),
+            kTol);
+}
+
+TEST(FusionGradCheck, BiasActRowSigmoid) {
+  SeedGlobalRng(802);
+  fusion::FusionScope scope;
+  Tensor x = Tensor::Randn({3, 4}, 1.0f, true);
+  Tensor b = Tensor::Randn({4}, 1.0f, true);
+  EXPECT_LT(MaxGradError(
+                [&] {
+                  return SmoothLoss(
+                      fusion::BiasAct(x, b, fusion::Act::kSigmoid));
+                },
+                {x, b}),
+            kTol);
+}
+
+TEST(FusionGradCheck, BiasActRowTanh) {
+  SeedGlobalRng(803);
+  fusion::FusionScope scope;
+  Tensor x = Tensor::Randn({2, 5}, 1.0f, true);
+  Tensor b = Tensor::Randn({5}, 1.0f, true);
+  EXPECT_LT(MaxGradError(
+                [&] {
+                  return SmoothLoss(
+                      fusion::BiasAct(x, b, fusion::Act::kTanh));
+                },
+                {x, b}),
+            kTol);
+}
+
+TEST(FusionGradCheck, BiasActRowLeakyRelu) {
+  SeedGlobalRng(804);
+  fusion::FusionScope scope;
+  Tensor x = Tensor::Randn({3, 4}, 1.0f, true);
+  Tensor b = Tensor::Randn({4}, 1.0f, true);
+  EXPECT_LT(MaxGradError(
+                [&] {
+                  return SmoothLoss(
+                      fusion::BiasAct(x, b, fusion::Act::kLeakyRelu, 0.2f));
+                },
+                {x, b}),
+            kTol);
+}
+
+// The GRL gated-fusion pattern: an x-shaped "bias" that carries gradient.
+TEST(FusionGradCheck, BiasActSameShapeSigmoid) {
+  SeedGlobalRng(805);
+  fusion::FusionScope scope;
+  Tensor x = Tensor::Randn({4, 3}, 1.0f, true);
+  Tensor b = Tensor::Randn({4, 3}, 1.0f, true);
+  EXPECT_LT(MaxGradError(
+                [&] {
+                  return SmoothLoss(
+                      fusion::BiasAct(x, b, fusion::Act::kSigmoid));
+                },
+                {x, b}),
+            kTol);
+}
+
+TEST(FusionGradCheck, BiasActNoBiasTanh) {
+  SeedGlobalRng(806);
+  fusion::FusionScope scope;
+  Tensor x = Tensor::Randn({3, 4}, 1.0f, true);
+  EXPECT_LT(MaxGradError(
+                [&] {
+                  return SmoothLoss(
+                      fusion::BiasAct(x, Tensor(), fusion::Act::kTanh));
+                },
+                {x}),
+            kTol);
+}
+
+TEST(FusionGradCheck, ResidualLayerNorm) {
+  SeedGlobalRng(807);
+  fusion::FusionScope scope;
+  Tensor a = Tensor::Randn({3, 6}, 1.0f, true);
+  Tensor b = Tensor::Randn({3, 6}, 1.0f, true);
+  Tensor gamma = Tensor::Randn({6}, 1.0f, true);
+  Tensor beta = Tensor::Randn({6}, 1.0f, true);
+  EXPECT_LT(MaxGradError(
+                [&] {
+                  return SmoothLoss(
+                      fusion::ResidualLayerNorm(a, b, gamma, beta, 1e-5f));
+                },
+                {a, b, gamma, beta}),
+            kTol);
+}
+
+// Masked overload: padding rows (mask 0) must carry no gradient at all.
+TEST(FusionGradCheck, ResidualLayerNormMasked) {
+  SeedGlobalRng(808);
+  fusion::FusionScope scope;
+  Tensor a = Tensor::Randn({4, 6}, 1.0f, true);
+  Tensor b = Tensor::Randn({4, 6}, 1.0f, true);
+  Tensor gamma = Tensor::Randn({6}, 1.0f, true);
+  Tensor beta = Tensor::Randn({6}, 1.0f, true);
+  Tensor mask = Tensor::FromVector({4, 1}, {1.0f, 1.0f, 0.0f, 1.0f});
+  EXPECT_LT(
+      MaxGradError(
+          [&] {
+            return SmoothLoss(
+                fusion::ResidualLayerNorm(a, b, gamma, beta, 1e-5f, mask));
+          },
+          {a, b, gamma, beta}),
+      kTol);
+
+  // And the padding row's inputs really get zero gradient.
+  a.ZeroGrad();
+  b.ZeroGrad();
+  SmoothLoss(fusion::ResidualLayerNorm(a, b, gamma, beta, 1e-5f, mask))
+      .Backward();
+  for (int j = 0; j < 6; ++j) {
+    EXPECT_EQ(a.grad()[2 * 6 + j], 0.0f);
+    EXPECT_EQ(b.grad()[2 * 6 + j], 0.0f);
+  }
+}
+
+TEST(FusionGradCheck, ScaleSoftmax) {
+  SeedGlobalRng(809);
+  fusion::FusionScope scope;
+  Tensor x = Tensor::Randn({3, 5}, 1.0f, true);
+  EXPECT_LT(MaxGradError(
+                [&] { return SmoothLoss(fusion::ScaleSoftmax(x, 0.37f)); },
+                {x}),
+            kTol);
+}
+
+TEST(FusionGradCheck, ScaleMaskedSoftmax) {
+  SeedGlobalRng(810);
+  fusion::FusionScope scope;
+  Tensor x = Tensor::Randn({3, 4}, 1.0f, true);
+  Tensor mask = Tensor::Zeros({3, 4});
+  mask.data()[1] = -1e9f;  // forbid one position
+  mask.data()[7] = -1e9f;
+  EXPECT_LT(
+      MaxGradError(
+          [&] { return SmoothLoss(fusion::ScaleMaskedSoftmax(x, 0.5f, mask)); },
+          {x}),
+      kTol);
+}
+
+// Length-masked variant with an empty (valid == 0) row.
+TEST(FusionGradCheck, ScaleLengthMaskedSoftmaxWithEmptyRow) {
+  SeedGlobalRng(811);
+  fusion::FusionScope scope;
+  Tensor x = Tensor::Randn({4, 5}, 1.0f, true);
+  const std::vector<int> valid = {5, 3, 0, 1};
+  EXPECT_LT(
+      MaxGradError(
+          [&] {
+            return SmoothLoss(fusion::ScaleLengthMaskedSoftmax(x, 0.7f, valid));
+          },
+          {x}),
+      kTol);
+  // Empty row: output all zero.
+  NoGradGuard guard;
+  Tensor y = fusion::ScaleLengthMaskedSoftmax(x, 0.7f, valid);
+  for (int j = 0; j < 5; ++j) EXPECT_EQ(y.at(2, j), 0.0f);
+}
+
+TEST(FusionGradCheck, ScaleShiftRows) {
+  SeedGlobalRng(812);
+  fusion::FusionScope scope;
+  Tensor a = Tensor::Randn({3, 6}, 1.0f, true);
+  Tensor gamma = Tensor::Randn({6}, 1.0f, true);
+  Tensor beta = Tensor::Randn({6}, 1.0f, true);
+  EXPECT_LT(MaxGradError(
+                [&] {
+                  return SmoothLoss(fusion::ScaleShiftRows(a, gamma, beta));
+                },
+                {a, gamma, beta}),
+            kTol);
+}
+
+// ------------------------------------------------- fused == unfused values
+
+// Forward equivalence between a fused emission and its fallback chain. The
+// softmax family shares the exact kernel pipeline, so it is bit-identical;
+// the rest agree within FMA/accumulation-order rounding (~1e-6 on O(1)
+// values — the documented fusion bound).
+TEST(FusionEquivalence, FusedMatchesUnfusedForward) {
+  SeedGlobalRng(820);
+  NoGradGuard guard;
+  Tensor x = Tensor::Randn({5, 8}, 1.0f);
+  Tensor b = Tensor::Randn({8}, 1.0f);
+  Tensor a2 = Tensor::Randn({5, 8}, 1.0f);
+  Tensor gamma = Tensor::Randn({8}, 1.0f);
+  Tensor beta = Tensor::Randn({8}, 1.0f);
+  Tensor mask = Tensor::Zeros({5, 8});
+  mask.data()[3] = -1e9f;
+  const std::vector<int> valid = {8, 5, 0, 8, 2};
+  Tensor row_mask = Tensor::FromVector({5, 1}, {1, 1, 0, 1, 1});
+
+  auto run_all = [&] {
+    std::vector<Tensor> out;
+    out.push_back(fusion::BiasAct(x, b, fusion::Act::kRelu));
+    out.push_back(fusion::BiasAct(x, b, fusion::Act::kSigmoid));
+    out.push_back(fusion::BiasAct(x, a2, fusion::Act::kTanh));
+    out.push_back(fusion::ResidualLayerNorm(x, a2, gamma, beta, 1e-5f));
+    out.push_back(
+        fusion::ResidualLayerNorm(x, a2, gamma, beta, 1e-5f, row_mask));
+    out.push_back(fusion::ScaleSoftmax(x, 0.25f));
+    out.push_back(fusion::ScaleMaskedSoftmax(x, 0.25f, mask));
+    out.push_back(fusion::ScaleLengthMaskedSoftmax(x, 0.25f, valid));
+    out.push_back(fusion::ScaleShiftRows(x, gamma, beta));
+    return out;
+  };
+
+  std::vector<Tensor> unfused = run_all();  // no scope: fallback chains
+  std::vector<Tensor> fused;
+  {
+    fusion::FusionScope scope;
+    fusion::ResetCounters();
+    fused = run_all();
+    EXPECT_EQ(fusion::Counters().Total(), 9);
+  }
+  ASSERT_EQ(unfused.size(), fused.size());
+  for (size_t k = 0; k < fused.size(); ++k) {
+    ASSERT_EQ(unfused[k].size(), fused[k].size()) << "op " << k;
+    for (size_t i = 0; i < fused[k].data().size(); ++i) {
+      EXPECT_NEAR(unfused[k].data()[i], fused[k].data()[i], 1e-6)
+          << "op " << k << " at " << i;
+    }
+  }
+}
+
+// The fused softmax family runs the same RowMax/ExpRowMinusMax pipeline on
+// the same values as the chain it replaces — pin bitwise identity.
+TEST(FusionEquivalence, ScaleSoftmaxBitIdenticalToChain) {
+  SeedGlobalRng(821);
+  NoGradGuard guard;
+  Tensor x = Tensor::Randn({4, 7}, 2.0f);
+  Tensor chain = SoftmaxRows(MulScalar(x, 0.3f));
+  fusion::FusionScope scope;
+  Tensor fused = fusion::ScaleSoftmax(x, 0.3f);
+  for (size_t i = 0; i < chain.data().size(); ++i) {
+    EXPECT_EQ(chain.data()[i], fused.data()[i]) << "at " << i;
+  }
+}
+
+// Without a FusionScope every entry point must emit the EXACT pre-PR8 op
+// chain: bitwise-identical outputs and zero fused-kernel emissions.
+TEST(FusionEquivalence, OffPathIsBitIdenticalAndEmitsNothing)  {
+  SeedGlobalRng(822);
+  NoGradGuard guard;
+  Tensor x = Tensor::Randn({4, 6}, 1.0f);
+  Tensor b = Tensor::Randn({6}, 1.0f);
+  fusion::ResetCounters();
+  Tensor via_fusion = fusion::BiasAct(x, b, fusion::Act::kRelu);
+  Tensor direct = Relu(AddRowBroadcast(x, b));
+  EXPECT_EQ(fusion::Counters().Total(), 0);
+  for (size_t i = 0; i < direct.data().size(); ++i) {
+    EXPECT_EQ(direct.data()[i], via_fusion.data()[i]);
+  }
+}
+
+// FusionScope(false) must be a strict no-op: an outer enabled scope stays
+// enabled across it (the config-driven call sites rely on this).
+TEST(FusionScopeTest, DisabledScopeDoesNotMaskOuterEnable) {
+  EXPECT_FALSE(fusion::Enabled());
+  fusion::FusionScope outer;
+  EXPECT_TRUE(fusion::Enabled());
+  {
+    fusion::FusionScope inner(false);
+    EXPECT_TRUE(fusion::Enabled());
+  }
+  EXPECT_TRUE(fusion::Enabled());
+}
+
+// Masked residual LayerNorm: padding rows are exactly zero even though the
+// affine shift beta is non-zero.
+TEST(FusionEquivalence, MaskedResidualLayerNormKeepsPaddingRowsZero) {
+  SeedGlobalRng(823);
+  NoGradGuard guard;
+  fusion::FusionScope scope;
+  Tensor a = Tensor::Randn({3, 4}, 1.0f);
+  Tensor b = Tensor::Randn({3, 4}, 1.0f);
+  Tensor gamma = Tensor::Full({4}, 1.5f);
+  Tensor beta = Tensor::Full({4}, 0.7f);  // non-zero shift
+  Tensor mask = Tensor::FromVector({3, 1}, {1.0f, 0.0f, 1.0f});
+  Tensor y = fusion::ResidualLayerNorm(a, b, gamma, beta, 1e-5f, mask);
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(y.at(1, j), 0.0f);
+}
+
+// nn-layer equivalence: a whole transformer encoder layer, per-sample and
+// padded-batch, fusion on vs off.
+TEST(FusionEquivalence, TransformerEncoderLayerOnVsOff) {
+  SeedGlobalRng(824);
+  NoGradGuard guard;
+  TransformerEncoderLayer layer(8, 2, 16);
+  Tensor x = Tensor::Randn({6, 8}, 1.0f);
+  Tensor off = layer.Forward(x);
+  Tensor on;
+  {
+    fusion::FusionScope scope;
+    fusion::ResetCounters();
+    on = layer.Forward(x);
+    EXPECT_GT(fusion::Counters().Total(), 0);
+  }
+  for (size_t i = 0; i < off.data().size(); ++i) {
+    EXPECT_NEAR(off.data()[i], on.data()[i], 1e-5) << "at " << i;
+  }
+
+  // Padded-batch path, ragged lengths.
+  Tensor flat = Tensor::Randn({7, 8}, 1.0f);
+  PaddedBatch pb = PaddedBatch::FromFlat(flat, {4, 3});
+  const Tensor row_mask = pb.RowMask();
+  Tensor off_b = layer.ForwardBatched(pb, row_mask).data;
+  Tensor on_b;
+  {
+    fusion::FusionScope scope;
+    on_b = layer.ForwardBatched(pb, row_mask).data;
+  }
+  for (size_t i = 0; i < off_b.data().size(); ++i) {
+    EXPECT_NEAR(off_b.data()[i], on_b.data()[i], 1e-5) << "at " << i;
+  }
+}
+
+// ------------------------------------------------------------------- bf16
+
+TEST(Bf16Test, RoundToNearestEvenTies) {
+  // Low half exactly 0x8000 is a tie: round to the even 16-bit result.
+  const float tie_down = std::bit_cast<float>(0x3F808000u);  // keep 0x3F80
+  EXPECT_EQ(internal::Bf16Bits(tie_down), 0x3F80u);
+  const float tie_up = std::bit_cast<float>(0x3F818000u);  // 0x3F81 is odd
+  EXPECT_EQ(internal::Bf16Bits(tie_up), 0x3F82u);
+  // Just above the tie always rounds up.
+  EXPECT_EQ(internal::Bf16Bits(std::bit_cast<float>(0x3F808001u)), 0x3F81u);
+  // Just below always rounds down.
+  EXPECT_EQ(internal::Bf16Bits(std::bit_cast<float>(0x3F807FFFu)), 0x3F80u);
+}
+
+TEST(Bf16Test, InfAndNanPassthrough) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(internal::Bf16Round(inf), inf);
+  EXPECT_EQ(internal::Bf16Round(-inf), -inf);
+  // NaN stays NaN — rounding must never promote it to an infinity.
+  EXPECT_TRUE(std::isnan(internal::Bf16Round(std::nanf(""))));
+  const float payload_nan = std::bit_cast<float>(0x7F800001u);  // signalling
+  EXPECT_TRUE(std::isnan(internal::Bf16Round(payload_nan)));
+  // Largest finite float must not round to inf bits blindly — it does
+  // overflow to inf in bf16 (mantissa rounds up past the exponent cap),
+  // which is the correct RNE result, but a NaN never may.
+  EXPECT_TRUE(std::isinf(internal::Bf16Round(std::numeric_limits<float>::max())));
+}
+
+TEST(Bf16Test, SubnormalsCarryCorrectly) {
+  // Largest fp32 subnormal rounds up into the smallest normal (the rounding
+  // increment carries through the exponent field).
+  const float max_subnormal = std::bit_cast<float>(0x007FFFFFu);
+  EXPECT_EQ(internal::Bf16Bits(max_subnormal), 0x0080u);
+  // Smallest subnormal rounds to +0.
+  const float min_subnormal = std::bit_cast<float>(0x00000001u);
+  EXPECT_EQ(internal::Bf16Bits(min_subnormal), 0x0000u);
+  // Sign is preserved on the zero result.
+  EXPECT_EQ(internal::Bf16Bits(std::bit_cast<float>(0x80000001u)), 0x8000u);
+}
+
+TEST(Bf16Test, RoundTripIdempotentAndBounded) {
+  SeedGlobalRng(830);
+  Tensor x = Tensor::Randn({64}, 3.0f);
+  for (float v : x.data()) {
+    const float r1 = internal::Bf16Round(v);
+    EXPECT_EQ(internal::Bf16Round(r1), r1);  // bf16 values are fixed points
+    // RNE error bound: half an ulp at 8 mantissa bits (2^-8 relative).
+    EXPECT_LE(std::abs(r1 - v), std::abs(v) * (1.0f / 256.0f) + 1e-38f);
+  }
+  // BFloat16 type round-trips through its bit representation.
+  BFloat16 h(1.5f);
+  EXPECT_EQ(h.ToFloat(), 1.5f);
+  EXPECT_EQ(BFloat16(h.ToFloat()), h);
+}
+
+TEST(Bf16Test, QuantizeStraightThroughGradient) {
+  SeedGlobalRng(831);
+  Tensor x = Tensor::Randn({3, 4}, 1.0f, true);
+  SumAll(QuantizeBf16(x)).Backward();
+  for (float g : x.grad()) EXPECT_EQ(g, 1.0f);  // d(quantize)/dx == 1 (STE)
+}
+
+TEST(Bf16Test, ScopeGatesMaybeQuantize) {
+  Tensor x = Tensor::Randn({8}, 1.0f);
+  EXPECT_FALSE(Bf16Enabled());
+  // Outside a scope: the identity — same impl, not merely equal values.
+  Tensor same = MaybeQuantizeBf16(x);
+  EXPECT_EQ(same.impl().get(), x.impl().get());
+  {
+    Bf16Scope scope;
+    EXPECT_TRUE(Bf16Enabled());
+    Tensor q = MaybeQuantizeBf16(x);
+    EXPECT_NE(q.impl().get(), x.impl().get());
+    for (size_t i = 0; i < q.data().size(); ++i) {
+      EXPECT_EQ(q.data()[i], internal::Bf16Round(x.data()[i]));
+    }
+    Bf16Scope inner(false);  // must not mask the outer enable
+    EXPECT_TRUE(Bf16Enabled());
+  }
+  EXPECT_FALSE(Bf16Enabled());
+}
+
+// ------------------------------------------------------------ model layer
+
+class FusionModelFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig cfg = ChengduConfig(BenchScale::kTiny);
+    cfg.num_train = 4;
+    cfg.num_val = 1;
+    cfg.num_test = 3;
+    cfg.sim.len_rho = 24;
+    dataset_ = BuildDataset(cfg).release();
+    ctx_ = new ModelContext(ModelContext::FromDataset(*dataset_));
+  }
+  static void TearDownTestSuite() {
+    delete ctx_;
+    delete dataset_;
+    dataset_ = nullptr;
+    ctx_ = nullptr;
+  }
+
+  static RnTrajRecConfig SmallConfig() {
+    RnTrajRecConfig cfg;
+    cfg.dim = 16;
+    cfg.delta = 250.0;
+    cfg.max_subgraph_nodes = 16;
+    cfg.gridgnn.gnn_layers = 1;
+    cfg.gridgnn.heads = 2;
+    cfg.gpsformer.blocks = 1;
+    cfg.gpsformer.heads = 2;
+    cfg.gpsformer.grl.heads = 2;
+    cfg.Sync();
+    return cfg;
+  }
+
+  static Dataset* dataset_;
+  static ModelContext* ctx_;
+};
+
+Dataset* FusionModelFixture::dataset_ = nullptr;
+ModelContext* FusionModelFixture::ctx_ = nullptr;
+
+// Same weights, same sample: fusion on returns the same segments as fusion
+// off, ratios within the documented ~1e-6-per-op bound (1e-5 end to end).
+TEST_F(FusionModelFixture, RecoverFusionOnMatchesOff) {
+  SeedGlobalRng(840);
+  RnTrajRecConfig cfg = SmallConfig();
+  RnTrajRec model(cfg, *ctx_);
+  model.SetTrainingMode(false);
+  model.BeginInference();
+  for (const auto& s : dataset_->test()) {
+    MatchedTrajectory off = model.Recover(s);
+    // Flip the knob on the same instance via a scope (the config knob
+    // installs exactly this scope at every entry point).
+    MatchedTrajectory on;
+    {
+      fusion::FusionScope scope;
+      on = model.Recover(s);
+    }
+    ASSERT_EQ(off.points.size(), on.points.size());
+    for (size_t j = 0; j < off.points.size(); ++j) {
+      EXPECT_EQ(off.points[j].seg_id, on.points[j].seg_id) << "point " << j;
+      EXPECT_NEAR(off.points[j].ratio, on.points[j].ratio, 1e-5)
+          << "point " << j;
+    }
+  }
+}
+
+// bf16 activations: segments unchanged on the tiny workload; ratios within
+// the looser documented bound (bf16 has ~2-3 significant digits, but the
+// decoder's ratio head saturates through a sigmoid — 1e-2 holds easily).
+TEST_F(FusionModelFixture, RecoverBf16KeepsSegments) {
+  SeedGlobalRng(841);
+  RnTrajRecConfig cfg = SmallConfig();
+  RnTrajRec model(cfg, *ctx_);
+  model.SetTrainingMode(false);
+  model.BeginInference();
+  for (const auto& s : dataset_->test()) {
+    MatchedTrajectory fp32 = model.Recover(s);
+    MatchedTrajectory bf16;
+    {
+      Bf16Scope scope;
+      bf16 = model.Recover(s);
+    }
+    ASSERT_EQ(fp32.points.size(), bf16.points.size());
+    for (size_t j = 0; j < fp32.points.size(); ++j) {
+      EXPECT_EQ(fp32.points[j].seg_id, bf16.points[j].seg_id) << "point " << j;
+      EXPECT_NEAR(fp32.points[j].ratio, bf16.points[j].ratio, 1e-2)
+          << "point " << j;
+    }
+  }
+}
+
+// The config knobs themselves: a model built with fuse_elementwise actually
+// emits fused kernels during Recover, and one without emits none.
+TEST_F(FusionModelFixture, ConfigKnobInstallsScope) {
+  SeedGlobalRng(842);
+  RnTrajRecConfig cfg = SmallConfig();
+  cfg.fuse_elementwise = true;
+  RnTrajRec model(cfg, *ctx_);
+  model.SetTrainingMode(false);
+  model.BeginInference();
+  fusion::ResetCounters();
+  (void)model.Recover(dataset_->test()[0]);
+  EXPECT_GT(fusion::Counters().Total(), 0);
+
+  RnTrajRecConfig off_cfg = SmallConfig();
+  RnTrajRec off_model(off_cfg, *ctx_);
+  off_model.SetTrainingMode(false);
+  off_model.BeginInference();
+  fusion::ResetCounters();
+  (void)off_model.Recover(dataset_->test()[0]);
+  EXPECT_EQ(fusion::Counters().Total(), 0);
+}
+
+// Training smoke: one TrainLoss backward with both knobs on must produce
+// finite loss and gradients (the fused backwards run end to end).
+TEST_F(FusionModelFixture, TrainLossWithFusionAndBf16Backpropagates) {
+  SeedGlobalRng(843);
+  RnTrajRecConfig cfg = SmallConfig();
+  cfg.fuse_elementwise = true;
+  cfg.bf16_activations = true;
+  RnTrajRec model(cfg, *ctx_);
+  model.SetTrainingMode(true);
+  model.BeginBatch();
+  Tensor loss = model.TrainLoss(dataset_->train()[0]);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  loss.Backward();
+  double grad_norm = 0.0;
+  for (auto& p : model.Parameters()) {
+    for (float g : p.grad()) grad_norm += std::abs(g);
+  }
+  EXPECT_TRUE(std::isfinite(grad_norm));
+  EXPECT_GT(grad_norm, 0.0);
+}
+
+}  // namespace
+}  // namespace rntraj

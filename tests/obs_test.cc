@@ -22,8 +22,10 @@
 #include "src/obs/metrics.h"
 #include "src/obs/quantile.h"
 #include "src/obs/stage_profiler.h"
+#include "src/nn/transformer.h"
 #include "src/obs/trace.h"
 #include "src/serve/workload.h"
+#include "src/tensor/fusion.h"
 
 namespace rntraj {
 namespace {
@@ -418,6 +420,46 @@ TEST(StageProfilerTest, CaptureScopeActivatesTimersAndIsThreadLocal) {
     EXPECT_EQ(StageCaptureScope::Current(), &inner);
   }
   EXPECT_EQ(StageCaptureScope::Current(), &capture);
+}
+
+// PR 8 invariant: fused kernels bill to the SAME stage as the op chain they
+// replace. Fusion rewrites happen at op-emission time inside whatever
+// ScopedStage the call site already holds, so attribution is structural —
+// this pins it: an encoder-layer forward bills every nanosecond to
+// kTransformer and nothing else, with the exact same nonzero-stage set
+// whether the fusion pass is on or off.
+TEST(StageProfilerTest, FusedKernelsBillToSameStageAsUnfusedChain) {
+  ASSERT_FALSE(StageProfiler::Global().enabled());
+  SeedGlobalRng(33);
+  TransformerEncoderLayer layer(16, 2, 32);
+  Tensor x = Tensor::Randn({12, 16}, 1.0f);
+
+  const auto stage_set = [&](bool fuse) {
+    StageCaptureScope capture;
+    {
+      fusion::FusionScope scope(fuse);
+      fusion::ResetCounters();
+      ScopedStage s(Stage::kTransformer);
+      NoGradGuard guard;
+      for (int rep = 0; rep < 8; ++rep) (void)layer.Forward(x);
+    }
+    EXPECT_EQ(fusion::Counters().Total() > 0, fuse);
+    std::vector<bool> nonzero(obs::kStageCount, false);
+    for (int s = 0; s < obs::kStageCount; ++s) {
+      nonzero[s] = capture.ns(static_cast<Stage>(s)) > 0;
+    }
+    return nonzero;
+  };
+
+  const std::vector<bool> off = stage_set(false);
+  const std::vector<bool> on = stage_set(true);
+  EXPECT_TRUE(off[static_cast<int>(Stage::kTransformer)]);
+  EXPECT_EQ(off, on) << "fusion moved work between stages";
+  for (int s = 0; s < obs::kStageCount; ++s) {
+    if (s != static_cast<int>(Stage::kTransformer)) {
+      EXPECT_FALSE(on[s]) << "stage " << s << " unexpectedly billed";
+    }
+  }
 }
 
 }  // namespace
