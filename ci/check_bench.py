@@ -34,6 +34,18 @@ Fails (exit 1) when any of:
         logits make fp32-vs-bf16 segment identity meaningless here; the
         model-level tests pin it on trained workloads);
     or the baseline records fusion/bf16 sections the produced run lost;
+  * the warm-start section (PR 9) breaks a snapshot claim:
+      - the snapshot-loaded model answers differently from the model it was
+        saved from (any segment mismatch — the format is bit-exact fp32);
+      - LoadSnapshot + BeginInference is not at least 5x faster than the
+        cold road-representation recompute (both sides best-of-3 in the
+        produced run, so the bound is self-relative);
+  * the hot-swap section (PR 9) breaks a zero-downtime invariant:
+      - any future dropped or failed across the mid-stream SwapModel;
+      - any answer diverging from the whole-model reference (the swap
+        installs a snapshot clone with identical weights, so a divergence
+        means a blended or torn generation);
+      - the service's model generation did not advance to 1;
   * the overload section breaks one of the robustness layer's own
     invariants (these compare the produced run against ITSELF, so they are
     immune to runner-speed differences):
@@ -76,6 +88,10 @@ FUSION_CHAIN_MIN_SPEEDUP = 1.15
 # The documented bf16 numeric bound: max ratio drift of offline bf16
 # recovery vs fp32 on the bench workload.
 BF16_MAX_RATIO_DRIFT = 0.15
+# Warm start (PR 9): LoadSnapshot + BeginInference must beat the cold
+# BeginInference (road-representation recompute) by at least this factor —
+# both sides best-of-3 in the same process, so the bound is self-relative.
+WARMSTART_MIN_SPEEDUP = 5.0
 
 
 def fail(msg: str) -> None:
@@ -190,6 +206,53 @@ def check_bf16(produced: dict) -> None:
     )
 
 
+def check_warmstart(produced: dict) -> None:
+    if int(produced.get("warmstart_seg_mismatches", 0)) != 0:
+        fail(
+            "snapshot-loaded model diverged from the original: "
+            f"{produced.get('warmstart_seg_mismatches')} segment mismatches"
+        )
+    speedup = float(produced["warmstart_speedup"])
+    if speedup < WARMSTART_MIN_SPEEDUP:
+        fail(
+            f"snapshot warm start is only {speedup:.2f}x faster than the "
+            f"cold road-representation recompute (committed claim: "
+            f">={WARMSTART_MIN_SPEEDUP}x, same process)"
+        )
+    print(
+        f"warm-start gate OK: LoadSnapshot+BeginInference "
+        f"{1e3 * float(produced['warmstart_load_s']):.2f} ms vs cold "
+        f"{1e3 * float(produced['warmstart_cold_begin_s']):.2f} ms "
+        f"({speedup:.1f}x, min {WARMSTART_MIN_SPEEDUP:.0f}x), loaded "
+        "answers identical"
+    )
+
+
+def check_swap(produced: dict) -> None:
+    dropped = int(produced["swap_dropped_futures"])
+    failed = int(produced.get("swap_failed_requests", 0))
+    seg = int(produced.get("swap_seg_mismatches", 0))
+    ratio = float(produced.get("swap_max_ratio_diff", 0.0))
+    version = int(produced.get("swap_model_version", 0))
+    if dropped != 0:
+        fail(f"hot swap dropped {dropped} futures (must be zero)")
+    if failed != 0:
+        fail(f"hot swap failed {failed} requests (no faults injected)")
+    if seg != 0 or ratio > 1e-5:
+        fail(
+            "hot swap blended generations: answers diverged from the "
+            f"whole-model reference (seg_mismatches={seg}, "
+            f"max_ratio_diff={ratio})"
+        )
+    if version != 1:
+        fail(f"hot swap did not advance the model generation (got {version})")
+    print(
+        "hot-swap gate OK: zero dropped futures across the flip, answers "
+        f"v0/v1 = {int(produced.get('swap_answers_old_gen', 0))}/"
+        f"{int(produced.get('swap_answers_new_gen', 0))}, all whole-model"
+    )
+
+
 def main() -> None:
     if len(sys.argv) != 3:
         fail(f"usage: {sys.argv[0]} <produced.json> <baseline.json>")
@@ -241,6 +304,18 @@ def main() -> None:
         check_bf16(produced)
     elif "bf16_max_ratio_diff" in baseline:
         fail("bench record is missing its bf16 section")
+
+    if "warmstart_speedup" in produced:
+        check_warmstart(produced)
+    elif "warmstart_speedup" in baseline:
+        # Losing the section silently would un-gate the snapshot warm-start
+        # claim (PR 9).
+        fail("bench record is missing its warm-start section")
+
+    if "swap_dropped_futures" in produced:
+        check_swap(produced)
+    elif "swap_dropped_futures" in baseline:
+        fail("bench record is missing its hot-swap section")
 
     if "overload_deadline_ms" in produced:
         check_overload(produced)

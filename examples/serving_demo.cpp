@@ -11,6 +11,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -217,6 +219,52 @@ int main() {
   table.PrintHeader();
   PrintMetricsRow(table, model.name() + " (served)", m);
 
-  return seg_mismatches == 0 && max_ratio_diff <= 1e-5 && ok == kRequests ? 0
-                                                                          : 1;
+  // Zero-downtime hot swap: persist the serving model through the snapshot
+  // API, restore it into a second instance (differently seeded, so only the
+  // snapshot can explain matching answers), and SwapModel while the service
+  // stays up. New dispatches carry the new generation's version stamp and —
+  // because the weights are identical — still match the offline reference.
+  std::printf("\n-- hot swap --\n");
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string snap_path =
+      std::string(tmpdir ? tmpdir : "/tmp") + "/serving_demo.snapshot";
+  std::string swap_err;
+  auto next = std::make_shared<RnTrajRec>(mcfg, ctx);
+  bool swap_ok = model.SaveSnapshot(snap_path, &swap_err) &&
+                 next->LoadSnapshot(snap_path, &swap_err) &&
+                 service.SwapModel(next, &swap_err);
+  std::remove(snap_path.c_str());
+  int post_swap_ok = 0;
+  int post_swap_stale = 0;
+  int post_swap_mismatches = 0;
+  if (swap_ok) {
+    std::vector<std::future<serve::RecoveryResponse>> swap_futures;
+    for (auto& req : requests) swap_futures.push_back(service.Submit(req));
+    for (size_t i = 0; i < swap_futures.size(); ++i) {
+      const serve::RecoveryResponse resp = swap_futures[i].get();
+      if (!resp.ok) continue;
+      ++post_swap_ok;
+      if (resp.model_version != service.model_version()) ++post_swap_stale;
+      const MatchedTrajectory& ref = offline[i];
+      for (int j = 0; j < ref.size(); ++j) {
+        if (resp.recovered.points[j].seg_id != ref.points[j].seg_id) {
+          ++post_swap_mismatches;
+        }
+      }
+    }
+    std::printf("swapped to generation %llu; %d/%d post-swap requests ok, "
+                "%d stale-version stamps, %d answer mismatches\n",
+                static_cast<unsigned long long>(service.model_version()),
+                post_swap_ok, static_cast<int>(requests.size()),
+                post_swap_stale, post_swap_mismatches);
+  } else {
+    std::printf("hot swap failed: %s\n", swap_err.c_str());
+  }
+  swap_ok = swap_ok && post_swap_ok > 0 && post_swap_stale == 0 &&
+            post_swap_mismatches == 0;
+
+  return seg_mismatches == 0 && max_ratio_diff <= 1e-5 && ok == kRequests &&
+                 swap_ok
+             ? 0
+             : 1;
 }

@@ -43,6 +43,10 @@ class EncoderDecoderModel : public Module, public RecoveryModel {
   std::string name() const override { return name_; }
   std::vector<Tensor> Parameters() override { return Module::Parameters(); }
   using Module::ParameterCount;
+  rntraj::StateDict StateDict() override { return Module::StateDict(); }
+  LoadReport LoadStateDict(const rntraj::StateDict& src) override {
+    return Module::LoadStateDict(src);
+  }
 
   Tensor TrainLoss(const TrajectorySample& sample) override {
     Encoded e = Encode(sample);

@@ -47,6 +47,10 @@ class DhtrModel : public Module, public RecoveryModel {
   std::string name() const override { return "DHTR+HMM"; }
   std::vector<Tensor> Parameters() override { return Module::Parameters(); }
   using Module::ParameterCount;
+  rntraj::StateDict StateDict() override { return Module::StateDict(); }
+  LoadReport LoadStateDict(const rntraj::StateDict& src) override {
+    return Module::LoadStateDict(src);
+  }
   Tensor TrainLoss(const TrajectorySample& sample) override;
   MatchedTrajectory Recover(const TrajectorySample& sample) override;
   void SetTrainingMode(bool training) override { SetTraining(training); }

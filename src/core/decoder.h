@@ -99,6 +99,16 @@ class Decoder : public Module {
     sampling_epoch_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Checkpoint hooks: the stream position is the number of advances so
+  /// far; restoring it lets a resumed run draw the exact coin flips the
+  /// uninterrupted run would have (see RecoveryModel::TrainingSteps).
+  uint64_t sampling_epoch() const {
+    return sampling_epoch_.load(std::memory_order_relaxed);
+  }
+  void set_sampling_epoch(uint64_t epoch) {
+    sampling_epoch_.store(epoch, std::memory_order_relaxed);
+  }
+
   /// Answers road-network radius queries through `source` instead of the
   /// direct R-tree (see RecoveryModel::SetSegmentQuerySource).
   void set_segment_query_source(const SegmentQuerySource* source) {

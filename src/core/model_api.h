@@ -1,13 +1,16 @@
 #ifndef RNTRAJ_CORE_MODEL_API_H_
 #define RNTRAJ_CORE_MODEL_API_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "src/nn/state_dict.h"
 #include "src/roadnet/grid.h"
 #include "src/roadnet/road_network.h"
 #include "src/roadnet/rtree.h"
 #include "src/sim/dataset.h"
+#include "src/snapshot/snapshot.h"
 #include "src/tensor/tensor.h"
 #include "src/traj/trajectory.h"
 
@@ -54,6 +57,59 @@ class RecoveryModel {
     for (const auto& p : Parameters()) n += p.size();
     return n;
   }
+
+  /// Canonical named state: every parameter and persistent buffer under a
+  /// stable name — the surface snapshots, checkpoints and hot-swap all
+  /// speak. Module-backed models forward to Module::StateDict() (dotted
+  /// registration paths); the default synthesizes positional names from
+  /// Parameters() so non-Module methods share the persistence surface.
+  virtual rntraj::StateDict StateDict() {
+    rntraj::StateDict sd;
+    std::vector<Tensor> params = Parameters();
+    for (size_t i = 0; i < params.size(); ++i) {
+      sd.Add("param." + std::to_string(i), params[i]);
+    }
+    return sd;
+  }
+
+  /// Copies matching entries of `src` into this model's tensors in place.
+  /// Matched names must agree in shape exactly (a mismatch aborts — callers
+  /// holding untrusted bytes go through LoadSnapshot, which pre-checks
+  /// gracefully); returns the missing/unexpected key report.
+  virtual LoadReport LoadStateDict(const rntraj::StateDict& src) {
+    return CopyStateDict(StateDict(), src);
+  }
+
+  /// Writes this model's state to a versioned binary snapshot (atomic
+  /// tmp+rename). The default stores the state dict + a model-name meta
+  /// tag; models with expensive derived state (RnTrajRec's road
+  /// representation) override to add warm-start sections.
+  virtual bool SaveSnapshot(const std::string& path,
+                            std::string* error = nullptr) {
+    snapshot::Snapshot snap;
+    snap.state = StateDict();
+    snap.model_name = name();
+    return snapshot::WriteSnapshot(path, snap, error);
+  }
+
+  /// Restores state from a snapshot file. Strict: every model entry must be
+  /// present with its exact shape and the file must contain nothing else.
+  /// All failures (I/O, corruption, foreign version, wrong shapes) return
+  /// false with a diagnostic in `*error` and leave the model untouched —
+  /// never an abort.
+  virtual bool LoadSnapshot(const std::string& path,
+                            std::string* error = nullptr) {
+    snapshot::Snapshot snap;
+    if (!snapshot::ReadSnapshot(path, &snap, error)) return false;
+    return snapshot::ApplyStateDict(StateDict(), snap.state, error);
+  }
+
+  /// Optimiser steps this model has seen (= BeginBatch calls). Models with
+  /// step-keyed internal streams (RnTrajRec's scheduled-sampling seeds)
+  /// override both so a checkpoint resume replays the exact stream position;
+  /// the default pair means "no such state".
+  virtual uint64_t TrainingSteps() const { return 0; }
+  virtual void SetTrainingSteps(uint64_t steps) { (void)steps; }
 
   /// True for methods trained by gradient descent.
   virtual bool IsLearned() const { return true; }

@@ -38,9 +38,38 @@ TrainStats TrainModel(RecoveryModel& model,
   fusion::FusionScope fuse_scope(cfg.fuse_elementwise);
   Bf16Scope bf16_scope(cfg.bf16_activations);
   model.SetTrainingMode(true);
-  std::vector<Tensor> params = model.Parameters();
+  // The optimiser is built from the state dict (learnable entries in the
+  // dict's deterministic registration order), not from a hand-assembled
+  // Parameters() vector: the dict layout is what checkpoints serialise, so
+  // the Adam moment arenas line up with it by construction.
+  std::vector<Tensor> params = LearnableTensors(model.StateDict());
   Adam opt(params, cfg.lr);
   Rng rng(cfg.seed);
+
+  // Resume: restore model + optimiser state, then replay the skipped
+  // epochs schedule-only below so every cross-epoch stream (shuffle RNG,
+  // teacher-forcing decay) sits exactly where the uninterrupted run's would.
+  int start_epoch = 0;
+  if (!cfg.resume_from.empty()) {
+    snapshot::Snapshot snap;
+    std::string err;
+    RNTRAJ_CHECK_MSG(snapshot::ReadSnapshot(cfg.resume_from, &snap, &err),
+                     "resume_from: " << err);
+    RNTRAJ_CHECK_MSG(snap.has_trainer_state,
+                     "resume_from: '" << cfg.resume_from
+                                      << "' has no trainer-state section");
+    RNTRAJ_CHECK_MSG(
+        snapshot::ApplyStateDict(model.StateDict(), snap.state, &err),
+        "resume_from: " << err);
+    RNTRAJ_CHECK_MSG(opt.ImportState(snap.trainer.adam, &err),
+                     "resume_from: " << err);
+    model.SetTrainingSteps(snap.trainer.training_steps);
+    start_epoch = static_cast<int>(snap.trainer.epochs_done);
+    RNTRAJ_CHECK_MSG(start_epoch <= cfg.epochs,
+                     "resume_from: checkpoint has "
+                         << start_epoch << " epochs done, config wants "
+                         << cfg.epochs);
+  }
 
   std::vector<int> order(data.size());
   std::iota(order.begin(), order.end(), 0);
@@ -53,6 +82,9 @@ TrainStats TrainModel(RecoveryModel& model,
                             : 1.0;
     model.SetTeacherForcing(1.0 - 0.7 * frac);
     std::shuffle(order.begin(), order.end(), rng.engine());
+    // Replayed (already-trained) epoch of a resumed run: the schedule state
+    // above advanced exactly as the original run's did; skip the work.
+    if (epoch < start_epoch) continue;
     double epoch_loss = 0.0;
     int batches = 0;
     for (size_t i = 0; i < order.size(); i += cfg.batch_size) {
@@ -118,6 +150,20 @@ TrainStats TrainModel(RecoveryModel& model,
       }
       profile_prev = now;
     }
+    if (cfg.checkpoint_every > 0 && !cfg.checkpoint_path.empty() &&
+        ((epoch + 1) % cfg.checkpoint_every == 0 || epoch + 1 == cfg.epochs)) {
+      snapshot::Snapshot snap;
+      snap.state = model.StateDict();
+      snap.model_name = model.name();
+      snap.has_trainer_state = true;
+      snap.trainer.epochs_done = static_cast<uint64_t>(epoch + 1);
+      snap.trainer.training_steps = model.TrainingSteps();
+      snap.trainer.adam = opt.ExportState();
+      std::string err;
+      RNTRAJ_CHECK_MSG(snapshot::WriteSnapshot(cfg.checkpoint_path, snap, &err),
+                       "checkpoint: " << err);
+    }
+    if (cfg.stop_after_epoch > 0 && epoch + 1 >= cfg.stop_after_epoch) break;
   }
   if (cfg.profile_stages) {
     stats.stage_profile = profiler.Snapshot().Delta(profile_start);

@@ -1,6 +1,7 @@
 #ifndef RNTRAJ_CORE_TRAINER_H_
 #define RNTRAJ_CORE_TRAINER_H_
 
+#include <string>
 #include <vector>
 
 #include "src/core/model_api.h"
@@ -50,6 +51,24 @@ struct TrainConfig {
   /// Rounds activations through bf16 at block boundaries for the whole run
   /// (src/tensor/bfloat16.h). Default off.
   bool bf16_activations = false;
+  /// Checkpointing: when > 0 (and checkpoint_path is set), writes a snapshot
+  /// carrying the model state dict plus the trainer section (epochs done,
+  /// optimiser-step count, Adam moment arenas) to `checkpoint_path` after
+  /// every Nth epoch and after the final one. Atomic (tmp+rename), so a
+  /// crash mid-write never corrupts the previous checkpoint.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// Resume: when set, restores model + optimiser state from this checkpoint
+  /// and continues at the recorded epoch. The skipped epochs are replayed
+  /// schedule-only (teacher-forcing decay + shuffle-RNG draws, no forwards),
+  /// so in serial mode the resumed run's remaining per-epoch losses match an
+  /// uninterrupted run of the same config bit-for-bit.
+  std::string resume_from;
+  /// When > 0, return after this many epochs of the `epochs`-long schedule
+  /// (the decay/shuffle streams still belong to the full schedule — unlike
+  /// shrinking `epochs`, which changes them). With checkpointing on, this
+  /// emulates an interrupted run: train a prefix, checkpoint, resume later.
+  int stop_after_epoch = 0;
 };
 
 /// Per-run training telemetry.

@@ -1,0 +1,131 @@
+#ifndef RNTRAJ_NN_ARENA_H_
+#define RNTRAJ_NN_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/nn/state_dict.h"
+
+/// \file arena.h
+/// Flattened parameter arena: every entry of a StateDict collapsed into one
+/// contiguous float buffer with per-entry views. A snapshot of the model is
+/// then a single read/write of `flat()`, and optimizer state (the Adam
+/// moment arenas in optim.h) can share the same layout so checkpoints carry
+/// it as two more flat arrays — no per-parameter bookkeeping.
+
+namespace rntraj {
+
+/// One entry's slice of the arena: [offset, offset + size) in `flat()`.
+struct ArenaView {
+  std::string name;
+  std::vector<int> shape;
+  size_t offset = 0;
+  size_t size = 0;
+  bool is_buffer = false;
+};
+
+/// Contiguous storage for a module tree's state, laid out in the
+/// StateDict's deterministic registration order.
+///
+/// The arena owns its buffer; module tensors keep theirs (the tensor
+/// library's autograd storage is per-tensor), so Gather/Scatter copy.
+/// Views alias the arena buffer directly: writing through `ViewOf` mutates
+/// the bytes the next `flat()` read serialises — the write-through property
+/// the snapshot writer relies on.
+class ParameterArena {
+ public:
+  ParameterArena() = default;
+
+  /// Builds the layout from `sd` and gathers its current values.
+  explicit ParameterArena(const rntraj::StateDict& sd) {
+    size_t off = 0;
+    views_.reserve(sd.size());
+    for (const StateEntry& e : sd) {
+      const size_t n = static_cast<size_t>(e.tensor.size());
+      index_.emplace(e.name, views_.size());
+      views_.push_back({e.name, e.tensor.shape(), off, n, e.is_buffer});
+      off += n;
+    }
+    flat_.assign(off, 0.0f);
+    GatherFrom(sd);
+  }
+
+  /// Total scalar count across all views.
+  size_t size() const { return flat_.size(); }
+  bool empty() const { return flat_.empty(); }
+
+  /// The whole arena, one contiguous buffer.
+  std::vector<float>& flat() { return flat_; }
+  const std::vector<float>& flat() const { return flat_; }
+
+  const std::vector<ArenaView>& views() const { return views_; }
+
+  /// Layout lookup by name; nullptr when absent.
+  const ArenaView* Find(const std::string& name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &views_[it->second];
+  }
+
+  /// Mutable pointer to an entry's slice of the flat buffer; nullptr when
+  /// absent. Writes land in the arena (write-through).
+  float* ViewOf(const std::string& name) {
+    const ArenaView* v = Find(name);
+    return v == nullptr ? nullptr : flat_.data() + v->offset;
+  }
+  const float* ViewOf(const std::string& name) const {
+    const ArenaView* v = Find(name);
+    return v == nullptr ? nullptr : flat_.data() + v->offset;
+  }
+
+  /// Copies current tensor values into the arena. `sd` must have exactly
+  /// the construction layout (same names, same order, same shapes) — the
+  /// arena is a view of one architecture, not a format converter.
+  void GatherFrom(const rntraj::StateDict& sd) {
+    CheckLayout(sd);
+    for (size_t i = 0; i < views_.size(); ++i) {
+      const auto& d = sd[i].tensor.data();
+      std::copy(d.begin(), d.end(), flat_.begin() + views_[i].offset);
+    }
+  }
+
+  /// Copies arena values back into the dict's tensors (in place: tensor
+  /// identity survives, optimizer handles stay valid).
+  void ScatterTo(const rntraj::StateDict& sd) const {
+    CheckLayout(sd);
+    for (size_t i = 0; i < views_.size(); ++i) {
+      Tensor t = sd[i].tensor;  // shared impl: writes hit the module tensor
+      std::copy(flat_.begin() + views_[i].offset,
+                flat_.begin() + views_[i].offset + views_[i].size,
+                t.data().begin());
+    }
+  }
+
+ private:
+  void CheckLayout(const rntraj::StateDict& sd) const {
+    RNTRAJ_CHECK_MSG(sd.size() == views_.size(),
+                     "ParameterArena: dict has " << sd.size()
+                                                 << " entries, arena layout "
+                                                 << views_.size());
+    for (size_t i = 0; i < views_.size(); ++i) {
+      RNTRAJ_CHECK_MSG(sd[i].name == views_[i].name,
+                       "ParameterArena: entry " << i << " is '" << sd[i].name
+                                                << "', layout expects '"
+                                                << views_[i].name << "'");
+      RNTRAJ_CHECK_MSG(sd[i].tensor.shape() == views_[i].shape,
+                       "ParameterArena: shape mismatch for '" << sd[i].name
+                                                              << "'");
+    }
+  }
+
+  std::vector<float> flat_;
+  std::vector<ArenaView> views_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_NN_ARENA_H_

@@ -1,23 +1,25 @@
 #ifndef RNTRAJ_NN_MODULE_H_
 #define RNTRAJ_NN_MODULE_H_
 
+#include <algorithm>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/nn/state_dict.h"
 #include "src/tensor/tensor.h"
 
 /// \file module.h
-/// Base class for neural-network modules: parameter registration, recursive
-/// parameter collection, train/eval mode.
+/// Base class for neural-network modules: parameter/buffer registration,
+/// recursive state-dict collection, train/eval mode.
 
 namespace rntraj {
 
 /// Base class for all learnable components.
 ///
 /// Concrete modules own their sub-modules as data members and register them
-/// (non-owning pointers) in their constructor so that `Parameters()` and
-/// `SetTraining()` recurse.
+/// (non-owning pointers) in their constructor so that `Parameters()`,
+/// `StateDict()` and `SetTraining()` recurse.
 class Module {
  public:
   Module() = default;
@@ -35,10 +37,33 @@ class Module {
     return out;
   }
 
-  /// Named (dotted-path) parameters, mainly for debugging and tests.
+  /// The canonical named-state surface: every parameter and persistent
+  /// buffer under its dotted path, in deterministic registration order
+  /// (this module's parameters, then buffers, then each child's subtree).
+  /// Duplicate paths abort inside StateDict::Add — two children registered
+  /// under one name cannot silently shadow each other.
+  rntraj::StateDict StateDict() const {
+    rntraj::StateDict out;
+    CollectState("", &out);
+    return out;
+  }
+
+  /// Copies matching entries of `src` into this module's tensors (values
+  /// only; tensor identity is preserved, so optimizer handles stay valid).
+  /// Matched entries must agree in shape exactly — a mismatch aborts.
+  /// Returns the key mismatches: module entries `src` lacks (`missing`,
+  /// left untouched) and `src` entries nothing matched (`unexpected`).
+  LoadReport LoadStateDict(const rntraj::StateDict& src) {
+    return CopyStateDict(StateDict(), src);
+  }
+
+  /// Named (dotted-path) parameters — StateDict() minus the buffers, kept
+  /// for tests and debugging dumps.
   std::vector<std::pair<std::string, Tensor>> NamedParameters() const {
     std::vector<std::pair<std::string, Tensor>> out;
-    CollectNamed("", &out);
+    for (const StateEntry& e : StateDict()) {
+      if (!e.is_buffer) out.emplace_back(e.name, e.tensor);
+    }
     return out;
   }
 
@@ -70,6 +95,15 @@ class Module {
     return t;
   }
 
+  /// Registers a persistent (non-learned) buffer: carried by StateDict()
+  /// and snapshots, skipped by Parameters() and the optimisers. The
+  /// registered handle must stay the module's live storage — mutate it in
+  /// place, never re-assign the member to a fresh Tensor.
+  Tensor RegisterBuffer(const std::string& name, Tensor t) {
+    buffers_.emplace_back(name, t);
+    return t;
+  }
+
   /// Registers a child module (non-owning; the child must be a member of the
   /// registering module and therefore outlive it).
   void RegisterChild(const std::string& name, Module* child) {
@@ -82,17 +116,22 @@ class Module {
     for (const auto& [name, c] : children_) c->CollectParameters(out);
   }
 
-  void CollectNamed(const std::string& prefix,
-                    std::vector<std::pair<std::string, Tensor>>* out) const {
+  void CollectState(const std::string& prefix, rntraj::StateDict* out) const {
     for (const auto& [name, p] : params_) {
-      out->emplace_back(prefix.empty() ? name : prefix + "." + name, p);
+      out->Add(prefix.empty() ? name : prefix + "." + name, p,
+               /*is_buffer=*/false);
+    }
+    for (const auto& [name, b] : buffers_) {
+      out->Add(prefix.empty() ? name : prefix + "." + name, b,
+               /*is_buffer=*/true);
     }
     for (const auto& [name, c] : children_) {
-      c->CollectNamed(prefix.empty() ? name : prefix + "." + name, out);
+      c->CollectState(prefix.empty() ? name : prefix + "." + name, out);
     }
   }
 
   std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Tensor>> buffers_;
   std::vector<std::pair<std::string, Module*>> children_;
   bool training_ = true;
 };

@@ -72,8 +72,10 @@ class GraphNorm : public Module {
       : dim_(dim), eps_(eps), momentum_(momentum) {
     gamma_ = RegisterParameter("gamma", Tensor::Full({dim}, 1.0f));
     beta_ = RegisterParameter("beta", Tensor::Zeros({dim}));
-    running_mean_ = Tensor::Zeros({dim});
-    running_var_ = Tensor::Full({dim}, 1.0f);
+    // Running statistics are persistent buffers: snapshots must carry them
+    // or a restored model would normalise eval-mode forwards differently.
+    running_mean_ = RegisterBuffer("running_mean", Tensor::Zeros({dim}));
+    running_var_ = RegisterBuffer("running_var", Tensor::Full({dim}, 1.0f));
   }
 
   /// nodes: (sum of sub-graph sizes, d); sizes: node count per sub-graph.

@@ -2,8 +2,12 @@
 #define RNTRAJ_NN_OPTIM_H_
 
 #include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
 #include <vector>
 
+#include "src/nn/state_dict.h"
 #include "src/tensor/tensor.h"
 
 /// \file optim.h
@@ -11,6 +15,18 @@
 /// gradient-norm clipping.
 
 namespace rntraj {
+
+/// The learnable tensors of a state dict (buffers skipped), in the dict's
+/// deterministic registration order — the canonical way to hand a module
+/// tree's parameters to an optimiser.
+inline std::vector<Tensor> LearnableTensors(const StateDict& sd) {
+  std::vector<Tensor> out;
+  out.reserve(sd.size());
+  for (const StateEntry& e : sd) {
+    if (!e.is_buffer) out.push_back(e.tensor);
+  }
+  return out;
+}
 
 /// Interface for parameter update rules.
 class Optimizer {
@@ -49,19 +65,34 @@ class Sgd : public Optimizer {
 };
 
 /// Adam (Kingma & Ba) with bias correction.
+///
+/// The first/second-moment estimates live in two flat arenas laid out
+/// exactly like the parameter sequence (one contiguous buffer each, per-
+/// parameter offsets) — the optimizer-state half of the PR 9 arena design:
+/// a checkpoint serialises Adam as (t, m-arena, v-arena), three fields.
 class Adam : public Optimizer {
  public:
   Adam(std::vector<Tensor> params, float lr = 1e-3f, float beta1 = 0.9f,
        float beta2 = 0.999f, float eps = 1e-8f)
       : Optimizer(std::move(params)), lr_(lr), beta1_(beta1), beta2_(beta2),
         eps_(eps) {
-    m_.resize(params_.size());
-    v_.resize(params_.size());
-    for (size_t i = 0; i < params_.size(); ++i) {
-      m_[i].assign(params_[i].data().size(), 0.0f);
-      v_[i].assign(params_[i].data().size(), 0.0f);
+    offsets_.reserve(params_.size());
+    size_t off = 0;
+    for (const auto& p : params_) {
+      offsets_.push_back(off);
+      off += p.data().size();
     }
+    m_.assign(off, 0.0f);
+    v_.assign(off, 0.0f);
   }
+
+  /// Canonical constructor since the state-dict redesign: optimises the
+  /// dict's learnable entries (buffers skipped) in registration order, so
+  /// the moment layout is pinned to the state dict rather than to whatever
+  /// order a caller assembled a parameter vector in.
+  explicit Adam(const StateDict& sd, float lr = 1e-3f, float beta1 = 0.9f,
+                float beta2 = 0.999f, float eps = 1e-8f)
+      : Adam(LearnableTensors(sd), lr, beta1, beta2, eps) {}
 
   void Step() override {
     ++t_;
@@ -70,8 +101,8 @@ class Adam : public Optimizer {
     for (size_t i = 0; i < params_.size(); ++i) {
       auto& g = params_[i].grad();
       auto& d = params_[i].data();
-      auto& m = m_[i];
-      auto& v = v_[i];
+      float* m = m_.data() + offsets_[i];
+      float* v = v_.data() + offsets_[i];
       for (size_t j = 0; j < d.size(); ++j) {
         m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
         v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
@@ -82,14 +113,46 @@ class Adam : public Optimizer {
     }
   }
 
+  /// The optimiser's whole mutable state: step counter plus the two moment
+  /// arenas, aligned to the construction-time parameter layout. Checkpoints
+  /// store exactly this.
+  struct State {
+    int64_t t = 0;
+    std::vector<float> m;
+    std::vector<float> v;
+  };
+
+  State ExportState() const { return {t_, m_, v_}; }
+
+  /// Restores exported state. Rejects (returns false, no mutation) when the
+  /// arenas do not match this optimiser's layout size — a checkpoint from a
+  /// different architecture must not be silently misapplied.
+  bool ImportState(const State& s, std::string* error = nullptr) {
+    if (s.m.size() != m_.size() || s.v.size() != v_.size() || s.t < 0) {
+      if (error != nullptr) {
+        std::ostringstream oss;
+        oss << "Adam state mismatch: got m/v of " << s.m.size() << "/"
+            << s.v.size() << " floats (t=" << s.t << "), layout expects "
+            << m_.size();
+        *error = oss.str();
+      }
+      return false;
+    }
+    t_ = static_cast<int>(s.t);
+    m_ = s.m;
+    v_ = s.v;
+    return true;
+  }
+
  private:
   float lr_;
   float beta1_;
   float beta2_;
   float eps_;
   int t_ = 0;
-  std::vector<std::vector<float>> m_;
-  std::vector<std::vector<float>> v_;
+  std::vector<size_t> offsets_;
+  std::vector<float> m_;
+  std::vector<float> v_;
 };
 
 /// Rescales gradients so their global L2 norm is at most `max_norm`.

@@ -1,0 +1,124 @@
+#ifndef RNTRAJ_NN_STATE_DICT_H_
+#define RNTRAJ_NN_STATE_DICT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/tensor/tensor.h"
+
+/// \file state_dict.h
+/// The canonical named-state surface of a module tree: an ordered,
+/// name-unique map from dotted paths to tensors. `Module::StateDict()`
+/// produces one in deterministic registration order; `LoadStateDict`
+/// consumes one; the snapshot format (src/snapshot/) serialises one.
+
+namespace rntraj {
+
+/// One named tensor of a module's state: a learnable parameter or a
+/// persistent buffer (e.g. GraphNorm running statistics).
+struct StateEntry {
+  std::string name;
+  Tensor tensor;
+  bool is_buffer = false;
+};
+
+/// Ordered collection of named tensors with unique names.
+///
+/// Entries keep insertion order (the module tree's registration order), so
+/// two StateDicts of the same architecture align positionally as well as by
+/// name — the property the parameter arena and the Adam moment arenas rely
+/// on. Name collisions are programmer errors and abort.
+class StateDict {
+ public:
+  void Add(std::string name, Tensor tensor, bool is_buffer = false) {
+    auto [it, inserted] = index_.emplace(name, entries_.size());
+    RNTRAJ_CHECK_MSG(inserted,
+                     "StateDict: duplicate entry name '" << name << "'");
+    entries_.push_back({std::move(name), std::move(tensor), is_buffer});
+  }
+
+  /// Entry lookup by dotted path; nullptr when absent.
+  const StateEntry* Find(const std::string& name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &entries_[it->second];
+  }
+
+  const std::vector<StateEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const StateEntry& operator[](size_t i) const { return entries_[i]; }
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+  /// Total scalar count across all entries.
+  int64_t ScalarCount() const {
+    int64_t n = 0;
+    for (const auto& e : entries_) n += e.tensor.size();
+    return n;
+  }
+
+ private:
+  std::vector<StateEntry> entries_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// Key mismatches from a LoadStateDict call: `missing` are entries the
+/// module owns but the source dict lacks (left untouched), `unexpected` are
+/// source entries no module entry matched (ignored). Shape mismatches on
+/// matched names are contract violations and abort — callers that must
+/// reject foreign shapes gracefully (the snapshot loader) compare shapes
+/// before copying.
+struct LoadReport {
+  std::vector<std::string> missing;
+  std::vector<std::string> unexpected;
+
+  bool Clean() const { return missing.empty() && unexpected.empty(); }
+
+  std::string ToString() const {
+    std::ostringstream oss;
+    oss << "missing=[";
+    for (size_t i = 0; i < missing.size(); ++i) {
+      oss << (i ? ", " : "") << missing[i];
+    }
+    oss << "] unexpected=[";
+    for (size_t i = 0; i < unexpected.size(); ++i) {
+      oss << (i ? ", " : "") << unexpected[i];
+    }
+    oss << "]";
+    return oss.str();
+  }
+};
+
+/// Copies matching `src` entries into `dst`'s tensors (values only; tensor
+/// identity is preserved, so optimizer handles stay valid). Matched names
+/// must agree in shape exactly — a mismatch aborts. Returns the key
+/// mismatches; the shared engine behind every LoadStateDict.
+inline LoadReport CopyStateDict(const StateDict& dst, const StateDict& src) {
+  LoadReport report;
+  for (const StateEntry& e : dst) {
+    const StateEntry* s = src.Find(e.name);
+    if (s == nullptr) {
+      report.missing.push_back(e.name);
+      continue;
+    }
+    RNTRAJ_CHECK_MSG(s->tensor.shape() == e.tensor.shape(),
+                     "LoadStateDict: shape mismatch for '" << e.name << "'");
+    Tensor t = e.tensor;  // shared impl: writes hit the owning module
+    std::copy(s->tensor.data().begin(), s->tensor.data().end(),
+              t.data().begin());
+  }
+  for (const StateEntry& s : src) {
+    if (dst.Find(s.name) == nullptr) report.unexpected.push_back(s.name);
+  }
+  return report;
+}
+
+}  // namespace rntraj
+
+#endif  // RNTRAJ_NN_STATE_DICT_H_

@@ -34,7 +34,9 @@ std::string DescribeException() {
 
 }  // namespace
 
-void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch) {
+void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch,
+                                    RecoveryModel* model,
+                                    uint64_t model_version) {
   const auto batch_start = std::chrono::steady_clock::now();
   const int batch_size = static_cast<int>(batch.size());
   // Counted up front so Stats() readers woken by this batch's own futures
@@ -92,6 +94,7 @@ void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch) {
     QueuedRequest& q = batch[i];
     responses[i].batch_size = batch_size;
     responses[i].session_id = id_;
+    responses[i].model_version = model_version;
     responses[i].queue_ms = std::chrono::duration<double, std::milli>(
                                 batch_start - q.enqueued_at)
                                 .count();
@@ -170,7 +173,7 @@ void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch) {
           if (sample_of[i] >= 0) injector_->OnForward(batch[i].id);
         }
       }
-      std::vector<MatchedTrajectory> recovered = model_->RecoverBatch(ptrs);
+      std::vector<MatchedTrajectory> recovered = model->RecoverBatch(ptrs);
       const double per_request_ms =
           MsSince(infer_start) / static_cast<double>(samples.size());
       for (size_t i = 0; i < batch.size(); ++i) {
@@ -195,7 +198,7 @@ void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch) {
         if (sample_of[i] < 0) continue;
         run_isolated(i, [&] {
           if (injector_ != nullptr) injector_->OnForward(batch[i].id);
-          return model_->Recover(samples[sample_of[i]]);
+          return model->Recover(samples[sample_of[i]]);
         });
       }
     }
@@ -207,7 +210,7 @@ void InferenceSession::ProcessBatch(std::vector<QueuedRequest>&& batch) {
       if (sample_of[i] < 0) continue;
       run_isolated(i, [&] {
         if (injector_ != nullptr) injector_->OnForward(batch[i].id);
-        return model_->Recover(samples[sample_of[i]]);
+        return model->Recover(samples[sample_of[i]]);
       });
     }
   }

@@ -48,6 +48,11 @@ struct SessionStats {
 };
 
 /// Execution context of one serving worker.
+///
+/// Hot-swap (PR 9): the session does not hold a model. The service passes
+/// the current model generation into each ProcessBatch call, so a swap
+/// takes effect at the next batch boundary with no session rebuild — a
+/// batch always runs whole against one generation.
 class InferenceSession {
  public:
   /// `cache` may be null (caching disabled). `prefetch_radii` lists the
@@ -63,7 +68,7 @@ class InferenceSession {
   /// model (may be null = no degraded rung) instead of the full model.
   /// `injector` (may be null) is the chaos hook.
   InferenceSession(
-      int id, RecoveryModel* model, const CellCandidateCache* cache,
+      int id, const CellCandidateCache* cache,
       std::vector<double> prefetch_radii,
       std::function<void(RecoveryResponse&, QueuedRequest&, double)>
           on_complete,
@@ -71,7 +76,6 @@ class InferenceSession {
       RecoveryModel* fallback = nullptr,
       const FaultInjector* injector = nullptr)
       : id_(id),
-        model_(model),
         cache_(cache),
         prefetch_radii_(std::move(prefetch_radii)),
         on_complete_(std::move(on_complete)),
@@ -80,14 +84,18 @@ class InferenceSession {
         fallback_(fallback),
         injector_(injector) {}
 
-  /// Runs the batch through the model — one batched forward when enabled,
+  /// Runs the batch through `model` — one batched forward when enabled,
   /// else request by request — and fulfils the promises. Invalid requests
   /// get ok=false responses and expired requests deadline-missed responses;
   /// the batch's valid remainder still runs. A throwing forward is isolated
   /// to its request (internal-error response), never the worker thread.
+  /// Every response is stamped with `model_version`, the generation of
+  /// `model`; the caller must keep that generation alive for the duration
+  /// of the call (the service's worker loop holds its handle).
   /// Caller must hold a BufferPoolScope on the worker thread (the service's
   /// worker loop does).
-  void ProcessBatch(std::vector<QueuedRequest>&& batch);
+  void ProcessBatch(std::vector<QueuedRequest>&& batch, RecoveryModel* model,
+                    uint64_t model_version);
 
   int id() const { return id_; }
 
@@ -107,7 +115,6 @@ class InferenceSession {
 
  private:
   int id_;
-  RecoveryModel* model_;
   const CellCandidateCache* cache_;
   std::vector<double> prefetch_radii_;
   std::function<void(RecoveryResponse&, QueuedRequest&, double)> on_complete_;

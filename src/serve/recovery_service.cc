@@ -28,6 +28,8 @@ RecoveryService::RecoveryService(RecoveryModel* model, const ModelContext& ctx,
   c_validation_error_ = metrics_.GetCounter("serve.validation_error");
   c_deadline_missed_ = metrics_.GetCounter("serve.deadline_missed");
   c_internal_error_ = metrics_.GetCounter("serve.internal_error");
+  c_swaps_ = metrics_.GetCounter("serve.swaps");
+  g_model_version_ = metrics_.GetGauge("serve.model_version");
   h_latency_ms_ = metrics_.GetHistogram("serve.latency_ms");
   h_queue_ms_ = metrics_.GetHistogram("serve.queue_ms");
   h_infer_ms_ = metrics_.GetHistogram("serve.infer_ms");
@@ -60,6 +62,10 @@ RecoveryService::RecoveryService(RecoveryModel* model, const ModelContext& ctx,
     model_->SetTrainingMode(false);
     model_->BeginInference();
   }
+  // Generation 0: the construction-time model, caller-owned.
+  handle_ = std::make_shared<const ModelHandle>(
+      ModelHandle{model_, nullptr, 0});
+  g_model_version_->Set(0.0);
 
   if (cfg_.policy.enabled) {
     policy_ = std::make_unique<ServicePolicy>(cfg_.policy,
@@ -85,7 +91,7 @@ RecoveryService::RecoveryService(RecoveryModel* model, const ModelContext& ctx,
   };
   for (int i = 0; i < cfg_.num_sessions; ++i) {
     sessions_.push_back(std::make_unique<InferenceSession>(
-        i, model_, cache_.get(), cfg_.prefetch_radii, on_complete,
+        i, cache_.get(), cfg_.prefetch_radii, on_complete,
         cfg_.batched_forward, policy_.get(), fallback_.get(),
         injector_.get()));
   }
@@ -97,7 +103,12 @@ RecoveryService::RecoveryService(RecoveryModel* model, const ModelContext& ctx,
 
 RecoveryService::~RecoveryService() {
   Shutdown();
-  if (cache_ != nullptr) model_->SetSegmentQuerySource(nullptr);
+  if (cache_ != nullptr) {
+    model_->SetSegmentQuerySource(nullptr);
+    // Every swapped-in generation had the shared cache installed too; the
+    // workers are joined, so the uninstalls race nothing.
+    for (auto& m : swapped_models_) m->SetSegmentQuerySource(nullptr);
+  }
   if (netdist_ != nullptr) {
     netdist_->set_max_cached_rows(prev_max_dijkstra_rows_);
   }
@@ -117,15 +128,90 @@ void RecoveryService::WorkerLoop(InferenceSession* session) {
   while (true) {
     std::vector<QueuedRequest> batch = batcher_.PopBatch();
     if (batch.empty()) return;  // shut down and drained
+    // One handle per batch: the copy pins this generation (weights, warm
+    // road representation, ownership) for the whole batch even if a swap
+    // flips the service handle mid-forward.
+    const std::shared_ptr<const ModelHandle> handle = AcquireModel();
     if (exclusive_model_) {
       // Non-re-entrant model: RecoverNow callers share it with this (only)
       // session, so forwards take turns.
       std::lock_guard<std::mutex> lock(exclusive_mu_);
-      session->ProcessBatch(std::move(batch));
+      session->ProcessBatch(std::move(batch), handle->model, handle->version);
     } else {
-      session->ProcessBatch(std::move(batch));
+      session->ProcessBatch(std::move(batch), handle->model, handle->version);
     }
   }
+}
+
+std::shared_ptr<const ModelHandle> RecoveryService::AcquireModel() const {
+  std::lock_guard<std::mutex> lock(handle_mu_);
+  return handle_;
+}
+
+uint64_t RecoveryService::model_version() const {
+  return AcquireModel()->version;
+}
+
+bool RecoveryService::SwapModel(std::shared_ptr<RecoveryModel> next,
+                                std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = "SwapModel: " + why;
+    return false;
+  };
+  if (next == nullptr) return fail("null model");
+  if (shut_down_.load()) return fail("service is shut down");
+  if (!exclusive_model_ && cfg_.num_sessions > 1 &&
+      !next->SupportsConcurrentRecover()) {
+    // The session pool was sized for a re-entrant model; a non-re-entrant
+    // replacement would race itself. Refuse instead of serving corruption.
+    return fail("replacement model does not support concurrent Recover, but "
+                "the service runs " +
+                std::to_string(cfg_.num_sessions) + " sessions");
+  }
+
+  // Swap span: the warmup/flip timeline, retained in the tracer's ring like
+  // any sampled request (synthetic id from the same allocator).
+  std::shared_ptr<obs::RequestTrace> swap_trace;
+  if (tracer_ != nullptr) {
+    swap_trace = std::make_shared<obs::RequestTrace>(
+        next_id_.fetch_add(1, std::memory_order_relaxed));
+    swap_trace->set_outcome("model-swap");
+    swap_trace->OpenSpan("swap.warmup");
+  }
+
+  // Warm the replacement on THIS thread while the old generation keeps
+  // serving: shared roadnet caches installed, eval mode, BeginInference
+  // (for RnTrajRec the road-representation compute — skipped when the
+  // model was loaded from a snapshot carrying a warm road rep).
+  if (cache_ != nullptr) next->SetSegmentQuerySource(cache_.get());
+  next->SetTrainingMode(false);
+  next->BeginInference();
+
+  uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(handle_mu_);
+    version = handle_->version + 1;
+    if (swap_trace != nullptr) {
+      swap_trace->CloseSpan(swap_trace->SpanIndex("swap.warmup"));
+      swap_trace->OpenSpan("swap.flip");
+    }
+    handle_ = std::make_shared<const ModelHandle>(
+        ModelHandle{next.get(), next, version});
+    swapped_models_.push_back(std::move(next));
+    if (swap_trace != nullptr) {
+      swap_trace->CloseSpan(swap_trace->SpanIndex("swap.flip"));
+    }
+  }
+  // In-flight batches still hold the previous handle; their futures resolve
+  // on the old weights. Everything dispatched from here on acquires the new
+  // generation.
+  c_swaps_->Add(1);
+  g_model_version_->Set(static_cast<double>(version));
+  if (swap_trace != nullptr) {
+    swap_trace->Finish();
+    tracer_->Retain(swap_trace);
+  }
+  return true;
 }
 
 RecoveryResponse RecoveryService::ShedResponse(const char* why) {
@@ -191,12 +277,14 @@ RecoveryResponse RecoveryService::RecoverNow(RecoveryRequest req) {
   // Same perf knobs as the session workers, installed on the caller thread.
   fusion::FusionScope fuse_scope(cfg_.fuse_elementwise);
   Bf16Scope bf16_scope(cfg_.bf16_activations);
+  const std::shared_ptr<const ModelHandle> handle = AcquireModel();
+  resp.model_version = handle->version;
   try {
     if (exclusive_model_) {
       std::lock_guard<std::mutex> lock(exclusive_mu_);
-      resp.recovered = model_->Recover(sample);
+      resp.recovered = handle->model->Recover(sample);
     } else {
-      resp.recovered = model_->Recover(sample);
+      resp.recovered = handle->model->Recover(sample);
     }
   } catch (const std::exception& e) {
     resp.kind = ResponseKind::kInternalError;

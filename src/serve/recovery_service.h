@@ -38,6 +38,16 @@
 /// routes overload traffic to a cheap Linear+HMM fallback before shedding;
 /// a throwing or stalled forward poisons only its own request's future; and
 /// a deterministic FaultInjector drives the serve_chaos_test suite.
+///
+/// Hot-swap (PR 9): the serving model lives behind a versioned shared-ptr
+/// handle. SwapModel() warms a replacement on the calling thread (query
+/// source install + BeginInference — the expensive part, overlapped with
+/// live serving) and then flips the handle: in-flight batches finish on
+/// the generation they acquired, new dispatches take the new one, no
+/// future is ever dropped and no batch mixes generations. Responses carry
+/// the answering generation (RecoveryResponse::model_version); the
+/// `serve.model_version` gauge, the `serve.swaps` counter and a retained
+/// swap span (when tracing) expose swaps to the telemetry plane.
 
 namespace rntraj {
 namespace serve {
@@ -144,6 +154,18 @@ struct ServeStats {
   RoadnetCacheStats cache;
 };
 
+/// One immutable generation of the serving model. Workers copy the
+/// service's current handle once per batch; the shared_ptr keeps the
+/// generation (and, for swapped-in models, its ownership) alive until the
+/// last in-flight batch referencing it completes.
+struct ModelHandle {
+  RecoveryModel* model = nullptr;
+  /// Ownership for swapped-in generations; null for generation 0, which
+  /// the service's caller owns.
+  std::shared_ptr<RecoveryModel> owned;
+  uint64_t version = 0;
+};
+
 /// The public serving API.
 ///
 /// Thread-safe: Submit from any number of producer threads. The destructor
@@ -168,6 +190,25 @@ class RecoveryService {
   /// queue (no batching, no deadline enforcement; same model, same caches).
   /// The sequential reference path the benchmarks compare against.
   RecoveryResponse RecoverNow(RecoveryRequest req);
+
+  /// Zero-downtime model replacement. Warms `next` on the calling thread
+  /// (installs the shared query caches, eval mode, BeginInference — for
+  /// RnTrajRec the road-representation compute, which overlaps with live
+  /// serving on the old generation) and then atomically flips the model
+  /// handle: batches dispatched after the flip run on `next`, in-flight
+  /// batches finish on the generation they already acquired, and every
+  /// future resolves against exactly one whole generation. The service
+  /// shares ownership of `next` until shutdown.
+  ///
+  /// Returns false (with `*error`) without touching the serving path when
+  /// `next` is null, the service is shut down, or `next` cannot serve this
+  /// service's concurrency (multiple sessions need a re-entrant Recover).
+  bool SwapModel(std::shared_ptr<RecoveryModel> next,
+                 std::string* error = nullptr);
+
+  /// Generation currently answering new dispatches (0 until the first
+  /// successful SwapModel).
+  uint64_t model_version() const;
 
   /// Stops admissions, drains the queue, joins sessions (idempotent).
   /// Every future ever returned by Submit is resolved by the time this
@@ -210,6 +251,9 @@ class RecoveryService {
   /// Builds an immediate shed response and counts it.
   RecoveryResponse ShedResponse(const char* why);
 
+  /// The current model generation, copied once per batch / RecoverNow call.
+  std::shared_ptr<const ModelHandle> AcquireModel() const;
+
   RecoveryModel* model_;
   RecoveryServiceConfig cfg_;
   /// True for models whose Recover is not re-entrant: sessions are clamped
@@ -220,6 +264,17 @@ class RecoveryService {
   NetworkDistance* netdist_ = nullptr;  ///< Set iff we capped its row cache.
   int prev_max_dijkstra_rows_ = 0;
   std::unique_ptr<CellCandidateCache> cache_;
+  /// Hot-swap state. Declared after cache_: handles (and the swapped-in
+  /// models they own) must be destroyed before the query cache they were
+  /// pointed at. handle_mu_ guards the handle_ pointer only — workers take
+  /// it for one shared_ptr copy per batch; the flip in SwapModel is one
+  /// store under the same lock.
+  mutable std::mutex handle_mu_;
+  std::shared_ptr<const ModelHandle> handle_;
+  /// Every model ever swapped in (kept until destruction so the dtor can
+  /// uninstall the shared query source from each — an old generation may
+  /// still be running a batch when a swap retires it).
+  std::vector<std::shared_ptr<RecoveryModel>> swapped_models_;
   std::unique_ptr<ServicePolicy> policy_;
   std::unique_ptr<FaultInjector> injector_;
   /// The degraded rung's recoverer (Linear+HMM two-stage baseline); only
@@ -250,6 +305,8 @@ class RecoveryService {
   obs::Counter* c_validation_error_;
   obs::Counter* c_deadline_missed_;
   obs::Counter* c_internal_error_;
+  obs::Counter* c_swaps_;        ///< Successful SwapModel flips.
+  obs::Gauge* g_model_version_;  ///< Generation answering new dispatches.
   obs::LatencyHistogram* h_latency_ms_;  ///< Successes, submit -> response.
   obs::LatencyHistogram* h_queue_ms_;    ///< All completed, enqueue -> batch.
   obs::LatencyHistogram* h_infer_ms_;    ///< Successes, forward share.

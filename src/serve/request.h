@@ -72,6 +72,12 @@ struct RecoveryResponse {
   MatchedTrajectory recovered;   ///< One point per target timestamp.
   int batch_size = 0;            ///< Size of the micro-batch it rode in.
   int session_id = -1;           ///< Session that ran the forward.
+  /// Generation of the model that answered (0 = the construction-time
+  /// model; each successful RecoveryService::SwapModel increments it). A
+  /// batch runs whole against one generation — answers are never a blend
+  /// of old and new weights, and this stamp is how the chaos suite proves
+  /// it.
+  uint64_t model_version = 0;
   double queue_ms = 0.0;         ///< Enqueue -> batch dispatch.
   double infer_ms = 0.0;         ///< Model forward time.
   /// The request's span tree, set iff the service's tracer sampled this

@@ -1,0 +1,442 @@
+#include "src/snapshot/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/nn/arena.h"
+
+namespace rntraj {
+namespace snapshot {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Little serialisation helpers. The format stores native-endian scalars and
+// stamps kEndianTag in the header; a reader on a foreign-endian machine sees
+// the tag byte-swapped and rejects the file instead of silently loading
+// garbage weights.
+
+void PutU8(std::vector<unsigned char>* out, uint8_t v) { out->push_back(v); }
+
+void PutU32(std::vector<unsigned char>* out, uint32_t v) {
+  const size_t off = out->size();
+  out->resize(off + sizeof(v));
+  std::memcpy(out->data() + off, &v, sizeof(v));
+}
+
+void PutU64(std::vector<unsigned char>* out, uint64_t v) {
+  const size_t off = out->size();
+  out->resize(off + sizeof(v));
+  std::memcpy(out->data() + off, &v, sizeof(v));
+}
+
+void PutI64(std::vector<unsigned char>* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutString(std::vector<unsigned char>* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+void PutFloats(std::vector<unsigned char>* out, const float* data, size_t n) {
+  const size_t off = out->size();
+  out->resize(off + n * sizeof(float));
+  std::memcpy(out->data() + off, data, n * sizeof(float));
+}
+
+/// Bounds-checked read cursor over an untrusted byte buffer. Every Get*
+/// validates the remaining length; the first failure latches and makes all
+/// subsequent reads fail too, so parse code can check once per section.
+class Cursor {
+ public:
+  Cursor(const unsigned char* data, size_t size) : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+  bool GetU8(uint8_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetI64(int64_t* v) { return GetRaw(v, sizeof(*v)); }
+
+  bool GetString(std::string* s, size_t max_len) {
+    uint32_t len = 0;
+    if (!GetU32(&len)) return false;
+    if (len > max_len || len > remaining()) return Fail();
+    s->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  bool GetFloats(std::vector<float>* out, size_t n) {
+    if (n > remaining() / sizeof(float)) return Fail();
+    out->resize(n);
+    std::memcpy(out->data(), data_ + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+    return true;
+  }
+
+  bool Skip(size_t n) {
+    if (n > remaining()) return Fail();
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  bool GetRaw(void* v, size_t n) {
+    if (!ok_ || n > remaining()) return Fail();
+    std::memcpy(v, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+
+  const unsigned char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+bool SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = "snapshot: " + msg;
+  return false;
+}
+
+// Caps keeping a corrupted length field from driving a multi-gigabyte
+// allocation before the bounds check can reject it.
+constexpr size_t kMaxNameLen = 4096;
+constexpr uint32_t kMaxRank = 8;
+
+// ---------------------------------------------------------------------------
+// Section payload encoders.
+
+std::vector<unsigned char> EncodeStateDict(const StateDict& sd) {
+  std::vector<unsigned char> out;
+  // Named-parameter table: name, kind, dtype, shape per entry — enough to
+  // validate against a live model before touching the data block.
+  PutU32(&out, static_cast<uint32_t>(sd.size()));
+  for (const StateEntry& e : sd) {
+    PutString(&out, e.name);
+    PutU8(&out, e.is_buffer ? 1 : 0);
+    PutU8(&out, 0);  // dtype: 0 = fp32 (the only storage dtype today)
+    PutU32(&out, static_cast<uint32_t>(e.tensor.rank()));
+    for (int d : e.tensor.shape()) PutU32(&out, static_cast<uint32_t>(d));
+  }
+  // The flattened arena: all entries collapsed into one contiguous buffer,
+  // written in one shot.
+  ParameterArena arena(sd);
+  PutU64(&out, arena.size());
+  PutFloats(&out, arena.flat().data(), arena.size());
+  return out;
+}
+
+std::vector<unsigned char> EncodeRoadRep(const Tensor& x) {
+  std::vector<unsigned char> out;
+  PutU32(&out, static_cast<uint32_t>(x.rank() >= 1 ? x.shape()[0] : 0));
+  PutU32(&out, static_cast<uint32_t>(x.rank() >= 2 ? x.shape()[1] : 1));
+  PutFloats(&out, x.data().data(), x.data().size());
+  return out;
+}
+
+std::vector<unsigned char> EncodeTrainerState(const TrainerState& ts) {
+  std::vector<unsigned char> out;
+  PutU64(&out, ts.epochs_done);
+  PutU64(&out, ts.training_steps);
+  PutI64(&out, ts.adam.t);
+  PutU64(&out, ts.adam.m.size());
+  PutFloats(&out, ts.adam.m.data(), ts.adam.m.size());
+  PutFloats(&out, ts.adam.v.data(), ts.adam.v.size());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Section payload decoders. Each gets its own sub-cursor so a section that
+// lies about its payload size cannot read into its neighbour.
+
+bool DecodeStateDict(Cursor* c, StateDict* sd, std::string* error) {
+  uint32_t count = 0;
+  if (!c->GetU32(&count)) return SetError(error, "truncated state-dict table");
+  struct Meta {
+    std::string name;
+    bool is_buffer;
+    std::vector<int> shape;
+    size_t size;
+  };
+  std::vector<Meta> metas;
+  metas.reserve(count);
+  uint64_t total = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    Meta m;
+    uint8_t is_buffer = 0;
+    uint8_t dtype = 0;
+    uint32_t rank = 0;
+    if (!c->GetString(&m.name, kMaxNameLen) || !c->GetU8(&is_buffer) ||
+        !c->GetU8(&dtype) || !c->GetU32(&rank)) {
+      return SetError(error, "truncated state-dict table");
+    }
+    if (dtype != 0) {
+      return SetError(error, "entry '" + m.name + "' has unknown dtype " +
+                                 std::to_string(dtype));
+    }
+    if (rank > kMaxRank) {
+      return SetError(error, "entry '" + m.name + "' has implausible rank " +
+                                 std::to_string(rank));
+    }
+    m.is_buffer = is_buffer != 0;
+    size_t n = 1;
+    for (uint32_t d = 0; d < rank; ++d) {
+      uint32_t dim = 0;
+      if (!c->GetU32(&dim)) return SetError(error, "truncated shape");
+      if (dim == 0 || dim > (1u << 28) || n > (size_t{1} << 32) / dim) {
+        return SetError(error, "entry '" + m.name + "' has implausible shape");
+      }
+      m.shape.push_back(static_cast<int>(dim));
+      n *= dim;
+    }
+    m.size = rank == 0 ? 1 : n;
+    total += m.size;
+    metas.push_back(std::move(m));
+  }
+  uint64_t stored = 0;
+  if (!c->GetU64(&stored)) return SetError(error, "truncated arena header");
+  if (stored != total) {
+    return SetError(error, "arena size " + std::to_string(stored) +
+                               " disagrees with the parameter table (" +
+                               std::to_string(total) + ")");
+  }
+  std::vector<float> flat;
+  if (!c->GetFloats(&flat, stored)) {
+    return SetError(error, "truncated parameter arena");
+  }
+  size_t off = 0;
+  for (const Meta& m : metas) {
+    std::vector<float> data(flat.begin() + off, flat.begin() + off + m.size);
+    off += m.size;
+    std::vector<int> shape = m.shape.empty() ? std::vector<int>{1} : m.shape;
+    sd->Add(m.name, Tensor::FromVector(shape, data), m.is_buffer);
+  }
+  return true;
+}
+
+bool DecodeRoadRep(Cursor* c, Tensor* out, std::string* error) {
+  uint32_t rows = 0;
+  uint32_t cols = 0;
+  if (!c->GetU32(&rows) || !c->GetU32(&cols)) {
+    return SetError(error, "truncated road-rep header");
+  }
+  if (rows == 0 || cols == 0 || rows > (1u << 28) || cols > (1u << 28)) {
+    return SetError(error, "implausible road-rep shape");
+  }
+  std::vector<float> data;
+  if (!c->GetFloats(&data, static_cast<size_t>(rows) * cols)) {
+    return SetError(error, "truncated road-rep data");
+  }
+  *out = Tensor::FromVector({static_cast<int>(rows), static_cast<int>(cols)},
+                            data);
+  return true;
+}
+
+bool DecodeTrainerState(Cursor* c, TrainerState* ts, std::string* error) {
+  uint64_t moments = 0;
+  if (!c->GetU64(&ts->epochs_done) || !c->GetU64(&ts->training_steps) ||
+      !c->GetI64(&ts->adam.t) || !c->GetU64(&moments)) {
+    return SetError(error, "truncated trainer-state header");
+  }
+  if (!c->GetFloats(&ts->adam.m, moments) ||
+      !c->GetFloats(&ts->adam.v, moments)) {
+    return SetError(error, "truncated optimiser moment arenas");
+  }
+  return true;
+}
+
+}  // namespace
+
+bool WriteSnapshot(const std::string& path, const Snapshot& snap,
+                   std::string* error) {
+  struct Section {
+    uint32_t type;
+    std::vector<unsigned char> payload;
+  };
+  std::vector<Section> sections;
+  sections.push_back({kSectionStateDict, EncodeStateDict(snap.state)});
+  if (snap.has_road_rep) {
+    sections.push_back({kSectionRoadRep, EncodeRoadRep(snap.road_rep)});
+  }
+  if (snap.has_trainer_state) {
+    sections.push_back({kSectionTrainerState, EncodeTrainerState(snap.trainer)});
+  }
+  if (!snap.model_name.empty()) {
+    std::vector<unsigned char> meta;
+    PutString(&meta, snap.model_name);
+    sections.push_back({kSectionMeta, std::move(meta)});
+  }
+
+  std::vector<unsigned char> blob;
+  blob.insert(blob.end(), kMagic, kMagic + sizeof(kMagic));
+  PutU32(&blob, kFormatVersion);
+  PutU32(&blob, kEndianTag);
+  PutU32(&blob, static_cast<uint32_t>(sections.size()));
+  PutU32(&blob, 0);  // reserved
+  for (const Section& s : sections) {
+    PutU32(&blob, s.type);
+    PutU32(&blob, 0);  // reserved (alignment/flags for future versions)
+    PutU64(&blob, s.payload.size());
+    blob.insert(blob.end(), s.payload.begin(), s.payload.end());
+  }
+
+  // Atomic publish: a concurrent reader sees either the old file or the
+  // complete new one, never a prefix.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return SetError(error, "cannot open '" + tmp + "'");
+  const size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != blob.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return SetError(error, "short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return SetError(error, "cannot rename '" + tmp + "' to '" + path + "'");
+  }
+  return true;
+}
+
+bool ReadSnapshot(const std::string& path, Snapshot* out, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return SetError(error, "cannot open '" + path + "'");
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (len < 0) {
+    std::fclose(f);
+    return SetError(error, "cannot stat '" + path + "'");
+  }
+  std::vector<unsigned char> blob(static_cast<size_t>(len));
+  const size_t got = blob.empty() ? 0 : std::fread(blob.data(), 1, blob.size(), f);
+  std::fclose(f);
+  if (got != blob.size()) return SetError(error, "short read from '" + path + "'");
+
+  Cursor c(blob.data(), blob.size());
+  char magic[sizeof(kMagic)];
+  if (!c.Skip(0) || blob.size() < sizeof(kMagic)) {
+    return SetError(error, "file too small for header");
+  }
+  std::memcpy(magic, blob.data(), sizeof(kMagic));
+  c.Skip(sizeof(kMagic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return SetError(error, "bad magic (not a snapshot file)");
+  }
+  uint32_t version = 0;
+  uint32_t endian = 0;
+  uint32_t section_count = 0;
+  uint32_t reserved = 0;
+  if (!c.GetU32(&version) || !c.GetU32(&endian) || !c.GetU32(&section_count) ||
+      !c.GetU32(&reserved)) {
+    return SetError(error, "truncated header");
+  }
+  if (endian != kEndianTag) {
+    return SetError(error, "endianness mismatch (file written on a foreign-"
+                           "endian machine, or corrupted header)");
+  }
+  if (version != kFormatVersion) {
+    return SetError(error, "unsupported format version " +
+                               std::to_string(version) + " (reader supports " +
+                               std::to_string(kFormatVersion) + ")");
+  }
+
+  Snapshot snap;
+  bool saw_state_dict = false;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    uint32_t type = 0;
+    uint32_t sreserved = 0;
+    uint64_t payload = 0;
+    if (!c.GetU32(&type) || !c.GetU32(&sreserved) || !c.GetU64(&payload)) {
+      return SetError(error, "truncated section table");
+    }
+    if (payload > c.remaining()) {
+      return SetError(error, "section " + std::to_string(type) +
+                                 " claims " + std::to_string(payload) +
+                                 " bytes, only " +
+                                 std::to_string(c.remaining()) + " remain");
+    }
+    Cursor sc(blob.data() + c.pos(), static_cast<size_t>(payload));
+    c.Skip(static_cast<size_t>(payload));
+    switch (type) {
+      case kSectionStateDict:
+        if (saw_state_dict) return SetError(error, "duplicate state-dict section");
+        if (!DecodeStateDict(&sc, &snap.state, error)) return false;
+        saw_state_dict = true;
+        break;
+      case kSectionRoadRep:
+        if (!DecodeRoadRep(&sc, &snap.road_rep, error)) return false;
+        snap.has_road_rep = true;
+        break;
+      case kSectionTrainerState:
+        if (!DecodeTrainerState(&sc, &snap.trainer, error)) return false;
+        snap.has_trainer_state = true;
+        break;
+      case kSectionMeta:
+        if (!sc.GetString(&snap.model_name, kMaxNameLen)) {
+          return SetError(error, "truncated meta section");
+        }
+        break;
+      default:
+        // Unknown optional section from a newer writer: skip by size.
+        break;
+    }
+  }
+  if (!saw_state_dict) {
+    return SetError(error, "no state-dict section (every snapshot carries one)");
+  }
+  *out = std::move(snap);
+  return true;
+}
+
+bool ApplyStateDict(const StateDict& own, const StateDict& loaded,
+                    std::string* error) {
+  // Validate everything before copying anything: a rejected snapshot must
+  // leave the live model exactly as it was.
+  for (const StateEntry& e : own) {
+    const StateEntry* s = loaded.Find(e.name);
+    if (s == nullptr) {
+      return SetError(error, "missing entry '" + e.name + "'");
+    }
+    if (s->tensor.shape() != e.tensor.shape()) {
+      auto shape_str = [](const std::vector<int>& shape) {
+        std::string txt = "(";
+        for (size_t i = 0; i < shape.size(); ++i) {
+          txt += (i ? "," : "") + std::to_string(shape[i]);
+        }
+        return txt + ")";
+      };
+      return SetError(error, "shape mismatch for '" + e.name + "': file has " +
+                                 shape_str(s->tensor.shape()) +
+                                 ", model expects " +
+                                 shape_str(e.tensor.shape()));
+    }
+  }
+  for (const StateEntry& s : loaded) {
+    if (own.Find(s.name) == nullptr) {
+      return SetError(error, "unexpected entry '" + s.name +
+                                 "' (snapshot of a different architecture?)");
+    }
+  }
+  for (const StateEntry& e : own) {
+    const StateEntry* s = loaded.Find(e.name);
+    Tensor dst = e.tensor;  // shared impl: writes hit the live model
+    std::copy(s->tensor.data().begin(), s->tensor.data().end(),
+              dst.data().begin());
+  }
+  return true;
+}
+
+}  // namespace snapshot
+}  // namespace rntraj

@@ -701,5 +701,127 @@ TEST_F(ServeChaosFixture, ShutdownResolvesEverythingQueuedBehindAStall) {
   }
 }
 
+// ----- Hot swap (PR 9) -------------------------------------------------------
+
+TEST_F(ServeChaosFixture, HotSwapUnderChaosDropsNothingAndNeverBlendsModels) {
+  serve::RecoveryServiceConfig scfg = BaseServiceConfig();
+  scfg.fault.seed = 17;
+  scfg.fault.throw_probability = 0.15;
+  serve::RecoveryService service(model_, *ctx_, scfg);
+
+  // A replacement generation with different weights, plus its own
+  // sequential reference answers — computed before the service (and its
+  // caches) touches the model, exactly like the fixture's v0 reference.
+  SeedGlobalRng(71);
+  auto next = std::make_shared<RnTrajRec>(SmallConfig(), *ctx_);
+  next->SetTrainingMode(false);
+  next->BeginInference();
+  std::vector<MatchedTrajectory> next_reference;
+  for (const auto& s : dataset_->test()) {
+    serve::RecoveryRequest req = serve::RequestFromSample(s);
+    TrajectorySample eph = MakeEphemeralSample(
+        std::move(req.input), std::move(req.input_indices), req.target_times);
+    next_reference.push_back(next->Recover(eph));
+  }
+
+  // Open-loop load: waves in flight when the swap lands, waves after it.
+  constexpr int kWaves = 3;
+  std::vector<std::future<RecoveryResponse>> before, after;
+  for (int w = 0; w < kWaves; ++w) {
+    for (const auto& s : dataset_->test()) {
+      before.push_back(service.Submit(serve::RequestFromSample(s)));
+    }
+  }
+  std::string err;
+  ASSERT_TRUE(service.SwapModel(next, &err)) << err;
+  EXPECT_EQ(service.model_version(), 1u);
+  for (int w = 0; w < kWaves; ++w) {
+    for (const auto& s : dataset_->test()) {
+      after.push_back(service.Submit(serve::RequestFromSample(s)));
+    }
+  }
+
+  const auto check = [&](std::vector<std::future<RecoveryResponse>>& futures,
+                         bool submitted_after_swap) {
+    for (size_t i = 0; i < futures.size(); ++i) {
+      // Zero dropped futures: every one resolves, across the flip.
+      RecoveryResponse resp = GetOrDie(futures[i]);
+      ASSERT_LE(resp.model_version, 1u);
+      if (submitted_after_swap) {
+        // Dispatched strictly after the flip: must be the new generation.
+        EXPECT_EQ(resp.model_version, 1u);
+      }
+      if (!resp.ok) {  // injected throw — isolated to its lane as ever
+        EXPECT_EQ(resp.kind, ResponseKind::kInternalError);
+        continue;
+      }
+      // Whole-model answers only: the answer must match the stamped
+      // generation's sequential reference exactly — never a blend of old
+      // and new weights.
+      const size_t sample = i % dataset_->test().size();
+      const MatchedTrajectory& ref = resp.model_version == 0
+                                         ? (*reference_)[sample]
+                                         : next_reference[sample];
+      ASSERT_EQ(resp.recovered.size(), ref.size()) << "request " << i;
+      for (int j = 0; j < ref.size(); ++j) {
+        EXPECT_EQ(resp.recovered.points[j].seg_id, ref.points[j].seg_id)
+            << "request " << i << " step " << j;
+        EXPECT_NEAR(resp.recovered.points[j].ratio, ref.points[j].ratio, 1e-5)
+            << "request " << i << " step " << j;
+      }
+    }
+  };
+  check(before, /*submitted_after_swap=*/false);
+  check(after, /*submitted_after_swap=*/true);
+
+  const auto stats = service.Stats();
+  EXPECT_EQ(stats.completed + stats.shed, stats.submitted);
+  const obs::MetricsSnapshot snap = service.Metrics();
+  auto c = snap.counters.find("serve.swaps");
+  ASSERT_NE(c, snap.counters.end());
+  EXPECT_EQ(c->second, 1);
+  auto g = snap.gauges.find("serve.model_version");
+  ASSERT_NE(g, snap.gauges.end());
+  EXPECT_EQ(g->second, 1.0);
+}
+
+TEST_F(ServeChaosFixture, SwapModelRefusesBadInputAndRecordsItsSpan) {
+  serve::RecoveryServiceConfig scfg = BaseServiceConfig();
+  scfg.trace.sample_rate = 1.0;
+  serve::RecoveryService service(model_, *ctx_, scfg);
+  std::string err;
+  EXPECT_FALSE(service.SwapModel(nullptr, &err));
+  EXPECT_NE(err.find("null"), std::string::npos) << err;
+  EXPECT_EQ(service.model_version(), 0u);
+
+  SeedGlobalRng(72);
+  auto next = std::make_shared<RnTrajRec>(SmallConfig(), *ctx_);
+  ASSERT_TRUE(service.SwapModel(next, &err)) << err;
+  EXPECT_EQ(service.model_version(), 1u);
+  // The swap's own timeline is a retained trace: warmup + flip spans.
+  ASSERT_NE(service.tracer(), nullptr);
+  bool swap_trace_found = false;
+  for (const auto& trace : service.tracer()->Retained()) {
+    if (std::string(trace->outcome()) == "model-swap") {
+      swap_trace_found = true;
+      EXPECT_GE(trace->SpanIndex("swap.warmup"), 0);
+      EXPECT_GE(trace->SpanIndex("swap.flip"), 0);
+    }
+  }
+  EXPECT_TRUE(swap_trace_found);
+  // A request on the fresh generation round-trips and says so.
+  auto f = service.Submit(serve::RequestFromSample(dataset_->test()[0]));
+  RecoveryResponse resp = GetOrDie(f);
+  ASSERT_TRUE(resp.ok) << resp.error;
+  EXPECT_EQ(resp.model_version, 1u);
+
+  service.Shutdown();
+  SeedGlobalRng(73);
+  auto late = std::make_shared<RnTrajRec>(SmallConfig(), *ctx_);
+  EXPECT_FALSE(service.SwapModel(late, &err));
+  EXPECT_NE(err.find("shut down"), std::string::npos) << err;
+  EXPECT_EQ(service.model_version(), 1u);
+}
+
 }  // namespace
 }  // namespace rntraj

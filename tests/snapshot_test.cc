@@ -1,0 +1,561 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/rntrajrec.h"
+#include "src/core/trainer.h"
+#include "src/nn/arena.h"
+#include "src/nn/linear.h"
+#include "src/nn/module.h"
+#include "src/nn/norm.h"
+#include "src/nn/optim.h"
+#include "src/nn/state_dict.h"
+#include "src/sim/presets.h"
+#include "src/snapshot/snapshot.h"
+
+namespace rntraj {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+/// Tiny module tree exercising every registration kind: own parameter,
+/// child with parameters, child with buffers (GraphNorm running stats).
+class TinyNet : public Module {
+ public:
+  TinyNet() : lin_(3, 2), norm_(2) {
+    scale_ = RegisterParameter("scale", Tensor::Full({2}, 1.0f));
+    RegisterChild("lin", &lin_);
+    RegisterChild("norm", &norm_);
+  }
+
+  Linear lin_;
+  GraphNorm norm_;
+  Tensor scale_;
+};
+
+void FillSequential(const rntraj::StateDict& sd, float start) {
+  float x = start;
+  for (const StateEntry& e : sd) {
+    Tensor t = e.tensor;
+    for (float& v : t.data()) v = x += 0.25f;
+  }
+}
+
+std::vector<char> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------------------
+// StateDict API
+
+TEST(StateDictTest, RegistrationOrderAndDottedPaths) {
+  SeedGlobalRng(1);
+  TinyNet net;
+  rntraj::StateDict sd = net.StateDict();
+  // Own params first, then children in registration order; within a child,
+  // params before buffers.
+  std::vector<std::string> names;
+  for (const StateEntry& e : sd) names.push_back(e.name);
+  const std::vector<std::string> want = {
+      "scale",        "lin.weight",        "lin.bias",
+      "norm.gamma",   "norm.beta",         "norm.running_mean",
+      "norm.running_var"};
+  EXPECT_EQ(names, want);
+  // Buffers are flagged; only the running stats are buffers.
+  for (const StateEntry& e : sd) {
+    const bool is_running = e.name == "norm.running_mean" ||
+                            e.name == "norm.running_var";
+    EXPECT_EQ(e.is_buffer, is_running) << e.name;
+  }
+  // Two constructions of the same architecture produce the same order.
+  SeedGlobalRng(1);
+  TinyNet net2;
+  rntraj::StateDict sd2 = net2.StateDict();
+  ASSERT_EQ(sd.size(), sd2.size());
+  for (size_t i = 0; i < sd.size(); ++i) EXPECT_EQ(sd[i].name, sd2[i].name);
+}
+
+TEST(StateDictTest, DuplicateNameAborts) {
+  rntraj::StateDict sd;
+  sd.Add("w", Tensor::Zeros({2}));
+  EXPECT_DEATH(sd.Add("w", Tensor::Zeros({2})), "duplicate entry name");
+}
+
+TEST(StateDictTest, LearnableTensorsSkipsBuffers) {
+  SeedGlobalRng(2);
+  TinyNet net;
+  std::vector<Tensor> learnable = LearnableTensors(net.StateDict());
+  // scale + lin.weight + lin.bias + norm.gamma + norm.beta.
+  EXPECT_EQ(learnable.size(), 5u);
+  EXPECT_EQ(net.Parameters().size(), learnable.size());
+}
+
+TEST(StateDictTest, LoadStateDictCopiesValuesAndPreservesIdentity) {
+  SeedGlobalRng(3);
+  TinyNet src, dst;
+  FillSequential(src.StateDict(), 10.0f);
+  // A handle taken before the load must observe the new values afterwards
+  // (values are copied into the existing impls, so optimizer handles built
+  // from the old dict stay live).
+  Tensor held = dst.scale_;
+  LoadReport report = dst.LoadStateDict(src.StateDict());
+  EXPECT_TRUE(report.Clean()) << report.ToString();
+  rntraj::StateDict a = src.StateDict(), b = dst.StateDict();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tensor.data(), b[i].tensor.data()) << a[i].name;
+  }
+  EXPECT_EQ(held.data(), src.scale_.data());
+}
+
+TEST(StateDictTest, LoadStateDictReportsMissingAndUnexpected) {
+  SeedGlobalRng(4);
+  TinyNet net;
+  rntraj::StateDict partial;
+  partial.Add("scale", Tensor::Full({2}, 5.0f));
+  partial.Add("bogus.weight", Tensor::Zeros({3}));
+  LoadReport report = net.LoadStateDict(partial);
+  ASSERT_EQ(report.unexpected.size(), 1u);
+  EXPECT_EQ(report.unexpected[0], "bogus.weight");
+  EXPECT_EQ(report.missing.size(), net.StateDict().size() - 1);
+  EXPECT_FLOAT_EQ(net.scale_.data()[0], 5.0f);
+  EXPECT_NE(report.ToString().find("bogus.weight"), std::string::npos);
+}
+
+TEST(StateDictTest, LoadStateDictShapeMismatchAborts) {
+  SeedGlobalRng(5);
+  TinyNet net;
+  rntraj::StateDict bad;
+  bad.Add("scale", Tensor::Zeros({3}));  // net's scale is {2}
+  EXPECT_DEATH(net.LoadStateDict(bad), "shape mismatch");
+}
+
+// ---------------------------------------------------------------------------
+// Parameter arena
+
+TEST(ArenaTest, LayoutMatchesDictAndRoundTrips) {
+  SeedGlobalRng(6);
+  TinyNet net;
+  rntraj::StateDict sd = net.StateDict();
+  ParameterArena arena(sd);
+  EXPECT_EQ(arena.size(), static_cast<size_t>(sd.ScalarCount()));
+  ASSERT_EQ(arena.views().size(), sd.size());
+  // Views tile the buffer contiguously in dict order.
+  size_t off = 0;
+  for (size_t i = 0; i < sd.size(); ++i) {
+    EXPECT_EQ(arena.views()[i].name, sd[i].name);
+    EXPECT_EQ(arena.views()[i].offset, off);
+    off += arena.views()[i].size;
+  }
+  // Gather picked up current values.
+  const float* w = arena.ViewOf("lin.weight");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w[0], net.lin_.Parameters()[0].data()[0]);
+  // Scatter writes back into the module's tensors.
+  FillSequential(sd, 100.0f);
+  arena.ScatterTo(sd);
+  EXPECT_NE(net.scale_.data()[0], 100.0f + 0.25f);  // scatter restored old
+  arena.GatherFrom(sd);
+  EXPECT_EQ(arena.ViewOf("scale")[0], net.scale_.data()[0]);
+}
+
+TEST(ArenaTest, ViewWritesAreWriteThrough) {
+  SeedGlobalRng(7);
+  TinyNet net;
+  rntraj::StateDict sd = net.StateDict();
+  ParameterArena arena(sd);
+  float* scale = arena.ViewOf("scale");
+  ASSERT_NE(scale, nullptr);
+  scale[0] = 42.0f;
+  scale[1] = -7.0f;
+  // The write landed in the flat buffer the snapshot writer serialises...
+  const ArenaView* v = arena.Find("scale");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(arena.flat()[v->offset], 42.0f);
+  EXPECT_EQ(arena.flat()[v->offset + 1], -7.0f);
+  // ...and reaches the module only through an explicit scatter.
+  EXPECT_NE(net.scale_.data()[0], 42.0f);
+  arena.ScatterTo(sd);
+  EXPECT_EQ(net.scale_.data()[0], 42.0f);
+  EXPECT_EQ(net.scale_.data()[1], -7.0f);
+}
+
+TEST(ArenaTest, ForeignLayoutAborts) {
+  SeedGlobalRng(8);
+  TinyNet net;
+  ParameterArena arena(net.StateDict());
+  rntraj::StateDict other;
+  other.Add("something", Tensor::Zeros({4}));
+  EXPECT_DEATH(arena.GatherFrom(other), "ParameterArena");
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot format
+
+TEST(SnapshotTest, RoundTripIsBitExact) {
+  SeedGlobalRng(9);
+  TinyNet net;
+  FillSequential(net.StateDict(), -3.0f);
+  const std::string path = TempPath("snap_roundtrip.bin");
+  snapshot::Snapshot snap;
+  snap.state = net.StateDict();
+  snap.model_name = "tiny";
+  std::string err;
+  ASSERT_TRUE(snapshot::WriteSnapshot(path, snap, &err)) << err;
+
+  snapshot::Snapshot loaded;
+  ASSERT_TRUE(snapshot::ReadSnapshot(path, &loaded, &err)) << err;
+  EXPECT_EQ(loaded.model_name, "tiny");
+  EXPECT_FALSE(loaded.has_road_rep);
+  EXPECT_FALSE(loaded.has_trainer_state);
+  rntraj::StateDict own = net.StateDict();
+  ASSERT_EQ(loaded.state.size(), own.size());
+  for (size_t i = 0; i < own.size(); ++i) {
+    EXPECT_EQ(loaded.state[i].name, own[i].name);
+    EXPECT_EQ(loaded.state[i].tensor.shape(), own[i].tensor.shape());
+    EXPECT_EQ(loaded.state[i].is_buffer, own[i].is_buffer);
+    // Bit-exact: fp32 values written and read back unchanged.
+    EXPECT_EQ(loaded.state[i].tensor.data(), own[i].tensor.data())
+        << own[i].name;
+  }
+}
+
+TEST(SnapshotTest, TrainerAndRoadSectionsRoundTrip) {
+  SeedGlobalRng(10);
+  TinyNet net;
+  const std::string path = TempPath("snap_sections.bin");
+  snapshot::Snapshot snap;
+  snap.state = net.StateDict();
+  snap.has_road_rep = true;
+  snap.road_rep = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  snap.has_trainer_state = true;
+  snap.trainer.epochs_done = 7;
+  snap.trainer.training_steps = 91;
+  snap.trainer.adam = {5, {0.5f, -0.5f}, {0.25f, 0.125f}};
+  std::string err;
+  ASSERT_TRUE(snapshot::WriteSnapshot(path, snap, &err)) << err;
+
+  snapshot::Snapshot loaded;
+  ASSERT_TRUE(snapshot::ReadSnapshot(path, &loaded, &err)) << err;
+  ASSERT_TRUE(loaded.has_road_rep);
+  EXPECT_EQ(loaded.road_rep.shape(), snap.road_rep.shape());
+  EXPECT_EQ(loaded.road_rep.data(), snap.road_rep.data());
+  ASSERT_TRUE(loaded.has_trainer_state);
+  EXPECT_EQ(loaded.trainer.epochs_done, 7u);
+  EXPECT_EQ(loaded.trainer.training_steps, 91u);
+  EXPECT_EQ(loaded.trainer.adam.t, 5);
+  EXPECT_EQ(loaded.trainer.adam.m, snap.trainer.adam.m);
+  EXPECT_EQ(loaded.trainer.adam.v, snap.trainer.adam.v);
+}
+
+TEST(SnapshotTest, MissingFileIsGraceful) {
+  snapshot::Snapshot out;
+  std::string err;
+  EXPECT_FALSE(
+      snapshot::ReadSnapshot(TempPath("does_not_exist.bin"), &out, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(SnapshotTest, RejectsWrongMagicVersionEndianAndTruncation) {
+  SeedGlobalRng(11);
+  TinyNet net;
+  const std::string good = TempPath("snap_good.bin");
+  snapshot::Snapshot snap;
+  snap.state = net.StateDict();
+  std::string err;
+  ASSERT_TRUE(snapshot::WriteSnapshot(good, snap, &err)) << err;
+  const std::vector<char> bytes = ReadFileBytes(good);
+  ASSERT_GT(bytes.size(), 24u);
+  const std::string bad = TempPath("snap_bad.bin");
+  snapshot::Snapshot out;
+
+  {  // Wrong magic.
+    std::vector<char> b = bytes;
+    b[0] = 'X';
+    WriteFileBytes(bad, b);
+    err.clear();
+    EXPECT_FALSE(snapshot::ReadSnapshot(bad, &out, &err));
+    EXPECT_NE(err.find("magic"), std::string::npos) << err;
+  }
+  {  // Foreign format version (bytes 8..11).
+    std::vector<char> b = bytes;
+    b[8] = 99;
+    WriteFileBytes(bad, b);
+    err.clear();
+    EXPECT_FALSE(snapshot::ReadSnapshot(bad, &out, &err));
+    EXPECT_NE(err.find("version"), std::string::npos) << err;
+  }
+  {  // Foreign endianness (tag at bytes 12..15).
+    std::vector<char> b = bytes;
+    std::swap(b[12], b[15]);
+    std::swap(b[13], b[14]);
+    WriteFileBytes(bad, b);
+    err.clear();
+    EXPECT_FALSE(snapshot::ReadSnapshot(bad, &out, &err));
+    EXPECT_NE(err.find("endian"), std::string::npos) << err;
+  }
+  // Truncation at every prefix step never aborts and always errors.
+  for (size_t cut : std::vector<size_t>{4, 12, 20, 30, bytes.size() / 2,
+                                        bytes.size() - 3}) {
+    std::vector<char> b(bytes.begin(), bytes.begin() + cut);
+    WriteFileBytes(bad, b);
+    err.clear();
+    EXPECT_FALSE(snapshot::ReadSnapshot(bad, &out, &err)) << "cut=" << cut;
+    EXPECT_FALSE(err.empty()) << "cut=" << cut;
+  }
+  {  // Payload-size corruption: grow a section's claimed byte count past the
+     // file end.
+    std::vector<char> b = bytes;
+    b[b.size() - 40] = static_cast<char>(0xFF);
+    b[b.size() - 39] = static_cast<char>(0xFF);
+    WriteFileBytes(bad, b);
+    err.clear();
+    // Either rejected outright or decoded to a dict that no longer matches —
+    // never an abort. Most corruptions of interior bytes trip a bounds or
+    // consistency check.
+    snapshot::ReadSnapshot(bad, &out, &err);
+  }
+}
+
+TEST(SnapshotTest, ApplyStateDictIsStrictAndAtomic) {
+  SeedGlobalRng(12);
+  TinyNet net;
+  rntraj::StateDict own = net.StateDict();
+  const std::vector<float> before = net.scale_.data();
+  std::string err;
+
+  {  // Missing entry: rejected, nothing mutated.
+    rntraj::StateDict partial;
+    partial.Add("scale", Tensor::Full({2}, 9.0f));
+    EXPECT_FALSE(snapshot::ApplyStateDict(own, partial, &err));
+    EXPECT_NE(err.find("missing"), std::string::npos) << err;
+    EXPECT_EQ(net.scale_.data(), before);
+  }
+  {  // Wrong shape on a matched name: rejected before any copy.
+    rntraj::StateDict bad;
+    for (const StateEntry& e : own) {
+      if (e.name == "lin.weight") {
+        bad.Add(e.name, Tensor::Zeros({5, 5}));
+      } else {
+        bad.Add(e.name, e.tensor.Detach());
+      }
+    }
+    EXPECT_FALSE(snapshot::ApplyStateDict(own, bad, &err));
+    EXPECT_NE(err.find("lin.weight"), std::string::npos) << err;
+    EXPECT_EQ(net.scale_.data(), before);
+  }
+  {  // Unexpected extra entry: rejected.
+    rntraj::StateDict extra;
+    for (const StateEntry& e : own) extra.Add(e.name, e.tensor.Detach());
+    extra.Add("stowaway", Tensor::Zeros({1}));
+    EXPECT_FALSE(snapshot::ApplyStateDict(own, extra, &err));
+    EXPECT_NE(err.find("stowaway"), std::string::npos) << err;
+  }
+  {  // Exact match: applied.
+    SeedGlobalRng(13);
+    TinyNet donor;
+    FillSequential(donor.StateDict(), 50.0f);
+    EXPECT_TRUE(snapshot::ApplyStateDict(own, donor.StateDict(), &err)) << err;
+    EXPECT_EQ(net.scale_.data(), donor.scale_.data());
+  }
+}
+
+TEST(SnapshotTest, AdamImportRejectsForeignLayout) {
+  SeedGlobalRng(14);
+  TinyNet net;
+  Adam opt(net.StateDict(), 1e-2f);
+  Adam::State s = opt.ExportState();
+  s.m.push_back(0.0f);  // wrong arena size
+  std::string err;
+  EXPECT_FALSE(opt.ImportState(s, &err));
+  EXPECT_NE(err.find("mismatch"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------------------
+// Model-level snapshots + trainer checkpoint/resume (tiny dataset)
+
+class SnapshotModelFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetConfig cfg = ChengduConfig(BenchScale::kTiny);
+    cfg.num_train = 6;
+    cfg.num_val = 1;
+    cfg.num_test = 2;
+    cfg.sim.len_rho = 24;
+    dataset_ = BuildDataset(cfg).release();
+    ctx_ = new ModelContext(ModelContext::FromDataset(*dataset_));
+  }
+  static void TearDownTestSuite() {
+    delete ctx_;
+    delete dataset_;
+    dataset_ = nullptr;
+    ctx_ = nullptr;
+  }
+
+  static RnTrajRecConfig SmallConfig() {
+    RnTrajRecConfig cfg;
+    cfg.dim = 16;
+    cfg.delta = 250.0;
+    cfg.max_subgraph_nodes = 16;
+    cfg.gridgnn.gnn_layers = 1;
+    cfg.gridgnn.heads = 2;
+    cfg.gpsformer.blocks = 1;
+    cfg.gpsformer.heads = 2;
+    cfg.gpsformer.grl.heads = 2;
+    cfg.Sync();
+    return cfg;
+  }
+
+  static Dataset* dataset_;
+  static ModelContext* ctx_;
+};
+
+Dataset* SnapshotModelFixture::dataset_ = nullptr;
+ModelContext* SnapshotModelFixture::ctx_ = nullptr;
+
+bool SameTrajectory(const MatchedTrajectory& a, const MatchedTrajectory& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (size_t i = 0; i < a.points.size(); ++i) {
+    if (a.points[i].seg_id != b.points[i].seg_id ||
+        a.points[i].ratio != b.points[i].ratio) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST_F(SnapshotModelFixture, SaveLoadSnapshotReproducesModelExactly) {
+  SeedGlobalRng(21);
+  RnTrajRec model(SmallConfig(), *ctx_);
+  TrainConfig tcfg;
+  tcfg.epochs = 1;
+  tcfg.batch_size = 4;
+  TrainModel(model, dataset_->train(), tcfg);
+  model.SetTrainingMode(false);
+  model.BeginInference();
+  const MatchedTrajectory want = model.Recover(dataset_->test()[0]);
+
+  const std::string path = TempPath("snap_model.bin");
+  std::string err;
+  ASSERT_TRUE(model.SaveSnapshot(path, &err)) << err;
+
+  SeedGlobalRng(22);  // different init: the load must erase it
+  RnTrajRec restored(SmallConfig(), *ctx_);
+  ASSERT_TRUE(restored.LoadSnapshot(path, &err)) << err;
+  restored.SetTrainingMode(false);
+  restored.BeginInference();
+  EXPECT_TRUE(SameTrajectory(want, restored.Recover(dataset_->test()[0])));
+}
+
+TEST_F(SnapshotModelFixture, WarmStartSkipsRoadRepresentationRecompute) {
+  SeedGlobalRng(23);
+  RnTrajRec model(SmallConfig(), *ctx_);
+  model.SetTrainingMode(false);
+  model.BeginInference();  // computes the road representation
+  const MatchedTrajectory want = model.Recover(dataset_->test()[1]);
+  const std::string path = TempPath("snap_warm.bin");
+  std::string err;
+  ASSERT_TRUE(model.SaveSnapshot(path, &err)) << err;
+
+  SeedGlobalRng(24);
+  RnTrajRec warmed(SmallConfig(), *ctx_);
+  ASSERT_TRUE(warmed.LoadSnapshot(path, &err)) << err;
+  // Sabotage the GridGNN weights AFTER the load: if BeginInference recomputed
+  // the road representation, the recovered trajectory would change. It must
+  // not — the snapshot's road section is used instead.
+  for (const StateEntry& e : warmed.StateDict()) {
+    if (e.name.rfind("gridgnn.", 0) == 0 && !e.is_buffer) {
+      Tensor t = e.tensor;
+      for (float& v : t.data()) v = 1e6f;
+    }
+  }
+  warmed.SetTrainingMode(false);
+  warmed.BeginInference();
+  EXPECT_TRUE(SameTrajectory(want, warmed.Recover(dataset_->test()[1])));
+}
+
+TEST_F(SnapshotModelFixture, LoadSnapshotRejectsForeignRoadShape) {
+  SeedGlobalRng(25);
+  RnTrajRec model(SmallConfig(), *ctx_);
+  model.SetTrainingMode(false);
+  model.BeginInference();
+  const std::string path = TempPath("snap_badroad.bin");
+  std::string err;
+  ASSERT_TRUE(model.SaveSnapshot(path, &err)) << err;
+
+  // Rewrite the snapshot with a road section of the wrong width.
+  snapshot::Snapshot snap;
+  ASSERT_TRUE(snapshot::ReadSnapshot(path, &snap, &err)) << err;
+  ASSERT_TRUE(snap.has_road_rep);
+  snap.road_rep = Tensor::Zeros({snap.road_rep.dim(0), 3});
+  ASSERT_TRUE(snapshot::WriteSnapshot(path, snap, &err)) << err;
+
+  SeedGlobalRng(26);
+  RnTrajRec other(SmallConfig(), *ctx_);
+  err.clear();
+  EXPECT_FALSE(other.LoadSnapshot(path, &err));
+  EXPECT_NE(err.find("road"), std::string::npos) << err;
+}
+
+TEST_F(SnapshotModelFixture, ResumedTrainingMatchesUninterruptedBitForBit) {
+  const std::string ckpt = TempPath("snap_resume_ckpt.bin");
+  TrainConfig full_cfg;
+  full_cfg.epochs = 4;
+  full_cfg.batch_size = 4;
+  full_cfg.batch_threads = 1;  // serial: the bit-for-bit contract's mode
+
+  // Reference: one uninterrupted run.
+  SeedGlobalRng(31);
+  RnTrajRec reference(SmallConfig(), *ctx_);
+  TrainStats full = TrainModel(reference, dataset_->train(), full_cfg);
+  ASSERT_EQ(full.epoch_losses.size(), 4u);
+
+  // Interrupted run: same 4-epoch schedule, but stop after epoch 2 (the
+  // checkpoint written there). Shrinking `epochs` instead would change the
+  // teacher-forcing decay and break the bit-for-bit comparison.
+  TrainConfig half_cfg = full_cfg;
+  half_cfg.stop_after_epoch = 2;
+  half_cfg.checkpoint_every = 2;
+  half_cfg.checkpoint_path = ckpt;
+  SeedGlobalRng(31);
+  RnTrajRec interrupted(SmallConfig(), *ctx_);
+  TrainStats half = TrainModel(interrupted, dataset_->train(), half_cfg);
+  ASSERT_EQ(half.epoch_losses.size(), 2u);
+  EXPECT_EQ(half.epoch_losses[0], full.epoch_losses[0]);
+  EXPECT_EQ(half.epoch_losses[1], full.epoch_losses[1]);
+
+  // Resume into a FRESH model (different init — the checkpoint must carry
+  // everything) and train to completion.
+  TrainConfig resume_cfg = full_cfg;
+  resume_cfg.resume_from = ckpt;
+  SeedGlobalRng(99);
+  RnTrajRec resumed(SmallConfig(), *ctx_);
+  TrainStats rest = TrainModel(resumed, dataset_->train(), resume_cfg);
+  ASSERT_EQ(rest.epoch_losses.size(), 2u);  // epochs 3 and 4 only
+  EXPECT_EQ(rest.epoch_losses[0], full.epoch_losses[2]);
+  EXPECT_EQ(rest.epoch_losses[1], full.epoch_losses[3]);
+
+  // And the resumed weights equal the uninterrupted run's, bit for bit.
+  rntraj::StateDict a = reference.StateDict();
+  rntraj::StateDict b = resumed.StateDict();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tensor.data(), b[i].tensor.data()) << a[i].name;
+  }
+}
+
+}  // namespace
+}  // namespace rntraj
