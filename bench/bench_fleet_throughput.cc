@@ -1,0 +1,360 @@
+// Fleet throughput benchmark: the sharded multi-process serving fleet vs the
+// single-process RecoveryService on an identical request stream.
+//
+// Configurations (all on the bench-<scale> fleet profile, ONE session per
+// process so "N workers" means N-way process parallelism):
+//   warm sequential   — the in-process reference answers (model.Recover one
+//                       request at a time); every served answer is compared
+//                       against these;
+//   single service    — one in-process RecoveryService (the fleet worker's
+//                       exact service configuration, no wire protocol);
+//   fleet, 2 workers  — two fleet_worker processes behind the FleetRouter:
+//                       requests cross the wire protocol, shard by consistent
+//                       hash, answers come back over per-worker connections;
+//   fleet, 4 workers  — the worker-count sweep point.
+// Arrivals are open loop: every request is submitted up front (offered rate
+// effectively infinite) and the drain is timed, so the service/fleet sets its
+// own pace and queueing is visible in the latency tail. Each configuration
+// runs one unmeasured warmup pass (first-touch caches, first wire frames)
+// then kBenchRepeats measured passes, keeping the best — the standard
+// noise-floor estimator on a shared box.
+//
+// Reported per configuration: requests/sec and p50/p99 latency — the single
+// service from ServeStats, the fleets from the MERGED per-worker exact
+// histograms (obs::HistogramSnapshot::Merge), so fleet quantiles are real
+// quantiles over every worker's samples, not averages of averages.
+//
+// The correctness half (what ci/check_bench.py gates): every fleet-served
+// answer across every pass must carry segment ids bit-identical to the warm
+// sequential reference with ratios within 1e-5, zero requests may fail, and
+// zero futures may go unanswered. The exit code enforces the same.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/random.h"
+#include "src/core/rntrajrec.h"
+#include "src/fleet/process.h"
+#include "src/fleet/profiles.h"
+#include "src/fleet/router.h"
+#include "src/serve/recovery_service.h"
+#include "src/serve/workload.h"
+
+namespace rntraj {
+namespace {
+
+constexpr int kBenchRepeats = 2;
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Outcome of replaying the workload through one configuration: the best
+/// measured drain time plus equivalence counts accumulated over EVERY pass
+/// (warmup included — a wrong answer is wrong whenever it happens).
+struct ReplayResult {
+  double best_s = 1e30;
+  int ok = 0;
+  int failed = 0;
+  int unanswered = 0;
+  int seg_mismatches = 0;
+  double max_ratio_diff = 0.0;
+};
+
+/// Submits the whole workload through `submit`, drains, and scores against
+/// the reference. One call = one pass.
+template <typename SubmitFn>
+void ReplayOnce(const std::vector<serve::WorkloadItem>& workload,
+                const std::vector<MatchedTrajectory>& reference,
+                SubmitFn&& submit, bool measured, ReplayResult* out) {
+  std::vector<std::future<serve::RecoveryResponse>> futures;
+  futures.reserve(workload.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& item : workload) {
+    futures.push_back(submit(item.request));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    if (futures[i].wait_for(std::chrono::seconds(120)) !=
+        std::future_status::ready) {
+      ++out->unanswered;  // the invariant Submit promises never to break
+      continue;
+    }
+    const serve::RecoveryResponse resp = futures[i].get();
+    if (!resp.ok) {
+      ++out->failed;
+      continue;
+    }
+    ++out->ok;
+    const MatchedTrajectory& ref = reference[i];
+    for (int j = 0; j < ref.size(); ++j) {
+      if (resp.recovered.points[j].seg_id != ref.points[j].seg_id) {
+        ++out->seg_mismatches;
+      }
+      out->max_ratio_diff = std::max(
+          out->max_ratio_diff,
+          std::abs(resp.recovered.points[j].ratio - ref.points[j].ratio));
+    }
+  }
+  if (measured) out->best_s = std::min(out->best_s, Seconds(t0));
+}
+
+bool Run() {
+  const auto settings = bench::Settings();
+  const int num_requests = settings.scale == BenchScale::kTiny ? 120 : 360;
+  const std::string profile_name = "bench-" + ToString(settings.scale);
+  const std::string tag = std::to_string(::getpid());
+  const std::string tmp = [] {
+    const char* t = std::getenv("TMPDIR");
+    return std::string(t != nullptr ? t : "/tmp");
+  }();
+  const std::string snap_path = tmp + "/bench_fleet_" + tag + ".snapshot";
+
+  fleet::FleetProfile profile;
+  std::string error;
+  if (!fleet::LookupFleetProfile(profile_name, &profile, &error)) {
+    std::fprintf(stderr, "profile: %s\n", error.c_str());
+    return false;
+  }
+  auto ds = BuildDataset(profile.dataset);
+  ModelContext ctx = ModelContext::FromDataset(*ds);
+  bench::PrintDatasetBanner(*ds, settings);
+
+  // The workers rebuild this universe from the profile name and load these
+  // exact weights from the snapshot — only bytes travel, which is what makes
+  // bit-identical answers a meaningful claim.
+  SeedGlobalRng(12345);
+  RnTrajRec model(profile.model, ctx);
+  model.SetTrainingMode(false);
+  model.BeginInference();  // snapshot carries the warm road representation
+  if (!model.SaveSnapshot(snap_path, &error)) {
+    std::fprintf(stderr, "snapshot: %s\n", error.c_str());
+    return false;
+  }
+
+  auto workload = serve::PoissonWorkload(ds->test(), num_requests,
+                                         /*qps=*/1e9, /*seed=*/7);
+
+  // --- warm sequential reference.
+  std::vector<MatchedTrajectory> reference;
+  reference.reserve(workload.size());
+  for (const auto& item : workload) {
+    serve::RecoveryRequest req = item.request;
+    TrajectorySample s = MakeEphemeralSample(
+        std::move(req.input), std::move(req.input_indices), req.target_times);
+    reference.push_back(model.Recover(s));
+  }
+
+  // --- single in-process service: the worker's exact configuration minus
+  // the wire. This is the self-relative baseline the fleet must beat.
+  ReplayResult single;
+  double single_p50 = 0.0, single_p99 = 0.0;
+  {
+    serve::RecoveryService service(&model, ctx, profile.service);
+    const auto submit = [&](const serve::RecoveryRequest& req) {
+      return service.Submit(req);
+    };
+    ReplayOnce(workload, reference, submit, /*measured=*/false, &single);
+    for (int rep = 0; rep < kBenchRepeats; ++rep) {
+      ReplayOnce(workload, reference, submit, /*measured=*/true, &single);
+    }
+    const serve::ServeStats stats = service.Stats();
+    single_p50 = stats.p50_ms;
+    single_p99 = stats.p99_ms;
+  }
+
+  // --- fleet sweep: spawn N workers, route the same workload, score, and
+  // pull the merged latency histogram for real fleet quantiles.
+  struct FleetPoint {
+    int workers = 0;
+    ReplayResult replay;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+    int64_t histogram_count = 0;
+    std::vector<fleet::FleetWorkerView> views;
+    bool spawned_ok = false;
+  };
+  const auto run_fleet = [&](int num_workers) {
+    FleetPoint point;
+    point.workers = num_workers;
+    fleet::FleetRouterConfig rcfg;
+    std::vector<pid_t> pids;
+    std::vector<std::string> socket_files;
+    for (int i = 0; i < num_workers; ++i) {
+      fleet::WorkerSpawn spawn;
+      spawn.profile = profile_name;
+      spawn.snapshot_path = snap_path;
+      const std::string base =
+          tmp + "/bench_fleet_" + tag + "_n" + std::to_string(num_workers) +
+          "_w" + std::to_string(i);
+      spawn.data_endpoint = "unix:" + base + ".sock";
+      spawn.control_endpoint = "unix:" + base + ".ctl";
+      socket_files.push_back(base + ".sock");
+      socket_files.push_back(base + ".ctl");
+      pid_t pid = 0;
+      if (!fleet::SpawnWorkerProcess(spawn, &pid, &error)) {
+        std::fprintf(stderr, "spawn: %s\n", error.c_str());
+        for (pid_t p : pids) fleet::KillWorkerProcess(p);
+        return point;
+      }
+      pids.push_back(pid);
+      rcfg.workers.push_back({spawn.data_endpoint, spawn.control_endpoint});
+    }
+    {
+      fleet::FleetRouter router(rcfg);
+      // Workers build the dataset + load the snapshot before accepting —
+      // give the slowest scale time to come up.
+      if (!router.WaitForAlive(num_workers, /*timeout_ms=*/300000)) {
+        std::fprintf(stderr, "fleet(%d): workers never came up\n",
+                     num_workers);
+      } else {
+        point.spawned_ok = true;
+        const auto submit = [&](const serve::RecoveryRequest& req) {
+          return router.Submit(req);
+        };
+        ReplayOnce(workload, reference, submit, /*measured=*/false,
+                   &point.replay);
+        for (int rep = 0; rep < kBenchRepeats; ++rep) {
+          ReplayOnce(workload, reference, submit, /*measured=*/true,
+                     &point.replay);
+        }
+        obs::MetricsSnapshot merged = router.FleetMetrics(&error);
+        if (!error.empty()) {
+          std::fprintf(stderr, "fleet(%d) metrics: %s\n", num_workers,
+                       error.c_str());
+        }
+        const auto hit = merged.histograms.find("serve.latency_ms");
+        if (hit != merged.histograms.end() && hit->second.TotalCount() > 0) {
+          point.histogram_count = hit->second.TotalCount();
+          point.p50_ms = hit->second.Quantile(0.50);
+          point.p99_ms = hit->second.Quantile(0.99);
+        }
+        point.views = router.Stats().workers;
+      }
+      router.Shutdown();
+    }
+    for (pid_t p : pids) fleet::KillWorkerProcess(p);
+    for (const std::string& f : socket_files) std::remove(f.c_str());
+    return point;
+  };
+
+  const FleetPoint fleet2 = run_fleet(2);
+  const FleetPoint fleet4 = run_fleet(4);
+  std::remove(snap_path.c_str());
+  if (!fleet2.spawned_ok || !fleet4.spawned_ok) return false;
+
+  const double single_rps = num_requests / single.best_s;
+  const double fleet2_rps = num_requests / fleet2.replay.best_s;
+  const double fleet4_rps = num_requests / fleet4.replay.best_s;
+
+  TablePrinter table({"Configuration", "req/s", "p50 ms", "p99 ms",
+                      "best s"},
+                     30, 11);
+  table.PrintTitle("Fleet throughput: " + std::to_string(num_requests) +
+                   " requests/pass, profile " + profile_name);
+  table.PrintHeader();
+  table.PrintRow({"single service (in-process)",
+                  TablePrinter::Num(single_rps, 1),
+                  TablePrinter::Num(single_p50, 2),
+                  TablePrinter::Num(single_p99, 2),
+                  TablePrinter::Num(single.best_s, 2)});
+  const auto fleet_row = [&](const char* name, const FleetPoint& p,
+                             double rps) {
+    table.PrintRow({name, TablePrinter::Num(rps, 1),
+                    TablePrinter::Num(p.p50_ms, 2),
+                    TablePrinter::Num(p.p99_ms, 2),
+                    TablePrinter::Num(p.replay.best_s, 2)});
+  };
+  fleet_row("fleet, 2 workers", fleet2, fleet2_rps);
+  fleet_row("fleet, 4 workers", fleet4, fleet4_rps);
+
+  std::printf("\nfleet(2) vs single-process: %.2fx; fleet(4): %.2fx\n",
+              fleet2_rps / single_rps, fleet4_rps / single_rps);
+  for (const FleetPoint* p : {&fleet2, &fleet4}) {
+    std::printf("fleet(%d) shard balance (sent/answered per worker):",
+                p->workers);
+    for (const auto& w : p->views) {
+      std::printf(" w%d=%lld/%lld", w.index, static_cast<long long>(w.sent),
+                  static_cast<long long>(w.answered));
+    }
+    std::printf("  merged histogram count %lld\n",
+                static_cast<long long>(p->histogram_count));
+  }
+
+  const int seg_mismatches =
+      fleet2.replay.seg_mismatches + fleet4.replay.seg_mismatches;
+  const double max_ratio_diff =
+      std::max(fleet2.replay.max_ratio_diff, fleet4.replay.max_ratio_diff);
+  const int unanswered =
+      fleet2.replay.unanswered + fleet4.replay.unanswered;
+  const int failed = fleet2.replay.failed + fleet4.replay.failed;
+  const bool match = seg_mismatches == 0 && max_ratio_diff <= 1e-5 &&
+                     unanswered == 0 && failed == 0 &&
+                     single.seg_mismatches == 0 && single.failed == 0 &&
+                     single.unanswered == 0;
+  std::printf("fleet == in-process over %d answers: %s (seg mismatches %d, "
+              "max ratio diff %.2e, failed %d, unanswered %d)\n",
+              fleet2.replay.ok + fleet4.replay.ok, match ? "yes" : "NO",
+              seg_mismatches, max_ratio_diff, failed, unanswered);
+
+  // Machine-readable record: ci/check_bench.py gates answer equivalence at
+  // zero and fleet(2) >= 1.0x the single-process baseline, self-relative on
+  // THIS run so the claim re-proves itself on every box.
+  if (const char* json_path = std::getenv("RNTR_BENCH_JSON")) {
+    std::ofstream json(json_path);
+    if (!json.is_open()) {
+      std::fprintf(stderr, "FAILED to open RNTR_BENCH_JSON path %s\n",
+                   json_path);
+      return false;
+    }
+    json << "{\n"
+         << "  \"benchmark\": \"bench_fleet_throughput\",\n"
+         << "  \"scale\": \"" << ToString(settings.scale) << "\",\n"
+         << "  \"requests\": " << num_requests << ",\n"
+         << "  \"single_rps\": " << single_rps << ",\n"
+         << "  \"single_p50_ms\": " << single_p50 << ",\n"
+         << "  \"single_p99_ms\": " << single_p99 << ",\n"
+         << "  \"fleet2_rps\": " << fleet2_rps << ",\n"
+         << "  \"fleet2_p50_ms\": " << fleet2.p50_ms << ",\n"
+         << "  \"fleet2_p99_ms\": " << fleet2.p99_ms << ",\n"
+         << "  \"fleet4_rps\": " << fleet4_rps << ",\n"
+         << "  \"fleet4_p50_ms\": " << fleet4.p50_ms << ",\n"
+         << "  \"fleet4_p99_ms\": " << fleet4.p99_ms << ",\n"
+         << "  \"fleet2_vs_single_speedup\": " << fleet2_rps / single_rps
+         << ",\n"
+         << "  \"fleet4_vs_single_speedup\": " << fleet4_rps / single_rps
+         << ",\n"
+         << "  \"fleet_seg_mismatches\": " << seg_mismatches << ",\n"
+         << "  \"fleet_max_ratio_diff\": " << max_ratio_diff << ",\n"
+         << "  \"fleet_failed_requests\": " << failed << ",\n"
+         << "  \"fleet_unanswered\": " << unanswered << ",\n"
+         << "  \"fleet_matches_inprocess\": " << (match ? "true" : "false")
+         << "\n}\n";
+    json.flush();
+    if (!json.good()) {
+      std::fprintf(stderr, "FAILED writing JSON record to %s\n", json_path);
+      return false;
+    }
+    std::printf("wrote JSON record to %s\n", json_path);
+  }
+  return match;
+}
+
+}  // namespace
+}  // namespace rntraj
+
+// Exit code doubles as the cross-process equivalence check: nonzero when any
+// fleet-served answer diverges from in-process inference, any request fails,
+// or any future goes unanswered.
+int main() { return rntraj::Run() ? 0 : 1; }

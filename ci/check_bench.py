@@ -2,6 +2,7 @@
 """CI gate over the serving-throughput bench record.
 
 Usage: check_bench.py <produced.json> <committed_baseline.json>
+           [--fleet <fleet.json>]
 
 Fails (exit 1) when any of:
   * the bench reports batched-vs-sequential divergence
@@ -56,7 +57,20 @@ Fails (exit 1) when any of:
         capacity measured in the same run — if nothing sheds, the overload
         section is not overloading and proves nothing);
       - the ladder-on shed rate must be strictly below the ladder-off shed
-        rate at the same offered load (degrading beats dropping).
+        rate at the same offered load (degrading beats dropping);
+  * the fleet record (PR 10, --fleet, produced by bench_fleet_throughput)
+    breaks a cross-process claim:
+      - any fleet-served answer diverging from in-process inference (a
+        single segment mismatch or >1e-5 ratio diff across every pass of
+        the 2- and 4-worker sweeps), any failed request, or any unanswered
+        future — correctness, no tolerance;
+      - fleet(2 workers) falling below 1.0x the single-process service of
+        the same run (self-relative; measured best-of-N on both sides,
+        checked with the same 5% noise floor every self-relative throughput
+        gate here uses — the claim is "sharding across processes never
+        costs throughput", and on a 1-core runner the two sides are
+        genuinely tied);
+    or the baseline records a fleet section the produced run lost.
 
 The 2x throughput threshold is deliberately tolerant: the committed baseline
 was recorded on a different box (1 core, -march=native) than the CI runner,
@@ -92,6 +106,13 @@ BF16_MAX_RATIO_DRIFT = 0.15
 # BeginInference (road-representation recompute) by at least this factor —
 # both sides best-of-3 in the same process, so the bound is self-relative.
 WARMSTART_MIN_SPEEDUP = 5.0
+# Fleet (PR 10): 2 fleet workers must keep >= 1.0x the single-process
+# service's throughput, self-relative in the fleet record's own run. The 5%
+# floor is the same scheduler-noise allowance as the obs/fusion gates — on a
+# 1-core runner both sides are compute-bound on the same core, so the
+# honest expectation is a tie, not a 2x win.
+FLEET_MIN_SPEEDUP = 1.0
+FLEET_NOISE_FLOOR = 0.05
 
 
 def fail(msg: str) -> None:
@@ -253,12 +274,64 @@ def check_swap(produced: dict) -> None:
     )
 
 
+def check_fleet(fleet: dict) -> None:
+    # Correctness first, zero tolerance: every fleet-served answer across
+    # every pass of the 2- and 4-worker sweeps must match in-process
+    # inference, nothing may fail, and nothing may go unanswered (the
+    # router's every-future-resolves contract).
+    seg = int(fleet.get("fleet_seg_mismatches", -1))
+    ratio = float(fleet.get("fleet_max_ratio_diff", 1.0))
+    failed = int(fleet.get("fleet_failed_requests", -1))
+    unanswered = int(fleet.get("fleet_unanswered", -1))
+    if (
+        not fleet.get("fleet_matches_inprocess", False)
+        or seg != 0
+        or ratio > 1e-5
+        or failed != 0
+        or unanswered != 0
+    ):
+        fail(
+            "fleet-served answers diverged from in-process inference "
+            f"(seg_mismatches={seg}, max_ratio_diff={ratio}, "
+            f"failed_requests={failed}, unanswered={unanswered})"
+        )
+    single = float(fleet["single_rps"])
+    fleet2 = float(fleet["fleet2_rps"])
+    if single <= 0:
+        fail(f"single_rps is non-positive ({single})")
+    if fleet2 < (FLEET_MIN_SPEEDUP - FLEET_NOISE_FLOOR) * single:
+        fail(
+            f"fleet(2 workers) fell below {FLEET_MIN_SPEEDUP}x the "
+            f"single-process service: {fleet2:.1f} rps vs {single:.1f} rps "
+            f"({fleet2 / single:.2f}x, floor "
+            f"{FLEET_MIN_SPEEDUP - FLEET_NOISE_FLOOR:.2f}x, same run)"
+        )
+    print(
+        f"fleet gate OK: single {single:.1f} rps, fleet(2) {fleet2:.1f} rps "
+        f"({fleet2 / single:.2f}x, min {FLEET_MIN_SPEEDUP}x - "
+        f"{FLEET_NOISE_FLOOR:.0%} noise), fleet(4) "
+        f"{float(fleet.get('fleet4_rps', 0.0)):.1f} rps; answers "
+        "bit-identical to in-process, zero failed, zero unanswered"
+    )
+
+
 def main() -> None:
-    if len(sys.argv) != 3:
-        fail(f"usage: {sys.argv[0]} <produced.json> <baseline.json>")
-    with open(sys.argv[1]) as f:
+    args = list(sys.argv[1:])
+    fleet_path = None
+    if "--fleet" in args:
+        i = args.index("--fleet")
+        if i + 1 >= len(args):
+            fail("--fleet requires a path")
+        fleet_path = args[i + 1]
+        del args[i : i + 2]
+    if len(args) != 2:
+        fail(
+            f"usage: {sys.argv[0]} <produced.json> <baseline.json> "
+            "[--fleet <fleet.json>]"
+        )
+    with open(args[0]) as f:
         produced = json.load(f)
-    with open(sys.argv[2]) as f:
+    with open(args[1]) as f:
         baseline_file = json.load(f)
 
     # Correctness first: served answers must match sequential inference.
@@ -316,6 +389,14 @@ def main() -> None:
         check_swap(produced)
     elif "swap_dropped_futures" in baseline:
         fail("bench record is missing its hot-swap section")
+
+    if fleet_path is not None:
+        with open(fleet_path) as f:
+            check_fleet(json.load(f))
+    elif baseline_file.get("fleet"):
+        # Losing the fleet record silently would un-gate the cross-process
+        # equivalence claim (PR 10).
+        fail("no --fleet record produced, but the baseline commits one")
 
     if "overload_deadline_ms" in produced:
         check_overload(produced)

@@ -1,0 +1,208 @@
+// Sharded serving fleet demo: the single-process RecoveryService scaled
+// across worker processes. Builds the deterministic chaos-tiny universe,
+// snapshots a model, spawns two fleet_worker processes that each load the
+// snapshot, and routes every test request through the FleetRouter over the
+// wire protocol — verifying that fleet-served answers are bit-identical (on
+// segment ids) to in-process inference, that the merged fleet metrics add
+// up, and that a rolling deploy flips every worker to a new model
+// generation with zero dropped requests. The exit code enforces all of it.
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/core/rntrajrec.h"
+#include "src/fleet/process.h"
+#include "src/fleet/profiles.h"
+#include "src/fleet/router.h"
+#include "src/serve/workload.h"
+#include "src/sim/dataset.h"
+
+using namespace rntraj;
+
+int main() {
+  const std::string tag = std::to_string(::getpid());
+  const std::string snap_path = "/tmp/fleet_demo_" + tag + ".snapshot";
+
+  // The worker rebuilds this exact universe from the profile name; only the
+  // weights travel (via the snapshot), which is the equivalence guarantee.
+  fleet::FleetProfile profile;
+  std::string error;
+  if (!fleet::LookupFleetProfile("chaos-tiny", &profile, &error)) {
+    std::fprintf(stderr, "profile: %s\n", error.c_str());
+    return 1;
+  }
+  auto dataset = BuildDataset(profile.dataset);
+  ModelContext ctx = ModelContext::FromDataset(*dataset);
+  std::printf("chaos-tiny city: %d segments, %d test trajectories\n",
+              dataset->roadnet().num_segments(),
+              static_cast<int>(dataset->test().size()));
+
+  SeedGlobalRng(61);
+  RnTrajRec model(profile.model, ctx);
+  model.SetTrainingMode(false);
+  model.BeginInference();
+  if (!model.SaveSnapshot(snap_path, &error)) {
+    std::fprintf(stderr, "snapshot: %s\n", error.c_str());
+    return 1;
+  }
+
+  // In-process reference answers (sequential, no service, no fleet).
+  std::vector<MatchedTrajectory> offline;
+  for (const auto& s : dataset->test()) {
+    serve::RecoveryRequest req = serve::RequestFromSample(s);
+    TrajectorySample eph = MakeEphemeralSample(
+        std::move(req.input), std::move(req.input_indices), req.target_times);
+    offline.push_back(model.Recover(eph));
+  }
+
+  // Spawn the fleet: two shared-nothing worker processes on Unix sockets.
+  const int kWorkers = 2;
+  fleet::FleetRouterConfig rcfg;
+  std::vector<pid_t> pids;
+  for (int i = 0; i < kWorkers; ++i) {
+    fleet::WorkerSpawn spawn;
+    spawn.profile = "chaos-tiny";
+    spawn.snapshot_path = snap_path;
+    spawn.data_endpoint = "unix:/tmp/fleet_demo_" + tag + "_w" +
+                          std::to_string(i) + ".sock";
+    spawn.control_endpoint = "unix:/tmp/fleet_demo_" + tag + "_w" +
+                             std::to_string(i) + ".ctl";
+    pid_t pid = 0;
+    if (!fleet::SpawnWorkerProcess(spawn, &pid, &error)) {
+      std::fprintf(stderr, "spawn: %s\n", error.c_str());
+      return 1;
+    }
+    pids.push_back(pid);
+    rcfg.workers.push_back({spawn.data_endpoint, spawn.control_endpoint});
+  }
+  std::printf("spawned %d workers, routing...\n", kWorkers);
+
+  int exit_code = 0;
+  {
+    fleet::FleetRouter router(rcfg);
+    if (!router.WaitForAlive(kWorkers, /*timeout_ms=*/120000)) {
+      std::fprintf(stderr, "workers never came up\n");
+      return 1;
+    }
+
+    // Route every test request through the fleet, a few passes so both
+    // shards serve traffic.
+    const int kPasses = 4;
+    std::vector<std::future<serve::RecoveryResponse>> futures;
+    std::vector<size_t> sample_of;
+    for (int pass = 0; pass < kPasses; ++pass) {
+      for (size_t i = 0; i < dataset->test().size(); ++i) {
+        futures.push_back(
+            router.Submit(serve::RequestFromSample(dataset->test()[i])));
+        sample_of.push_back(i);
+      }
+    }
+    int ok = 0;
+    int seg_mismatches = 0;
+    double max_ratio_diff = 0.0;
+    for (size_t k = 0; k < futures.size(); ++k) {
+      const serve::RecoveryResponse resp = futures[k].get();
+      if (!resp.ok) {
+        std::fprintf(stderr, "request %zu failed: %s\n", k,
+                     resp.error.c_str());
+        continue;
+      }
+      ++ok;
+      const MatchedTrajectory& ref = offline[sample_of[k]];
+      for (int j = 0; j < ref.size(); ++j) {
+        if (resp.recovered.points[j].seg_id != ref.points[j].seg_id) {
+          ++seg_mismatches;
+        }
+        max_ratio_diff = std::max(
+            max_ratio_diff,
+            std::abs(resp.recovered.points[j].ratio - ref.points[j].ratio));
+      }
+    }
+    std::printf("fleet answered %d/%d ok\n", ok,
+                static_cast<int>(futures.size()));
+    std::printf("fleet == in-process: %s (seg mismatches %d, max ratio diff "
+                "%.2e)\n",
+                seg_mismatches == 0 && max_ratio_diff <= 1e-5 ? "yes" : "NO",
+                seg_mismatches, max_ratio_diff);
+
+    // Fleet telemetry: per-worker snapshots merged into one view. The
+    // summed serve.ok must account for every answered request.
+    obs::MetricsSnapshot fleet_ms = router.FleetMetrics(&error);
+    if (!error.empty()) std::fprintf(stderr, "metrics: %s\n", error.c_str());
+    const auto cit = fleet_ms.counters.find("serve.ok");
+    const long long fleet_ok =
+        cit == fleet_ms.counters.end() ? 0 : cit->second;
+    std::printf("merged fleet metrics: serve.ok %lld across %d workers\n",
+                fleet_ok, kWorkers);
+    const auto hit = fleet_ms.histograms.find("serve.latency_ms");
+    if (hit != fleet_ms.histograms.end() && hit->second.TotalCount() > 0) {
+      std::printf("fleet latency: count %lld p50 %.2f ms p99 %.2f ms\n",
+                  static_cast<long long>(hit->second.TotalCount()),
+                  hit->second.Quantile(0.50), hit->second.Quantile(0.99));
+    }
+    const auto stats = router.Stats();
+    for (const auto& w : stats.workers) {
+      std::printf("  worker %d: alive=%d sent %lld answered %lld failed "
+                  "%lld\n",
+                  w.index, w.alive ? 1 : 0,
+                  static_cast<long long>(w.sent),
+                  static_cast<long long>(w.answered),
+                  static_cast<long long>(w.failed));
+    }
+
+    // Rolling deploy: every worker swaps to a fresh generation of the same
+    // weights; post-deploy answers carry version 1 and still match.
+    bool deploy_ok = router.RollingDeploy(snap_path, &error);
+    if (!deploy_ok) std::fprintf(stderr, "deploy: %s\n", error.c_str());
+    int post_ok = 0;
+    int post_stale = 0;
+    int post_mismatch = 0;
+    if (deploy_ok) {
+      std::vector<std::future<serve::RecoveryResponse>> post;
+      for (const auto& s : dataset->test()) {
+        post.push_back(router.Submit(serve::RequestFromSample(s)));
+      }
+      for (size_t i = 0; i < post.size(); ++i) {
+        const serve::RecoveryResponse resp = post[i].get();
+        if (!resp.ok) continue;
+        ++post_ok;
+        if (resp.model_version != 1) ++post_stale;
+        const MatchedTrajectory& ref = offline[i];
+        for (int j = 0; j < ref.size(); ++j) {
+          if (resp.recovered.points[j].seg_id != ref.points[j].seg_id) {
+            ++post_mismatch;
+          }
+        }
+      }
+      std::printf("rolling deploy: %d/%d post-deploy ok, %d stale-version "
+                  "stamps, %d mismatches\n",
+                  post_ok, static_cast<int>(post.size()), post_stale,
+                  post_mismatch);
+    }
+
+    const bool pass = ok == static_cast<int>(futures.size()) &&
+                      seg_mismatches == 0 && max_ratio_diff <= 1e-5 &&
+                      fleet_ok >= ok && deploy_ok &&
+                      post_ok == static_cast<int>(dataset->test().size()) &&
+                      post_stale == 0 && post_mismatch == 0;
+    exit_code = pass ? 0 : 1;
+    router.Shutdown();
+  }
+
+  for (pid_t pid : pids) fleet::KillWorkerProcess(pid);
+  for (int i = 0; i < kWorkers; ++i) {
+    std::remove(("/tmp/fleet_demo_" + tag + "_w" + std::to_string(i) + ".sock")
+                    .c_str());
+    std::remove(("/tmp/fleet_demo_" + tag + "_w" + std::to_string(i) + ".ctl")
+                    .c_str());
+  }
+  std::remove(snap_path.c_str());
+  std::printf("%s\n", exit_code == 0 ? "FLEET DEMO PASS" : "FLEET DEMO FAIL");
+  return exit_code;
+}

@@ -1,0 +1,86 @@
+#include "src/fleet/process.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace rntraj {
+namespace fleet {
+
+std::string DefaultWorkerBinary() {
+  const char* env = std::getenv("RNTR_FLEET_WORKER");
+  if (env != nullptr && env[0] != '\0') return env;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "./fleet_worker";
+  buf[n] = '\0';
+  std::string self(buf);
+  const size_t slash = self.rfind('/');
+  if (slash == std::string::npos) return "./fleet_worker";
+  return self.substr(0, slash) + "/fleet_worker";
+}
+
+bool SpawnWorkerProcess(const WorkerSpawn& spawn, pid_t* pid,
+                        std::string* error) {
+  const std::string binary =
+      spawn.binary.empty() ? DefaultWorkerBinary() : spawn.binary;
+  if (::access(binary.c_str(), X_OK) != 0) {
+    if (error != nullptr) {
+      *error = "fleet worker binary not executable: " + binary + " (" +
+               std::strerror(errno) + ")";
+    }
+    return false;
+  }
+  const std::string profile_arg = "--profile=" + spawn.profile;
+  const std::string snapshot_arg = "--snapshot=" + spawn.snapshot_path;
+  const std::string listen_arg = "--listen=" + spawn.data_endpoint;
+  const std::string control_arg = "--control=" + spawn.control_endpoint;
+  // argv assembled before fork: only async-signal-safe calls after it.
+  std::vector<char*> argv = {
+      const_cast<char*>(binary.c_str()),
+      const_cast<char*>(profile_arg.c_str()),
+      const_cast<char*>(snapshot_arg.c_str()),
+      const_cast<char*>(listen_arg.c_str()),
+      const_cast<char*>(control_arg.c_str()),
+      nullptr,
+  };
+  const pid_t child = ::fork();
+  if (child < 0) {
+    if (error != nullptr) {
+      *error = std::string("fork: ") + std::strerror(errno);
+    }
+    return false;
+  }
+  if (child == 0) {
+    if (spawn.quiet) {
+      const int devnull = ::open("/dev/null", O_WRONLY);
+      if (devnull >= 0) {
+        ::dup2(devnull, STDOUT_FILENO);
+        ::close(devnull);
+      }
+    }
+    ::execv(binary.c_str(), argv.data());
+    _exit(127);  // exec failed; the parent sees connection refusal
+  }
+  *pid = child;
+  return true;
+}
+
+void KillWorkerProcess(pid_t pid, bool graceful) {
+  if (pid <= 0) return;
+  ::kill(pid, graceful ? SIGTERM : SIGKILL);
+  // Reap; EINTR retries, ECHILD (already reaped) is fine.
+  for (;;) {
+    const pid_t r = ::waitpid(pid, nullptr, 0);
+    if (r == pid || (r < 0 && errno != EINTR)) return;
+  }
+}
+
+}  // namespace fleet
+}  // namespace rntraj

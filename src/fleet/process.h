@@ -1,0 +1,44 @@
+#ifndef RNTRAJ_FLEET_PROCESS_H_
+#define RNTRAJ_FLEET_PROCESS_H_
+
+#include <sys/types.h>
+
+#include <string>
+
+/// \file process.h
+/// Worker-process lifecycle: fork/exec of the `fleet_worker` executable,
+/// and kill/reap. Tests use KillWorkerProcess(SIGKILL) as the chaos
+/// primitive — a worker death must look exactly like a production crash
+/// (sockets torn down by the kernel, no goodbye frame).
+
+namespace rntraj {
+namespace fleet {
+
+struct WorkerSpawn {
+  std::string binary;  ///< Empty: DefaultWorkerBinary().
+  std::string profile = "chaos-tiny";
+  std::string snapshot_path;      ///< Weights the worker must load (strict).
+  std::string data_endpoint;      ///< Request/response socket.
+  std::string control_endpoint;   ///< Metrics/swap/ping socket.
+  bool quiet = true;              ///< stdout -> /dev/null (banner noise).
+};
+
+/// Path of the worker executable: $RNTR_FLEET_WORKER if set, else
+/// "fleet_worker" next to the current executable (tests, benches and the
+/// worker all land in the same build directory).
+std::string DefaultWorkerBinary();
+
+/// fork + exec. Returns false + `*error` if the fork fails or the binary is
+/// missing; an exec failure inside the child surfaces as exit code 127
+/// (the router then sees connection refusal and reports the worker dead).
+bool SpawnWorkerProcess(const WorkerSpawn& spawn, pid_t* pid,
+                        std::string* error);
+
+/// Sends SIGKILL (or SIGTERM when `graceful`) and reaps the child. Safe to
+/// call on an already-dead pid.
+void KillWorkerProcess(pid_t pid, bool graceful = false);
+
+}  // namespace fleet
+}  // namespace rntraj
+
+#endif  // RNTRAJ_FLEET_PROCESS_H_

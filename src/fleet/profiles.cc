@@ -1,0 +1,96 @@
+#include "src/fleet/profiles.h"
+
+#include "src/baselines/zoo.h"
+#include "src/sim/presets.h"
+
+namespace rntraj {
+namespace fleet {
+
+namespace {
+
+/// Mirrors ServeChaosFixture in tests/serve_chaos_test.cc exactly; the
+/// cross-process equivalence tests depend on both sides resolving this one
+/// definition.
+FleetProfile ChaosTinyProfile() {
+  FleetProfile p;
+  p.dataset = ChengduConfig(BenchScale::kTiny);
+  p.dataset.num_train = 4;
+  p.dataset.num_val = 2;
+  p.dataset.num_test = 8;
+  p.dataset.sim.len_rho = 24;
+
+  p.model.dim = 16;
+  p.model.delta = 250.0;
+  p.model.max_subgraph_nodes = 16;
+  p.model.gridgnn.gnn_layers = 1;
+  p.model.gridgnn.heads = 2;
+  p.model.gpsformer.blocks = 1;
+  p.model.gpsformer.heads = 2;
+  p.model.gpsformer.grl.heads = 2;
+  p.model.Sync();
+
+  p.service.num_sessions = 2;
+  p.service.batcher.max_batch_size = 8;
+  p.service.batcher.max_batch_delay_us = 500;
+  p.service.warm_model = false;  // the worker warms explicitly before serving
+  return p;
+}
+
+/// Mirrors bench::Settings() + bench_serve_throughput's service shape, with
+/// ONE session per worker: the fleet bench sweeps the worker count, and a
+/// single-session service keeps "N workers" meaning N-way process
+/// parallelism instead of N x sessions oversubscription.
+FleetProfile BenchProfile(BenchScale scale) {
+  FleetProfile p;
+  p.dataset = ChengduConfig(scale, /*keep_every=*/8);
+  int dim = 24;
+  if (scale == BenchScale::kTiny) dim = 16;
+  if (scale == BenchScale::kFull) dim = 64;
+  p.model = DefaultRnTrajRecConfig(dim);
+
+  p.service.num_sessions = 1;
+  p.service.batched_forward = true;
+  p.service.batcher.max_batch_size = 16;
+  p.service.batcher.max_batch_delay_us = 1000;
+  p.service.cache_radii = {p.model.delta, p.model.decoder.mask_radius,
+                           p.model.decoder.spatial_prior_radius};
+  p.service.prefetch_radii = {p.model.delta};
+  p.service.max_dijkstra_rows = 1024;
+  p.service.warm_model = false;  // the worker warms explicitly before serving
+  return p;
+}
+
+}  // namespace
+
+bool LookupFleetProfile(const std::string& name, FleetProfile* out,
+                        std::string* error) {
+  if (name == "chaos-tiny") {
+    *out = ChaosTinyProfile();
+    return true;
+  }
+  if (name == "bench-tiny") {
+    *out = BenchProfile(BenchScale::kTiny);
+    return true;
+  }
+  if (name == "bench-small") {
+    *out = BenchProfile(BenchScale::kSmall);
+    return true;
+  }
+  if (name == "bench-full") {
+    *out = BenchProfile(BenchScale::kFull);
+    return true;
+  }
+  if (error != nullptr) {
+    *error = "unknown fleet profile \"" + name + "\" (known:";
+    for (const std::string& n : FleetProfileNames()) *error += " " + n;
+    *error += ")";
+  }
+  return false;
+}
+
+std::vector<std::string> FleetProfileNames() {
+  return {"chaos-tiny", "bench-tiny", "bench-small", "bench-full"};
+}
+
+}  // namespace fleet
+}  // namespace rntraj

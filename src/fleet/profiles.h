@@ -1,0 +1,53 @@
+#ifndef RNTRAJ_FLEET_PROFILES_H_
+#define RNTRAJ_FLEET_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/rntrajrec.h"
+#include "src/serve/recovery_service.h"
+#include "src/sim/dataset.h"
+
+/// \file profiles.h
+/// Named worker profiles: everything a fleet worker needs to reconstruct
+/// its serving universe deterministically — the dataset configuration (the
+/// synthetic city and splits are a pure function of DatasetConfig, seed
+/// included), the model architecture, and the RecoveryService knobs.
+///
+/// The profile name is the cross-process contract: a router-side test or
+/// bench builds its dataset and in-process reference from the SAME profile
+/// the worker executable resolves, so both sides agree on the road network,
+/// the request samples and the model shape. Weights are NOT part of a
+/// profile — workers load them from a snapshot file (strict, all entries),
+/// which is what makes fleet answers bit-comparable to the in-process
+/// service.
+
+namespace rntraj {
+namespace fleet {
+
+struct FleetProfile {
+  DatasetConfig dataset;
+  RnTrajRecConfig model;
+  serve::RecoveryServiceConfig service;
+};
+
+/// Resolves a profile by name. Returns false + `*error` (listing the known
+/// names) for an unknown name.
+///
+/// Known profiles:
+///   "chaos-tiny"  — the serve_chaos_test fixture universe (tiny Chengdu,
+///                   dim-16 model, 2 sessions, 500 us batching)
+///   "bench-tiny" / "bench-small" / "bench-full"
+///                 — the serving-bench universe per RNTR_SCALE (Chengdu at
+///                   that scale, the bench dims 16/24/64, single-session
+///                   batched service so the worker-count sweep measures
+///                   process-level scaling, not intra-process threading)
+bool LookupFleetProfile(const std::string& name, FleetProfile* out,
+                        std::string* error);
+
+std::vector<std::string> FleetProfileNames();
+
+}  // namespace fleet
+}  // namespace rntraj
+
+#endif  // RNTRAJ_FLEET_PROFILES_H_

@@ -1,0 +1,235 @@
+#include "src/fleet/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+
+namespace rntraj {
+namespace fleet {
+
+namespace {
+
+bool SetError(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = "fleet socket: " + msg;
+  return false;
+}
+
+bool Errno(std::string* error, const std::string& what) {
+  return SetError(error, what + ": " + std::strerror(errno));
+}
+
+struct ParsedEndpoint {
+  bool is_unix = false;
+  std::string path;     // unix
+  std::string host;     // tcp
+  uint16_t port = 0;    // tcp
+};
+
+bool ParseEndpoint(const std::string& endpoint, ParsedEndpoint* out,
+                   std::string* error) {
+  if (endpoint.rfind("unix:", 0) == 0) {
+    out->is_unix = true;
+    out->path = endpoint.substr(5);
+    if (out->path.empty()) return SetError(error, "empty unix socket path");
+    // sun_path is a fixed 108-byte array; a longer path would silently
+    // truncate into a different socket.
+    if (out->path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      return SetError(error, "unix socket path too long: " + out->path);
+    }
+    return true;
+  }
+  if (endpoint.rfind("tcp:", 0) == 0) {
+    const std::string rest = endpoint.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      return SetError(error, "tcp endpoint must be tcp:<ipv4>:<port>");
+    }
+    out->is_unix = false;
+    out->host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long port = std::strtol(port_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port < 0 || port > 65535) {
+      return SetError(error, "bad tcp port: " + port_str);
+    }
+    out->port = static_cast<uint16_t>(port);
+    return true;
+  }
+  return SetError(error,
+                  "endpoint must start with unix: or tcp: — got " + endpoint);
+}
+
+bool FillSockaddr(const ParsedEndpoint& ep, sockaddr_storage* storage,
+                  socklen_t* len, std::string* error) {
+  std::memset(storage, 0, sizeof(*storage));
+  if (ep.is_unix) {
+    auto* sun = reinterpret_cast<sockaddr_un*>(storage);
+    sun->sun_family = AF_UNIX;
+    std::memcpy(sun->sun_path, ep.path.c_str(), ep.path.size() + 1);
+    *len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                  ep.path.size() + 1);
+    return true;
+  }
+  auto* sin = reinterpret_cast<sockaddr_in*>(storage);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(ep.port);
+  if (inet_pton(AF_INET, ep.host.c_str(), &sin->sin_addr) != 1) {
+    return SetError(error, "bad ipv4 address: " + ep.host);
+  }
+  *len = sizeof(sockaddr_in);
+  return true;
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+bool ListenOn(const std::string& endpoint, int backlog, Socket* out,
+              std::string* bound_endpoint, std::string* error) {
+  ParsedEndpoint ep;
+  if (!ParseEndpoint(endpoint, &ep, error)) return false;
+  Socket s(::socket(ep.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Errno(error, "socket");
+  if (ep.is_unix) {
+    // A previous worker's socket file would make bind fail with EADDRINUSE;
+    // restarts must rebind the same path.
+    ::unlink(ep.path.c_str());
+  } else {
+    const int one = 1;
+    ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  sockaddr_storage addr;
+  socklen_t len = 0;
+  if (!FillSockaddr(ep, &addr, &len, error)) return false;
+  if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), len) != 0) {
+    return Errno(error, "bind " + endpoint);
+  }
+  if (::listen(s.fd(), backlog) != 0) {
+    return Errno(error, "listen " + endpoint);
+  }
+  if (bound_endpoint != nullptr) {
+    if (ep.is_unix) {
+      *bound_endpoint = endpoint;
+    } else {
+      sockaddr_in bound;
+      socklen_t blen = sizeof(bound);
+      if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&bound), &blen) !=
+          0) {
+        return Errno(error, "getsockname");
+      }
+      *bound_endpoint =
+          "tcp:" + ep.host + ":" + std::to_string(ntohs(bound.sin_port));
+    }
+  }
+  *out = std::move(s);
+  return true;
+}
+
+bool AcceptOn(const Socket& listener, Socket* out, std::string* error) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      *out = Socket(fd);
+      return true;
+    }
+    if (errno == EINTR) continue;
+    return Errno(error, "accept");
+  }
+}
+
+bool ConnectTo(const std::string& endpoint, Socket* out, std::string* error) {
+  ParsedEndpoint ep;
+  if (!ParseEndpoint(endpoint, &ep, error)) return false;
+  Socket s(::socket(ep.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) return Errno(error, "socket");
+  sockaddr_storage addr;
+  socklen_t len = 0;
+  if (!FillSockaddr(ep, &addr, &len, error)) return false;
+  if (::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr), len) != 0) {
+    return Errno(error, "connect " + endpoint);
+  }
+  if (!ep.is_unix) {
+    // Request/response frames are latency-sensitive; never Nagle-buffer.
+    const int one = 1;
+    ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  *out = std::move(s);
+  return true;
+}
+
+bool SendAll(const Socket& s, const char* data, size_t n,
+             std::string* error) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(s.fd(), data + sent, n - sent, MSG_NOSIGNAL);
+    if (r > 0) {
+      sent += static_cast<size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return Errno(error, "send");
+  }
+  return true;
+}
+
+bool RecvExact(const Socket& s, char* data, size_t n, std::string* error) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(s.fd(), data + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) return SetError(error, "connection closed by peer");
+    if (errno == EINTR) continue;
+    return Errno(error, "recv");
+  }
+  return true;
+}
+
+int PollReadable(const Socket& s, int timeout_ms) {
+  pollfd p{};
+  p.fd = s.fd();
+  p.events = POLLIN;
+  const int r = ::poll(&p, 1, timeout_ms);
+  if (r < 0) return errno == EINTR ? 0 : -1;
+  if (r == 0) return 0;
+  // POLLHUP with pending data still reads; POLLERR/NVAL without POLLIN is a
+  // dead socket.
+  if ((p.revents & POLLIN) != 0) return 1;
+  return -1;
+}
+
+bool RecvFrame(const Socket& s, FrameHeader* header, std::string* payload,
+               std::string* error) {
+  char head[kFrameHeaderBytes];
+  if (!RecvExact(s, head, sizeof(head), error)) return false;
+  if (!ParseFrameHeader(head, sizeof(head), header, error)) return false;
+  payload->resize(header->payload_size);
+  if (header->payload_size > 0 &&
+      !RecvExact(s, payload->data(), payload->size(), error)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fleet
+}  // namespace rntraj

@@ -1,0 +1,95 @@
+#ifndef RNTRAJ_FLEET_SOCKET_H_
+#define RNTRAJ_FLEET_SOCKET_H_
+
+#include <cstddef>
+#include <string>
+
+#include "src/fleet/wire.h"
+
+/// \file socket.h
+/// Thin RAII POSIX socket layer for the fleet: Unix-domain and TCP
+/// endpoints behind one string syntax, exact send/recv, and whole-frame
+/// transfer built on the wire header. Every failure is an error string,
+/// never an abort — a dead peer is a routine event the router must absorb.
+///
+/// Endpoint syntax:
+///   "unix:/path/to/socket"     Unix-domain stream socket (path unlinked
+///                              before bind, so restarts rebind cleanly)
+///   "tcp:<ipv4>:<port>"        TCP over loopback or LAN; port 0 lets the
+///                              kernel pick (read it back via ListenOn's
+///                              bound_endpoint)
+
+namespace rntraj {
+namespace fleet {
+
+/// Move-only owned file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+  /// shutdown(SHUT_RDWR): wakes a thread blocked in recv on this socket
+  /// (close alone does not), the shutdown-while-reading primitive the
+  /// router's manager threads rely on.
+  void ShutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens on `endpoint`. On success fills `*bound_endpoint` with
+/// the concrete endpoint (TCP port 0 resolved to the assigned port).
+bool ListenOn(const std::string& endpoint, int backlog, Socket* out,
+              std::string* bound_endpoint, std::string* error);
+
+/// Blocking accept. False on listener shutdown or error.
+bool AcceptOn(const Socket& listener, Socket* out, std::string* error);
+
+/// Blocking connect.
+bool ConnectTo(const std::string& endpoint, Socket* out, std::string* error);
+
+/// Writes all n bytes (MSG_NOSIGNAL: a dead peer surfaces as an error, not
+/// SIGPIPE).
+bool SendAll(const Socket& s, const char* data, size_t n, std::string* error);
+inline bool SendAll(const Socket& s, const std::string& bytes,
+                    std::string* error) {
+  return SendAll(s, bytes.data(), bytes.size(), error);
+}
+
+/// Reads exactly n bytes; false on EOF, error, or shutdown.
+bool RecvExact(const Socket& s, char* data, size_t n, std::string* error);
+
+/// Polls for readability: 1 ready, 0 timeout, -1 error/hangup-with-no-data.
+int PollReadable(const Socket& s, int timeout_ms);
+
+/// Reads one whole frame: header (validated via ParseFrameHeader, so an
+/// oversized length prefix is rejected before any payload allocation) then
+/// the payload.
+bool RecvFrame(const Socket& s, FrameHeader* header, std::string* payload,
+               std::string* error);
+
+inline bool SendFrame(const Socket& s, const std::string& frame,
+                      std::string* error) {
+  return SendAll(s, frame, error);
+}
+
+}  // namespace fleet
+}  // namespace rntraj
+
+#endif  // RNTRAJ_FLEET_SOCKET_H_

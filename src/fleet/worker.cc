@@ -1,0 +1,260 @@
+#include "src/fleet/worker.h"
+
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "src/core/rntrajrec.h"
+#include "src/fleet/profiles.h"
+#include "src/fleet/socket.h"
+#include "src/fleet/wire.h"
+#include "src/serve/recovery_service.h"
+
+namespace rntraj {
+namespace fleet {
+
+namespace {
+
+/// One data connection: the reader thread decodes requests and submits them
+/// to the service; the responder drains (id, future) pairs in FIFO order.
+/// FIFO is sufficient because the service contract guarantees every
+/// submitted future resolves (Shutdown included), so a waiting head never
+/// wedges the tail; the router correlates by id, not arrival order.
+struct DataConnection {
+  Socket socket;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::pair<uint64_t, std::future<serve::RecoveryResponse>>> queue;
+  bool reader_done = false;
+};
+
+void ResponderLoop(const std::shared_ptr<DataConnection>& conn) {
+  for (;;) {
+    std::pair<uint64_t, std::future<serve::RecoveryResponse>> item;
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      conn->cv.wait(lock, [&] {
+        return !conn->queue.empty() || conn->reader_done;
+      });
+      if (conn->queue.empty()) return;  // reader done and drained
+      item = std::move(conn->queue.front());
+      conn->queue.pop_front();
+    }
+    serve::RecoveryResponse resp = item.second.get();
+    std::string error;
+    if (!SendFrame(conn->socket, BuildResponseFrame(item.first, resp),
+                   &error)) {
+      // The peer is gone; keep draining so every future is consumed (the
+      // service already resolved or will resolve them all).
+      continue;
+    }
+  }
+}
+
+void HandleDataConnection(std::shared_ptr<DataConnection> conn,
+                          serve::RecoveryService* service) {
+  std::thread responder(ResponderLoop, conn);
+  std::string error;
+  for (;;) {
+    FrameHeader header;
+    std::string payload;
+    if (!RecvFrame(conn->socket, &header, &payload, &error)) {
+      // EOF on a clean router shutdown, or a malformed header. Either way:
+      // close THIS connection, never the worker.
+      if (error.find("closed by peer") == std::string::npos) {
+        std::fprintf(stderr, "fleet_worker: dropping connection: %s\n",
+                     error.c_str());
+      }
+      break;
+    }
+    if (header.type != FrameType::kRequest) {
+      std::fprintf(stderr,
+                   "fleet_worker: dropping connection: unexpected frame "
+                   "type %u on data endpoint\n",
+                   static_cast<unsigned>(header.type));
+      break;
+    }
+    uint64_t id = 0;
+    serve::RecoveryRequest req;
+    if (!DecodeRequestPayload(payload.data(), payload.size(), &id, &req,
+                              &error)) {
+      std::fprintf(stderr, "fleet_worker: dropping connection: %s\n",
+                   error.c_str());
+      break;
+    }
+    std::future<serve::RecoveryResponse> future =
+        service->Submit(std::move(req));
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->queue.emplace_back(id, std::move(future));
+    }
+    conn->cv.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->reader_done = true;
+  }
+  conn->cv.notify_one();
+  responder.join();
+  conn->socket.Close();
+}
+
+void HandleControlConnection(Socket socket, serve::RecoveryService* service,
+                             const FleetProfile& profile,
+                             const ModelContext& ctx) {
+  std::string error;
+  for (;;) {
+    FrameHeader header;
+    std::string payload;
+    if (!RecvFrame(socket, &header, &payload, &error)) return;
+    switch (header.type) {
+      case FrameType::kMetricsQuery: {
+        if (!SendFrame(socket, BuildMetricsReplyFrame(service->Metrics()),
+                       &error)) {
+          return;
+        }
+        break;
+      }
+      case FrameType::kSwapModel: {
+        std::string path;
+        std::string reply_error;
+        bool ok = DecodeSwapModelPayload(payload.data(), payload.size(),
+                                         &path, &reply_error);
+        if (ok) {
+          // Fresh architecture from the profile, weights strictly from the
+          // snapshot; SwapModel warms it and flips the generation while the
+          // old one keeps serving.
+          auto next = std::make_shared<RnTrajRec>(profile.model, ctx);
+          next->SetTrainingMode(false);
+          ok = next->LoadSnapshot(path, &reply_error) &&
+               service->SwapModel(std::move(next), &reply_error);
+        }
+        if (!SendFrame(socket,
+                       BuildSwapReplyFrame(ok, reply_error,
+                                           service->model_version()),
+                       &error)) {
+          return;
+        }
+        break;
+      }
+      case FrameType::kPing: {
+        const obs::MetricsSnapshot snap = service->Metrics();
+        const auto it = snap.gauges.find("serve.queue.depth");
+        const double depth = it != snap.gauges.end() ? it->second : 0.0;
+        if (!SendFrame(socket, BuildPongFrame(depth), &error)) return;
+        break;
+      }
+      default:
+        std::fprintf(stderr,
+                     "fleet_worker: dropping control connection: "
+                     "unexpected frame type %u\n",
+                     static_cast<unsigned>(header.type));
+        return;
+    }
+  }
+}
+
+}  // namespace
+
+bool ParseWorkerArgs(int argc, char** argv, WorkerOptions* out,
+                     std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = why +
+               "\nusage: fleet_worker --profile=<name> --snapshot=<path> "
+               "--listen=<endpoint> --control=<endpoint>";
+    }
+    return false;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto take = [&](const char* prefix, std::string* dst) {
+      const size_t n = std::string(prefix).size();
+      if (arg.rfind(prefix, 0) != 0) return false;
+      *dst = arg.substr(n);
+      return true;
+    };
+    if (take("--profile=", &out->profile) ||
+        take("--snapshot=", &out->snapshot_path) ||
+        take("--listen=", &out->data_endpoint) ||
+        take("--control=", &out->control_endpoint)) {
+      continue;
+    }
+    return fail("unknown argument: " + arg);
+  }
+  if (out->snapshot_path.empty()) return fail("--snapshot is required");
+  if (out->data_endpoint.empty()) return fail("--listen is required");
+  if (out->control_endpoint.empty()) return fail("--control is required");
+  return true;
+}
+
+int RunWorker(const WorkerOptions& options) {
+  std::string error;
+  FleetProfile profile;
+  if (!LookupFleetProfile(options.profile, &profile, &error)) {
+    std::fprintf(stderr, "fleet_worker: %s\n", error.c_str());
+    return 1;
+  }
+
+  // Bind before the expensive startup: a router connecting during dataset
+  // construction queues in the backlog instead of being refused, so spawn
+  // ordering needs no handshake.
+  Socket data_listener, control_listener;
+  if (!ListenOn(options.data_endpoint, /*backlog=*/64, &data_listener,
+                nullptr, &error) ||
+      !ListenOn(options.control_endpoint, /*backlog=*/16, &control_listener,
+                nullptr, &error)) {
+    std::fprintf(stderr, "fleet_worker: %s\n", error.c_str());
+    return 1;
+  }
+
+  // Deterministic universe: the dataset is a pure function of its config
+  // (own seeded RNG), and the snapshot load is strict, so this process's
+  // answers are comparable against any in-process service built from the
+  // same profile + snapshot.
+  std::unique_ptr<Dataset> dataset = BuildDataset(profile.dataset);
+  ModelContext ctx = ModelContext::FromDataset(*dataset);
+  RnTrajRec model(profile.model, ctx);
+  if (!model.LoadSnapshot(options.snapshot_path, &error)) {
+    std::fprintf(stderr, "fleet_worker: snapshot load failed: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  model.SetTrainingMode(false);
+  model.BeginInference();
+  serve::RecoveryService service(&model, ctx, profile.service);
+  std::printf("fleet_worker: profile=%s serving data=%s control=%s\n",
+              options.profile.c_str(), options.data_endpoint.c_str(),
+              options.control_endpoint.c_str());
+  std::fflush(stdout);
+
+  std::thread control_thread([&] {
+    for (;;) {
+      Socket conn;
+      std::string accept_error;
+      if (!AcceptOn(control_listener, &conn, &accept_error)) return;
+      std::thread(HandleControlConnection, std::move(conn), &service,
+                  std::cref(profile), std::cref(ctx))
+          .detach();
+    }
+  });
+
+  for (;;) {
+    Socket conn;
+    std::string accept_error;
+    if (!AcceptOn(data_listener, &conn, &accept_error)) break;
+    auto state = std::make_shared<DataConnection>();
+    state->socket = std::move(conn);
+    std::thread(HandleDataConnection, std::move(state), &service).detach();
+  }
+  control_thread.join();
+  return 0;
+}
+
+}  // namespace fleet
+}  // namespace rntraj

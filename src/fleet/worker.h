@@ -1,0 +1,46 @@
+#ifndef RNTRAJ_FLEET_WORKER_H_
+#define RNTRAJ_FLEET_WORKER_H_
+
+#include <string>
+
+/// \file worker.h
+/// The fleet worker: one shared-nothing serving process. It binds its data
+/// and control endpoints FIRST (so a router's connect succeeds while the
+/// expensive startup below runs), then rebuilds its universe from a named
+/// profile (deterministic dataset + model shape), loads weights from a
+/// snapshot (strict — the cross-process equivalence guarantee), warms the
+/// model, and runs the existing RecoveryService behind the wire protocol:
+///
+///   data endpoint     pipelined kRequest frames in, kResponse frames out,
+///                     correlation-id multiplexed; a malformed frame closes
+///                     that connection (logged, never an abort) and the
+///                     worker keeps serving other connections
+///   control endpoint  synchronous kMetricsQuery / kSwapModel / kPing
+///
+/// The worker runs until its process is killed; it owns no children and
+/// persists nothing, so SIGKILL at any instant is a supported exit.
+
+namespace rntraj {
+namespace fleet {
+
+struct WorkerOptions {
+  std::string profile = "chaos-tiny";
+  std::string snapshot_path;
+  std::string data_endpoint;
+  std::string control_endpoint;
+};
+
+/// Parses --profile= --snapshot= --listen= --control=; false + usage-style
+/// `*error` on unknown flags or missing required ones.
+bool ParseWorkerArgs(int argc, char** argv, WorkerOptions* out,
+                     std::string* error);
+
+/// Runs the worker until process death. Returns a non-zero exit code on
+/// startup failure (bad profile, endpoints that will not bind, a snapshot
+/// that does not load) with the reason on stderr.
+int RunWorker(const WorkerOptions& options);
+
+}  // namespace fleet
+}  // namespace rntraj
+
+#endif  // RNTRAJ_FLEET_WORKER_H_

@@ -1,0 +1,14 @@
+#include <cstdio>
+#include <string>
+
+#include "src/fleet/worker.h"
+
+int main(int argc, char** argv) {
+  rntraj::fleet::WorkerOptions options;
+  std::string error;
+  if (!rntraj::fleet::ParseWorkerArgs(argc, argv, &options, &error)) {
+    std::fprintf(stderr, "fleet_worker: %s\n", error.c_str());
+    return 2;
+  }
+  return rntraj::fleet::RunWorker(options);
+}

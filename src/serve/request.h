@@ -47,6 +47,21 @@ enum class ResponseKind {
   kInternalError,    ///< The forward threw; only this request is poisoned.
 };
 
+/// Layout version of the request/response payload encodings in
+/// src/fleet/wire.cc. Bump when a field is added, removed or re-ordered —
+/// the fleet frame header carries it, so a router and a worker built from
+/// different layouts reject each other's frames instead of misparsing them.
+inline constexpr uint32_t kRequestWireVersion = 1;
+
+/// Bounds-checked enum decode for untrusted wire bytes: a foreign or
+/// corrupted kind value is reported to the caller, never cast blindly into
+/// the enum (switching over an out-of-range enum is UB).
+inline bool ResponseKindFromWire(uint32_t raw, ResponseKind* out) {
+  if (raw > static_cast<uint32_t>(ResponseKind::kInternalError)) return false;
+  *out = static_cast<ResponseKind>(raw);
+  return true;
+}
+
 /// Stable wire name of a kind — the label traces, metric exports and the
 /// demo's outcome table share.
 inline const char* ResponseKindName(ResponseKind k) {
@@ -83,6 +98,8 @@ struct RecoveryResponse {
   /// The request's span tree, set iff the service's tracer sampled this
   /// request (TracerConfig::sample_rate; null for every request otherwise).
   /// Finished by the time the future resolves — safe to serialise.
+  /// Process-local: the fleet wire codec (src/fleet/wire.cc) does not carry
+  /// it across the process boundary — traces stay in the worker's ring.
   std::shared_ptr<const obs::RequestTrace> trace;
 };
 

@@ -17,10 +17,14 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +32,8 @@
 #include "src/baselines/two_stage.h"
 #include "src/common/random.h"
 #include "src/core/rntrajrec.h"
+#include "src/fleet/process.h"
+#include "src/fleet/router.h"
 #include "src/serve/fault_injector.h"
 #include "src/serve/recovery_service.h"
 #include "src/serve/service_policy.h"
@@ -821,6 +827,144 @@ TEST_F(ServeChaosFixture, SwapModelRefusesBadInputAndRecordsItsSpan) {
   EXPECT_FALSE(service.SwapModel(late, &err));
   EXPECT_NE(err.find("shut down"), std::string::npos) << err;
   EXPECT_EQ(service.model_version(), 1u);
+}
+
+// ----- Chaos: rolling deploy across a worker fleet (PR 10) -------------------
+
+TEST_F(ServeChaosFixture, RollingDeployAcrossFleetMidStreamDropsNothing) {
+  // Two distinguishable generations: A is the fixture model, B a
+  // differently-seeded sibling. Only matching weights can explain matching
+  // answers, so the version stamp on each response is checkable against
+  // the actual trajectory it carries.
+  const std::string tag = std::to_string(::getpid());
+  const std::string snap_a = "/tmp/chaos_deploy_" + tag + "_a.snapshot";
+  const std::string snap_b = "/tmp/chaos_deploy_" + tag + "_b.snapshot";
+  std::string error;
+  ASSERT_TRUE(model_->SaveSnapshot(snap_a, &error)) << error;
+
+  SeedGlobalRng(62);
+  RnTrajRec model_b(SmallConfig(), *ctx_);
+  model_b.SetTrainingMode(false);
+  model_b.BeginInference();
+  ASSERT_TRUE(model_b.SaveSnapshot(snap_b, &error)) << error;
+  std::vector<MatchedTrajectory> reference_b;
+  for (const auto& s : dataset_->test()) {
+    serve::RecoveryRequest req = serve::RequestFromSample(s);
+    TrajectorySample eph = MakeEphemeralSample(
+        std::move(req.input), std::move(req.input_indices), req.target_times);
+    reference_b.push_back(model_b.Recover(eph));
+  }
+
+  // 3-worker fleet, all starting on generation 0 = snapshot A.
+  const int kWorkers = 3;
+  fleet::FleetRouterConfig rcfg;
+  std::vector<pid_t> pids;
+  std::vector<fleet::WorkerSpawn> spawns;
+  for (int i = 0; i < kWorkers; ++i) {
+    fleet::WorkerSpawn spawn;
+    spawn.profile = "chaos-tiny";
+    spawn.snapshot_path = snap_a;
+    spawn.data_endpoint =
+        "unix:/tmp/chaos_deploy_" + tag + "_w" + std::to_string(i) + ".sock";
+    spawn.control_endpoint =
+        "unix:/tmp/chaos_deploy_" + tag + "_w" + std::to_string(i) + ".ctl";
+    pid_t pid = 0;
+    ASSERT_TRUE(fleet::SpawnWorkerProcess(spawn, &pid, &error)) << error;
+    pids.push_back(pid);
+    spawns.push_back(spawn);
+    rcfg.workers.push_back({spawn.data_endpoint, spawn.control_endpoint});
+  }
+
+  {
+    fleet::FleetRouter router(rcfg);
+    ASSERT_TRUE(router.WaitForAlive(kWorkers, 120000))
+        << "fleet never came up";
+
+    // Stream continuously while the deploy rolls worker by worker: the
+    // submitter thread keeps requests in flight across every swap window.
+    std::atomic<bool> deploying{true};
+    std::mutex futures_mu;
+    std::vector<std::future<RecoveryResponse>> futures;
+    std::vector<size_t> sample_of;
+    std::thread submitter([&] {
+      size_t i = 0;
+      while (deploying.load(std::memory_order_acquire)) {
+        const size_t idx = i++ % dataset_->test().size();
+        auto f = router.Submit(serve::RequestFromSample(dataset_->test()[idx]));
+        {
+          std::lock_guard<std::mutex> lock(futures_mu);
+          futures.push_back(std::move(f));
+          sample_of.push_back(idx);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+
+    ASSERT_TRUE(router.RollingDeploy(snap_b, &error)) << error;
+    deploying.store(false, std::memory_order_release);
+    submitter.join();
+
+    // Zero dropped futures, and every response's answer belongs to exactly
+    // the generation its version stamp names: version 0 == snapshot A's
+    // reference, version 1 == snapshot B's — never a blend.
+    int from_a = 0;
+    int from_b = 0;
+    for (size_t k = 0; k < futures.size(); ++k) {
+      RecoveryResponse resp = GetOrDie(futures[k]);
+      ASSERT_TRUE(resp.ok) << "mid-deploy request " << k << ": "
+                           << resp.error;
+      ASSERT_LE(resp.model_version, 1u) << "request " << k;
+      const MatchedTrajectory& ref = resp.model_version == 0
+                                         ? (*reference_)[sample_of[k]]
+                                         : reference_b[sample_of[k]];
+      if (resp.model_version == 0) {
+        ++from_a;
+      } else {
+        ++from_b;
+      }
+      ASSERT_EQ(resp.recovered.size(), ref.size()) << "request " << k;
+      for (int j = 0; j < ref.size(); ++j) {
+        EXPECT_EQ(resp.recovered.points[j].seg_id, ref.points[j].seg_id)
+            << "request " << k << " step " << j << " (version "
+            << resp.model_version << ")";
+        EXPECT_NEAR(resp.recovered.points[j].ratio, ref.points[j].ratio,
+                    1e-5)
+            << "request " << k << " step " << j;
+      }
+    }
+    EXPECT_GT(from_a + from_b, 0) << "stream produced no requests";
+
+    // After the deploy completes, every worker answers on generation 1.
+    std::vector<std::future<RecoveryResponse>> after;
+    for (int pass = 0; pass < 3; ++pass) {
+      for (size_t i = 0; i < dataset_->test().size(); ++i) {
+        after.push_back(
+            router.Submit(serve::RequestFromSample(dataset_->test()[i])));
+      }
+    }
+    for (size_t k = 0; k < after.size(); ++k) {
+      RecoveryResponse resp = GetOrDie(after[k]);
+      ASSERT_TRUE(resp.ok) << "post-deploy request " << k << ": "
+                           << resp.error;
+      EXPECT_EQ(resp.model_version, 1u) << "request " << k
+                                        << " stuck on the old generation";
+      const MatchedTrajectory& ref =
+          reference_b[k % dataset_->test().size()];
+      for (int j = 0; j < ref.size(); ++j) {
+        EXPECT_EQ(resp.recovered.points[j].seg_id, ref.points[j].seg_id)
+            << "request " << k << " step " << j;
+      }
+    }
+    router.Shutdown();
+  }
+
+  for (pid_t pid : pids) fleet::KillWorkerProcess(pid);
+  for (const auto& spawn : spawns) {
+    std::remove(spawn.data_endpoint.substr(5).c_str());
+    std::remove(spawn.control_endpoint.substr(5).c_str());
+  }
+  std::remove(snap_a.c_str());
+  std::remove(snap_b.c_str());
 }
 
 }  // namespace
